@@ -1,0 +1,66 @@
+// Energy-normalized comparison — the caveat the paper's key takeaways
+// flag explicitly: "power differences are not accounted for in this
+// evaluation. Thus, we cannot directly compare performance differences
+// between accelerators." Here we do account for them, with public
+// board/system power figures, reporting joules per uncompressed GB.
+//
+// Expected picture: the CS-2's raw-throughput crown inverts under
+// energy normalization (a 20 kW wafer vs 300 W boards); the IPU becomes
+// the efficiency leader of the accelerators at moderate CR.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace aic;
+  using accel::Platform;
+
+  constexpr std::size_t kRes = 256, kCf = 4;
+  const graph::BatchSpec batch{.batch = 100, .channels = 3};
+  const std::size_t payload = bench::payload_bytes(batch.batch, 3, kRes);
+  const core::DctChopConfig config{
+      .height = kRes, .width = kRes, .cf = kCf, .block = 8};
+
+  io::Table table({"platform", "power (W)", "time (ms)",
+                   "throughput (GB/s)", "energy (J/GB)"});
+  io::CsvWriter csv({"platform", "direction", "watts", "time_ms", "gbps",
+                     "joules_per_gb"});
+
+  for (const bool compress : {true, false}) {
+    std::cout << "=== energy per GB, "
+              << (compress ? "compression" : "decompression")
+              << " of 100 x 3ch 256x256 (CF=4) ===\n";
+    io::Table dir_table({"platform", "power (W)", "time (ms)",
+                         "throughput (GB/s)", "energy (J/GB)"});
+    for (Platform platform : accel::all_platforms()) {
+      if (platform == Platform::kCpu) continue;
+      const accel::Accelerator device = accel::make_accelerator(platform);
+      const graph::Graph g =
+          compress ? graph::build_compress_graph(config, batch)
+                   : graph::build_decompress_graph(config, batch);
+      const auto time = bench::try_estimate(device, g);
+      if (!time) continue;
+      const double gbps = accel::throughput_gbps(payload, *time);
+      const double joules_per_gb = device.spec().tdp_watts / gbps;
+      dir_table.add_row({device.spec().name,
+                         io::Table::num(device.spec().tdp_watts, 6),
+                         bench::ms(*time), io::Table::num(gbps, 4),
+                         io::Table::num(joules_per_gb, 4)});
+      csv.add_row({device.spec().name, compress ? "compress" : "decompress",
+                   io::Table::num(device.spec().tdp_watts, 6),
+                   bench::ms(*time), io::Table::num(gbps, 4),
+                   io::Table::num(joules_per_gb, 4)});
+    }
+    dir_table.print(std::cout);
+    std::cout << "\n";
+  }
+  (void)table;
+
+  std::cout << "(power figures are public board/system approximations — "
+               "see accel/spec.cpp; the ordering inversion vs Figs. 10-13 "
+               "is the point)\n";
+  csv.save(bench::results_dir() + "/energy.csv");
+  std::cout << "wrote " << bench::results_dir() << "/energy.csv\n";
+  return 0;
+}

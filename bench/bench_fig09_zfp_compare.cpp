@@ -1,0 +1,93 @@
+// Fig. 9: DCT+Chop vs the zfp-style fixed-rate codec at matched
+// compression ratios, on the classify and em_denoise benchmarks (the
+// two the paper compares; ZFP runs on CPU only — §4.2.1).
+//
+// Expected shape: on classify, ZFP holds accuracy at higher CR than
+// DCT+Chop; on em_denoise the two are close, and both can beat the
+// uncompressed baseline.
+
+#include <iostream>
+#include <memory>
+
+#include "baseline/zfp_like.hpp"
+#include "bench/common.hpp"
+#include "data/benchmarks.hpp"
+
+int main() {
+  using namespace aic;
+
+  const data::DatasetConfig classify_config{.train_samples = 96,
+                                            .test_samples = 32,
+                                            .batch_size = 16,
+                                            .resolution = 24,
+                                            .seed = 99};
+  const data::DatasetConfig dense_config{.train_samples = 96,
+                                         .test_samples = 32,
+                                         .batch_size = 16,
+                                         .resolution = 16,
+                                         .seed = 99};
+  constexpr std::size_t kEpochs = 6;
+
+  io::CsvWriter csv({"benchmark", "codec", "cr", "final_test_loss",
+                     "final_test_accuracy", "pct_diff_from_base"});
+
+  for (const std::string& name : {std::string("classify"),
+                                  std::string("em_denoise")}) {
+    const data::DatasetConfig& config =
+        name == "classify" ? classify_config : dense_config;
+    std::cout << "=== " << name << " ===\n";
+    const bool use_accuracy = name == "classify";
+
+    struct Entry {
+      std::string label;
+      double cr;
+      core::CodecPtr codec;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"base", 1.0, nullptr});
+    // Matched CRs: 16 and 4 for both codec families.
+    for (std::size_t cf : {2u, 4u}) {
+      auto codec = std::make_shared<core::DctChopCodec>(core::DctChopConfig{
+          .height = config.resolution,
+          .width = config.resolution,
+          .cf = cf,
+          .block = 8});
+      entries.push_back({"dct CR=" + io::Table::num(codec->compression_ratio(), 3),
+                         codec->compression_ratio(), codec});
+    }
+    for (double rate : {2.0, 8.0}) {
+      auto codec = std::make_shared<baseline::ZfpLikeCodec>(rate);
+      entries.push_back({"zfp CR=" + io::Table::num(codec->compression_ratio(), 3),
+                         codec->compression_ratio(), codec});
+    }
+
+    double base_metric = 0.0;
+    io::Table table({"codec", "CR", "final test loss", "final accuracy",
+                     "% diff from base"});
+    for (const Entry& entry : entries) {
+      data::BenchmarkRun run = data::make_benchmark(name, config, entry.codec);
+      const auto history =
+          run.trainer->fit(run.dataset.train, run.dataset.test, kEpochs);
+      const double loss = history.back().test_loss;
+      const double acc = history.back().test_accuracy;
+      const double metric = use_accuracy ? acc : loss;
+      if (entry.label == "base") base_metric = metric;
+      const double pct =
+          base_metric != 0.0 ? 100.0 * (metric - base_metric) / base_metric
+                             : 0.0;
+      table.add_row({entry.label, io::Table::num(entry.cr, 4),
+                     io::Table::num(loss, 5), io::Table::num(acc, 4),
+                     io::Table::num(pct, 4)});
+      csv.add_row({name, entry.label, io::Table::num(entry.cr, 4),
+                   io::Table::num(loss, 6), io::Table::num(acc, 6),
+                   io::Table::num(pct, 4)});
+      std::cout << "  trained " << entry.label << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  csv.save(bench::results_dir() + "/fig09_zfp_compare.csv");
+  std::cout << "wrote " << bench::results_dir() << "/fig09_zfp_compare.csv\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figs. 10 & 11: simulated compression (Fig. 10) and decompression
+// (Fig. 11) time across the four accelerators for 100 3-channel samples,
+// sweeping resolution 32..512 and CF 2..7.
+//
+// Expected shapes (§4.2.2): time linear in pixel count everywhere;
+// CS-2 fastest, then SN30, then IPU, then GroqChip; decompression times
+// stratified by CR (lower CF = less ingress = faster); SN30 and GroqChip
+// fail to compile at 512×512 ("OOM" cells).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace aic;
+  using accel::Platform;
+
+  const graph::BatchSpec batch{.batch = 100, .channels = 3};
+  const std::size_t resolutions[] = {32, 64, 128, 256, 512};
+
+  io::CsvWriter csv({"direction", "platform", "resolution", "cf", "cr",
+                     "time_ms", "throughput_gbps"});
+
+  for (const bool compress : {true, false}) {
+    std::cout << "=== Fig. " << (compress ? "10 (compression)"
+                                          : "11 (decompression)")
+              << " time, 100 x 3ch samples ===\n";
+    for (Platform platform : accel::paper_accelerators()) {
+      const accel::Accelerator device = accel::make_accelerator(platform);
+      io::Table table({"resolution", "CR=16.0", "CR=7.11", "CR=4.0",
+                       "CR=2.56", "CR=1.78", "CR=1.31"});
+      for (std::size_t n : resolutions) {
+        std::vector<std::string> row = {std::to_string(n) + "x" +
+                                        std::to_string(n)};
+        for (const auto& point : bench::chop_sweep()) {
+          const core::DctChopConfig config{
+              .height = n, .width = n, .cf = point.cf, .block = 8};
+          const graph::Graph g =
+              compress ? graph::build_compress_graph(config, batch)
+                       : graph::build_decompress_graph(config, batch);
+          const auto time = bench::try_estimate(device, g);
+          if (!time) {
+            row.push_back("OOM");
+            csv.add_row({compress ? "compress" : "decompress",
+                         accel::platform_name(platform), std::to_string(n),
+                         std::to_string(point.cf), point.cr_label, "OOM",
+                         "OOM"});
+            continue;
+          }
+          row.push_back(bench::ms(*time) + " ms");
+          const double gbps = accel::throughput_gbps(
+              bench::payload_bytes(batch.batch, batch.channels, n), *time);
+          csv.add_row({compress ? "compress" : "decompress",
+                       accel::platform_name(platform), std::to_string(n),
+                       std::to_string(point.cf), point.cr_label,
+                       bench::ms(*time), io::Table::num(gbps, 4)});
+        }
+        table.add_row(row);
+      }
+      std::cout << "-- " << device.spec().name << " --\n";
+      table.print(std::cout);
+    }
+    std::cout << "\n";
+  }
+
+  csv.save(bench::results_dir() + "/fig10_11_resolution.csv");
+  std::cout << "wrote " << bench::results_dir()
+            << "/fig10_11_resolution.csv\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figs. 12 & 13: simulated compression/decompression time across the
+// accelerators for 3-channel 64×64 samples, sweeping batch size 10..5000
+// and CF 2..7.
+//
+// Expected shapes (§4.2.2): linear in batch size on SN30/IPU/GroqChip;
+// flat-then-linear on CS-2 (pipeline fill); GroqChip fails to compile
+// beyond batch 1000 (static schedule limit).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace aic;
+  using accel::Platform;
+
+  constexpr std::size_t kRes = 64;
+  const std::size_t batches[] = {10, 100, 500, 1000, 2000, 5000};
+
+  io::CsvWriter csv({"direction", "platform", "batch", "cf", "cr",
+                     "time_ms", "throughput_gbps"});
+
+  for (const bool compress : {true, false}) {
+    std::cout << "=== Fig. " << (compress ? "12 (compression)"
+                                          : "13 (decompression)")
+              << " time, 3ch 64x64 samples ===\n";
+    for (Platform platform : accel::paper_accelerators()) {
+      const accel::Accelerator device = accel::make_accelerator(platform);
+      io::Table table({"batch", "CR=16.0", "CR=7.11", "CR=4.0", "CR=2.56",
+                       "CR=1.78", "CR=1.31"});
+      for (std::size_t bd : batches) {
+        const graph::BatchSpec batch{.batch = bd, .channels = 3};
+        std::vector<std::string> row = {std::to_string(bd)};
+        for (const auto& point : bench::chop_sweep()) {
+          const core::DctChopConfig config{
+              .height = kRes, .width = kRes, .cf = point.cf, .block = 8};
+          const graph::Graph g =
+              compress ? graph::build_compress_graph(config, batch)
+                       : graph::build_decompress_graph(config, batch);
+          const auto time = bench::try_estimate(device, g);
+          if (!time) {
+            row.push_back("OOM");
+            csv.add_row({compress ? "compress" : "decompress",
+                         accel::platform_name(platform), std::to_string(bd),
+                         std::to_string(point.cf), point.cr_label, "OOM",
+                         "OOM"});
+            continue;
+          }
+          row.push_back(bench::ms(*time) + " ms");
+          csv.add_row({compress ? "compress" : "decompress",
+                       accel::platform_name(platform), std::to_string(bd),
+                       std::to_string(point.cf), point.cr_label,
+                       bench::ms(*time),
+                       io::Table::num(
+                           accel::throughput_gbps(
+                               bench::payload_bytes(bd, 3, kRes), *time),
+                           4)});
+        }
+        table.add_row(row);
+      }
+      std::cout << "-- " << device.spec().name << " --\n";
+      table.print(std::cout);
+    }
+    std::cout << "\n";
+  }
+
+  csv.save(bench::results_dir() + "/fig12_13_batch.csv");
+  std::cout << "wrote " << bench::results_dir() << "/fig12_13_batch.csv\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 15: decompression throughput of s=2 partial serialization for
+// 100 3-channel 512×512 images on SN30 and IPU, sweeping CF 7..2
+// (left to right in the paper's figure).
+//
+// Expected shape: the 512×512 problem, impossible to compile directly on
+// the SN30, runs via four serialized 256×256 chunks at a 2.5-3.8×
+// (SN30) / 2.6-3.7× (IPU) throughput penalty versus native 256×256
+// processing — far better than a naive 4× per-launch cost would suggest.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/partial_serializer.hpp"
+
+int main() {
+  using namespace aic;
+  using accel::Platform;
+
+  constexpr std::size_t kRes = 512, kSub = 2, kChunk = kRes / kSub;
+  const graph::BatchSpec batch{.batch = 100, .channels = 3};
+  const std::size_t payload = bench::payload_bytes(batch.batch, 3, kRes);
+  const std::size_t chunk_payload =
+      bench::payload_bytes(batch.batch, 3, kChunk);
+
+  io::CsvWriter csv({"platform", "cf", "cr", "ps_time_ms",
+                     "ps_throughput_gbps", "native256_gbps", "slowdown"});
+
+  std::cout << "=== Fig. 15: partial serialization s=2, 100 x 3ch 512x512 "
+               "(decompression) ===\n";
+  for (Platform platform : {Platform::kIpu, Platform::kSn30}) {
+    const accel::Accelerator device = accel::make_accelerator(platform);
+    const char* label = platform == Platform::kIpu ? "graphcore" : "samba";
+    io::Table table({"CF", "CR", "PS throughput (GB/s)",
+                     "native 256 (GB/s)", "slowdown"});
+    // Paper sweeps CF = 7,6,5,4,3,2 left to right.
+    for (auto it = bench::chop_sweep().rbegin();
+         it != bench::chop_sweep().rend(); ++it) {
+      const core::DctChopConfig chunk_config{
+          .height = kChunk, .width = kChunk, .cf = it->cf, .block = 8};
+      const graph::Graph chunk_graph =
+          graph::build_decompress_graph(chunk_config, batch);
+
+      const double ps_time = bench::partial_serialized_time(
+          device, chunk_graph, kSub, chunk_payload);
+      const double ps_gbps = accel::throughput_gbps(payload, ps_time);
+      const double native_time = device.estimate(chunk_graph).total_s();
+      const double native_gbps =
+          accel::throughput_gbps(chunk_payload, native_time);
+      const double slowdown = native_gbps / ps_gbps;
+
+      table.add_row({std::to_string(it->cf), it->cr_label,
+                     io::Table::num(ps_gbps, 4),
+                     io::Table::num(native_gbps, 4),
+                     io::Table::num(slowdown, 3) + "x"});
+      csv.add_row({label, std::to_string(it->cf), it->cr_label,
+                   bench::ms(ps_time), io::Table::num(ps_gbps, 4),
+                   io::Table::num(native_gbps, 4),
+                   io::Table::num(slowdown, 4)});
+    }
+    std::cout << "-- " << label << " --\n";
+    table.print(std::cout);
+  }
+
+  // IPU bonus datapoint from the paper: the IPU *can* run 512×512
+  // without serialization; no-serialization is only 1-8% faster.
+  const accel::Accelerator ipu = accel::make_accelerator(Platform::kIpu);
+  const core::DctChopConfig full{
+      .height = kRes, .width = kRes, .cf = 4, .block = 8};
+  const double direct =
+      ipu.estimate(graph::build_decompress_graph(full, batch)).total_s();
+  const core::DctChopConfig chunk_cfg{
+      .height = kChunk, .width = kChunk, .cf = 4, .block = 8};
+  const double ps = bench::partial_serialized_time(
+      ipu, graph::build_decompress_graph(chunk_cfg, batch), kSub,
+      chunk_payload);
+  std::cout << "\nIPU 512x512 direct vs s=2: " << bench::ms(direct)
+            << " ms vs " << bench::ms(ps) << " ms (direct is "
+            << io::Table::num(100.0 * (ps - direct) / ps, 3)
+            << "% faster)\n";
+
+  csv.save(bench::results_dir() + "/fig15_partial_serialization.csv");
+  std::cout << "wrote " << bench::results_dir()
+            << "/fig15_partial_serialization.csv\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig. 16: accuracy of the Graphcore scatter/gather (triangle) variant
+// vs the no-compression baseline, on classify and em_denoise, CF 2..7.
+//
+// Expected shape (§4.2.4): classify drops ~1-2% more than square
+// DCT+Chop at equal CF; em_denoise stays at or below baseline loss and
+// can improve on it.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "core/triangle.hpp"
+#include "data/benchmarks.hpp"
+
+int main() {
+  using namespace aic;
+
+  // Same sizing/seed as the Fig. 7/8 bench so the SG series are directly
+  // comparable against that run's square-chop series.
+  const data::DatasetConfig classify_config{.train_samples = 96,
+                                            .test_samples = 32,
+                                            .batch_size = 16,
+                                            .resolution = 24,
+                                            .seed = 99};
+  const data::DatasetConfig dense_config{.train_samples = 96,
+                                         .test_samples = 32,
+                                         .batch_size = 16,
+                                         .resolution = 16,
+                                         .seed = 99};
+  constexpr std::size_t kEpochs = 6;
+
+  io::CsvWriter csv({"benchmark", "series", "cr", "epoch", "train_loss",
+                     "test_loss", "test_accuracy"});
+
+  for (const std::string& name : {std::string("classify"),
+                                  std::string("em_denoise")}) {
+    const data::DatasetConfig& config =
+        name == "classify" ? classify_config : dense_config;
+    std::cout << "=== " << name << " (scatter/gather codec) ===\n";
+    const bool use_accuracy = name == "classify";
+
+    struct Series {
+      std::string label;
+      std::vector<nn::EpochMetrics> history;
+    };
+    std::vector<Series> all;
+
+    auto train_one = [&](const std::string& label, core::CodecPtr codec) {
+      data::BenchmarkRun run =
+          data::make_benchmark(name, config, std::move(codec));
+      all.push_back({label, run.trainer->fit(run.dataset.train,
+                                             run.dataset.test, kEpochs)});
+      std::cout << "  trained " << label << "\n";
+    };
+
+    train_one("base", nullptr);
+    for (const auto& point : bench::chop_sweep()) {
+      auto codec = std::make_shared<core::TriangleCodec>(core::DctChopConfig{
+          .height = config.resolution,
+          .width = config.resolution,
+          .cf = point.cf,
+          .block = 8});
+      train_one("SG CR=" + io::Table::num(codec->compression_ratio(), 4),
+                codec);
+      for (std::size_t e = 0; e < kEpochs; ++e) {
+        csv.add_row({name, all.back().label,
+                     io::Table::num(codec->compression_ratio(), 4),
+                     std::to_string(e + 1),
+                     io::Table::num(all.back().history[e].train_loss, 6),
+                     io::Table::num(all.back().history[e].test_loss, 6),
+                     io::Table::num(all.back().history[e].test_accuracy, 6)});
+      }
+    }
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      csv.add_row({name, "base", "1", std::to_string(e + 1),
+                   io::Table::num(all[0].history[e].train_loss, 6),
+                   io::Table::num(all[0].history[e].test_loss, 6),
+                   io::Table::num(all[0].history[e].test_accuracy, 6)});
+    }
+
+    io::Table table({"series", "final train loss", "final test loss",
+                     "final accuracy", "% diff from base"});
+    const double base_metric = use_accuracy
+                                   ? all[0].history.back().test_accuracy
+                                   : all[0].history.back().test_loss;
+    for (const Series& s : all) {
+      const double metric = use_accuracy ? s.history.back().test_accuracy
+                                         : s.history.back().test_loss;
+      const double pct =
+          base_metric != 0.0 ? 100.0 * (metric - base_metric) / base_metric
+                             : 0.0;
+      table.add_row({s.label, io::Table::num(s.history.back().train_loss, 5),
+                     io::Table::num(s.history.back().test_loss, 5),
+                     io::Table::num(s.history.back().test_accuracy, 4),
+                     io::Table::num(pct, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  csv.save(bench::results_dir() + "/fig16_sg_accuracy.csv");
+  std::cout << "wrote " << bench::results_dir() << "/fig16_sg_accuracy.csv\n";
+  return 0;
+}

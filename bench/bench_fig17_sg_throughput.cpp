@@ -1,0 +1,59 @@
+// Fig. 17: simulated IPU decompression throughput of the scatter/gather
+// optimization ("opt") against plain DCT+Chop ("dct") for 100 3-channel
+// 32×32 images, CF 2..7.
+//
+// Expected shape (§4.2.4): SG is 1.5-2.7× slower while improving the
+// compression ratio 1.3-1.75× — the ratio/throughput trade is not
+// proportional.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace aic;
+  using accel::Platform;
+
+  constexpr std::size_t kRes = 32;
+  const graph::BatchSpec batch{.batch = 100, .channels = 3};
+  const std::size_t payload = bench::payload_bytes(batch.batch, 3, kRes);
+  const accel::Accelerator ipu = accel::make_accelerator(Platform::kIpu);
+
+  io::CsvWriter csv({"cf", "dct_cr", "sg_cr", "dct_gbps", "sg_gbps",
+                     "slowdown", "ratio_gain"});
+  io::Table table({"CF", "dct CR", "opt CR", "dct (GB/s)", "opt (GB/s)",
+                   "opt slowdown", "ratio gain"});
+
+  std::cout << "=== Fig. 17: IPU decompression, dct vs scatter/gather "
+               "(simulated) ===\n";
+  for (const auto& point : bench::chop_sweep()) {
+    const core::DctChopConfig config{
+        .height = kRes, .width = kRes, .cf = point.cf, .block = 8};
+    const double dct_time =
+        ipu.estimate(graph::build_decompress_graph(config, batch)).total_s();
+    const double sg_time =
+        ipu.estimate(graph::build_triangle_decompress_graph(config, batch))
+            .total_s();
+    const double dct_gbps = accel::throughput_gbps(payload, dct_time);
+    const double sg_gbps = accel::throughput_gbps(payload, sg_time);
+    const double dct_cr = core::chop_ratio(point.cf);
+    const double sg_cr = core::triangle_ratio(point.cf);
+
+    table.add_row({std::to_string(point.cf), io::Table::num(dct_cr, 4),
+                   io::Table::num(sg_cr, 4), io::Table::num(dct_gbps, 4),
+                   io::Table::num(sg_gbps, 4),
+                   io::Table::num(dct_gbps / sg_gbps, 3) + "x",
+                   io::Table::num(sg_cr / dct_cr, 3) + "x"});
+    csv.add_row({std::to_string(point.cf), io::Table::num(dct_cr, 4),
+                 io::Table::num(sg_cr, 4), io::Table::num(dct_gbps, 4),
+                 io::Table::num(sg_gbps, 4),
+                 io::Table::num(dct_gbps / sg_gbps, 4),
+                 io::Table::num(sg_cr / dct_cr, 4)});
+  }
+  table.print(std::cout);
+
+  csv.save(bench::results_dir() + "/fig17_sg_throughput.csv");
+  std::cout << "wrote " << bench::results_dir()
+            << "/fig17_sg_throughput.csv\n";
+  return 0;
+}

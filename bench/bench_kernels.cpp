@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks of the library's hot kernels: the
+// two-matmul codec paths, the underlying GEMM, and the baseline codecs.
+// These measure *real host execution*, complementing the simulated
+// accelerator timings of the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/jpeg_codec.hpp"
+#include "baseline/zfp_like.hpp"
+#include "core/dct_chop.hpp"
+#include "core/triangle.hpp"
+#include "data/synth.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/matmul.hpp"
+
+namespace {
+
+using namespace aic;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor make_batch(std::size_t batch, std::size_t channels, std::size_t n) {
+  runtime::Rng rng(1);
+  Tensor t(Shape::bchw(batch, channels, n, n));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      t.set_plane(b, c, data::smooth_field(n, n, rng, 4, 0.4));
+    }
+  }
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  runtime::Rng rng(2);
+  const Tensor a = Tensor::uniform(Shape::matrix(n, n), rng, -1, 1);
+  const Tensor b = Tensor::uniform(Shape::matrix(n, n), rng, -1, 1);
+  Tensor c(Shape::matrix(n, n));
+  for (auto _ : state) {
+    tensor::matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DctChopCompress(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t cf = static_cast<std::size_t>(state.range(1));
+  const core::DctChopCodec codec(
+      {.height = n, .width = n, .cf = cf, .block = 8});
+  const Tensor batch = make_batch(4, 3, n);
+  for (auto _ : state) {
+    Tensor packed = codec.compress(batch);
+    benchmark::DoNotOptimize(packed.raw());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size_bytes()));
+}
+BENCHMARK(BM_DctChopCompress)
+    ->Args({32, 2})
+    ->Args({32, 7})
+    ->Args({64, 4})
+    ->Args({128, 4});
+
+void BM_DctChopDecompress(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t cf = static_cast<std::size_t>(state.range(1));
+  const core::DctChopCodec codec(
+      {.height = n, .width = n, .cf = cf, .block = 8});
+  const Tensor batch = make_batch(4, 3, n);
+  const Tensor packed = codec.compress(batch);
+  for (auto _ : state) {
+    Tensor restored = codec.decompress(packed, batch.shape());
+    benchmark::DoNotOptimize(restored.raw());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size_bytes()));
+}
+BENCHMARK(BM_DctChopDecompress)->Args({32, 2})->Args({64, 4})->Args({128, 4});
+
+void BM_TriangleRoundTrip(benchmark::State& state) {
+  const std::size_t cf = static_cast<std::size_t>(state.range(0));
+  const core::TriangleCodec codec(
+      {.height = 32, .width = 32, .cf = cf, .block = 8});
+  const Tensor batch = make_batch(4, 3, 32);
+  for (auto _ : state) {
+    Tensor out = codec.round_trip(batch);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_TriangleRoundTrip)->Arg(2)->Arg(4)->Arg(7);
+
+void BM_ZfpLikeCompress(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0));
+  const baseline::ZfpLikeCodec codec(rate);
+  runtime::Rng rng(3);
+  const Tensor plane = data::smooth_field(64, 64, rng, 4, 0.4);
+  for (auto _ : state) {
+    auto words = codec.compress_plane(plane);
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plane.size_bytes()));
+}
+BENCHMARK(BM_ZfpLikeCompress)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_JpegLikeCompress(benchmark::State& state) {
+  const int quality = static_cast<int>(state.range(0));
+  const baseline::JpegLikeCodec codec(quality);
+  runtime::Rng rng(4);
+  const Tensor plane = data::smooth_field(64, 64, rng, 4, 0.4);
+  for (auto _ : state) {
+    auto stream = codec.compress_plane(plane);
+    benchmark::DoNotOptimize(stream.bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plane.size_bytes()));
+}
+BENCHMARK(BM_JpegLikeCompress)->Arg(10)->Arg(50)->Arg(90);
+
+void BM_MakeOperators(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Tensor lhs = core::make_lhs(n, 4);
+    benchmark::DoNotOptimize(lhs.raw());
+  }
+}
+BENCHMARK(BM_MakeOperators)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

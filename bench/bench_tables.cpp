@@ -1,0 +1,57 @@
+// Tables 1-3 of the paper, reproduced from the library's data.
+
+#include <iostream>
+
+#include "accel/spec.hpp"
+#include "bench/common.hpp"
+#include "data/benchmarks.hpp"
+
+int main() {
+  using namespace aic;
+
+  std::cout << "=== Table 1: accelerator specifications ===\n";
+  io::Table t1({"", "CS-2", "SN30", "GroqChip", "IPU"});
+  const auto specs = {accel::cs2_spec(), accel::sn30_spec(),
+                      accel::groq_spec(), accel::ipu_spec()};
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& spec : specs) cells.push_back(getter(spec));
+    t1.add_row(cells);
+  };
+  row("CUs", [](const auto& s) { return std::to_string(s.compute_units); });
+  row("OCM", [](const auto& s) {
+    if (s.ocm_bytes >= (1ull << 30)) {
+      return std::to_string(s.ocm_bytes >> 30) + " GB";
+    }
+    return std::to_string(s.ocm_bytes >> 20) + " MB";
+  });
+  row("OCM/CUs", [](const auto& s) {
+    // Sub-100-KB figures print in KB (Table 1 writes "48 KB" for CS-2).
+    if (s.ocm_per_cu_bytes < 100u << 10) {
+      return std::to_string(s.ocm_per_cu_bytes >> 10) + " KB";
+    }
+    const double mb = static_cast<double>(s.ocm_per_cu_bytes) / (1 << 20);
+    return io::Table::num(mb, 2) + " MB";
+  });
+  row("Software", [](const auto& s) { return s.software; });
+  row("Arch.", [](const auto& s) { return accel::arch_name(s.arch); });
+  t1.print(std::cout);
+
+  std::cout << "\n=== Table 2: datasets ===\n";
+  io::Table t2({"Dataset", "Size", "Type", "Task", "Sample Size"});
+  for (const auto& d : data::table2_datasets()) {
+    t2.add_row({d.dataset, d.size, d.type, d.task, d.sample_size});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n=== Table 3: evaluation benchmarks ===\n";
+  io::Table t3({"Test", "Dataset", "Task", "Network", "Sample Size",
+                "Training Params."});
+  for (const auto& b : data::table3_benchmarks()) {
+    t3.add_row({b.test, b.dataset, b.task, b.network, b.sample_size,
+                "BS=" + std::to_string(b.paper_batch_size) +
+                    ", LR=" + io::Table::num(b.paper_learning_rate, 4)});
+  }
+  t3.print(std::cout);
+  return 0;
+}

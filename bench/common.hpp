@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared helpers for the per-figure bench harness binaries.
+
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/registry.hpp"
+#include "core/dct_chop.hpp"
+#include "core/triangle.hpp"
+#include "graph/builders.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace aic::bench {
+
+/// The CF sweep of §4.1 with the paper's CR labels.
+struct ChopPoint {
+  std::size_t cf;
+  const char* cr_label;
+};
+
+inline const std::vector<ChopPoint>& chop_sweep() {
+  static const std::vector<ChopPoint> sweep = {
+      {2, "16.0"}, {3, "7.11"}, {4, "4.0"},
+      {5, "2.56"}, {6, "1.78"}, {7, "1.31"}};
+  return sweep;
+}
+
+/// Directory all benches write their CSV series into.
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Uncompressed payload bytes of a BD×C×n×n fp32 batch.
+inline std::size_t payload_bytes(std::size_t batch, std::size_t channels,
+                                 std::size_t n) {
+  return batch * channels * n * n * sizeof(float);
+}
+
+/// Simulated time of one compression invocation; empty optional when the
+/// platform compiler rejects the graph.
+inline std::optional<double> try_estimate(const accel::Accelerator& device,
+                                          const graph::Graph& g) {
+  if (!device.compile_check(g).ok) return std::nullopt;
+  return device.estimate(g).total_s();
+}
+
+/// Host-side staging bandwidth charged per chunk when the partial-
+/// serialization optimization slices and reassembles samples on the host
+/// (§3.5.1 / Fig. 15). Effective pageable-memory figure.
+inline constexpr double kHostStagingGbps = 6.0;
+
+/// Total simulated time of an s×s partially-serialized run built from a
+/// per-chunk graph: s² serial invocations plus host staging of each
+/// chunk's uncompressed extent.
+inline double partial_serialized_time(const accel::Accelerator& device,
+                                      const graph::Graph& chunk_graph,
+                                      std::size_t subdivision,
+                                      std::size_t chunk_payload_bytes) {
+  const double chunk = device.estimate(chunk_graph).total_s();
+  const double staging =
+      static_cast<double>(chunk_payload_bytes) / (kHostStagingGbps * 1e9);
+  return static_cast<double>(subdivision * subdivision) * (chunk + staging);
+}
+
+inline std::string ms(double seconds) {
+  return io::Table::num(seconds * 1e3, 4);
+}
+
+}  // namespace aic::bench

@@ -1,0 +1,63 @@
+// Training-data compression in a real training loop (§4.1, Fig. 7/8).
+//
+// Trains the em_denoise benchmark twice — without compression and with
+// DCT+Chop at CR 4 — and prints per-epoch train/test loss. The run with
+// compression typically *improves* test loss on this benchmark because
+// chopping removes exactly the high-frequency noise the model must learn
+// to suppress (the paper's most striking Fig. 8 result).
+//
+//   ./build/examples/train_with_compression
+
+#include <iostream>
+#include <memory>
+
+#include "core/dct_chop.hpp"
+#include "data/benchmarks.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace aic;
+
+  const data::DatasetConfig config{.train_samples = 96,
+                                   .test_samples = 32,
+                                   .batch_size = 16,
+                                   .resolution = 24,
+                                   .seed = 7};
+  constexpr std::size_t kEpochs = 6;
+
+  auto run = [&](core::CodecPtr codec, const std::string& label) {
+    data::BenchmarkRun bench = data::make_benchmark("em_denoise", config,
+                                                    std::move(codec));
+    std::cout << "training em_denoise [" << label << "] ...\n";
+    return bench.trainer->fit(bench.dataset.train, bench.dataset.test,
+                              kEpochs);
+  };
+
+  const auto base = run(nullptr, "base");
+  const auto compressed = run(
+      std::make_shared<core::DctChopCodec>(core::DctChopConfig{
+          .height = config.resolution, .width = config.resolution, .cf = 4,
+          .block = 8}),
+      "dct+chop CR=4");
+
+  io::Table table({"epoch", "train loss (base)", "train loss (CR=4)",
+                   "test loss (base)", "test loss (CR=4)"});
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    table.add_row({std::to_string(epoch + 1),
+                   io::Table::num(base[epoch].train_loss, 5),
+                   io::Table::num(compressed[epoch].train_loss, 5),
+                   io::Table::num(base[epoch].test_loss, 5),
+                   io::Table::num(compressed[epoch].test_loss, 5)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  const double base_final = base.back().test_loss;
+  const double comp_final = compressed.back().test_loss;
+  std::cout << "\nfinal test loss: base=" << base_final
+            << "  compressed=" << comp_final << "  ("
+            << (comp_final < base_final ? "compression helped"
+                                        : "compression cost accuracy")
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "accel/accelerator.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aic::accel {
+
+using graph::Graph;
+using graph::OpKind;
+
+CompileResult Accelerator::compile_check(const Graph& g) const {
+  CompileResult result;
+  result.constant_bytes = g.constant_bytes();
+  result.activation_bytes = g.activation_bytes();
+  result.max_plane_bytes = g.max_plane_bytes();
+  result.max_matmul_dim = g.max_matmul_dim();
+  result.static_flops = g.static_flops();
+
+  // 1. Operator audit (§3.1 "Programmability and Operator Support").
+  for (OpKind kind : g.ops_used()) {
+    if (!spec_.supported_ops.contains(kind)) {
+      result.error = spec_.name + ": operator '" + graph::op_name(kind) +
+                     "' is not supported by the platform frontend";
+      return result;
+    }
+  }
+
+  // 2. Static schedule length (GroqChip batch limit, §4.2.2).
+  if (spec_.max_batch > 0) {
+    for (graph::NodeId id : g.input_ids()) {
+      const tensor::Shape& s = g.node(id).shape;
+      if (s.rank() == 4 && s[0] > spec_.max_batch) {
+        std::ostringstream out;
+        out << spec_.name << ": batch " << s[0]
+            << " exceeds the static instruction schedule limit ("
+            << spec_.max_batch << ")";
+        result.error = out.str();
+        return result;
+      }
+    }
+  }
+
+  // 3. MXM tile limit (GroqChip 320×320 [9]).
+  if (spec_.max_matmul_dim > 0 &&
+      result.max_matmul_dim > spec_.max_matmul_dim) {
+    std::ostringstream out;
+    out << spec_.name << ": matmul operand dimension "
+        << result.max_matmul_dim << " exceeds the " << spec_.max_matmul_dim
+        << "-wide matrix unit";
+    result.error = out.str();
+    return result;
+  }
+
+  // 4. Per-compute-unit tile capacity (SN30 PMU, §3.5.1).
+  if (spec_.max_plane_bytes > 0 &&
+      result.max_plane_bytes > spec_.max_plane_bytes) {
+    std::ostringstream out;
+    out << spec_.name << ": tensor plane of " << result.max_plane_bytes
+        << " B does not fit a " << spec_.max_plane_bytes
+        << " B memory unit (out-of-memory on-chip)";
+    result.error = out.str();
+    return result;
+  }
+
+  // 5. Aggregate on-chip memory: weights + materialized activations.
+  const double usable =
+      static_cast<double>(spec_.ocm_bytes) * spec_.ocm_usable_fraction;
+  const double resident =
+      static_cast<double>(result.constant_bytes + result.activation_bytes);
+  if (resident > usable) {
+    std::ostringstream out;
+    out << spec_.name << ": graph needs "
+        << static_cast<std::size_t>(resident) << " B on-chip but only "
+        << static_cast<std::size_t>(usable)
+        << " B are available (out-of-memory on-chip)";
+    result.error = out.str();
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+std::unique_ptr<CompiledModel> Accelerator::compile(Graph g) const {
+  CompileResult report = compile_check(g);
+  if (!report.ok) {
+    throw std::runtime_error("compile failed: " + report.error);
+  }
+  return std::make_unique<CompiledModel>(std::move(g), std::move(report));
+}
+
+RunResult Accelerator::run(CompiledModel& model,
+                           const std::vector<tensor::Tensor>& inputs) const {
+  RunResult result;
+  result.outputs = model.executor().run(inputs);
+  result.trace = model.executor().trace();
+  result.time = simulate(cost_, spec_.arch, result.trace);
+  return result;
+}
+
+RunResult Accelerator::compile_and_run(
+    Graph g, const std::vector<tensor::Tensor>& inputs) const {
+  auto model = compile(std::move(g));
+  return run(*model, inputs);
+}
+
+SimTime Accelerator::estimate(const Graph& g) const {
+  const CompileResult report = compile_check(g);
+  if (!report.ok) {
+    throw std::runtime_error("compile failed: " + report.error);
+  }
+  return simulate(cost_, spec_.arch, graph::static_trace(g));
+}
+
+}  // namespace aic::accel

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/cost_model.hpp"
+#include "accel/spec.hpp"
+#include "graph/executor.hpp"
+#include "graph/graph.hpp"
+
+namespace aic::accel {
+
+/// Outcome of handing a graph to a platform compiler. When `ok` is
+/// false, `error` explains the rejection in the vocabulary the paper
+/// uses (unsupported operator, PMU/OCM exhaustion, MXM tile limit,
+/// schedule length).
+struct CompileResult {
+  bool ok = false;
+  std::string error;
+  // Resource report (filled on success and, where known, on failure).
+  std::size_t constant_bytes = 0;
+  std::size_t activation_bytes = 0;
+  std::size_t max_plane_bytes = 0;
+  std::size_t max_matmul_dim = 0;
+  std::size_t static_flops = 0;
+};
+
+/// One simulated invocation's result.
+struct RunResult {
+  std::vector<tensor::Tensor> outputs;
+  SimTime time;
+  graph::ExecutionTrace trace;
+};
+
+/// A graph admitted by a platform compiler, ready to run.
+class CompiledModel {
+ public:
+  CompiledModel(graph::Graph graph, CompileResult report)
+      : executor_(std::move(graph)), report_(std::move(report)) {}
+
+  const CompileResult& report() const { return report_; }
+  graph::Executor& executor() { return executor_; }
+
+ private:
+  graph::Executor executor_;
+  CompileResult report_;
+};
+
+/// An accelerator simulator: enforces the platform's compile-time
+/// constraints, executes admitted graphs bit-exactly on the host, and
+/// charges time from the platform's calibrated cost model.
+class Accelerator {
+ public:
+  Accelerator(AcceleratorSpec spec, CostParams cost)
+      : spec_(std::move(spec)), cost_(cost) {}
+
+  const AcceleratorSpec& spec() const { return spec_; }
+  const CostParams& cost_params() const { return cost_; }
+
+  /// Platform compilation: operator audit, memory capacity, per-unit
+  /// tile limits, schedule limits. Mirrors §3.1's constraint list.
+  CompileResult compile_check(const graph::Graph& g) const;
+
+  /// compile_check + executor construction. Throws std::runtime_error
+  /// with the compiler diagnostic when the graph is rejected.
+  std::unique_ptr<CompiledModel> compile(graph::Graph g) const;
+
+  /// Runs one invocation and simulates its wall time.
+  RunResult run(CompiledModel& model,
+                const std::vector<tensor::Tensor>& inputs) const;
+
+  /// Convenience: compile + run once. Throws when compilation fails.
+  RunResult compile_and_run(graph::Graph g,
+                            const std::vector<tensor::Tensor>& inputs) const;
+
+  /// Simulated wall time of one invocation from static shapes alone —
+  /// no numerical execution. Lets the timing benches cost paper-scale
+  /// problems (512×512, batch 5000) cheaply. Throws when the graph does
+  /// not compile.
+  SimTime estimate(const graph::Graph& g) const;
+
+ private:
+  AcceleratorSpec spec_;
+  CostParams cost_;
+};
+
+}  // namespace aic::accel

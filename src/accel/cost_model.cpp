@@ -1,0 +1,140 @@
+#include "accel/cost_model.hpp"
+
+#include <algorithm>
+
+namespace aic::accel {
+
+namespace {
+constexpr double kGiga = 1e9;
+}
+
+SimTime simulate(const CostParams& params, ArchClass arch,
+                 const graph::ExecutionTrace& trace) {
+  SimTime time;
+  time.h2d_s =
+      static_cast<double>(trace.input_bytes) / (params.h2d_gbps * kGiga);
+  time.d2h_s =
+      static_cast<double>(trace.output_bytes) / (params.d2h_gbps * kGiga);
+  time.compute_s =
+      static_cast<double>(trace.flops) / (params.compute_gflops * kGiga);
+  if (params.pressure_coeff > 0.0 && params.pressure_ocm_bytes > 0) {
+    // Near-capacity working sets spill across tiles / to streaming
+    // memory, degrading every data path.
+    const double occupancy =
+        std::min(static_cast<double>(trace.resident_bytes) /
+                     static_cast<double>(params.pressure_ocm_bytes),
+                 0.95);
+    const double factor = 1.0 / (1.0 - params.pressure_coeff * occupancy);
+    time.h2d_s *= factor;
+    time.d2h_s *= factor;
+    time.compute_s *= factor;
+  }
+  time.overhead_s = params.launch_overhead_s +
+                    params.per_node_overhead_s *
+                        static_cast<double>(trace.node_evaluations);
+  if (params.small_plane_threshold_bytes > 0 && trace.matmul_plane_ops > 0 &&
+      trace.min_matmul_plane_bytes < params.small_plane_threshold_bytes) {
+    // Many tiny tensors defeat the RDU's bulk memory scheduling: each
+    // plane-level product pays a routing/launch toll.
+    time.overhead_s += params.small_plane_overhead_s *
+                       static_cast<double>(trace.matmul_plane_ops);
+  }
+  time.overhead_s += params.indexed_element_overhead_s *
+                     static_cast<double>(trace.indexed_elements);
+  if (arch == ArchClass::kDataflow && params.pipeline_fill_s > 0.0) {
+    // The wafer/RDU pipeline overlaps ingest with compute but cannot
+    // finish before the pipeline has filled and drained once.
+    const double streamed = time.h2d_s + time.compute_s;
+    const double floor = params.pipeline_fill_s;
+    const double overlapped = std::max(streamed, floor);
+    time.compute_s = std::max(0.0, overlapped - time.h2d_s);
+  }
+  return time;
+}
+
+double throughput_gbps(std::size_t payload_bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(payload_bytes) / (seconds * kGiga);
+}
+
+CostParams cs2_cost_params() {
+  // §4.2.2: 16-26 GB/s, compression slower than decompression, flat in
+  // batch until the pipeline fills.
+  CostParams p;
+  p.h2d_gbps = 26.0;
+  p.d2h_gbps = 80.0;
+  p.compute_gflops = 400'000.0;  // wafer-scale: compute never dominates
+  p.launch_overhead_s = 3e-4;
+  p.per_node_overhead_s = 1e-5;
+  p.pipeline_fill_s = 1.2e-3;
+  return p;
+}
+
+CostParams sn30_cost_params() {
+  // §4.2.2: 7-10 GB/s; CR 16 pays a small-tensor toll; linear in batch.
+  CostParams p;
+  p.h2d_gbps = 9.5;
+  p.d2h_gbps = 30.0;
+  p.compute_gflops = 25'000.0;
+  p.launch_overhead_s = 2e-4;
+  p.per_node_overhead_s = 5e-6;
+  p.pipeline_fill_s = 3e-4;
+  p.small_plane_overhead_s = 2e-7;
+  p.small_plane_threshold_bytes = 2048;  // CF=2 planes at 64×64 are 1 KB
+  return p;
+}
+
+CostParams groq_cost_params() {
+  // §4.2.2: ≈150 MB/s compression, ≈200 MB/s decompression. The immature
+  // GroqFlow host loop round-trips every invocation through PCIe at
+  // pageable-memory speed and the MXM runs far below peak on fp32.
+  CostParams p;
+  p.h2d_gbps = 0.25;
+  p.d2h_gbps = 0.5;
+  p.compute_gflops = 20.0;
+  p.launch_overhead_s = 1e-3;
+  p.per_node_overhead_s = 2e-5;
+  return p;
+}
+
+CostParams ipu_cost_params() {
+  // §4.2.2: ≈1.2 GB/s compression flat across CR (ingest-bound); up to
+  // 21 GB/s decompression at high CR (ingest shrinks with CR; results
+  // feed the on-device training loop rather than returning to host).
+  CostParams p;
+  p.h2d_gbps = 1.3;
+  p.d2h_gbps = 40.0;
+  p.compute_gflops = 4'000.0;
+  p.launch_overhead_s = 2e-4;
+  p.per_node_overhead_s = 5e-6;
+  p.indexed_element_overhead_s = 1.2e-8;  // per-tile exchange per element
+  p.pressure_coeff = 0.75;                // spill to streaming memory
+  p.pressure_ocm_bytes = 900ull << 20;
+  return p;
+}
+
+CostParams a100_cost_params() {
+  // §4.2.2 / Fig. 14: ≈2.5 GB/s decompression, flat across CR — the
+  // pageable-memory device→host copy of the uncompressed result
+  // dominates, so time tracks output size, not CR.
+  CostParams p;
+  p.h2d_gbps = 20.0;
+  p.d2h_gbps = 2.6;
+  p.compute_gflops = 19'500.0;
+  p.launch_overhead_s = 5e-5;
+  p.per_node_overhead_s = 2e-6;
+  return p;
+}
+
+CostParams cpu_cost_params() {
+  // Reference host execution: no transfer at all.
+  CostParams p;
+  p.h2d_gbps = 1e6;
+  p.d2h_gbps = 1e6;
+  p.compute_gflops = 50.0;
+  p.launch_overhead_s = 1e-6;
+  p.per_node_overhead_s = 1e-7;
+  return p;
+}
+
+}  // namespace aic::accel

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "accel/spec.hpp"
+#include "graph/executor.hpp"
+
+namespace aic::accel {
+
+/// Calibrated performance parameters of one platform. Values are
+/// *effective* host-observed figures fitted to the throughputs §4.2.2
+/// reports (see DESIGN.md §5); they are not datasheet peaks.
+struct CostParams {
+  /// Host→device bandwidth applied to all graph inputs (GB/s).
+  double h2d_gbps = 10.0;
+  /// Device→host bandwidth applied to all marked outputs (GB/s).
+  double d2h_gbps = 10.0;
+  /// Effective fp32 compute throughput (GFLOP/s).
+  double compute_gflops = 1000.0;
+  /// Fixed cost of one invocation (kernel/section launch, host sync).
+  double launch_overhead_s = 1e-4;
+  /// Cost per graph node (scheduling/dispatch).
+  double per_node_overhead_s = 1e-6;
+  /// Dataflow pipeline fill latency: the invocation cannot complete
+  /// faster than this, producing the flat small-batch region of
+  /// Fig. 12/13.
+  double pipeline_fill_s = 0.0;
+  /// Extra cost per plane-level matmul when the smallest matmul output
+  /// plane is below `small_plane_threshold_bytes` — SN30's small-tensor
+  /// overhead (§4.2.2: CR 16 slower than CR 4/7.11).
+  double small_plane_overhead_s = 0.0;
+  std::size_t small_plane_threshold_bytes = 0;
+  /// Cost per element moved by gather/scatter. Indexed moves bypass the
+  /// bulk exchange paths; on the IPU this makes the §3.5.2 variant
+  /// 1.5-2.7× slower than plain DCT+Chop (Fig. 17).
+  double indexed_element_overhead_s = 0.0;
+  /// Memory-pressure degradation: transfer and compute slow down by
+  /// 1 / (1 − coeff · resident/ocm) as the working set approaches
+  /// `pressure_ocm_bytes` (tile spilling). 0 disables the term.
+  double pressure_coeff = 0.0;
+  std::size_t pressure_ocm_bytes = 0;
+};
+
+/// One simulated invocation, decomposed the way the paper reasons about
+/// host-measured time.
+struct SimTime {
+  double h2d_s = 0.0;
+  double compute_s = 0.0;
+  double d2h_s = 0.0;
+  double overhead_s = 0.0;
+
+  double total_s() const { return h2d_s + compute_s + d2h_s + overhead_s; }
+};
+
+/// Applies the cost model to an execution trace.
+SimTime simulate(const CostParams& params, ArchClass arch,
+                 const graph::ExecutionTrace& trace);
+
+/// Host-observed throughput in GB/s for `payload_bytes` of *uncompressed*
+/// data processed in `seconds` — the metric of Figs. 10-17.
+double throughput_gbps(std::size_t payload_bytes, double seconds);
+
+/// Calibrated parameters per platform (DESIGN.md §5 table).
+CostParams cs2_cost_params();
+CostParams sn30_cost_params();
+CostParams groq_cost_params();
+CostParams ipu_cost_params();
+CostParams a100_cost_params();
+CostParams cpu_cost_params();
+
+}  // namespace aic::accel

@@ -1,0 +1,40 @@
+#include "accel/registry.hpp"
+
+#include <stdexcept>
+
+namespace aic::accel {
+
+std::string platform_name(Platform platform) {
+  switch (platform) {
+    case Platform::kCs2: return "cs2";
+    case Platform::kSn30: return "sn30";
+    case Platform::kGroq: return "groq";
+    case Platform::kIpu: return "ipu";
+    case Platform::kA100: return "a100";
+    case Platform::kCpu: return "cpu";
+  }
+  return "?";
+}
+
+Accelerator make_accelerator(Platform platform) {
+  switch (platform) {
+    case Platform::kCs2: return {cs2_spec(), cs2_cost_params()};
+    case Platform::kSn30: return {sn30_spec(), sn30_cost_params()};
+    case Platform::kGroq: return {groq_spec(), groq_cost_params()};
+    case Platform::kIpu: return {ipu_spec(), ipu_cost_params()};
+    case Platform::kA100: return {a100_spec(), a100_cost_params()};
+    case Platform::kCpu: return {cpu_spec(), cpu_cost_params()};
+  }
+  throw std::invalid_argument("unknown platform");
+}
+
+std::vector<Platform> paper_accelerators() {
+  return {Platform::kCs2, Platform::kSn30, Platform::kGroq, Platform::kIpu};
+}
+
+std::vector<Platform> all_platforms() {
+  return {Platform::kCs2, Platform::kSn30, Platform::kGroq,
+          Platform::kIpu, Platform::kA100, Platform::kCpu};
+}
+
+}  // namespace aic::accel

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+
+namespace aic::accel {
+
+/// The platforms of Table 1 plus the paper's two comparison targets.
+enum class Platform { kCs2, kSn30, kGroq, kIpu, kA100, kCpu };
+
+std::string platform_name(Platform platform);
+
+/// Builds a simulator with the platform's spec and calibrated costs.
+Accelerator make_accelerator(Platform platform);
+
+/// The four AI accelerators evaluated throughout §4.
+std::vector<Platform> paper_accelerators();
+
+/// All simulated platforms (accelerators + A100 + CPU).
+std::vector<Platform> all_platforms();
+
+}  // namespace aic::accel

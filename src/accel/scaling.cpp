@@ -1,0 +1,22 @@
+#include "accel/scaling.hpp"
+
+#include <stdexcept>
+
+namespace aic::accel {
+
+SimTime estimate_data_parallel(const Accelerator& device,
+                               const graph::Graph& shard_graph,
+                               const ScalingConfig& config) {
+  if (config.devices == 0) {
+    throw std::invalid_argument("estimate_data_parallel: devices must be >= 1");
+  }
+  // Devices run concurrently on their shards (each has its own host
+  // link in GroqNode/Bow-Pod deployments), so the critical path is one
+  // shard plus the serial host fan-out over all devices.
+  SimTime time = device.estimate(shard_graph);
+  time.overhead_s += config.per_device_overhead_s *
+                     static_cast<double>(config.devices - 1);
+  return time;
+}
+
+}  // namespace aic::accel

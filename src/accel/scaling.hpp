@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+#include "accel/accelerator.hpp"
+
+namespace aic::accel {
+
+/// Data-parallel multi-device scaling (§4.2.2 "Comparison with GPU":
+/// "both the GroqChip and IPU are generally deployed with other
+/// GroqChips or IPUs ... GroqChip and IPU rely on scalability to
+/// outperform GPU").
+///
+/// The batch is sharded evenly across `devices`; each device runs the
+/// shard graph independently (the codec has no cross-sample
+/// dependencies), and the host pays a per-device fan-out/coordination
+/// cost. Deployment references: Graphcore Bow-Pod64 (64 IPUs),
+/// GroqNode (8 GroqChips).
+struct ScalingConfig {
+  std::size_t devices = 1;
+  /// Host-side per-device dispatch/collection cost per invocation.
+  double per_device_overhead_s = 1e-4;
+};
+
+/// Simulated time of one invocation of `shard_graph` replicated over
+/// `config.devices` devices. `shard_graph` must already describe ONE
+/// device's share of the batch. Throws when the shard does not compile.
+SimTime estimate_data_parallel(const Accelerator& device,
+                               const graph::Graph& shard_graph,
+                               const ScalingConfig& config);
+
+}  // namespace aic::accel

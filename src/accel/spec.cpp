@@ -1,0 +1,133 @@
+#include "accel/spec.hpp"
+
+namespace aic::accel {
+
+using graph::OpKind;
+
+std::string arch_name(ArchClass arch) {
+  switch (arch) {
+    case ArchClass::kDataflow: return "Dataflow";
+    case ArchClass::kSimd: return "SIMD";
+    case ArchClass::kMimd: return "MIMD";
+    case ArchClass::kGpu: return "GPU";
+    case ArchClass::kCpu: return "CPU";
+  }
+  return "?";
+}
+
+std::set<OpKind> portable_op_set() {
+  // §3.1: matmul/elementwise/movement exist everywhere; bit shifts and
+  // indexed ops do not.
+  return {OpKind::kInput,     OpKind::kConstant, OpKind::kMatMul,
+          OpKind::kAdd,       OpKind::kMul,      OpKind::kRelu,
+          OpKind::kReshape,   OpKind::kTranspose, OpKind::kQuantize,
+          OpKind::kDequantize};
+}
+
+std::set<OpKind> indexed_op_set() {
+  std::set<OpKind> ops = portable_op_set();
+  ops.insert(OpKind::kGather);
+  ops.insert(OpKind::kScatter);
+  return ops;
+}
+
+std::set<OpKind> full_op_set() {
+  std::set<OpKind> ops = indexed_op_set();
+  ops.insert(OpKind::kBitShiftLeft);
+  ops.insert(OpKind::kBitShiftRight);
+  ops.insert(OpKind::kBitAnd);
+  ops.insert(OpKind::kBitOr);
+  ops.insert(OpKind::kBitNot);
+  return ops;
+}
+
+AcceleratorSpec cs2_spec() {
+  AcceleratorSpec spec;
+  spec.name = "cerebras-cs2";
+  spec.arch = ArchClass::kDataflow;
+  spec.compute_units = 850'000;
+  spec.ocm_bytes = 40ull << 30;         // 40 GB wafer SRAM
+  spec.ocm_per_cu_bytes = 48 << 10;     // 48 KB per PE
+  spec.software = "TF, PT, CSL";
+  spec.half_format = tensor::HalfFormat::kFp16;
+  spec.supported_ops = portable_op_set();
+  spec.resnet34_train_samples_per_s = 205.0;  // §4.2.2
+  spec.tdp_watts = 20000.0;  // wafer-scale system draw (~20-23 kW)
+  return spec;
+}
+
+AcceleratorSpec sn30_spec() {
+  AcceleratorSpec spec;
+  spec.name = "sambanova-sn30";
+  spec.arch = ArchClass::kDataflow;
+  spec.compute_units = 1280;            // PCUs per RDU
+  spec.ocm_bytes = 640ull << 20;        // 640 MB of PMUs
+  spec.ocm_per_cu_bytes = 512 << 10;    // 0.5 MB per PMU
+  spec.software = "SF, PT";
+  spec.half_format = tensor::HalfFormat::kBf16;  // §3.1
+  spec.supported_ops = portable_op_set();
+  spec.max_plane_bytes = 512 << 10;     // one plane must fit one PMU
+  spec.resnet34_train_samples_per_s = 570.0;  // §4.2.2
+  spec.tdp_watts = 1250.0;  // one RDU's share of a DataScale node
+  return spec;
+}
+
+AcceleratorSpec groq_spec() {
+  AcceleratorSpec spec;
+  spec.name = "groq-groqchip";
+  spec.arch = ArchClass::kSimd;
+  spec.compute_units = 5120;
+  spec.ocm_bytes = 230ull << 20;        // 230 MB
+  spec.ocm_per_cu_bytes = 46 << 10;     // ≈0.045 MB per ALU
+  spec.software = "PT, Keras, ONNX";
+  spec.half_format = tensor::HalfFormat::kFp16;
+  spec.supported_ops = portable_op_set();
+  spec.max_matmul_dim = 320;            // MXM tile limit [9]
+  spec.max_batch = 1000;                // static schedule limit (§4.2.2)
+  spec.tdp_watts = 275.0;               // GroqCard max draw
+  return spec;
+}
+
+AcceleratorSpec ipu_spec() {
+  AcceleratorSpec spec;
+  spec.name = "graphcore-ipu";
+  spec.arch = ArchClass::kMimd;
+  spec.compute_units = 1472;
+  spec.ocm_bytes = 900ull << 20;        // 900 MB distributed SRAM
+  spec.ocm_per_cu_bytes = 624 << 10;    // ≈0.61 MB per core
+  spec.software = "TF, PT, PopArt";
+  spec.half_format = tensor::HalfFormat::kFp16;
+  spec.supported_ops = indexed_op_set();  // torch.scatter/gather (§3.5.2)
+  spec.tdp_watts = 300.0;                 // Bow IPU board-level draw
+  return spec;
+}
+
+AcceleratorSpec a100_spec() {
+  AcceleratorSpec spec;
+  spec.name = "nvidia-a100";
+  spec.arch = ArchClass::kGpu;
+  spec.compute_units = 108;             // SMs
+  spec.ocm_bytes = 80ull << 30;         // 80 GB HBM (treated as on-device)
+  spec.ocm_per_cu_bytes = 192 << 10;    // shared memory + L1 per SM
+  spec.software = "PT, TF, CUDA";
+  spec.half_format = tensor::HalfFormat::kFp16;
+  spec.supported_ops = full_op_set();
+  spec.tdp_watts = 300.0;  // A100 PCIe TDP
+  return spec;
+}
+
+AcceleratorSpec cpu_spec() {
+  AcceleratorSpec spec;
+  spec.name = "cpu-reference";
+  spec.arch = ArchClass::kCpu;
+  spec.compute_units = 64;
+  spec.ocm_bytes = 256ull << 30;
+  spec.ocm_per_cu_bytes = 1 << 20;
+  spec.software = "native";
+  spec.half_format = tensor::HalfFormat::kFp16;
+  spec.supported_ops = full_op_set();
+  spec.tdp_watts = 250.0;
+  return spec;
+}
+
+}  // namespace aic::accel

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "graph/op.hpp"
+#include "tensor/dtype.hpp"
+
+namespace aic::accel {
+
+/// Architecture class from Table 1.
+enum class ArchClass { kDataflow, kSimd, kMimd, kGpu, kCpu };
+
+std::string arch_name(ArchClass arch);
+
+/// Static description of one platform: the Table 1 row plus the
+/// programmability constraints §3.1 derives from it. All byte quantities
+/// are exact powers-of-ten/two approximations of the published specs.
+struct AcceleratorSpec {
+  std::string name;
+  ArchClass arch = ArchClass::kCpu;
+  std::size_t compute_units = 0;
+  std::size_t ocm_bytes = 0;          // on-chip memory capacity
+  std::size_t ocm_per_cu_bytes = 0;   // per-compute-unit local memory
+  std::string software;               // supported frameworks (Table 1)
+  tensor::HalfFormat half_format = tensor::HalfFormat::kFp16;  // §3.1
+
+  /// PyTorch operators the platform's frontend can lower (§3.1).
+  std::set<graph::OpKind> supported_ops;
+
+  /// 0 = unlimited. GroqChip's MXM handles at most 320×320 operands [9].
+  std::size_t max_matmul_dim = 0;
+  /// 0 = unlimited. SN30: one PMU holds 0.5 MB, bounding any single
+  /// tensor plane routed through it (§3.5.1).
+  std::size_t max_plane_bytes = 0;
+  /// 0 = unlimited. GroqChip's static instruction schedule exhausts
+  /// on-chip memory beyond batch 1000 (§4.2.2).
+  std::size_t max_batch = 0;
+  /// Fraction of OCM usable for data (rest: schedules, buffers).
+  double ocm_usable_fraction = 1.0;
+
+  /// Measured ResNet34/CIFAR-10 training throughput (samples/s) the
+  /// paper reports for the pipeline-overlap analysis (§4.2.2); 0 when
+  /// the paper gives none.
+  double resnet34_train_samples_per_s = 0.0;
+
+  /// Approximate system/board power draw (public figures). The paper's
+  /// key-takeaway caveat — "power differences are not accounted for in
+  /// this evaluation" — is addressed by the energy-normalized comparison
+  /// in bench_energy.
+  double tdp_watts = 0.0;
+};
+
+/// The operator set every platform's PyTorch frontend supports.
+std::set<graph::OpKind> portable_op_set();
+
+/// portable set + gather/scatter (IPU, GPU, CPU).
+std::set<graph::OpKind> indexed_op_set();
+
+/// Everything, including bitwise ops (CPU and CUDA only).
+std::set<graph::OpKind> full_op_set();
+
+// Table 1 rows.
+AcceleratorSpec cs2_spec();
+AcceleratorSpec sn30_spec();
+AcceleratorSpec groq_spec();
+AcceleratorSpec ipu_spec();
+AcceleratorSpec a100_spec();
+AcceleratorSpec cpu_spec();
+
+}  // namespace aic::accel

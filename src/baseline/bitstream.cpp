@@ -1,0 +1,49 @@
+#include "baseline/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace aic::baseline {
+
+void BitWriter::write_bits(std::uint32_t value, std::size_t count) {
+  if (count > 32) throw std::invalid_argument("write_bits: count > 32");
+  for (std::size_t i = count; i-- > 0;) {
+    const std::uint8_t bit = static_cast<std::uint8_t>((value >> i) & 1u);
+    current_ = static_cast<std::uint8_t>((current_ << 1) | bit);
+    if (++used_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      used_ = 0;
+    }
+  }
+  bit_count_ += count;
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (used_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(current_ << (8 - used_)));
+    current_ = 0;
+    used_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::uint32_t BitReader::read_bits(std::size_t count) {
+  if (count > 32) throw std::invalid_argument("read_bits: count > 32");
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    value = (value << 1) | static_cast<std::uint32_t>(read_bit());
+  }
+  return value;
+}
+
+bool BitReader::read_bit() {
+  if (position_ >= bytes_.size() * 8) {
+    throw std::out_of_range("BitReader: past end of stream");
+  }
+  const std::size_t byte = position_ / 8;
+  const std::size_t offset = 7 - position_ % 8;
+  ++position_;
+  return (bytes_[byte] >> offset) & 1u;
+}
+
+}  // namespace aic::baseline

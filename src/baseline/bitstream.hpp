@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aic::baseline {
+
+/// Append-only bit buffer (MSB-first within each byte).
+///
+/// BitWriter/BitReader are the primitive the paper's §3.1 operator audit
+/// is about: every variable-length encoding below (RLE symbols, Huffman
+/// codes) bottoms out in the shift/mask operations these classes perform —
+/// operations PyTorch does not expose on most AI accelerators, which is
+/// why DCT+Chop deliberately avoids this entire layer.
+class BitWriter {
+ public:
+  /// Appends the `count` low bits of `value`, most significant first.
+  void write_bits(std::uint32_t value, std::size_t count);
+
+  /// Pads the final partial byte with zeros and returns the buffer.
+  std::vector<std::uint8_t> finish();
+
+  /// Bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  std::size_t used_ = 0;  // bits used in `current_`
+  std::size_t bit_count_ = 0;
+};
+
+/// MSB-first reader over a byte buffer produced by BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  /// Reads `count` bits (<= 32). Throws std::out_of_range past the end.
+  std::uint32_t read_bits(std::size_t count);
+
+  /// Reads a single bit.
+  bool read_bit();
+
+  std::size_t bits_remaining() const {
+    return bytes_.size() * 8 - position_;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace aic::baseline

@@ -1,0 +1,71 @@
+#include "baseline/color_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace aic::baseline {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ColorQuantCodec::ColorQuantCodec(std::size_t bits, float lo, float hi)
+    : bits_(bits), levels_(std::size_t{1} << bits), lo_(lo), hi_(hi) {
+  if (bits_ == 0 || bits_ > 16) {
+    throw std::invalid_argument("ColorQuantCodec: bits must be in [1, 16]");
+  }
+  if (!(lo_ < hi_)) {
+    throw std::invalid_argument("ColorQuantCodec: lo must be < hi");
+  }
+}
+
+std::string ColorQuantCodec::name() const {
+  std::ostringstream out;
+  out << "color-quant(bits=" << bits_ << ")";
+  return out.str();
+}
+
+double ColorQuantCodec::compression_ratio() const {
+  return 32.0 / static_cast<double>(bits_);
+}
+
+Shape ColorQuantCodec::compressed_shape(const Shape& input) const {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("ColorQuantCodec: input must be BCHW");
+  }
+  // Level indices are stored one per value; the nominal rate accounts for
+  // their true bit width.
+  return input;
+}
+
+Tensor ColorQuantCodec::compress(const Tensor& input) const {
+  Tensor out(compressed_shape(input.shape()));
+  const float span = hi_ - lo_;
+  const float max_level = static_cast<float>(levels_ - 1);
+  const auto in = input.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float normalized = std::clamp((in[i] - lo_) / span, 0.0f, 1.0f);
+    dst[i] = std::round(normalized * max_level);
+  }
+  return out;
+}
+
+Tensor ColorQuantCodec::decompress(const Tensor& packed,
+                                   const Shape& original) const {
+  if (packed.shape() != original) {
+    throw std::invalid_argument("ColorQuantCodec: packed shape mismatch");
+  }
+  Tensor out(original);
+  const float span = hi_ - lo_;
+  const float max_level = static_cast<float>(levels_ - 1);
+  const auto in = packed.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    dst[i] = lo_ + span * (in[i] / max_level);
+  }
+  return out;
+}
+
+}  // namespace aic::baseline

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/codec.hpp"
+
+namespace aic::baseline {
+
+/// Uniform color quantization (Heckbert 1982 family, §2.2): values are
+/// snapped to 2^bits evenly spaced levels over a fixed [lo, hi] range.
+/// Fixed rate by construction (bits per value), hence CR = 32/bits for
+/// fp32 inputs. Serves as the simplest lossy baseline in the ablations.
+class ColorQuantCodec final : public core::Codec {
+ public:
+  /// `bits` in [1, 16]; `lo`/`hi` is the representable range.
+  ColorQuantCodec(std::size_t bits, float lo = 0.0f, float hi = 1.0f);
+
+  std::string name() const override;
+  double compression_ratio() const override;
+  tensor::Shape compressed_shape(const tensor::Shape& input) const override;
+  tensor::Tensor compress(const tensor::Tensor& input) const override;
+  tensor::Tensor decompress(const tensor::Tensor& packed,
+                            const tensor::Shape& original) const override;
+
+  std::size_t levels() const { return levels_; }
+
+ private:
+  std::size_t bits_;
+  std::size_t levels_;
+  float lo_;
+  float hi_;
+};
+
+}  // namespace aic::baseline

@@ -1,0 +1,129 @@
+#include "baseline/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace aic::baseline {
+namespace {
+
+struct TreeNode {
+  std::uint64_t weight;
+  int symbol;  // -1 for internal
+  int left = -1, right = -1;
+};
+
+// Depth-first walk assigning code lengths.
+void assign_lengths(const std::vector<TreeNode>& nodes, int index,
+                    std::uint8_t depth,
+                    std::map<std::uint16_t, std::uint8_t>& lengths) {
+  const TreeNode& node = nodes[static_cast<std::size_t>(index)];
+  if (node.symbol >= 0) {
+    // A single-symbol alphabet still needs one bit.
+    lengths[static_cast<std::uint16_t>(node.symbol)] =
+        std::max<std::uint8_t>(depth, 1);
+    return;
+  }
+  assign_lengths(nodes, node.left, depth + 1, lengths);
+  assign_lengths(nodes, node.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+HuffmanCoder::HuffmanCoder(const std::vector<std::uint16_t>& symbols) {
+  if (symbols.empty()) {
+    throw std::invalid_argument("HuffmanCoder: empty symbol stream");
+  }
+  std::map<std::uint16_t, std::uint64_t> histogram;
+  for (std::uint16_t s : symbols) ++histogram[s];
+
+  std::vector<TreeNode> nodes;
+  using Entry = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (const auto& [symbol, weight] : histogram) {
+    nodes.push_back({weight, static_cast<int>(symbol)});
+    heap.emplace(weight, static_cast<int>(nodes.size()) - 1);
+  }
+  while (heap.size() > 1) {
+    const auto [w1, i1] = heap.top();
+    heap.pop();
+    const auto [w2, i2] = heap.top();
+    heap.pop();
+    nodes.push_back({w1 + w2, -1, i1, i2});
+    heap.emplace(w1 + w2, static_cast<int>(nodes.size()) - 1);
+  }
+  assign_lengths(nodes, heap.top().second, 0, lengths_);
+  build_canonical_codes();
+}
+
+HuffmanCoder::HuffmanCoder(
+    const std::map<std::uint16_t, std::uint8_t>& lengths)
+    : lengths_(lengths) {
+  if (lengths_.empty()) {
+    throw std::invalid_argument("HuffmanCoder: empty length table");
+  }
+  build_canonical_codes();
+}
+
+void HuffmanCoder::build_canonical_codes() {
+  // Canonical ordering: by (length, symbol).
+  std::vector<std::pair<std::uint8_t, std::uint16_t>> order;
+  order.reserve(lengths_.size());
+  for (const auto& [symbol, length] : lengths_) {
+    order.emplace_back(length, symbol);
+  }
+  std::sort(order.begin(), order.end());
+
+  std::uint32_t code = 0;
+  std::uint8_t previous_length = order.front().first;
+  for (const auto& [length, symbol] : order) {
+    code <<= (length - previous_length);
+    previous_length = length;
+    codes_[symbol] = code;
+    decode_[{length, code}] = symbol;
+    ++code;
+  }
+}
+
+void HuffmanCoder::encode(const std::vector<std::uint16_t>& symbols,
+                          BitWriter& writer) const {
+  for (std::uint16_t s : symbols) {
+    const auto it = codes_.find(s);
+    if (it == codes_.end()) {
+      throw std::invalid_argument("HuffmanCoder: symbol not in code");
+    }
+    writer.write_bits(it->second, lengths_.at(s));
+  }
+}
+
+std::vector<std::uint16_t> HuffmanCoder::decode(BitReader& reader,
+                                                std::size_t count) const {
+  std::vector<std::uint16_t> symbols;
+  symbols.reserve(count);
+  while (symbols.size() < count) {
+    std::uint32_t code = 0;
+    std::uint8_t length = 0;
+    for (;;) {
+      code = (code << 1) | static_cast<std::uint32_t>(reader.read_bit());
+      ++length;
+      const auto it = decode_.find({length, code});
+      if (it != decode_.end()) {
+        symbols.push_back(it->second);
+        break;
+      }
+      if (length > 32) {
+        throw std::invalid_argument("HuffmanCoder: invalid bitstream");
+      }
+    }
+  }
+  return symbols;
+}
+
+std::size_t HuffmanCoder::encoded_bits(
+    const std::vector<std::uint16_t>& symbols) const {
+  std::size_t bits = 0;
+  for (std::uint16_t s : symbols) bits += lengths_.at(s);
+  return bits;
+}
+
+}  // namespace aic::baseline

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "baseline/bitstream.hpp"
+
+namespace aic::baseline {
+
+/// Canonical Huffman coder over 16-bit symbols.
+///
+/// Used by the JPEG-style entropy stage. Codes are rebuilt per stream from
+/// symbol frequencies and shipped as a (symbol, length) table, exactly the
+/// data-dependent, bit-twiddling machinery that makes VLE schemes
+/// non-portable to the accelerators (§3.1).
+class HuffmanCoder {
+ public:
+  /// Builds a code from the symbol histogram of `symbols`.
+  /// Requires at least one symbol.
+  explicit HuffmanCoder(const std::vector<std::uint16_t>& symbols);
+
+  /// Rebuilds a coder from a canonical (symbol -> code length) table.
+  explicit HuffmanCoder(const std::map<std::uint16_t, std::uint8_t>& lengths);
+
+  /// Encodes symbols into `writer`. Throws on symbols absent from the code.
+  void encode(const std::vector<std::uint16_t>& symbols,
+              BitWriter& writer) const;
+
+  /// Decodes exactly `count` symbols from `reader`.
+  std::vector<std::uint16_t> decode(BitReader& reader,
+                                    std::size_t count) const;
+
+  /// The canonical code-length table (serializable stream header).
+  const std::map<std::uint16_t, std::uint8_t>& lengths() const {
+    return lengths_;
+  }
+
+  /// Total bits needed to encode `symbols` with this code (no header).
+  std::size_t encoded_bits(const std::vector<std::uint16_t>& symbols) const;
+
+ private:
+  void build_canonical_codes();
+
+  std::map<std::uint16_t, std::uint8_t> lengths_;
+  std::map<std::uint16_t, std::uint32_t> codes_;
+  // Decode table: (length, code) -> symbol.
+  std::map<std::pair<std::uint8_t, std::uint32_t>, std::uint16_t> decode_;
+};
+
+}  // namespace aic::baseline

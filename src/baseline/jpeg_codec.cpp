@@ -1,0 +1,241 @@
+#include "baseline/jpeg_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baseline/huffman.hpp"
+#include "baseline/rle.hpp"
+#include "core/dct.hpp"
+#include "core/zigzag.hpp"
+#include "tensor/matmul.hpp"
+
+namespace aic::baseline {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr std::size_t kBlock = 8;
+
+// Magnitude category of a coefficient (number of bits of |v|), as in
+// JPEG's size/amplitude split.
+std::uint8_t size_category(std::int32_t v) {
+  std::uint32_t magnitude = static_cast<std::uint32_t>(v < 0 ? -v : v);
+  std::uint8_t bits = 0;
+  while (magnitude != 0) {
+    ++bits;
+    magnitude >>= 1;
+  }
+  return bits;
+}
+
+// Packs an RLE symbol into the 16-bit Huffman alphabet:
+// high byte = zero-run length (clamped to 255), low byte = size category.
+// The EOB symbol {0,0} maps to 0.
+std::uint16_t pack_symbol(const RleSymbol& s) {
+  const std::uint16_t run = std::min<std::uint16_t>(s.zero_run, 255);
+  return static_cast<std::uint16_t>((run << 8) |
+                                    size_category(s.value));
+}
+
+void validate_plane(const Tensor& plane) {
+  if (plane.shape().rank() != 2 || plane.shape()[0] % kBlock != 0 ||
+      plane.shape()[1] % kBlock != 0) {
+    throw std::invalid_argument(
+        "JpegLikeCodec: plane must be rank 2 with block-divisible dims");
+  }
+}
+
+}  // namespace
+
+JpegLikeCodec::JpegLikeCodec(int quality, bool chroma)
+    : quality_(quality),
+      table_(scale_table(
+          chroma ? jpeg_chrominance_table() : jpeg_luminance_table(),
+          quality)) {}
+
+std::vector<std::int32_t> JpegLikeCodec::quantize_plane(
+    const Tensor& plane) const {
+  validate_plane(plane);
+  const std::size_t h = plane.shape()[0];
+  const std::size_t w = plane.shape()[1];
+  const Tensor t = core::dct_matrix(kBlock);
+  const Tensor tt = t.transposed();
+
+  std::vector<std::int32_t> coeffs;
+  coeffs.reserve(h * w);
+  Tensor tile(Shape::matrix(kBlock, kBlock));
+  for (std::size_t bi = 0; bi < h; bi += kBlock) {
+    for (std::size_t bj = 0; bj < w; bj += kBlock) {
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          // [0,1] -> [-128, 127] level shift as in JPEG.
+          tile.at(i, j) = plane.at(bi + i, bj + j) * 255.0f - 128.0f;
+        }
+      }
+      const Tensor d = tensor::matmul(tensor::matmul(t, tile), tt);
+      for (std::size_t k = 0; k < kBlock * kBlock; ++k) {
+        const float q = static_cast<float>(table_[k]);
+        coeffs.push_back(
+            static_cast<std::int32_t>(std::lround(d.at(k) / q)));
+      }
+    }
+  }
+  return coeffs;
+}
+
+JpegLikeCodec::Stream JpegLikeCodec::compress_plane(
+    const Tensor& plane) const {
+  const std::vector<std::int32_t> coeffs = quantize_plane(plane);
+  const auto zigzag = core::zigzag_flat(kBlock);
+
+  // Zig-zag each block, RLE, then pack symbols for the entropy stage.
+  std::vector<std::uint16_t> symbols;
+  std::vector<std::int32_t> amplitudes;
+  const std::size_t blocks = coeffs.size() / 64;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::vector<std::int32_t> scanned(64);
+    for (std::size_t k = 0; k < 64; ++k) {
+      scanned[k] = coeffs[b * 64 + zigzag[k]];
+    }
+    for (const RleSymbol& s : rle_encode(scanned)) {
+      symbols.push_back(pack_symbol(s));
+      amplitudes.push_back(s.value);
+    }
+    symbols.push_back(0xffff);  // block separator (distinct from EOB)
+    amplitudes.push_back(0);
+  }
+
+  const HuffmanCoder coder(symbols);
+  BitWriter writer;
+  // Header: code-length table (16-bit symbol + 8-bit length each).
+  writer.write_bits(static_cast<std::uint32_t>(coder.lengths().size()), 16);
+  for (const auto& [symbol, length] : coder.lengths()) {
+    writer.write_bits(symbol, 16);
+    writer.write_bits(length, 8);
+  }
+  writer.write_bits(static_cast<std::uint32_t>(symbols.size()), 32);
+  // Body: interleave each Huffman symbol with its amplitude bits.
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const std::uint16_t s = symbols[i];
+    std::vector<std::uint16_t> one{s};
+    coder.encode(one, writer);
+    if (s != 0xffff) {
+      const std::uint8_t category = static_cast<std::uint8_t>(s & 0xff);
+      if (category > 0) {
+        const std::int32_t v = amplitudes[i];
+        writer.write_bits(v < 0 ? 1u : 0u, 1);
+        writer.write_bits(static_cast<std::uint32_t>(v < 0 ? -v : v),
+                          category);
+      }
+    }
+  }
+
+  Stream stream;
+  stream.symbol_count = symbols.size();
+  stream.plane_values = plane.numel();
+  stream.bytes = writer.finish();
+  return stream;
+}
+
+Tensor JpegLikeCodec::dequantize_plane(const std::vector<std::int32_t>& coeffs,
+                                       std::size_t height,
+                                       std::size_t width) const {
+  if (coeffs.size() != height * width) {
+    throw std::invalid_argument("dequantize_plane: coefficient count mismatch");
+  }
+  const Tensor t = core::dct_matrix(kBlock);
+  const Tensor tt = t.transposed();
+  Tensor plane(Shape::matrix(height, width));
+  Tensor tile(Shape::matrix(kBlock, kBlock));
+  std::size_t cursor = 0;
+  for (std::size_t bi = 0; bi < height; bi += kBlock) {
+    for (std::size_t bj = 0; bj < width; bj += kBlock) {
+      for (std::size_t k = 0; k < 64; ++k) {
+        tile.at(k) = static_cast<float>(coeffs[cursor + k]) *
+                     static_cast<float>(table_[k]);
+      }
+      cursor += 64;
+      const Tensor block = tensor::matmul(tensor::matmul(tt, tile), t);
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          const float v = (block.at(i, j) + 128.0f) / 255.0f;
+          plane.at(bi + i, bj + j) = std::clamp(v, 0.0f, 1.0f);
+        }
+      }
+    }
+  }
+  return plane;
+}
+
+Tensor JpegLikeCodec::decompress_plane(const Stream& stream,
+                                       std::size_t height,
+                                       std::size_t width) const {
+  BitReader reader(stream.bytes);
+  const std::size_t table_size = reader.read_bits(16);
+  std::map<std::uint16_t, std::uint8_t> lengths;
+  for (std::size_t i = 0; i < table_size; ++i) {
+    const std::uint16_t symbol =
+        static_cast<std::uint16_t>(reader.read_bits(16));
+    lengths[symbol] = static_cast<std::uint8_t>(reader.read_bits(8));
+  }
+  const HuffmanCoder coder(lengths);
+  const std::size_t symbol_count = reader.read_bits(32);
+
+  std::vector<std::int32_t> coeffs;
+  coeffs.reserve(height * width);
+  const auto zigzag = core::zigzag_flat(kBlock);
+  std::vector<RleSymbol> block_symbols;
+  for (std::size_t i = 0; i < symbol_count; ++i) {
+    const std::uint16_t s = coder.decode(reader, 1).front();
+    if (s == 0xffff) {
+      // Block separator: materialize the block.
+      const std::vector<std::int32_t> scanned =
+          rle_decode(block_symbols, 64);
+      std::vector<std::int32_t> block(64);
+      for (std::size_t k = 0; k < 64; ++k) block[zigzag[k]] = scanned[k];
+      coeffs.insert(coeffs.end(), block.begin(), block.end());
+      block_symbols.clear();
+      continue;
+    }
+    const std::uint16_t run = s >> 8;
+    const std::uint8_t category = static_cast<std::uint8_t>(s & 0xff);
+    std::int32_t value = 0;
+    if (category > 0) {
+      const bool negative = reader.read_bit();
+      value = static_cast<std::int32_t>(reader.read_bits(category));
+      if (negative) value = -value;
+    }
+    block_symbols.push_back({run, value});
+  }
+  return dequantize_plane(coeffs, height, width);
+}
+
+double JpegLikeCodec::achieved_ratio(const Stream& stream) {
+  return static_cast<double>(stream.plane_values * sizeof(float)) /
+         static_cast<double>(stream.bytes.size());
+}
+
+std::vector<double> nonzero_census(const std::vector<Tensor>& planes,
+                                   int quality) {
+  const JpegLikeCodec codec(quality);
+  std::vector<double> counts(64, 0.0);
+  std::size_t blocks = 0;
+  for (const Tensor& plane : planes) {
+    const std::vector<std::int32_t> coeffs = codec.quantize_plane(plane);
+    const std::size_t plane_blocks = coeffs.size() / 64;
+    for (std::size_t b = 0; b < plane_blocks; ++b) {
+      for (std::size_t k = 0; k < 64; ++k) {
+        if (coeffs[b * 64 + k] != 0) counts[k] += 1.0;
+      }
+    }
+    blocks += plane_blocks;
+  }
+  if (blocks > 0) {
+    for (double& c : counts) c /= static_cast<double>(blocks);
+  }
+  return counts;
+}
+
+}  // namespace aic::baseline

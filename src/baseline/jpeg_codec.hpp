@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/quant_tables.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::baseline {
+
+/// A JPEG-style block codec over float planes in [0, 1]:
+/// 8×8 DCT-II → quantization (quality-scaled Annex K table) → zig-zag →
+/// RLE → Huffman. Unlike the portable DCT+Chop codec, the output is a
+/// *variable-length* bitstream requiring bit shifts — the precise reason
+/// (§3.1) this scheme cannot run on the target accelerators. It exists
+/// here as the Fig. 3 motivation study and as a fidelity reference.
+class JpegLikeCodec {
+ public:
+  /// quality in [1, 100]; `chroma` selects the chrominance base table.
+  explicit JpegLikeCodec(int quality, bool chroma = false);
+
+  /// Quantized DCT coefficients of every 8×8 block, row-major per block.
+  /// Plane values are mapped [0,1] -> [-128, 127] before the transform.
+  /// Output layout: blocks in raster order, 64 coefficients each.
+  std::vector<std::int32_t> quantize_plane(const tensor::Tensor& plane) const;
+
+  /// Full entropy-coded stream for one plane.
+  struct Stream {
+    std::vector<std::uint8_t> bytes;
+    std::size_t symbol_count = 0;
+    std::size_t plane_values = 0;
+  };
+  Stream compress_plane(const tensor::Tensor& plane) const;
+
+  /// Reconstructs a plane from `quantize_plane` output.
+  tensor::Tensor dequantize_plane(const std::vector<std::int32_t>& coeffs,
+                                  std::size_t height,
+                                  std::size_t width) const;
+
+  /// Decodes a full stream back to a plane.
+  tensor::Tensor decompress_plane(const Stream& stream, std::size_t height,
+                                  std::size_t width) const;
+
+  /// Achieved compression ratio of a stream against fp32 plane storage.
+  static double achieved_ratio(const Stream& stream);
+
+  int quality() const { return quality_; }
+  const QuantTable& table() const { return table_; }
+
+ private:
+  int quality_;
+  QuantTable table_;
+};
+
+/// Fig. 3's measurement: fraction of blocks, per coefficient position,
+/// whose quantized DCT coefficient is nonzero. `planes` are H×W tensors
+/// (one colour channel each). Returns a row-major 8×8 matrix of
+/// fractions in [0, 1].
+std::vector<double> nonzero_census(const std::vector<tensor::Tensor>& planes,
+                                   int quality);
+
+}  // namespace aic::baseline

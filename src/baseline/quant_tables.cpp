@@ -1,0 +1,47 @@
+#include "baseline/quant_tables.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aic::baseline {
+
+const QuantTable& jpeg_luminance_table() {
+  static const QuantTable table = {
+      16, 11, 10, 16, 24,  40,  51,  61,   //
+      12, 12, 14, 19, 26,  58,  60,  55,   //
+      14, 13, 16, 24, 40,  57,  69,  56,   //
+      14, 17, 22, 29, 51,  87,  80,  62,   //
+      18, 22, 37, 56, 68,  109, 103, 77,   //
+      24, 35, 55, 64, 81,  104, 113, 92,   //
+      49, 64, 78, 87, 103, 121, 120, 101,  //
+      72, 92, 95, 98, 112, 100, 103, 99};
+  return table;
+}
+
+const QuantTable& jpeg_chrominance_table() {
+  static const QuantTable table = {
+      17, 18, 24, 47, 99, 99, 99, 99,  //
+      18, 21, 26, 66, 99, 99, 99, 99,  //
+      24, 26, 56, 99, 99, 99, 99, 99,  //
+      47, 66, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99};
+  return table;
+}
+
+QuantTable scale_table(const QuantTable& base, int quality) {
+  if (quality < 1 || quality > 100) {
+    throw std::invalid_argument("scale_table: quality must be in [1, 100]");
+  }
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  QuantTable scaled{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    const int value = (static_cast<int>(base[i]) * scale + 50) / 100;
+    scaled[i] = static_cast<std::uint16_t>(std::clamp(value, 1, 255));
+  }
+  return scaled;
+}
+
+}  // namespace aic::baseline

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace aic::baseline {
+
+/// JPEG Annex K quantization tables and the libjpeg quality scaling that
+/// Fig. 3 sweeps (quality factor -> quantization strength).
+using QuantTable = std::array<std::uint16_t, 64>;
+
+/// Standard luminance quantization table (ITU-T T.81 Table K.1).
+const QuantTable& jpeg_luminance_table();
+
+/// Standard chrominance quantization table (ITU-T T.81 Table K.2).
+const QuantTable& jpeg_chrominance_table();
+
+/// Scales a base table by JPEG quality in [1, 100] using the libjpeg
+/// convention: scale = 5000/q for q < 50, else 200 - 2q; entries are
+/// clamped to [1, 255]. quality == 50 returns the base table.
+QuantTable scale_table(const QuantTable& base, int quality);
+
+}  // namespace aic::baseline

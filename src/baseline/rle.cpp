@@ -1,0 +1,44 @@
+#include "baseline/rle.hpp"
+
+#include <stdexcept>
+
+namespace aic::baseline {
+
+std::vector<RleSymbol> rle_encode(const std::vector<std::int32_t>& values) {
+  std::vector<RleSymbol> symbols;
+  std::uint16_t run = 0;
+  for (std::int32_t v : values) {
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    symbols.push_back({run, v});
+    run = 0;
+  }
+  if (run > 0) {
+    symbols.push_back({0, 0});  // end-of-block: all remaining values zero
+  }
+  return symbols;
+}
+
+std::vector<std::int32_t> rle_decode(const std::vector<RleSymbol>& symbols,
+                                     std::size_t length) {
+  std::vector<std::int32_t> values;
+  values.reserve(length);
+  for (const RleSymbol& s : symbols) {
+    if (s.zero_run == 0 && s.value == 0) {
+      // End of block: pad to full length.
+      while (values.size() < length) values.push_back(0);
+      break;
+    }
+    for (std::uint16_t i = 0; i < s.zero_run; ++i) values.push_back(0);
+    values.push_back(s.value);
+  }
+  while (values.size() < length) values.push_back(0);
+  if (values.size() != length) {
+    throw std::invalid_argument("rle_decode: symbols exceed expected length");
+  }
+  return values;
+}
+
+}  // namespace aic::baseline

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aic::baseline {
+
+/// One run-length symbol: `zero_run` zeros followed by `value`.
+struct RleSymbol {
+  std::uint16_t zero_run = 0;
+  std::int32_t value = 0;
+  bool operator==(const RleSymbol&) const = default;
+};
+
+/// Run-length encodes a sequence of integers (typically quantized DCT
+/// coefficients in zig-zag order, where long zero runs dominate — Fig. 2).
+/// A trailing all-zero run is encoded as a single end-of-block symbol
+/// {0, 0} mirroring JPEG's EOB.
+std::vector<RleSymbol> rle_encode(const std::vector<std::int32_t>& values);
+
+/// Inverse of rle_encode; `length` is the expected output size.
+std::vector<std::int32_t> rle_decode(const std::vector<RleSymbol>& symbols,
+                                     std::size_t length);
+
+}  // namespace aic::baseline

@@ -1,0 +1,162 @@
+#include "baseline/sz_like.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "baseline/bitstream.hpp"
+#include "baseline/huffman.hpp"
+
+namespace aic::baseline {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Quantization codes are centred at kZeroCode; code 0 is reserved for
+// "unpredictable" (verbatim fp32 follows in the side stream).
+constexpr std::int32_t kZeroCode = 32768;
+constexpr std::int32_t kMaxCode = 65535;
+
+float lorenzo(const Tensor& plane, std::size_t i, std::size_t j) {
+  const float left = j > 0 ? plane.at(i, j - 1) : 0.0f;
+  const float up = i > 0 ? plane.at(i - 1, j) : 0.0f;
+  const float diag = (i > 0 && j > 0) ? plane.at(i - 1, j - 1) : 0.0f;
+  return left + up - diag;
+}
+
+}  // namespace
+
+SzLikeCodec::SzLikeCodec(double error_bound) : error_bound_(error_bound) {
+  if (!(error_bound_ > 0.0)) {
+    throw std::invalid_argument("SzLikeCodec: error bound must be positive");
+  }
+}
+
+SzLikeCodec::Stream SzLikeCodec::compress_plane(const Tensor& plane) const {
+  if (plane.shape().rank() != 2) {
+    throw std::invalid_argument("SzLikeCodec: plane must be rank 2");
+  }
+  const std::size_t h = plane.shape()[0];
+  const std::size_t w = plane.shape()[1];
+  const double bin = 2.0 * error_bound_;
+
+  Tensor reconstructed(plane.shape());
+  std::vector<std::uint16_t> codes;
+  codes.reserve(h * w);
+  std::vector<float> verbatim;
+
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      const float predicted = lorenzo(reconstructed, i, j);
+      const double residual =
+          static_cast<double>(plane.at(i, j)) - predicted;
+      const std::int64_t q = std::llround(residual / bin);
+      const std::int64_t code = q + kZeroCode;
+      if (code < 1 || code > kMaxCode) {
+        codes.push_back(0);  // unpredictable marker
+        verbatim.push_back(plane.at(i, j));
+        reconstructed.at(i, j) = plane.at(i, j);
+      } else {
+        codes.push_back(static_cast<std::uint16_t>(code));
+        reconstructed.at(i, j) =
+            predicted + static_cast<float>(static_cast<double>(q) * bin);
+      }
+    }
+  }
+
+  // Entropy stage: canonical Huffman over the code histogram.
+  const HuffmanCoder coder(codes);
+  BitWriter writer;
+  writer.write_bits(static_cast<std::uint32_t>(coder.lengths().size()), 16);
+  for (const auto& [symbol, length] : coder.lengths()) {
+    writer.write_bits(symbol, 16);
+    writer.write_bits(length, 8);
+  }
+  writer.write_bits(static_cast<std::uint32_t>(codes.size()), 32);
+  coder.encode(codes, writer);
+  writer.write_bits(static_cast<std::uint32_t>(verbatim.size()), 32);
+  for (float v : verbatim) {
+    writer.write_bits(std::bit_cast<std::uint32_t>(v), 32);
+  }
+
+  Stream stream;
+  stream.values = h * w;
+  stream.unpredictable = verbatim.size();
+  stream.bytes = writer.finish();
+  return stream;
+}
+
+Tensor SzLikeCodec::decompress_plane(const Stream& stream, std::size_t height,
+                                     std::size_t width) const {
+  BitReader reader(stream.bytes);
+  const std::size_t table_size = reader.read_bits(16);
+  std::map<std::uint16_t, std::uint8_t> lengths;
+  for (std::size_t i = 0; i < table_size; ++i) {
+    const std::uint16_t symbol =
+        static_cast<std::uint16_t>(reader.read_bits(16));
+    lengths[symbol] = static_cast<std::uint8_t>(reader.read_bits(8));
+  }
+  const HuffmanCoder coder(lengths);
+  const std::size_t code_count = reader.read_bits(32);
+  if (code_count != height * width) {
+    throw std::invalid_argument("SzLikeCodec: code count mismatch");
+  }
+  const std::vector<std::uint16_t> codes = coder.decode(reader, code_count);
+  const std::size_t verbatim_count = reader.read_bits(32);
+  std::vector<float> verbatim;
+  verbatim.reserve(verbatim_count);
+  for (std::size_t i = 0; i < verbatim_count; ++i) {
+    verbatim.push_back(std::bit_cast<float>(reader.read_bits(32)));
+  }
+
+  const double bin = 2.0 * error_bound_;
+  Tensor plane(Shape::matrix(height, width));
+  std::size_t cursor = 0;
+  std::size_t verbatim_cursor = 0;
+  for (std::size_t i = 0; i < height; ++i) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const std::uint16_t code = codes[cursor++];
+      if (code == 0) {
+        plane.at(i, j) = verbatim.at(verbatim_cursor++);
+      } else {
+        const std::int64_t q =
+            static_cast<std::int64_t>(code) - kZeroCode;
+        plane.at(i, j) = lorenzo(plane, i, j) +
+                         static_cast<float>(static_cast<double>(q) * bin);
+      }
+    }
+  }
+  return plane;
+}
+
+double SzLikeCodec::achieved_ratio(const Stream& stream) {
+  return static_cast<double>(stream.values * sizeof(float)) /
+         static_cast<double>(stream.bytes.size());
+}
+
+Tensor SzLikeCodec::round_trip(const Tensor& input, double* ratio_out) const {
+  if (input.shape().rank() != 4) {
+    throw std::invalid_argument("SzLikeCodec: input must be BCHW");
+  }
+  Tensor out(input.shape());
+  double ratio_acc = 0.0;
+  std::size_t planes = 0;
+  for (std::size_t b = 0; b < input.shape()[0]; ++b) {
+    for (std::size_t c = 0; c < input.shape()[1]; ++c) {
+      const Stream stream = compress_plane(input.slice_plane(b, c));
+      ratio_acc += achieved_ratio(stream);
+      ++planes;
+      out.set_plane(b, c,
+                    decompress_plane(stream, input.shape()[2],
+                                     input.shape()[3]));
+    }
+  }
+  if (ratio_out != nullptr && planes > 0) {
+    *ratio_out = ratio_acc / static_cast<double>(planes);
+  }
+  return out;
+}
+
+}  // namespace aic::baseline

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace aic::baseline {
+
+/// An error-bounded predictive codec in the style of SZ (Di & Cappello
+/// 2016) — the compressor family the paper cites as the CPU/GPU state
+/// of the art that *cannot* be ported to the accelerators (§2.2, §5).
+///
+/// Per plane, in raster order:
+///   1. 2-D Lorenzo prediction: p(i,j) = x(i-1,j) + x(i,j-1) − x(i-1,j-1)
+///      using already-*reconstructed* neighbours (so the decoder stays in
+///      lockstep and the bound is honoured);
+///   2. linear quantization of the prediction residual with bin width
+///      2·error_bound — every reconstructed value is within error_bound
+///      of the original by construction;
+///   3. entropy coding of the quantization codes (RLE of the dominant
+///      zero bin + canonical Huffman), producing a *variable-length*
+///      bitstream — the stage whose bit-level operators no accelerator
+///      frontend exposes.
+///
+/// Unpredictable points (residual outside the code range) are stored
+/// verbatim as fp32, as in SZ.
+class SzLikeCodec {
+ public:
+  explicit SzLikeCodec(double error_bound);
+
+  struct Stream {
+    std::vector<std::uint8_t> bytes;
+    std::size_t values = 0;
+    std::size_t unpredictable = 0;
+  };
+
+  /// Compresses one H×W plane into an error-bounded stream.
+  Stream compress_plane(const tensor::Tensor& plane) const;
+
+  /// Exact inverse of compress_plane up to the error bound.
+  tensor::Tensor decompress_plane(const Stream& stream, std::size_t height,
+                                  std::size_t width) const;
+
+  /// Achieved ratio against fp32 storage.
+  static double achieved_ratio(const Stream& stream);
+
+  /// Convenience: per-plane round trip of a BCHW tensor, returning the
+  /// mean achieved compression ratio via `ratio_out` when non-null.
+  tensor::Tensor round_trip(const tensor::Tensor& input,
+                            double* ratio_out = nullptr) const;
+
+  double error_bound() const { return error_bound_; }
+
+ private:
+  double error_bound_;
+};
+
+}  // namespace aic::baseline

@@ -1,0 +1,293 @@
+#include "baseline/zfp_like.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "baseline/bitstream.hpp"
+
+namespace aic::baseline {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr std::size_t kBlock = 4;
+constexpr std::size_t kBlockValues = kBlock * kBlock;
+// Fixed-point significand precision used inside a block.
+constexpr int kPrecision = 26;
+constexpr std::uint32_t kNegabinaryMask = 0xaaaaaaaau;
+
+std::uint32_t to_negabinary(std::int32_t x) {
+  const std::uint32_t u = static_cast<std::uint32_t>(x);
+  return (u + kNegabinaryMask) ^ kNegabinaryMask;
+}
+
+std::int32_t from_negabinary(std::uint32_t u) {
+  return static_cast<std::int32_t>((u ^ kNegabinaryMask) - kNegabinaryMask);
+}
+
+// Total-sequency traversal order of a 4×4 block (low frequencies first),
+// the 2-D analogue of ZFP's perm_2 table.
+const std::array<std::size_t, kBlockValues>& sequency_order() {
+  static const std::array<std::size_t, kBlockValues> order = [] {
+    std::array<std::size_t, kBlockValues> o{};
+    std::size_t cursor = 0;
+    for (std::size_t sum = 0; sum <= 2 * (kBlock - 1); ++sum) {
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          if (i + j == sum) o[cursor++] = i * kBlock + j;
+        }
+      }
+    }
+    return o;
+  }();
+  return order;
+}
+
+}  // namespace
+
+void ZfpLikeCodec::fwd_lift(std::int32_t* p, std::size_t stride) {
+  std::int32_t x = p[0 * stride];
+  std::int32_t y = p[1 * stride];
+  std::int32_t z = p[2 * stride];
+  std::int32_t w = p[3 * stride];
+  // ZFP's non-orthogonal range-preserving transform.
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * stride] = x;
+  p[1 * stride] = y;
+  p[2 * stride] = z;
+  p[3 * stride] = w;
+}
+
+void ZfpLikeCodec::inv_lift(std::int32_t* p, std::size_t stride) {
+  std::int32_t x = p[0 * stride];
+  std::int32_t y = p[1 * stride];
+  std::int32_t z = p[2 * stride];
+  std::int32_t w = p[3 * stride];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0 * stride] = x;
+  p[1 * stride] = y;
+  p[2 * stride] = z;
+  p[3 * stride] = w;
+}
+
+ZfpLikeCodec::ZfpLikeCodec(double rate_bits_per_value) : rate_(rate_bits_per_value) {
+  if (rate_ <= 0.0 || rate_ > 32.0) {
+    throw std::invalid_argument("ZfpLikeCodec: rate must be in (0, 32]");
+  }
+  bits_per_block_ = static_cast<std::size_t>(
+      std::lround(rate_ * static_cast<double>(kBlockValues)));
+  if (bits_per_block_ < 16) bits_per_block_ = 16;  // room for the header
+}
+
+std::string ZfpLikeCodec::name() const {
+  std::ostringstream out;
+  out << "zfp-like(rate=" << rate_ << ")";
+  return out.str();
+}
+
+double ZfpLikeCodec::compression_ratio() const { return 32.0 / rate_; }
+
+Shape ZfpLikeCodec::compressed_shape(const Shape& input) const {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("ZfpLikeCodec: input must be BCHW");
+  }
+  if (input[2] % kBlock != 0 || input[3] % kBlock != 0) {
+    throw std::invalid_argument("ZfpLikeCodec: dims must be multiples of 4");
+  }
+  const std::size_t blocks = (input[2] / kBlock) * (input[3] / kBlock);
+  const std::size_t bits = blocks * bits_per_block_;
+  const std::size_t words = (bits + 31) / 32;
+  return Shape::bchw(input[0], input[1], 1, std::max<std::size_t>(words, 1));
+}
+
+std::vector<std::uint32_t> ZfpLikeCodec::compress_plane(
+    const Tensor& plane) const {
+  const std::size_t h = plane.shape()[0];
+  const std::size_t w = plane.shape()[1];
+  if (h % kBlock != 0 || w % kBlock != 0) {
+    throw std::invalid_argument("ZfpLikeCodec: plane dims must be x4");
+  }
+  BitWriter writer;
+  std::array<std::int32_t, kBlockValues> block{};
+  for (std::size_t bi = 0; bi < h; bi += kBlock) {
+    for (std::size_t bj = 0; bj < w; bj += kBlock) {
+      // 1. Shared-exponent fixed point.
+      float max_abs = 0.0f;
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          max_abs = std::max(max_abs, std::fabs(plane.at(bi + i, bj + j)));
+        }
+      }
+      std::size_t bit_budget = bits_per_block_;
+      if (max_abs == 0.0f) {
+        writer.write_bits(0, 1);  // empty-block flag
+        // Fixed rate: pad the rest of the block budget.
+        for (std::size_t b = 1; b < bit_budget; ++b) writer.write_bits(0, 1);
+        continue;
+      }
+      writer.write_bits(1, 1);
+      int exponent = 0;
+      (void)std::frexp(max_abs, &exponent);
+      // 9-bit biased exponent header (range ±255 covers fp32).
+      writer.write_bits(static_cast<std::uint32_t>(exponent + 256), 9);
+      bit_budget -= 10;
+
+      const double scale = std::ldexp(1.0, kPrecision - exponent);
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          block[i * kBlock + j] = static_cast<std::int32_t>(
+              std::lround(plane.at(bi + i, bj + j) * scale));
+        }
+      }
+      // 2. Decorrelate rows then columns.
+      for (std::size_t i = 0; i < kBlock; ++i) fwd_lift(&block[i * kBlock], 1);
+      for (std::size_t j = 0; j < kBlock; ++j) fwd_lift(&block[j], kBlock);
+      // 3. Negabinary + sequency order.
+      std::array<std::uint32_t, kBlockValues> coded{};
+      const auto& order = sequency_order();
+      for (std::size_t k = 0; k < kBlockValues; ++k) {
+        coded[k] = to_negabinary(block[order[k]]);
+      }
+      // 4. Bit-plane emission, MSB first, within the budget. The lifting
+      // transform can grow values by ~2 bits beyond kPrecision.
+      for (int plane_bit = kPrecision + 3; plane_bit >= 0 && bit_budget > 0;
+           --plane_bit) {
+        std::uint32_t any = 0;
+        for (std::uint32_t c : coded) any |= (c >> plane_bit) & 1u;
+        writer.write_bits(any, 1);
+        --bit_budget;
+        if (!any) continue;
+        for (std::size_t k = 0; k < kBlockValues && bit_budget > 0; ++k) {
+          writer.write_bits((coded[k] >> plane_bit) & 1u, 1);
+          --bit_budget;
+        }
+      }
+      // Fixed rate: pad any unused budget.
+      while (bit_budget > 0) {
+        writer.write_bits(0, 1);
+        --bit_budget;
+      }
+    }
+  }
+  const std::vector<std::uint8_t> bytes = writer.finish();
+  std::vector<std::uint32_t> words((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    words[i / 4] |= static_cast<std::uint32_t>(bytes[i]) << (24 - 8 * (i % 4));
+  }
+  return words;
+}
+
+Tensor ZfpLikeCodec::decompress_plane(const std::vector<std::uint32_t>& words,
+                                      std::size_t height,
+                                      std::size_t width) const {
+  std::vector<std::uint8_t> bytes(words.size() * 4);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(words[i / 4] >> (24 - 8 * (i % 4)));
+  }
+  BitReader reader(bytes);
+  Tensor plane(Shape::matrix(height, width));
+  std::array<std::int32_t, kBlockValues> block{};
+  for (std::size_t bi = 0; bi < height; bi += kBlock) {
+    for (std::size_t bj = 0; bj < width; bj += kBlock) {
+      std::size_t bit_budget = bits_per_block_;
+      const bool nonzero = reader.read_bit();
+      --bit_budget;
+      if (!nonzero) {
+        for (std::size_t b = 0; b < bit_budget; ++b) (void)reader.read_bit();
+        for (std::size_t i = 0; i < kBlock; ++i) {
+          for (std::size_t j = 0; j < kBlock; ++j) {
+            plane.at(bi + i, bj + j) = 0.0f;
+          }
+        }
+        continue;
+      }
+      const int exponent = static_cast<int>(reader.read_bits(9)) - 256;
+      bit_budget -= 9;
+      std::array<std::uint32_t, kBlockValues> coded{};
+      for (int plane_bit = kPrecision + 3; plane_bit >= 0 && bit_budget > 0;
+           --plane_bit) {
+        const bool any = reader.read_bit();
+        --bit_budget;
+        if (!any) continue;
+        for (std::size_t k = 0; k < kBlockValues && bit_budget > 0; ++k) {
+          if (reader.read_bit()) coded[k] |= 1u << plane_bit;
+          --bit_budget;
+        }
+      }
+      while (bit_budget > 0) {
+        (void)reader.read_bit();
+        --bit_budget;
+      }
+      const auto& order = sequency_order();
+      for (std::size_t k = 0; k < kBlockValues; ++k) {
+        block[order[k]] = from_negabinary(coded[k]);
+      }
+      for (std::size_t j = 0; j < kBlock; ++j) inv_lift(&block[j], kBlock);
+      for (std::size_t i = 0; i < kBlock; ++i) inv_lift(&block[i * kBlock], 1);
+      const double inv_scale = std::ldexp(1.0, exponent - kPrecision);
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          plane.at(bi + i, bj + j) =
+              static_cast<float>(block[i * kBlock + j] * inv_scale);
+        }
+      }
+    }
+  }
+  return plane;
+}
+
+Tensor ZfpLikeCodec::compress(const Tensor& input) const {
+  const Shape out_shape = compressed_shape(input.shape());
+  Tensor out(out_shape);
+  const std::size_t words_per_plane = out_shape[3];
+  float* dst = out.raw();
+  for (std::size_t b = 0; b < input.shape()[0]; ++b) {
+    for (std::size_t c = 0; c < input.shape()[1]; ++c) {
+      const std::vector<std::uint32_t> words =
+          compress_plane(input.slice_plane(b, c));
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        // Bit patterns ride in floats; only copied, never operated on.
+        dst[i] = std::bit_cast<float>(words[i]);
+      }
+      dst += words_per_plane;
+    }
+  }
+  return out;
+}
+
+Tensor ZfpLikeCodec::decompress(const Tensor& packed,
+                                const Shape& original) const {
+  if (packed.shape() != compressed_shape(original)) {
+    throw std::invalid_argument("ZfpLikeCodec: packed shape mismatch");
+  }
+  Tensor out(original);
+  const std::size_t words_per_plane = packed.shape()[3];
+  const float* src = packed.raw();
+  for (std::size_t b = 0; b < original[0]; ++b) {
+    for (std::size_t c = 0; c < original[1]; ++c) {
+      std::vector<std::uint32_t> words(words_per_plane);
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        words[i] = std::bit_cast<std::uint32_t>(src[i]);
+      }
+      src += words_per_plane;
+      out.set_plane(b, c,
+                    decompress_plane(words, original[2], original[3]));
+    }
+  }
+  return out;
+}
+
+}  // namespace aic::baseline

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/codec.hpp"
+
+namespace aic::baseline {
+
+/// A from-scratch fixed-rate transform codec in the style of ZFP
+/// (Lindstrom 2014), the comparator of Fig. 9 and the "future work"
+/// block transform of §6.
+///
+/// Per 4×4 block of a plane:
+///   1. block-float: values are scaled to signed fixed point sharing the
+///      block's maximum exponent;
+///   2. decorrelation: ZFP's integer lifting transform along rows then
+///      columns;
+///   3. embedded coding: coefficients (negabinary, total-sequency order)
+///      are emitted bit-plane by bit-plane — each plane costs one
+///      "any bits set?" flag plus 16 raw bits when nonzero — and the
+///      stream is truncated at a fixed per-block bit budget set by the
+///      requested rate.
+///
+/// The result is error-bounded-in-practice, fixed rate by construction,
+/// and — like real ZFP — built on bit shifts that the AI accelerators'
+/// PyTorch frontends do not expose, which is why the paper could only
+/// run it on CPU.
+class ZfpLikeCodec final : public core::Codec {
+ public:
+  /// `rate_bits_per_value`: compressed bits per scalar (fp32 is 32, so
+  /// CR = 32 / rate). Valid range (0, 32].
+  explicit ZfpLikeCodec(double rate_bits_per_value);
+
+  std::string name() const override;
+  double compression_ratio() const override;
+  tensor::Shape compressed_shape(const tensor::Shape& input) const override;
+  tensor::Tensor compress(const tensor::Tensor& input) const override;
+  tensor::Tensor decompress(const tensor::Tensor& packed,
+                            const tensor::Shape& original) const override;
+
+  /// Word-level API used by tests and the CPU comparison bench.
+  std::vector<std::uint32_t> compress_plane(const tensor::Tensor& plane) const;
+  tensor::Tensor decompress_plane(const std::vector<std::uint32_t>& words,
+                                  std::size_t height,
+                                  std::size_t width) const;
+
+  std::size_t bits_per_block() const { return bits_per_block_; }
+
+  /// Forward integer lifting transform on 4 values (ZFP fwd_lift);
+  /// exposed for property tests.
+  static void fwd_lift(std::int32_t* p, std::size_t stride);
+  /// Inverse lifting transform (ZFP inv_lift).
+  static void inv_lift(std::int32_t* p, std::size_t stride);
+
+ private:
+  double rate_;
+  std::size_t bits_per_block_;  // fixed budget per 4×4 block
+};
+
+}  // namespace aic::baseline

@@ -1,0 +1,134 @@
+#include "cli/archive.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/triangle.hpp"
+#include "io/tensor_io.hpp"
+
+namespace aic::cli {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'I', 'C', 'Z'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append(std::string& out, T value) {
+  char raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.append(raw, sizeof(T));
+}
+
+template <typename T>
+T read(const std::string& bytes, std::size_t& cursor) {
+  if (cursor + sizeof(T) > bytes.size()) {
+    throw std::runtime_error("archive: truncated");
+  }
+  T value;
+  std::memcpy(&value, bytes.data() + cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+core::CodecPtr make_archive_codec(const Archive& archive) {
+  if (archive.triangle) {
+    return std::make_shared<core::TriangleCodec>(archive.config);
+  }
+  return std::make_shared<core::DctChopCodec>(archive.config);
+}
+
+Archive compress_to_archive(const Tensor& input, std::size_t cf,
+                            std::size_t block,
+                            core::TransformKind transform, bool triangle) {
+  if (input.shape().rank() != 4) {
+    throw std::invalid_argument("archive: input must be BCHW");
+  }
+  Archive archive;
+  archive.triangle = triangle;
+  archive.config = {.height = input.shape()[2],
+                    .width = input.shape()[3],
+                    .cf = cf,
+                    .block = block,
+                    .transform = transform};
+  archive.original_shape = input.shape();
+  archive.packed = make_archive_codec(archive)->compress(input);
+  return archive;
+}
+
+std::string serialize_archive(const Archive& archive) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  append<std::uint32_t>(out, kVersion);
+  append<std::uint8_t>(out, archive.triangle ? 1 : 0);
+  append<std::uint8_t>(out,
+                       static_cast<std::uint8_t>(archive.config.transform));
+  append<std::uint16_t>(out, static_cast<std::uint16_t>(archive.config.cf));
+  append<std::uint16_t>(out,
+                        static_cast<std::uint16_t>(archive.config.block));
+  append<std::uint32_t>(
+      out, static_cast<std::uint32_t>(archive.original_shape.rank()));
+  for (std::size_t axis = 0; axis < archive.original_shape.rank(); ++axis) {
+    append<std::uint64_t>(out, archive.original_shape[axis]);
+  }
+  out += io::serialize_tensor(archive.packed);
+  return out;
+}
+
+Archive deserialize_archive(const std::string& bytes) {
+  std::size_t cursor = 0;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("archive: bad magic");
+  }
+  cursor += sizeof(kMagic);
+  if (read<std::uint32_t>(bytes, cursor) != kVersion) {
+    throw std::runtime_error("archive: unsupported version");
+  }
+  Archive archive;
+  archive.triangle = read<std::uint8_t>(bytes, cursor) != 0;
+  archive.config.transform =
+      static_cast<core::TransformKind>(read<std::uint8_t>(bytes, cursor));
+  archive.config.cf = read<std::uint16_t>(bytes, cursor);
+  archive.config.block = read<std::uint16_t>(bytes, cursor);
+  const std::uint32_t rank = read<std::uint32_t>(bytes, cursor);
+  if (rank != 4) throw std::runtime_error("archive: original must be BCHW");
+  std::size_t dims[4];
+  for (auto& d : dims) {
+    d = static_cast<std::size_t>(read<std::uint64_t>(bytes, cursor));
+  }
+  archive.original_shape = Shape::bchw(dims[0], dims[1], dims[2], dims[3]);
+  archive.config.height = dims[2];
+  archive.config.width = dims[3];
+  archive.packed = io::deserialize_tensor(bytes.substr(cursor));
+  // Sanity: the packed payload matches what the codec expects.
+  if (archive.packed.shape() !=
+      make_archive_codec(archive)->compressed_shape(archive.original_shape)) {
+    throw std::runtime_error("archive: payload/header mismatch");
+  }
+  return archive;
+}
+
+void save_archive(const Archive& archive, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("archive: cannot open " + path);
+  const std::string bytes = serialize_archive(archive);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) throw std::runtime_error("archive: write failed: " + path);
+}
+
+Archive load_archive(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("archive: cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  return deserialize_archive(bytes);
+}
+
+}  // namespace aic::cli

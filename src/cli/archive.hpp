@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "core/codec.hpp"
+#include "core/dct_chop.hpp"
+
+namespace aic::cli {
+
+/// On-disk compressed-tensor archive written by the aicomp CLI:
+///
+///   magic "AICZ" | u32 version | u8 codec (0=square, 1=triangle)
+///   | u8 transform | u16 cf | u16 block | u32 rank | u64 dims[rank]
+///   | serialized packed tensor (io::serialize_tensor format)
+///
+/// The header carries everything needed to rebuild the codec and the
+/// original shape, so decompression needs no side information.
+struct Archive {
+  bool triangle = false;
+  core::DctChopConfig config;     // height/width filled from dims
+  tensor::Shape original_shape;   // BCHW
+  tensor::Tensor packed;
+};
+
+/// Builds the codec an archive describes.
+core::CodecPtr make_archive_codec(const Archive& archive);
+
+/// Compresses `input` (BCHW) and assembles the archive in memory.
+Archive compress_to_archive(const tensor::Tensor& input, std::size_t cf,
+                            std::size_t block, core::TransformKind transform,
+                            bool triangle);
+
+std::string serialize_archive(const Archive& archive);
+Archive deserialize_archive(const std::string& bytes);
+
+void save_archive(const Archive& archive, const std::string& path);
+Archive load_archive(const std::string& path);
+
+}  // namespace aic::cli

@@ -1,0 +1,186 @@
+#include "cli/cli.hpp"
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "cli/archive.hpp"
+#include "core/metrics.hpp"
+#include "data/synth.hpp"
+#include "io/tensor_io.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::cli {
+
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Options {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  bool triangle = false;
+};
+
+Options parse(const std::vector<std::string>& args, std::size_t start) {
+  Options options;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--triangle") {
+      options.triangle = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value for " + arg);
+      }
+      options.flags[arg.substr(2)] = args[++i];
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+std::size_t flag_size(const Options& options, const std::string& name,
+                      std::size_t fallback) {
+  const auto it = options.flags.find(name);
+  if (it == options.flags.end()) return fallback;
+  return static_cast<std::size_t>(std::stoull(it->second));
+}
+
+core::TransformKind flag_transform(const Options& options) {
+  const auto it = options.flags.find("transform");
+  if (it == options.flags.end()) return core::TransformKind::kDct2;
+  if (it->second == "dct") return core::TransformKind::kDct2;
+  if (it->second == "wht") return core::TransformKind::kWalshHadamard;
+  if (it->second == "dst2") return core::TransformKind::kDst2;
+  throw std::invalid_argument("unknown transform: " + it->second);
+}
+
+int usage(std::ostream& err) {
+  err << "usage:\n"
+         "  aicomp gen <out.aict> [--batch B --channels C --res N --seed S]\n"
+         "  aicomp compress <in.aict> <out.aicz> [--cf N --block B "
+         "--transform dct|wht|dst2 --triangle]\n"
+         "  aicomp decompress <in.aicz> <out.aict>\n"
+         "  aicomp info <file>\n"
+         "  aicomp eval <in.aict> [--cf N --block B --transform ... "
+         "--triangle]\n";
+  return 2;
+}
+
+int cmd_gen(const Options& options, std::ostream& out) {
+  if (options.positional.size() != 1) {
+    throw std::invalid_argument("gen: expected one output path");
+  }
+  const std::size_t batch = flag_size(options, "batch", 4);
+  const std::size_t channels = flag_size(options, "channels", 3);
+  const std::size_t res = flag_size(options, "res", 32);
+  runtime::Rng rng(flag_size(options, "seed", 1));
+  Tensor tensor(Shape::bchw(batch, channels, res, res));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      Tensor plane = data::smooth_field(res, res, rng, 6, 0.5);
+      data::add_gaussian_noise(plane, rng, 0.02);
+      tensor.set_plane(b, c, plane);
+    }
+  }
+  io::save_tensor(tensor, options.positional[0]);
+  out << "wrote " << tensor.shape().to_string() << " ("
+      << tensor.size_bytes() << " bytes) to " << options.positional[0]
+      << "\n";
+  return 0;
+}
+
+int cmd_compress(const Options& options, std::ostream& out) {
+  if (options.positional.size() != 2) {
+    throw std::invalid_argument("compress: expected <in.aict> <out.aicz>");
+  }
+  const Tensor input = io::load_tensor(options.positional[0]);
+  const Archive archive = compress_to_archive(
+      input, flag_size(options, "cf", 4), flag_size(options, "block", 8),
+      flag_transform(options), options.triangle);
+  save_archive(archive, options.positional[1]);
+  const auto codec = make_archive_codec(archive);
+  out << codec->name() << ": " << input.size_bytes() << " -> "
+      << archive.packed.size_bytes() << " bytes (CR "
+      << codec->compression_ratio() << ")\n";
+  return 0;
+}
+
+int cmd_decompress(const Options& options, std::ostream& out) {
+  if (options.positional.size() != 2) {
+    throw std::invalid_argument("decompress: expected <in.aicz> <out.aict>");
+  }
+  const Archive archive = load_archive(options.positional[0]);
+  const Tensor restored = make_archive_codec(archive)->decompress(
+      archive.packed, archive.original_shape);
+  io::save_tensor(restored, options.positional[1]);
+  out << "restored " << restored.shape().to_string() << " to "
+      << options.positional[1] << "\n";
+  return 0;
+}
+
+int cmd_info(const Options& options, std::ostream& out) {
+  if (options.positional.size() != 1) {
+    throw std::invalid_argument("info: expected one path");
+  }
+  const std::string& path = options.positional[0];
+  try {
+    const Archive archive = load_archive(path);
+    const auto codec = make_archive_codec(archive);
+    out << "archive: codec=" << codec->name()
+        << " original=" << archive.original_shape.to_string()
+        << " packed=" << archive.packed.shape().to_string() << " ("
+        << archive.packed.size_bytes() << " bytes, CR "
+        << codec->compression_ratio() << ")\n";
+    return 0;
+  } catch (const std::exception&) {
+    // Fall through to plain tensor.
+  }
+  const Tensor tensor = io::load_tensor(path);
+  out << "tensor: shape=" << tensor.shape().to_string() << " ("
+      << tensor.size_bytes() << " bytes), mean=" << tensor::mean(tensor)
+      << " max|x|=" << tensor::max_abs(tensor) << "\n";
+  return 0;
+}
+
+int cmd_eval(const Options& options, std::ostream& out) {
+  if (options.positional.size() != 1) {
+    throw std::invalid_argument("eval: expected one input path");
+  }
+  const Tensor input = io::load_tensor(options.positional[0]);
+  const Archive archive = compress_to_archive(
+      input, flag_size(options, "cf", 4), flag_size(options, "block", 8),
+      flag_transform(options), options.triangle);
+  const auto codec = make_archive_codec(archive);
+  const core::RateDistortion rd = core::evaluate_codec(*codec, input);
+  out << codec->name() << ": CR=" << rd.compression_ratio
+      << " MSE=" << rd.mse << " PSNR=" << rd.psnr_db
+      << " dB max|err|=" << rd.max_abs_error << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) return usage(err);
+  try {
+    const std::string& command = args[0];
+    const Options options = parse(args, 1);
+    if (command == "gen") return cmd_gen(options, out);
+    if (command == "compress") return cmd_compress(options, out);
+    if (command == "decompress") return cmd_decompress(options, out);
+    if (command == "info") return cmd_info(options, out);
+    if (command == "eval") return cmd_eval(options, out);
+    err << "unknown command: " << command << "\n";
+    return usage(err);
+  } catch (const std::exception& error) {
+    err << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace aic::cli

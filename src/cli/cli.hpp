@@ -1,0 +1,23 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aic::cli {
+
+/// The aicomp command-line front end (testable entry point; the `aicomp`
+/// binary forwards argv here).
+///
+///   aicomp gen <out.aict> [--batch B --channels C --res N --seed S]
+///   aicomp compress <in.aict> <out.aicz> [--cf N --block B
+///           --transform dct|wht|dst2 --triangle]
+///   aicomp decompress <in.aicz> <out.aict>
+///   aicomp info <file.aict|file.aicz>
+///   aicomp eval <in.aict> [--cf N ...]      # round-trip rate/distortion
+///
+/// Returns a process exit code; all output goes to the given streams.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace aic::cli

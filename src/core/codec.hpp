@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::core {
+
+/// A fixed-rate lossy codec over BCHW tensors.
+///
+/// All codecs in this library honour the paper's compile-time-shape
+/// constraint (§3.1): for a given codec configuration, the compressed
+/// shape is a pure function of the input shape, so `compressed_shape`
+/// can be evaluated before any data exists ("at compile time") and never
+/// varies sample to sample.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Human-readable codec identifier (e.g. "dct+chop(cf=4)").
+  virtual std::string name() const = 0;
+
+  /// Nominal compression ratio (uncompressed bytes / compressed bytes).
+  virtual double compression_ratio() const = 0;
+
+  /// Shape of compress() output for a given input shape. Throws when the
+  /// input shape is unsupported (wrong rank, not block-divisible, ...).
+  virtual tensor::Shape compressed_shape(const tensor::Shape& input) const = 0;
+
+  /// Compresses a BCHW tensor into the codec's packed representation.
+  virtual tensor::Tensor compress(const tensor::Tensor& input) const = 0;
+
+  /// Reconstructs a BCHW tensor; `original` is the uncompressed shape
+  /// (codecs are fixed-rate, so the shape fully determines the layout).
+  virtual tensor::Tensor decompress(const tensor::Tensor& packed,
+                                    const tensor::Shape& original) const = 0;
+
+  /// Convenience: compress immediately followed by decompress, the
+  /// transformation the paper applies to every training batch (§4.1).
+  tensor::Tensor round_trip(const tensor::Tensor& input) const {
+    return decompress(compress(input), input.shape());
+  }
+};
+
+using CodecPtr = std::shared_ptr<const Codec>;
+
+}  // namespace aic::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace aic::core {
+
+/// Default transform block edge used by JPEG and by the paper (N = 8).
+inline constexpr std::size_t kDefaultBlock = 8;
+
+/// The N×N orthonormal DCT-II transform matrix T of Eq. 2:
+///
+///   T[0][j] = 1/sqrt(N)
+///   T[i][j] = sqrt(2/N) * cos(pi * (2j+1) * i / (2N))   for i > 0
+///
+/// `D = T · A · Tᵀ` applies the 2-D DCT-II to an N×N block A, and because
+/// T is orthonormal, `A = Tᵀ · D · T` inverts it exactly.
+tensor::Tensor dct_matrix(std::size_t n);
+
+/// Block-diagonal T_L of size n×n with `T = dct_matrix(block)` repeated
+/// along the diagonal (Fig. 4). `n` must be a multiple of `block`.
+/// `T_L · A · T_Lᵀ` applies the DCT independently to every block×block
+/// tile of an n×n input.
+tensor::Tensor block_diagonal_dct(std::size_t n,
+                                  std::size_t block = kDefaultBlock);
+
+/// Reference (non-matrix) 2-D DCT-II of a single block, direct from the
+/// Eq. 1 double sum. O(N⁴); used only to validate the matrix formulation.
+tensor::Tensor dct2d_reference(const tensor::Tensor& block);
+
+/// Reference blockwise DCT of an H×W plane: applies `dct2d_reference`
+/// tile by tile. Used in tests against `T_L · A · T_Lᵀ`.
+tensor::Tensor blockwise_dct_reference(const tensor::Tensor& plane,
+                                       std::size_t block = kDefaultBlock);
+
+}  // namespace aic::core

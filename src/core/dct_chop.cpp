@@ -1,0 +1,86 @@
+#include "core/dct_chop.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+
+namespace aic::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+DctChopCodec::DctChopCodec(DctChopConfig config) : config_(config) {
+  const auto& c = config_;
+  if (c.height == 0 || c.width == 0 || c.block == 0 ||
+      c.height % c.block != 0 || c.width % c.block != 0) {
+    throw std::invalid_argument(
+        "DctChopCodec: height/width must be positive multiples of block");
+  }
+  if (c.cf == 0 || c.cf > c.block) {
+    throw std::invalid_argument("DctChopCodec: cf must be in [1, block]");
+  }
+  lhs_h_ = make_lhs(c.height, c.cf, c.block, c.transform);
+  rhs_w_ = make_rhs(c.width, c.cf, c.block, c.transform);
+  lhs_w_ = make_lhs(c.width, c.cf, c.block, c.transform);
+  rhs_h_ = make_rhs(c.height, c.cf, c.block, c.transform);
+}
+
+std::string DctChopCodec::name() const {
+  std::ostringstream out;
+  out << transform_name(config_.transform) << "+chop(cf=" << config_.cf
+      << ",block=" << config_.block << ")";
+  return out.str();
+}
+
+double DctChopCodec::compression_ratio() const {
+  return chop_ratio(config_.cf, config_.block);
+}
+
+Shape DctChopCodec::compressed_shape(const Shape& input) const {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("DctChopCodec: input must be BCHW");
+  }
+  if (input[2] != config_.height || input[3] != config_.width) {
+    throw std::invalid_argument(
+        "DctChopCodec: codec compiled for " + std::to_string(config_.height) +
+        "x" + std::to_string(config_.width) + ", got " + input.to_string());
+  }
+  const std::size_t ch = config_.cf * config_.height / config_.block;
+  const std::size_t cw = config_.cf * config_.width / config_.block;
+  return Shape::bchw(input[0], input[1], ch, cw);
+}
+
+Tensor DctChopCodec::compress(const Tensor& input) const {
+  Tensor out(compressed_shape(input.shape()));
+  tensor::sandwich_planes(lhs_h_, input, rhs_w_, out);
+  return out;
+}
+
+Tensor DctChopCodec::decompress(const Tensor& packed,
+                                const Shape& original) const {
+  if (packed.shape() != compressed_shape(original)) {
+    throw std::invalid_argument("DctChopCodec: packed shape mismatch");
+  }
+  Tensor out(original);
+  // Eq. 6: A' = RHS · Y · LHS — the same operators with roles swapped.
+  tensor::sandwich_planes(rhs_h_, packed, lhs_w_, out);
+  return out;
+}
+
+std::size_t DctChopCodec::flops_compress(std::size_t n, std::size_t cf,
+                                         std::size_t block) {
+  // Eq. 5 generalized to any block edge b:
+  //   (2n−1) · (CF·n/b) · (n + CF·n/b)
+  const std::size_t cn = cf * n / block;
+  return (2 * n - 1) * cn * (n + cn);
+}
+
+std::size_t DctChopCodec::flops_decompress(std::size_t n, std::size_t cf,
+                                           std::size_t block) {
+  // Eq. 7 generalized: (2·CF·n/b − 1) · n · (CF·n/b + n)
+  const std::size_t cn = cf * n / block;
+  return (2 * cn - 1) * n * (cn + n);
+}
+
+}  // namespace aic::core

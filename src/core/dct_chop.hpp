@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/chop.hpp"
+#include "core/codec.hpp"
+#include "core/dct.hpp"
+
+namespace aic::core {
+
+/// Configuration of the DCT+Chop compressor.
+struct DctChopConfig {
+  /// Height/width of the samples the codec is compiled for. Compressors
+  /// on the target accelerators are compiled per shape, so the codec is
+  /// bound to one resolution; feeding a different one throws.
+  std::size_t height = 0;
+  std::size_t width = 0;
+  /// Chop factor CF ∈ [1, block]: the upper-left CF×CF coefficients of
+  /// every block are retained. CR = block²/CF² (Eq. 3).
+  std::size_t cf = 4;
+  /// Transform block edge (8 in the paper and in JPEG).
+  std::size_t block = kDefaultBlock;
+  /// Block transform family; DCT-II is the paper's choice, the others
+  /// implement the §6 alternative-transform future work.
+  TransformKind transform = TransformKind::kDct2;
+};
+
+/// The paper's core contribution (§3.2–§3.4): a lossy fixed-rate codec
+/// that is, end to end, two matrix multiplications per direction —
+///
+///   compress    Y  = LHS · A · RHS     (Eq. 4)
+///   decompress  A' = RHS · Y · LHS     (Eq. 6)
+///
+/// with LHS = M·T_L precomputed at construction ("compile time"). Every
+/// (batch, channel) plane is an independent product, giving the
+/// BD·C·n²/64-way parallelism of §3.2.
+class DctChopCodec final : public Codec {
+ public:
+  explicit DctChopCodec(DctChopConfig config);
+
+  std::string name() const override;
+  double compression_ratio() const override;
+  tensor::Shape compressed_shape(const tensor::Shape& input) const override;
+  tensor::Tensor compress(const tensor::Tensor& input) const override;
+  tensor::Tensor decompress(const tensor::Tensor& packed,
+                            const tensor::Shape& original) const override;
+
+  const DctChopConfig& config() const { return config_; }
+  /// The precomputed LHS operator for the height dimension.
+  const tensor::Tensor& lhs() const { return lhs_h_; }
+  /// The precomputed RHS operator for the width dimension.
+  const tensor::Tensor& rhs() const { return rhs_w_; }
+
+  /// Closed-form FLOP count of compressing one n×n plane (Eq. 5),
+  /// using the (2k−1)-ops-per-dot-product convention of the paper.
+  static std::size_t flops_compress(std::size_t n, std::size_t cf,
+                                    std::size_t block = kDefaultBlock);
+  /// Closed-form FLOP count of decompressing one plane (Eq. 7).
+  static std::size_t flops_decompress(std::size_t n, std::size_t cf,
+                                      std::size_t block = kDefaultBlock);
+
+ private:
+  DctChopConfig config_;
+  tensor::Tensor lhs_h_;  // (CF·H/8) × H
+  tensor::Tensor rhs_w_;  // W × (CF·W/8)
+  tensor::Tensor lhs_w_;  // (CF·W/8) × W  (decompression right operand)
+  tensor::Tensor rhs_h_;  // H × (CF·H/8)  (decompression left operand)
+};
+
+}  // namespace aic::core

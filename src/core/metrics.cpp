@@ -1,0 +1,22 @@
+#include "core/metrics.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace aic::core {
+
+RateDistortion evaluate_codec(const Codec& codec, const tensor::Tensor& input,
+                              double peak) {
+  const tensor::Tensor packed = codec.compress(input);
+  const tensor::Tensor restored = codec.decompress(packed, input.shape());
+  RateDistortion result;
+  result.codec = codec.name();
+  result.compression_ratio = codec.compression_ratio();
+  result.mse = tensor::mse(input, restored);
+  result.psnr_db = tensor::psnr(input, restored, peak);
+  result.max_abs_error = tensor::max_abs_error(input, restored);
+  result.uncompressed_bytes = input.size_bytes();
+  result.compressed_bytes = packed.size_bytes();
+  return result;
+}
+
+}  // namespace aic::core

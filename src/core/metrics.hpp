@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "core/codec.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::core {
+
+/// One rate/distortion measurement of a codec on a tensor.
+struct RateDistortion {
+  std::string codec;
+  double compression_ratio = 0.0;
+  double mse = 0.0;
+  double psnr_db = 0.0;
+  double max_abs_error = 0.0;
+  std::size_t uncompressed_bytes = 0;
+  std::size_t compressed_bytes = 0;
+};
+
+/// Runs compress→decompress and measures fidelity. `peak` is the nominal
+/// data range used for PSNR (1.0 for normalized images).
+RateDistortion evaluate_codec(const Codec& codec, const tensor::Tensor& input,
+                              double peak = 1.0);
+
+}  // namespace aic::core

@@ -1,0 +1,145 @@
+#include "core/partial_serializer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aic::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+PartialSerialCodec::PartialSerialCodec(PartialSerialConfig config)
+    : config_(config) {
+  const auto& c = config_;
+  if (c.subdivision == 0) {
+    throw std::invalid_argument("PartialSerialCodec: subdivision must be >= 1");
+  }
+  if (c.height % c.subdivision != 0 || c.width % c.subdivision != 0) {
+    throw std::invalid_argument(
+        "PartialSerialCodec: resolution not divisible by subdivision factor");
+  }
+  chunk_h_ = c.height / c.subdivision;
+  chunk_w_ = c.width / c.subdivision;
+  chunk_codec_ = std::make_unique<DctChopCodec>(
+      DctChopConfig{.height = chunk_h_,
+                    .width = chunk_w_,
+                    .cf = c.cf,
+                    .block = c.block,
+                    .transform = c.transform});
+}
+
+std::string PartialSerialCodec::name() const {
+  std::ostringstream out;
+  out << "dct+chop+ps(cf=" << config_.cf << ",s=" << config_.subdivision
+      << ")";
+  return out.str();
+}
+
+double PartialSerialCodec::compression_ratio() const {
+  return chunk_codec_->compression_ratio();
+}
+
+Shape PartialSerialCodec::compressed_shape(const Shape& input) const {
+  if (input.rank() != 4 || input[2] != config_.height ||
+      input[3] != config_.width) {
+    throw std::invalid_argument("PartialSerialCodec: bad input shape " +
+                                input.to_string());
+  }
+  const std::size_t ch = config_.cf * config_.height / config_.block;
+  const std::size_t cw = config_.cf * config_.width / config_.block;
+  return Shape::bchw(input[0], input[1], ch, cw);
+}
+
+Tensor PartialSerialCodec::compress(const Tensor& input) const {
+  Tensor out(compressed_shape(input.shape()));
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t s = config_.subdivision;
+  const std::size_t chunk_ch = config_.cf * chunk_h_ / config_.block;
+  const std::size_t chunk_cw = config_.cf * chunk_w_ / config_.block;
+
+  // Chunks are deliberately iterated serially: only one chunk's working
+  // set is alive at a time (the whole point of the optimization).
+  for (std::size_t si = 0; si < s; ++si) {
+    for (std::size_t sj = 0; sj < s; ++sj) {
+      Tensor chunk(Shape::bchw(batch, channels, chunk_h_, chunk_w_));
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t c = 0; c < channels; ++c) {
+          for (std::size_t h = 0; h < chunk_h_; ++h) {
+            for (std::size_t w = 0; w < chunk_w_; ++w) {
+              chunk.at(b, c, h, w) =
+                  input.at(b, c, si * chunk_h_ + h, sj * chunk_w_ + w);
+            }
+          }
+        }
+      }
+      const Tensor packed = chunk_codec_->compress(chunk);
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t c = 0; c < channels; ++c) {
+          for (std::size_t h = 0; h < chunk_ch; ++h) {
+            for (std::size_t w = 0; w < chunk_cw; ++w) {
+              out.at(b, c, si * chunk_ch + h, sj * chunk_cw + w) =
+                  packed.at(b, c, h, w);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PartialSerialCodec::decompress(const Tensor& packed,
+                                      const Shape& original) const {
+  if (packed.shape() != compressed_shape(original)) {
+    throw std::invalid_argument("PartialSerialCodec: packed shape mismatch");
+  }
+  Tensor out(original);
+  const std::size_t batch = original[0];
+  const std::size_t channels = original[1];
+  const std::size_t s = config_.subdivision;
+  const std::size_t chunk_ch = config_.cf * chunk_h_ / config_.block;
+  const std::size_t chunk_cw = config_.cf * chunk_w_ / config_.block;
+
+  for (std::size_t si = 0; si < s; ++si) {
+    for (std::size_t sj = 0; sj < s; ++sj) {
+      Tensor chunk_packed(Shape::bchw(batch, channels, chunk_ch, chunk_cw));
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t c = 0; c < channels; ++c) {
+          for (std::size_t h = 0; h < chunk_ch; ++h) {
+            for (std::size_t w = 0; w < chunk_cw; ++w) {
+              chunk_packed.at(b, c, h, w) =
+                  packed.at(b, c, si * chunk_ch + h, sj * chunk_cw + w);
+            }
+          }
+        }
+      }
+      const Tensor chunk = chunk_codec_->decompress(
+          chunk_packed, Shape::bchw(batch, channels, chunk_h_, chunk_w_));
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t c = 0; c < channels; ++c) {
+          for (std::size_t h = 0; h < chunk_h_; ++h) {
+            for (std::size_t w = 0; w < chunk_w_; ++w) {
+              out.at(b, c, si * chunk_h_ + h, sj * chunk_w_ + w) =
+                  chunk.at(b, c, h, w);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t PartialSerialCodec::operator_bytes() const {
+  return chunk_codec_->lhs().size_bytes() + chunk_codec_->rhs().size_bytes();
+}
+
+std::size_t PartialSerialCodec::unserialized_operator_bytes(std::size_t n,
+                                                            std::size_t cf,
+                                                            std::size_t block) {
+  const std::size_t rows = cf * n / block;
+  return 2 * rows * n * sizeof(float);
+}
+
+}  // namespace aic::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/codec.hpp"
+#include "core/dct_chop.hpp"
+
+namespace aic::core {
+
+/// Partial-serialization optimization (§3.5.1).
+///
+/// Instead of compressing a BD×C×n×n tensor in one shot — which needs
+/// LHS/RHS operators of size (CF·n/8)×n that can exceed a compute unit's
+/// local memory — the sample is subdivided by a factor `s` into s×s
+/// chunks of size (n/s)×(n/s). The chunks are processed *serially* with
+/// a codec compiled for the chunk resolution, shrinking the working set
+/// by s² at the cost of s² sequential launches.
+struct PartialSerialConfig {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t cf = 4;
+  std::size_t block = kDefaultBlock;
+  TransformKind transform = TransformKind::kDct2;
+  /// Subdivision factor s >= 1; s == 1 degenerates to plain DCT+Chop.
+  std::size_t subdivision = 2;
+};
+
+class PartialSerialCodec final : public Codec {
+ public:
+  explicit PartialSerialCodec(PartialSerialConfig config);
+
+  std::string name() const override;
+  double compression_ratio() const override;
+  tensor::Shape compressed_shape(const tensor::Shape& input) const override;
+  tensor::Tensor compress(const tensor::Tensor& input) const override;
+  tensor::Tensor decompress(const tensor::Tensor& packed,
+                            const tensor::Shape& original) const override;
+
+  const PartialSerialConfig& config() const { return config_; }
+  const DctChopCodec& chunk_codec() const { return *chunk_codec_; }
+
+  /// Bytes of operator state (LHS + RHS) resident while one chunk is in
+  /// flight — the quantity the optimization exists to shrink.
+  std::size_t operator_bytes() const;
+
+  /// Same quantity for an unserialized codec at the full resolution.
+  static std::size_t unserialized_operator_bytes(std::size_t n, std::size_t cf,
+                                                 std::size_t block = kDefaultBlock);
+
+ private:
+  PartialSerialConfig config_;
+  std::unique_ptr<DctChopCodec> chunk_codec_;
+  std::size_t chunk_h_ = 0;
+  std::size_t chunk_w_ = 0;
+};
+
+}  // namespace aic::core

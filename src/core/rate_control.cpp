@@ -1,0 +1,90 @@
+#include "core/rate_control.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace aic::core {
+
+using tensor::Tensor;
+
+namespace {
+
+RateChoice measure(const Tensor& calibration, std::size_t cf,
+                   std::size_t block, TransformKind transform) {
+  const DctChopCodec codec({.height = calibration.shape()[2],
+                            .width = calibration.shape()[3],
+                            .cf = cf,
+                            .block = block,
+                            .transform = transform});
+  const Tensor restored = codec.round_trip(calibration);
+  RateChoice choice;
+  choice.cf = cf;
+  choice.compression_ratio = codec.compression_ratio();
+  choice.measured_mse = tensor::mse(calibration, restored);
+  choice.measured_psnr_db = tensor::psnr(calibration, restored, 1.0);
+  return choice;
+}
+
+void validate_calibration(const Tensor& calibration, std::size_t block) {
+  if (calibration.shape().rank() != 4) {
+    throw std::invalid_argument("rate control: calibration must be BCHW");
+  }
+  if (calibration.shape()[2] % block != 0 ||
+      calibration.shape()[3] % block != 0) {
+    throw std::invalid_argument(
+        "rate control: calibration dims must be block-divisible");
+  }
+}
+
+}  // namespace
+
+std::optional<RateChoice> choose_chop_factor(const Tensor& calibration,
+                                             double max_mse,
+                                             std::size_t block,
+                                             TransformKind transform) {
+  validate_calibration(calibration, block);
+  for (std::size_t cf = 1; cf <= block; ++cf) {
+    const RateChoice choice = measure(calibration, cf, block, transform);
+    if (choice.measured_mse <= max_mse) return choice;
+  }
+  return std::nullopt;
+}
+
+std::optional<RateChoice> choose_chop_factor_psnr(const Tensor& calibration,
+                                                  double min_psnr_db,
+                                                  std::size_t block,
+                                                  TransformKind transform) {
+  validate_calibration(calibration, block);
+  for (std::size_t cf = 1; cf <= block; ++cf) {
+    const RateChoice choice = measure(calibration, cf, block, transform);
+    if (choice.measured_psnr_db >= min_psnr_db) return choice;
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<DctChopCodec> make_codec_for_choice(const RateChoice& choice,
+                                                    std::size_t height,
+                                                    std::size_t width,
+                                                    std::size_t block,
+                                                    TransformKind transform) {
+  return std::make_shared<DctChopCodec>(DctChopConfig{.height = height,
+                                                      .width = width,
+                                                      .cf = choice.cf,
+                                                      .block = block,
+                                                      .transform = transform});
+}
+
+std::vector<RateChoice> rate_distortion_curve(const Tensor& calibration,
+                                              std::size_t block,
+                                              TransformKind transform) {
+  validate_calibration(calibration, block);
+  std::vector<RateChoice> curve;
+  curve.reserve(block);
+  for (std::size_t cf = 1; cf <= block; ++cf) {
+    curve.push_back(measure(calibration, cf, block, transform));
+  }
+  return curve;
+}
+
+}  // namespace aic::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/dct_chop.hpp"
+
+namespace aic::core {
+
+/// Error-target rate selection (§6 "library of tailored compressors").
+///
+/// The accelerators fix the compression ratio at compile time, so the
+/// ratio cannot adapt per sample — but it *can* be chosen per dataset
+/// before compilation. Given a calibration tensor and a distortion
+/// budget, the controller picks the most aggressive chop factor whose
+/// round-trip error stays within budget; the resulting codec is then
+/// compiled once, as usual.
+struct RateChoice {
+  std::size_t cf = 0;
+  double compression_ratio = 0.0;
+  double measured_mse = 0.0;
+  double measured_psnr_db = 0.0;
+};
+
+/// Smallest CF (highest CR) whose round-trip MSE on `calibration` is at
+/// most `max_mse`. Returns nullopt when even CF = block misses the
+/// budget (possible only for non-finite inputs; CF = block is lossless
+/// up to fp32 rounding).
+std::optional<RateChoice> choose_chop_factor(
+    const tensor::Tensor& calibration, double max_mse,
+    std::size_t block = kDefaultBlock,
+    TransformKind transform = TransformKind::kDct2);
+
+/// As above but with a PSNR floor in dB (peak = 1.0 data range).
+std::optional<RateChoice> choose_chop_factor_psnr(
+    const tensor::Tensor& calibration, double min_psnr_db,
+    std::size_t block = kDefaultBlock,
+    TransformKind transform = TransformKind::kDct2);
+
+/// Builds the codec for a choice made by the functions above.
+std::shared_ptr<DctChopCodec> make_codec_for_choice(
+    const RateChoice& choice, std::size_t height, std::size_t width,
+    std::size_t block = kDefaultBlock,
+    TransformKind transform = TransformKind::kDct2);
+
+/// Full rate/distortion curve over CF ∈ [1, block] on the calibration
+/// tensor — the data a tailored-compressor library would precompute.
+std::vector<RateChoice> rate_distortion_curve(
+    const tensor::Tensor& calibration, std::size_t block = kDefaultBlock,
+    TransformKind transform = TransformKind::kDct2);
+
+}  // namespace aic::core

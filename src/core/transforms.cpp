@@ -1,0 +1,114 @@
+#include "core/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dct.hpp"
+
+namespace aic::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string transform_name(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kDct2: return "dct";
+    case TransformKind::kWalshHadamard: return "wht";
+    case TransformKind::kDst2: return "dst2";
+  }
+  return "?";
+}
+
+Tensor walsh_hadamard_matrix(std::size_t n) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument(
+        "walsh_hadamard_matrix: n must be a power of two");
+  }
+  // Sylvester construction, then sequency (sign-change) ordering.
+  std::vector<std::vector<int>> h = {{1}};
+  for (std::size_t size = 1; size < n; size *= 2) {
+    std::vector<std::vector<int>> next(2 * size,
+                                       std::vector<int>(2 * size));
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = 0; j < size; ++j) {
+        next[i][j] = h[i][j];
+        next[i][j + size] = h[i][j];
+        next[i + size][j] = h[i][j];
+        next[i + size][j + size] = -h[i][j];
+      }
+    }
+    h = std::move(next);
+  }
+  // Order rows by sequency so low indices = low "frequency".
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  auto sign_changes = [&](std::size_t row) {
+    std::size_t changes = 0;
+    for (std::size_t j = 1; j < n; ++j) {
+      if (h[row][j] != h[row][j - 1]) ++changes;
+    }
+    return changes;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sign_changes(a) < sign_changes(b);
+  });
+
+  Tensor t(Shape::matrix(n, n));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      t.at(i, j) = scale * static_cast<float>(h[order[i]][j]);
+    }
+  }
+  return t;
+}
+
+Tensor dst2_matrix(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("dst2_matrix: n must be positive");
+  // Orthonormal DST-II: T[i][j] = s(i)·sqrt(2/N)·sin(pi(i+1)(2j+1)/2N),
+  // with the last row scaled by 1/sqrt(2).
+  Tensor t(Shape::matrix(n, n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double row_scale =
+        (i == n - 1) ? scale / std::numbers::sqrt2 : scale;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = std::numbers::pi * (i + 1.0) * (2.0 * j + 1.0) /
+                           (2.0 * static_cast<double>(n));
+      t.at(i, j) = static_cast<float>(row_scale * std::sin(angle));
+    }
+  }
+  return t;
+}
+
+Tensor transform_matrix(TransformKind kind, std::size_t n) {
+  switch (kind) {
+    case TransformKind::kDct2: return dct_matrix(n);
+    case TransformKind::kWalshHadamard: return walsh_hadamard_matrix(n);
+    case TransformKind::kDst2: return dst2_matrix(n);
+  }
+  throw std::invalid_argument("unknown transform");
+}
+
+Tensor block_diagonal_transform(TransformKind kind, std::size_t n,
+                                std::size_t block) {
+  if (block == 0 || n % block != 0) {
+    throw std::invalid_argument(
+        "block_diagonal_transform: n must be a positive multiple of block");
+  }
+  const Tensor t = transform_matrix(kind, block);
+  Tensor t_l(Shape::matrix(n, n));
+  for (std::size_t base = 0; base < n; base += block) {
+    for (std::size_t i = 0; i < block; ++i) {
+      for (std::size_t j = 0; j < block; ++j) {
+        t_l.at(base + i, base + j) = t.at(i, j);
+      }
+    }
+  }
+  return t_l;
+}
+
+}  // namespace aic::core

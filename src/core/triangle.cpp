@@ -1,0 +1,99 @@
+#include "core/triangle.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/zigzag.hpp"
+
+namespace aic::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TriangleCodec::TriangleCodec(DctChopConfig config)
+    : inner_(std::make_unique<DctChopCodec>(config)) {
+  const auto& c = inner_->config();
+  per_block_ = c.cf * (c.cf + 1) / 2;
+  const std::size_t blocks_h = c.height / c.block;
+  const std::size_t blocks_w = c.width / c.block;
+  blocks_ = blocks_h * blocks_w;
+  chopped_h_ = c.cf * blocks_h;
+  chopped_w_ = c.cf * blocks_w;
+
+  // Compile-time index computation (§3.5.2): per-block triangle offsets,
+  // replicated at each block's base position in the chopped plane.
+  const std::vector<std::size_t> block_offsets =
+      triangle_indices(c.cf, chopped_w_);
+  indices_.reserve(blocks_ * per_block_);
+  for (std::size_t bi = 0; bi < blocks_h; ++bi) {
+    for (std::size_t bj = 0; bj < blocks_w; ++bj) {
+      const std::size_t base = bi * c.cf * chopped_w_ + bj * c.cf;
+      for (std::size_t offset : block_offsets) {
+        indices_.push_back(base + offset);
+      }
+    }
+  }
+}
+
+std::string TriangleCodec::name() const {
+  std::ostringstream out;
+  out << "dct+chop+sg(cf=" << inner_->config().cf << ")";
+  return out.str();
+}
+
+double TriangleCodec::compression_ratio() const {
+  return triangle_ratio(inner_->config().cf, inner_->config().block);
+}
+
+Shape TriangleCodec::compressed_shape(const Shape& input) const {
+  // Validates resolution via the inner codec.
+  (void)inner_->compressed_shape(input);
+  return Shape::bchw(input[0], input[1], blocks_, per_block_);
+}
+
+Tensor TriangleCodec::compress(const Tensor& input) const {
+  const Tensor chopped = inner_->compress(input);
+  Tensor out(compressed_shape(input.shape()));
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t plane = chopped_h_ * chopped_w_;
+  const float* src = chopped.raw();
+  float* dst = out.raw();
+  const std::size_t packed_plane = blocks_ * per_block_;
+  for (std::size_t p = 0; p < batch * channels; ++p) {
+    const float* plane_src = src + p * plane;
+    float* plane_dst = dst + p * packed_plane;
+    // torch.gather: packed[k] = chopped[index[k]]
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      plane_dst[k] = plane_src[indices_[k]];
+    }
+  }
+  return out;
+}
+
+Tensor TriangleCodec::decompress(const Tensor& packed,
+                                 const Shape& original) const {
+  if (packed.shape() != compressed_shape(original)) {
+    throw std::invalid_argument("TriangleCodec: packed shape mismatch");
+  }
+  const std::size_t batch = original[0];
+  const std::size_t channels = original[1];
+  Tensor chopped(
+      Shape::bchw(batch, channels, chopped_h_, chopped_w_));
+  const std::size_t plane = chopped_h_ * chopped_w_;
+  const std::size_t packed_plane = blocks_ * per_block_;
+  const float* src = packed.raw();
+  float* dst = chopped.raw();
+  for (std::size_t p = 0; p < batch * channels; ++p) {
+    const float* plane_src = src + p * packed_plane;
+    float* plane_dst = dst + p * plane;
+    // torch.scatter: chopped[index[k]] = packed[k]; untouched positions
+    // stay zero (they were chopped away).
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      plane_dst[indices_[k]] = plane_src[k];
+    }
+  }
+  return inner_->decompress(chopped, original);
+}
+
+}  // namespace aic::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/dct_chop.hpp"
+
+namespace aic::core {
+
+/// Graphcore scatter/gather optimization (§3.5.2).
+///
+/// After DCT+Chop produces the CF×CF corner of each block, only the
+/// upper-left *triangle* (r + c < CF, i.e. CF(CF+1)/2 values per block)
+/// is significant, because the chopped square still contains
+/// high-frequency corner coefficients. `torch.gather` with compile-time
+/// indices packs the triangles densely; `torch.scatter` restores them
+/// before the DCT+Chop decompression. CR improves from 64/CF² to
+/// 64/(CF(CF+1)/2), a factor 2CF/(CF+1).
+class TriangleCodec final : public Codec {
+ public:
+  explicit TriangleCodec(DctChopConfig config);
+
+  std::string name() const override;
+  double compression_ratio() const override;
+  tensor::Shape compressed_shape(const tensor::Shape& input) const override;
+  tensor::Tensor compress(const tensor::Tensor& input) const override;
+  tensor::Tensor decompress(const tensor::Tensor& packed,
+                            const tensor::Shape& original) const override;
+
+  const DctChopCodec& inner() const { return *inner_; }
+  /// Retained coefficients per block: CF(CF+1)/2.
+  std::size_t values_per_block() const { return per_block_; }
+  /// The compile-time gather index table for one chopped plane.
+  const std::vector<std::size_t>& plane_indices() const { return indices_; }
+
+ private:
+  std::unique_ptr<DctChopCodec> inner_;
+  std::size_t per_block_ = 0;
+  std::size_t blocks_ = 0;          // blocks per plane
+  std::size_t chopped_h_ = 0;       // CF·H/8
+  std::size_t chopped_w_ = 0;       // CF·W/8
+  std::vector<std::size_t> indices_;  // gather indices within a plane
+};
+
+}  // namespace aic::core

@@ -1,0 +1,47 @@
+#include "core/zigzag.hpp"
+
+#include <algorithm>
+
+namespace aic::core {
+
+std::vector<std::pair<std::size_t, std::size_t>> zigzag_order(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  if (n == 0) return order;
+  order.reserve(n * n);
+  for (std::size_t diag = 0; diag <= 2 * (n - 1); ++diag) {
+    // Anti-diagonal `diag` holds entries with r + c == diag.
+    const std::size_t r_lo = diag >= n ? diag - (n - 1) : 0;
+    const std::size_t r_hi = std::min(diag, n - 1);
+    if (diag % 2 == 0) {
+      // Walk up-right: r descending.
+      for (std::size_t r = r_hi + 1; r-- > r_lo;) {
+        order.emplace_back(r, diag - r);
+      }
+    } else {
+      // Walk down-left: r ascending.
+      for (std::size_t r = r_lo; r <= r_hi; ++r) {
+        order.emplace_back(r, diag - r);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::size_t> zigzag_flat(std::size_t n) {
+  std::vector<std::size_t> flat;
+  flat.reserve(n * n);
+  for (const auto& [r, c] : zigzag_order(n)) flat.push_back(r * n + c);
+  return flat;
+}
+
+std::vector<std::size_t> triangle_indices(std::size_t cf,
+                                          std::size_t row_stride) {
+  std::vector<std::size_t> indices;
+  indices.reserve(cf * (cf + 1) / 2);
+  for (const auto& [r, c] : zigzag_order(cf)) {
+    if (r + c < cf) indices.push_back(r * row_stride + c);
+  }
+  return indices;
+}
+
+}  // namespace aic::core

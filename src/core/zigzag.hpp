@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace aic::core {
+
+/// The JPEG zig-zag traversal order of an n×n block (Fig. 2): starts at
+/// (0,0), walks anti-diagonals alternately up-right and down-left.
+/// Returns n² (row, col) pairs; the result is a permutation of the block.
+std::vector<std::pair<std::size_t, std::size_t>> zigzag_order(std::size_t n);
+
+/// Flat (row-major) indices of the same traversal.
+std::vector<std::size_t> zigzag_flat(std::size_t n);
+
+/// Flat indices of the upper-left triangle of a cf-chopped block: entries
+/// (r, c) of the cf×cf corner with r + c < cf, in zig-zag significance
+/// order. These are the compile-time gather indices of §3.5.2.
+/// `row_stride` is the width of the matrix the indices address.
+std::vector<std::size_t> triangle_indices(std::size_t cf,
+                                          std::size_t row_stride);
+
+}  // namespace aic::core

@@ -1,0 +1,76 @@
+#include "data/benchmarks.hpp"
+
+#include <stdexcept>
+
+namespace aic::data {
+
+std::vector<DatasetInfo> table2_datasets() {
+  return {
+      {"ILSVRC 2012-17", "167.62 GB", "General Images", "Classification",
+       "3x256x256"},
+      {"em_graphene_sim", "5 GB", "Electron Micrographs", "Denoising",
+       "1x256x256"},
+      {"optical_damage_ds1", "27 GB", "Laser Optics", "Reconstruction",
+       "3x492x656"},
+      {"cloud_slstr_ds1", "187 GB", "Remote Sensing", "Pixel Segmentation",
+       "3x1200x1500"},
+  };
+}
+
+std::vector<BenchmarkInfo> table3_benchmarks() {
+  return {
+      {"classify", "CIFAR10", "Classify images into 10 classes", "ResNet34",
+       "3x32x32", 100, 0.001},
+      {"em_denoise", "em_graphene_sim", "Denoise electron micrographs",
+       "Deep Encoder-Decoder", "1x256x256", 32, 0.0005},
+      {"optical_damage", "optical_damage_ds1",
+       "Reconstruct laser optics images", "Autoencoder", "1x200x200", 2,
+       0.0005},
+      {"slstr_cloud", "cloud_slstr_ds1", "Identify pixels that are clouds",
+       "UNet", "9x256x256", 4, 0.0005},
+  };
+}
+
+std::vector<std::string> benchmark_names() {
+  return {"classify", "em_denoise", "optical_damage", "slstr_cloud"};
+}
+
+BenchmarkRun make_benchmark(const std::string& name,
+                            const DatasetConfig& config,
+                            core::CodecPtr codec) {
+  BenchmarkRun run;
+  runtime::Rng weight_rng(config.seed + 77);
+
+  if (name == "classify") {
+    run.dataset = make_classify_dataset(config);
+    run.model = nn::make_resnet_classifier(3, run.dataset.classes,
+                                           weight_rng);
+    // Table 3: BS=100, LR=0.001 (Adam at reproduction scale).
+    run.optimizer =
+        std::make_unique<nn::Adam>(run.model->params(), 0.001f);
+  } else if (name == "em_denoise") {
+    run.dataset = make_denoise_dataset(config);
+    run.model = nn::make_encoder_decoder(1, weight_rng);
+    run.optimizer =
+        std::make_unique<nn::Adam>(run.model->params(), 0.0005f);
+  } else if (name == "optical_damage") {
+    run.dataset = make_optical_dataset(config);
+    run.model = nn::make_autoencoder(1, weight_rng);
+    run.optimizer =
+        std::make_unique<nn::Adam>(run.model->params(), 0.0005f);
+  } else if (name == "slstr_cloud") {
+    run.dataset = make_cloud_dataset(config);
+    run.model = nn::make_unet(run.dataset.channels, 1, weight_rng);
+    run.optimizer =
+        std::make_unique<nn::Adam>(run.model->params(), 0.0005f);
+  } else {
+    throw std::invalid_argument("unknown benchmark: " + name);
+  }
+
+  run.trainer = std::make_unique<nn::Trainer>(*run.model, *run.optimizer,
+                                              run.dataset.task,
+                                              std::move(codec));
+  return run;
+}
+
+}  // namespace aic::data

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "data/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace aic::data {
+
+/// Table 2 row: the paper's dataset inventory.
+struct DatasetInfo {
+  std::string dataset;
+  std::string size;
+  std::string type;
+  std::string task;
+  std::string sample_size;
+};
+
+/// Table 3 row: the paper's benchmark configurations.
+struct BenchmarkInfo {
+  std::string test;
+  std::string dataset;
+  std::string task;
+  std::string network;
+  std::string sample_size;
+  std::size_t paper_batch_size = 0;
+  double paper_learning_rate = 0.0;
+};
+
+/// Table 2 contents, verbatim from the paper.
+std::vector<DatasetInfo> table2_datasets();
+
+/// Table 3 contents, verbatim from the paper.
+std::vector<BenchmarkInfo> table3_benchmarks();
+
+/// The four Table 3 benchmarks, instantiated at reproduction scale:
+/// dataset + model + optimizer wired into a Trainer.
+struct BenchmarkRun {
+  Dataset dataset;
+  nn::LayerPtr model;
+  std::unique_ptr<nn::Optimizer> optimizer;
+  std::unique_ptr<nn::Trainer> trainer;
+};
+
+/// Builds one ready-to-train benchmark. `codec == nullptr` reproduces
+/// the paper's "base" series; otherwise every training batch is round-
+/// tripped through the codec (§4.1). The seed controls weights and data
+/// identically across codecs so series differ only by compression.
+BenchmarkRun make_benchmark(const std::string& name,
+                            const DatasetConfig& config,
+                            core::CodecPtr codec);
+
+/// Names accepted by make_benchmark.
+std::vector<std::string> benchmark_names();
+
+}  // namespace aic::data

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hpp"
+#include "runtime/rng.hpp"
+
+namespace aic::data {
+
+/// A benchmark dataset: pre-batched train and test splits.
+struct Dataset {
+  std::string name;
+  nn::TaskKind task = nn::TaskKind::kClassification;
+  std::vector<nn::Batch> train;
+  std::vector<nn::Batch> test;
+  std::size_t channels = 0;
+  std::size_t resolution = 0;
+  std::size_t classes = 0;  // classification only
+};
+
+/// Shared sizing knobs for the scaled-down benchmark datasets.
+struct DatasetConfig {
+  std::size_t train_samples = 256;
+  std::size_t test_samples = 64;
+  std::size_t batch_size = 32;
+  std::size_t resolution = 32;
+  std::uint64_t seed = 1234;
+};
+
+/// classify (CIFAR-10 stand-in): `classes` oriented-grating families with
+/// per-sample frequency/phase jitter and pixel noise; RGB channels carry
+/// phase-shifted copies. Task: 10-way classification (Table 3 row 1).
+Dataset make_classify_dataset(const DatasetConfig& config,
+                              std::size_t classes = 10);
+
+/// em_denoise (em_graphene_sim stand-in): clean band-limited micrograph-
+/// like fields; the input adds strong high-frequency Gaussian noise and
+/// the target is the clean field. Single channel (Table 3 row 2). The
+/// "compression helps" effect of Fig. 8 lives here: chopping high-
+/// frequency DCT coefficients removes exactly the corrupting noise.
+Dataset make_denoise_dataset(const DatasetConfig& config,
+                             double noise_stddev = 0.3);
+
+/// optical_damage (optical_damage_ds1 stand-in): undamaged laser-optics
+/// ring patterns; the autoencoder reconstructs its input. Single channel
+/// (Table 3 row 3).
+Dataset make_optical_dataset(const DatasetConfig& config);
+
+/// slstr_cloud (cloud_slstr_ds1 stand-in): multi-channel scenes whose
+/// brightness correlates with a blob "cloud" mask; target is the mask.
+/// Task: per-pixel segmentation (Table 3 row 4).
+Dataset make_cloud_dataset(const DatasetConfig& config,
+                           std::size_t channels = 3);
+
+}  // namespace aic::data

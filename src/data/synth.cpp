@@ -1,0 +1,101 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace aic::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor smooth_field(std::size_t height, std::size_t width, runtime::Rng& rng,
+                    std::size_t modes, double max_frequency) {
+  struct Mode {
+    double fx, fy, phase, amplitude;
+  };
+  std::vector<Mode> spectrum;
+  spectrum.reserve(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    spectrum.push_back({rng.uniform(-max_frequency, max_frequency),
+                        rng.uniform(-max_frequency, max_frequency),
+                        rng.uniform(0.0, 2.0 * std::numbers::pi),
+                        rng.uniform(0.5, 1.0)});
+  }
+  Tensor plane(Shape::matrix(height, width));
+  double lo = 1e30, hi = -1e30;
+  for (std::size_t i = 0; i < height; ++i) {
+    for (std::size_t j = 0; j < width; ++j) {
+      double v = 0.0;
+      for (const Mode& mode : spectrum) {
+        v += mode.amplitude *
+             std::sin(mode.fx * static_cast<double>(i) +
+                      mode.fy * static_cast<double>(j) + mode.phase);
+      }
+      plane.at(i, j) = static_cast<float>(v);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const float span = static_cast<float>(hi - lo) + 1e-9f;
+  for (auto& v : plane.data()) v = (v - static_cast<float>(lo)) / span;
+  return plane;
+}
+
+Tensor grating(std::size_t height, std::size_t width, double frequency,
+               double angle, double phase) {
+  Tensor plane(Shape::matrix(height, width));
+  const double cos_a = std::cos(angle);
+  const double sin_a = std::sin(angle);
+  for (std::size_t i = 0; i < height; ++i) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const double projected = frequency * (static_cast<double>(i) * cos_a +
+                                            static_cast<double>(j) * sin_a);
+      plane.at(i, j) =
+          static_cast<float>(0.5 + 0.5 * std::sin(projected + phase));
+    }
+  }
+  return plane;
+}
+
+void add_gaussian_noise(Tensor& plane, runtime::Rng& rng, double stddev) {
+  for (auto& v : plane.data()) {
+    v = std::clamp(v + static_cast<float>(rng.normal(0.0, stddev)), 0.0f,
+                   1.0f);
+  }
+}
+
+Tensor radial_rings(std::size_t height, std::size_t width, double cx,
+                    double cy, double ring_frequency) {
+  Tensor plane(Shape::matrix(height, width));
+  for (std::size_t i = 0; i < height; ++i) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const double dy = static_cast<double>(i) / height - cy;
+      const double dx = static_cast<double>(j) / width - cx;
+      const double radius = std::sqrt(dx * dx + dy * dy);
+      plane.at(i, j) = static_cast<float>(
+          0.5 + 0.5 * std::cos(ring_frequency * radius * 2.0 *
+                               std::numbers::pi));
+    }
+  }
+  return plane;
+}
+
+Tensor blob_mask(std::size_t height, std::size_t width, runtime::Rng& rng,
+                 double coverage) {
+  const Tensor field = smooth_field(height, width, rng, 5, 0.3);
+  // Threshold at the requested coverage quantile.
+  std::vector<float> sorted(field.data().begin(), field.data().end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t cut = static_cast<std::size_t>(
+      static_cast<double>(sorted.size()) * (1.0 - coverage));
+  const float threshold = sorted[std::min(cut, sorted.size() - 1)];
+  Tensor mask(Shape::matrix(height, width));
+  for (std::size_t i = 0; i < mask.numel(); ++i) {
+    mask.at(i) = field.at(i) >= threshold ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace aic::data

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::data {
+
+/// Procedural image primitives shared by the synthetic datasets that
+/// stand in for CIFAR-10 / em_graphene_sim / optical_damage_ds1 /
+/// cloud_slstr_ds1 (Table 2). All outputs are H×W planes in [0, 1].
+
+/// Band-limited random field: a sum of `modes` random low-frequency
+/// sinusoids, normalized to [0, 1]. `max_frequency` bounds the spatial
+/// frequency in radians per pixel, controlling smoothness.
+tensor::Tensor smooth_field(std::size_t height, std::size_t width,
+                            runtime::Rng& rng, std::size_t modes = 4,
+                            double max_frequency = 0.35);
+
+/// Oriented grating: sin(f·(x·cosθ + y·sinθ) + φ) mapped to [0, 1].
+/// Class-conditional structure for the classify dataset.
+tensor::Tensor grating(std::size_t height, std::size_t width,
+                       double frequency, double angle, double phase);
+
+/// Adds i.i.d. Gaussian pixel noise, clamping to [0, 1].
+void add_gaussian_noise(tensor::Tensor& plane, runtime::Rng& rng,
+                        double stddev);
+
+/// Radial pattern centred at (cx, cy) in normalized coordinates —
+/// laser-optics-like rings for the optical_damage stand-in.
+tensor::Tensor radial_rings(std::size_t height, std::size_t width, double cx,
+                            double cy, double ring_frequency);
+
+/// Binary mask of the `quantile`-highest values of a smooth field —
+/// cloud-shaped blobs for the segmentation stand-in.
+tensor::Tensor blob_mask(std::size_t height, std::size_t width,
+                         runtime::Rng& rng, double coverage = 0.4);
+
+}  // namespace aic::data

@@ -1,0 +1,155 @@
+#include "graph/builders.hpp"
+
+#include "core/chop.hpp"
+#include "core/zigzag.hpp"
+#include "tensor/shape.hpp"
+
+namespace aic::graph {
+
+using tensor::Shape;
+
+namespace {
+
+struct ChopOperators {
+  tensor::Tensor lhs;  // (CF·H/b) × H
+  tensor::Tensor rhs;  // W × (CF·W/b)
+};
+
+ChopOperators make_operators(const core::DctChopConfig& c) {
+  return {core::make_lhs(c.height, c.cf, c.block),
+          core::make_rhs(c.width, c.cf, c.block)};
+}
+
+}  // namespace
+
+Graph build_compress_graph(const core::DctChopConfig& config,
+                           const BatchSpec& spec) {
+  const ChopOperators ops = make_operators(config);
+  const std::size_t planes = spec.batch * spec.channels;
+  const std::size_t ch = config.cf * config.height / config.block;
+  const std::size_t cw = config.cf * config.width / config.block;
+
+  Graph g;
+  const NodeId in = g.input(
+      Shape::bchw(spec.batch, spec.channels, config.height, config.width));
+  const NodeId flat =
+      g.reshape(in, Shape({planes, config.height, config.width}));
+  const NodeId lhs = g.constant(ops.lhs);
+  const NodeId rhs = g.constant(ops.rhs);
+  // Y = LHS · (A · RHS)  — torch.matmul(LHS, torch.matmul(A, RHS)).
+  const NodeId mid = g.matmul(flat, rhs);
+  const NodeId packed = g.matmul(lhs, mid);
+  const NodeId out =
+      g.reshape(packed, Shape::bchw(spec.batch, spec.channels, ch, cw));
+  g.mark_output(out);
+  return g;
+}
+
+Graph build_decompress_graph(const core::DctChopConfig& config,
+                             const BatchSpec& spec) {
+  const std::size_t planes = spec.batch * spec.channels;
+  const std::size_t ch = config.cf * config.height / config.block;
+  const std::size_t cw = config.cf * config.width / config.block;
+
+  Graph g;
+  const NodeId in = g.input(Shape::bchw(spec.batch, spec.channels, ch, cw));
+  const NodeId flat = g.reshape(in, Shape({planes, ch, cw}));
+  // A' = RHS · (Y · LHS)  — torch.matmul(RHS, torch.matmul(Y, LHS)).
+  const NodeId lhs = g.constant(core::make_lhs(config.width, config.cf,
+                                               config.block));
+  const NodeId rhs = g.constant(core::make_rhs(config.height, config.cf,
+                                               config.block));
+  const NodeId mid = g.matmul(flat, lhs);
+  const NodeId restored = g.matmul(rhs, mid);
+  const NodeId out = g.reshape(
+      restored,
+      Shape::bchw(spec.batch, spec.channels, config.height, config.width));
+  g.mark_output(out);
+  return g;
+}
+
+namespace {
+
+// Gather/scatter index table over a chopped plane, flattened row-major.
+std::vector<std::size_t> plane_triangle_indices(
+    const core::DctChopConfig& c) {
+  const std::size_t blocks_h = c.height / c.block;
+  const std::size_t blocks_w = c.width / c.block;
+  const std::size_t cw = c.cf * blocks_w;
+  const std::vector<std::size_t> offsets = core::triangle_indices(c.cf, cw);
+  std::vector<std::size_t> indices;
+  indices.reserve(blocks_h * blocks_w * offsets.size());
+  for (std::size_t bi = 0; bi < blocks_h; ++bi) {
+    for (std::size_t bj = 0; bj < blocks_w; ++bj) {
+      const std::size_t base = bi * c.cf * cw + bj * c.cf;
+      for (std::size_t off : offsets) indices.push_back(base + off);
+    }
+  }
+  return indices;
+}
+
+}  // namespace
+
+Graph build_triangle_compress_graph(const core::DctChopConfig& config,
+                                    const BatchSpec& spec) {
+  const ChopOperators ops = make_operators(config);
+  const std::size_t planes = spec.batch * spec.channels;
+  const std::size_t ch = config.cf * config.height / config.block;
+  const std::size_t cw = config.cf * config.width / config.block;
+
+  Graph g;
+  const NodeId in = g.input(
+      Shape::bchw(spec.batch, spec.channels, config.height, config.width));
+  const NodeId flat =
+      g.reshape(in, Shape({planes, config.height, config.width}));
+  const NodeId mid = g.matmul(flat, g.constant(ops.rhs));
+  const NodeId packed = g.matmul(g.constant(ops.lhs), mid);
+  // torch.gather with compile-time triangle indices (§3.5.2).
+  const NodeId rows = g.reshape(packed, Shape({planes, 1, ch * cw}));
+  const NodeId gathered = g.gather(rows, plane_triangle_indices(config));
+  g.mark_output(gathered);
+  return g;
+}
+
+Graph build_triangle_decompress_graph(const core::DctChopConfig& config,
+                                      const BatchSpec& spec) {
+  const std::size_t planes = spec.batch * spec.channels;
+  const std::size_t ch = config.cf * config.height / config.block;
+  const std::size_t cw = config.cf * config.width / config.block;
+  const std::vector<std::size_t> indices = plane_triangle_indices(config);
+
+  Graph g;
+  const NodeId in = g.input(Shape({planes, 1, indices.size()}));
+  // torch.scatter back into the chopped layout, then Eq. 6.
+  const NodeId scattered = g.scatter(in, indices, ch * cw);
+  const NodeId planes3 = g.reshape(scattered, Shape({planes, ch, cw}));
+  const NodeId lhs = g.constant(core::make_lhs(config.width, config.cf,
+                                               config.block));
+  const NodeId rhs = g.constant(core::make_rhs(config.height, config.cf,
+                                               config.block));
+  const NodeId mid = g.matmul(planes3, lhs);
+  const NodeId restored = g.matmul(rhs, mid);
+  const NodeId out = g.reshape(
+      restored,
+      Shape::bchw(spec.batch, spec.channels, config.height, config.width));
+  g.mark_output(out);
+  return g;
+}
+
+Graph build_vle_encode_graph(std::size_t values) {
+  Graph g;
+  const NodeId in = g.input(Shape::vector(values));
+  // Quantize, then pack two 16-bit fields per word: the minimal shape of
+  // every RLE/Huffman emitter.
+  const NodeId quantized = g.quantize(in, 1.0f / 64.0f);
+  const NodeId mask = g.constant(
+      tensor::Tensor::full(Shape::vector(values), 65535.0f));
+  const NodeId low = g.bit_and(quantized, mask);
+  const NodeId high = g.bit_shift_left(low, 16);
+  const NodeId packed = g.bit_or(high, low);
+  const NodeId trimmed = g.bit_shift_right(packed, 8);
+  g.mark_output(trimmed);
+  return g;
+}
+
+}  // namespace aic::graph

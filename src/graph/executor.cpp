@@ -1,0 +1,353 @@
+#include "graph/executor.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::graph {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Flattens leading axes so [P.., m, k] becomes plane count + matrix dims.
+struct PlaneView {
+  std::size_t planes;
+  std::size_t rows;
+  std::size_t cols;
+};
+
+PlaneView plane_view(const Shape& s) {
+  if (s.rank() < 2) throw std::logic_error("plane_view: rank < 2");
+  std::size_t planes = 1;
+  for (std::size_t axis = 0; axis + 2 < s.rank(); ++axis) planes *= s[axis];
+  return {planes, s[s.rank() - 2], s[s.rank() - 1]};
+}
+
+Tensor eval_matmul(const Tensor& a, const Tensor& b, const Shape& out_shape) {
+  Tensor out(out_shape);
+  if (a.shape().rank() == 2 && b.shape().rank() == 2) {
+    tensor::matmul_into(a, b, out);
+    return out;
+  }
+  if (a.shape().rank() == 3 && b.shape().rank() == 2) {
+    const PlaneView va = plane_view(a.shape());
+    const std::size_t out_plane = va.rows * b.shape()[1];
+    for (std::size_t p = 0; p < va.planes; ++p) {
+      Tensor plane(Shape::matrix(va.rows, va.cols));
+      std::copy(a.raw() + p * va.rows * va.cols,
+                a.raw() + (p + 1) * va.rows * va.cols, plane.raw());
+      Tensor res(Shape::matrix(va.rows, b.shape()[1]));
+      tensor::matmul_into(plane, b, res);
+      std::copy(res.raw(), res.raw() + out_plane, out.raw() + p * out_plane);
+    }
+    return out;
+  }
+  if (a.shape().rank() == 2 && b.shape().rank() == 3) {
+    const PlaneView vb = plane_view(b.shape());
+    const std::size_t out_plane = a.shape()[0] * vb.cols;
+    for (std::size_t p = 0; p < vb.planes; ++p) {
+      Tensor plane(Shape::matrix(vb.rows, vb.cols));
+      std::copy(b.raw() + p * vb.rows * vb.cols,
+                b.raw() + (p + 1) * vb.rows * vb.cols, plane.raw());
+      Tensor res(Shape::matrix(a.shape()[0], vb.cols));
+      tensor::matmul_into(a, plane, res);
+      std::copy(res.raw(), res.raw() + out_plane, out.raw() + p * out_plane);
+    }
+    return out;
+  }
+  throw std::logic_error("eval_matmul: unsupported ranks");
+}
+
+// Bit ops operate on 24-bit unsigned integer values carried in floats —
+// the widest integer domain fp32 represents exactly, so shifts and masks
+// round-trip losslessly. Results are masked back into the domain.
+constexpr std::uint32_t kBitDomainMask = 0x00ffffffu;
+
+std::uint32_t as_bits(float v) {
+  return static_cast<std::uint32_t>(std::llround(static_cast<double>(v))) &
+         kBitDomainMask;
+}
+
+float from_bits(std::uint32_t u) {
+  return static_cast<float>(u & kBitDomainMask);
+}
+
+std::size_t matmul_min_plane_bytes(const Shape& a, const Shape& b,
+                                   const Shape& out) {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (const Shape* s : {&a, &b, &out}) {
+    const PlaneView v = plane_view(*s);
+    best = std::min(best, v.rows * v.cols * sizeof(float));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Tensor> Executor::run(const std::vector<Tensor>& inputs) {
+  trace_ = ExecutionTrace{};
+  trace_.min_matmul_out_bytes = std::numeric_limits<std::size_t>::max();
+  trace_.min_matmul_plane_bytes = std::numeric_limits<std::size_t>::max();
+  trace_.resident_bytes = graph_.constant_bytes() + graph_.activation_bytes();
+
+  std::vector<Tensor> values(graph_.nodes().size());
+  std::size_t next_input = 0;
+
+  for (const Node& node : graph_.nodes()) {
+    ++trace_.node_evaluations;
+    std::size_t read = 0;
+    for (NodeId in : node.inputs) {
+      read += values[in].size_bytes();
+    }
+    trace_.bytes_read += read;
+
+    switch (node.kind) {
+      case OpKind::kInput: {
+        if (next_input >= inputs.size()) {
+          throw std::invalid_argument("Executor: too few inputs");
+        }
+        const Tensor& bound = inputs[next_input++];
+        if (bound.shape() != node.shape) {
+          throw std::invalid_argument(
+              "Executor: input shape mismatch, expected " +
+              node.shape.to_string() + " got " + bound.shape().to_string());
+        }
+        values[node.id] = bound;
+        trace_.input_bytes += bound.size_bytes();
+        break;
+      }
+      case OpKind::kConstant:
+        values[node.id] = *node.constant;
+        break;
+      case OpKind::kMatMul: {
+        values[node.id] = eval_matmul(values[node.inputs[0]],
+                                      values[node.inputs[1]], node.shape);
+        ++trace_.matmul_count;
+        const Shape& a = graph_.node(node.inputs[0]).shape;
+        trace_.flops += 2 * node.shape.numel() * a[a.rank() - 1];
+        trace_.min_matmul_out_bytes = std::min(
+            trace_.min_matmul_out_bytes, node.shape.numel() * sizeof(float));
+        trace_.matmul_plane_ops += plane_view(node.shape).planes;
+        trace_.min_matmul_plane_bytes = std::min(
+            trace_.min_matmul_plane_bytes,
+            matmul_min_plane_bytes(graph_.node(node.inputs[0]).shape,
+                                   graph_.node(node.inputs[1]).shape,
+                                   node.shape));
+        break;
+      }
+      case OpKind::kAdd:
+        values[node.id] =
+            tensor::add(values[node.inputs[0]], values[node.inputs[1]]);
+        trace_.flops += node.shape.numel();
+        break;
+      case OpKind::kMul:
+        values[node.id] =
+            tensor::mul(values[node.inputs[0]], values[node.inputs[1]]);
+        trace_.flops += node.shape.numel();
+        break;
+      case OpKind::kRelu:
+        values[node.id] = tensor::map(
+            values[node.inputs[0]], [](float x) { return x > 0 ? x : 0; });
+        trace_.flops += node.shape.numel();
+        break;
+      case OpKind::kReshape:
+        values[node.id] = values[node.inputs[0]].reshaped(node.shape);
+        break;
+      case OpKind::kTranspose: {
+        const Tensor& in = values[node.inputs[0]];
+        if (in.shape().rank() == 2) {
+          values[node.id] = in.transposed();
+        } else {
+          const PlaneView v = plane_view(in.shape());
+          Tensor out(node.shape);
+          for (std::size_t p = 0; p < v.planes; ++p) {
+            const float* src = in.raw() + p * v.rows * v.cols;
+            float* dst = out.raw() + p * v.rows * v.cols;
+            for (std::size_t r = 0; r < v.rows; ++r) {
+              for (std::size_t c = 0; c < v.cols; ++c) {
+                dst[c * v.rows + r] = src[r * v.cols + c];
+              }
+            }
+          }
+          values[node.id] = std::move(out);
+        }
+        break;
+      }
+      case OpKind::kGather: {
+        const Tensor& in = values[node.inputs[0]];
+        const std::size_t last = in.shape()[in.shape().rank() - 1];
+        const std::size_t rows = in.numel() / last;
+        Tensor out(node.shape);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float* src = in.raw() + r * last;
+          float* dst = out.raw() + r * node.indices.size();
+          for (std::size_t k = 0; k < node.indices.size(); ++k) {
+            dst[k] = src[node.indices[k]];
+          }
+        }
+        trace_.indexed_elements += rows * node.indices.size();
+        values[node.id] = std::move(out);
+        break;
+      }
+      case OpKind::kScatter: {
+        const Tensor& in = values[node.inputs[0]];
+        const std::size_t last = in.shape()[in.shape().rank() - 1];
+        const std::size_t rows = in.numel() / last;
+        Tensor out(node.shape);  // zero-filled
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float* src = in.raw() + r * last;
+          float* dst = out.raw() + r * node.scatter_size;
+          for (std::size_t k = 0; k < node.indices.size(); ++k) {
+            dst[node.indices[k]] = src[k];
+          }
+        }
+        trace_.indexed_elements += rows * node.indices.size();
+        values[node.id] = std::move(out);
+        break;
+      }
+      case OpKind::kQuantize:
+        values[node.id] =
+            tensor::map(values[node.inputs[0]], [s = node.scale](float x) {
+              return std::round(x / s);
+            });
+        trace_.flops += node.shape.numel();
+        break;
+      case OpKind::kDequantize:
+        values[node.id] = tensor::map(
+            values[node.inputs[0]],
+            [s = node.scale](float x) { return x * s; });
+        trace_.flops += node.shape.numel();
+        break;
+      case OpKind::kBitShiftLeft:
+        values[node.id] = tensor::map(
+            values[node.inputs[0]], [k = node.shift](float x) {
+              return from_bits(as_bits(x) << k);
+            });
+        break;
+      case OpKind::kBitShiftRight:
+        values[node.id] = tensor::map(
+            values[node.inputs[0]], [k = node.shift](float x) {
+              return from_bits(as_bits(x) >> k);
+            });
+        break;
+      case OpKind::kBitAnd: {
+        const Tensor& a = values[node.inputs[0]];
+        const Tensor& b = values[node.inputs[1]];
+        Tensor out(node.shape);
+        for (std::size_t i = 0; i < out.numel(); ++i) {
+          out.at(i) = from_bits(as_bits(a.at(i)) & as_bits(b.at(i)));
+        }
+        values[node.id] = std::move(out);
+        break;
+      }
+      case OpKind::kBitOr: {
+        const Tensor& a = values[node.inputs[0]];
+        const Tensor& b = values[node.inputs[1]];
+        Tensor out(node.shape);
+        for (std::size_t i = 0; i < out.numel(); ++i) {
+          out.at(i) = from_bits(as_bits(a.at(i)) | as_bits(b.at(i)));
+        }
+        values[node.id] = std::move(out);
+        break;
+      }
+      case OpKind::kBitNot: {
+        const Tensor& a = values[node.inputs[0]];
+        Tensor out(node.shape);
+        for (std::size_t i = 0; i < out.numel(); ++i) {
+          out.at(i) = from_bits(~as_bits(a.at(i)));
+        }
+        values[node.id] = std::move(out);
+        break;
+      }
+    }
+    trace_.bytes_written += node.shape.numel() * sizeof(float);
+  }
+
+  if (trace_.min_matmul_out_bytes == std::numeric_limits<std::size_t>::max()) {
+    trace_.min_matmul_out_bytes = 0;
+  }
+  if (trace_.min_matmul_plane_bytes ==
+      std::numeric_limits<std::size_t>::max()) {
+    trace_.min_matmul_plane_bytes = 0;
+  }
+
+  std::vector<Tensor> results;
+  if (graph_.outputs().empty()) {
+    for (auto& v : values) results.push_back(std::move(v));
+  } else {
+    for (NodeId id : graph_.outputs()) {
+      trace_.output_bytes += values[id].size_bytes();
+      results.push_back(values[id]);
+    }
+  }
+  return results;
+}
+
+ExecutionTrace static_trace(const Graph& graph) {
+  ExecutionTrace trace;
+  trace.min_matmul_out_bytes = std::numeric_limits<std::size_t>::max();
+  trace.min_matmul_plane_bytes = std::numeric_limits<std::size_t>::max();
+  trace.resident_bytes = graph.constant_bytes() + graph.activation_bytes();
+
+  for (const Node& node : graph.nodes()) {
+    ++trace.node_evaluations;
+    for (NodeId in : node.inputs) {
+      trace.bytes_read += graph.node(in).shape.numel() * sizeof(float);
+    }
+    trace.bytes_written += node.shape.numel() * sizeof(float);
+
+    switch (node.kind) {
+      case OpKind::kInput:
+        trace.input_bytes += node.shape.numel() * sizeof(float);
+        break;
+      case OpKind::kMatMul: {
+        ++trace.matmul_count;
+        const Shape& a = graph.node(node.inputs[0]).shape;
+        trace.flops += 2 * node.shape.numel() * a[a.rank() - 1];
+        trace.min_matmul_out_bytes = std::min(
+            trace.min_matmul_out_bytes, node.shape.numel() * sizeof(float));
+        trace.matmul_plane_ops += plane_view(node.shape).planes;
+        trace.min_matmul_plane_bytes = std::min(
+            trace.min_matmul_plane_bytes,
+            matmul_min_plane_bytes(graph.node(node.inputs[0]).shape,
+                                   graph.node(node.inputs[1]).shape,
+                                   node.shape));
+        break;
+      }
+      case OpKind::kAdd:
+      case OpKind::kMul:
+      case OpKind::kRelu:
+      case OpKind::kQuantize:
+      case OpKind::kDequantize:
+        trace.flops += node.shape.numel();
+        break;
+      case OpKind::kGather:
+      case OpKind::kScatter: {
+        const Shape& in = graph.node(node.inputs[0]).shape;
+        const std::size_t last = in[in.rank() - 1];
+        trace.indexed_elements += (in.numel() / last) * node.indices.size();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (NodeId id : graph.outputs()) {
+    trace.output_bytes += graph.node(id).shape.numel() * sizeof(float);
+  }
+  if (trace.min_matmul_out_bytes == std::numeric_limits<std::size_t>::max()) {
+    trace.min_matmul_out_bytes = 0;
+  }
+  if (trace.min_matmul_plane_bytes ==
+      std::numeric_limits<std::size_t>::max()) {
+    trace.min_matmul_plane_bytes = 0;
+  }
+  return trace;
+}
+
+}  // namespace aic::graph

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::graph {
+
+/// Accounting collected during one graph evaluation; the accelerator
+/// cost models consume this instead of wall-clock time.
+struct ExecutionTrace {
+  std::size_t flops = 0;
+  std::size_t bytes_read = 0;
+  std::size_t bytes_written = 0;
+  std::size_t node_evaluations = 0;
+  std::size_t matmul_count = 0;
+  /// Host→device traffic: all graph inputs.
+  std::size_t input_bytes = 0;
+  /// Device→host traffic: all marked outputs.
+  std::size_t output_bytes = 0;
+  /// Smallest matmul output tensor (bytes); small tiles trigger the
+  /// SN30 small-tensor overhead of §4.2.2.
+  std::size_t min_matmul_out_bytes = 0;
+  /// Smallest single-plane (trailing 2-D) tensor touched by any matmul —
+  /// operands or output — in bytes.
+  std::size_t min_matmul_plane_bytes = 0;
+  /// Total per-plane matrix products issued (batched matmuls count once
+  /// per plane) — the unit the small-tensor overhead scales with.
+  std::size_t matmul_plane_ops = 0;
+  /// Elements moved by gather/scatter nodes. Indexed moves defeat the
+  /// IPU's bulk exchange and are charged per element (§4.2.4: the SG
+  /// variant is 1.5-2.7× slower than plain DCT+Chop).
+  std::size_t indexed_elements = 0;
+  /// Constants + materialized activations: the on-chip working set. As
+  /// this approaches a platform's OCM, effective bandwidth degrades
+  /// (tile spilling), which is why direct 512×512 on the IPU is no
+  /// faster than s=2 partial serialization (Fig. 15 discussion).
+  std::size_t resident_bytes = 0;
+};
+
+/// Reference executor: evaluates a Graph on the CPU in topological
+/// (insertion) order. Functionally exact — the accelerator simulators
+/// reuse it for the math and layer a cost model over the trace.
+class Executor {
+ public:
+  /// Takes ownership of the graph (copy or move) so an Executor can never
+  /// outlive its program — builders commonly return temporaries.
+  explicit Executor(Graph graph) : graph_(std::move(graph)) {}
+
+  /// Runs the graph. `inputs` are bound to kInput nodes in id order.
+  /// Returns the marked outputs (all node values when none are marked).
+  std::vector<tensor::Tensor> run(const std::vector<tensor::Tensor>& inputs);
+
+  /// Trace of the most recent run().
+  const ExecutionTrace& trace() const { return trace_; }
+
+  /// The owned program.
+  const Graph& graph() const { return graph_; }
+
+ private:
+  Graph graph_;
+  ExecutionTrace trace_;
+};
+
+/// Computes the trace of one evaluation *without executing*: every field
+/// is a pure function of the graph's static shapes. Exact equality with
+/// Executor::trace() is a tested invariant; the accelerator simulators
+/// use this to cost paper-scale problems that would be too slow to run
+/// numerically on the host.
+ExecutionTrace static_trace(const Graph& graph);
+
+}  // namespace aic::graph

@@ -1,0 +1,327 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aic::graph {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Shape of a (possibly plane-broadcast) matmul; throws on mismatch.
+Shape matmul_shape(const Shape& a, const Shape& b) {
+  if (a.rank() == 2 && b.rank() == 2) {
+    if (a[1] != b[0]) {
+      throw std::invalid_argument("graph matmul: inner dims differ " +
+                                  a.to_string() + " x " + b.to_string());
+    }
+    return Shape::matrix(a[0], b[1]);
+  }
+  if (a.rank() == 3 && b.rank() == 2) {
+    if (a[2] != b[0]) {
+      throw std::invalid_argument("graph matmul: inner dims differ " +
+                                  a.to_string() + " x " + b.to_string());
+    }
+    return Shape({a[0], a[1], b[1]});
+  }
+  if (a.rank() == 2 && b.rank() == 3) {
+    if (a[1] != b[1]) {
+      throw std::invalid_argument("graph matmul: inner dims differ " +
+                                  a.to_string() + " x " + b.to_string());
+    }
+    return Shape({b[0], a[0], b[2]});
+  }
+  throw std::invalid_argument("graph matmul: unsupported ranks " +
+                              a.to_string() + " x " + b.to_string());
+}
+
+std::size_t plane_bytes(const Shape& s) {
+  if (s.rank() < 2) return s.numel() * sizeof(float);
+  return s[s.rank() - 1] * s[s.rank() - 2] * sizeof(float);
+}
+
+}  // namespace
+
+NodeId Graph::add_node(Node node) {
+  node.id = nodes_.size();
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+const Shape& Graph::shape_of(NodeId id) const { return nodes_.at(id).shape; }
+
+NodeId Graph::input(Shape shape) {
+  Node node;
+  node.kind = OpKind::kInput;
+  node.shape = std::move(shape);
+  return add_node(std::move(node));
+}
+
+NodeId Graph::constant(Tensor value) {
+  Node node;
+  node.kind = OpKind::kConstant;
+  node.shape = value.shape();
+  node.constant = std::move(value);
+  return add_node(std::move(node));
+}
+
+NodeId Graph::matmul(NodeId a, NodeId b) {
+  Node node;
+  node.kind = OpKind::kMatMul;
+  node.inputs = {a, b};
+  node.shape = matmul_shape(shape_of(a), shape_of(b));
+  return add_node(std::move(node));
+}
+
+NodeId Graph::binary_elementwise(OpKind kind, NodeId a, NodeId b) {
+  if (shape_of(a) != shape_of(b)) {
+    throw std::invalid_argument("graph " + op_name(kind) +
+                                ": shape mismatch " +
+                                shape_of(a).to_string() + " vs " +
+                                shape_of(b).to_string());
+  }
+  Node node;
+  node.kind = kind;
+  node.inputs = {a, b};
+  node.shape = shape_of(a);
+  return add_node(std::move(node));
+}
+
+NodeId Graph::unary_elementwise(OpKind kind, NodeId a) {
+  Node node;
+  node.kind = kind;
+  node.inputs = {a};
+  node.shape = shape_of(a);
+  return add_node(std::move(node));
+}
+
+NodeId Graph::add(NodeId a, NodeId b) {
+  return binary_elementwise(OpKind::kAdd, a, b);
+}
+
+NodeId Graph::mul(NodeId a, NodeId b) {
+  return binary_elementwise(OpKind::kMul, a, b);
+}
+
+NodeId Graph::relu(NodeId a) { return unary_elementwise(OpKind::kRelu, a); }
+
+NodeId Graph::reshape(NodeId a, Shape shape) {
+  if (shape.numel() != shape_of(a).numel()) {
+    throw std::invalid_argument("graph reshape: numel mismatch");
+  }
+  Node node;
+  node.kind = OpKind::kReshape;
+  node.inputs = {a};
+  node.shape = std::move(shape);
+  return add_node(std::move(node));
+}
+
+NodeId Graph::transpose(NodeId a) {
+  const Shape& s = shape_of(a);
+  Shape out;
+  if (s.rank() == 2) {
+    out = Shape::matrix(s[1], s[0]);
+  } else if (s.rank() == 3) {
+    out = Shape({s[0], s[2], s[1]});
+  } else {
+    throw std::invalid_argument("graph transpose: rank must be 2 or 3");
+  }
+  Node node;
+  node.kind = OpKind::kTranspose;
+  node.inputs = {a};
+  node.shape = out;
+  return add_node(std::move(node));
+}
+
+NodeId Graph::gather(NodeId a, std::vector<std::size_t> indices) {
+  const Shape& s = shape_of(a);
+  if (s.rank() == 0) {
+    throw std::invalid_argument("graph gather: scalar input");
+  }
+  const std::size_t last = s[s.rank() - 1];
+  for (std::size_t idx : indices) {
+    if (idx >= last) {
+      throw std::invalid_argument("graph gather: index out of range");
+    }
+  }
+  Shape out;
+  const std::size_t k = indices.size();
+  switch (s.rank()) {
+    case 1: out = Shape::vector(k); break;
+    case 2: out = Shape::matrix(s[0], k); break;
+    case 3: out = Shape({s[0], s[1], k}); break;
+    default: out = Shape::bchw(s[0], s[1], s[2], k); break;
+  }
+  Node node;
+  node.kind = OpKind::kGather;
+  node.inputs = {a};
+  node.shape = std::move(out);
+  node.indices = std::move(indices);
+  return add_node(std::move(node));
+}
+
+NodeId Graph::scatter(NodeId a, std::vector<std::size_t> indices,
+                      std::size_t size) {
+  const Shape& s = shape_of(a);
+  if (s.rank() == 0) {
+    throw std::invalid_argument("graph scatter: scalar input");
+  }
+  if (indices.size() != s[s.rank() - 1]) {
+    throw std::invalid_argument(
+        "graph scatter: index count must equal last-axis extent");
+  }
+  for (std::size_t idx : indices) {
+    if (idx >= size) {
+      throw std::invalid_argument("graph scatter: index out of range");
+    }
+  }
+  Shape out;
+  switch (s.rank()) {
+    case 1: out = Shape::vector(size); break;
+    case 2: out = Shape::matrix(s[0], size); break;
+    case 3: out = Shape({s[0], s[1], size}); break;
+    default: out = Shape::bchw(s[0], s[1], s[2], size); break;
+  }
+  Node node;
+  node.kind = OpKind::kScatter;
+  node.inputs = {a};
+  node.shape = std::move(out);
+  node.indices = std::move(indices);
+  node.scatter_size = size;
+  return add_node(std::move(node));
+}
+
+NodeId Graph::quantize(NodeId a, float scale) {
+  NodeId id = unary_elementwise(OpKind::kQuantize, a);
+  nodes_[id].scale = scale;
+  return id;
+}
+
+NodeId Graph::dequantize(NodeId a, float scale) {
+  NodeId id = unary_elementwise(OpKind::kDequantize, a);
+  nodes_[id].scale = scale;
+  return id;
+}
+
+NodeId Graph::bit_shift_left(NodeId a, std::uint32_t amount) {
+  NodeId id = unary_elementwise(OpKind::kBitShiftLeft, a);
+  nodes_[id].shift = amount;
+  return id;
+}
+
+NodeId Graph::bit_shift_right(NodeId a, std::uint32_t amount) {
+  NodeId id = unary_elementwise(OpKind::kBitShiftRight, a);
+  nodes_[id].shift = amount;
+  return id;
+}
+
+NodeId Graph::bit_and(NodeId a, NodeId b) {
+  return binary_elementwise(OpKind::kBitAnd, a, b);
+}
+
+NodeId Graph::bit_or(NodeId a, NodeId b) {
+  return binary_elementwise(OpKind::kBitOr, a, b);
+}
+
+NodeId Graph::bit_not(NodeId a) {
+  return unary_elementwise(OpKind::kBitNot, a);
+}
+
+void Graph::mark_output(NodeId id) {
+  if (id >= nodes_.size()) {
+    throw std::invalid_argument("graph mark_output: unknown node");
+  }
+  outputs_.push_back(id);
+}
+
+std::vector<NodeId> Graph::input_ids() const {
+  std::vector<NodeId> ids;
+  for (const Node& node : nodes_) {
+    if (node.kind == OpKind::kInput) ids.push_back(node.id);
+  }
+  return ids;
+}
+
+std::set<OpKind> Graph::ops_used() const {
+  std::set<OpKind> kinds;
+  for (const Node& node : nodes_) kinds.insert(node.kind);
+  return kinds;
+}
+
+std::size_t Graph::static_flops() const {
+  std::size_t flops = 0;
+  for (const Node& node : nodes_) {
+    switch (node.kind) {
+      case OpKind::kMatMul: {
+        const Shape& a = nodes_[node.inputs[0]].shape;
+        const std::size_t k = a[a.rank() - 1];
+        flops += 2 * node.shape.numel() * k;
+        break;
+      }
+      case OpKind::kAdd:
+      case OpKind::kMul:
+      case OpKind::kRelu:
+      case OpKind::kQuantize:
+      case OpKind::kDequantize:
+        flops += node.shape.numel();
+        break;
+      default:
+        break;  // movement and bitwise ops: no floating-point work
+    }
+  }
+  return flops;
+}
+
+std::size_t Graph::constant_bytes() const {
+  std::size_t bytes = 0;
+  for (const Node& node : nodes_) {
+    if (node.kind == OpKind::kConstant) {
+      bytes += node.shape.numel() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+std::size_t Graph::activation_bytes() const {
+  std::size_t bytes = 0;
+  for (const Node& node : nodes_) {
+    // Reshapes alias their input; they cost no storage.
+    if (node.kind == OpKind::kConstant || node.kind == OpKind::kReshape) {
+      continue;
+    }
+    bytes += node.shape.numel() * sizeof(float);
+  }
+  return bytes;
+}
+
+std::size_t Graph::max_tensor_bytes() const {
+  std::size_t best = 0;
+  for (const Node& node : nodes_) {
+    best = std::max(best, node.shape.numel() * sizeof(float));
+  }
+  return best;
+}
+
+std::size_t Graph::max_plane_bytes() const {
+  std::size_t best = 0;
+  for (const Node& node : nodes_) {
+    best = std::max(best, plane_bytes(node.shape));
+  }
+  return best;
+}
+
+std::size_t Graph::max_matmul_dim() const {
+  std::size_t best = 0;
+  for (const Node& node : nodes_) {
+    if (node.kind != OpKind::kMatMul) continue;
+    for (NodeId in : node.inputs) {
+      const Shape& s = nodes_[in].shape;
+      best = std::max({best, s[s.rank() - 1], s[s.rank() - 2]});
+    }
+  }
+  return best;
+}
+
+}  // namespace aic::graph

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::graph {
+
+/// Index of a node within its graph.
+using NodeId = std::size_t;
+
+/// One operator instance. Shapes are inferred at insertion time — the
+/// graph is *statically shaped*, the property every accelerator compiler
+/// in the paper requires (§3.1 "Tensor Sizes").
+struct Node {
+  NodeId id = 0;
+  OpKind kind = OpKind::kInput;
+  std::vector<NodeId> inputs;
+  tensor::Shape shape;  // output shape
+  // Attributes (meaning depends on kind).
+  std::optional<tensor::Tensor> constant;     // kConstant payload
+  std::vector<std::size_t> indices;           // kGather / kScatter
+  std::size_t scatter_size = 0;               // kScatter output extent
+  float scale = 1.0f;                         // kQuantize / kDequantize
+  std::uint32_t shift = 0;                    // bit shifts
+};
+
+/// A static-shape dataflow graph built through a fluent API:
+///
+///   Graph g;
+///   auto x = g.input(Shape::bchw(8, 3, 32, 32));
+///   auto y = g.matmul(g.constant(lhs), g.matmul(x, g.constant(rhs)));
+///   g.mark_output(y);
+///
+/// MatMul broadcasting rule: a rank-3 operand [P, m, k] against a rank-2
+/// [k, n] (either side) multiplies every plane by the shared matrix —
+/// the exact form the DCT+Chop compressor lowers to.
+class Graph {
+ public:
+  NodeId input(tensor::Shape shape);
+  NodeId constant(tensor::Tensor value);
+  NodeId matmul(NodeId a, NodeId b);
+  NodeId add(NodeId a, NodeId b);
+  NodeId mul(NodeId a, NodeId b);
+  NodeId relu(NodeId a);
+  NodeId reshape(NodeId a, tensor::Shape shape);
+  /// Transposes the trailing two axes (rank 2 or 3).
+  NodeId transpose(NodeId a);
+  /// out[..., k] = in[..., indices[k]] over the flattened last axis.
+  NodeId gather(NodeId a, std::vector<std::size_t> indices);
+  /// out[..., indices[k]] = in[..., k]; untouched positions are zero.
+  /// `size` is the flattened output extent.
+  NodeId scatter(NodeId a, std::vector<std::size_t> indices,
+                 std::size_t size);
+  NodeId quantize(NodeId a, float scale);
+  NodeId dequantize(NodeId a, float scale);
+  NodeId bit_shift_left(NodeId a, std::uint32_t amount);
+  NodeId bit_shift_right(NodeId a, std::uint32_t amount);
+  NodeId bit_and(NodeId a, NodeId b);
+  NodeId bit_or(NodeId a, NodeId b);
+  NodeId bit_not(NodeId a);
+
+  void mark_output(NodeId id);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  std::vector<NodeId> input_ids() const;
+
+  /// Distinct operator kinds present (compile-time op audit).
+  std::set<OpKind> ops_used() const;
+
+  /// FLOPs of one forward evaluation, from shapes alone (2mnk per
+  /// matmul plane, 1 per elementwise output element).
+  std::size_t static_flops() const;
+
+  /// Bytes of all kConstant payloads (the "weights" resident on-chip).
+  std::size_t constant_bytes() const;
+
+  /// Bytes of all non-constant node outputs — a conservative stand-in
+  /// for the activation footprint a dataflow compiler materializes.
+  std::size_t activation_bytes() const;
+
+  /// Largest single tensor (bytes) flowing through the graph.
+  std::size_t max_tensor_bytes() const;
+
+  /// Largest trailing-2-D tile (bytes) of any tensor — the per-compute-
+  /// unit working set proxy used by the SN30 PMU capacity check.
+  std::size_t max_plane_bytes() const;
+
+  /// Largest trailing matrix dimension of any matmul operand — checked
+  /// against GroqChip's 320×320 MXM tile limit.
+  std::size_t max_matmul_dim() const;
+
+ private:
+  NodeId add_node(Node node);
+  NodeId binary_elementwise(OpKind kind, NodeId a, NodeId b);
+  NodeId unary_elementwise(OpKind kind, NodeId a);
+  const tensor::Shape& shape_of(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace aic::graph

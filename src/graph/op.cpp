@@ -1,0 +1,55 @@
+#include "graph/op.hpp"
+
+namespace aic::graph {
+
+std::string op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConstant: return "constant";
+    case OpKind::kMatMul: return "matmul";
+    case OpKind::kAdd: return "add";
+    case OpKind::kMul: return "mul";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kReshape: return "reshape";
+    case OpKind::kTranspose: return "transpose";
+    case OpKind::kGather: return "gather";
+    case OpKind::kScatter: return "scatter";
+    case OpKind::kQuantize: return "quantize";
+    case OpKind::kDequantize: return "dequantize";
+    case OpKind::kBitShiftLeft: return "bit_shift_left";
+    case OpKind::kBitShiftRight: return "bit_shift_right";
+    case OpKind::kBitAnd: return "bit_and";
+    case OpKind::kBitOr: return "bit_or";
+    case OpKind::kBitNot: return "bit_not";
+  }
+  return "?";
+}
+
+OpCategory op_category(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+    case OpKind::kConstant:
+    case OpKind::kReshape:
+    case OpKind::kTranspose:
+      return OpCategory::kMovement;
+    case OpKind::kGather:
+    case OpKind::kScatter:
+      return OpCategory::kIndexed;
+    case OpKind::kBitShiftLeft:
+    case OpKind::kBitShiftRight:
+    case OpKind::kBitAnd:
+    case OpKind::kBitOr:
+    case OpKind::kBitNot:
+      return OpCategory::kBitwise;
+    case OpKind::kMatMul:
+    case OpKind::kAdd:
+    case OpKind::kMul:
+    case OpKind::kRelu:
+    case OpKind::kQuantize:
+    case OpKind::kDequantize:
+      return OpCategory::kArithmetic;
+  }
+  return OpCategory::kArithmetic;
+}
+
+}  // namespace aic::graph

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+namespace aic::graph {
+
+/// Operator vocabulary of the static computation graphs.
+///
+/// The split into categories mirrors the paper's §3.1 portability
+/// analysis: *arithmetic* and *movement* ops exist in every accelerator's
+/// PyTorch frontend; *indexed* ops (gather/scatter) exist only on the
+/// IPU; *bitwise* ops — the backbone of variable-length encoders — exist
+/// on none of them, which is what forces the DCT+Chop design.
+enum class OpKind {
+  kInput,
+  kConstant,
+  kMatMul,
+  kAdd,
+  kMul,
+  kRelu,
+  kReshape,
+  kTranspose,
+  kGather,
+  kScatter,
+  kQuantize,    // round(x / scale)
+  kDequantize,  // x * scale
+  kBitShiftLeft,
+  kBitShiftRight,
+  kBitAnd,
+  kBitOr,
+  kBitNot,
+};
+
+enum class OpCategory {
+  kArithmetic,
+  kMovement,
+  kIndexed,
+  kBitwise,
+};
+
+/// Human-readable name ("matmul", "bit_shift_left", ...).
+std::string op_name(OpKind kind);
+
+/// Portability category of the op.
+OpCategory op_category(OpKind kind);
+
+}  // namespace aic::graph

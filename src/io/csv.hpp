@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aic::io {
+
+/// Minimal CSV writer for bench output files (one per figure, so results
+/// can be re-plotted outside the harness).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Serializes headers + rows. Cells containing commas, quotes or
+  /// newlines are quoted per RFC 4180.
+  std::string to_string() const;
+
+  /// Writes to `path`; throws std::runtime_error on failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aic::io

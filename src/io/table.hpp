@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aic::io {
+
+/// Fixed-width console table used by the bench harness to print
+/// paper-style rows (tables and figure series).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aic::io

@@ -1,0 +1,105 @@
+#include "io/tensor_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace aic::io {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'I', 'C', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append(std::string& out, T value) {
+  char raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.append(raw, sizeof(T));
+}
+
+template <typename T>
+T read(const std::string& bytes, std::size_t& cursor) {
+  if (cursor + sizeof(T) > bytes.size()) {
+    throw std::runtime_error("tensor_io: truncated stream");
+  }
+  T value;
+  std::memcpy(&value, bytes.data() + cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::string serialize_tensor(const Tensor& tensor) {
+  std::string out;
+  out.reserve(24 + tensor.size_bytes());
+  out.append(kMagic, sizeof(kMagic));
+  append<std::uint32_t>(out, kVersion);
+  append<std::uint32_t>(out, static_cast<std::uint32_t>(tensor.shape().rank()));
+  for (std::size_t axis = 0; axis < tensor.shape().rank(); ++axis) {
+    append<std::uint64_t>(out, tensor.shape()[axis]);
+  }
+  out.append(reinterpret_cast<const char*>(tensor.raw()),
+             tensor.size_bytes());
+  return out;
+}
+
+Tensor deserialize_tensor(const std::string& bytes) {
+  std::size_t cursor = 0;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("tensor_io: bad magic");
+  }
+  cursor += sizeof(kMagic);
+  const auto version = read<std::uint32_t>(bytes, cursor);
+  if (version != kVersion) {
+    throw std::runtime_error("tensor_io: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto rank = read<std::uint32_t>(bytes, cursor);
+  if (rank > Shape::kMaxRank) {
+    throw std::runtime_error("tensor_io: rank too large");
+  }
+  std::size_t dims[Shape::kMaxRank] = {};
+  std::size_t numel = 1;
+  for (std::uint32_t axis = 0; axis < rank; ++axis) {
+    dims[axis] = static_cast<std::size_t>(read<std::uint64_t>(bytes, cursor));
+    numel *= dims[axis];
+  }
+  Shape shape;
+  switch (rank) {
+    case 0: shape = Shape::scalar(); break;
+    case 1: shape = Shape::vector(dims[0]); break;
+    case 2: shape = Shape::matrix(dims[0], dims[1]); break;
+    case 3: shape = Shape({dims[0], dims[1], dims[2]}); break;
+    default: shape = Shape::bchw(dims[0], dims[1], dims[2], dims[3]); break;
+  }
+  if (cursor + numel * sizeof(float) != bytes.size()) {
+    throw std::runtime_error("tensor_io: payload size mismatch");
+  }
+  Tensor tensor(shape);
+  std::memcpy(tensor.raw(), bytes.data() + cursor, numel * sizeof(float));
+  return tensor;
+}
+
+void save_tensor(const Tensor& tensor, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("tensor_io: cannot open " + path);
+  const std::string bytes = serialize_tensor(tensor);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) throw std::runtime_error("tensor_io: write failed: " + path);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("tensor_io: cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  return deserialize_tensor(bytes);
+}
+
+}  // namespace aic::io

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace aic::io {
+
+/// Binary tensor serialization (little-endian, versioned header):
+///
+///   magic "AICT" | u32 version | u32 rank | u64 dims[rank] | f32 data[]
+///
+/// Used to persist compressed datasets and precomputed LHS/RHS operators
+/// between runs; round-trips bit-exactly.
+void save_tensor(const tensor::Tensor& tensor, const std::string& path);
+
+/// Loads a tensor written by save_tensor. Throws std::runtime_error on
+/// malformed files.
+tensor::Tensor load_tensor(const std::string& path);
+
+/// In-memory variants (the file functions are thin wrappers).
+std::string serialize_tensor(const tensor::Tensor& tensor);
+tensor::Tensor deserialize_tensor(const std::string& bytes);
+
+}  // namespace aic::io

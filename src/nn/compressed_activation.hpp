@@ -1,0 +1,46 @@
+#pragma once
+
+#include "core/codec.hpp"
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// Activation compression (§2.2 / Fig. 1 "blue targets", §6 future
+/// work): wraps a layer and round-trips its *output* through a fixed-
+/// rate codec during the forward pass, modeling activations stored
+/// compressed between forward and backward.
+///
+/// The backward pass uses the straight-through estimator: gradients flow
+/// through the codec unchanged. That is exactly the approximation
+/// activation-compression systems like ActNN/COMET make — the stored
+/// (compressed) activation perturbs downstream computation, but the
+/// codec itself is treated as identity for differentiation.
+class CompressedActivation final : public Layer {
+ public:
+  CompressedActivation(LayerPtr inner, core::CodecPtr codec)
+      : inner_(std::move(inner)), codec_(std::move(codec)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override {
+    const tensor::Tensor raw = inner_->forward(input, train);
+    if (!codec_ || !train) return raw;
+    return codec_->round_trip(raw);
+  }
+
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override {
+    // Straight-through: d(codec)/d(x) ≈ I.
+    return inner_->backward(grad_output);
+  }
+
+  std::vector<Param*> params() override { return inner_->params(); }
+  std::string name() const override {
+    return "compressed(" + inner_->name() + ")";
+  }
+
+  const core::Codec* codec() const { return codec_.get(); }
+
+ private:
+  LayerPtr inner_;
+  core::CodecPtr codec_;
+};
+
+}  // namespace aic::nn

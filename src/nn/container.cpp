@@ -1,0 +1,81 @@
+#include "nn/container.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+
+using tensor::Tensor;
+
+Sequential& Sequential::add(LayerPtr layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->forward(x, train);
+  }
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+ResidualBlock::ResidualBlock(std::size_t in_channels,
+                             std::size_t out_channels, std::size_t stride,
+                             runtime::Rng& rng) {
+  body_.add(std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                     rng))
+      .add(std::make_unique<BatchNorm2d>(out_channels))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, rng))
+      .add(std::make_unique<BatchNorm2d>(out_channels));
+  if (stride != 1 || in_channels != out_channels) {
+    projection_ =
+        std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0, rng);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+  const Tensor f = body_.forward(input, train);
+  const Tensor skip =
+      projection_ ? projection_->forward(input, train) : input;
+  return final_relu_.forward(tensor::add(f, skip), train);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  const Tensor g = final_relu_.backward(grad_output);
+  Tensor grad_input = body_.backward(g);
+  if (projection_) {
+    tensor::axpy(grad_input, projection_->backward(g), 1.0f);
+  } else {
+    tensor::axpy(grad_input, g, 1.0f);
+  }
+  return grad_input;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> all = body_.params();
+  if (projection_) {
+    for (Param* p : projection_->params()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace aic::nn

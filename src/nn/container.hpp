@@ -1,0 +1,48 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// Runs child layers in order; backward in reverse order.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<LayerPtr> layers)
+      : layers_(std::move(layers)) {}
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Pre-activation-free basic residual block: out = relu(F(x) + P(x))
+/// where F is conv-bn-relu-conv-bn and P is identity or a 1×1 projection
+/// when shape changes (stride or channel growth) — the ResNet34 building
+/// block of the classify benchmark (Table 3).
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::size_t in_channels, std::size_t out_channels,
+                std::size_t stride, runtime::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "residual"; }
+
+ private:
+  Sequential body_;
+  LayerPtr projection_;  // nullptr = identity skip
+  Relu final_relu_;
+};
+
+}  // namespace aic::nn

@@ -1,0 +1,169 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+std::size_t conv_out(std::size_t extent, std::size_t kernel,
+                     std::size_t stride, std::size_t padding) {
+  return (extent + 2 * padding - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& input, std::size_t sample, std::size_t kernel,
+              std::size_t stride, std::size_t padding) {
+  const std::size_t channels = input.shape()[1];
+  const std::size_t h = input.shape()[2];
+  const std::size_t w = input.shape()[3];
+  const std::size_t oh = conv_out(h, kernel, stride, padding);
+  const std::size_t ow = conv_out(w, kernel, stride, padding);
+  Tensor columns(Shape::matrix(channels * kernel * kernel, oh * ow));
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kernel; ++ki) {
+      for (std::size_t kj = 0; kj < kernel; ++kj) {
+        const std::size_t row = (c * kernel + ki) * kernel + kj;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(padding);
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(padding);
+            float value = 0.0f;
+            if (ii >= 0 && jj >= 0 && ii < static_cast<std::ptrdiff_t>(h) &&
+                jj < static_cast<std::ptrdiff_t>(w)) {
+              value = input.at(sample, c, static_cast<std::size_t>(ii),
+                               static_cast<std::size_t>(jj));
+            }
+            columns.at(row, oi * ow + oj) = value;
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+void col2im(const Tensor& columns, Tensor& grad_input, std::size_t sample,
+            std::size_t kernel, std::size_t stride, std::size_t padding) {
+  const std::size_t channels = grad_input.shape()[1];
+  const std::size_t h = grad_input.shape()[2];
+  const std::size_t w = grad_input.shape()[3];
+  const std::size_t oh = conv_out(h, kernel, stride, padding);
+  const std::size_t ow = conv_out(w, kernel, stride, padding);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kernel; ++ki) {
+      for (std::size_t kj = 0; kj < kernel; ++kj) {
+        const std::size_t row = (c * kernel + ki) * kernel + kj;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(padding);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(padding);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(w)) continue;
+            grad_input.at(sample, c, static_cast<std::size_t>(ii),
+                          static_cast<std::size_t>(jj)) +=
+                columns.at(row, oi * ow + oj);
+          }
+        }
+      }
+    }
+  }
+}
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               runtime::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(Tensor::normal(
+          Shape::matrix(out_channels, in_channels * kernel * kernel), rng,
+          0.0f,
+          std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel)))),
+      bias_(Tensor(Shape::vector(out_channels))) {}
+
+Tensor Conv2d::forward(const Tensor& input, bool) {
+  if (input.shape().rank() != 4 || input.shape()[1] != in_channels_) {
+    throw std::invalid_argument("Conv2d: bad input shape " +
+                                input.shape().to_string());
+  }
+  input_shape_ = input.shape();
+  const std::size_t batch = input.shape()[0];
+  out_h_ = conv_out(input.shape()[2], kernel_, stride_, padding_);
+  out_w_ = conv_out(input.shape()[3], kernel_, stride_, padding_);
+  const std::size_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::size_t col_cols = out_h_ * out_w_;
+
+  // Cache all per-sample column matrices stacked for backward.
+  columns_ = Tensor(Shape({batch, col_rows, col_cols}));
+  Tensor out(Shape::bchw(batch, out_channels_, out_h_, out_w_));
+  for (std::size_t b = 0; b < batch; ++b) {
+    const Tensor cols = im2col(input, b, kernel_, stride_, padding_);
+    std::copy(cols.raw(), cols.raw() + cols.numel(),
+              columns_.raw() + b * col_rows * col_cols);
+    Tensor y(Shape::matrix(out_channels_, col_cols));
+    tensor::matmul_into(weight_.value, cols, y);
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      const float bias = bias_.value.at(o);
+      for (std::size_t s = 0; s < col_cols; ++s) {
+        out.at(((b * out_channels_ + o) * out_h_ + s / out_w_) * out_w_ +
+               s % out_w_) = y.at(o, s) + bias;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = input_shape_[0];
+  const std::size_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::size_t col_cols = out_h_ * out_w_;
+  Tensor grad_input(input_shape_);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    // go_mat: [out_channels, H'·W'] slice of the output gradient.
+    Tensor go(Shape::matrix(out_channels_, col_cols));
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      for (std::size_t s = 0; s < col_cols; ++s) {
+        go.at(o, s) = grad_output.at(b, o, s / out_w_, s % out_w_);
+      }
+    }
+    Tensor cols(Shape::matrix(col_rows, col_cols));
+    std::copy(columns_.raw() + b * col_rows * col_cols,
+              columns_.raw() + (b + 1) * col_rows * col_cols, cols.raw());
+
+    // dW += go · colsᵀ ; db += Σ_s go ; dcols = Wᵀ · go.
+    Tensor dw(Shape::matrix(out_channels_, col_rows));
+    tensor::matmul_into(go, cols.transposed(), dw);
+    tensor::axpy(weight_.grad, dw, 1.0f);
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      double acc = 0.0;
+      for (std::size_t s = 0; s < col_cols; ++s) acc += go.at(o, s);
+      bias_.grad.at(o) += static_cast<float>(acc);
+    }
+    Tensor dcols(Shape::matrix(col_rows, col_cols));
+    tensor::matmul_into(weight_.value.transposed(), go, dcols);
+    col2im(dcols, grad_input, b, kernel_, stride_, padding_);
+  }
+  return grad_input;
+}
+
+}  // namespace aic::nn

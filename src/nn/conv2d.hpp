@@ -1,0 +1,51 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// 2-D convolution over BCHW tensors, lowered to im2col + matmul — the
+/// same lowering the accelerators' compilers use, keeping the training
+/// substrate dominated by the operation every platform optimizes (§3.2).
+class Conv2d final : public Layer {
+ public:
+  /// Square kernel, symmetric padding. Output spatial size is
+  /// (H + 2·padding − kernel)/stride + 1.
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t padding,
+         runtime::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "conv2d"; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  Param weight_;  // [out, in·k·k]
+  Param bias_;    // [out]
+  tensor::Tensor columns_;  // cached im2col matrix [B·H'·W' rows grouped]
+  tensor::Shape input_shape_;
+  std::size_t out_h_ = 0;
+  std::size_t out_w_ = 0;
+};
+
+/// Unfolds one batch sample into a [C·k·k, H'·W'] column matrix.
+tensor::Tensor im2col(const tensor::Tensor& input, std::size_t sample,
+                      std::size_t kernel, std::size_t stride,
+                      std::size_t padding);
+
+/// Transpose of im2col: folds a column-gradient matrix back into an
+/// input-shaped gradient for one sample (accumulating).
+void col2im(const tensor::Tensor& columns, tensor::Tensor& grad_input,
+            std::size_t sample, std::size_t kernel, std::size_t stride,
+            std::size_t padding);
+
+}  // namespace aic::nn

@@ -1,0 +1,130 @@
+#include "nn/distributed.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+
+using tensor::Tensor;
+
+DistributedTrainer::DistributedTrainer(Layer& model, Optimizer& optimizer,
+                                       TaskKind task, std::size_t workers,
+                                       GradientCompressorPtr compressor,
+                                       bool error_feedback)
+    : model_(model),
+      optimizer_(optimizer),
+      task_(task),
+      workers_(workers),
+      compressor_(std::move(compressor)),
+      error_feedback_(error_feedback) {
+  if (workers_ == 0) {
+    throw std::invalid_argument("DistributedTrainer: workers must be >= 1");
+  }
+}
+
+LossResult DistributedTrainer::compute_loss(const Tensor& output,
+                                            const Batch& batch) {
+  switch (task_) {
+    case TaskKind::kClassification:
+      return softmax_cross_entropy(output, batch.labels);
+    case TaskKind::kRegression:
+      return mse_loss(output, batch.target);
+    case TaskKind::kSegmentation:
+      return bce_with_logits(output, batch.target);
+  }
+  throw std::logic_error("unknown task");
+}
+
+double DistributedTrainer::train_epoch(const std::vector<Batch>& batches) {
+  const std::vector<Param*> params = model_.params();
+  double total_loss = 0.0;
+  std::size_t batch_count = 0;
+
+  for (std::size_t group = 0; group < batches.size(); group += workers_) {
+    const std::size_t group_size =
+        std::min(workers_, batches.size() - group);
+
+    // Accumulated (post-wire) gradients for this synchronous step.
+    std::vector<Tensor> averaged;
+    averaged.reserve(params.size());
+    for (Param* p : params) averaged.emplace_back(p->value.shape());
+
+    for (std::size_t worker = 0; worker < group_size; ++worker) {
+      const Batch& batch = batches[group + worker];
+      optimizer_.zero_grad();
+      const Tensor output = model_.forward(batch.input, /*train=*/true);
+      const LossResult loss = compute_loss(output, batch);
+      model_.backward(loss.grad);
+      total_loss += loss.value;
+      ++batch_count;
+
+      // The worker's gradients traverse the interconnect.
+      if (error_feedback_ && residuals_.size() < workers_) {
+        residuals_.resize(workers_);
+      }
+      if (error_feedback_ && residuals_[worker].empty()) {
+        residuals_[worker].reserve(params.size());
+        for (Param* p : params) {
+          residuals_[worker].emplace_back(p->value.shape());
+        }
+      }
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        const Tensor& raw = params[i]->grad;
+        stats_.raw_bytes += raw.size_bytes();
+        Tensor wire = raw;
+        if (compressor_) {
+          Tensor to_send = raw;
+          if (error_feedback_) {
+            tensor::axpy(to_send, residuals_[worker][i], 1.0f);
+          }
+          wire = compressor_->round_trip(to_send);
+          if (error_feedback_) {
+            residuals_[worker][i] = tensor::sub(to_send, wire);
+          }
+          stats_.compressed_bytes += compressor_->wire_bytes(raw);
+        } else {
+          stats_.compressed_bytes += raw.size_bytes();
+        }
+        tensor::axpy(averaged[i], wire,
+                     1.0f / static_cast<float>(group_size));
+      }
+    }
+
+    // Apply the averaged (possibly lossy) gradients through the shared
+    // optimizer — all replicas stay in lockstep by construction.
+    optimizer_.zero_grad();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->grad = averaged[i];
+    }
+    optimizer_.step();
+    ++stats_.steps;
+  }
+  return batch_count == 0 ? 0.0
+                          : total_loss / static_cast<double>(batch_count);
+}
+
+Trainer::EvalResult DistributedTrainer::evaluate(
+    const std::vector<Batch>& batches) {
+  Trainer::EvalResult result;
+  if (batches.empty()) return result;
+  for (const Batch& batch : batches) {
+    const Tensor output = model_.forward(batch.input, /*train=*/false);
+    result.loss += compute_loss(output, batch).value;
+    switch (task_) {
+      case TaskKind::kClassification:
+        result.accuracy += accuracy(output, batch.labels);
+        break;
+      case TaskKind::kSegmentation:
+        result.accuracy += pixel_accuracy(output, batch.target);
+        break;
+      case TaskKind::kRegression:
+        break;
+    }
+  }
+  result.loss /= static_cast<double>(batches.size());
+  result.accuracy /= static_cast<double>(batches.size());
+  return result;
+}
+
+}  // namespace aic::nn

@@ -1,0 +1,103 @@
+#include "nn/gradient_compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace aic::nn {
+
+using tensor::Tensor;
+
+TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
+  if (!(fraction_ > 0.0) || fraction_ > 1.0) {
+    throw std::invalid_argument("TopKCompressor: fraction must be in (0, 1]");
+  }
+}
+
+Tensor TopKCompressor::round_trip(const Tensor& grad) {
+  const std::size_t n = grad.numel();
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(fraction_ * n)));
+  if (keep >= n) return grad;
+
+  // nth_element on magnitudes to find the keep-threshold.
+  std::vector<float> magnitudes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    magnitudes[i] = std::fabs(grad.at(i));
+  }
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + (keep - 1),
+                   magnitudes.end(), std::greater<>());
+  const float threshold = magnitudes[keep - 1];
+
+  Tensor out(grad.shape());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n && kept < keep; ++i) {
+    if (std::fabs(grad.at(i)) >= threshold) {
+      out.at(i) = grad.at(i);
+      ++kept;
+    }
+  }
+  return out;
+}
+
+std::size_t TopKCompressor::wire_bytes(const Tensor& grad) const {
+  const std::size_t keep = std::max<std::size_t>(
+      1,
+      static_cast<std::size_t>(std::llround(fraction_ * grad.numel())));
+  return keep * (sizeof(float) + sizeof(std::uint32_t));  // (value, index)
+}
+
+std::string TopKCompressor::name() const {
+  std::ostringstream out;
+  out << "topk(" << fraction_ << ")";
+  return out.str();
+}
+
+QsgdCompressor::QsgdCompressor(std::size_t levels, std::uint64_t seed)
+    : levels_(levels), rng_(seed) {
+  if (levels_ == 0) {
+    throw std::invalid_argument("QsgdCompressor: levels must be >= 1");
+  }
+}
+
+Tensor QsgdCompressor::round_trip(const Tensor& grad) {
+  double norm_sq = 0.0;
+  for (float v : grad.data()) {
+    norm_sq += static_cast<double>(v) * v;
+  }
+  const double norm = std::sqrt(norm_sq);
+  Tensor out(grad.shape());
+  if (norm == 0.0) return out;
+
+  const double s = static_cast<double>(levels_);
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const double v = grad.at(i);
+    const double scaled = std::fabs(v) / norm * s;  // in [0, s]
+    const double floor_level = std::floor(scaled);
+    const double probability = scaled - floor_level;
+    const double level =
+        floor_level + (rng_.uniform() < probability ? 1.0 : 0.0);
+    out.at(i) = static_cast<float>((v < 0 ? -1.0 : 1.0) * norm * level / s);
+  }
+  return out;
+}
+
+std::size_t QsgdCompressor::wire_bytes(const Tensor& grad) const {
+  // sign + ceil(log2(levels+1)) bits per entry, plus the fp32 norm.
+  const double bits_per_entry =
+      1.0 + std::ceil(std::log2(static_cast<double>(levels_) + 1.0));
+  return static_cast<std::size_t>(
+             std::ceil(bits_per_entry * static_cast<double>(grad.numel()) /
+                       8.0)) +
+         sizeof(float);
+}
+
+std::string QsgdCompressor::name() const {
+  std::ostringstream out;
+  out << "qsgd(levels=" << levels_ << ")";
+  return out.str();
+}
+
+}  // namespace aic::nn

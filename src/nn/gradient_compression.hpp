@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "runtime/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::nn {
+
+/// Gradient compressors for distributed data-parallel training —
+/// the third compression target of Fig. 1 (§2.2: QSGD, 3LC). Unlike the
+/// image codecs, these operate on arbitrary-shaped parameter gradients
+/// and are *lossy but unbiased-ish*, trading gradient fidelity for
+/// interconnect bytes.
+class GradientCompressor {
+ public:
+  virtual ~GradientCompressor() = default;
+
+  /// Simulates transmit: returns the gradient a receiver reconstructs.
+  virtual tensor::Tensor round_trip(const tensor::Tensor& grad) = 0;
+
+  /// Wire bytes for this gradient (uncompressed = numel · 4).
+  virtual std::size_t wire_bytes(const tensor::Tensor& grad) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using GradientCompressorPtr = std::shared_ptr<GradientCompressor>;
+
+/// Top-k sparsification: transmit only the `fraction` largest-magnitude
+/// entries as (index, value) pairs; the rest are dropped (no error
+/// feedback — the simplest member of the family).
+class TopKCompressor final : public GradientCompressor {
+ public:
+  /// fraction in (0, 1]; at least one entry is always kept.
+  explicit TopKCompressor(double fraction);
+
+  tensor::Tensor round_trip(const tensor::Tensor& grad) override;
+  std::size_t wire_bytes(const tensor::Tensor& grad) const override;
+  std::string name() const override;
+
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+/// QSGD-style stochastic quantization (Alistarh et al. 2017): each entry
+/// is scaled by the gradient's L2 norm and stochastically rounded to one
+/// of `levels` buckets, preserving the gradient in expectation.
+class QsgdCompressor final : public GradientCompressor {
+ public:
+  /// `levels` >= 1 quantization levels per sign; seed fixes the
+  /// stochastic rounding stream.
+  QsgdCompressor(std::size_t levels, std::uint64_t seed = 17);
+
+  tensor::Tensor round_trip(const tensor::Tensor& grad) override;
+  std::size_t wire_bytes(const tensor::Tensor& grad) const override;
+  std::string name() const override;
+
+  std::size_t levels() const { return levels_; }
+
+ private:
+  std::size_t levels_;
+  runtime::Rng rng_;
+};
+
+}  // namespace aic::nn

@@ -1,0 +1,229 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor Relu::forward(const Tensor& input, bool) {
+  input_ = input;
+  return tensor::map(input, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  Tensor grad(grad_output.shape());
+  const auto in = input_.data();
+  const auto go = grad_output.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = in[i] > 0.0f ? go[i] : 0.0f;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool) {
+  output_ = tensor::map(
+      input, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return output_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  Tensor grad(grad_output.shape());
+  const auto y = output_.data();
+  const auto go = grad_output.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = go[i] * y[i] * (1.0f - y[i]);
+  }
+  return grad;
+}
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               runtime::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::normal(
+          Shape::matrix(out_features, in_features), rng, 0.0f,
+          std::sqrt(2.0f / static_cast<float>(in_features)))),
+      bias_(Tensor(Shape::vector(out_features))) {}
+
+Tensor Linear::forward(const Tensor& input, bool) {
+  if (input.shape().rank() != 4 || input.shape()[1] != in_features_ ||
+      input.shape()[2] != 1 || input.shape()[3] != 1) {
+    throw std::invalid_argument("Linear: expected [B, " +
+                                std::to_string(in_features_) + ", 1, 1]");
+  }
+  input_ = input;
+  const std::size_t batch = input.shape()[0];
+  Tensor out(Shape::bchw(batch, out_features_, 1, 1));
+  // x [B, F] times Wᵀ [F, O].
+  const Tensor x = input.reshaped(Shape::matrix(batch, in_features_));
+  Tensor y(Shape::matrix(batch, out_features_));
+  tensor::matmul_into(x, weight_.value.transposed(), y);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      out.at(b, o, 0, 0) = y.at(b, o) + bias_.value.at(o);
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.shape()[0];
+  const Tensor go =
+      grad_output.reshaped(Shape::matrix(batch, out_features_));
+  const Tensor x = input_.reshaped(Shape::matrix(batch, in_features_));
+  // dW = goᵀ · x ; db = Σ_b go ; dx = go · W.
+  Tensor dw(Shape::matrix(out_features_, in_features_));
+  tensor::matmul_into(go.transposed(), x, dw);
+  tensor::axpy(weight_.grad, dw, 1.0f);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      bias_.grad.at(o) += go.at(b, o);
+    }
+  }
+  Tensor dx(Shape::matrix(batch, in_features_));
+  tensor::matmul_into(go, weight_.value, dx);
+  return dx.reshaped(input_.shape());
+}
+
+Tensor Flatten::forward(const Tensor& input, bool) {
+  input_shape_ = input.shape();
+  return input.reshaped(
+      Shape::bchw(input.shape()[0], input.numel() / input.shape()[0], 1, 1));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool) {
+  input_shape_ = input.shape();
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t h = input.shape()[2];
+  const std::size_t w = input.shape()[3];
+  if (h % 2 != 0 || w % 2 != 0) {
+    throw std::invalid_argument("MaxPool2d: odd spatial dims");
+  }
+  Tensor out(Shape::bchw(batch, channels, h / 2, w / 2));
+  argmax_.assign(out.numel(), 0);
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t i = 0; i < h; i += 2) {
+        for (std::size_t j = 0; j < w; j += 2) {
+          float best = input.at(b, c, i, j);
+          std::size_t best_index =
+              ((b * channels + c) * h + i) * w + j;
+          for (std::size_t di = 0; di < 2; ++di) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              const float v = input.at(b, c, i + di, j + dj);
+              if (v > best) {
+                best = v;
+                best_index = ((b * channels + c) * h + i + di) * w + j + dj;
+              }
+            }
+          }
+          out.at(cursor) = best;
+          argmax_[cursor] = best_index;
+          ++cursor;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad(input_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad.at(argmax_[i]) += grad_output.at(i);
+  }
+  return grad;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool) {
+  input_shape_ = input.shape();
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t spatial = input.shape()[2] * input.shape()[3];
+  Tensor out(Shape::bchw(batch, channels, 1, 1));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      double acc = 0.0;
+      for (std::size_t h = 0; h < input.shape()[2]; ++h) {
+        for (std::size_t w = 0; w < input.shape()[3]; ++w) {
+          acc += input.at(b, c, h, w);
+        }
+      }
+      out.at(b, c, 0, 0) = static_cast<float>(acc / spatial);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  Tensor grad(input_shape_);
+  const float inv =
+      1.0f / static_cast<float>(input_shape_[2] * input_shape_[3]);
+  for (std::size_t b = 0; b < input_shape_[0]; ++b) {
+    for (std::size_t c = 0; c < input_shape_[1]; ++c) {
+      const float g = grad_output.at(b, c, 0, 0) * inv;
+      for (std::size_t h = 0; h < input_shape_[2]; ++h) {
+        for (std::size_t w = 0; w < input_shape_[3]; ++w) {
+          grad.at(b, c, h, w) = g;
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor UpsampleNearest2x::forward(const Tensor& input, bool) {
+  input_shape_ = input.shape();
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t h = input.shape()[2];
+  const std::size_t w = input.shape()[3];
+  Tensor out(Shape::bchw(batch, channels, 2 * h, 2 * w));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t i = 0; i < h; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          const float v = input.at(b, c, i, j);
+          out.at(b, c, 2 * i, 2 * j) = v;
+          out.at(b, c, 2 * i, 2 * j + 1) = v;
+          out.at(b, c, 2 * i + 1, 2 * j) = v;
+          out.at(b, c, 2 * i + 1, 2 * j + 1) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor UpsampleNearest2x::backward(const Tensor& grad_output) {
+  Tensor grad(input_shape_);
+  for (std::size_t b = 0; b < input_shape_[0]; ++b) {
+    for (std::size_t c = 0; c < input_shape_[1]; ++c) {
+      for (std::size_t i = 0; i < input_shape_[2]; ++i) {
+        for (std::size_t j = 0; j < input_shape_[3]; ++j) {
+          grad.at(b, c, i, j) = grad_output.at(b, c, 2 * i, 2 * j) +
+                                grad_output.at(b, c, 2 * i, 2 * j + 1) +
+                                grad_output.at(b, c, 2 * i + 1, 2 * j) +
+                                grad_output.at(b, c, 2 * i + 1, 2 * j + 1);
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace aic::nn

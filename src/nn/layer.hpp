@@ -1,0 +1,134 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::nn {
+
+/// A trainable tensor with its gradient accumulator.
+struct Param {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  explicit Param(tensor::Tensor v)
+      : value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// One differentiable module with explicit backprop.
+///
+/// forward() caches whatever backward() needs; layers are therefore
+/// stateful and single-stream (one forward, then one backward), which is
+/// exactly how the training loop drives them. Gradients accumulate into
+/// Param::grad; the optimizer consumes and the caller zeroes them.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// `train` toggles behaviours like batch-norm statistics.
+  virtual tensor::Tensor forward(const tensor::Tensor& input, bool train) = 0;
+
+  /// Consumes d(loss)/d(output), accumulates parameter gradients, and
+  /// returns d(loss)/d(input).
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// ReLU with cached activation mask.
+class Relu final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  tensor::Tensor input_;
+};
+
+/// Logistic sigmoid with cached output.
+class Sigmoid final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  tensor::Tensor output_;
+};
+
+/// Fully connected layer over flattened [B, F, 1, 1] tensors.
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features,
+         runtime::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "linear"; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  tensor::Tensor input_;
+};
+
+/// [B, C, H, W] -> [B, C·H·W, 1, 1].
+class Flatten final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+/// 2×2 max pooling, stride 2, with cached argmax positions.
+class MaxPool2d final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "maxpool2"; }
+
+ private:
+  tensor::Shape input_shape_;
+  std::vector<std::size_t> argmax_;
+};
+
+/// Global average pooling: [B, C, H, W] -> [B, C, 1, 1].
+class GlobalAvgPool final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "gap"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+/// Nearest-neighbour ×2 upsampling.
+class UpsampleNearest2x final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "upsample2x"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+}  // namespace aic::nn

@@ -1,0 +1,109 @@
+#include "nn/layers_extra.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate_ < 0.0f || rate_ >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || rate_ == 0.0f) {
+    mask_ = Tensor();  // marks "no dropout applied"
+    return input;
+  }
+  mask_ = Tensor(input.shape());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool keep = rng_.uniform() >= rate_;
+    mask_.at(i) = keep ? keep_scale : 0.0f;
+    out.at(i) = input.at(i) * mask_.at(i);
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.numel() == 0) return grad_output;
+  return tensor::mul(grad_output, mask_);
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool) {
+  input_shape_ = input.shape();
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t h = input.shape()[2];
+  const std::size_t w = input.shape()[3];
+  if (h % 2 != 0 || w % 2 != 0) {
+    throw std::invalid_argument("AvgPool2d: odd spatial dims");
+  }
+  Tensor out(Shape::bchw(batch, channels, h / 2, w / 2));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t i = 0; i < h; i += 2) {
+        for (std::size_t j = 0; j < w; j += 2) {
+          out.at(b, c, i / 2, j / 2) =
+              0.25f * (input.at(b, c, i, j) + input.at(b, c, i, j + 1) +
+                       input.at(b, c, i + 1, j) +
+                       input.at(b, c, i + 1, j + 1));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  Tensor grad(input_shape_);
+  for (std::size_t b = 0; b < input_shape_[0]; ++b) {
+    for (std::size_t c = 0; c < input_shape_[1]; ++c) {
+      for (std::size_t i = 0; i < input_shape_[2]; ++i) {
+        for (std::size_t j = 0; j < input_shape_[3]; ++j) {
+          grad.at(b, c, i, j) =
+              0.25f * grad_output.at(b, c, i / 2, j / 2);
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor LeakyRelu::forward(const Tensor& input, bool) {
+  input_ = input;
+  return tensor::map(input, [s = slope_](float x) {
+    return x > 0.0f ? x : s * x;
+  });
+}
+
+Tensor LeakyRelu::backward(const Tensor& grad_output) {
+  Tensor grad(grad_output.shape());
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    grad.at(i) = grad_output.at(i) * (input_.at(i) > 0.0f ? 1.0f : slope_);
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool) {
+  output_ = tensor::map(input, [](float x) { return std::tanh(x); });
+  return output_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor grad(grad_output.shape());
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const float y = output_.at(i);
+    grad.at(i) = grad_output.at(i) * (1.0f - y * y);
+  }
+  return grad;
+}
+
+}  // namespace aic::nn

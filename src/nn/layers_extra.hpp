@@ -1,0 +1,62 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// Inverted dropout: zeroes activations with probability `rate` during
+/// training and rescales survivors by 1/(1−rate); identity in eval.
+class Dropout final : public Layer {
+ public:
+  /// rate in [0, 1); `seed` fixes the mask stream for reproducibility.
+  explicit Dropout(float rate, std::uint64_t seed = 99);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "dropout"; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  runtime::Rng rng_;
+  tensor::Tensor mask_;  // scaled keep mask from the last training forward
+};
+
+/// 2×2 average pooling, stride 2.
+class AvgPool2d final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "avgpool2"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+/// LeakyReLU: x for x > 0, slope·x otherwise.
+class LeakyRelu final : public Layer {
+ public:
+  explicit LeakyRelu(float slope = 0.01f) : slope_(slope) {}
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "leaky_relu"; }
+
+ private:
+  float slope_;
+  tensor::Tensor input_;
+};
+
+/// Hyperbolic tangent with cached output.
+class Tanh final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string name() const override { return "tanh"; }
+
+ private:
+  tensor::Tensor output_;
+};
+
+}  // namespace aic::nn

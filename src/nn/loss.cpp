@@ -1,0 +1,116 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aic::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  if (logits.shape().rank() != 4 || logits.shape()[2] != 1 ||
+      logits.shape()[3] != 1) {
+    throw std::invalid_argument("softmax_cross_entropy: need [B, K, 1, 1]");
+  }
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  if (labels.size() != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count");
+  }
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (labels[b] >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    float max_logit = logits.at(b, 0, 0, 0);
+    for (std::size_t k = 1; k < classes; ++k) {
+      max_logit = std::max(max_logit, logits.at(b, k, 0, 0));
+    }
+    double denom = 0.0;
+    for (std::size_t k = 0; k < classes; ++k) {
+      denom += std::exp(static_cast<double>(logits.at(b, k, 0, 0) - max_logit));
+    }
+    const double log_denom = std::log(denom);
+    total -= static_cast<double>(logits.at(b, labels[b], 0, 0) - max_logit) -
+             log_denom;
+    for (std::size_t k = 0; k < classes; ++k) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(b, k, 0, 0) - max_logit)) /
+          denom;
+      const double onehot = k == labels[b] ? 1.0 : 0.0;
+      result.grad.at(b, k, 0, 0) =
+          static_cast<float>((p - onehot) / static_cast<double>(batch));
+    }
+  }
+  result.value = total / static_cast<double>(batch);
+  return result;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < classes; ++k) {
+      if (logits.at(b, k, 0, 0) > logits.at(b, best, 0, 0)) best = k;
+    }
+    if (best == labels[b]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  if (prediction.shape() != target.shape()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  LossResult result;
+  result.grad = Tensor(prediction.shape());
+  const double n = static_cast<double>(prediction.numel());
+  double total = 0.0;
+  for (std::size_t i = 0; i < prediction.numel(); ++i) {
+    const double d =
+        static_cast<double>(prediction.at(i)) - target.at(i);
+    total += d * d;
+    result.grad.at(i) = static_cast<float>(2.0 * d / n);
+  }
+  result.value = total / n;
+  return result;
+}
+
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  if (logits.shape() != targets.shape()) {
+    throw std::invalid_argument("bce_with_logits: shape mismatch");
+  }
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const double n = static_cast<double>(logits.numel());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const double x = logits.at(i);
+    const double t = targets.at(i);
+    // log(1 + e^-|x|) + max(x, 0) − t·x is the stable form.
+    total += std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0) - t * x;
+    const double sigmoid = 1.0 / (1.0 + std::exp(-x));
+    result.grad.at(i) = static_cast<float>((sigmoid - t) / n);
+  }
+  result.value = total / n;
+  return result;
+}
+
+double pixel_accuracy(const Tensor& logits, const Tensor& targets) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const bool predicted = logits.at(i) > 0.0f;  // sigmoid(x) > 0.5
+    const bool actual = targets.at(i) > 0.5f;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.numel());
+}
+
+}  // namespace aic::nn

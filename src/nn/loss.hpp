@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace aic::nn {
+
+/// Loss value plus the gradient with respect to the model output.
+struct LossResult {
+  double value = 0.0;
+  tensor::Tensor grad;
+};
+
+/// Softmax cross-entropy over [B, K, 1, 1] logits with integer labels.
+/// Gradient is (softmax − onehot)/B.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::size_t>& labels);
+
+/// Top-1 accuracy of [B, K, 1, 1] logits against labels.
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::size_t>& labels);
+
+/// Mean squared error between same-shaped tensors; gradient is
+/// 2(pred − target)/N.
+LossResult mse_loss(const tensor::Tensor& prediction,
+                    const tensor::Tensor& target);
+
+/// Numerically stable per-element binary cross-entropy on logits with
+/// {0,1} targets; gradient is (sigmoid − target)/N.
+LossResult bce_with_logits(const tensor::Tensor& logits,
+                           const tensor::Tensor& targets);
+
+/// Fraction of pixels whose thresholded sigmoid matches the target mask.
+double pixel_accuracy(const tensor::Tensor& logits,
+                      const tensor::Tensor& targets);
+
+}  // namespace aic::nn

@@ -1,0 +1,69 @@
+#include "nn/models.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/norm.hpp"
+#include "nn/unet.hpp"
+
+namespace aic::nn {
+
+LayerPtr make_resnet_classifier(std::size_t in_channels,
+                                std::size_t num_classes, runtime::Rng& rng,
+                                std::size_t base_channels) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(in_channels, base_channels, 3, 1, 1, rng))
+      .add(std::make_unique<BatchNorm2d>(base_channels))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<ResidualBlock>(base_channels, base_channels, 1,
+                                           rng))
+      .add(std::make_unique<ResidualBlock>(base_channels, 2 * base_channels,
+                                           2, rng))
+      .add(std::make_unique<ResidualBlock>(2 * base_channels,
+                                           4 * base_channels, 2, rng))
+      .add(std::make_unique<GlobalAvgPool>())
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Linear>(4 * base_channels, num_classes, rng));
+  return net;
+}
+
+LayerPtr make_encoder_decoder(std::size_t channels, runtime::Rng& rng,
+                              std::size_t base_channels) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(channels, base_channels, 3, 1, 1, rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<MaxPool2d>())
+      .add(std::make_unique<Conv2d>(base_channels, 2 * base_channels, 3, 1, 1,
+                                    rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<UpsampleNearest2x>())
+      .add(std::make_unique<Conv2d>(2 * base_channels, base_channels, 3, 1, 1,
+                                    rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(base_channels, channels, 1, 1, 0, rng));
+  return net;
+}
+
+LayerPtr make_autoencoder(std::size_t channels, runtime::Rng& rng,
+                          std::size_t base_channels) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(channels, base_channels, 3, 1, 1, rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<MaxPool2d>())
+      .add(std::make_unique<Conv2d>(base_channels, base_channels / 2, 3, 1, 1,
+                                    rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(base_channels / 2, base_channels, 3, 1, 1,
+                                    rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<UpsampleNearest2x>())
+      .add(std::make_unique<Conv2d>(base_channels, channels, 3, 1, 1, rng))
+      .add(std::make_unique<Sigmoid>());
+  return net;
+}
+
+LayerPtr make_unet(std::size_t in_channels, std::size_t out_channels,
+                   runtime::Rng& rng, std::size_t base_channels) {
+  return std::make_unique<UNetMini>(in_channels, base_channels, out_channels,
+                                    rng);
+}
+
+}  // namespace aic::nn

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "nn/container.hpp"
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// Scaled-down Table 3 architectures. Channel widths are reduced so the
+/// 28-configuration accuracy sweep (Figs. 7/8) runs on a single host
+/// core; the topology of each network family is preserved.
+
+/// ResNet-style classifier (classify benchmark: ResNet34 family): stem
+/// conv → three residual stages with downsampling → GAP → linear head.
+LayerPtr make_resnet_classifier(std::size_t in_channels,
+                                std::size_t num_classes, runtime::Rng& rng,
+                                std::size_t base_channels = 8);
+
+/// Deep encoder-decoder (em_denoise): strided encoder, upsampling
+/// decoder, linear output for residual-noise regression.
+LayerPtr make_encoder_decoder(std::size_t channels, runtime::Rng& rng,
+                              std::size_t base_channels = 8);
+
+/// Autoencoder (optical_damage): bottlenecked reconstruction with a
+/// sigmoid output over [0, 1] images.
+LayerPtr make_autoencoder(std::size_t channels, runtime::Rng& rng,
+                          std::size_t base_channels = 8);
+
+/// UNet (slstr_cloud): see UNetMini. Output is per-pixel logits.
+LayerPtr make_unet(std::size_t in_channels, std::size_t out_channels,
+                   runtime::Rng& rng, std::size_t base_channels = 8);
+
+}  // namespace aic::nn

@@ -1,0 +1,117 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aic::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Tensor::full(Shape::vector(channels), 1.0f)),
+      beta_(Tensor(Shape::vector(channels))),
+      running_mean_(Shape::vector(channels)),
+      running_var_(Tensor::full(Shape::vector(channels), 1.0f)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  if (input.shape().rank() != 4 || input.shape()[1] != channels_) {
+    throw std::invalid_argument("BatchNorm2d: bad input shape");
+  }
+  const std::size_t batch = input.shape()[0];
+  const std::size_t h = input.shape()[2];
+  const std::size_t w = input.shape()[3];
+  const std::size_t count = batch * h * w;
+
+  Tensor out(input.shape());
+  normalized_ = Tensor(input.shape());
+  batch_inv_std_.assign(channels_, 0.0f);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean, var;
+    if (train) {
+      double acc = 0.0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t i = 0; i < h; ++i) {
+          for (std::size_t j = 0; j < w; ++j) acc += input.at(b, c, i, j);
+        }
+      }
+      mean = acc / count;
+      double acc_sq = 0.0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t i = 0; i < h; ++i) {
+          for (std::size_t j = 0; j < w; ++j) {
+            const double d = input.at(b, c, i, j) - mean;
+            acc_sq += d * d;
+          }
+        }
+      }
+      var = acc_sq / count;
+      running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) +
+                            momentum_ * static_cast<float>(mean);
+      running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) +
+                           momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean_.at(c);
+      var = running_var_.at(c);
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + epsilon_);
+    batch_inv_std_[c] = inv_std;
+    const float g = gamma_.value.at(c);
+    const float bshift = beta_.value.at(c);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t i = 0; i < h; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          const float xn =
+              (input.at(b, c, i, j) - static_cast<float>(mean)) * inv_std;
+          normalized_.at(b, c, i, j) = xn;
+          out.at(b, c, i, j) = g * xn + bshift;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.shape()[0];
+  const std::size_t h = grad_output.shape()[2];
+  const std::size_t w = grad_output.shape()[3];
+  const double count = static_cast<double>(batch * h * w);
+
+  Tensor grad(grad_output.shape());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xn = 0.0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t i = 0; i < h; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          const float dy = grad_output.at(b, c, i, j);
+          sum_dy += dy;
+          sum_dy_xn += dy * normalized_.at(b, c, i, j);
+        }
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(sum_dy_xn);
+    beta_.grad.at(c) += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value.at(c);
+    const float inv_std = batch_inv_std_[c];
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t i = 0; i < h; ++i) {
+        for (std::size_t j = 0; j < w; ++j) {
+          const double dy = grad_output.at(b, c, i, j);
+          const double xn = normalized_.at(b, c, i, j);
+          grad.at(b, c, i, j) = static_cast<float>(
+              g * inv_std * (dy - sum_dy / count - xn * sum_dy_xn / count));
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace aic::nn

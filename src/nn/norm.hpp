@@ -1,0 +1,37 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// Batch normalization over the channel axis of BCHW tensors.
+///
+/// Training mode normalizes with batch statistics and updates running
+/// estimates; evaluation mode uses the running estimates.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                       float epsilon = 1e-5f);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "batchnorm2d"; }
+
+  const tensor::Tensor& running_mean() const { return running_mean_; }
+  const tensor::Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float epsilon_;
+  Param gamma_;  // scale, [C]
+  Param beta_;   // shift, [C]
+  tensor::Tensor running_mean_;
+  tensor::Tensor running_var_;
+  // Backward caches (training only).
+  tensor::Tensor normalized_;
+  std::vector<float> batch_inv_std_;
+};
+
+}  // namespace aic::nn

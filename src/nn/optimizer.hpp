@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// Optimizer over a fixed parameter set. `step()` consumes accumulated
+/// gradients; `zero_grad()` resets them for the next batch.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f);
+
+  void step() override;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  std::size_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+}  // namespace aic::nn

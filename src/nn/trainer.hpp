@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace aic::nn {
+
+/// The three task families of Table 3: image classification (classify),
+/// dense regression (em_denoise / optical_damage), and per-pixel
+/// segmentation (slstr_cloud).
+enum class TaskKind { kClassification, kRegression, kSegmentation };
+
+/// One minibatch. `labels` is used by classification; `target` by the
+/// dense tasks (and ignored by classification).
+struct Batch {
+  tensor::Tensor input;
+  tensor::Tensor target;
+  std::vector<std::size_t> labels;
+};
+
+/// Per-epoch record matching the series of Figs. 7/8.
+struct EpochMetrics {
+  double train_loss = 0.0;
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;  // top-1 or pixel accuracy; 0 for regression
+};
+
+/// Drives the §4.1 experimental loop: the codec models *dataset
+/// compression*, so every input batch — training and evaluation alike —
+/// is compressed and immediately decompressed before the forward pass
+/// ("each batch is first compressed and then decompressed", §4.2.1).
+/// Targets/labels are never compressed. The "base" series passes a null
+/// codec and reads pristine data.
+class Trainer {
+ public:
+  /// `codec == nullptr` is the paper's "base" (no compression) series.
+  Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
+          core::CodecPtr codec = nullptr);
+
+  /// One pass over the training batches; returns the mean batch loss.
+  double train_epoch(const std::vector<Batch>& batches);
+
+  struct EvalResult {
+    double loss = 0.0;
+    double accuracy = 0.0;
+  };
+  /// Loss (and accuracy where defined) over the evaluation batches.
+  EvalResult evaluate(const std::vector<Batch>& batches);
+
+  /// train_epoch + evaluate for `epochs` rounds.
+  std::vector<EpochMetrics> fit(const std::vector<Batch>& train,
+                                const std::vector<Batch>& test,
+                                std::size_t epochs);
+
+  const core::Codec* codec() const { return codec_.get(); }
+
+ private:
+  LossResult compute_loss(const tensor::Tensor& output, const Batch& batch);
+
+  Layer& model_;
+  Optimizer& optimizer_;
+  TaskKind task_;
+  core::CodecPtr codec_;
+};
+
+}  // namespace aic::nn

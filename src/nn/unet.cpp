@@ -1,0 +1,98 @@
+#include "nn/unet.hpp"
+
+#include <stdexcept>
+
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  if (a.shape()[0] != b.shape()[0] || a.shape()[2] != b.shape()[2] ||
+      a.shape()[3] != b.shape()[3]) {
+    throw std::invalid_argument("concat_channels: incompatible shapes");
+  }
+  const std::size_t batch = a.shape()[0];
+  const std::size_t ca = a.shape()[1];
+  const std::size_t cb = b.shape()[1];
+  Tensor out(Shape::bchw(batch, ca + cb, a.shape()[2], a.shape()[3]));
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ca; ++c) {
+      out.set_plane(n, c, a.slice_plane(n, c));
+    }
+    for (std::size_t c = 0; c < cb; ++c) {
+      out.set_plane(n, ca + c, b.slice_plane(n, c));
+    }
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> split_channels(const Tensor& grad,
+                                         std::size_t first_channels) {
+  const std::size_t batch = grad.shape()[0];
+  const std::size_t total = grad.shape()[1];
+  const std::size_t rest = total - first_channels;
+  Tensor a(Shape::bchw(batch, first_channels, grad.shape()[2], grad.shape()[3]));
+  Tensor b(Shape::bchw(batch, rest, grad.shape()[2], grad.shape()[3]));
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < first_channels; ++c) {
+      a.set_plane(n, c, grad.slice_plane(n, c));
+    }
+    for (std::size_t c = 0; c < rest; ++c) {
+      b.set_plane(n, c, grad.slice_plane(n, first_channels + c));
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+UNetMini::UNetMini(std::size_t in_channels, std::size_t base_channels,
+                   std::size_t out_channels, runtime::Rng& rng)
+    : base_channels_(base_channels) {
+  enc1_.add(std::make_unique<Conv2d>(in_channels, base_channels, 3, 1, 1, rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(base_channels, base_channels, 3, 1, 1,
+                                    rng))
+      .add(std::make_unique<Relu>());
+  enc2_.add(std::make_unique<Conv2d>(base_channels, 2 * base_channels, 3, 1,
+                                     1, rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(2 * base_channels, 2 * base_channels, 3,
+                                    1, 1, rng))
+      .add(std::make_unique<Relu>());
+  dec_.add(std::make_unique<Conv2d>(3 * base_channels, base_channels, 3, 1, 1,
+                                    rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(base_channels, out_channels, 1, 1, 0,
+                                    rng));
+}
+
+Tensor UNetMini::forward(const Tensor& input, bool train) {
+  enc1_out_ = enc1_.forward(input, train);
+  const Tensor down = pool_.forward(enc1_out_, train);
+  const Tensor deep = enc2_.forward(down, train);
+  const Tensor up = up_.forward(deep, train);
+  const Tensor merged = concat_channels(enc1_out_, up);
+  return dec_.forward(merged, train);
+}
+
+Tensor UNetMini::backward(const Tensor& grad_output) {
+  const Tensor grad_merged = dec_.backward(grad_output);
+  auto [grad_skip, grad_up] = split_channels(grad_merged, base_channels_);
+  const Tensor grad_deep = up_.backward(grad_up);
+  const Tensor grad_down = enc2_.backward(grad_deep);
+  Tensor grad_enc1 = pool_.backward(grad_down);
+  tensor::axpy(grad_enc1, grad_skip, 1.0f);  // skip path contribution
+  return enc1_.backward(grad_enc1);
+}
+
+std::vector<Param*> UNetMini::params() {
+  std::vector<Param*> all = enc1_.params();
+  for (Param* p : enc2_.params()) all.push_back(p);
+  for (Param* p : dec_.params()) all.push_back(p);
+  return all;
+}
+
+}  // namespace aic::nn

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "nn/container.hpp"
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// A compact two-level UNet for dense per-pixel prediction — the
+/// slstr_cloud segmentation architecture of Table 3, scaled to the
+/// synthetic dataset resolution.
+///
+///   enc1 ── pool ── enc2 ── up ── concat(enc1) ── dec ── head
+///
+/// Skip connections concatenate encoder features with the upsampled
+/// decoder path along the channel axis.
+class UNetMini final : public Layer {
+ public:
+  UNetMini(std::size_t in_channels, std::size_t base_channels,
+           std::size_t out_channels, runtime::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "unet-mini"; }
+
+ private:
+  Sequential enc1_;
+  MaxPool2d pool_;
+  Sequential enc2_;
+  UpsampleNearest2x up_;
+  Sequential dec_;
+  std::size_t base_channels_;
+  tensor::Tensor enc1_out_;  // cached for the skip connection
+};
+
+/// Channel-axis concatenation helpers used by the UNet skip path.
+tensor::Tensor concat_channels(const tensor::Tensor& a,
+                               const tensor::Tensor& b);
+/// Splits a channel-concatenated gradient back into the two parts.
+std::pair<tensor::Tensor, tensor::Tensor> split_channels(
+    const tensor::Tensor& grad, std::size_t first_channels);
+
+}  // namespace aic::nn

@@ -1,0 +1,70 @@
+#include "nn/weight_quantization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+Tensor quantize_tensor(const Tensor& values, std::size_t bits,
+                       double* max_change) {
+  const float lo = tensor::min_value(values);
+  const float hi = tensor::max_value(values);
+  Tensor out(values.shape());
+  if (hi == lo) {
+    // Constant tensor: exactly representable with the offset alone.
+    out = values;
+    return out;
+  }
+  const float levels = static_cast<float>((1u << bits) - 1);
+  const float scale = (hi - lo) / levels;
+  for (std::size_t i = 0; i < values.numel(); ++i) {
+    const float level = std::round((values.at(i) - lo) / scale);
+    out.at(i) = lo + level * scale;
+    *max_change = std::max(
+        *max_change,
+        static_cast<double>(std::fabs(out.at(i) - values.at(i))));
+  }
+  return out;
+}
+
+}  // namespace
+
+WeightQuantReport measure_weight_quantization(
+    const std::vector<Param*>& params, std::size_t bits,
+    std::vector<Tensor>* quantized_out) {
+  if (bits == 0 || bits > 16) {
+    throw std::invalid_argument("quantize_weights: bits must be in [1, 16]");
+  }
+  WeightQuantReport report;
+  report.bits = bits;
+  for (const Param* p : params) {
+    report.parameters += p->value.numel();
+    report.fp32_bytes += p->value.size_bytes();
+    // Payload at `bits` per weight plus fp32 (min, max) per tensor.
+    report.quantized_bytes +=
+        (p->value.numel() * bits + 7) / 8 + 2 * sizeof(float);
+    Tensor q = quantize_tensor(p->value, bits, &report.max_abs_change);
+    if (quantized_out) quantized_out->push_back(std::move(q));
+  }
+  return report;
+}
+
+WeightQuantReport quantize_weights(Layer& model, std::size_t bits) {
+  const std::vector<Param*> params = model.params();
+  std::vector<Tensor> quantized;
+  WeightQuantReport report =
+      measure_weight_quantization(params, bits, &quantized);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(quantized[i]);
+  }
+  return report;
+}
+
+}  // namespace aic::nn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace aic::nn {
+
+/// Post-training weight quantization — the fourth Fig. 1 target (§2.2:
+/// "reducing model parameter footprint allows for more efficient storage
+/// of the model itself"). Every parameter tensor is snapped to 2^bits
+/// uniform levels over its own [min, max] range (per-tensor affine
+/// quantization, the standard PTQ baseline).
+struct WeightQuantReport {
+  std::size_t bits = 0;
+  std::size_t parameters = 0;
+  std::size_t fp32_bytes = 0;
+  std::size_t quantized_bytes = 0;  // payload + per-tensor scale/offset
+  double max_abs_change = 0.0;      // largest weight perturbation
+
+  double compression_ratio() const {
+    return quantized_bytes == 0
+               ? 1.0
+               : static_cast<double>(fp32_bytes) /
+                     static_cast<double>(quantized_bytes);
+  }
+};
+
+/// Quantizes `model`'s parameters in place and reports the footprint.
+/// `bits` in [1, 16]. Constant tensors (all values equal) are exact.
+WeightQuantReport quantize_weights(Layer& model, std::size_t bits);
+
+/// Non-mutating variant: returns the report plus the quantized values so
+/// callers can diff accuracy before committing.
+WeightQuantReport measure_weight_quantization(
+    const std::vector<Param*>& params, std::size_t bits,
+    std::vector<tensor::Tensor>* quantized_out = nullptr);
+
+}  // namespace aic::nn

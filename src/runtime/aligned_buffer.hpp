@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace aic::runtime {
+
+/// RAII owner of a cacheline/SIMD-aligned float-compatible byte buffer.
+///
+/// Tensor storage uses 64-byte alignment so vectorized matmul kernels can
+/// assume aligned loads on every row start.
+template <typename T, std::size_t Alignment = 64>
+class AlignedBuffer {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : count_(count) {
+    if (count_ == 0) return;
+    const std::size_t bytes =
+        (count_ * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(Alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace aic::runtime

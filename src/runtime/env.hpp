@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace aic::runtime {
+
+/// Reads an environment variable as a size_t; returns `fallback` when the
+/// variable is unset or unparsable.
+std::size_t env_size_t(const char* name, std::size_t fallback);
+
+/// Reads an environment variable as a string; returns `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when the variable is set to a truthy value ("1", "true", "on",
+/// "yes"; case-insensitive).
+bool env_flag(const char* name, bool fallback = false);
+
+}  // namespace aic::runtime

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aic::runtime {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style one-shot log line: emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace aic::runtime
+
+#define AIC_LOG_DEBUG ::aic::runtime::detail::LogLine(::aic::runtime::LogLevel::kDebug)
+#define AIC_LOG_INFO ::aic::runtime::detail::LogLine(::aic::runtime::LogLevel::kInfo)
+#define AIC_LOG_WARN ::aic::runtime::detail::LogLine(::aic::runtime::LogLevel::kWarn)
+#define AIC_LOG_ERROR ::aic::runtime::detail::LogLine(::aic::runtime::LogLevel::kError)

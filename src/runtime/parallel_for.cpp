@@ -1,0 +1,58 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace aic::runtime {
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    ParallelOptions options) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t max_chunks = pool.size() * 4;
+  const std::size_t grain = std::max<std::size_t>(options.grain, 1);
+
+  if (total <= grain || pool.size() == 1 || max_chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  const std::size_t chunk =
+      std::max(grain, (total + max_chunks - 1) / max_chunks);
+  std::vector<std::future<void>> futures;
+  futures.reserve((total + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  ParallelOptions options) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      options);
+}
+
+}  // namespace aic::runtime

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace aic::runtime {
+
+/// Grain-size policy for `parallel_for`.
+struct ParallelOptions {
+  /// Minimum number of iterations per chunk; ranges smaller than this run
+  /// inline on the calling thread.
+  std::size_t grain = 1024;
+};
+
+/// Runs `body(i)` for every i in [begin, end) across the global thread
+/// pool, splitting the range into contiguous chunks.
+///
+/// Blocks until all chunks complete. Exceptions thrown by `body` are
+/// rethrown on the calling thread (the first one wins).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  ParallelOptions options = {});
+
+/// Chunked variant: `body(chunk_begin, chunk_end)` is invoked once per
+/// contiguous chunk, which avoids per-iteration call overhead in kernels.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         ParallelOptions options = {});
+
+}  // namespace aic::runtime

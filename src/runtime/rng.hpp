@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aic::runtime {
+
+/// Deterministic, seedable PRNG (xoshiro256** with splitmix64 seeding).
+///
+/// Every stochastic component in the repository (dataset generators,
+/// weight initialization, noise injection) draws from an explicitly
+/// seeded Rng so that experiments are bit-reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Derives an independent child stream (for per-sample generators).
+  Rng fork();
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& indices);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace aic::runtime

@@ -1,0 +1,80 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/env.hpp"
+
+namespace aic::runtime {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::post after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(env_size_t("AIC_NUM_THREADS", 0));
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ is set and the queue has drained.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace aic::runtime

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aic::runtime {
+
+/// A fixed-size worker pool with a single FIFO task queue.
+///
+/// The pool is the execution backend for `parallel_for` and for the
+/// accelerator simulators' host-side math. Tasks are arbitrary
+/// `void()` callables; `submit` additionally returns a future for
+/// callables with a result.
+///
+/// Threads are joined in the destructor (RAII); submitting after
+/// `shutdown()` throws.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` picks
+  /// `std::thread::hardware_concurrency()` (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task.
+  void post(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = packaged->get_future();
+    post([packaged]() { (*packaged)(); });
+    return result;
+  }
+
+  /// Blocks until every queued and running task has finished.
+  void wait_idle();
+
+  /// Stops accepting tasks and joins workers after draining the queue.
+  void shutdown();
+
+  /// Process-wide pool, sized from AIC_NUM_THREADS when set.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace aic::runtime

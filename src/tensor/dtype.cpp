@@ -1,0 +1,114 @@
+#include "tensor/dtype.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace aic::tensor {
+namespace {
+
+std::uint32_t float_bits(float value) { return std::bit_cast<std::uint32_t>(value); }
+float bits_float(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+
+std::uint16_t fp32_to_bf16(float value) {
+  std::uint32_t bits = float_bits(value);
+  if (std::isnan(value)) return 0x7fc0;  // canonical quiet NaN
+  // Round to nearest even on the truncated 16 low bits.
+  const std::uint32_t rounding = 0x7fffu + ((bits >> 16) & 1u);
+  bits += rounding;
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float bf16_to_fp32(std::uint16_t half) {
+  return bits_float(static_cast<std::uint32_t>(half) << 16);
+}
+
+std::uint16_t fp32_to_fp16(float value) {
+  const std::uint32_t bits = float_bits(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  std::uint32_t mantissa = bits & 0x007fffffu;
+
+  if (((bits >> 23) & 0xffu) == 0xffu) {
+    // Inf / NaN.
+    const std::uint16_t payload = mantissa ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | payload);
+  }
+  if (exponent >= 0x1f) {
+    // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);  // underflow
+    // Subnormal: shift in the implicit leading 1, then round.
+    mantissa |= 0x00800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exponent);
+    const std::uint32_t half_mantissa = mantissa >> shift;
+    const std::uint32_t remainder = mantissa & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t rounded = half_mantissa;
+    if (remainder > halfway || (remainder == halfway && (half_mantissa & 1u))) {
+      ++rounded;
+    }
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal number: keep 10 mantissa bits, round to nearest even.
+  std::uint32_t half =
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+  const std::uint32_t remainder = mantissa & 0x1fffu;
+  if (remainder > 0x1000u || (remainder == 0x1000u && (half & 1u))) {
+    ++half;  // may carry into the exponent, which is the correct behaviour
+  }
+  return static_cast<std::uint16_t>(half);
+}
+
+float fp16_to_fp32(std::uint16_t half) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u) << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1fu;
+  std::uint32_t mantissa = half & 0x03ffu;
+
+  if (exponent == 0x1f) {
+    return bits_float(sign | 0x7f800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_float(sign);
+    // Normalize the subnormal.
+    int shift = 0;
+    while ((mantissa & 0x0400u) == 0) {
+      mantissa <<= 1;
+      ++shift;
+    }
+    mantissa &= 0x03ffu;
+    const std::uint32_t exp32 =
+        static_cast<std::uint32_t>(127 - 15 - shift + 1);
+    return bits_float(sign | (exp32 << 23) | (mantissa << 13));
+  }
+  const std::uint32_t exp32 = exponent - 15 + 127;
+  return bits_float(sign | (exp32 << 23) | (mantissa << 13));
+}
+
+}  // namespace
+
+float round_trip_fp16(float value) { return fp16_to_fp32(fp32_to_fp16(value)); }
+float round_trip_bf16(float value) { return bf16_to_fp32(fp32_to_bf16(value)); }
+
+std::uint16_t encode_half(float value, HalfFormat format) {
+  return format == HalfFormat::kFp16 ? fp32_to_fp16(value)
+                                     : fp32_to_bf16(value);
+}
+
+float decode_half(std::uint16_t bits, HalfFormat format) {
+  return format == HalfFormat::kFp16 ? fp16_to_fp32(bits) : bf16_to_fp32(bits);
+}
+
+Tensor quantize_half(const Tensor& input, HalfFormat format) {
+  Tensor out(input.shape());
+  const auto in = input.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    dst[i] = decode_half(encode_half(in[i], format), format);
+  }
+  return out;
+}
+
+}  // namespace aic::tensor

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace aic::tensor {
+
+/// 16-bit float formats the four accelerators disagree on (§3.1): CS-2,
+/// GroqChip, and IPU speak IEEE FP16; SN30 speaks BF16. The library stores
+/// FP32 everywhere and exposes these round-trips so the precision cost of
+/// either format can be measured.
+enum class HalfFormat { kFp16, kBf16 };
+
+/// Rounds an FP32 value to IEEE binary16 (round-to-nearest-even) and back.
+float round_trip_fp16(float value);
+
+/// Rounds an FP32 value to bfloat16 (round-to-nearest-even) and back.
+float round_trip_bf16(float value);
+
+/// Encodes FP32 to the raw 16-bit pattern of the given format.
+std::uint16_t encode_half(float value, HalfFormat format);
+
+/// Decodes a raw 16-bit pattern of the given format to FP32.
+float decode_half(std::uint16_t bits, HalfFormat format);
+
+/// Applies the chosen 16-bit round-trip to every element.
+Tensor quantize_half(const Tensor& input, HalfFormat format);
+
+}  // namespace aic::tensor

@@ -1,0 +1,110 @@
+#include "tensor/matmul.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
+
+namespace aic::tensor {
+namespace {
+
+// Panel sizes chosen so a (kRowBlock x kColBlock) accumulator tile plus the
+// B panel stay within L1.
+constexpr std::size_t kRowBlock = 64;
+constexpr std::size_t kDepthBlock = 128;
+
+void gemm_rows(const float* a, const float* b, float* c, std::size_t row_lo,
+               std::size_t row_hi, std::size_t n, std::size_t k) {
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (std::size_t p0 = 0; p0 < k; p0 += kDepthBlock) {
+      const std::size_t p1 = std::min(k, p0 + kDepthBlock);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float a_val = a_row[p];
+        if (a_val == 0.0f) continue;  // chop masks produce many zero rows
+        const float* b_row = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          c_row[j] += a_val * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                 bool accumulate) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2) {
+    throw std::invalid_argument("matmul: operands must be rank 2");
+  }
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  const std::size_t n = b.shape()[1];
+  if (b.shape()[0] != k) {
+    throw std::invalid_argument("matmul: inner dimensions differ: " +
+                                a.shape().to_string() + " x " +
+                                b.shape().to_string());
+  }
+  if (out.shape() != Shape::matrix(m, n)) {
+    throw std::invalid_argument("matmul_into: output shape mismatch");
+  }
+  if (!accumulate) out.fill(0.0f);
+
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = out.raw();
+  runtime::parallel_for_chunks(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) { gemm_rows(pa, pb, pc, lo, hi, n, k); },
+      {.grain = kRowBlock});
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor out(Shape::matrix(a.shape()[0], b.shape()[1]));
+  matmul_into(a, b, out, /*accumulate=*/false);
+  return out;
+}
+
+void sandwich_planes(const Tensor& lhs, const Tensor& in, const Tensor& rhs,
+                     Tensor& out) {
+  if (in.shape().rank() != 4 || out.shape().rank() != 4) {
+    throw std::invalid_argument("sandwich_planes: tensors must be rank 4");
+  }
+  const std::size_t batch = in.shape()[0];
+  const std::size_t channels = in.shape()[1];
+  const std::size_t h = in.shape()[2];
+  const std::size_t w = in.shape()[3];
+  const std::size_t out_h = lhs.shape()[0];
+  const std::size_t out_w = rhs.shape()[1];
+  if (lhs.shape()[1] != h || rhs.shape()[0] != w) {
+    throw std::invalid_argument("sandwich_planes: LHS/RHS do not fit input");
+  }
+  if (out.shape() != Shape::bchw(batch, channels, out_h, out_w)) {
+    throw std::invalid_argument("sandwich_planes: output shape mismatch");
+  }
+
+  // Each (batch, channel) plane is an independent LHS·plane·RHS product —
+  // exactly the data parallelism §3.2 exploits across samples and channels.
+  runtime::parallel_for(
+      0, batch * channels,
+      [&](std::size_t plane_index) {
+        const std::size_t b = plane_index / channels;
+        const std::size_t c = plane_index % channels;
+        Tensor plane = in.slice_plane(b, c);
+        Tensor mid(Shape::matrix(h, out_w));
+        matmul_into(plane, rhs, mid);
+        Tensor res(Shape::matrix(out_h, out_w));
+        matmul_into(lhs, mid, res);
+        out.set_plane(b, c, res);
+      },
+      {.grain = 1});
+}
+
+std::size_t matmul_flops(const Tensor& a, const Tensor& b) {
+  return 2 * a.shape()[0] * a.shape()[1] * b.shape()[1];
+}
+
+}  // namespace aic::tensor

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace aic::tensor {
+
+/// C = A · B for rank-2 tensors; cache-blocked, parallel over row panels.
+///
+/// This is the workhorse of the whole repository: DCT+Chop compression and
+/// decompression are each exactly two calls to this kernel (Eq. 4 / Eq. 6
+/// of the paper).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C += A · B into a preallocated output (no allocation on the hot path).
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                 bool accumulate = false);
+
+/// Applies `out[b,c] = lhs · in[b,c] · rhs` over every (batch, channel)
+/// plane of a rank-4 tensor. `out` must be preshaped to
+/// [B, C, lhs.rows, rhs.cols].
+///
+/// This is the batched form the paper issues as a single framework-level
+/// matmul pair; planes are independent and run in parallel.
+void sandwich_planes(const Tensor& lhs, const Tensor& in, const Tensor& rhs,
+                     Tensor& out);
+
+/// Floating-point-operation count of `matmul(a, b)` (2·m·n·k).
+std::size_t matmul_flops(const Tensor& a, const Tensor& b);
+
+}  // namespace aic::tensor

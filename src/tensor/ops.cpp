@@ -1,0 +1,134 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aic::tensor {
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+}
+
+template <typename F>
+Tensor zip(const Tensor& a, const Tensor& b, F f, const char* op) {
+  require_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const auto sa = a.data();
+  const auto sb = b.data();
+  auto so = out.data();
+  for (std::size_t i = 0; i < sa.size(); ++i) so[i] = f(sa[i], sb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return zip(a, b, [](float x, float y) { return x + y; }, "add");
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return zip(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return zip(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+
+Tensor scale(const Tensor& a, float scalar) {
+  Tensor out(a.shape());
+  const auto sa = a.data();
+  auto so = out.data();
+  for (std::size_t i = 0; i < sa.size(); ++i) so[i] = sa[i] * scalar;
+  return out;
+}
+
+void axpy(Tensor& a, const Tensor& b, float scalar) {
+  require_same_shape(a, b, "axpy");
+  auto sa = a.data();
+  const auto sb = b.data();
+  for (std::size_t i = 0; i < sa.size(); ++i) sa[i] += sb[i] * scalar;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  const auto sa = a.data();
+  auto so = out.data();
+  for (std::size_t i = 0; i < sa.size(); ++i) so[i] = f(sa[i]);
+  return out;
+}
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  return acc;
+}
+
+double mean(const Tensor& a) {
+  if (a.numel() == 0) return 0.0;
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("max_value: empty tensor");
+  return *std::max_element(a.data().begin(), a.data().end());
+}
+
+float min_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("min_value: empty tensor");
+  return *std::min_element(a.data().begin(), a.data().end());
+}
+
+std::size_t argmax(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("argmax: empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(a.data().begin(), a.data().end()) - a.data().begin());
+}
+
+float max_abs(const Tensor& a) {
+  float best = 0.0f;
+  for (float v : a.data()) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mse");
+  if (a.numel() == 0) return 0.0;
+  double acc = 0.0;
+  const auto sa = a.data();
+  const auto sb = b.data();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    const double d = static_cast<double>(sa[i]) - static_cast<double>(sb[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.numel());
+}
+
+double psnr(const Tensor& original, const Tensor& reconstructed, double peak) {
+  const double err = mse(original, reconstructed);
+  if (err == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / err);
+}
+
+double max_abs_error(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "max_abs_error");
+  double best = 0.0;
+  const auto sa = a.data();
+  const auto sb = b.data();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    best = std::max(best, std::fabs(static_cast<double>(sa[i]) - sb[i]));
+  }
+  return best;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double tol) {
+  if (a.shape() != b.shape()) return false;
+  return max_abs_error(a, b) <= tol;
+}
+
+}  // namespace aic::tensor

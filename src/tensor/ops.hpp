@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace aic::tensor {
+
+/// Elementwise c = a + b. Shapes must match exactly.
+Tensor add(const Tensor& a, const Tensor& b);
+/// Elementwise c = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product.
+Tensor mul(const Tensor& a, const Tensor& b);
+/// c = a * scalar.
+Tensor scale(const Tensor& a, float scalar);
+/// In-place a += b * scalar (axpy); used by optimizers.
+void axpy(Tensor& a, const Tensor& b, float scalar);
+
+/// Applies `f` to every element, returning a new tensor.
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+/// Sum of all elements.
+double sum(const Tensor& a);
+/// Arithmetic mean of all elements.
+double mean(const Tensor& a);
+/// Largest element (requires numel > 0).
+float max_value(const Tensor& a);
+/// Smallest element (requires numel > 0).
+float min_value(const Tensor& a);
+/// Index of the largest element.
+std::size_t argmax(const Tensor& a);
+/// Largest absolute element.
+float max_abs(const Tensor& a);
+
+/// Mean squared error between two same-shaped tensors.
+double mse(const Tensor& a, const Tensor& b);
+/// Peak signal-to-noise ratio in dB given the data range `peak`.
+double psnr(const Tensor& original, const Tensor& reconstructed, double peak);
+/// Largest absolute elementwise difference.
+double max_abs_error(const Tensor& a, const Tensor& b);
+
+/// True when all pairwise differences are within `tol`.
+bool allclose(const Tensor& a, const Tensor& b, double tol = 1e-5);
+
+}  // namespace aic::tensor

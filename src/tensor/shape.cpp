@@ -1,0 +1,60 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aic::tensor {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) {
+  if (dims.size() > kMaxRank) {
+    throw std::invalid_argument("Shape rank exceeds kMaxRank");
+  }
+  rank_ = dims.size();
+  std::size_t axis = 0;
+  for (std::size_t d : dims) dims_[axis++] = d;
+}
+
+std::size_t Shape::operator[](std::size_t axis) const {
+  if (axis >= rank_) {
+    throw std::out_of_range("Shape axis " + std::to_string(axis) +
+                            " out of range for rank " + std::to_string(rank_));
+  }
+  return dims_[axis];
+}
+
+std::size_t Shape::numel() const noexcept {
+  std::size_t n = 1;
+  for (std::size_t axis = 0; axis < rank_; ++axis) n *= dims_[axis];
+  return n;
+}
+
+std::array<std::size_t, Shape::kMaxRank> Shape::strides() const noexcept {
+  std::array<std::size_t, kMaxRank> result{};
+  std::size_t stride = 1;
+  for (std::size_t axis = rank_; axis-- > 0;) {
+    result[axis] = stride;
+    stride *= dims_[axis];
+  }
+  return result;
+}
+
+bool Shape::operator==(const Shape& other) const noexcept {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t axis = 0; axis < rank_; ++axis) {
+    if (dims_[axis] != other.dims_[axis]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t axis = 0; axis < rank_; ++axis) {
+    if (axis) out << ", ";
+    out << dims_[axis];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace aic::tensor

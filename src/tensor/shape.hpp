@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace aic::tensor {
+
+/// Dimension list for tensors of rank 0..4 (inline storage, no heap).
+///
+/// All tensors in this library have *static* shapes: a shape is fixed at
+/// construction and never changes, mirroring the compile-time tensor-size
+/// constraint the paper's accelerator compilers impose (§3.1).
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims);
+
+  static Shape scalar() { return Shape(); }
+  static Shape vector(std::size_t n) { return Shape({n}); }
+  static Shape matrix(std::size_t rows, std::size_t cols) {
+    return Shape({rows, cols});
+  }
+  /// Batch-channel-height-width image layout used throughout.
+  static Shape bchw(std::size_t b, std::size_t c, std::size_t h,
+                    std::size_t w) {
+    return Shape({b, c, h, w});
+  }
+
+  std::size_t rank() const noexcept { return rank_; }
+  /// Dimension at `axis`; throws std::out_of_range when axis >= rank().
+  std::size_t operator[](std::size_t axis) const;
+
+  /// Total element count (1 for scalars).
+  std::size_t numel() const noexcept;
+
+  /// Row-major strides.
+  std::array<std::size_t, kMaxRank> strides() const noexcept;
+
+  bool operator==(const Shape& other) const noexcept;
+  bool operator!=(const Shape& other) const noexcept {
+    return !(*this == other);
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace aic::tensor

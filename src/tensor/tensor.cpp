@@ -1,0 +1,122 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aic::tensor {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_.numel()) {
+    throw std::invalid_argument("Tensor: value count does not match shape " +
+                                shape_.to_string());
+  }
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::identity(std::size_t n) {
+  Tensor t(Shape::matrix(n, n));
+  for (std::size_t i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::iota(Shape shape) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t.at(i) = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, runtime::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, runtime::Rng& rng, float mean,
+                      float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  if (shape_.rank() != 2) throw std::logic_error("Tensor::at(r,c) needs rank 2");
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  if (shape_.rank() != 2) throw std::logic_error("Tensor::at(r,c) needs rank 2");
+  return data_[r * shape_[1] + c];
+}
+
+float& Tensor::at(std::size_t b, std::size_t c, std::size_t h, std::size_t w) {
+  if (shape_.rank() != 4) {
+    throw std::logic_error("Tensor::at(b,c,h,w) needs rank 4");
+  }
+  return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::size_t b, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  if (shape_.rank() != 4) {
+    throw std::logic_error("Tensor::at(b,c,h,w) needs rank 4");
+  }
+  return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("reshaped: numel mismatch " +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::transposed() const {
+  if (shape_.rank() != 2) throw std::logic_error("transposed needs rank 2");
+  const std::size_t rows = shape_[0];
+  const std::size_t cols = shape_[1];
+  Tensor result(Shape::matrix(cols, rows));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      result.at(c, r) = data_[r * cols + c];
+    }
+  }
+  return result;
+}
+
+Tensor Tensor::slice_plane(std::size_t b, std::size_t c) const {
+  if (shape_.rank() != 4) throw std::logic_error("slice_plane needs rank 4");
+  const std::size_t h = shape_[2];
+  const std::size_t w = shape_[3];
+  Tensor plane(Shape::matrix(h, w));
+  const float* src = data_.data() + ((b * shape_[1] + c) * h) * w;
+  std::copy(src, src + h * w, plane.raw());
+  return plane;
+}
+
+void Tensor::set_plane(std::size_t b, std::size_t c, const Tensor& plane) {
+  if (shape_.rank() != 4) throw std::logic_error("set_plane needs rank 4");
+  const std::size_t h = shape_[2];
+  const std::size_t w = shape_[3];
+  if (plane.shape() != Shape::matrix(h, w)) {
+    throw std::invalid_argument("set_plane: plane shape mismatch");
+  }
+  float* dst = data_.data() + ((b * shape_[1] + c) * h) * w;
+  std::copy(plane.raw(), plane.raw() + h * w, dst);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace aic::tensor

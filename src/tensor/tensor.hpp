@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace aic::tensor {
+
+/// Dense row-major float32 tensor with value semantics.
+///
+/// float32 is the only stored dtype, matching the paper's choice of FP32
+/// for cross-accelerator portability (§3.1 "Arithmetic Precision
+/// Support"); fp16/bf16 round-trips are provided as explicit conversions
+/// in dtype.hpp.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor initialized from `values` (size must equal shape.numel()).
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  /// Identity matrix of order n.
+  static Tensor identity(std::size_t n);
+  /// Values 0,1,2,... reshaped to `shape` (handy in tests).
+  static Tensor iota(Shape shape);
+  /// I.i.d. uniform [lo, hi) entries.
+  static Tensor uniform(Shape shape, runtime::Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  /// I.i.d. normal(mean, stddev) entries.
+  static Tensor normal(Shape shape, runtime::Rng& rng, float mean = 0.0f,
+                       float stddev = 1.0f);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t numel() const noexcept { return data_.size(); }
+  std::size_t size_bytes() const noexcept { return data_.size() * sizeof(float); }
+
+  std::span<float> data() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const float> data() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  float* raw() noexcept { return data_.data(); }
+  const float* raw() const noexcept { return data_.data(); }
+
+  /// Flat element access.
+  float& at(std::size_t i) { return data_.at(i); }
+  float at(std::size_t i) const { return data_.at(i); }
+
+  /// 2-D element access; requires rank 2.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  /// 4-D (BCHW) element access; requires rank 4.
+  float& at(std::size_t b, std::size_t c, std::size_t h, std::size_t w);
+  float at(std::size_t b, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Returns a copy reinterpreted with a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Transpose of a rank-2 tensor.
+  Tensor transposed() const;
+
+  /// Copies the 2-D slice (b, c, :, :) out of a rank-4 tensor.
+  Tensor slice_plane(std::size_t b, std::size_t c) const;
+
+  /// Writes a 2-D `plane` into position (b, c, :, :) of this rank-4 tensor.
+  void set_plane(std::size_t b, std::size_t c, const Tensor& plane);
+
+  void fill(float value);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace aic::tensor

@@ -1,0 +1,117 @@
+#include "accel/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hpp"
+#include "core/dct_chop.hpp"
+#include "core/triangle.hpp"
+#include "graph/builders.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::accel {
+namespace {
+
+using core::DctChopCodec;
+using core::DctChopConfig;
+using graph::BatchSpec;
+using tensor::Shape;
+using tensor::Tensor;
+
+const DctChopConfig kConfig{.height = 16, .width = 16, .cf = 4, .block = 8};
+const BatchSpec kSpec{.batch = 2, .channels = 3};
+
+TEST(Accelerator, RunProducesCodecExactResults) {
+  // The simulator's math is the real math: outputs must match the codec.
+  runtime::Rng rng(1);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng, -1, 1);
+  const Accelerator cs2 = make_accelerator(Platform::kCs2);
+  const RunResult result =
+      cs2.compile_and_run(graph::build_compress_graph(kConfig, kSpec), {in});
+  ASSERT_EQ(result.outputs.size(), 1u);
+  const DctChopCodec codec(kConfig);
+  EXPECT_TRUE(tensor::allclose(result.outputs[0], codec.compress(in), 1e-4));
+}
+
+TEST(Accelerator, RoundTripAcrossPlatformsIsIdentical) {
+  // Portability claim: the same graph yields the same bits everywhere
+  // it compiles (fp32 everywhere, §3.1).
+  runtime::Rng rng(2);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng, -1, 1);
+  Tensor reference;
+  bool first = true;
+  for (Platform platform : all_platforms()) {
+    const Accelerator accel = make_accelerator(platform);
+    const RunResult result =
+        accel.compile_and_run(graph::build_compress_graph(kConfig, kSpec), {in});
+    if (first) {
+      reference = result.outputs[0];
+      first = false;
+    } else {
+      EXPECT_TRUE(tensor::allclose(result.outputs[0], reference, 0.0))
+          << platform_name(platform);
+    }
+  }
+}
+
+TEST(Accelerator, RunReportsPositiveSimulatedTime) {
+  runtime::Rng rng(3);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng);
+  const Accelerator ipu = make_accelerator(Platform::kIpu);
+  const RunResult result =
+      ipu.compile_and_run(graph::build_compress_graph(kConfig, kSpec), {in});
+  EXPECT_GT(result.time.total_s(), 0.0);
+  EXPECT_GT(result.time.h2d_s, 0.0);
+  EXPECT_GT(result.trace.flops, 0u);
+}
+
+TEST(Accelerator, EstimateMatchesRunTime) {
+  runtime::Rng rng(4);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng);
+  const Accelerator sn30 = make_accelerator(Platform::kSn30);
+  graph::Graph g = graph::build_compress_graph(kConfig, kSpec);
+  const double estimated = sn30.estimate(g).total_s();
+  const RunResult result = sn30.compile_and_run(std::move(g), {in});
+  EXPECT_DOUBLE_EQ(estimated, result.time.total_s());
+}
+
+TEST(Accelerator, EstimateThrowsOnRejectedGraph) {
+  const Accelerator groq = make_accelerator(Platform::kGroq);
+  EXPECT_THROW(groq.estimate(graph::build_vle_encode_graph(16)),
+               std::runtime_error);
+}
+
+TEST(Accelerator, CompiledModelReusableAcrossRuns) {
+  // Compile once, run many — the amortization §4.1 relies on.
+  runtime::Rng rng(5);
+  const Accelerator cs2 = make_accelerator(Platform::kCs2);
+  auto model = cs2.compile(graph::build_compress_graph(kConfig, kSpec));
+  for (int i = 0; i < 3; ++i) {
+    const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng);
+    const RunResult result = cs2.run(*model, {in});
+    EXPECT_EQ(result.outputs[0].shape(), Shape::bchw(2, 3, 8, 8));
+  }
+}
+
+TEST(Accelerator, TriangleGraphRunsOnIpu) {
+  runtime::Rng rng(6);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng, -1, 1);
+  const Accelerator ipu = make_accelerator(Platform::kIpu);
+  const RunResult packed = ipu.compile_and_run(
+      graph::build_triangle_compress_graph(kConfig, kSpec), {in});
+  const RunResult restored = ipu.compile_and_run(
+      graph::build_triangle_decompress_graph(kConfig, kSpec),
+      {packed.outputs[0]});
+  const core::TriangleCodec codec(kConfig);
+  EXPECT_TRUE(
+      tensor::allclose(restored.outputs[0], codec.round_trip(in), 1e-4));
+}
+
+TEST(Registry, PlatformNamesAndLists) {
+  EXPECT_EQ(platform_name(Platform::kCs2), "cs2");
+  EXPECT_EQ(paper_accelerators().size(), 4u);
+  EXPECT_EQ(all_platforms().size(), 6u);
+}
+
+}  // namespace
+}  // namespace aic::accel

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "accel/registry.hpp"
+#include "graph/builders.hpp"
+
+namespace aic::accel {
+namespace {
+
+using core::DctChopConfig;
+using graph::BatchSpec;
+using graph::build_compress_graph;
+using graph::build_decompress_graph;
+using graph::build_triangle_compress_graph;
+
+DctChopConfig config(std::size_t n, std::size_t cf) {
+  return {.height = n, .width = n, .cf = cf, .block = 8};
+}
+
+// The Fig. 10-13 workload: 100 samples × 3 channels.
+const BatchSpec kPaperBatch{.batch = 100, .channels = 3};
+
+TEST(Compile, DctChopCompilesEverywhereAt256) {
+  for (Platform platform : all_platforms()) {
+    const Accelerator accel = make_accelerator(platform);
+    for (std::size_t cf = 2; cf <= 7; ++cf) {
+      const auto result =
+          accel.compile_check(build_compress_graph(config(256, cf), kPaperBatch));
+      EXPECT_TRUE(result.ok)
+          << platform_name(platform) << " cf=" << cf << ": " << result.error;
+    }
+  }
+}
+
+TEST(Compile, Sn30FailsAt512ByPmuCapacity) {
+  // §4.2.2: "compilation fails for 512×512 resolution since the PMUs
+  // cannot fit the entire output matrix".
+  const Accelerator sn30 = make_accelerator(Platform::kSn30);
+  const auto result =
+      sn30.compile_check(build_compress_graph(config(512, 4), kPaperBatch));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("memory unit"), std::string::npos)
+      << result.error;
+}
+
+TEST(Compile, GroqFailsAt512) {
+  const Accelerator groq = make_accelerator(Platform::kGroq);
+  const auto result =
+      groq.compile_check(build_compress_graph(config(512, 4), kPaperBatch));
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Compile, Cs2AndIpuCompileAt512) {
+  // Fig. 15 discussion: the IPU ran 512×512 without serialization; the
+  // CS-2's 40 GB wafer fits it trivially.
+  for (Platform platform : {Platform::kCs2, Platform::kIpu}) {
+    const Accelerator accel = make_accelerator(platform);
+    for (std::size_t cf = 2; cf <= 7; ++cf) {
+      const auto result = accel.compile_check(
+          build_compress_graph(config(512, cf), kPaperBatch));
+      EXPECT_TRUE(result.ok)
+          << platform_name(platform) << " cf=" << cf << ": " << result.error;
+      const auto d = accel.compile_check(
+          build_decompress_graph(config(512, cf), kPaperBatch));
+      EXPECT_TRUE(d.ok) << platform_name(platform) << ": " << d.error;
+    }
+  }
+}
+
+TEST(Compile, PartialSerializationChunksCompileOnSn30AndIpu) {
+  // §3.5.1 / Fig. 15: s=2 turns a 512×512 sample into 256×256 chunks
+  // that both platforms admit.
+  for (Platform platform : {Platform::kSn30, Platform::kIpu}) {
+    const Accelerator accel = make_accelerator(platform);
+    const auto result = accel.compile_check(
+        build_decompress_graph(config(256, 4), kPaperBatch));
+    EXPECT_TRUE(result.ok) << platform_name(platform) << ": " << result.error;
+  }
+}
+
+TEST(Compile, GroqBatchLimitAt1000) {
+  // §4.2.2: "the GroqChip fails to compile beyond a batch size of 1000".
+  const Accelerator groq = make_accelerator(Platform::kGroq);
+  const BatchSpec ok_batch{.batch = 1000, .channels = 3};
+  const BatchSpec too_big{.batch = 2000, .channels = 3};
+  EXPECT_TRUE(
+      groq.compile_check(build_compress_graph(config(64, 4), ok_batch)).ok);
+  const auto result =
+      groq.compile_check(build_compress_graph(config(64, 4), too_big));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("schedule"), std::string::npos) << result.error;
+}
+
+TEST(Compile, OtherPlatformsAcceptBatch5000) {
+  // Figs. 12/13 sweep batch to 5000 on CS-2, SN30 and IPU.
+  const BatchSpec huge{.batch = 5000, .channels = 3};
+  for (Platform platform :
+       {Platform::kCs2, Platform::kSn30, Platform::kIpu}) {
+    const Accelerator accel = make_accelerator(platform);
+    const auto result =
+        accel.compile_check(build_compress_graph(config(64, 4), huge));
+    EXPECT_TRUE(result.ok) << platform_name(platform) << ": " << result.error;
+  }
+}
+
+TEST(Compile, VleGraphRejectedOnAllAccelerators) {
+  // §3.1: bitwise shift operators are missing from every accelerator's
+  // PyTorch frontend — the reason DCT+Chop exists.
+  for (Platform platform : paper_accelerators()) {
+    const Accelerator accel = make_accelerator(platform);
+    const auto result =
+        accel.compile_check(graph::build_vle_encode_graph(4096));
+    EXPECT_FALSE(result.ok) << platform_name(platform);
+    EXPECT_NE(result.error.find("not supported"), std::string::npos);
+  }
+}
+
+TEST(Compile, VleGraphAcceptedOnGpuAndCpu) {
+  for (Platform platform : {Platform::kA100, Platform::kCpu}) {
+    const Accelerator accel = make_accelerator(platform);
+    EXPECT_TRUE(accel.compile_check(graph::build_vle_encode_graph(4096)).ok);
+  }
+}
+
+TEST(Compile, TriangleGraphsOnlyCompileWhereScatterGatherExists) {
+  const auto compress_graph = [] {
+    return build_triangle_compress_graph(config(32, 4), {.batch = 4, .channels = 3});
+  };
+  for (Platform platform : {Platform::kCs2, Platform::kSn30, Platform::kGroq}) {
+    EXPECT_FALSE(
+        make_accelerator(platform).compile_check(compress_graph()).ok)
+        << platform_name(platform);
+  }
+  for (Platform platform :
+       {Platform::kIpu, Platform::kA100, Platform::kCpu}) {
+    const auto result =
+        make_accelerator(platform).compile_check(compress_graph());
+    EXPECT_TRUE(result.ok) << platform_name(platform) << ": " << result.error;
+  }
+}
+
+TEST(Compile, CompileThrowsWithDiagnostic) {
+  const Accelerator groq = make_accelerator(Platform::kGroq);
+  EXPECT_THROW(groq.compile(build_compress_graph(config(512, 4), kPaperBatch)),
+               std::runtime_error);
+}
+
+TEST(Compile, ReportCarriesResourceUsage) {
+  const Accelerator cs2 = make_accelerator(Platform::kCs2);
+  const auto result = cs2.compile_check(
+      build_compress_graph(config(64, 4), {.batch = 10, .channels = 3}));
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.constant_bytes, 0u);
+  EXPECT_GT(result.activation_bytes, 0u);
+  EXPECT_GT(result.static_flops, 0u);
+  EXPECT_EQ(result.max_matmul_dim, 64u);
+}
+
+}  // namespace
+}  // namespace aic::accel

@@ -1,0 +1,241 @@
+#include "accel/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hpp"
+#include "graph/builders.hpp"
+
+namespace aic::accel {
+namespace {
+
+using core::DctChopConfig;
+using graph::BatchSpec;
+
+DctChopConfig config(std::size_t n, std::size_t cf) {
+  return {.height = n, .width = n, .cf = cf, .block = 8};
+}
+
+const BatchSpec kBatch{.batch = 100, .channels = 3};
+
+double compress_time(Platform platform, std::size_t n, std::size_t cf,
+                     const BatchSpec& spec = kBatch) {
+  return make_accelerator(platform)
+      .estimate(graph::build_compress_graph(config(n, cf), spec))
+      .total_s();
+}
+
+double decompress_time(Platform platform, std::size_t n, std::size_t cf,
+                       const BatchSpec& spec = kBatch) {
+  return make_accelerator(platform)
+      .estimate(graph::build_decompress_graph(config(n, cf), spec))
+      .total_s();
+}
+
+std::size_t payload_bytes(std::size_t n, const BatchSpec& spec = kBatch) {
+  return spec.batch * spec.channels * n * n * sizeof(float);
+}
+
+TEST(CostModel, ThroughputHelper) {
+  EXPECT_DOUBLE_EQ(throughput_gbps(2'000'000'000, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(throughput_gbps(100, 0.0), 0.0);
+}
+
+TEST(CostModel, SimTimeTotalsComponents) {
+  SimTime t{.h2d_s = 1.0, .compute_s = 2.0, .d2h_s = 3.0, .overhead_s = 4.0};
+  EXPECT_DOUBLE_EQ(t.total_s(), 10.0);
+}
+
+class PlatformTiming : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(PlatformTiming, DecompressionFasterThanCompression) {
+  // Key takeaway 1 (§4.2.2): compression moves more data and does more
+  // FLOPs, so it is slower for CF < 8 — measured in the transfer-bound
+  // regime (256×256), above the dataflow pipeline-fill floor.
+  const Platform platform = GetParam();
+  for (std::size_t cf : {2u, 4u, 6u}) {
+    EXPECT_LT(decompress_time(platform, 256, cf),
+              compress_time(platform, 256, cf))
+        << platform_name(platform) << " cf=" << cf;
+  }
+}
+
+TEST_P(PlatformTiming, TimeGrowsWithResolution) {
+  // Key takeaway 2: time is (at least) linear in pixel count.
+  const Platform platform = GetParam();
+  double last = 0.0;
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    const double t = compress_time(platform, n, 4);
+    EXPECT_GT(t, last) << platform_name(platform) << " n=" << n;
+    last = t;
+  }
+}
+
+TEST_P(PlatformTiming, TimeMonotonicInBatch) {
+  const Platform platform = GetParam();
+  double last = 0.0;
+  for (std::size_t batch : {10u, 100u, 500u, 1000u}) {
+    const double t = compress_time(platform, 64, 4,
+                                   {.batch = batch, .channels = 3});
+    EXPECT_GE(t, last) << platform_name(platform) << " batch=" << batch;
+    last = t;
+  }
+}
+
+// The A100 is excluded: its host-measured decompression is dominated by
+// the pageable copy-back of the uncompressed result (Fig. 14), so the
+// "decompression faster" takeaway does not apply to it.
+INSTANTIATE_TEST_SUITE_P(Accelerators, PlatformTiming,
+                         ::testing::Values(Platform::kCs2, Platform::kSn30,
+                                           Platform::kIpu),
+                         [](const auto& info) {
+                           return platform_name(info.param);
+                         });
+
+TEST(CostModel, Cs2ThroughputInPaperRange) {
+  // §4.2.2: "generally ranging from 16 to 26 GB/s" — at resolutions
+  // where transfer dominates the pipeline fill.
+  for (std::size_t n : {256u, 512u}) {
+    const double gbps =
+        throughput_gbps(payload_bytes(n), compress_time(Platform::kCs2, n, 4));
+    EXPECT_GT(gbps, 16.0) << n;
+    EXPECT_LT(gbps, 27.0) << n;
+  }
+}
+
+TEST(CostModel, Sn30ThroughputInPaperRange) {
+  // §4.2.2: "around 7 to 10 GB/s".
+  for (std::size_t n : {128u, 256u}) {
+    const double c =
+        throughput_gbps(payload_bytes(n), compress_time(Platform::kSn30, n, 4));
+    EXPECT_GT(c, 6.0) << n;
+    EXPECT_LT(c, 11.0) << n;
+  }
+}
+
+TEST(CostModel, GroqThroughputHundredsOfMbps) {
+  // §4.2.2: ≈150 MB/s compression, ≈200 MB/s decompression.
+  const double c =
+      throughput_gbps(payload_bytes(64), compress_time(Platform::kGroq, 64, 4));
+  const double d = throughput_gbps(payload_bytes(64),
+                                   decompress_time(Platform::kGroq, 64, 4));
+  EXPECT_GT(c, 0.08);
+  EXPECT_LT(c, 0.3);
+  EXPECT_GT(d, c);
+  EXPECT_LT(d, 0.5);
+}
+
+TEST(CostModel, IpuCompressionNearOnePointTwoGbps) {
+  // §4.2.2: "≈1.2 GB/s average throughput for compression", flat in CR.
+  for (std::size_t cf : {2u, 4u, 7u}) {
+    const double gbps = throughput_gbps(payload_bytes(64),
+                                        compress_time(Platform::kIpu, 64, cf));
+    EXPECT_GT(gbps, 0.8) << cf;
+    EXPECT_LT(gbps, 1.6) << cf;
+  }
+}
+
+TEST(CostModel, IpuDecompressionStratifiedByRatio) {
+  // §4.2.2: decompression reaches up to 21 GB/s at high CR, ≈2 GB/s at
+  // low CR — throughput rises with CR.
+  const double high_cr = throughput_gbps(
+      payload_bytes(256), decompress_time(Platform::kIpu, 256, 2));
+  const double low_cr = throughput_gbps(
+      payload_bytes(256), decompress_time(Platform::kIpu, 256, 7));
+  EXPECT_GT(high_cr, 10.0);
+  EXPECT_LT(low_cr, 3.0);
+  EXPECT_GT(high_cr, 4.0 * low_cr);
+}
+
+TEST(CostModel, A100DecompressionFlatAcrossRatio) {
+  // Fig. 14: ≈2.5 GB/s "with little variation across each compression
+  // ratio".
+  double lo = 1e30, hi = 0.0;
+  for (std::size_t cf = 2; cf <= 7; ++cf) {
+    const double gbps = throughput_gbps(
+        payload_bytes(256), decompress_time(Platform::kA100, 256, cf));
+    lo = std::min(lo, gbps);
+    hi = std::max(hi, gbps);
+  }
+  EXPECT_GT(lo, 1.8);
+  EXPECT_LT(hi, 3.5);
+  EXPECT_LT(hi / lo, 1.5);  // flat
+}
+
+TEST(CostModel, PlatformOrderingMatchesPaper) {
+  // §4.2.2 "Comparison with GPU": CS-2 and SN30 beat the A100; a single
+  // GroqChip and a single IPU are beaten by it (compression direction).
+  const double cs2 = compress_time(Platform::kCs2, 256, 4);
+  const double sn30 = compress_time(Platform::kSn30, 256, 4);
+  const double a100 = compress_time(Platform::kA100, 256, 4);
+  const double ipu = compress_time(Platform::kIpu, 256, 4);
+  const double groq = compress_time(Platform::kGroq, 64, 4);
+  const double groq_a100 = compress_time(Platform::kA100, 64, 4);
+  EXPECT_LT(cs2, a100);
+  EXPECT_LT(sn30, a100);
+  EXPECT_GT(ipu, a100);
+  EXPECT_GT(groq, groq_a100);
+}
+
+TEST(CostModel, Sn30SmallTensorPenaltyAtCr16) {
+  // §4.2.2: "the highest compression ratio, 16.0, is slower than both
+  // 4.0 and 7.11" on the SN30.
+  const double cr16 = decompress_time(Platform::kSn30, 64, 2);
+  const double cr4 = decompress_time(Platform::kSn30, 64, 4);
+  const double cr7 = decompress_time(Platform::kSn30, 64, 3);
+  EXPECT_GT(cr16, cr4);
+  EXPECT_GT(cr16, cr7);
+}
+
+TEST(CostModel, Cs2FlatAtSmallBatchThenLinear) {
+  // Fig. 12: CS-2 time barely moves at small batch (pipeline fill),
+  // then scales with data volume.
+  const double b10 = compress_time(Platform::kCs2, 64, 4,
+                                   {.batch = 10, .channels = 3});
+  const double b100 = compress_time(Platform::kCs2, 64, 4,
+                                    {.batch = 100, .channels = 3});
+  const double b5000 = compress_time(Platform::kCs2, 64, 4,
+                                     {.batch = 5000, .channels = 3});
+  EXPECT_LT(b100 / b10, 1.5);     // flat region
+  EXPECT_GT(b5000 / b100, 5.0);   // linear region
+}
+
+TEST(CostModel, Cs2DecompressionStratifiedByRatio) {
+  // §4.2.2: "a wider spread of decompression times … with higher
+  // compression ratio having significant speedup".
+  const double cr16 = decompress_time(Platform::kCs2, 512, 2);
+  const double cr131 = decompress_time(Platform::kCs2, 512, 7);
+  EXPECT_GT(cr131, 2.0 * cr16);
+}
+
+TEST(CostModel, DataflowPipelineFloorApplies) {
+  // A tiny graph on a dataflow platform cannot beat the fill latency.
+  const Accelerator cs2 = make_accelerator(Platform::kCs2);
+  const auto t = cs2.estimate(graph::build_compress_graph(
+      config(32, 4), {.batch = 1, .channels = 1}));
+  EXPECT_GE(t.total_s(), cs2_cost_params().pipeline_fill_s);
+}
+
+TEST(CostModel, StaticTraceMatchesExecutedTrace) {
+  // The static estimator must agree exactly with the executed trace.
+  graph::Graph g = graph::build_compress_graph(config(16, 4),
+                                               {.batch = 2, .channels = 3});
+  const graph::ExecutionTrace stat = graph::static_trace(g);
+  graph::Executor exec(g);
+  runtime::Rng rng(1);
+  exec.run({tensor::Tensor::uniform(
+      tensor::Shape::bchw(2, 3, 16, 16), rng)});
+  const graph::ExecutionTrace& dyn = exec.trace();
+  EXPECT_EQ(stat.flops, dyn.flops);
+  EXPECT_EQ(stat.bytes_read, dyn.bytes_read);
+  EXPECT_EQ(stat.bytes_written, dyn.bytes_written);
+  EXPECT_EQ(stat.input_bytes, dyn.input_bytes);
+  EXPECT_EQ(stat.output_bytes, dyn.output_bytes);
+  EXPECT_EQ(stat.node_evaluations, dyn.node_evaluations);
+  EXPECT_EQ(stat.matmul_count, dyn.matmul_count);
+  EXPECT_EQ(stat.matmul_plane_ops, dyn.matmul_plane_ops);
+  EXPECT_EQ(stat.min_matmul_out_bytes, dyn.min_matmul_out_bytes);
+  EXPECT_EQ(stat.min_matmul_plane_bytes, dyn.min_matmul_plane_bytes);
+}
+
+}  // namespace
+}  // namespace aic::accel

@@ -1,0 +1,90 @@
+#include "accel/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hpp"
+#include "graph/builders.hpp"
+
+namespace aic::accel {
+namespace {
+
+using core::DctChopConfig;
+using graph::BatchSpec;
+
+const DctChopConfig kConfig{.height = 64, .width = 64, .cf = 7, .block = 8};
+
+graph::Graph shard_graph(std::size_t batch) {
+  return graph::build_decompress_graph(kConfig,
+                                       {.batch = batch, .channels = 3});
+}
+
+TEST(Scaling, ZeroDevicesThrows) {
+  const Accelerator ipu = make_accelerator(Platform::kIpu);
+  EXPECT_THROW(
+      estimate_data_parallel(ipu, shard_graph(16), {.devices = 0}),
+      std::invalid_argument);
+}
+
+TEST(Scaling, OneDeviceMatchesPlainEstimate) {
+  const Accelerator ipu = make_accelerator(Platform::kIpu);
+  const double scaled =
+      estimate_data_parallel(ipu, shard_graph(128), {.devices = 1})
+          .total_s();
+  EXPECT_DOUBLE_EQ(scaled, ipu.estimate(shard_graph(128)).total_s());
+}
+
+TEST(Scaling, MoreDevicesMoreTotalThroughput) {
+  // Fixed total batch 1024: sharding over more devices shrinks the
+  // critical path (until fan-out overhead dominates).
+  const Accelerator ipu = make_accelerator(Platform::kIpu);
+  double last = 1e30;
+  for (std::size_t n : {1u, 4u, 16u}) {
+    const double t =
+        estimate_data_parallel(ipu, shard_graph(1024 / n), {.devices = n})
+            .total_s();
+    EXPECT_LT(t, last) << n;
+    last = t;
+  }
+}
+
+TEST(Scaling, FanOutOverheadEventuallyBites) {
+  // With an exaggerated per-device cost, scaling out can lose.
+  const Accelerator ipu = make_accelerator(Platform::kIpu);
+  const double few =
+      estimate_data_parallel(ipu, shard_graph(512), {.devices = 2})
+          .total_s();
+  const double many = estimate_data_parallel(
+                          ipu, shard_graph(16),
+                          {.devices = 64, .per_device_overhead_s = 1e-2})
+                          .total_s();
+  EXPECT_LT(few, many);
+}
+
+TEST(Scaling, PodOfIpusOvertakesA100) {
+  // §4.2.2: a single IPU loses to the A100 on this workload, a Bow-Pod
+  // slice wins.
+  const std::size_t total = 1024;
+  const Accelerator a100 = make_accelerator(Platform::kA100);
+  const Accelerator ipu = make_accelerator(Platform::kIpu);
+  const double a100_time = a100.estimate(shard_graph(total)).total_s();
+  const double single_time =
+      estimate_data_parallel(ipu, shard_graph(total), {.devices = 1})
+          .total_s();
+  const double pod16 =
+      estimate_data_parallel(ipu, shard_graph(total / 16), {.devices = 16})
+          .total_s();
+  EXPECT_GT(single_time, a100_time);  // single IPU loses (low-CR regime)
+  EXPECT_LT(pod16, a100_time);   // the pod wins
+}
+
+TEST(Scaling, ShardMustCompile) {
+  // GroqChip shards above the batch-1000 limit are rejected even when
+  // the per-device share seems reasonable to the caller.
+  const Accelerator groq = make_accelerator(Platform::kGroq);
+  EXPECT_THROW(
+      estimate_data_parallel(groq, shard_graph(2000), {.devices = 2}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aic::accel

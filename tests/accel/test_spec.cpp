@@ -1,0 +1,114 @@
+#include "accel/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aic::accel {
+namespace {
+
+using graph::OpKind;
+
+TEST(Spec, Table1ComputeUnits) {
+  EXPECT_EQ(cs2_spec().compute_units, 850'000u);
+  EXPECT_EQ(sn30_spec().compute_units, 1280u);
+  EXPECT_EQ(groq_spec().compute_units, 5120u);
+  EXPECT_EQ(ipu_spec().compute_units, 1472u);
+}
+
+TEST(Spec, Table1OnChipMemory) {
+  EXPECT_EQ(cs2_spec().ocm_bytes, 40ull << 30);
+  EXPECT_EQ(sn30_spec().ocm_bytes, 640ull << 20);
+  EXPECT_EQ(groq_spec().ocm_bytes, 230ull << 20);
+  EXPECT_EQ(ipu_spec().ocm_bytes, 900ull << 20);
+}
+
+TEST(Spec, Table1Architectures) {
+  EXPECT_EQ(cs2_spec().arch, ArchClass::kDataflow);
+  EXPECT_EQ(sn30_spec().arch, ArchClass::kDataflow);
+  EXPECT_EQ(groq_spec().arch, ArchClass::kSimd);
+  EXPECT_EQ(ipu_spec().arch, ArchClass::kMimd);
+}
+
+TEST(Spec, HalfFormatsFollowSection31) {
+  // CS-2, GroqChip and IPU speak FP16; SN30 speaks BF16.
+  EXPECT_EQ(cs2_spec().half_format, tensor::HalfFormat::kFp16);
+  EXPECT_EQ(groq_spec().half_format, tensor::HalfFormat::kFp16);
+  EXPECT_EQ(ipu_spec().half_format, tensor::HalfFormat::kFp16);
+  EXPECT_EQ(sn30_spec().half_format, tensor::HalfFormat::kBf16);
+}
+
+TEST(Spec, OcmPerCuApproximatesTable1) {
+  // Table 1: 48 KB, 0.5 MB, 0.045 MB, 0.61 MB.
+  EXPECT_EQ(cs2_spec().ocm_per_cu_bytes, 48u << 10);
+  EXPECT_EQ(sn30_spec().ocm_per_cu_bytes, 512u << 10);
+  EXPECT_NEAR(static_cast<double>(groq_spec().ocm_per_cu_bytes) / (1 << 20),
+              0.045, 0.002);
+  EXPECT_NEAR(static_cast<double>(ipu_spec().ocm_per_cu_bytes) / (1 << 20),
+              0.61, 0.01);
+}
+
+TEST(Spec, NoAcceleratorSupportsBitwiseOps) {
+  for (const AcceleratorSpec& spec :
+       {cs2_spec(), sn30_spec(), groq_spec(), ipu_spec()}) {
+    EXPECT_FALSE(spec.supported_ops.contains(OpKind::kBitShiftLeft))
+        << spec.name;
+    EXPECT_FALSE(spec.supported_ops.contains(OpKind::kBitAnd)) << spec.name;
+  }
+}
+
+TEST(Spec, OnlyIpuAmongAcceleratorsSupportsScatterGather) {
+  EXPECT_TRUE(ipu_spec().supported_ops.contains(OpKind::kGather));
+  EXPECT_TRUE(ipu_spec().supported_ops.contains(OpKind::kScatter));
+  for (const AcceleratorSpec& spec : {cs2_spec(), sn30_spec(), groq_spec()}) {
+    EXPECT_FALSE(spec.supported_ops.contains(OpKind::kGather)) << spec.name;
+    EXPECT_FALSE(spec.supported_ops.contains(OpKind::kScatter)) << spec.name;
+  }
+}
+
+TEST(Spec, GpuAndCpuSupportEverything) {
+  for (const AcceleratorSpec& spec : {a100_spec(), cpu_spec()}) {
+    EXPECT_TRUE(spec.supported_ops.contains(OpKind::kBitShiftLeft));
+    EXPECT_TRUE(spec.supported_ops.contains(OpKind::kGather));
+    EXPECT_TRUE(spec.supported_ops.contains(OpKind::kMatMul));
+  }
+}
+
+TEST(Spec, AllAcceleratorsSupportMatmul) {
+  for (const AcceleratorSpec& spec :
+       {cs2_spec(), sn30_spec(), groq_spec(), ipu_spec()}) {
+    EXPECT_TRUE(spec.supported_ops.contains(OpKind::kMatMul)) << spec.name;
+    EXPECT_TRUE(spec.supported_ops.contains(OpKind::kReshape)) << spec.name;
+  }
+}
+
+TEST(Spec, ConstraintFlagsMatchPaper) {
+  EXPECT_EQ(groq_spec().max_matmul_dim, 320u);
+  EXPECT_EQ(groq_spec().max_batch, 1000u);
+  EXPECT_EQ(sn30_spec().max_plane_bytes, 512u << 10);
+  EXPECT_EQ(cs2_spec().max_plane_bytes, 0u);
+  EXPECT_EQ(ipu_spec().max_plane_bytes, 0u);
+}
+
+TEST(Spec, ArchNames) {
+  EXPECT_EQ(arch_name(ArchClass::kDataflow), "Dataflow");
+  EXPECT_EQ(arch_name(ArchClass::kSimd), "SIMD");
+  EXPECT_EQ(arch_name(ArchClass::kMimd), "MIMD");
+}
+
+TEST(Spec, PipelineOverlapRatesFromPaper) {
+  EXPECT_DOUBLE_EQ(cs2_spec().resnet34_train_samples_per_s, 205.0);
+  EXPECT_DOUBLE_EQ(sn30_spec().resnet34_train_samples_per_s, 570.0);
+}
+
+TEST(Spec, PowerFiguresOrdered) {
+  // Public approximations used by bench_energy: the wafer-scale system
+  // draws orders of magnitude more than the single boards.
+  EXPECT_GT(cs2_spec().tdp_watts, 10 * sn30_spec().tdp_watts);
+  EXPECT_GT(sn30_spec().tdp_watts, groq_spec().tdp_watts);
+  for (const AcceleratorSpec& spec :
+       {cs2_spec(), sn30_spec(), groq_spec(), ipu_spec(), a100_spec()}) {
+    EXPECT_GT(spec.tdp_watts, 0.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace aic::accel

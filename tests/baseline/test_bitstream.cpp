@@ -1,0 +1,107 @@
+#include "baseline/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+
+namespace aic::baseline {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter writer;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) writer.write_bits(b ? 1 : 0, 1);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (bool b : pattern) EXPECT_EQ(reader.read_bit(), b);
+}
+
+TEST(BitStream, MultiBitValuesRoundTrip) {
+  BitWriter writer;
+  writer.write_bits(0b1011, 4);
+  writer.write_bits(0xdead, 16);
+  writer.write_bits(0x1ffffff, 25);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.read_bits(4), 0b1011u);
+  EXPECT_EQ(reader.read_bits(16), 0xdeadu);
+  EXPECT_EQ(reader.read_bits(25), 0x1ffffffu);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  runtime::Rng rng(1);
+  BitWriter writer;
+  std::vector<std::pair<std::uint32_t, std::size_t>> writes;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t count = 1 + rng.uniform_index(32);
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(rng.next_u64()) &
+        (count == 32 ? 0xffffffffu : ((1u << count) - 1));
+    writes.emplace_back(value, count);
+    writer.write_bits(value, count);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (const auto& [value, count] : writes) {
+    ASSERT_EQ(reader.read_bits(count), value);
+  }
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter writer;
+  writer.write_bits(1, 1);
+  writer.write_bits(0, 5);
+  writer.write_bits(7, 3);
+  EXPECT_EQ(writer.bit_count(), 9u);
+}
+
+TEST(BitStream, FinishPadsToByte) {
+  BitWriter writer;
+  writer.write_bits(0b101, 3);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter writer;
+  writer.write_bits(1, 1);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  reader.read_bits(8);  // padded byte is readable
+  EXPECT_THROW(reader.read_bit(), std::out_of_range);
+}
+
+TEST(BitStream, WriteMoreThan32Throws) {
+  BitWriter writer;
+  EXPECT_THROW(writer.write_bits(0, 33), std::invalid_argument);
+}
+
+TEST(BitStream, EmptyWriterProducesNoBytes) {
+  BitWriter writer;
+  EXPECT_TRUE(writer.finish().empty());
+}
+
+TEST(BitStream, MsbFirstLayout) {
+  BitWriter writer;
+  writer.write_bits(0x80, 8);
+  const auto bytes = writer.finish();
+  EXPECT_EQ(bytes[0], 0x80);
+  BitReader reader(bytes);
+  EXPECT_TRUE(reader.read_bit());  // MSB comes out first
+}
+
+TEST(BitStream, BitsRemainingCountsDown) {
+  BitWriter writer;
+  writer.write_bits(0xff, 8);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.bits_remaining(), 8u);
+  reader.read_bits(3);
+  EXPECT_EQ(reader.bits_remaining(), 5u);
+}
+
+}  // namespace
+}  // namespace aic::baseline

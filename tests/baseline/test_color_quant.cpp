@@ -1,0 +1,77 @@
+#include "baseline/color_quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::baseline {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(ColorQuant, LevelsArePowerOfTwo) {
+  EXPECT_EQ(ColorQuantCodec(4).levels(), 16u);
+  EXPECT_EQ(ColorQuantCodec(8).levels(), 256u);
+}
+
+TEST(ColorQuant, InvalidBitsThrow) {
+  EXPECT_THROW(ColorQuantCodec(0), std::invalid_argument);
+  EXPECT_THROW(ColorQuantCodec(17), std::invalid_argument);
+  EXPECT_THROW(ColorQuantCodec(4, 1.0f, 0.0f), std::invalid_argument);
+}
+
+TEST(ColorQuant, RatioIs32OverBits) {
+  EXPECT_DOUBLE_EQ(ColorQuantCodec(8).compression_ratio(), 4.0);
+  EXPECT_DOUBLE_EQ(ColorQuantCodec(2).compression_ratio(), 16.0);
+}
+
+TEST(ColorQuant, ErrorBoundedByHalfStep) {
+  runtime::Rng rng(1);
+  const ColorQuantCodec codec(6);
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 3, 8, 8), rng);
+  const Tensor out = codec.round_trip(in);
+  const double half_step = 0.5 / 63.0;
+  EXPECT_LE(tensor::max_abs_error(in, out), half_step + 1e-6);
+}
+
+TEST(ColorQuant, MoreBitsLessError) {
+  runtime::Rng rng(2);
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  double last = 1e30;
+  for (std::size_t bits : {2u, 4u, 8u, 12u}) {
+    const double err = tensor::mse(in, ColorQuantCodec(bits).round_trip(in));
+    EXPECT_LT(err, last) << bits;
+    last = err;
+  }
+}
+
+TEST(ColorQuant, OutOfRangeValuesClamp) {
+  const ColorQuantCodec codec(4);
+  Tensor in(Shape::bchw(1, 1, 4, 4));
+  in.fill(2.0f);  // above hi = 1
+  const Tensor out = codec.round_trip(in);
+  for (float v : out.data()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(ColorQuant, EndpointsAreExact) {
+  const ColorQuantCodec codec(3);
+  Tensor in(Shape::bchw(1, 1, 4, 4));
+  in.fill(0.0f);
+  EXPECT_TRUE(tensor::allclose(codec.round_trip(in), in, 0.0));
+  in.fill(1.0f);
+  EXPECT_TRUE(tensor::allclose(codec.round_trip(in), in, 0.0));
+}
+
+TEST(ColorQuant, RoundTripIsIdempotent) {
+  runtime::Rng rng(3);
+  const ColorQuantCodec codec(5);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 2, 8, 8), rng);
+  const Tensor once = codec.round_trip(in);
+  const Tensor twice = codec.round_trip(once);
+  EXPECT_TRUE(tensor::allclose(once, twice, 1e-7));
+}
+
+}  // namespace
+}  // namespace aic::baseline

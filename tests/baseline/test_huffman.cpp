@@ -1,0 +1,109 @@
+#include "baseline/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+
+namespace aic::baseline {
+namespace {
+
+TEST(Huffman, RoundTripsSimpleStream) {
+  const std::vector<std::uint16_t> symbols = {1, 2, 2, 3, 3, 3, 3};
+  const HuffmanCoder coder(symbols);
+  BitWriter writer;
+  coder.encode(symbols, writer);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(coder.decode(reader, symbols.size()), symbols);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const std::vector<std::uint16_t> symbols(10, 42);
+  const HuffmanCoder coder(symbols);
+  BitWriter writer;
+  coder.encode(symbols, writer);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(coder.decode(reader, symbols.size()), symbols);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint16_t> symbols;
+  for (int i = 0; i < 100; ++i) symbols.push_back(0);
+  for (int i = 0; i < 5; ++i) symbols.push_back(1);
+  for (int i = 0; i < 5; ++i) symbols.push_back(2);
+  const HuffmanCoder coder(symbols);
+  EXPECT_LT(coder.lengths().at(0), coder.lengths().at(1));
+}
+
+TEST(Huffman, EncodedSizeBeatsFixedWidthOnSkewedData) {
+  runtime::Rng rng(1);
+  std::vector<std::uint16_t> symbols;
+  for (int i = 0; i < 10'000; ++i) {
+    // Zipf-ish skew over 16 symbols.
+    const double u = rng.uniform();
+    symbols.push_back(u < 0.6 ? 0 : u < 0.85 ? 1 : rng.uniform_index(16));
+  }
+  const HuffmanCoder coder(symbols);
+  const std::size_t fixed_bits = symbols.size() * 4;  // 16 symbols = 4 bits
+  EXPECT_LT(coder.encoded_bits(symbols), fixed_bits);
+}
+
+TEST(Huffman, RoundTripsRandomStreams) {
+  runtime::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint16_t> symbols;
+    const std::size_t alphabet = 1 + rng.uniform_index(64);
+    for (int i = 0; i < 500; ++i) {
+      symbols.push_back(static_cast<std::uint16_t>(rng.uniform_index(alphabet)));
+    }
+    const HuffmanCoder coder(symbols);
+    BitWriter writer;
+    coder.encode(symbols, writer);
+    const auto bytes = writer.finish();
+    BitReader reader(bytes);
+    ASSERT_EQ(coder.decode(reader, symbols.size()), symbols) << trial;
+  }
+}
+
+TEST(Huffman, RebuildFromLengthsMatchesOriginal) {
+  const std::vector<std::uint16_t> symbols = {5, 5, 5, 9, 9, 17, 17, 17, 17, 2};
+  const HuffmanCoder original(symbols);
+  const HuffmanCoder rebuilt(original.lengths());
+  BitWriter writer;
+  original.encode(symbols, writer);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(rebuilt.decode(reader, symbols.size()), symbols);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  runtime::Rng rng(3);
+  std::vector<std::uint16_t> symbols;
+  for (int i = 0; i < 1000; ++i) {
+    symbols.push_back(static_cast<std::uint16_t>(rng.uniform_index(30)));
+  }
+  const HuffmanCoder coder(symbols);
+  double kraft = 0.0;
+  for (const auto& [symbol, length] : coder.lengths()) {
+    kraft += std::pow(2.0, -static_cast<double>(length));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(Huffman, EmptyStreamThrows) {
+  EXPECT_THROW(HuffmanCoder(std::vector<std::uint16_t>{}),
+               std::invalid_argument);
+}
+
+TEST(Huffman, UnknownSymbolThrows) {
+  const HuffmanCoder coder(std::vector<std::uint16_t>{1, 2, 3});
+  BitWriter writer;
+  EXPECT_THROW(coder.encode({99}, writer), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aic::baseline

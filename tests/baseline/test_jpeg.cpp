@@ -1,0 +1,162 @@
+#include "baseline/jpeg_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baseline/quant_tables.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::baseline {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Smooth synthetic image plane in [0, 1].
+Tensor smooth_plane(std::size_t n, runtime::Rng& rng) {
+  Tensor plane(Shape::matrix(n, n));
+  const double fx = rng.uniform(0.05, 0.2);
+  const double fy = rng.uniform(0.05, 0.2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      plane.at(i, j) = static_cast<float>(
+          0.5 + 0.4 * std::sin(fx * i) * std::cos(fy * j) +
+          0.02 * rng.normal());
+    }
+  }
+  return plane;
+}
+
+TEST(QuantTables, LuminanceMatchesAnnexK) {
+  const QuantTable& t = jpeg_luminance_table();
+  EXPECT_EQ(t[0], 16);
+  EXPECT_EQ(t[63], 99);
+  EXPECT_EQ(t[7], 61);
+}
+
+TEST(QuantTables, Quality50IsBaseTable) {
+  const QuantTable scaled = scale_table(jpeg_luminance_table(), 50);
+  EXPECT_EQ(scaled, jpeg_luminance_table());
+}
+
+TEST(QuantTables, LowerQualityMeansCoarserQuantization) {
+  const QuantTable q10 = scale_table(jpeg_luminance_table(), 10);
+  const QuantTable q90 = scale_table(jpeg_luminance_table(), 90);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_GE(q10[i], q90[i]) << "entry " << i;
+  }
+}
+
+TEST(QuantTables, EntriesClampedTo255) {
+  const QuantTable q1 = scale_table(jpeg_luminance_table(), 1);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_GE(q1[i], 1);
+    EXPECT_LE(q1[i], 255);
+  }
+}
+
+TEST(QuantTables, InvalidQualityThrows) {
+  EXPECT_THROW(scale_table(jpeg_luminance_table(), 0), std::invalid_argument);
+  EXPECT_THROW(scale_table(jpeg_luminance_table(), 101),
+               std::invalid_argument);
+}
+
+TEST(Jpeg, QuantizeDequantizeRoundTripIsClose) {
+  runtime::Rng rng(1);
+  const Tensor plane = smooth_plane(32, rng);
+  const JpegLikeCodec codec(90);
+  const auto coeffs = codec.quantize_plane(plane);
+  const Tensor restored = codec.dequantize_plane(coeffs, 32, 32);
+  EXPECT_LT(tensor::mse(plane, restored), 1e-3);
+}
+
+TEST(Jpeg, LowerQualityHasHigherError) {
+  runtime::Rng rng(2);
+  const Tensor plane = smooth_plane(32, rng);
+  double last_error = -1.0;
+  for (int quality : {95, 75, 50, 25, 5}) {
+    const JpegLikeCodec codec(quality);
+    const Tensor restored =
+        codec.dequantize_plane(codec.quantize_plane(plane), 32, 32);
+    const double error = tensor::mse(plane, restored);
+    EXPECT_GE(error, last_error * 0.9) << "quality " << quality;
+    last_error = error;
+  }
+}
+
+TEST(Jpeg, LowerQualityYieldsMoreZeros) {
+  runtime::Rng rng(3);
+  const Tensor plane = smooth_plane(64, rng);
+  std::size_t zeros_q90 = 0, zeros_q10 = 0;
+  for (const std::int32_t c : JpegLikeCodec(90).quantize_plane(plane)) {
+    if (c == 0) ++zeros_q90;
+  }
+  for (const std::int32_t c : JpegLikeCodec(10).quantize_plane(plane)) {
+    if (c == 0) ++zeros_q10;
+  }
+  EXPECT_GT(zeros_q10, zeros_q90);
+}
+
+TEST(Jpeg, FullStreamRoundTripMatchesQuantizedPath) {
+  runtime::Rng rng(4);
+  const Tensor plane = smooth_plane(32, rng);
+  const JpegLikeCodec codec(60);
+  const auto stream = codec.compress_plane(plane);
+  const Tensor via_stream = codec.decompress_plane(stream, 32, 32);
+  const Tensor via_coeffs =
+      codec.dequantize_plane(codec.quantize_plane(plane), 32, 32);
+  // The entropy stage is lossless: both paths must agree bit for bit.
+  EXPECT_TRUE(tensor::allclose(via_stream, via_coeffs, 0.0));
+}
+
+TEST(Jpeg, StreamCompressesSmoothData) {
+  runtime::Rng rng(5);
+  const Tensor plane = smooth_plane(64, rng);
+  const auto stream = JpegLikeCodec(50).compress_plane(plane);
+  EXPECT_GT(JpegLikeCodec::achieved_ratio(stream), 4.0);
+}
+
+TEST(Jpeg, CensusFractionsInUnitInterval) {
+  runtime::Rng rng(6);
+  std::vector<Tensor> planes;
+  for (int i = 0; i < 5; ++i) planes.push_back(smooth_plane(32, rng));
+  const auto census = nonzero_census(planes, 50);
+  ASSERT_EQ(census.size(), 64u);
+  for (double f : census) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(Jpeg, CensusDcAlwaysPopulatedHighFreqSparse) {
+  // Fig. 3's pattern: the DC position is nearly always nonzero while the
+  // bottom-right corner is almost always zero for natural-ish images.
+  runtime::Rng rng(7);
+  std::vector<Tensor> planes;
+  for (int i = 0; i < 20; ++i) planes.push_back(smooth_plane(32, rng));
+  const auto census = nonzero_census(planes, 50);
+  EXPECT_GT(census[0], 0.9);
+  EXPECT_LT(census[63], census[0]);
+}
+
+TEST(Jpeg, CensusLowerQualityIsSparser) {
+  runtime::Rng rng(8);
+  std::vector<Tensor> planes;
+  for (int i = 0; i < 10; ++i) planes.push_back(smooth_plane(32, rng));
+  const auto q95 = nonzero_census(planes, 95);
+  const auto q5 = nonzero_census(planes, 5);
+  const double density95 = std::accumulate(q95.begin(), q95.end(), 0.0);
+  const double density5 = std::accumulate(q5.begin(), q5.end(), 0.0);
+  EXPECT_LT(density5, density95);
+}
+
+TEST(Jpeg, RejectsNonDivisiblePlane) {
+  const Tensor plane(Shape::matrix(30, 32));
+  EXPECT_THROW(JpegLikeCodec(50).quantize_plane(plane), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aic::baseline

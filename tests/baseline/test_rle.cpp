@@ -1,0 +1,76 @@
+#include "baseline/rle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/rng.hpp"
+
+namespace aic::baseline {
+namespace {
+
+TEST(Rle, EncodesRunsOfZeros) {
+  const std::vector<std::int32_t> values = {0, 0, 0, 5, 0, -2, 7};
+  const auto symbols = rle_encode(values);
+  ASSERT_EQ(symbols.size(), 3u);
+  EXPECT_EQ(symbols[0], (RleSymbol{3, 5}));
+  EXPECT_EQ(symbols[1], (RleSymbol{1, -2}));
+  EXPECT_EQ(symbols[2], (RleSymbol{0, 7}));
+}
+
+TEST(Rle, TrailingZerosBecomeEob) {
+  const std::vector<std::int32_t> values = {9, 0, 0, 0};
+  const auto symbols = rle_encode(values);
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], (RleSymbol{0, 9}));
+  EXPECT_EQ(symbols[1], (RleSymbol{0, 0}));  // EOB
+}
+
+TEST(Rle, AllZerosIsSingleEob) {
+  const std::vector<std::int32_t> values(64, 0);
+  const auto symbols = rle_encode(values);
+  ASSERT_EQ(symbols.size(), 1u);
+  EXPECT_EQ(symbols[0], (RleSymbol{0, 0}));
+}
+
+TEST(Rle, EmptyInputGivesNoSymbols) {
+  EXPECT_TRUE(rle_encode({}).empty());
+}
+
+TEST(Rle, DecodeReconstructsExactly) {
+  const std::vector<std::int32_t> values = {0, 3, 0, 0, -1, 0, 0, 0};
+  const auto symbols = rle_encode(values);
+  EXPECT_EQ(rle_decode(symbols, values.size()), values);
+}
+
+TEST(Rle, RoundTripRandomSparseVectors) {
+  runtime::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::int32_t> values(64);
+    for (auto& v : values) {
+      // ~80% zeros, mimicking quantized DCT statistics.
+      v = rng.uniform() < 0.8
+              ? 0
+              : static_cast<std::int32_t>(rng.uniform(-100, 100));
+    }
+    const auto symbols = rle_encode(values);
+    EXPECT_EQ(rle_decode(symbols, values.size()), values) << "trial " << trial;
+  }
+}
+
+TEST(Rle, CompressionEffectiveOnSparseData) {
+  std::vector<std::int32_t> values(64, 0);
+  values[0] = 100;
+  values[1] = -3;
+  const auto symbols = rle_encode(values);
+  // 2 value symbols + EOB, against 64 raw values.
+  EXPECT_EQ(symbols.size(), 3u);
+}
+
+TEST(Rle, DecodePadsShortStreams) {
+  // EOB only: full length of zeros.
+  const std::vector<RleSymbol> symbols = {{0, 0}};
+  const auto values = rle_decode(symbols, 10);
+  EXPECT_EQ(values, std::vector<std::int32_t>(10, 0));
+}
+
+}  // namespace
+}  // namespace aic::baseline

@@ -1,0 +1,130 @@
+#include "baseline/sz_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dct_chop.hpp"
+#include "data/synth.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::baseline {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor smooth_plane(std::size_t n, std::uint64_t seed) {
+  runtime::Rng rng(seed);
+  return data::smooth_field(n, n, rng, 5, 0.3);
+}
+
+TEST(SzLike, InvalidBoundThrows) {
+  EXPECT_THROW(SzLikeCodec(0.0), std::invalid_argument);
+  EXPECT_THROW(SzLikeCodec(-1e-3), std::invalid_argument);
+}
+
+class SzBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(SzBound, ErrorBoundIsHonoured) {
+  // The defining property of an error-bounded compressor: every single
+  // reconstructed value within the bound (plus fp32 slack).
+  const double bound = GetParam();
+  const SzLikeCodec codec(bound);
+  const Tensor plane = smooth_plane(32, 1);
+  const auto stream = codec.compress_plane(plane);
+  const Tensor restored = codec.decompress_plane(stream, 32, 32);
+  EXPECT_LE(tensor::max_abs_error(plane, restored), bound * (1.0 + 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SzBound,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+TEST(SzLike, TighterBoundLowerRatio) {
+  const Tensor plane = smooth_plane(64, 2);
+  const auto loose = SzLikeCodec(1e-1).compress_plane(plane);
+  const auto tight = SzLikeCodec(1e-4).compress_plane(plane);
+  EXPECT_GT(SzLikeCodec::achieved_ratio(loose),
+            SzLikeCodec::achieved_ratio(tight));
+}
+
+TEST(SzLike, SmoothDataCompressesWell) {
+  const Tensor plane = smooth_plane(64, 3);
+  const auto stream = SzLikeCodec(1e-2).compress_plane(plane);
+  EXPECT_GT(SzLikeCodec::achieved_ratio(stream), 8.0);
+  // Smooth data is Lorenzo-predictable: few unpredictable points.
+  EXPECT_LT(stream.unpredictable, stream.values / 100 + 2);
+}
+
+TEST(SzLike, NoisyDataCompressesWorse) {
+  runtime::Rng rng(4);
+  Tensor noisy = smooth_plane(64, 4);
+  data::add_gaussian_noise(noisy, rng, 0.2);
+  const Tensor smooth = smooth_plane(64, 4);
+  const SzLikeCodec codec(1e-3);
+  EXPECT_LT(SzLikeCodec::achieved_ratio(codec.compress_plane(noisy)),
+            SzLikeCodec::achieved_ratio(codec.compress_plane(smooth)));
+}
+
+TEST(SzLike, ConstantPlaneIsNearlyFree) {
+  const Tensor plane = Tensor::full(Shape::matrix(64, 64), 0.7f);
+  const auto stream = SzLikeCodec(1e-3).compress_plane(plane);
+  // One Huffman bit per value (~32x) plus a small header.
+  EXPECT_GT(SzLikeCodec::achieved_ratio(stream), 25.0);
+}
+
+TEST(SzLike, HandlesExtremeValuesViaVerbatimPath) {
+  // A spike far outside the code range must round-trip exactly through
+  // the unpredictable/verbatim path.
+  Tensor plane(Shape::matrix(16, 16));
+  plane.at(5, 5) = 1e9f;
+  const SzLikeCodec codec(1e-6);
+  const auto stream = codec.compress_plane(plane);
+  EXPECT_GE(stream.unpredictable, 1u);
+  const Tensor restored = codec.decompress_plane(stream, 16, 16);
+  EXPECT_EQ(restored.at(5, 5), 1e9f);
+  EXPECT_LE(tensor::max_abs_error(plane, restored), 1e-6 * 1.0001);
+}
+
+TEST(SzLike, RoundTripBchwReportsRatio) {
+  runtime::Rng rng(5);
+  Tensor batch(Shape::bchw(2, 2, 32, 32));
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      batch.set_plane(b, c, smooth_plane(32, 10 + b * 2 + c));
+    }
+  }
+  double ratio = 0.0;
+  const SzLikeCodec codec(1e-3);
+  const Tensor restored = codec.round_trip(batch, &ratio);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LE(tensor::max_abs_error(batch, restored), 1e-3 * 1.0001);
+}
+
+TEST(SzLike, DecompressRejectsWrongDims) {
+  const SzLikeCodec codec(1e-3);
+  const auto stream = codec.compress_plane(smooth_plane(16, 6));
+  EXPECT_THROW(codec.decompress_plane(stream, 16, 32),
+               std::invalid_argument);
+}
+
+TEST(SzLike, BeatsChopRatioAtMatchedErrorOnSmoothData) {
+  // The paper's framing: SZ-class compressors win on rate/distortion —
+  // they just cannot run on the accelerators. At the error a CF=4 chop
+  // produces, the SZ-style stream is smaller.
+  const Tensor plane = smooth_plane(64, 7);
+  Tensor batch(Shape::bchw(1, 1, 64, 64));
+  batch.set_plane(0, 0, plane);
+  const core::DctChopCodec chop(
+      {.height = 64, .width = 64, .cf = 4, .block = 8});
+  const Tensor chop_restored = chop.round_trip(batch);
+  const double chop_max_err = tensor::max_abs_error(batch, chop_restored);
+
+  const SzLikeCodec sz(std::max(chop_max_err, 1e-6));
+  const auto stream = sz.compress_plane(plane);
+  EXPECT_GT(SzLikeCodec::achieved_ratio(stream), chop.compression_ratio());
+}
+
+}  // namespace
+}  // namespace aic::baseline

@@ -1,0 +1,190 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "cli/archive.hpp"
+#include "io/tensor_io.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::cli {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() / "aic_cli_test";
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+int run(const std::vector<std::string>& args, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  if (out_text) *out_text = out.str();
+  if (err_text) *err_text = err.str();
+  return code;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  std::string err;
+  EXPECT_EQ(run({}, nullptr, &err), 2);
+  EXPECT_NE(err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::string err;
+  EXPECT_EQ(run({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenWritesLoadableTensor) {
+  TempDir dir;
+  const std::string path = dir.file("t.aict");
+  std::string out;
+  ASSERT_EQ(run({"gen", path, "--batch", "2", "--channels", "1", "--res",
+                 "16"},
+                &out),
+            0);
+  const Tensor tensor = io::load_tensor(path);
+  EXPECT_EQ(tensor.shape(), Shape::bchw(2, 1, 16, 16));
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+}
+
+TEST(Cli, CompressDecompressRoundTrip) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  const std::string packed = dir.file("packed.aicz");
+  const std::string restored = dir.file("restored.aict");
+  ASSERT_EQ(run({"gen", raw, "--res", "16", "--channels", "1"}), 0);
+  ASSERT_EQ(run({"compress", raw, packed, "--cf", "8"}), 0);
+  ASSERT_EQ(run({"decompress", packed, restored}), 0);
+  // CF=8 is near-lossless: the files agree to fp32 noise.
+  const Tensor a = io::load_tensor(raw);
+  const Tensor b = io::load_tensor(restored);
+  EXPECT_TRUE(tensor::allclose(a, b, 1e-4));
+}
+
+TEST(Cli, CompressedFileIsSmaller) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  const std::string packed = dir.file("packed.aicz");
+  ASSERT_EQ(run({"gen", raw, "--res", "32"}), 0);
+  ASSERT_EQ(run({"compress", raw, packed, "--cf", "2"}), 0);
+  EXPECT_LT(std::filesystem::file_size(packed),
+            std::filesystem::file_size(raw) / 8);
+}
+
+TEST(Cli, TriangleFlagChangesCodec) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  const std::string packed = dir.file("packed.aicz");
+  ASSERT_EQ(run({"gen", raw, "--res", "16", "--channels", "1"}), 0);
+  ASSERT_EQ(run({"compress", raw, packed, "--cf", "4", "--triangle"}), 0);
+  const Archive archive = load_archive(packed);
+  EXPECT_TRUE(archive.triangle);
+  std::string info;
+  ASSERT_EQ(run({"info", packed}, &info), 0);
+  EXPECT_NE(info.find("dct+chop+sg"), std::string::npos);
+}
+
+TEST(Cli, InfoOnPlainTensor) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  ASSERT_EQ(run({"gen", raw, "--res", "16"}), 0);
+  std::string out;
+  ASSERT_EQ(run({"info", raw}, &out), 0);
+  EXPECT_NE(out.find("tensor: shape=[4, 3, 16, 16]"), std::string::npos);
+}
+
+TEST(Cli, EvalReportsRateDistortion) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  ASSERT_EQ(run({"gen", raw, "--res", "16"}), 0);
+  std::string out;
+  ASSERT_EQ(run({"eval", raw, "--cf", "4"}, &out), 0);
+  EXPECT_NE(out.find("CR=4"), std::string::npos);
+  EXPECT_NE(out.find("PSNR="), std::string::npos);
+}
+
+TEST(Cli, AlternativeTransformAccepted) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  const std::string packed = dir.file("packed.aicz");
+  ASSERT_EQ(run({"gen", raw, "--res", "16", "--channels", "1"}), 0);
+  ASSERT_EQ(
+      run({"compress", raw, packed, "--cf", "4", "--transform", "wht"}), 0);
+  const Archive archive = load_archive(packed);
+  EXPECT_EQ(archive.config.transform, core::TransformKind::kWalshHadamard);
+  // And the archive round-trips through its own codec.
+  const Tensor restored = make_archive_codec(archive)->decompress(
+      archive.packed, archive.original_shape);
+  EXPECT_EQ(restored.shape(), archive.original_shape);
+}
+
+TEST(Cli, BadTransformRejected) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  ASSERT_EQ(run({"gen", raw, "--res", "16"}), 0);
+  std::string err;
+  EXPECT_EQ(run({"eval", raw, "--transform", "fft"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown transform"), std::string::npos);
+}
+
+TEST(Cli, MissingFileIsGracefulError) {
+  std::string err;
+  EXPECT_EQ(run({"info", "/nonexistent/nope.aict"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, MissingFlagValueIsGracefulError) {
+  std::string err;
+  EXPECT_EQ(run({"eval", "x.aict", "--cf"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("missing value"), std::string::npos);
+}
+
+TEST(Archive, SerializeDeserializeRoundTrip) {
+  runtime::Rng rng(1);
+  const Tensor input = Tensor::uniform(Shape::bchw(2, 1, 16, 16), rng);
+  const Archive archive = compress_to_archive(
+      input, 4, 8, core::TransformKind::kDct2, false);
+  const Archive back = deserialize_archive(serialize_archive(archive));
+  EXPECT_EQ(back.original_shape, archive.original_shape);
+  EXPECT_EQ(back.config.cf, 4u);
+  EXPECT_TRUE(tensor::allclose(back.packed, archive.packed, 0.0));
+}
+
+TEST(Archive, CorruptHeaderRejected) {
+  runtime::Rng rng(2);
+  const Tensor input = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  const Archive archive = compress_to_archive(
+      input, 4, 8, core::TransformKind::kDct2, false);
+  std::string bytes = serialize_archive(archive);
+  bytes[0] = 'X';
+  EXPECT_THROW(deserialize_archive(bytes), std::runtime_error);
+}
+
+TEST(Archive, PayloadHeaderMismatchRejected) {
+  runtime::Rng rng(3);
+  const Tensor input = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  Archive archive = compress_to_archive(input, 4, 8,
+                                        core::TransformKind::kDct2, false);
+  archive.config.cf = 2;  // header now disagrees with the payload shape
+  EXPECT_THROW(deserialize_archive(serialize_archive(archive)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aic::cli

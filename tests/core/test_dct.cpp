@@ -1,0 +1,142 @@
+#include "core/dct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::allclose;
+
+class DctMatrixSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DctMatrixSize, IsOrthonormal) {
+  const std::size_t n = GetParam();
+  const Tensor t = dct_matrix(n);
+  EXPECT_TRUE(allclose(tensor::matmul(t, t.transposed()),
+                       Tensor::identity(n), 1e-5));
+  EXPECT_TRUE(allclose(tensor::matmul(t.transposed(), t),
+                       Tensor::identity(n), 1e-5));
+}
+
+TEST_P(DctMatrixSize, RowsHaveUnitNorm) {
+  const std::size_t n = GetParam();
+  const Tensor t = dct_matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      norm += static_cast<double>(t.at(i, j)) * t.at(i, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-5) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DctMatrixSize,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(DctMatrix, FirstRowIsConstant) {
+  const Tensor t = dct_matrix(8);
+  const float expected = 1.0f / std::sqrt(8.0f);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(t.at(0, j), expected, 1e-6);
+  }
+}
+
+TEST(DctMatrix, ZeroSizeThrows) {
+  EXPECT_THROW(dct_matrix(0), std::invalid_argument);
+}
+
+TEST(Dct, TransformOfConstantBlockIsPureDc) {
+  const Tensor block = Tensor::full(Shape::matrix(8, 8), 3.0f);
+  const Tensor t = dct_matrix(8);
+  const Tensor d = tensor::matmul(tensor::matmul(t, block), t.transposed());
+  // DC coefficient is N * mean = 8 * 3 = 24 for the orthonormal transform.
+  EXPECT_NEAR(d.at(0, 0), 24.0f, 1e-4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i == 0 && j == 0) continue;
+      EXPECT_NEAR(d.at(i, j), 0.0f, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(Dct, MatrixFormMatchesEq1Reference) {
+  runtime::Rng rng(1);
+  const Tensor block = Tensor::uniform(Shape::matrix(8, 8), rng, -1.0f, 1.0f);
+  const Tensor t = dct_matrix(8);
+  const Tensor via_matrix =
+      tensor::matmul(tensor::matmul(t, block), t.transposed());
+  const Tensor via_sum = dct2d_reference(block);
+  EXPECT_TRUE(allclose(via_matrix, via_sum, 1e-4));
+}
+
+TEST(Dct, RoundTripIsExact) {
+  runtime::Rng rng(2);
+  const Tensor block = Tensor::uniform(Shape::matrix(8, 8), rng, -1.0f, 1.0f);
+  const Tensor t = dct_matrix(8);
+  const Tensor d = tensor::matmul(tensor::matmul(t, block), t.transposed());
+  const Tensor back = tensor::matmul(tensor::matmul(t.transposed(), d), t);
+  EXPECT_TRUE(allclose(back, block, 1e-5));
+}
+
+TEST(Dct, EnergyIsPreserved) {
+  // Parseval: orthonormal transforms preserve the Frobenius norm.
+  runtime::Rng rng(3);
+  const Tensor block = Tensor::uniform(Shape::matrix(8, 8), rng, -1.0f, 1.0f);
+  const Tensor t = dct_matrix(8);
+  const Tensor d = tensor::matmul(tensor::matmul(t, block), t.transposed());
+  EXPECT_NEAR(tensor::sum(tensor::mul(block, block)),
+              tensor::sum(tensor::mul(d, d)), 1e-3);
+}
+
+TEST(BlockDiagonal, StructureHoldsOffDiagonalZero) {
+  const Tensor t_l = block_diagonal_dct(24, 8);
+  EXPECT_EQ(t_l.shape(), Shape::matrix(24, 24));
+  const Tensor t = dct_matrix(8);
+  for (std::size_t i = 0; i < 24; ++i) {
+    for (std::size_t j = 0; j < 24; ++j) {
+      if (i / 8 == j / 8) {
+        EXPECT_EQ(t_l.at(i, j), t.at(i % 8, j % 8));
+      } else {
+        EXPECT_EQ(t_l.at(i, j), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(BlockDiagonal, IsOrthonormal) {
+  const Tensor t_l = block_diagonal_dct(32, 8);
+  EXPECT_TRUE(allclose(tensor::matmul(t_l, t_l.transposed()),
+                       Tensor::identity(32), 1e-5));
+}
+
+TEST(BlockDiagonal, AppliesDctPerBlock) {
+  runtime::Rng rng(4);
+  const Tensor plane = Tensor::uniform(Shape::matrix(24, 24), rng, -1.0f, 1.0f);
+  const Tensor t_l = block_diagonal_dct(24, 8);
+  const Tensor via_matrix =
+      tensor::matmul(tensor::matmul(t_l, plane), t_l.transposed());
+  const Tensor via_blocks = blockwise_dct_reference(plane, 8);
+  EXPECT_TRUE(allclose(via_matrix, via_blocks, 1e-4));
+}
+
+TEST(BlockDiagonal, IndivisibleSizeThrows) {
+  EXPECT_THROW(block_diagonal_dct(20, 8), std::invalid_argument);
+  EXPECT_THROW(block_diagonal_dct(8, 0), std::invalid_argument);
+}
+
+TEST(DctReference, NonSquareBlockThrows) {
+  EXPECT_THROW(dct2d_reference(Tensor(Shape::matrix(4, 8))),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aic::core

@@ -1,0 +1,68 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dct_chop.hpp"
+#include "core/triangle.hpp"
+#include "runtime/rng.hpp"
+
+namespace aic::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Metrics, LosslessConfigurationReportsZeroError) {
+  runtime::Rng rng(1);
+  const DctChopCodec codec({.height = 16, .width = 16, .cf = 8, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  const RateDistortion rd = evaluate_codec(codec, in);
+  EXPECT_LT(rd.mse, 1e-8);
+  EXPECT_GT(rd.psnr_db, 60.0);
+  EXPECT_DOUBLE_EQ(rd.compression_ratio, 1.0);
+}
+
+TEST(Metrics, ReportsCodecNameAndBytes) {
+  runtime::Rng rng(2);
+  const DctChopCodec codec({.height = 16, .width = 16, .cf = 4, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng);
+  const RateDistortion rd = evaluate_codec(codec, in);
+  EXPECT_EQ(rd.codec, codec.name());
+  EXPECT_EQ(rd.uncompressed_bytes, in.size_bytes());
+  EXPECT_EQ(rd.compressed_bytes, in.size_bytes() / 4);
+}
+
+TEST(Metrics, DistortionGrowsAsCfShrinks) {
+  runtime::Rng rng(3);
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 3, 32, 32), rng);
+  double last_mse = -1.0;
+  for (std::size_t cf = 8; cf >= 1; --cf) {
+    const DctChopCodec codec(
+        {.height = 32, .width = 32, .cf = cf, .block = 8});
+    const RateDistortion rd = evaluate_codec(codec, in);
+    EXPECT_GE(rd.mse, last_mse - 1e-9) << "cf=" << cf;
+    last_mse = rd.mse;
+  }
+}
+
+TEST(Metrics, PsnrAndMseAreConsistent) {
+  runtime::Rng rng(4);
+  const DctChopCodec codec({.height = 16, .width = 16, .cf = 3, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  const RateDistortion rd = evaluate_codec(codec, in, 1.0);
+  EXPECT_NEAR(rd.psnr_db, 10.0 * std::log10(1.0 / rd.mse), 1e-6);
+}
+
+TEST(Metrics, TriangleCodecMeasurable) {
+  runtime::Rng rng(5);
+  const TriangleCodec codec({.height = 16, .width = 16, .cf = 4, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  const RateDistortion rd = evaluate_codec(codec, in);
+  EXPECT_GT(rd.compression_ratio, 4.0);
+  EXPECT_GT(rd.max_abs_error, 0.0);
+}
+
+}  // namespace
+}  // namespace aic::core

@@ -1,0 +1,108 @@
+#include "core/rate_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor calibration_batch(std::size_t n, std::uint64_t seed) {
+  runtime::Rng rng(seed);
+  Tensor t(Shape::bchw(4, 1, n, n));
+  for (std::size_t b = 0; b < 4; ++b) {
+    tensor::Tensor plane = data::smooth_field(n, n, rng, 6, 0.5);
+    data::add_gaussian_noise(plane, rng, 0.02);
+    t.set_plane(b, 0, plane);
+  }
+  return t;
+}
+
+TEST(RateControl, ChoiceMeetsBudget) {
+  const Tensor calibration = calibration_batch(32, 1);
+  const auto choice = choose_chop_factor(calibration, 1e-3);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_LE(choice->measured_mse, 1e-3);
+}
+
+TEST(RateControl, TighterBudgetMeansLowerRatio) {
+  const Tensor calibration = calibration_batch(32, 2);
+  const auto loose = choose_chop_factor(calibration, 1e-2);
+  const auto tight = choose_chop_factor(calibration, 1e-6);
+  ASSERT_TRUE(loose.has_value());
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_LE(tight->compression_ratio, loose->compression_ratio);
+  EXPECT_GE(tight->cf, loose->cf);
+}
+
+TEST(RateControl, ChoiceIsMostAggressiveWithinBudget) {
+  // One CF below the chosen one must violate the budget (unless cf = 1).
+  const Tensor calibration = calibration_batch(32, 3);
+  const double budget = 1e-4;
+  const auto choice = choose_chop_factor(calibration, budget);
+  ASSERT_TRUE(choice.has_value());
+  if (choice->cf > 1) {
+    const auto curve = rate_distortion_curve(calibration);
+    EXPECT_GT(curve[choice->cf - 2].measured_mse, budget);
+  }
+}
+
+TEST(RateControl, HugeBudgetPicksCfOne) {
+  const Tensor calibration = calibration_batch(16, 4);
+  const auto choice = choose_chop_factor(calibration, 1e9);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->cf, 1u);
+  EXPECT_DOUBLE_EQ(choice->compression_ratio, 64.0);
+}
+
+TEST(RateControl, PsnrVariantConsistentWithMse) {
+  const Tensor calibration = calibration_batch(32, 5);
+  const auto choice = choose_chop_factor_psnr(calibration, 35.0);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_GE(choice->measured_psnr_db, 35.0);
+}
+
+TEST(RateControl, CurveIsMonotone) {
+  const Tensor calibration = calibration_batch(32, 6);
+  const auto curve = rate_distortion_curve(calibration);
+  ASSERT_EQ(curve.size(), 8u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].measured_mse, curve[i - 1].measured_mse + 1e-9);
+    EXPECT_LT(curve[i].compression_ratio, curve[i - 1].compression_ratio);
+  }
+}
+
+TEST(RateControl, MakeCodecForChoiceHonorsCf) {
+  const Tensor calibration = calibration_batch(32, 7);
+  const auto choice = choose_chop_factor(calibration, 1e-4);
+  ASSERT_TRUE(choice.has_value());
+  const auto codec = make_codec_for_choice(*choice, 32, 32);
+  EXPECT_EQ(codec->config().cf, choice->cf);
+  // The compiled codec reproduces the calibration error.
+  const double err =
+      tensor::mse(calibration, codec->round_trip(calibration));
+  EXPECT_NEAR(err, choice->measured_mse, 1e-9);
+}
+
+TEST(RateControl, RejectsBadCalibration) {
+  EXPECT_THROW(choose_chop_factor(Tensor(Shape::matrix(8, 8)), 1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(choose_chop_factor(Tensor(Shape::bchw(1, 1, 10, 16)), 1e-3),
+               std::invalid_argument);
+}
+
+TEST(RateControl, WorksWithAlternativeTransform) {
+  const Tensor calibration = calibration_batch(32, 8);
+  const auto choice = choose_chop_factor(calibration, 1e-3, 8,
+                                         TransformKind::kWalshHadamard);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_LE(choice->measured_mse, 1e-3);
+}
+
+}  // namespace
+}  // namespace aic::core

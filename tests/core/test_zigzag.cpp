@@ -1,0 +1,88 @@
+#include "core/zigzag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace aic::core {
+namespace {
+
+TEST(Zigzag, EmptyForZeroSize) {
+  EXPECT_TRUE(zigzag_order(0).empty());
+}
+
+TEST(Zigzag, SingleElement) {
+  const auto order = zigzag_order(1);
+  ASSERT_EQ(order.size(), 1u);
+  const std::pair<std::size_t, std::size_t> origin{0, 0};
+  EXPECT_EQ(order[0], origin);
+}
+
+TEST(Zigzag, IsPermutationOfAllCells) {
+  for (std::size_t n : {2u, 3u, 8u, 16u}) {
+    const auto flat = zigzag_flat(n);
+    ASSERT_EQ(flat.size(), n * n);
+    std::set<std::size_t> unique(flat.begin(), flat.end());
+    EXPECT_EQ(unique.size(), n * n) << "n=" << n;
+    EXPECT_EQ(*unique.rbegin(), n * n - 1);
+  }
+}
+
+TEST(Zigzag, StartsAtDcEndsAtHighestFrequency) {
+  const auto order = zigzag_order(8);
+  const std::pair<std::size_t, std::size_t> first{0, 0};
+  const std::pair<std::size_t, std::size_t> last{7, 7};
+  EXPECT_EQ(order.front(), first);
+  EXPECT_EQ(order.back(), last);
+}
+
+TEST(Zigzag, MatchesJpegStandardPrefixFor8x8) {
+  // The first 10 entries of the canonical JPEG zig-zag scan.
+  const auto flat = zigzag_flat(8);
+  const std::size_t expected[] = {0, 1, 8, 16, 9, 2, 3, 10, 17, 24};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(flat[i], expected[i]) << "position " << i;
+  }
+}
+
+TEST(Zigzag, DiagonalSumsAreNonDecreasing) {
+  const auto order = zigzag_order(8);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i].first + order[i].second + 1,
+              order[i - 1].first + order[i - 1].second);
+  }
+}
+
+TEST(TriangleIndices, CountIsCfTimesCfPlusOneOverTwo) {
+  for (std::size_t cf = 1; cf <= 8; ++cf) {
+    EXPECT_EQ(triangle_indices(cf, 64).size(), cf * (cf + 1) / 2) << cf;
+  }
+}
+
+TEST(TriangleIndices, AllWithinTriangle) {
+  const std::size_t cf = 5, stride = 40;
+  for (std::size_t idx : triangle_indices(cf, stride)) {
+    const std::size_t r = idx / stride;
+    const std::size_t c = idx % stride;
+    EXPECT_LT(r + c, cf);
+  }
+}
+
+TEST(TriangleIndices, AreUniqueAndZigzagOrdered) {
+  const auto indices = triangle_indices(4, 16);
+  std::set<std::size_t> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), indices.size());
+  // First index is the DC coefficient.
+  EXPECT_EQ(indices.front(), 0u);
+}
+
+TEST(TriangleIndices, StrideOneMatchesPackedLayout) {
+  // With cf == stride the triangle indices address a cf-wide matrix.
+  const auto indices = triangle_indices(3, 3);
+  const std::set<std::size_t> expected = {0, 1, 2, 3, 4, 6};  // r*3+c, r+c<3
+  EXPECT_EQ(std::set<std::size_t>(indices.begin(), indices.end()), expected);
+}
+
+}  // namespace
+}  // namespace aic::core

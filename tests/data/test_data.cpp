@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/dct_chop.hpp"
+#include "data/benchmarks.hpp"
+#include "data/datasets.hpp"
+#include "data/synth.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::data {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+DatasetConfig small() {
+  return {.train_samples = 40,
+          .test_samples = 16,
+          .batch_size = 16,
+          .resolution = 16,
+          .seed = 7};
+}
+
+TEST(Synth, SmoothFieldInUnitRange) {
+  runtime::Rng rng(1);
+  const Tensor field = smooth_field(32, 32, rng);
+  EXPECT_GE(tensor::min_value(field), 0.0f);
+  EXPECT_LE(tensor::max_value(field), 1.0f);
+  // Normalization touches the extremes.
+  EXPECT_NEAR(tensor::min_value(field), 0.0f, 1e-5f);
+  EXPECT_NEAR(tensor::max_value(field), 1.0f, 1e-5f);
+}
+
+TEST(Synth, SmoothFieldIsSmooth) {
+  // Neighbouring pixels of a band-limited field differ slowly compared
+  // to white noise.
+  runtime::Rng rng(2);
+  const Tensor field = smooth_field(32, 32, rng, 4, 0.3);
+  double total_diff = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j + 1 < 32; ++j) {
+      total_diff += std::abs(field.at(i, j + 1) - field.at(i, j));
+    }
+  }
+  EXPECT_LT(total_diff / (32 * 31), 0.15);
+}
+
+TEST(Synth, GratingPeriodicityFollowsFrequency) {
+  const Tensor g = grating(32, 32, 2.0 * std::acos(-1.0) / 8.0, 0.0, 0.0);
+  // angle 0 projects onto rows: period 8 along i.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(g.at(0, j), g.at(8, j), 1e-5f);
+  }
+}
+
+TEST(Synth, NoiseChangesPixelsButStaysInRange) {
+  runtime::Rng rng(3);
+  Tensor plane = Tensor::full(Shape::matrix(16, 16), 0.5f);
+  add_gaussian_noise(plane, rng, 0.1);
+  EXPECT_GT(tensor::max_abs_error(plane,
+                                  Tensor::full(Shape::matrix(16, 16), 0.5f)),
+            0.01);
+  EXPECT_GE(tensor::min_value(plane), 0.0f);
+  EXPECT_LE(tensor::max_value(plane), 1.0f);
+}
+
+TEST(Synth, BlobMaskIsBinaryWithRequestedCoverage) {
+  runtime::Rng rng(4);
+  const Tensor mask = blob_mask(32, 32, rng, 0.4);
+  double ones = 0;
+  for (float v : mask.data()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    ones += v;
+  }
+  EXPECT_NEAR(ones / mask.numel(), 0.4, 0.05);
+}
+
+TEST(Datasets, ClassifyShapesAndLabels) {
+  const Dataset d = make_classify_dataset(small(), 4);
+  EXPECT_EQ(d.task, nn::TaskKind::kClassification);
+  ASSERT_FALSE(d.train.empty());
+  EXPECT_EQ(d.train[0].input.shape(), Shape::bchw(16, 3, 16, 16));
+  EXPECT_EQ(d.train[0].labels.size(), 16u);
+  std::set<std::size_t> seen;
+  for (const auto& batch : d.train) {
+    for (std::size_t label : batch.labels) {
+      ASSERT_LT(label, 4u);
+      seen.insert(label);
+    }
+  }
+  EXPECT_GT(seen.size(), 2u);  // multiple classes present
+}
+
+TEST(Datasets, ClassifySampleCountsRespected) {
+  const Dataset d = make_classify_dataset(small(), 4);
+  std::size_t total = 0;
+  for (const auto& batch : d.train) total += batch.input.shape()[0];
+  EXPECT_EQ(total, 40u);
+  total = 0;
+  for (const auto& batch : d.test) total += batch.input.shape()[0];
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(Datasets, DenoiseTargetIsCleanerThanInput) {
+  const Dataset d = make_denoise_dataset(small(), 0.25);
+  const auto& batch = d.train[0];
+  // Input = target + noise: they differ but correlate.
+  const double err = tensor::mse(batch.input, batch.target);
+  EXPECT_GT(err, 0.01);
+  EXPECT_LT(err, 0.2);
+}
+
+TEST(Datasets, DenoiseNoiseIsHighFrequency) {
+  // The noise energy must live above the chop cutoff for the Fig. 8
+  // "compression helps" effect: a CF=4 round-trip of the noisy input
+  // should land *closer* to the clean target than the noisy input does.
+  const Dataset d = make_denoise_dataset(small(), 0.25);
+  const auto& batch = d.train[0];
+  core::DctChopCodec codec({.height = 16, .width = 16, .cf = 4, .block = 8});
+  const Tensor denoised = codec.round_trip(batch.input);
+  EXPECT_LT(tensor::mse(denoised, batch.target),
+            tensor::mse(batch.input, batch.target));
+}
+
+TEST(Datasets, OpticalInputEqualsTarget) {
+  const Dataset d = make_optical_dataset(small());
+  const auto& batch = d.train[0];
+  EXPECT_TRUE(tensor::allclose(batch.input, batch.target, 0.0));
+}
+
+TEST(Datasets, CloudChannelsCorrelateWithMask) {
+  const Dataset d = make_cloud_dataset(small());
+  const auto& batch = d.train[0];
+  EXPECT_EQ(batch.target.shape(), Shape::bchw(16, 1, 16, 16));
+  // Mean brightness over cloud pixels must exceed clear pixels.
+  double cloud = 0.0, clear = 0.0;
+  std::size_t cloud_n = 0, clear_n = 0;
+  for (std::size_t s = 0; s < 16; ++s) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (std::size_t j = 0; j < 16; ++j) {
+        const float v = batch.input.at(s, 0, i, j);
+        if (batch.target.at(s, 0, i, j) > 0.5f) {
+          cloud += v;
+          ++cloud_n;
+        } else {
+          clear += v;
+          ++clear_n;
+        }
+      }
+    }
+  }
+  EXPECT_GT(cloud / cloud_n, clear / clear_n + 0.1);
+}
+
+TEST(Datasets, DeterministicForSameSeed) {
+  const Dataset a = make_classify_dataset(small(), 4);
+  const Dataset b = make_classify_dataset(small(), 4);
+  EXPECT_TRUE(tensor::allclose(a.train[0].input, b.train[0].input, 0.0));
+  EXPECT_EQ(a.train[0].labels, b.train[0].labels);
+}
+
+TEST(Benchmarks, Table2HasFourDatasets) {
+  const auto rows = table2_datasets();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].dataset, "ILSVRC 2012-17");
+  EXPECT_EQ(rows[3].task, "Pixel Segmentation");
+}
+
+TEST(Benchmarks, Table3MatchesPaper) {
+  const auto rows = table3_benchmarks();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].network, "ResNet34");
+  EXPECT_EQ(rows[0].paper_batch_size, 100u);
+  EXPECT_DOUBLE_EQ(rows[0].paper_learning_rate, 0.001);
+  EXPECT_EQ(rows[3].network, "UNet");
+  EXPECT_EQ(rows[3].sample_size, "9x256x256");
+}
+
+TEST(Benchmarks, MakeBenchmarkBuildsAllFour) {
+  for (const std::string& name : benchmark_names()) {
+    const BenchmarkRun run = make_benchmark(name, small(), nullptr);
+    EXPECT_EQ(run.dataset.name, name);
+    ASSERT_NE(run.model, nullptr);
+    ASSERT_NE(run.trainer, nullptr);
+    EXPECT_FALSE(run.model->params().empty());
+  }
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("nope", small(), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aic::data

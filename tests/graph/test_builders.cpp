@@ -1,0 +1,140 @@
+#include "graph/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dct_chop.hpp"
+#include "core/triangle.hpp"
+#include "graph/executor.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::graph {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::allclose;
+
+const core::DctChopConfig kConfig{
+    .height = 16, .width = 16, .cf = 4, .block = 8};
+const BatchSpec kSpec{.batch = 2, .channels = 3};
+
+TEST(Builders, CompressGraphMatchesCodec) {
+  runtime::Rng rng(1);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng, -1, 1);
+  Graph g = build_compress_graph(kConfig, kSpec);
+  Executor exec(g);
+  const Tensor via_graph = exec.run({in})[0];
+  const core::DctChopCodec codec(kConfig);
+  EXPECT_TRUE(allclose(via_graph, codec.compress(in), 1e-4));
+}
+
+TEST(Builders, DecompressGraphMatchesCodec) {
+  runtime::Rng rng(2);
+  const core::DctChopCodec codec(kConfig);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng, -1, 1);
+  const Tensor packed = codec.compress(in);
+  Graph g = build_decompress_graph(kConfig, kSpec);
+  Executor exec(g);
+  const Tensor via_graph = exec.run({packed})[0];
+  EXPECT_TRUE(allclose(via_graph, codec.decompress(packed, in.shape()), 1e-4));
+}
+
+TEST(Builders, CompressGraphHasExactlyTwoMatmuls) {
+  // §3.3's claim: compression is two matrix multiplications, total.
+  Graph g = build_compress_graph(kConfig, kSpec);
+  std::size_t matmuls = 0;
+  for (const Node& node : g.nodes()) {
+    if (node.kind == OpKind::kMatMul) ++matmuls;
+  }
+  EXPECT_EQ(matmuls, 2u);
+}
+
+TEST(Builders, DecompressGraphHasExactlyTwoMatmuls) {
+  Graph g = build_decompress_graph(kConfig, kSpec);
+  std::size_t matmuls = 0;
+  for (const Node& node : g.nodes()) {
+    if (node.kind == OpKind::kMatMul) ++matmuls;
+  }
+  EXPECT_EQ(matmuls, 2u);
+}
+
+TEST(Builders, CompressGraphUsesOnlyPortableOps) {
+  Graph g = build_compress_graph(kConfig, kSpec);
+  for (OpKind kind : g.ops_used()) {
+    EXPECT_NE(op_category(kind), OpCategory::kBitwise) << op_name(kind);
+    EXPECT_NE(op_category(kind), OpCategory::kIndexed) << op_name(kind);
+  }
+}
+
+TEST(Builders, TriangleGraphsUseIndexedOps) {
+  Graph gc = build_triangle_compress_graph(kConfig, kSpec);
+  Graph gd = build_triangle_decompress_graph(kConfig, kSpec);
+  EXPECT_TRUE(gc.ops_used().contains(OpKind::kGather));
+  EXPECT_TRUE(gd.ops_used().contains(OpKind::kScatter));
+}
+
+TEST(Builders, TriangleCompressMatchesTriangleCodec) {
+  runtime::Rng rng(3);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng, -1, 1);
+  Graph g = build_triangle_compress_graph(kConfig, kSpec);
+  Executor exec(g);
+  const Tensor via_graph = exec.run({in})[0];
+  const core::TriangleCodec codec(kConfig);
+  const Tensor via_codec = codec.compress(in);
+  // Same values; graph layout is [planes, 1, blocks·tri] vs BCHW packing.
+  ASSERT_EQ(via_graph.numel(), via_codec.numel());
+  for (std::size_t i = 0; i < via_graph.numel(); ++i) {
+    ASSERT_NEAR(via_graph.at(i), via_codec.at(i), 1e-4) << i;
+  }
+}
+
+TEST(Builders, TriangleRoundTripThroughGraphs) {
+  runtime::Rng rng(4);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng, -1, 1);
+  Executor compress(build_triangle_compress_graph(kConfig, kSpec));
+  const Tensor packed = compress.run({in})[0];
+  Executor decompress(build_triangle_decompress_graph(kConfig, kSpec));
+  const Tensor restored = decompress.run({packed})[0];
+  const core::TriangleCodec codec(kConfig);
+  EXPECT_TRUE(allclose(restored, codec.round_trip(in), 1e-4));
+}
+
+TEST(Builders, StaticFlopsTracksEq5PerPlane) {
+  // Graph-level FLOPs must equal the Eq. 5 closed form per plane times
+  // plane count (2mnk convention differs by the (2k−1) vs 2k detail, so
+  // compare with the matching 2k-based expression).
+  const std::size_t n = 16, cf = 4, planes = 6;
+  Graph g = build_compress_graph(kConfig, kSpec);
+  const std::size_t cn = cf * n / 8;
+  const std::size_t per_plane = 2 * n * n * cn + 2 * cn * n * cn;
+  EXPECT_EQ(g.static_flops(), planes * per_plane);
+}
+
+TEST(Builders, VleGraphRequiresBitwiseOps) {
+  Graph g = build_vle_encode_graph(64);
+  bool has_bitwise = false;
+  for (OpKind kind : g.ops_used()) {
+    if (op_category(kind) == OpCategory::kBitwise) has_bitwise = true;
+  }
+  EXPECT_TRUE(has_bitwise);
+}
+
+TEST(Builders, VleGraphExecutes) {
+  Graph g = build_vle_encode_graph(4);
+  Executor exec(g);
+  const Tensor out =
+      exec.run({Tensor(Shape::vector(4), {0.5f, 0.25f, 0.0f, 1.0f})})[0];
+  EXPECT_EQ(out.shape(), Shape::vector(4));
+  // quantize(0.5 / (1/64)) = 32; packed = (32<<16)|32; >>8 = 0x200020>>8.
+  EXPECT_FLOAT_EQ(out.at(0), static_cast<float>((32u << 16 | 32u) >> 8));
+}
+
+TEST(Builders, CompressGraphConstantBytesMatchOperators) {
+  Graph g = build_compress_graph(kConfig, kSpec);
+  // LHS (8×16) + RHS (16×8) floats.
+  EXPECT_EQ(g.constant_bytes(), (8u * 16 + 16 * 8) * sizeof(float));
+}
+
+}  // namespace
+}  // namespace aic::graph

@@ -1,0 +1,203 @@
+#include "graph/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::graph {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::allclose;
+
+TEST(Executor, MatMulMatchesTensorKernel) {
+  runtime::Rng rng(1);
+  const Tensor a = Tensor::uniform(Shape::matrix(5, 7), rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform(Shape::matrix(7, 3), rng, -1.0f, 1.0f);
+  Graph g;
+  const NodeId in = g.input(a.shape());
+  g.mark_output(g.matmul(in, g.constant(b)));
+  Executor exec(g);
+  const auto out = exec.run({a});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(allclose(out[0], tensor::matmul(a, b), 1e-5));
+}
+
+TEST(Executor, BatchedMatMulAppliesPerPlane) {
+  runtime::Rng rng(2);
+  const Tensor a = Tensor::uniform(Shape({4, 3, 6}), rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform(Shape::matrix(6, 2), rng, -1.0f, 1.0f);
+  Graph g;
+  const NodeId in = g.input(a.shape());
+  g.mark_output(g.matmul(in, g.constant(b)));
+  Executor exec(g);
+  const Tensor out = exec.run({a})[0];
+  ASSERT_EQ(out.shape(), Shape({4, 3, 2}));
+  // Check plane 2 against a direct product.
+  Tensor plane(Shape::matrix(3, 6));
+  std::copy(a.raw() + 2 * 18, a.raw() + 3 * 18, plane.raw());
+  Tensor expected = tensor::matmul(plane, b);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(out.at(2 * 6 + i), expected.at(i), 1e-5);
+  }
+}
+
+TEST(Executor, LeftBroadcastMatMul) {
+  runtime::Rng rng(3);
+  const Tensor a = Tensor::uniform(Shape::matrix(2, 6), rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform(Shape({3, 6, 4}), rng, -1.0f, 1.0f);
+  Graph g;
+  const NodeId in = g.input(b.shape());
+  g.mark_output(g.matmul(g.constant(a), in));
+  Executor exec(g);
+  EXPECT_EQ(exec.run({b})[0].shape(), Shape({3, 2, 4}));
+}
+
+TEST(Executor, AddMulRelu) {
+  Graph g;
+  const NodeId x = g.input(Shape::vector(3));
+  const NodeId c = g.constant(Tensor(Shape::vector(3), {1, -5, 2}));
+  const NodeId sum = g.add(x, c);
+  const NodeId prod = g.mul(sum, c);
+  g.mark_output(g.relu(prod));
+  Executor exec(g);
+  const Tensor out = exec.run({Tensor(Shape::vector(3), {1, 1, 1})})[0];
+  // sum = {2,-4,3}; prod = {2,20,6}; relu keeps all.
+  EXPECT_FLOAT_EQ(out.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 20.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 6.0f);
+}
+
+TEST(Executor, ReluZeroesNegatives) {
+  Graph g;
+  const NodeId x = g.input(Shape::vector(3));
+  g.mark_output(g.relu(x));
+  Executor exec(g);
+  const Tensor out = exec.run({Tensor(Shape::vector(3), {-1, 0, 2})})[0];
+  EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 2.0f);
+}
+
+TEST(Executor, GatherScatterRoundTrip) {
+  Graph g;
+  const NodeId x = g.input(Shape({1, 1, 6}));
+  const std::vector<std::size_t> idx = {5, 0, 3};
+  const NodeId gathered = g.gather(x, idx);
+  const NodeId scattered = g.scatter(gathered, idx, 6);
+  g.mark_output(gathered);
+  g.mark_output(scattered);
+  Executor exec(g);
+  const auto out = exec.run({Tensor(Shape({1, 1, 6}), {10, 11, 12, 13, 14, 15})});
+  EXPECT_FLOAT_EQ(out[0].at(0), 15.0f);
+  EXPECT_FLOAT_EQ(out[0].at(1), 10.0f);
+  EXPECT_FLOAT_EQ(out[0].at(2), 13.0f);
+  // Scatter restores gathered positions, zeroes the rest.
+  EXPECT_FLOAT_EQ(out[1].at(0), 10.0f);
+  EXPECT_FLOAT_EQ(out[1].at(1), 0.0f);
+  EXPECT_FLOAT_EQ(out[1].at(3), 13.0f);
+  EXPECT_FLOAT_EQ(out[1].at(5), 15.0f);
+}
+
+TEST(Executor, QuantizeDequantize) {
+  Graph g;
+  const NodeId x = g.input(Shape::vector(2));
+  g.mark_output(g.dequantize(g.quantize(x, 0.5f), 0.5f));
+  Executor exec(g);
+  const Tensor out = exec.run({Tensor(Shape::vector(2), {1.3f, -0.7f})})[0];
+  EXPECT_FLOAT_EQ(out.at(0), 1.5f);   // round(1.3/0.5)=3 -> 1.5
+  EXPECT_FLOAT_EQ(out.at(1), -0.5f);  // round(-1.4)=-1 -> -0.5
+}
+
+TEST(Executor, BitOpsOperateOnIntegerValues) {
+  Graph g;
+  const NodeId x = g.input(Shape::vector(1));
+  const NodeId shifted = g.bit_shift_left(x, 4);
+  const NodeId back = g.bit_shift_right(shifted, 2);
+  g.mark_output(back);
+  Executor exec(g);
+  const Tensor out = exec.run({Tensor(Shape::vector(1), {3.0f})})[0];
+  EXPECT_FLOAT_EQ(out.at(0), 12.0f);  // 3 << 4 >> 2
+}
+
+TEST(Executor, BitAndOrNot) {
+  Graph g;
+  const NodeId x = g.input(Shape::vector(1));
+  const NodeId c = g.constant(Tensor(Shape::vector(1), {12.0f}));
+  g.mark_output(g.bit_and(x, c));
+  g.mark_output(g.bit_or(x, c));
+  g.mark_output(g.bit_not(g.bit_not(x)));
+  Executor exec(g);
+  const auto out = exec.run({Tensor(Shape::vector(1), {10.0f})});
+  EXPECT_FLOAT_EQ(out[0].at(0), 8.0f);    // 1010 & 1100
+  EXPECT_FLOAT_EQ(out[1].at(0), 14.0f);   // 1010 | 1100
+  EXPECT_FLOAT_EQ(out[2].at(0), 10.0f);   // ~~x
+}
+
+TEST(Executor, TransposeRank3) {
+  Graph g;
+  const NodeId x = g.input(Shape({2, 2, 3}));
+  g.mark_output(g.transpose(x));
+  Executor exec(g);
+  const Tensor in = Tensor::iota(Shape({2, 2, 3}));
+  const Tensor out = exec.run({in})[0];
+  EXPECT_EQ(out.shape(), Shape({2, 3, 2}));
+  // Plane 1 of input: [[6,7,8],[9,10,11]] -> transposed [[6,9],[7,10],[8,11]].
+  EXPECT_FLOAT_EQ(out.at(6 + 0), 6.0f);
+  EXPECT_FLOAT_EQ(out.at(6 + 1), 9.0f);
+  EXPECT_FLOAT_EQ(out.at(6 + 2), 7.0f);
+}
+
+TEST(Executor, TraceCountsFlopsAndBytes) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(4, 4));
+  g.mark_output(g.matmul(a, g.constant(Tensor::identity(4))));
+  Executor exec(g);
+  exec.run({Tensor::identity(4)});
+  const ExecutionTrace& trace = exec.trace();
+  EXPECT_EQ(trace.flops, 2u * 4 * 4 * 4);
+  EXPECT_EQ(trace.matmul_count, 1u);
+  EXPECT_EQ(trace.input_bytes, 64u);
+  EXPECT_EQ(trace.output_bytes, 64u);
+  EXPECT_GT(trace.bytes_written, 0u);
+}
+
+TEST(Executor, TraceMinMatmulBytes) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(2, 2));
+  const NodeId small = g.matmul(a, g.constant(Tensor::identity(2)));
+  g.mark_output(g.matmul(small, g.constant(Tensor(Shape::matrix(2, 64)))));
+  Executor exec(g);
+  exec.run({Tensor::identity(2)});
+  EXPECT_EQ(exec.trace().min_matmul_out_bytes, 16u);  // 2×2 floats
+}
+
+TEST(Executor, MissingInputThrows) {
+  Graph g;
+  g.input(Shape::vector(2));
+  Executor exec(g);
+  EXPECT_THROW(exec.run({}), std::invalid_argument);
+}
+
+TEST(Executor, InputShapeMismatchThrows) {
+  Graph g;
+  g.input(Shape::vector(2));
+  Executor exec(g);
+  EXPECT_THROW(exec.run({Tensor(Shape::vector(3))}), std::invalid_argument);
+}
+
+TEST(Executor, NoMarkedOutputsReturnsAllValues) {
+  Graph g;
+  const NodeId x = g.input(Shape::vector(1));
+  g.relu(x);
+  Executor exec(g);
+  EXPECT_EQ(exec.run({Tensor(Shape::vector(1), {1.0f})}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace aic::graph

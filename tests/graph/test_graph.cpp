@@ -1,0 +1,164 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+
+namespace aic::graph {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Graph, InputNodeCarriesShape) {
+  Graph g;
+  const NodeId id = g.input(Shape::matrix(3, 4));
+  EXPECT_EQ(g.node(id).kind, OpKind::kInput);
+  EXPECT_EQ(g.node(id).shape, Shape::matrix(3, 4));
+}
+
+TEST(Graph, MatMulShapeInference) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(3, 4));
+  const NodeId b = g.input(Shape::matrix(4, 5));
+  EXPECT_EQ(g.node(g.matmul(a, b)).shape, Shape::matrix(3, 5));
+}
+
+TEST(Graph, MatMulBatchedLeftOperand) {
+  Graph g;
+  const NodeId a = g.input(Shape({6, 3, 4}));
+  const NodeId b = g.input(Shape::matrix(4, 5));
+  EXPECT_EQ(g.node(g.matmul(a, b)).shape, Shape({6, 3, 5}));
+}
+
+TEST(Graph, MatMulBatchedRightOperand) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(3, 4));
+  const NodeId b = g.input(Shape({6, 4, 5}));
+  EXPECT_EQ(g.node(g.matmul(a, b)).shape, Shape({6, 3, 5}));
+}
+
+TEST(Graph, MatMulInnerMismatchThrows) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(3, 4));
+  const NodeId b = g.input(Shape::matrix(5, 6));
+  EXPECT_THROW(g.matmul(a, b), std::invalid_argument);
+}
+
+TEST(Graph, ElementwiseRequiresSameShape) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(2, 2));
+  const NodeId b = g.input(Shape::matrix(2, 3));
+  EXPECT_THROW(g.add(a, b), std::invalid_argument);
+  EXPECT_THROW(g.mul(a, b), std::invalid_argument);
+}
+
+TEST(Graph, ReshapeChecksNumel) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(2, 6));
+  EXPECT_NO_THROW(g.reshape(a, Shape({3, 2, 2})));
+  EXPECT_THROW(g.reshape(a, Shape::matrix(2, 5)), std::invalid_argument);
+}
+
+TEST(Graph, TransposeSwapsTrailingAxes) {
+  Graph g;
+  EXPECT_EQ(g.node(g.transpose(g.input(Shape::matrix(3, 4)))).shape,
+            Shape::matrix(4, 3));
+  EXPECT_EQ(g.node(g.transpose(g.input(Shape({5, 3, 4})))).shape,
+            Shape({5, 4, 3}));
+}
+
+TEST(Graph, GatherShapeAndValidation) {
+  Graph g;
+  const NodeId a = g.input(Shape({2, 1, 10}));
+  const NodeId out = g.gather(a, {0, 3, 7});
+  EXPECT_EQ(g.node(out).shape, Shape({2, 1, 3}));
+  EXPECT_THROW(g.gather(a, {10}), std::invalid_argument);
+}
+
+TEST(Graph, ScatterShapeAndValidation) {
+  Graph g;
+  const NodeId a = g.input(Shape({2, 1, 3}));
+  const NodeId out = g.scatter(a, {0, 4, 9}, 10);
+  EXPECT_EQ(g.node(out).shape, Shape({2, 1, 10}));
+  EXPECT_THROW(g.scatter(a, {0, 1}, 10), std::invalid_argument);   // count
+  EXPECT_THROW(g.scatter(a, {0, 4, 10}, 10), std::invalid_argument);  // range
+}
+
+TEST(Graph, OpsUsedReportsDistinctKinds) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(4, 4));
+  const NodeId b = g.constant(Tensor::identity(4));
+  g.relu(g.matmul(a, b));
+  const auto ops = g.ops_used();
+  EXPECT_TRUE(ops.contains(OpKind::kInput));
+  EXPECT_TRUE(ops.contains(OpKind::kConstant));
+  EXPECT_TRUE(ops.contains(OpKind::kMatMul));
+  EXPECT_TRUE(ops.contains(OpKind::kRelu));
+  EXPECT_FALSE(ops.contains(OpKind::kBitAnd));
+}
+
+TEST(Graph, StaticFlopsCountsMatmulAndElementwise) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(3, 4));
+  const NodeId b = g.constant(Tensor(Shape::matrix(4, 5)));
+  const NodeId c = g.matmul(a, b);  // 2*3*5*4 = 120
+  g.relu(c);                        // 15
+  EXPECT_EQ(g.static_flops(), 135u);
+}
+
+TEST(Graph, StaticFlopsBatchedMatmul) {
+  Graph g;
+  const NodeId a = g.input(Shape({10, 3, 4}));
+  const NodeId b = g.constant(Tensor(Shape::matrix(4, 5)));
+  g.matmul(a, b);  // 10 planes × 2*3*5*4
+  EXPECT_EQ(g.static_flops(), 1200u);
+}
+
+TEST(Graph, ByteAccounting) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(8, 8));          // 256 B activation
+  const NodeId w = g.constant(Tensor(Shape::matrix(8, 8)));  // 256 B constant
+  g.matmul(a, w);  // 256 B activation
+  EXPECT_EQ(g.constant_bytes(), 256u);
+  EXPECT_EQ(g.activation_bytes(), 512u);
+  EXPECT_EQ(g.max_tensor_bytes(), 256u);
+}
+
+TEST(Graph, MaxPlaneBytesUsesTrailingDims) {
+  Graph g;
+  g.input(Shape::bchw(100, 3, 16, 16));  // plane = 16*16*4 = 1024 B
+  EXPECT_EQ(g.max_plane_bytes(), 1024u);
+}
+
+TEST(Graph, MaxMatmulDimTracksOperands) {
+  Graph g;
+  const NodeId a = g.input(Shape::matrix(100, 512));
+  const NodeId b = g.constant(Tensor(Shape::matrix(512, 64)));
+  g.matmul(a, b);
+  EXPECT_EQ(g.max_matmul_dim(), 512u);
+}
+
+TEST(Graph, MarkOutputValidatesId) {
+  Graph g;
+  const NodeId a = g.input(Shape::vector(4));
+  g.mark_output(a);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  EXPECT_THROW(g.mark_output(99), std::invalid_argument);
+}
+
+TEST(Graph, InputIdsInOrder) {
+  Graph g;
+  const NodeId a = g.input(Shape::vector(1));
+  g.constant(Tensor(Shape::vector(1)));
+  const NodeId b = g.input(Shape::vector(2));
+  const auto ids = g.input_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], a);
+  EXPECT_EQ(ids[1], b);
+}
+
+}  // namespace
+}  // namespace aic::graph

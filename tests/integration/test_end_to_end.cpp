@@ -1,0 +1,169 @@
+// Cross-module integration tests: codec ↔ graph ↔ accelerator ↔ trainer.
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hpp"
+#include "baseline/jpeg_codec.hpp"
+#include "core/partial_serializer.hpp"
+#include "core/rate_control.hpp"
+#include "data/benchmarks.hpp"
+#include "data/synth.hpp"
+#include "graph/builders.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic {
+namespace {
+
+using accel::Platform;
+using tensor::Shape;
+using tensor::Tensor;
+
+data::DatasetConfig tiny() {
+  return {.train_samples = 32,
+          .test_samples = 16,
+          .batch_size = 16,
+          .resolution = 16,
+          .seed = 11};
+}
+
+TEST(EndToEnd, TrainingBatchCompressesIdenticallyOnSimulatorAndCodec) {
+  // The tensors a Trainer feeds the model equal what the accelerator
+  // simulator produces for the same batch: codec and graph agree on
+  // real benchmark data, not just random tensors.
+  const data::Dataset dataset = data::make_classify_dataset(tiny(), 4);
+  const core::DctChopConfig config{
+      .height = 16, .width = 16, .cf = 3, .block = 8};
+  const core::DctChopCodec codec(config);
+  const nn::Batch& batch = dataset.train[0];
+
+  const accel::Accelerator cs2 = accel::make_accelerator(Platform::kCs2);
+  const auto result = cs2.compile_and_run(
+      graph::build_compress_graph(
+          config, {.batch = batch.input.shape()[0], .channels = 3}),
+      {batch.input});
+  EXPECT_TRUE(tensor::allclose(result.outputs[0],
+                               codec.compress(batch.input), 1e-4));
+}
+
+TEST(EndToEnd, RateControlledTrainingBeatsFixedAggressiveRate) {
+  // Choose the rate from a calibration batch with a distortion budget,
+  // then train; the budgeted choice must not do worse than CF=1.
+  const data::Dataset dataset = data::make_classify_dataset(tiny(), 4);
+  const auto choice =
+      core::choose_chop_factor(dataset.train[0].input, 5e-3);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_GT(choice->cf, 1u);  // budget rules out the harshest chop
+
+  auto accuracy_with = [&](core::CodecPtr codec) {
+    data::BenchmarkRun run = data::make_benchmark("classify", tiny(), codec);
+    return run.trainer->fit(run.dataset.train, run.dataset.test, 5)
+        .back()
+        .test_accuracy;
+  };
+  const double budgeted =
+      accuracy_with(core::make_codec_for_choice(*choice, 16, 16));
+  const double harshest =
+      accuracy_with(std::make_shared<core::DctChopCodec>(
+          core::DctChopConfig{.height = 16, .width = 16, .cf = 1, .block = 8}));
+  EXPECT_GE(budgeted, harshest);
+}
+
+TEST(EndToEnd, PartialSerializationRecoversFromCompileFailure) {
+  // The §3.5.1 workflow: direct compile fails on SN30 at 512², the s=2
+  // chunk graph compiles, and the chunked codec's output matches the
+  // unserialized math exactly.
+  const accel::Accelerator sn30 = accel::make_accelerator(Platform::kSn30);
+  const core::DctChopConfig full{
+      .height = 512, .width = 512, .cf = 4, .block = 8};
+  const graph::BatchSpec batch{.batch = 2, .channels = 1};
+  EXPECT_FALSE(sn30.compile_check(
+                       graph::build_compress_graph(full, batch))
+                   .ok);
+  const core::DctChopConfig chunk{
+      .height = 256, .width = 256, .cf = 4, .block = 8};
+  EXPECT_TRUE(sn30.compile_check(graph::build_compress_graph(chunk, batch))
+                  .ok);
+
+  // Math equivalence at a host-feasible size.
+  runtime::Rng rng(1);
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 1, 64, 64), rng);
+  const core::PartialSerialCodec ps({.height = 64,
+                                     .width = 64,
+                                     .cf = 4,
+                                     .block = 8,
+                                     .subdivision = 2});
+  const core::DctChopCodec plain(
+      {.height = 64, .width = 64, .cf = 4, .block = 8});
+  EXPECT_TRUE(
+      tensor::allclose(ps.round_trip(in), plain.round_trip(in), 1e-4));
+}
+
+TEST(EndToEnd, SimulatedTimingConsistentBetweenRunAndEstimate) {
+  // run() (real execution + model) and estimate() (static shapes only)
+  // agree for every platform that admits the graph.
+  const core::DctChopConfig config{
+      .height = 16, .width = 16, .cf = 4, .block = 8};
+  const graph::BatchSpec batch{.batch = 2, .channels = 3};
+  runtime::Rng rng(2);
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 3, 16, 16), rng);
+  for (Platform platform : accel::all_platforms()) {
+    const accel::Accelerator device = accel::make_accelerator(platform);
+    graph::Graph g = graph::build_decompress_graph(config, batch);
+    const core::DctChopCodec codec(config);
+    const Tensor packed = codec.compress(in);
+    const double estimated = device.estimate(g).total_s();
+    const auto result = device.compile_and_run(std::move(g), {packed});
+    EXPECT_DOUBLE_EQ(estimated, result.time.total_s())
+        << accel::platform_name(platform);
+  }
+}
+
+TEST(EndToEnd, JpegBeatsChopOnFidelityButFailsTheCompilers) {
+  // The motivating trade-off: the VLE pipeline achieves a better
+  // rate/fidelity point than DCT+Chop, but no accelerator can run it.
+  runtime::Rng rng(3);
+  Tensor image(Shape::bchw(1, 1, 32, 32));
+  image.set_plane(0, 0, data::smooth_field(32, 32, rng, 6, 0.4));
+
+  const baseline::JpegLikeCodec jpeg(50);
+  const auto stream = jpeg.compress_plane(image.slice_plane(0, 0));
+  const double jpeg_cr = baseline::JpegLikeCodec::achieved_ratio(stream);
+  const Tensor jpeg_restored = jpeg.decompress_plane(stream, 32, 32);
+  const double jpeg_mse =
+      tensor::mse(image.slice_plane(0, 0), jpeg_restored);
+
+  // Chop at a CR no better than JPEG's must have higher error.
+  std::size_t cf = 8;
+  while (cf > 1 && core::chop_ratio(cf - 1) <= jpeg_cr) --cf;
+  const core::DctChopCodec chop(
+      {.height = 32, .width = 32, .cf = cf, .block = 8});
+  const double chop_mse = tensor::mse(image, chop.round_trip(image));
+  EXPECT_LT(jpeg_mse, chop_mse);
+
+  // And yet the VLE graph is rejected by all four accelerators.
+  for (Platform platform : accel::paper_accelerators()) {
+    EXPECT_FALSE(accel::make_accelerator(platform)
+                     .compile_check(graph::build_vle_encode_graph(1024))
+                     .ok);
+  }
+}
+
+TEST(EndToEnd, BenchmarkSuiteDeterministicAcrossRuns) {
+  // Same config, same seed -> identical training history (full
+  // reproducibility of the accuracy benches).
+  auto run_once = [] {
+    data::BenchmarkRun run = data::make_benchmark("em_denoise", tiny(),
+                                                  nullptr);
+    return run.trainer->fit(run.dataset.train, run.dataset.test, 2);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a[e].train_loss, b[e].train_loss);
+    EXPECT_DOUBLE_EQ(a[e].test_loss, b[e].test_loss);
+  }
+}
+
+}  // namespace
+}  // namespace aic

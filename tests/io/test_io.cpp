@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace aic::io {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("|--"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.14");
+  EXPECT_EQ(Table::num(2.0, 4), "2");
+}
+
+TEST(Table, RowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(Csv, BasicSerialization) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, QuotesSpecialCells) {
+  CsvWriter csv({"text"});
+  csv.add_row({"hello, world"});
+  csv.add_row({"say \"hi\""});
+  const std::string out = csv.to_string();
+  EXPECT_NE(out.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Csv, SaveWritesFile) {
+  CsvWriter csv({"h"});
+  csv.add_row({"v"});
+  const std::string path = "/tmp/aic_test_csv.csv";
+  csv.save(path);
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "h\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SaveToInvalidPathThrows) {
+  CsvWriter csv({"h"});
+  EXPECT_THROW(csv.save("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aic::io

@@ -1,0 +1,98 @@
+#include "io/tensor_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/dct_chop.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::io {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(TensorIo, InMemoryRoundTripAllRanks) {
+  runtime::Rng rng(1);
+  const Tensor cases[] = {
+      Tensor(Shape::scalar(), {3.5f}),
+      Tensor::uniform(Shape::vector(7), rng),
+      Tensor::uniform(Shape::matrix(5, 3), rng),
+      Tensor::uniform(Shape({2, 3, 4}), rng),
+      Tensor::uniform(Shape::bchw(2, 3, 4, 5), rng),
+  };
+  for (const Tensor& t : cases) {
+    const Tensor back = deserialize_tensor(serialize_tensor(t));
+    EXPECT_EQ(back.shape(), t.shape());
+    EXPECT_TRUE(tensor::allclose(back, t, 0.0)) << t.shape().to_string();
+  }
+}
+
+TEST(TensorIo, PreservesExactBitPatterns) {
+  // Including negative zero, subnormals and extreme magnitudes.
+  const Tensor t(Shape::vector(4), {-0.0f, 1e-42f, 3.4e38f, -1.17e-38f});
+  const Tensor back = deserialize_tensor(serialize_tensor(t));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(back.at(i)),
+              std::bit_cast<std::uint32_t>(t.at(i)));
+  }
+}
+
+TEST(TensorIo, FileRoundTrip) {
+  runtime::Rng rng(2);
+  const Tensor t = Tensor::uniform(Shape::bchw(1, 2, 8, 8), rng);
+  const std::string path = "/tmp/aic_tensor_io_test.aict";
+  save_tensor(t, path);
+  const Tensor back = load_tensor(path);
+  EXPECT_TRUE(tensor::allclose(back, t, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, RejectsBadMagic) {
+  EXPECT_THROW(deserialize_tensor("NOPE0000"), std::runtime_error);
+  EXPECT_THROW(deserialize_tensor(""), std::runtime_error);
+}
+
+TEST(TensorIo, RejectsTruncatedStream) {
+  const Tensor t = Tensor::iota(Shape::matrix(4, 4));
+  std::string bytes = serialize_tensor(t);
+  bytes.resize(bytes.size() - 5);
+  EXPECT_THROW(deserialize_tensor(bytes), std::runtime_error);
+}
+
+TEST(TensorIo, RejectsTrailingGarbage) {
+  const Tensor t = Tensor::iota(Shape::vector(3));
+  std::string bytes = serialize_tensor(t);
+  bytes += "xx";
+  EXPECT_THROW(deserialize_tensor(bytes), std::runtime_error);
+}
+
+TEST(TensorIo, RejectsUnsupportedVersion) {
+  const Tensor t = Tensor::iota(Shape::vector(1));
+  std::string bytes = serialize_tensor(t);
+  bytes[4] = 99;  // corrupt the version field
+  EXPECT_THROW(deserialize_tensor(bytes), std::runtime_error);
+}
+
+TEST(TensorIo, MissingFileThrows) {
+  EXPECT_THROW(load_tensor("/nonexistent_dir_xyz/t.aict"),
+               std::runtime_error);
+}
+
+TEST(TensorIo, PersistsPrecomputedOperators) {
+  // The compile-time LHS/RHS operators survive a save/load cycle and
+  // still decompress correctly — the "precompute once, reuse" workflow.
+  runtime::Rng rng(3);
+  const core::DctChopCodec codec(
+      {.height = 16, .width = 16, .cf = 4, .block = 8});
+  const std::string path = "/tmp/aic_lhs_test.aict";
+  save_tensor(codec.lhs(), path);
+  const Tensor lhs = load_tensor(path);
+  EXPECT_TRUE(tensor::allclose(lhs, codec.lhs(), 0.0));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aic::io

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn::testing {
+
+/// Scalar probe loss: sum(layer(x) ⊙ w) for a fixed random weighting w,
+/// whose gradient w.r.t. the layer output is exactly w.
+inline double probe_loss(Layer& layer, const tensor::Tensor& x,
+                         const tensor::Tensor& probe) {
+  const tensor::Tensor y = layer.forward(x, /*train=*/true);
+  return tensor::sum(tensor::mul(y, probe));
+}
+
+/// Central-difference gradient of `f` w.r.t. entry `i` of `values`.
+inline double numeric_grad(const std::function<double()>& f, float& value,
+                           float epsilon = 1e-3f) {
+  const float saved = value;
+  value = saved + epsilon;
+  const double plus = f();
+  value = saved - epsilon;
+  const double minus = f();
+  value = saved;
+  return (plus - minus) / (2.0 * static_cast<double>(epsilon));
+}
+
+/// Verifies the layer's input gradient and all parameter gradients
+/// against central differences. `tolerance` is absolute+relative mixed.
+inline void expect_gradients_match(Layer& layer, tensor::Tensor x,
+                                   runtime::Rng& rng,
+                                   double tolerance = 2e-2) {
+  tensor::Tensor probe;
+  {
+    const tensor::Tensor y = layer.forward(x, true);
+    probe = tensor::Tensor::uniform(y.shape(), rng, -1.0f, 1.0f);
+  }
+
+  // Analytic gradients.
+  for (Param* p : layer.params()) p->zero_grad();
+  (void)layer.forward(x, true);
+  const tensor::Tensor grad_input = layer.backward(probe);
+
+  const auto loss = [&] { return probe_loss(layer, x, probe); };
+
+  // Input gradient: check a sample of entries (all when small).
+  const std::size_t input_stride = std::max<std::size_t>(1, x.numel() / 24);
+  for (std::size_t i = 0; i < x.numel(); i += input_stride) {
+    const double expected = numeric_grad(loss, x.at(i));
+    const double actual = grad_input.at(i);
+    ASSERT_NEAR(actual, expected,
+                tolerance * (1.0 + std::fabs(expected)))
+        << "input grad at " << i;
+  }
+
+  // Parameter gradients. Re-derive analytic grads after the numeric
+  // probing left parameters unchanged.
+  for (Param* p : layer.params()) p->zero_grad();
+  (void)layer.forward(x, true);
+  (void)layer.backward(probe);
+  for (Param* p : layer.params()) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, p->value.numel() / 16);
+    for (std::size_t i = 0; i < p->value.numel(); i += stride) {
+      const double expected = numeric_grad(loss, p->value.at(i));
+      const double actual = p->grad.at(i);
+      ASSERT_NEAR(actual, expected,
+                  tolerance * (1.0 + std::fabs(expected)))
+          << "param grad at " << i;
+    }
+  }
+}
+
+}  // namespace aic::nn::testing

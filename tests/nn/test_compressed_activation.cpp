@@ -1,0 +1,117 @@
+#include "nn/compressed_activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dct_chop.hpp"
+#include "nn/container.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+core::CodecPtr make_codec(std::size_t n, std::size_t cf) {
+  return std::make_shared<core::DctChopCodec>(
+      core::DctChopConfig{.height = n, .width = n, .cf = cf, .block = 8});
+}
+
+TEST(CompressedActivation, ForwardAppliesCodecInTraining) {
+  runtime::Rng rng(1);
+  auto inner = std::make_unique<Conv2d>(1, 1, 3, 1, 1, rng);
+  auto copy = std::make_unique<Conv2d>(1, 1, 3, 1, 1, rng);
+  // Same weights for both copies.
+  copy->params()[0]->value = inner->params()[0]->value;
+  copy->params()[1]->value = inner->params()[1]->value;
+
+  CompressedActivation wrapped(std::move(inner), make_codec(16, 2));
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng, -1, 1);
+  const Tensor compressed_out = wrapped.forward(x, /*train=*/true);
+  const Tensor raw_out = copy->forward(x, true);
+  // Lossy codec perturbs the activation.
+  EXPECT_FALSE(tensor::allclose(compressed_out, raw_out, 1e-6));
+  // ... by exactly the codec's round trip.
+  const auto codec = make_codec(16, 2);
+  EXPECT_TRUE(
+      tensor::allclose(compressed_out, codec->round_trip(raw_out), 1e-5));
+}
+
+TEST(CompressedActivation, EvalModeBypassesCodec) {
+  runtime::Rng rng(2);
+  auto inner = std::make_unique<Relu>();
+  CompressedActivation wrapped(std::move(inner), make_codec(16, 2));
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng, -1, 1);
+  Relu reference;
+  EXPECT_TRUE(tensor::allclose(wrapped.forward(x, /*train=*/false),
+                               reference.forward(x, false), 0.0));
+}
+
+TEST(CompressedActivation, NullCodecIsTransparent) {
+  runtime::Rng rng(3);
+  auto inner = std::make_unique<Relu>();
+  CompressedActivation wrapped(std::move(inner), nullptr);
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 1, 8, 8), rng, -1, 1);
+  Relu reference;
+  EXPECT_TRUE(tensor::allclose(wrapped.forward(x, true),
+                               reference.forward(x, true), 0.0));
+}
+
+TEST(CompressedActivation, StraightThroughBackward) {
+  // Gradient equals the inner layer's gradient (codec treated as I).
+  runtime::Rng rng(4);
+  auto inner = std::make_unique<Conv2d>(1, 1, 3, 1, 1, rng);
+  auto copy = std::make_unique<Conv2d>(1, 1, 3, 1, 1, rng);
+  copy->params()[0]->value = inner->params()[0]->value;
+  copy->params()[1]->value = inner->params()[1]->value;
+
+  CompressedActivation wrapped(std::move(inner), make_codec(16, 4));
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng, -1, 1);
+  const Tensor go = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng, -1, 1);
+  (void)wrapped.forward(x, true);
+  const Tensor grad_wrapped = wrapped.backward(go);
+  (void)copy->forward(x, true);
+  const Tensor grad_raw = copy->backward(go);
+  EXPECT_TRUE(tensor::allclose(grad_wrapped, grad_raw, 1e-6));
+}
+
+TEST(CompressedActivation, ExposesInnerParams) {
+  runtime::Rng rng(5);
+  auto inner = std::make_unique<Conv2d>(2, 3, 3, 1, 1, rng);
+  CompressedActivation wrapped(std::move(inner), make_codec(16, 4));
+  EXPECT_EQ(wrapped.params().size(), 2u);
+  EXPECT_EQ(wrapped.name(), "compressed(conv2d)");
+}
+
+TEST(CompressedActivation, TrainingStillConverges) {
+  // A small denoiser with a compressed mid-activation still learns —
+  // the §6 "changing targets" scenario exercised end to end.
+  runtime::Rng rng(6);
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<CompressedActivation>(
+          std::make_unique<Conv2d>(1, 4, 3, 1, 1, rng), make_codec(16, 5)))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(4, 1, 3, 1, 1, rng));
+
+  Adam adam(net->params(), 0.005f);
+  const Tensor x = Tensor::uniform(Shape::bchw(8, 1, 16, 16), rng);
+  const Tensor target = x;  // identity task
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    const Tensor out = net->forward(x, true);
+    const LossResult loss = mse_loss(out, target);
+    if (step == 0) first = loss.value;
+    last = loss.value;
+    adam.zero_grad();
+    net->backward(loss.grad);
+    adam.step();
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+}  // namespace
+}  // namespace aic::nn

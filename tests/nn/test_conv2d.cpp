@@ -1,0 +1,123 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/nn/grad_check.hpp"
+
+namespace aic::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Im2col, IdentityKernelLayout) {
+  // 1×1 kernel, stride 1, no pad: columns are just the flattened plane.
+  Tensor x = Tensor::iota(Shape::bchw(1, 2, 3, 3));
+  const Tensor cols = im2col(x, 0, 1, 1, 0);
+  EXPECT_EQ(cols.shape(), Shape::matrix(2, 9));
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t s = 0; s < 9; ++s) {
+      EXPECT_EQ(cols.at(c, s), x.at(0, c, s / 3, s % 3));
+    }
+  }
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  Tensor x = Tensor::full(Shape::bchw(1, 1, 2, 2), 1.0f);
+  const Tensor cols = im2col(x, 0, 3, 1, 1);
+  // Top-left kernel position (ki=0, kj=0) at output (0,0) reads the
+  // padded corner: must be zero.
+  EXPECT_EQ(cols.at(0, 0), 0.0f);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+  // that makes the conv backward pass correct.
+  runtime::Rng rng(1);
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 2, 5, 5), rng, -1, 1);
+  const Tensor cols = im2col(x, 0, 3, 2, 1);
+  const Tensor y = Tensor::uniform(cols.shape(), rng, -1, 1);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) lhs += cols.at(i) * y.at(i);
+  Tensor back(x.shape());
+  col2im(y, back, 0, 3, 2, 1);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) rhs += x.at(i) * back.at(i);
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  runtime::Rng rng(2);
+  Conv2d conv(1, 1, 1, 1, 0, rng);
+  conv.params()[0]->value = Tensor(Shape::matrix(1, 1), {1.0f});
+  conv.params()[1]->value = Tensor(Shape::vector(1), {0.0f});
+  const Tensor x = Tensor::uniform(Shape::bchw(2, 1, 4, 4), rng, -1, 1);
+  EXPECT_TRUE(tensor::allclose(conv.forward(x, true), x, 1e-6));
+}
+
+TEST(Conv2d, KnownThreeByThree) {
+  runtime::Rng rng(3);
+  Conv2d conv(1, 1, 3, 1, 0, rng);
+  // Averaging kernel.
+  conv.params()[0]->value = Tensor::full(Shape::matrix(1, 9), 1.0f / 9.0f);
+  conv.params()[1]->value = Tensor(Shape::vector(1), {0.5f});
+  const Tensor x = Tensor::full(Shape::bchw(1, 1, 3, 3), 9.0f);
+  const Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape::bchw(1, 1, 1, 1));
+  EXPECT_NEAR(y.at(0), 9.0f + 0.5f, 1e-5);
+}
+
+TEST(Conv2d, OutputShapeWithStrideAndPadding) {
+  runtime::Rng rng(4);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  const Tensor x(Shape::bchw(2, 3, 8, 8));
+  EXPECT_EQ(conv.forward(x, true).shape(), Shape::bchw(2, 8, 4, 4));
+}
+
+struct ConvCase {
+  std::size_t in_ch, out_ch, kernel, stride, padding, size;
+};
+
+class ConvGradient : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradient, MatchesNumeric) {
+  const ConvCase c = GetParam();
+  runtime::Rng rng(5);
+  Conv2d conv(c.in_ch, c.out_ch, c.kernel, c.stride, c.padding, rng);
+  Tensor x =
+      Tensor::uniform(Shape::bchw(2, c.in_ch, c.size, c.size), rng, -1, 1);
+  testing::expect_gradients_match(conv, x, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvGradient,
+    ::testing::Values(ConvCase{1, 1, 3, 1, 1, 4},   // same-size conv
+                      ConvCase{2, 3, 3, 1, 1, 4},   // multi-channel
+                      ConvCase{2, 2, 3, 2, 1, 6},   // strided
+                      ConvCase{1, 2, 1, 1, 0, 4},   // pointwise
+                      ConvCase{3, 1, 5, 1, 2, 6})); // wide kernel
+
+TEST(Conv2d, WrongChannelCountThrows) {
+  runtime::Rng rng(6);
+  Conv2d conv(3, 4, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape::bchw(1, 2, 4, 4)), true),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, GradAccumulatesAcrossBatches) {
+  runtime::Rng rng(7);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 1, 4, 4), rng, -1, 1);
+  const Tensor go = Tensor::uniform(Shape::bchw(1, 1, 4, 4), rng, -1, 1);
+  (void)conv.forward(x, true);
+  (void)conv.backward(go);
+  const Tensor once = conv.params()[0]->grad;
+  (void)conv.forward(x, true);
+  (void)conv.backward(go);
+  // Second backward without zero_grad doubles the accumulated gradient.
+  EXPECT_TRUE(tensor::allclose(conv.params()[0]->grad,
+                               tensor::scale(once, 2.0f), 1e-4));
+}
+
+}  // namespace
+}  // namespace aic::nn

@@ -1,0 +1,223 @@
+#include "nn/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "nn/gradient_compression.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+data::DatasetConfig tiny() {
+  return {.train_samples = 48,
+          .test_samples = 16,
+          .batch_size = 8,
+          .resolution = 16,
+          .seed = 33};
+}
+
+TEST(TopK, KeepsExactlyTheLargestEntries) {
+  TopKCompressor topk(0.25);
+  const Tensor grad(Shape::vector(8), {1, -9, 2, 0.5f, -3, 0.1f, 7, -0.2f});
+  const Tensor out = topk.round_trip(grad);
+  // keep = 2: the entries -9 and 7 survive, everything else zeroes.
+  EXPECT_FLOAT_EQ(out.at(1), -9.0f);
+  EXPECT_FLOAT_EQ(out.at(6), 7.0f);
+  for (std::size_t i : {0u, 2u, 3u, 4u, 5u, 7u}) {
+    EXPECT_FLOAT_EQ(out.at(i), 0.0f) << i;
+  }
+}
+
+TEST(TopK, FullFractionIsIdentity) {
+  runtime::Rng rng(1);
+  TopKCompressor topk(1.0);
+  const Tensor grad = Tensor::uniform(Shape::vector(32), rng, -1, 1);
+  EXPECT_TRUE(tensor::allclose(topk.round_trip(grad), grad, 0.0));
+}
+
+TEST(TopK, WireBytesMatchKeptCount) {
+  TopKCompressor topk(0.1);
+  const Tensor grad(Shape::vector(100));
+  EXPECT_EQ(topk.wire_bytes(grad), 10u * 8u);
+}
+
+TEST(TopK, AlwaysKeepsAtLeastOne) {
+  TopKCompressor topk(0.001);
+  const Tensor grad(Shape::vector(5), {0, 0, 3, 0, 0});
+  const Tensor out = topk.round_trip(grad);
+  EXPECT_FLOAT_EQ(out.at(2), 3.0f);
+}
+
+TEST(TopK, InvalidFractionThrows) {
+  EXPECT_THROW(TopKCompressor(0.0), std::invalid_argument);
+  EXPECT_THROW(TopKCompressor(1.5), std::invalid_argument);
+}
+
+TEST(Qsgd, ZeroGradientStaysZero) {
+  QsgdCompressor qsgd(4);
+  const Tensor grad(Shape::vector(16));
+  const Tensor out = qsgd.round_trip(grad);
+  for (float v : out.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Qsgd, PreservesSigns) {
+  runtime::Rng rng(2);
+  QsgdCompressor qsgd(8);
+  const Tensor grad = Tensor::uniform(Shape::vector(64), rng, -1, 1);
+  const Tensor out = qsgd.round_trip(grad);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (out.at(i) != 0.0f) {
+      EXPECT_EQ(out.at(i) > 0, grad.at(i) > 0) << i;
+    }
+  }
+}
+
+TEST(Qsgd, UnbiasedInExpectation) {
+  // Average of many stochastic round trips converges to the input.
+  runtime::Rng rng(3);
+  const Tensor grad = Tensor::uniform(Shape::vector(16), rng, -1, 1);
+  QsgdCompressor qsgd(2, /*seed=*/7);
+  Tensor mean(grad.shape());
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    tensor::axpy(mean, qsgd.round_trip(grad), 1.0f / kTrials);
+  }
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    EXPECT_NEAR(mean.at(i), grad.at(i), 0.05f) << i;
+  }
+}
+
+TEST(Qsgd, MoreLevelsLessError) {
+  runtime::Rng rng(4);
+  const Tensor grad = Tensor::uniform(Shape::vector(256), rng, -1, 1);
+  QsgdCompressor coarse(1, 5);
+  QsgdCompressor fine(64, 5);
+  EXPECT_LT(tensor::mse(grad, fine.round_trip(grad)),
+            tensor::mse(grad, coarse.round_trip(grad)));
+}
+
+TEST(Qsgd, WireBytesShrinkWithFewerLevels) {
+  const Tensor grad(Shape::vector(1024));
+  QsgdCompressor coarse(1, 1);   // 2 bits/entry
+  QsgdCompressor fine(255, 1);   // 9 bits/entry
+  EXPECT_LT(coarse.wire_bytes(grad), fine.wire_bytes(grad));
+  EXPECT_LT(fine.wire_bytes(grad), grad.size_bytes());
+}
+
+TEST(Distributed, SingleWorkerUncompressedMatchesTrainer) {
+  // workers=1 with no compressor is exactly the plain Trainer loop.
+  const auto dataset = data::make_denoise_dataset(tiny());
+  auto run_plain = [&] {
+    runtime::Rng rng(9);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.002f);
+    Trainer trainer(*model, adam, TaskKind::kRegression);
+    trainer.train_epoch(dataset.train);
+    return trainer.evaluate(dataset.test).loss;
+  };
+  auto run_distributed = [&] {
+    runtime::Rng rng(9);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.002f);
+    DistributedTrainer trainer(*model, adam, TaskKind::kRegression, 1);
+    trainer.train_epoch(dataset.train);
+    return trainer.evaluate(dataset.test).loss;
+  };
+  EXPECT_NEAR(run_plain(), run_distributed(), 1e-6);
+}
+
+TEST(Distributed, CommStatsAccountRawVsCompressed) {
+  const auto dataset = data::make_denoise_dataset(tiny());
+  runtime::Rng rng(10);
+  auto model = make_encoder_decoder(1, rng, 4);
+  Adam adam(model->params(), 0.002f);
+  DistributedTrainer trainer(*model, adam, TaskKind::kRegression, 2,
+                             std::make_shared<TopKCompressor>(0.1));
+  trainer.train_epoch(dataset.train);
+  const auto& stats = trainer.comm_stats();
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.raw_bytes, 0u);
+  EXPECT_LT(stats.compressed_bytes, stats.raw_bytes);
+  EXPECT_GT(stats.compression_ratio(), 2.0);
+}
+
+TEST(Distributed, UncompressedRatioIsOne) {
+  const auto dataset = data::make_denoise_dataset(tiny());
+  runtime::Rng rng(11);
+  auto model = make_encoder_decoder(1, rng, 4);
+  Adam adam(model->params(), 0.002f);
+  DistributedTrainer trainer(*model, adam, TaskKind::kRegression, 4);
+  trainer.train_epoch(dataset.train);
+  EXPECT_DOUBLE_EQ(trainer.comm_stats().compression_ratio(), 1.0);
+}
+
+TEST(Distributed, TrainingConvergesWithQsgd) {
+  const auto dataset = data::make_denoise_dataset(tiny());
+  runtime::Rng rng(12);
+  auto model = make_encoder_decoder(1, rng, 4);
+  Adam adam(model->params(), 0.003f);
+  DistributedTrainer trainer(*model, adam, TaskKind::kRegression, 4,
+                             std::make_shared<QsgdCompressor>(16));
+  const double first = trainer.train_epoch(dataset.train);
+  double last = first;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    last = trainer.train_epoch(dataset.train);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(Distributed, ErrorFeedbackRecoversSparsificationLoss) {
+  // Aggressive top-k without error feedback diverges from the dense
+  // baseline; with EF the dropped mass is re-injected and training
+  // lands much closer to it.
+  const auto dataset = data::make_denoise_dataset(tiny());
+  auto run = [&](nn::GradientCompressorPtr compressor, bool ef) {
+    runtime::Rng rng(14);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.003f);
+    DistributedTrainer trainer(*model, adam, TaskKind::kRegression, 4,
+                               std::move(compressor), ef);
+    for (int epoch = 0; epoch < 6; ++epoch) trainer.train_epoch(dataset.train);
+    return trainer.evaluate(dataset.test).loss;
+  };
+  const double dense = run(nullptr, false);
+  const double sparse =
+      run(std::make_shared<TopKCompressor>(0.02), false);
+  const double sparse_ef =
+      run(std::make_shared<TopKCompressor>(0.02), true);
+  EXPECT_LT(sparse_ef, sparse);
+  EXPECT_LT(std::fabs(sparse_ef - dense), std::fabs(sparse - dense));
+}
+
+TEST(Distributed, ErrorFeedbackDoesNotChangeWireBytes) {
+  const auto dataset = data::make_denoise_dataset(tiny());
+  auto bytes = [&](bool ef) {
+    runtime::Rng rng(15);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.002f);
+    DistributedTrainer trainer(*model, adam, TaskKind::kRegression, 2,
+                               std::make_shared<TopKCompressor>(0.1), ef);
+    trainer.train_epoch(dataset.train);
+    return trainer.comm_stats().compressed_bytes;
+  };
+  EXPECT_EQ(bytes(false), bytes(true));
+}
+
+TEST(Distributed, ZeroWorkersThrows) {
+  runtime::Rng rng(13);
+  auto model = make_encoder_decoder(1, rng, 4);
+  Adam adam(model->params(), 0.002f);
+  EXPECT_THROW(
+      DistributedTrainer(*model, adam, TaskKind::kRegression, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aic::nn

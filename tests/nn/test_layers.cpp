@@ -1,0 +1,154 @@
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/nn/grad_check.hpp"
+
+namespace aic::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu relu;
+  const Tensor x(Shape::vector(4), {-2, -0.5f, 0, 3});
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 3.0f);
+}
+
+TEST(Relu, GradientMatchesNumeric) {
+  runtime::Rng rng(1);
+  Relu relu;
+  // Keep values away from the kink at 0 for a clean finite difference.
+  Tensor x = tensor::map(Tensor::uniform(Shape::bchw(2, 2, 4, 4), rng, -1, 1),
+                         [](float v) { return v + (v >= 0 ? 0.2f : -0.2f); });
+  testing::expect_gradients_match(relu, x, rng);
+}
+
+TEST(Sigmoid, ForwardRangeAndMidpoint) {
+  Sigmoid sigmoid;
+  const Tensor x(Shape::vector(3), {-10, 0, 10});
+  const Tensor y = sigmoid.forward(x, true);
+  EXPECT_LT(y.at(0), 0.001f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.5f);
+  EXPECT_GT(y.at(2), 0.999f);
+}
+
+TEST(Sigmoid, GradientMatchesNumeric) {
+  runtime::Rng rng(2);
+  Sigmoid sigmoid;
+  Tensor x = Tensor::uniform(Shape::bchw(1, 2, 3, 3), rng, -2, 2);
+  testing::expect_gradients_match(sigmoid, x, rng);
+}
+
+TEST(Linear, ForwardComputesAffineMap) {
+  runtime::Rng rng(3);
+  Linear linear(3, 2, rng);
+  // Overwrite params with known values.
+  linear.params()[0]->value =
+      Tensor(Shape::matrix(2, 3), {1, 0, 0, 0, 1, 0});
+  linear.params()[1]->value = Tensor(Shape::vector(2), {10, 20});
+  const Tensor x(Shape::bchw(1, 3, 1, 1), {5, 6, 7});
+  const Tensor y = linear.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 15.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 26.0f);
+}
+
+TEST(Linear, GradientMatchesNumeric) {
+  runtime::Rng rng(4);
+  Linear linear(6, 4, rng);
+  Tensor x = Tensor::uniform(Shape::bchw(3, 6, 1, 1), rng, -1, 1);
+  testing::expect_gradients_match(linear, x, rng);
+}
+
+TEST(Linear, RejectsWrongShape) {
+  runtime::Rng rng(5);
+  Linear linear(6, 4, rng);
+  EXPECT_THROW(linear.forward(Tensor(Shape::bchw(1, 5, 1, 1)), true),
+               std::invalid_argument);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flatten;
+  const Tensor x = Tensor::iota(Shape::bchw(2, 3, 4, 4));
+  const Tensor y = flatten.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape::bchw(2, 48, 1, 1));
+  const Tensor back = flatten.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(MaxPool2d, ForwardPicksMaxima) {
+  MaxPool2d pool;
+  Tensor x(Shape::bchw(1, 1, 2, 2), {1, 5, 3, 2});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape::bchw(1, 1, 1, 1));
+  EXPECT_FLOAT_EQ(y.at(0), 5.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool;
+  Tensor x(Shape::bchw(1, 1, 2, 2), {1, 5, 3, 2});
+  (void)pool.forward(x, true);
+  const Tensor grad =
+      pool.backward(Tensor(Shape::bchw(1, 1, 1, 1), {7.0f}));
+  EXPECT_FLOAT_EQ(grad.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(1), 7.0f);
+  EXPECT_FLOAT_EQ(grad.at(2), 0.0f);
+}
+
+TEST(MaxPool2d, GradientMatchesNumeric) {
+  runtime::Rng rng(6);
+  MaxPool2d pool;
+  // Distinct values avoid argmax ties that break finite differences.
+  Tensor x = Tensor::iota(Shape::bchw(1, 2, 4, 4));
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.at(i) = x.at(i) * 0.1f + static_cast<float>(rng.uniform()) * 0.01f;
+  }
+  testing::expect_gradients_match(pool, x, rng);
+}
+
+TEST(MaxPool2d, OddDimsThrow) {
+  MaxPool2d pool;
+  EXPECT_THROW(pool.forward(Tensor(Shape::bchw(1, 1, 3, 4)), true),
+               std::invalid_argument);
+}
+
+TEST(GlobalAvgPool, ForwardAverages) {
+  GlobalAvgPool gap;
+  Tensor x(Shape::bchw(1, 2, 2, 2), {1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor y = gap.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 10.0f);
+}
+
+TEST(GlobalAvgPool, GradientMatchesNumeric) {
+  runtime::Rng rng(7);
+  GlobalAvgPool gap;
+  Tensor x = Tensor::uniform(Shape::bchw(2, 3, 4, 4), rng, -1, 1);
+  testing::expect_gradients_match(gap, x, rng);
+}
+
+TEST(Upsample, ForwardReplicates) {
+  UpsampleNearest2x up;
+  Tensor x(Shape::bchw(1, 1, 1, 2), {3, 7});
+  const Tensor y = up.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape::bchw(1, 1, 2, 4));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 2), 7.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 3), 7.0f);
+}
+
+TEST(Upsample, GradientMatchesNumeric) {
+  runtime::Rng rng(8);
+  UpsampleNearest2x up;
+  Tensor x = Tensor::uniform(Shape::bchw(2, 2, 3, 3), rng, -1, 1);
+  testing::expect_gradients_match(up, x, rng);
+}
+
+}  // namespace
+}  // namespace aic::nn

@@ -1,0 +1,132 @@
+#include "nn/layers_extra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/nn/grad_check.hpp"
+
+namespace aic::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Dropout, EvalModeIsIdentity) {
+  runtime::Rng rng(1);
+  Dropout dropout(0.5f);
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 1, 8, 8), rng, -1, 1);
+  EXPECT_TRUE(tensor::allclose(dropout.forward(x, false), x, 0.0));
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+  runtime::Rng rng(2);
+  Dropout dropout(0.0f);
+  const Tensor x = Tensor::uniform(Shape::bchw(1, 1, 8, 8), rng, -1, 1);
+  EXPECT_TRUE(tensor::allclose(dropout.forward(x, true), x, 0.0));
+}
+
+TEST(Dropout, DropsRoughlyRateFraction) {
+  Dropout dropout(0.3f, 5);
+  const Tensor x = Tensor::full(Shape::bchw(1, 1, 64, 64), 1.0f);
+  const Tensor y = dropout.forward(x, true);
+  std::size_t zeros = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) ++zeros;
+  }
+  const double fraction = static_cast<double>(zeros) / y.numel();
+  EXPECT_NEAR(fraction, 0.3, 0.05);
+}
+
+TEST(Dropout, SurvivorsAreRescaled) {
+  Dropout dropout(0.5f, 6);
+  const Tensor x = Tensor::full(Shape::bchw(1, 1, 16, 16), 3.0f);
+  const Tensor y = dropout.forward(x, true);
+  for (float v : y.data()) {
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 6.0f) < 1e-5f) << v;
+  }
+}
+
+TEST(Dropout, ExpectationPreserved) {
+  // Inverted dropout keeps E[y] = x.
+  Dropout dropout(0.4f, 7);
+  const Tensor x = Tensor::full(Shape::bchw(1, 1, 64, 64), 2.0f);
+  double mean = 0.0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    mean += tensor::mean(dropout.forward(x, true));
+  }
+  EXPECT_NEAR(mean / kTrials, 2.0, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout dropout(0.5f, 8);
+  const Tensor x = Tensor::full(Shape::bchw(1, 1, 8, 8), 1.0f);
+  const Tensor y = dropout.forward(x, true);
+  const Tensor g = dropout.backward(Tensor::full(x.shape(), 1.0f));
+  // Gradient must be zero exactly where the forward output was zero.
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_EQ(y.at(i) == 0.0f, g.at(i) == 0.0f) << i;
+  }
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(AvgPool, ForwardAverages) {
+  AvgPool2d pool;
+  Tensor x(Shape::bchw(1, 1, 2, 2), {1, 2, 3, 6});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+}
+
+TEST(AvgPool, GradientMatchesNumeric) {
+  runtime::Rng rng(9);
+  AvgPool2d pool;
+  Tensor x = Tensor::uniform(Shape::bchw(2, 2, 4, 4), rng, -1, 1);
+  testing::expect_gradients_match(pool, x, rng);
+}
+
+TEST(AvgPool, OddDimsThrow) {
+  AvgPool2d pool;
+  EXPECT_THROW(pool.forward(Tensor(Shape::bchw(1, 1, 3, 4)), true),
+               std::invalid_argument);
+}
+
+TEST(LeakyRelu, ForwardSlopesNegatives) {
+  LeakyRelu leaky(0.1f);
+  const Tensor x(Shape::vector(3), {-2, 0, 5});
+  const Tensor y = leaky.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), -0.2f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 5.0f);
+}
+
+TEST(LeakyRelu, GradientMatchesNumeric) {
+  runtime::Rng rng(10);
+  LeakyRelu leaky(0.2f);
+  Tensor x = tensor::map(Tensor::uniform(Shape::bchw(1, 2, 4, 4), rng, -1, 1),
+                         [](float v) { return v + (v >= 0 ? 0.2f : -0.2f); });
+  testing::expect_gradients_match(leaky, x, rng);
+}
+
+TEST(Tanh, ForwardRange) {
+  Tanh tanh_layer;
+  const Tensor x(Shape::vector(3), {-10, 0, 10});
+  const Tensor y = tanh_layer.forward(x, true);
+  EXPECT_NEAR(y.at(0), -1.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_NEAR(y.at(2), 1.0f, 1e-4f);
+}
+
+TEST(Tanh, GradientMatchesNumeric) {
+  runtime::Rng rng(11);
+  Tanh tanh_layer;
+  Tensor x = Tensor::uniform(Shape::bchw(1, 2, 3, 3), rng, -2, 2);
+  testing::expect_gradients_match(tanh_layer, x, rng);
+}
+
+}  // namespace
+}  // namespace aic::nn

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  const Tensor logits(Shape::bchw(2, 4, 1, 1));
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.value, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionNearZeroLoss) {
+  Tensor logits(Shape::bchw(1, 3, 1, 1), {20.0f, 0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.value, 1e-6);
+}
+
+TEST(CrossEntropy, GradientSumsToZeroPerSample) {
+  runtime::Rng rng(1);
+  const Tensor logits =
+      Tensor::uniform(Shape::bchw(3, 5, 1, 1), rng, -2, 2);
+  const LossResult r = softmax_cross_entropy(logits, {1, 4, 0});
+  for (std::size_t b = 0; b < 3; ++b) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < 5; ++k) total += r.grad.at(b, k, 0, 0);
+    EXPECT_NEAR(total, 0.0, 1e-6) << b;
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesNumeric) {
+  runtime::Rng rng(2);
+  Tensor logits = Tensor::uniform(Shape::bchw(2, 4, 1, 1), rng, -1, 1);
+  const std::vector<std::size_t> labels = {2, 0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits.at(i);
+    logits.at(i) = saved + eps;
+    const double plus = softmax_cross_entropy(logits, labels).value;
+    logits.at(i) = saved - eps;
+    const double minus = softmax_cross_entropy(logits, labels).value;
+    logits.at(i) = saved;
+    EXPECT_NEAR(r.grad.at(i), (plus - minus) / (2 * eps), 1e-3) << i;
+  }
+}
+
+TEST(CrossEntropy, InvalidLabelThrows) {
+  const Tensor logits(Shape::bchw(1, 3, 1, 1));
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsTopOne) {
+  Tensor logits(Shape::bchw(2, 3, 1, 1), {1, 5, 2, 9, 0, 1});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 0}), 0.5);
+}
+
+TEST(MseLoss, KnownValueAndGradient) {
+  const Tensor pred(Shape::vector(2), {1.0f, 3.0f});
+  const Tensor target(Shape::vector(2), {0.0f, 0.0f});
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, (1.0 + 9.0) / 2.0);
+  EXPECT_FLOAT_EQ(r.grad.at(0), 1.0f);   // 2*1/2
+  EXPECT_FLOAT_EQ(r.grad.at(1), 3.0f);   // 2*3/2
+}
+
+TEST(BceWithLogits, MatchesAnalyticForm) {
+  const Tensor logits(Shape::vector(2), {0.0f, 2.0f});
+  const Tensor targets(Shape::vector(2), {1.0f, 0.0f});
+  const LossResult r = bce_with_logits(logits, targets);
+  // -log(sigmoid(0)) = log 2 ; -log(1-sigmoid(2)) = log(1+e^2)
+  const double expected =
+      (std::log(2.0) + std::log(1.0 + std::exp(2.0))) / 2.0;
+  EXPECT_NEAR(r.value, expected, 1e-6);
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+  const Tensor logits(Shape::vector(2), {100.0f, -100.0f});
+  const Tensor targets(Shape::vector(2), {1.0f, 0.0f});
+  const LossResult r = bce_with_logits(logits, targets);
+  EXPECT_LT(r.value, 1e-6);
+  EXPECT_TRUE(std::isfinite(r.grad.at(0)));
+}
+
+TEST(BceWithLogits, GradientMatchesNumeric) {
+  runtime::Rng rng(3);
+  Tensor logits = Tensor::uniform(Shape::bchw(1, 1, 2, 2), rng, -2, 2);
+  const Tensor targets(Shape::bchw(1, 1, 2, 2), {1, 0, 1, 0});
+  const LossResult r = bce_with_logits(logits, targets);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits.at(i);
+    logits.at(i) = saved + eps;
+    const double plus = bce_with_logits(logits, targets).value;
+    logits.at(i) = saved - eps;
+    const double minus = bce_with_logits(logits, targets).value;
+    logits.at(i) = saved;
+    EXPECT_NEAR(r.grad.at(i), (plus - minus) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(PixelAccuracy, ThresholdsAtZeroLogit) {
+  const Tensor logits(Shape::bchw(1, 1, 2, 2), {5, -5, 5, -5});
+  const Tensor targets(Shape::bchw(1, 1, 2, 2), {1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(pixel_accuracy(logits, targets), 0.75);
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  Param p(Tensor(Shape::vector(2), {1.0f, 2.0f}));
+  p.grad = Tensor(Shape::vector(2), {0.5f, -1.0f});
+  Sgd sgd({&p}, 0.1f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 0.95f);
+  EXPECT_FLOAT_EQ(p.value.at(1), 2.1f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p(Tensor(Shape::vector(1), {0.0f}));
+  Sgd sgd({&p}, 1.0f, 0.9f);
+  p.grad.at(0) = 1.0f;
+  sgd.step();  // v=1, x=-1
+  sgd.step();  // v=1.9, x=-2.9
+  EXPECT_FLOAT_EQ(p.value.at(0), -2.9f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p(Tensor(Shape::vector(1), {10.0f}));
+  Sgd sgd({&p}, 0.1f, 0.0f, 0.1f);
+  p.grad.at(0) = 0.0f;
+  sgd.step();
+  EXPECT_NEAR(p.value.at(0), 10.0f - 0.1f * 1.0f, 1e-5f);
+}
+
+TEST(Sgd, ZeroGradClearsGradients) {
+  Param p(Tensor(Shape::vector(1), {0.0f}));
+  p.grad.at(0) = 5.0f;
+  Sgd sgd({&p}, 0.1f);
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.0f);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  Param p(Tensor(Shape::vector(1), {0.0f}));
+  Adam adam({&p}, 0.01f);
+  p.grad.at(0) = 3.0f;  // any positive gradient
+  adam.step();
+  // Bias-corrected first step ≈ lr regardless of gradient scale.
+  EXPECT_NEAR(p.value.at(0), -0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize (x-3)^2 — Adam should get close within a few hundred steps.
+  Param p(Tensor(Shape::vector(1), {0.0f}));
+  Adam adam({&p}, 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    adam.zero_grad();
+    p.grad.at(0) = 2.0f * (p.value.at(0) - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 0.05f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Param p(Tensor(Shape::vector(1), {10.0f}));
+  Sgd sgd({&p}, 0.1f, 0.5f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.zero_grad();
+    p.grad.at(0) = 2.0f * (p.value.at(0) - 3.0f);
+    sgd.step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 0.01f);
+}
+
+}  // namespace
+}  // namespace aic::nn

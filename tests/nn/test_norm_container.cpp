@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "nn/container.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/norm.hpp"
+#include "nn/unet.hpp"
+#include "tests/nn/grad_check.hpp"
+
+namespace aic::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(BatchNorm, TrainOutputIsNormalized) {
+  runtime::Rng rng(1);
+  BatchNorm2d bn(2);
+  const Tensor x = Tensor::uniform(Shape::bchw(8, 2, 4, 4), rng, 3.0f, 9.0f);
+  const Tensor y = bn.forward(x, /*train=*/true);
+  // Per channel: mean ≈ 0, var ≈ 1 (gamma=1, beta=0 initially).
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    const std::size_t count = 8 * 4 * 4;
+    for (std::size_t b = 0; b < 8; ++b) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) mean += y.at(b, c, i, j);
+      }
+    }
+    mean /= count;
+    for (std::size_t b = 0; b < 8; ++b) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+          const double d = y.at(b, c, i, j) - mean;
+          var += d * d;
+        }
+      }
+    }
+    var /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataMoments) {
+  runtime::Rng rng(2);
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  for (int i = 0; i < 30; ++i) {
+    const Tensor x =
+        Tensor::normal(Shape::bchw(16, 1, 4, 4), rng, 5.0f, 2.0f);
+    (void)bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 5.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var().at(0), 4.0f, 0.8f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  runtime::Rng rng(3);
+  BatchNorm2d bn(1, 1.0f);  // momentum 1: running stats = last batch
+  const Tensor train_x =
+      Tensor::normal(Shape::bchw(32, 1, 4, 4), rng, 2.0f, 1.0f);
+  (void)bn.forward(train_x, true);
+  // A constant eval input equal to the running mean maps to ~0.
+  const Tensor eval_x =
+      Tensor::full(Shape::bchw(1, 1, 4, 4), bn.running_mean().at(0));
+  const Tensor y = bn.forward(eval_x, false);
+  for (float v : y.data()) EXPECT_NEAR(v, 0.0f, 1e-2f);
+}
+
+TEST(BatchNorm, GradientMatchesNumeric) {
+  runtime::Rng rng(4);
+  BatchNorm2d bn(2);
+  Tensor x = Tensor::uniform(Shape::bchw(4, 2, 3, 3), rng, -2, 2);
+  testing::expect_gradients_match(bn, x, rng, 3e-2);
+}
+
+TEST(Sequential, ChainsLayersInOrder) {
+  runtime::Rng rng(5);
+  Sequential seq;
+  seq.add(std::make_unique<Relu>()).add(std::make_unique<Sigmoid>());
+  const Tensor x(Shape::vector(2), {-1.0f, 1.0f});
+  const Tensor y = seq.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 0.5f);            // relu(-1)=0 -> sigmoid=0.5
+  EXPECT_NEAR(y.at(1), 0.731058f, 1e-5f);    // sigmoid(1)
+}
+
+TEST(Sequential, CollectsAllParams) {
+  runtime::Rng rng(6);
+  Sequential seq;
+  seq.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, rng))
+      .add(std::make_unique<BatchNorm2d>(2))
+      .add(std::make_unique<Relu>());
+  EXPECT_EQ(seq.params().size(), 4u);  // conv W/b + bn gamma/beta
+}
+
+TEST(Sequential, GradientMatchesNumeric) {
+  runtime::Rng rng(7);
+  Sequential seq;
+  seq.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, rng))
+      .add(std::make_unique<Relu>())
+      .add(std::make_unique<Conv2d>(2, 1, 3, 1, 1, rng));
+  Tensor x = Tensor::uniform(Shape::bchw(2, 1, 4, 4), rng, -1, 1);
+  testing::expect_gradients_match(seq, x, rng);
+}
+
+TEST(ResidualBlock, IdentitySkipPreservesShape) {
+  runtime::Rng rng(8);
+  ResidualBlock block(4, 4, 1, rng);
+  const Tensor x = Tensor::uniform(Shape::bchw(2, 4, 4, 4), rng, -1, 1);
+  EXPECT_EQ(block.forward(x, true).shape(), x.shape());
+}
+
+TEST(ResidualBlock, ProjectionHandlesDownsample) {
+  runtime::Rng rng(9);
+  ResidualBlock block(4, 8, 2, rng);
+  const Tensor x = Tensor::uniform(Shape::bchw(2, 4, 8, 8), rng, -1, 1);
+  EXPECT_EQ(block.forward(x, true).shape(), Shape::bchw(2, 8, 4, 4));
+}
+
+TEST(ResidualBlock, GradientMatchesNumeric) {
+  runtime::Rng rng(10);
+  ResidualBlock block(2, 2, 1, rng);
+  Tensor x = Tensor::uniform(Shape::bchw(2, 2, 4, 4), rng, -1, 1);
+  testing::expect_gradients_match(block, x, rng, 4e-2);
+}
+
+TEST(UNet, OutputShapeMatchesInputSpatialDims) {
+  runtime::Rng rng(11);
+  UNetMini unet(3, 4, 1, rng);
+  const Tensor x = Tensor::uniform(Shape::bchw(2, 3, 8, 8), rng, -1, 1);
+  EXPECT_EQ(unet.forward(x, true).shape(), Shape::bchw(2, 1, 8, 8));
+}
+
+TEST(UNet, GradientMatchesNumeric) {
+  runtime::Rng rng(12);
+  UNetMini unet(1, 2, 1, rng);
+  Tensor x = Tensor::uniform(Shape::bchw(1, 1, 4, 4), rng, -1, 1);
+  testing::expect_gradients_match(unet, x, rng, 4e-2);
+}
+
+TEST(ConcatChannels, StacksAndSplits) {
+  const Tensor a = Tensor::full(Shape::bchw(1, 2, 2, 2), 1.0f);
+  const Tensor b = Tensor::full(Shape::bchw(1, 3, 2, 2), 2.0f);
+  const Tensor merged = concat_channels(a, b);
+  EXPECT_EQ(merged.shape(), Shape::bchw(1, 5, 2, 2));
+  EXPECT_FLOAT_EQ(merged.at(0, 1, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(merged.at(0, 2, 0, 0), 2.0f);
+  const auto [ga, gb] = split_channels(merged, 2);
+  EXPECT_TRUE(tensor::allclose(ga, a, 0.0));
+  EXPECT_TRUE(tensor::allclose(gb, b, 0.0));
+}
+
+TEST(ConcatChannels, IncompatibleShapesThrow) {
+  EXPECT_THROW(concat_channels(Tensor(Shape::bchw(1, 1, 2, 2)),
+                               Tensor(Shape::bchw(1, 1, 4, 4))),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aic::nn

@@ -1,0 +1,162 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dct_chop.hpp"
+#include "data/datasets.hpp"
+#include "nn/models.hpp"
+
+namespace aic::nn {
+namespace {
+
+using data::DatasetConfig;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Tiny configuration so each training test stays fast.
+DatasetConfig tiny_config() {
+  return {.train_samples = 48,
+          .test_samples = 16,
+          .batch_size = 16,
+          .resolution = 16,
+          .seed = 42};
+}
+
+TEST(Trainer, ClassificationLossDecreases) {
+  const auto dataset = data::make_classify_dataset(tiny_config(), 4);
+  runtime::Rng rng(1);
+  auto model = make_resnet_classifier(3, 4, rng, 4);
+  Adam adam(model->params(), 0.003f);
+  Trainer trainer(*model, adam, TaskKind::kClassification);
+  const double first = trainer.train_epoch(dataset.train);
+  double last = first;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    last = trainer.train_epoch(dataset.train);
+  }
+  EXPECT_LT(last, first * 0.9);
+}
+
+TEST(Trainer, ClassificationBeatsChance) {
+  const auto dataset = data::make_classify_dataset(tiny_config(), 4);
+  runtime::Rng rng(2);
+  auto model = make_resnet_classifier(3, 4, rng, 4);
+  Adam adam(model->params(), 0.003f);
+  Trainer trainer(*model, adam, TaskKind::kClassification);
+  for (int epoch = 0; epoch < 8; ++epoch) trainer.train_epoch(dataset.train);
+  const auto eval = trainer.evaluate(dataset.test);
+  EXPECT_GT(eval.accuracy, 0.4);  // chance = 0.25
+}
+
+TEST(Trainer, RegressionLossDecreases) {
+  const auto dataset = data::make_denoise_dataset(tiny_config());
+  runtime::Rng rng(3);
+  auto model = make_encoder_decoder(1, rng, 4);
+  Adam adam(model->params(), 0.002f);
+  Trainer trainer(*model, adam, TaskKind::kRegression);
+  const double first = trainer.train_epoch(dataset.train);
+  double last = first;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    last = trainer.train_epoch(dataset.train);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(Trainer, SegmentationPixelAccuracyAboveChance) {
+  const auto dataset = data::make_cloud_dataset(tiny_config());
+  runtime::Rng rng(4);
+  auto model = make_unet(3, 1, rng, 4);
+  Adam adam(model->params(), 0.004f);
+  Trainer trainer(*model, adam, TaskKind::kSegmentation);
+  for (int epoch = 0; epoch < 6; ++epoch) trainer.train_epoch(dataset.train);
+  const auto eval = trainer.evaluate(dataset.test);
+  EXPECT_GT(eval.accuracy, 0.7);
+}
+
+TEST(Trainer, CodecHookCompressesTrainingBatches) {
+  // With a CF=8 (near-lossless) codec, training must track the no-codec
+  // run — proving the hook sits exactly on the input path.
+  const auto dataset = data::make_denoise_dataset(tiny_config());
+  auto run = [&](core::CodecPtr codec) {
+    runtime::Rng rng(5);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.002f);
+    Trainer trainer(*model, adam, TaskKind::kRegression, std::move(codec));
+    trainer.train_epoch(dataset.train);
+    return trainer.evaluate(dataset.test).loss;
+  };
+  const double baseline = run(nullptr);
+  const double lossless = run(std::make_shared<core::DctChopCodec>(
+      core::DctChopConfig{.height = 16, .width = 16, .cf = 8, .block = 8}));
+  // CF=8 round-trips up to fp32 rounding (~1e-7 per value); after one
+  // epoch of training the runs agree to well under a percent.
+  EXPECT_NEAR(baseline, lossless, 5e-3 * baseline);
+}
+
+TEST(Trainer, LossyCodecChangesTraining) {
+  const auto dataset = data::make_denoise_dataset(tiny_config());
+  auto run = [&](core::CodecPtr codec) {
+    runtime::Rng rng(6);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.002f);
+    Trainer trainer(*model, adam, TaskKind::kRegression, std::move(codec));
+    trainer.train_epoch(dataset.train);
+    return trainer.evaluate(dataset.test).loss;
+  };
+  const double baseline = run(nullptr);
+  const double lossy = run(std::make_shared<core::DctChopCodec>(
+      core::DctChopConfig{.height = 16, .width = 16, .cf = 2, .block = 8}));
+  EXPECT_NE(baseline, lossy);
+}
+
+TEST(Trainer, FitRecordsPerEpochHistory) {
+  const auto dataset = data::make_classify_dataset(tiny_config(), 4);
+  runtime::Rng rng(7);
+  auto model = make_resnet_classifier(3, 4, rng, 4);
+  Adam adam(model->params(), 0.003f);
+  Trainer trainer(*model, adam, TaskKind::kClassification);
+  const auto history = trainer.fit(dataset.train, dataset.test, 3);
+  ASSERT_EQ(history.size(), 3u);
+  for (const auto& epoch : history) {
+    EXPECT_GT(epoch.train_loss, 0.0);
+    EXPECT_GT(epoch.test_loss, 0.0);
+    EXPECT_GE(epoch.test_accuracy, 0.0);
+  }
+}
+
+TEST(Trainer, EvaluationReadsThroughCodecPipeline) {
+  // The codec models *dataset* compression: evaluation inputs pass
+  // through the same compress→decompress pipeline as training inputs,
+  // so a lossy codec changes even an untrained model's eval loss.
+  const auto dataset = data::make_denoise_dataset(tiny_config());
+  auto eval_loss = [&](core::CodecPtr codec) {
+    runtime::Rng rng(8);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.002f);
+    Trainer trainer(*model, adam, TaskKind::kRegression, std::move(codec));
+    return trainer.evaluate(dataset.test).loss;
+  };
+  const double no_codec = eval_loss(nullptr);
+  const double with_codec = eval_loss(std::make_shared<core::DctChopCodec>(
+      core::DctChopConfig{.height = 16, .width = 16, .cf = 2, .block = 8}));
+  EXPECT_NE(no_codec, with_codec);
+}
+
+TEST(Trainer, CompressionHelpsDenoising) {
+  // The Fig. 8 headline: with high-frequency noise and a band-limited
+  // signal, the compressed pipeline beats the uncompressed baseline.
+  const auto dataset = data::make_denoise_dataset(tiny_config());
+  auto final_loss = [&](core::CodecPtr codec) {
+    runtime::Rng rng(9);
+    auto model = make_encoder_decoder(1, rng, 4);
+    Adam adam(model->params(), 0.005f);
+    Trainer trainer(*model, adam, TaskKind::kRegression, std::move(codec));
+    return trainer.fit(dataset.train, dataset.test, 8).back().test_loss;
+  };
+  const double base = final_loss(nullptr);
+  const double compressed = final_loss(std::make_shared<core::DctChopCodec>(
+      core::DctChopConfig{.height = 16, .width = 16, .cf = 2, .block = 8}));
+  EXPECT_LT(compressed, base);
+}
+
+}  // namespace
+}  // namespace aic::nn

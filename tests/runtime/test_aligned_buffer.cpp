@@ -1,0 +1,58 @@
+#include "runtime/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace aic::runtime {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<float> buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocationIsAligned) {
+  AlignedBuffer<float, 64> buffer(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 64, 0u);
+  EXPECT_EQ(buffer.size(), 100u);
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<double, 128> buffer(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 128, 0u);
+}
+
+TEST(AlignedBuffer, ElementsAreWritable) {
+  AlignedBuffer<float> buffer(10);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<float>(i);
+  }
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], static_cast<float>(i));
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<float> a(16);
+  a[0] = 42.0f;
+  float* original = a.data();
+  AlignedBuffer<float> b(std::move(a));
+  EXPECT_EQ(b.data(), original);
+  EXPECT_EQ(b[0], 42.0f);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): tests post-move state
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<float> a(4);
+  AlignedBuffer<float> b(8);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+}  // namespace
+}  // namespace aic::runtime

@@ -1,0 +1,55 @@
+#include "runtime/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace aic::runtime {
+namespace {
+
+TEST(Env, SizeTParsesValue) {
+  ::setenv("AIC_TEST_SIZE", "1234", 1);
+  EXPECT_EQ(env_size_t("AIC_TEST_SIZE", 7), 1234u);
+  ::unsetenv("AIC_TEST_SIZE");
+}
+
+TEST(Env, SizeTFallsBackWhenUnset) {
+  ::unsetenv("AIC_TEST_MISSING");
+  EXPECT_EQ(env_size_t("AIC_TEST_MISSING", 99), 99u);
+}
+
+TEST(Env, SizeTFallsBackOnGarbage) {
+  ::setenv("AIC_TEST_GARBAGE", "12abc", 1);
+  EXPECT_EQ(env_size_t("AIC_TEST_GARBAGE", 5), 5u);
+  ::setenv("AIC_TEST_GARBAGE", "abc", 1);
+  EXPECT_EQ(env_size_t("AIC_TEST_GARBAGE", 5), 5u);
+  ::unsetenv("AIC_TEST_GARBAGE");
+}
+
+TEST(Env, StringReturnsValueOrFallback) {
+  ::setenv("AIC_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("AIC_TEST_STR", "x"), "hello");
+  ::unsetenv("AIC_TEST_STR");
+  EXPECT_EQ(env_string("AIC_TEST_STR", "x"), "x");
+}
+
+TEST(Env, FlagRecognizesTruthyValues) {
+  for (const char* value : {"1", "true", "TRUE", "on", "Yes"}) {
+    ::setenv("AIC_TEST_FLAG", value, 1);
+    EXPECT_TRUE(env_flag("AIC_TEST_FLAG")) << value;
+  }
+  for (const char* value : {"0", "false", "off", "no", ""}) {
+    ::setenv("AIC_TEST_FLAG", value, 1);
+    EXPECT_FALSE(env_flag("AIC_TEST_FLAG")) << value;
+  }
+  ::unsetenv("AIC_TEST_FLAG");
+}
+
+TEST(Env, FlagFallsBackWhenUnset) {
+  ::unsetenv("AIC_TEST_FLAG");
+  EXPECT_TRUE(env_flag("AIC_TEST_FLAG", true));
+  EXPECT_FALSE(env_flag("AIC_TEST_FLAG", false));
+}
+
+}  // namespace
+}  // namespace aic::runtime

@@ -1,0 +1,87 @@
+#include "runtime/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace aic::runtime {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); },
+               {.grain = 128});
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeDoesNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, NonZeroBeginRespected) {
+  std::atomic<long long> total{0};
+  parallel_for(100, 200, [&](std::size_t i) { total.fetch_add(static_cast<long long>(i)); },
+               {.grain = 8});
+  long long expected = 0;
+  for (std::size_t i = 100; i < 200; ++i) expected += static_cast<long long>(i);
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  // A range under the grain must execute on the calling thread.
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> same_thread{true};
+  parallel_for(0, 4,
+               [&](std::size_t) {
+                 if (std::this_thread::get_id() != caller) same_thread = false;
+               },
+               {.grain = 1024});
+  EXPECT_TRUE(same_thread.load());
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(0, 10'000,
+                   [](std::size_t i) {
+                     if (i == 4321) throw std::runtime_error("bad index");
+                   },
+                   {.grain = 16}),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunks, ChunksPartitionRange) {
+  constexpr std::size_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_chunks(
+      0, kN,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      {.grain = 64});
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForChunks, GrainZeroIsTreatedAsOne) {
+  std::atomic<int> count{0};
+  parallel_for_chunks(
+      0, 100,
+      [&](std::size_t lo, std::size_t hi) {
+        count.fetch_add(static_cast<int>(hi - lo));
+      },
+      {.grain = 0});
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace aic::runtime

@@ -1,0 +1,66 @@
+#include "runtime/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace aic::runtime {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of the classic sequence is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats stats;
+  stats.add(-5.0);
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace aic::runtime

@@ -1,0 +1,114 @@
+#include "tensor/dtype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "runtime/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace aic::tensor {
+namespace {
+
+TEST(Fp16, ExactlyRepresentableValuesSurvive) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(round_trip_fp16(v), v) << v;
+  }
+}
+
+TEST(Fp16, RelativeErrorWithinHalfUlp) {
+  runtime::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float r = round_trip_fp16(v);
+    // binary16 has 11 significand bits: rel err <= 2^-11.
+    EXPECT_LE(std::fabs(r - v), std::fabs(v) * 0x1.0p-11 + 1e-12f) << v;
+  }
+}
+
+TEST(Fp16, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(round_trip_fp16(1e6f)));
+  EXPECT_TRUE(std::isinf(round_trip_fp16(-1e6f)));
+  EXPECT_LT(round_trip_fp16(-1e6f), 0.0f);
+}
+
+TEST(Fp16, SubnormalsRepresented) {
+  const float tiny = 1e-5f;  // below fp16 normal min (6.1e-5), subnormal range
+  const float r = round_trip_fp16(tiny);
+  EXPECT_GT(r, 0.0f);
+  EXPECT_NEAR(r, tiny, 6e-8f);  // fp16 subnormal ulp is 2^-24
+}
+
+TEST(Fp16, UnderflowFlushesToZero) {
+  EXPECT_EQ(round_trip_fp16(1e-9f), 0.0f);
+}
+
+TEST(Fp16, NanPropagates) {
+  EXPECT_TRUE(std::isnan(round_trip_fp16(std::nanf(""))));
+}
+
+TEST(Fp16, InfinityPropagates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(round_trip_fp16(inf)));
+  EXPECT_TRUE(std::isinf(round_trip_fp16(-inf)));
+}
+
+TEST(Bf16, ExactValuesSurvive) {
+  for (float v : {0.0f, 1.0f, -2.0f, 0.5f, 256.0f, 3.0f}) {
+    EXPECT_EQ(round_trip_bf16(v), v) << v;
+  }
+}
+
+TEST(Bf16, WideDynamicRangeSurvives) {
+  // bf16 shares FP32's exponent: huge magnitudes survive (unlike fp16).
+  EXPECT_FALSE(std::isinf(round_trip_bf16(1e30f)));
+  EXPECT_NEAR(round_trip_bf16(1e30f), 1e30f, 1e28f);
+}
+
+TEST(Bf16, RelativeErrorWithinEightBits) {
+  runtime::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1e6, 1e6));
+    const float r = round_trip_bf16(v);
+    EXPECT_LE(std::fabs(r - v), std::fabs(v) * 0x1.0p-8 + 1e-30f) << v;
+  }
+}
+
+TEST(Bf16, NanCanonicalized) {
+  EXPECT_TRUE(std::isnan(round_trip_bf16(std::nanf(""))));
+}
+
+TEST(Half, Fp16HasFinerPrecisionBf16WiderRange) {
+  // Representative of §3.1's format split: SN30 (bf16) trades precision
+  // for range relative to the fp16 platforms.
+  const float precise = 1.001f;
+  EXPECT_LT(std::fabs(round_trip_fp16(precise) - precise),
+            std::fabs(round_trip_bf16(precise) - precise));
+  const float huge = 1e20f;
+  EXPECT_TRUE(std::isinf(round_trip_fp16(huge)));
+  EXPECT_FALSE(std::isinf(round_trip_bf16(huge)));
+}
+
+TEST(QuantizeHalf, AppliesToWholeTensor) {
+  runtime::Rng rng(3);
+  const Tensor t = Tensor::uniform(Shape::matrix(16, 16), rng, -10.0f, 10.0f);
+  const Tensor q16 = quantize_half(t, HalfFormat::kFp16);
+  const Tensor qbf = quantize_half(t, HalfFormat::kBf16);
+  EXPECT_EQ(q16.shape(), t.shape());
+  // fp16 round-trip error must be smaller on this bounded range.
+  EXPECT_LT(mse(t, q16), mse(t, qbf));
+  EXPECT_GT(mse(t, qbf), 0.0);
+}
+
+TEST(EncodeDecode, RoundTripMatchesHelpers) {
+  for (float v : {0.1f, -3.7f, 1000.0f}) {
+    EXPECT_EQ(decode_half(encode_half(v, HalfFormat::kFp16), HalfFormat::kFp16),
+              round_trip_fp16(v));
+    EXPECT_EQ(decode_half(encode_half(v, HalfFormat::kBf16), HalfFormat::kBf16),
+              round_trip_bf16(v));
+  }
+}
+
+}  // namespace
+}  // namespace aic::tensor

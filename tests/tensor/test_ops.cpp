@@ -1,0 +1,110 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+
+namespace aic::tensor {
+namespace {
+
+TEST(Ops, AddSubMulElementwise) {
+  const Tensor a(Shape::vector(3), {1, 2, 3});
+  const Tensor b(Shape::vector(3), {10, 20, 30});
+  const Tensor s = add(a, b);
+  const Tensor d = sub(b, a);
+  const Tensor p = mul(a, b);
+  EXPECT_FLOAT_EQ(s.at(1), 22.0f);
+  EXPECT_FLOAT_EQ(d.at(2), 27.0f);
+  EXPECT_FLOAT_EQ(p.at(0), 10.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const Tensor a(Shape::vector(3));
+  const Tensor b(Shape::vector(4));
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mse(a, b), std::invalid_argument);
+}
+
+TEST(Ops, ScaleMultipliesAll) {
+  const Tensor a(Shape::vector(3), {1, -2, 3});
+  const Tensor s = scale(a, -2.0f);
+  EXPECT_FLOAT_EQ(s.at(0), -2.0f);
+  EXPECT_FLOAT_EQ(s.at(1), 4.0f);
+  EXPECT_FLOAT_EQ(s.at(2), -6.0f);
+}
+
+TEST(Ops, AxpyAccumulatesInPlace) {
+  Tensor a(Shape::vector(2), {1, 2});
+  const Tensor b(Shape::vector(2), {10, 100});
+  axpy(a, b, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(a.at(1), 52.0f);
+}
+
+TEST(Ops, MapAppliesFunction) {
+  const Tensor a(Shape::vector(3), {-1, 0, 2});
+  const Tensor r = map(a, [](float x) { return x * x; });
+  EXPECT_FLOAT_EQ(r.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(2), 4.0f);
+}
+
+TEST(Ops, SumAndMean) {
+  const Tensor a(Shape::matrix(2, 2), {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(mean(a), 2.5);
+}
+
+TEST(Ops, ExtremaAndArgmax) {
+  const Tensor a(Shape::vector(4), {3, -7, 9, 1});
+  EXPECT_FLOAT_EQ(max_value(a), 9.0f);
+  EXPECT_FLOAT_EQ(min_value(a), -7.0f);
+  EXPECT_EQ(argmax(a), 2u);
+  EXPECT_FLOAT_EQ(max_abs(a), 9.0f);
+}
+
+TEST(Ops, MseOfIdenticalTensorsIsZero) {
+  runtime::Rng rng(1);
+  const Tensor a = Tensor::uniform(Shape::matrix(5, 5), rng);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Ops, MseKnownValue) {
+  const Tensor a(Shape::vector(2), {0, 0});
+  const Tensor b(Shape::vector(2), {3, 4});
+  EXPECT_DOUBLE_EQ(mse(a, b), (9.0 + 16.0) / 2.0);
+}
+
+TEST(Ops, PsnrInfiniteForExactMatch) {
+  const Tensor a(Shape::vector(3), {1, 2, 3});
+  EXPECT_TRUE(std::isinf(psnr(a, a, 1.0)));
+}
+
+TEST(Ops, PsnrKnownValue) {
+  const Tensor a(Shape::vector(1), {0.0f});
+  const Tensor b(Shape::vector(1), {0.1f});
+  // MSE = 0.01, peak = 1 -> PSNR = 10*log10(1/0.01) = 20 dB.
+  EXPECT_NEAR(psnr(a, b, 1.0), 20.0, 1e-4);
+}
+
+TEST(Ops, MaxAbsErrorFindsWorstElement) {
+  const Tensor a(Shape::vector(3), {1, 2, 3});
+  const Tensor b(Shape::vector(3), {1.1f, 1.0f, 3.05f});
+  EXPECT_NEAR(max_abs_error(a, b), 1.0, 1e-6);
+}
+
+TEST(Ops, AllcloseRespectsTolerance) {
+  const Tensor a(Shape::vector(2), {1.0f, 2.0f});
+  const Tensor b(Shape::vector(2), {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(allclose(a, b, 1e-5));
+  EXPECT_FALSE(allclose(a, b, 1e-9));
+}
+
+TEST(Ops, AllcloseDifferentShapesIsFalse) {
+  EXPECT_FALSE(allclose(Tensor(Shape::vector(2)), Tensor(Shape::vector(3))));
+}
+
+}  // namespace
+}  // namespace aic::tensor

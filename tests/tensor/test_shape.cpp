@@ -1,0 +1,67 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aic::tensor {
+namespace {
+
+TEST(Shape, ScalarHasRankZeroAndOneElement) {
+  const Shape s = Shape::scalar();
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1u);
+}
+
+TEST(Shape, VectorAndMatrixFactories) {
+  EXPECT_EQ(Shape::vector(5).rank(), 1u);
+  EXPECT_EQ(Shape::vector(5).numel(), 5u);
+  const Shape m = Shape::matrix(3, 4);
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_EQ(m[0], 3u);
+  EXPECT_EQ(m[1], 4u);
+  EXPECT_EQ(m.numel(), 12u);
+}
+
+TEST(Shape, BchwFactory) {
+  const Shape s = Shape::bchw(2, 3, 32, 32);
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.numel(), 2u * 3u * 32u * 32u);
+}
+
+TEST(Shape, StridesAreRowMajor) {
+  const Shape s = Shape::bchw(2, 3, 4, 5);
+  const auto strides = s.strides();
+  EXPECT_EQ(strides[3], 1u);
+  EXPECT_EQ(strides[2], 5u);
+  EXPECT_EQ(strides[1], 20u);
+  EXPECT_EQ(strides[0], 60u);
+}
+
+TEST(Shape, EqualityComparesRankAndDims) {
+  EXPECT_EQ(Shape::matrix(2, 3), Shape::matrix(2, 3));
+  EXPECT_NE(Shape::matrix(2, 3), Shape::matrix(3, 2));
+  EXPECT_NE(Shape::vector(6), Shape::matrix(2, 3));
+  EXPECT_EQ(Shape::scalar(), Shape::scalar());
+}
+
+TEST(Shape, ZeroDimensionGivesZeroNumel) {
+  EXPECT_EQ(Shape({4, 0, 2}).numel(), 0u);
+}
+
+TEST(Shape, ToStringFormatsDims) {
+  EXPECT_EQ(Shape::matrix(2, 3).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape::scalar().to_string(), "[]");
+}
+
+TEST(Shape, RankAboveMaxThrows) {
+  EXPECT_THROW(Shape({1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST(Shape, OutOfRangeAxisThrows) {
+  const Shape s = Shape::matrix(2, 3);
+  EXPECT_THROW((void)s[2], std::out_of_range);
+}
+
+}  // namespace
+}  // namespace aic::tensor

@@ -1,0 +1,135 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+
+namespace aic::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, ConstructZeroFilled) {
+  Tensor t(Shape::matrix(3, 4));
+  EXPECT_EQ(t.numel(), 12u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ConstructFromValuesChecksCount) {
+  EXPECT_NO_THROW(Tensor(Shape::vector(3), {1.0f, 2.0f, 3.0f}));
+  EXPECT_THROW(Tensor(Shape::vector(3), {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full(Shape::matrix(2, 2), 7.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 7.5f);
+}
+
+TEST(Tensor, IdentityHasOnesOnDiagonal) {
+  const Tensor eye = Tensor::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(eye.at(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(Tensor, IotaCountsUp) {
+  const Tensor t = Tensor::iota(Shape::vector(5));
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(t.at(i), static_cast<float>(i));
+}
+
+TEST(Tensor, UniformRespectsBounds) {
+  runtime::Rng rng(1);
+  const Tensor t = Tensor::uniform(Shape::matrix(20, 20), rng, -2.0f, 3.0f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Tensor, At2dRowMajor) {
+  Tensor t(Shape::matrix(2, 3));
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t.at(5), 9.0f);
+}
+
+TEST(Tensor, At2dRequiresRank2) {
+  Tensor t(Shape::vector(4));
+  EXPECT_THROW(t.at(0, 0), std::logic_error);
+}
+
+TEST(Tensor, At4dBchwLayout) {
+  Tensor t(Shape::bchw(2, 3, 4, 5));
+  t.at(1, 2, 3, 4) = 5.0f;
+  // flat = ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_EQ(t.at(119), 5.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  const Tensor t = Tensor::iota(Shape::matrix(2, 6));
+  const Tensor r = t.reshaped(Shape::bchw(1, 3, 2, 2));
+  EXPECT_EQ(r.shape(), Shape::bchw(1, 3, 2, 2));
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(r.at(i), t.at(i));
+}
+
+TEST(Tensor, ReshapedRejectsNumelMismatch) {
+  const Tensor t = Tensor::iota(Shape::matrix(2, 6));
+  EXPECT_THROW(t.reshaped(Shape::matrix(5, 2)), std::invalid_argument);
+}
+
+TEST(Tensor, TransposedSwapsAxes) {
+  const Tensor t = Tensor::iota(Shape::matrix(2, 3));
+  const Tensor tt = t.transposed();
+  EXPECT_EQ(tt.shape(), Shape::matrix(3, 2));
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(t.at(r, c), tt.at(c, r));
+    }
+  }
+}
+
+TEST(Tensor, TransposeIsInvolution) {
+  runtime::Rng rng(4);
+  const Tensor t = Tensor::uniform(Shape::matrix(7, 5), rng);
+  const Tensor back = t.transposed().transposed();
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), back.at(i));
+}
+
+TEST(Tensor, SlicePlaneExtractsChannel) {
+  Tensor t(Shape::bchw(2, 2, 3, 3));
+  t.at(1, 0, 2, 1) = 42.0f;
+  const Tensor plane = t.slice_plane(1, 0);
+  EXPECT_EQ(plane.shape(), Shape::matrix(3, 3));
+  EXPECT_EQ(plane.at(2, 1), 42.0f);
+}
+
+TEST(Tensor, SetPlaneRoundTrips) {
+  Tensor t(Shape::bchw(2, 3, 4, 4));
+  Tensor plane(Shape::matrix(4, 4));
+  plane.fill(3.25f);
+  t.set_plane(1, 2, plane);
+  const Tensor out = t.slice_plane(1, 2);
+  for (float v : out.data()) EXPECT_EQ(v, 3.25f);
+  // Other planes untouched.
+  EXPECT_EQ(t.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, SetPlaneChecksShape) {
+  Tensor t(Shape::bchw(1, 1, 4, 4));
+  Tensor wrong(Shape::matrix(3, 3));
+  EXPECT_THROW(t.set_plane(0, 0, wrong), std::invalid_argument);
+}
+
+TEST(Tensor, SizeBytesIsFourPerElement) {
+  Tensor t(Shape::matrix(8, 8));
+  EXPECT_EQ(t.size_bytes(), 64u * 4u);
+}
+
+}  // namespace
+}  // namespace aic::tensor

@@ -1,0 +1,13 @@
+// The aicomp command-line tool: generate, compress, decompress, inspect
+// and evaluate tensors with the DCT+Chop codec family. See cli/cli.hpp.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return aic::cli::run_cli(args, std::cout, std::cerr);
+}
