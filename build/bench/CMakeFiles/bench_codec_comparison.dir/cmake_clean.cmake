@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec_comparison.dir/bench_codec_comparison.cpp.o"
+  "CMakeFiles/bench_codec_comparison.dir/bench_codec_comparison.cpp.o.d"
+  "bench_codec_comparison"
+  "bench_codec_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_resolution.dir/bench_fig10_11_resolution.cpp.o"
+  "CMakeFiles/bench_fig10_11_resolution.dir/bench_fig10_11_resolution.cpp.o.d"
+  "bench_fig10_11_resolution"
+  "bench_fig10_11_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_gpu.dir/bench_fig14_gpu.cpp.o"
+  "CMakeFiles/bench_fig14_gpu.dir/bench_fig14_gpu.cpp.o.d"
+  "bench_fig14_gpu"
+  "bench_fig14_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_partial_serialization.dir/bench_fig15_partial_serialization.cpp.o"
+  "CMakeFiles/bench_fig15_partial_serialization.dir/bench_fig15_partial_serialization.cpp.o.d"
+  "bench_fig15_partial_serialization"
+  "bench_fig15_partial_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_partial_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

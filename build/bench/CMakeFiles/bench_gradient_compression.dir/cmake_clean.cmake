@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gradient_compression.dir/bench_gradient_compression.cpp.o"
+  "CMakeFiles/bench_gradient_compression.dir/bench_gradient_compression.cpp.o.d"
+  "bench_gradient_compression"
+  "bench_gradient_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gradient_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

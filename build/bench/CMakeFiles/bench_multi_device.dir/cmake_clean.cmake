@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_device.dir/bench_multi_device.cpp.o"
+  "CMakeFiles/bench_multi_device.dir/bench_multi_device.cpp.o.d"
+  "bench_multi_device"
+  "bench_multi_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

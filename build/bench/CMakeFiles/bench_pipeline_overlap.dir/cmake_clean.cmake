@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_overlap.dir/bench_pipeline_overlap.cpp.o"
+  "CMakeFiles/bench_pipeline_overlap.dir/bench_pipeline_overlap.cpp.o.d"
+  "bench_pipeline_overlap"
+  "bench_pipeline_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_portability_audit.dir/bench_portability_audit.cpp.o"
+  "CMakeFiles/bench_portability_audit.dir/bench_portability_audit.cpp.o.d"
+  "bench_portability_audit"
+  "bench_portability_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portability_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_portability.dir/accelerator_portability.cpp.o"
+  "CMakeFiles/accelerator_portability.dir/accelerator_portability.cpp.o.d"
+  "accelerator_portability"
+  "accelerator_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

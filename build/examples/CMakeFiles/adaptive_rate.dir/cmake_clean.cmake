@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_rate.dir/adaptive_rate.cpp.o"
+  "CMakeFiles/adaptive_rate.dir/adaptive_rate.cpp.o.d"
+  "adaptive_rate"
+  "adaptive_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

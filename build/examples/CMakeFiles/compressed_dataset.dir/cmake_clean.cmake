@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_dataset.dir/compressed_dataset.cpp.o"
+  "CMakeFiles/compressed_dataset.dir/compressed_dataset.cpp.o.d"
+  "compressed_dataset"
+  "compressed_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

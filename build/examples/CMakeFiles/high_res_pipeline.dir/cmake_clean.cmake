@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/high_res_pipeline.dir/high_res_pipeline.cpp.o"
+  "CMakeFiles/high_res_pipeline.dir/high_res_pipeline.cpp.o.d"
+  "high_res_pipeline"
+  "high_res_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/high_res_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_with_compression.dir/train_with_compression.cpp.o"
+  "CMakeFiles/train_with_compression.dir/train_with_compression.cpp.o.d"
+  "train_with_compression"
+  "train_with_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_with_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

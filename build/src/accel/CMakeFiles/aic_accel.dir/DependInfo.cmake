@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cpp" "src/accel/CMakeFiles/aic_accel.dir/accelerator.cpp.o" "gcc" "src/accel/CMakeFiles/aic_accel.dir/accelerator.cpp.o.d"
+  "/root/repo/src/accel/cost_model.cpp" "src/accel/CMakeFiles/aic_accel.dir/cost_model.cpp.o" "gcc" "src/accel/CMakeFiles/aic_accel.dir/cost_model.cpp.o.d"
+  "/root/repo/src/accel/registry.cpp" "src/accel/CMakeFiles/aic_accel.dir/registry.cpp.o" "gcc" "src/accel/CMakeFiles/aic_accel.dir/registry.cpp.o.d"
+  "/root/repo/src/accel/scaling.cpp" "src/accel/CMakeFiles/aic_accel.dir/scaling.cpp.o" "gcc" "src/accel/CMakeFiles/aic_accel.dir/scaling.cpp.o.d"
+  "/root/repo/src/accel/spec.cpp" "src/accel/CMakeFiles/aic_accel.dir/spec.cpp.o" "gcc" "src/accel/CMakeFiles/aic_accel.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/aic_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aic_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_accel.dir/accelerator.cpp.o"
+  "CMakeFiles/aic_accel.dir/accelerator.cpp.o.d"
+  "CMakeFiles/aic_accel.dir/cost_model.cpp.o"
+  "CMakeFiles/aic_accel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/aic_accel.dir/registry.cpp.o"
+  "CMakeFiles/aic_accel.dir/registry.cpp.o.d"
+  "CMakeFiles/aic_accel.dir/scaling.cpp.o"
+  "CMakeFiles/aic_accel.dir/scaling.cpp.o.d"
+  "CMakeFiles/aic_accel.dir/spec.cpp.o"
+  "CMakeFiles/aic_accel.dir/spec.cpp.o.d"
+  "libaic_accel.a"
+  "libaic_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

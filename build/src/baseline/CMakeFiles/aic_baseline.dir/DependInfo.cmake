@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bitstream.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/bitstream.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/bitstream.cpp.o.d"
+  "/root/repo/src/baseline/color_quant.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/color_quant.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/color_quant.cpp.o.d"
+  "/root/repo/src/baseline/huffman.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/huffman.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/huffman.cpp.o.d"
+  "/root/repo/src/baseline/jpeg_codec.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/jpeg_codec.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/jpeg_codec.cpp.o.d"
+  "/root/repo/src/baseline/quant_tables.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/quant_tables.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/quant_tables.cpp.o.d"
+  "/root/repo/src/baseline/rle.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/rle.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/rle.cpp.o.d"
+  "/root/repo/src/baseline/sz_like.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/sz_like.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/sz_like.cpp.o.d"
+  "/root/repo/src/baseline/zfp_like.cpp" "src/baseline/CMakeFiles/aic_baseline.dir/zfp_like.cpp.o" "gcc" "src/baseline/CMakeFiles/aic_baseline.dir/zfp_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aic_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

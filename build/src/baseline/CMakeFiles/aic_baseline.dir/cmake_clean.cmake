@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_baseline.dir/bitstream.cpp.o"
+  "CMakeFiles/aic_baseline.dir/bitstream.cpp.o.d"
+  "CMakeFiles/aic_baseline.dir/color_quant.cpp.o"
+  "CMakeFiles/aic_baseline.dir/color_quant.cpp.o.d"
+  "CMakeFiles/aic_baseline.dir/huffman.cpp.o"
+  "CMakeFiles/aic_baseline.dir/huffman.cpp.o.d"
+  "CMakeFiles/aic_baseline.dir/jpeg_codec.cpp.o"
+  "CMakeFiles/aic_baseline.dir/jpeg_codec.cpp.o.d"
+  "CMakeFiles/aic_baseline.dir/quant_tables.cpp.o"
+  "CMakeFiles/aic_baseline.dir/quant_tables.cpp.o.d"
+  "CMakeFiles/aic_baseline.dir/rle.cpp.o"
+  "CMakeFiles/aic_baseline.dir/rle.cpp.o.d"
+  "CMakeFiles/aic_baseline.dir/sz_like.cpp.o"
+  "CMakeFiles/aic_baseline.dir/sz_like.cpp.o.d"
+  "CMakeFiles/aic_baseline.dir/zfp_like.cpp.o"
+  "CMakeFiles/aic_baseline.dir/zfp_like.cpp.o.d"
+  "libaic_baseline.a"
+  "libaic_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

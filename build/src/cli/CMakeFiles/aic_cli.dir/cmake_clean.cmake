@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_cli.dir/archive.cpp.o"
+  "CMakeFiles/aic_cli.dir/archive.cpp.o.d"
+  "CMakeFiles/aic_cli.dir/cli.cpp.o"
+  "CMakeFiles/aic_cli.dir/cli.cpp.o.d"
+  "libaic_cli.a"
+  "libaic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chop.cpp" "src/core/CMakeFiles/aic_core.dir/chop.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/chop.cpp.o.d"
+  "/root/repo/src/core/dct.cpp" "src/core/CMakeFiles/aic_core.dir/dct.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/dct.cpp.o.d"
+  "/root/repo/src/core/dct_chop.cpp" "src/core/CMakeFiles/aic_core.dir/dct_chop.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/dct_chop.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/aic_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/partial_serializer.cpp" "src/core/CMakeFiles/aic_core.dir/partial_serializer.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/partial_serializer.cpp.o.d"
+  "/root/repo/src/core/rate_control.cpp" "src/core/CMakeFiles/aic_core.dir/rate_control.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/rate_control.cpp.o.d"
+  "/root/repo/src/core/transforms.cpp" "src/core/CMakeFiles/aic_core.dir/transforms.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/transforms.cpp.o.d"
+  "/root/repo/src/core/triangle.cpp" "src/core/CMakeFiles/aic_core.dir/triangle.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/triangle.cpp.o.d"
+  "/root/repo/src/core/zigzag.cpp" "src/core/CMakeFiles/aic_core.dir/zigzag.cpp.o" "gcc" "src/core/CMakeFiles/aic_core.dir/zigzag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/aic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aic_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

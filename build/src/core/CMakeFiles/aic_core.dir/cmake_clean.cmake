@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_core.dir/chop.cpp.o"
+  "CMakeFiles/aic_core.dir/chop.cpp.o.d"
+  "CMakeFiles/aic_core.dir/dct.cpp.o"
+  "CMakeFiles/aic_core.dir/dct.cpp.o.d"
+  "CMakeFiles/aic_core.dir/dct_chop.cpp.o"
+  "CMakeFiles/aic_core.dir/dct_chop.cpp.o.d"
+  "CMakeFiles/aic_core.dir/metrics.cpp.o"
+  "CMakeFiles/aic_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/aic_core.dir/partial_serializer.cpp.o"
+  "CMakeFiles/aic_core.dir/partial_serializer.cpp.o.d"
+  "CMakeFiles/aic_core.dir/rate_control.cpp.o"
+  "CMakeFiles/aic_core.dir/rate_control.cpp.o.d"
+  "CMakeFiles/aic_core.dir/transforms.cpp.o"
+  "CMakeFiles/aic_core.dir/transforms.cpp.o.d"
+  "CMakeFiles/aic_core.dir/triangle.cpp.o"
+  "CMakeFiles/aic_core.dir/triangle.cpp.o.d"
+  "CMakeFiles/aic_core.dir/zigzag.cpp.o"
+  "CMakeFiles/aic_core.dir/zigzag.cpp.o.d"
+  "libaic_core.a"
+  "libaic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaic_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_data.dir/benchmarks.cpp.o"
+  "CMakeFiles/aic_data.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/aic_data.dir/datasets.cpp.o"
+  "CMakeFiles/aic_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/aic_data.dir/synth.cpp.o"
+  "CMakeFiles/aic_data.dir/synth.cpp.o.d"
+  "libaic_data.a"
+  "libaic_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builders.cpp" "src/graph/CMakeFiles/aic_graph.dir/builders.cpp.o" "gcc" "src/graph/CMakeFiles/aic_graph.dir/builders.cpp.o.d"
+  "/root/repo/src/graph/executor.cpp" "src/graph/CMakeFiles/aic_graph.dir/executor.cpp.o" "gcc" "src/graph/CMakeFiles/aic_graph.dir/executor.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/aic_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/aic_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/op.cpp" "src/graph/CMakeFiles/aic_graph.dir/op.cpp.o" "gcc" "src/graph/CMakeFiles/aic_graph.dir/op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aic_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_graph.dir/builders.cpp.o"
+  "CMakeFiles/aic_graph.dir/builders.cpp.o.d"
+  "CMakeFiles/aic_graph.dir/executor.cpp.o"
+  "CMakeFiles/aic_graph.dir/executor.cpp.o.d"
+  "CMakeFiles/aic_graph.dir/graph.cpp.o"
+  "CMakeFiles/aic_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/aic_graph.dir/op.cpp.o"
+  "CMakeFiles/aic_graph.dir/op.cpp.o.d"
+  "libaic_graph.a"
+  "libaic_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

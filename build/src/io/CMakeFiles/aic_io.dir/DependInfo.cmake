@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/aic_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/aic_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/aic_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/aic_io.dir/table.cpp.o.d"
+  "/root/repo/src/io/tensor_io.cpp" "src/io/CMakeFiles/aic_io.dir/tensor_io.cpp.o" "gcc" "src/io/CMakeFiles/aic_io.dir/tensor_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/aic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aic_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_io.dir/csv.cpp.o"
+  "CMakeFiles/aic_io.dir/csv.cpp.o.d"
+  "CMakeFiles/aic_io.dir/table.cpp.o"
+  "CMakeFiles/aic_io.dir/table.cpp.o.d"
+  "CMakeFiles/aic_io.dir/tensor_io.cpp.o"
+  "CMakeFiles/aic_io.dir/tensor_io.cpp.o.d"
+  "libaic_io.a"
+  "libaic_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/container.cpp" "src/nn/CMakeFiles/aic_nn.dir/container.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/container.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/aic_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/distributed.cpp" "src/nn/CMakeFiles/aic_nn.dir/distributed.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/distributed.cpp.o.d"
+  "/root/repo/src/nn/gradient_compression.cpp" "src/nn/CMakeFiles/aic_nn.dir/gradient_compression.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/gradient_compression.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/aic_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/layers_extra.cpp" "src/nn/CMakeFiles/aic_nn.dir/layers_extra.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/layers_extra.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/aic_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/aic_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/aic_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/aic_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/aic_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/unet.cpp" "src/nn/CMakeFiles/aic_nn.dir/unet.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/unet.cpp.o.d"
+  "/root/repo/src/nn/weight_quantization.cpp" "src/nn/CMakeFiles/aic_nn.dir/weight_quantization.cpp.o" "gcc" "src/nn/CMakeFiles/aic_nn.dir/weight_quantization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aic_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

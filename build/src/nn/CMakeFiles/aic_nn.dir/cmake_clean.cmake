@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_nn.dir/container.cpp.o"
+  "CMakeFiles/aic_nn.dir/container.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/aic_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/distributed.cpp.o"
+  "CMakeFiles/aic_nn.dir/distributed.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/gradient_compression.cpp.o"
+  "CMakeFiles/aic_nn.dir/gradient_compression.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/layer.cpp.o"
+  "CMakeFiles/aic_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/layers_extra.cpp.o"
+  "CMakeFiles/aic_nn.dir/layers_extra.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/loss.cpp.o"
+  "CMakeFiles/aic_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/models.cpp.o"
+  "CMakeFiles/aic_nn.dir/models.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/norm.cpp.o"
+  "CMakeFiles/aic_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/aic_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/trainer.cpp.o"
+  "CMakeFiles/aic_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/unet.cpp.o"
+  "CMakeFiles/aic_nn.dir/unet.cpp.o.d"
+  "CMakeFiles/aic_nn.dir/weight_quantization.cpp.o"
+  "CMakeFiles/aic_nn.dir/weight_quantization.cpp.o.d"
+  "libaic_nn.a"
+  "libaic_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

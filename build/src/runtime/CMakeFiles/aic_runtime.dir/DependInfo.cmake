@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/env.cpp" "src/runtime/CMakeFiles/aic_runtime.dir/env.cpp.o" "gcc" "src/runtime/CMakeFiles/aic_runtime.dir/env.cpp.o.d"
+  "/root/repo/src/runtime/logging.cpp" "src/runtime/CMakeFiles/aic_runtime.dir/logging.cpp.o" "gcc" "src/runtime/CMakeFiles/aic_runtime.dir/logging.cpp.o.d"
+  "/root/repo/src/runtime/parallel_for.cpp" "src/runtime/CMakeFiles/aic_runtime.dir/parallel_for.cpp.o" "gcc" "src/runtime/CMakeFiles/aic_runtime.dir/parallel_for.cpp.o.d"
+  "/root/repo/src/runtime/rng.cpp" "src/runtime/CMakeFiles/aic_runtime.dir/rng.cpp.o" "gcc" "src/runtime/CMakeFiles/aic_runtime.dir/rng.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/runtime/CMakeFiles/aic_runtime.dir/thread_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/aic_runtime.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_runtime.dir/env.cpp.o"
+  "CMakeFiles/aic_runtime.dir/env.cpp.o.d"
+  "CMakeFiles/aic_runtime.dir/logging.cpp.o"
+  "CMakeFiles/aic_runtime.dir/logging.cpp.o.d"
+  "CMakeFiles/aic_runtime.dir/parallel_for.cpp.o"
+  "CMakeFiles/aic_runtime.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/aic_runtime.dir/rng.cpp.o"
+  "CMakeFiles/aic_runtime.dir/rng.cpp.o.d"
+  "CMakeFiles/aic_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/aic_runtime.dir/thread_pool.cpp.o.d"
+  "libaic_runtime.a"
+  "libaic_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aic_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/aic_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/aic_tensor.dir/matmul.cpp.o"
+  "CMakeFiles/aic_tensor.dir/matmul.cpp.o.d"
+  "CMakeFiles/aic_tensor.dir/ops.cpp.o"
+  "CMakeFiles/aic_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/aic_tensor.dir/shape.cpp.o"
+  "CMakeFiles/aic_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/aic_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/aic_tensor.dir/tensor.cpp.o.d"
+  "libaic_tensor.a"
+  "libaic_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aic_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/accel/test_accelerator.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_accelerator.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_compile.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_compile.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_cost_model.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_scaling.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_scaling.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_spec.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_spec.cpp.o.d"
+  "test_accel"
+  "test_accel.pdb"
+  "test_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline.dir/baseline/test_bitstream.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_bitstream.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_color_quant.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_color_quant.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_huffman.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_huffman.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_jpeg.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_jpeg.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_rle.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_rle.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_sz_like.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_sz_like.cpp.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_zfp_like.cpp.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_zfp_like.cpp.o.d"
+  "test_baseline"
+  "test_baseline.pdb"
+  "test_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_chop.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_chop.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_codec_grid.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_codec_grid.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dct.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dct.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dct_chop.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dct_chop.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_partial_serializer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_partial_serializer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rate_control.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rate_control.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_transforms.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_transforms.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_triangle.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_triangle.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_zigzag.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_zigzag.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

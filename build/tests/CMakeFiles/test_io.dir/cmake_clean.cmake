@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/test_io.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_io.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_tensor_io.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_tensor_io.cpp.o.d"
+  "test_io"
+  "test_io.pdb"
+  "test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

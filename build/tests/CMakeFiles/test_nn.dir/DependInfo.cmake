@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_compressed_activation.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_compressed_activation.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_compressed_activation.cpp.o.d"
+  "/root/repo/tests/nn/test_conv2d.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o.d"
+  "/root/repo/tests/nn/test_distributed.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_distributed.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_layers_extra.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers_extra.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers_extra.cpp.o.d"
+  "/root/repo/tests/nn/test_loss_optim.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_loss_optim.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_loss_optim.cpp.o.d"
+  "/root/repo/tests/nn/test_norm_container.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_norm_container.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_norm_container.cpp.o.d"
+  "/root/repo/tests/nn/test_trainer.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o.d"
+  "/root/repo/tests/nn/test_weight_quantization.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_weight_quantization.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_weight_quantization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/aic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/aic_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aic_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/aic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/aic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/aic_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/aic_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_compressed_activation.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_compressed_activation.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_conv2d.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_distributed.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_distributed.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers_extra.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers_extra.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_loss_optim.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_loss_optim.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_norm_container.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_norm_container.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_weight_quantization.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_weight_quantization.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

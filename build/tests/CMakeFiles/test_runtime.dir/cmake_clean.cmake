@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_aligned_buffer.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_aligned_buffer.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_env.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_env.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_parallel_for.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_parallel_for.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_rng.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_rng.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_timer.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_timer.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/test_dtype.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_dtype.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_matmul.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_matmul.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_shape.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_shape.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

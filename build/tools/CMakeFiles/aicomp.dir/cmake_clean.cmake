@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aicomp.dir/aicomp_main.cpp.o"
+  "CMakeFiles/aicomp.dir/aicomp_main.cpp.o.d"
+  "aicomp"
+  "aicomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aicomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
