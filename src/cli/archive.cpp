@@ -46,7 +46,8 @@ core::CodecPtr make_archive_codec(const Archive& archive) {
 
 Archive compress_to_archive(const Tensor& input, std::size_t cf,
                             std::size_t block,
-                            core::TransformKind transform, bool triangle) {
+                            core::TransformKind transform, bool triangle,
+                            core::CodecPtr* codec_out) {
   if (input.shape().rank() != 4) {
     throw std::invalid_argument("archive: input must be BCHW");
   }
@@ -58,7 +59,9 @@ Archive compress_to_archive(const Tensor& input, std::size_t cf,
                     .block = block,
                     .transform = transform};
   archive.original_shape = input.shape();
-  archive.packed = make_archive_codec(archive)->compress(input);
+  const core::CodecPtr codec = make_archive_codec(archive);
+  archive.packed = codec->compress(input);
+  if (codec_out != nullptr) *codec_out = codec;
   return archive;
 }
 

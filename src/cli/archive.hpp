@@ -25,10 +25,13 @@ struct Archive {
 /// Builds the codec an archive describes.
 core::CodecPtr make_archive_codec(const Archive& archive);
 
-/// Compresses `input` (BCHW) and assembles the archive in memory.
+/// Compresses `input` (BCHW) and assembles the archive in memory. When
+/// `codec_out` is non-null it receives the codec instance that performed
+/// the compression (so its CodecStats can be inspected afterwards).
 Archive compress_to_archive(const tensor::Tensor& input, std::size_t cf,
                             std::size_t block, core::TransformKind transform,
-                            bool triangle);
+                            bool triangle,
+                            core::CodecPtr* codec_out = nullptr);
 
 std::string serialize_archive(const Archive& archive);
 Archive deserialize_archive(const std::string& bytes);

@@ -22,6 +22,7 @@ struct Options {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
   bool triangle = false;
+  bool stats = false;
 };
 
 Options parse(const std::vector<std::string>& args, std::size_t start) {
@@ -30,6 +31,8 @@ Options parse(const std::vector<std::string>& args, std::size_t start) {
     const std::string& arg = args[i];
     if (arg == "--triangle") {
       options.triangle = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
     } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= args.size()) {
         throw std::invalid_argument("missing value for " + arg);
@@ -62,12 +65,31 @@ int usage(std::ostream& err) {
   err << "usage:\n"
          "  aicomp gen <out.aict> [--batch B --channels C --res N --seed S]\n"
          "  aicomp compress <in.aict> <out.aicz> [--cf N --block B "
-         "--transform dct|wht|dst2 --triangle]\n"
-         "  aicomp decompress <in.aicz> <out.aict>\n"
+         "--transform dct|wht|dst2 --triangle --stats]\n"
+         "  aicomp decompress <in.aicz> <out.aict> [--stats]\n"
          "  aicomp info <file>\n"
          "  aicomp eval <in.aict> [--cf N --block B --transform ... "
-         "--triangle]\n";
+         "--triangle --stats]\n"
+         "\n"
+         "  --stats prints per-codec counters (calls, planes, Eq. 5/7\n"
+         "  FLOPs, bytes, wall time) after the operation.\n";
   return 2;
+}
+
+void print_op_stats(std::ostream& out, const char* label,
+                    const core::CodecOpStats& op) {
+  if (op.calls == 0) return;
+  out << "  " << label << ": calls=" << op.calls << " planes=" << op.planes
+      << " eq_flops=" << op.flops << " bytes " << op.bytes_in << " -> "
+      << op.bytes_out << " in " << op.seconds << " s ("
+      << op.gflops_per_second() << " GFLOP/s)\n";
+}
+
+void print_stats(std::ostream& out, const core::Codec& codec) {
+  const core::CodecStatsSnapshot snap = codec.stats().snapshot();
+  out << "stats[" << codec.name() << "]:\n";
+  print_op_stats(out, "compress", snap.compress);
+  print_op_stats(out, "decompress", snap.decompress);
 }
 
 int cmd_gen(const Options& options, std::ostream& out) {
@@ -98,14 +120,15 @@ int cmd_compress(const Options& options, std::ostream& out) {
     throw std::invalid_argument("compress: expected <in.aict> <out.aicz>");
   }
   const Tensor input = io::load_tensor(options.positional[0]);
+  core::CodecPtr codec;
   const Archive archive = compress_to_archive(
       input, flag_size(options, "cf", 4), flag_size(options, "block", 8),
-      flag_transform(options), options.triangle);
+      flag_transform(options), options.triangle, &codec);
   save_archive(archive, options.positional[1]);
-  const auto codec = make_archive_codec(archive);
   out << codec->name() << ": " << input.size_bytes() << " -> "
       << archive.packed.size_bytes() << " bytes (CR "
       << codec->compression_ratio() << ")\n";
+  if (options.stats) print_stats(out, *codec);
   return 0;
 }
 
@@ -114,11 +137,13 @@ int cmd_decompress(const Options& options, std::ostream& out) {
     throw std::invalid_argument("decompress: expected <in.aicz> <out.aict>");
   }
   const Archive archive = load_archive(options.positional[0]);
-  const Tensor restored = make_archive_codec(archive)->decompress(
-      archive.packed, archive.original_shape);
+  const core::CodecPtr codec = make_archive_codec(archive);
+  const Tensor restored =
+      codec->decompress(archive.packed, archive.original_shape);
   io::save_tensor(restored, options.positional[1]);
   out << "restored " << restored.shape().to_string() << " to "
       << options.positional[1] << "\n";
+  if (options.stats) print_stats(out, *codec);
   return 0;
 }
 
@@ -159,6 +184,7 @@ int cmd_eval(const Options& options, std::ostream& out) {
   out << codec->name() << ": CR=" << rd.compression_ratio
       << " MSE=" << rd.mse << " PSNR=" << rd.psnr_db
       << " dB max|err|=" << rd.max_abs_error << "\n";
+  if (options.stats) print_stats(out, *codec);
   return 0;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "core/codec_stats.hpp"
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
 
@@ -43,6 +44,15 @@ class Codec {
   tensor::Tensor round_trip(const tensor::Tensor& input) const {
     return decompress(compress(input), input.shape());
   }
+
+  /// Cumulative per-codec counters (calls, planes, Eq. 5/7 FLOPs, bytes,
+  /// wall time). Instrumented codecs update these inside compress /
+  /// decompress; the reference returned is mutable so callers can reset
+  /// between measurement windows.
+  CodecStats& stats() const noexcept { return stats_; }
+
+ protected:
+  mutable CodecStats stats_;
 };
 
 using CodecPtr = std::shared_ptr<const Codec>;

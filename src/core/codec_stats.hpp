@@ -1,0 +1,115 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace aic::core {
+
+/// Counters for one codec direction (compress or decompress).
+struct CodecOpStats {
+  std::uint64_t calls = 0;
+  /// (batch × channel) planes processed — the §3.2 parallelism unit.
+  std::uint64_t planes = 0;
+  /// Closed-form FLOPs of the two-matmul pipeline (Eq. 5 / Eq. 7).
+  std::uint64_t flops = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  double seconds = 0.0;
+
+  double gflops_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(flops) / seconds / 1e9 : 0.0;
+  }
+  /// Throughput over the input side of the direction, GB/s.
+  double gigabytes_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(bytes_in) / seconds / 1e9
+                         : 0.0;
+  }
+};
+
+/// Point-in-time copy of a codec's counters.
+struct CodecStatsSnapshot {
+  CodecOpStats compress;
+  CodecOpStats decompress;
+
+  double seconds() const { return compress.seconds + decompress.seconds; }
+  std::uint64_t flops() const { return compress.flops + decompress.flops; }
+  std::uint64_t planes() const { return compress.planes + decompress.planes; }
+};
+
+/// Thread-safe cumulative counters a codec updates on every compress /
+/// decompress call. Cheap enough to stay on permanently: two relaxed
+/// atomic adds per field per call, no locks on the plane hot path.
+class CodecStats {
+ public:
+  void record_compress(std::uint64_t planes, std::uint64_t flops,
+                       std::uint64_t bytes_in, std::uint64_t bytes_out,
+                       double seconds) noexcept {
+    record(compress_, planes, flops, bytes_in, bytes_out, seconds);
+  }
+
+  void record_decompress(std::uint64_t planes, std::uint64_t flops,
+                         std::uint64_t bytes_in, std::uint64_t bytes_out,
+                         double seconds) noexcept {
+    record(decompress_, planes, flops, bytes_in, bytes_out, seconds);
+  }
+
+  CodecStatsSnapshot snapshot() const noexcept {
+    CodecStatsSnapshot out;
+    load(compress_, out.compress);
+    load(decompress_, out.decompress);
+    return out;
+  }
+
+  void reset() noexcept {
+    clear(compress_);
+    clear(decompress_);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> planes{0};
+    std::atomic<std::uint64_t> flops{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    /// Wall time in nanoseconds (integer so plain fetch_add suffices).
+    std::atomic<std::uint64_t> nanos{0};
+  };
+
+  static void record(Cell& cell, std::uint64_t planes, std::uint64_t flops,
+                     std::uint64_t bytes_in, std::uint64_t bytes_out,
+                     double seconds) noexcept {
+    cell.calls.fetch_add(1, std::memory_order_relaxed);
+    cell.planes.fetch_add(planes, std::memory_order_relaxed);
+    cell.flops.fetch_add(flops, std::memory_order_relaxed);
+    cell.bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
+    cell.bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
+    cell.nanos.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+  }
+
+  static void load(const Cell& cell, CodecOpStats& out) noexcept {
+    out.calls = cell.calls.load(std::memory_order_relaxed);
+    out.planes = cell.planes.load(std::memory_order_relaxed);
+    out.flops = cell.flops.load(std::memory_order_relaxed);
+    out.bytes_in = cell.bytes_in.load(std::memory_order_relaxed);
+    out.bytes_out = cell.bytes_out.load(std::memory_order_relaxed);
+    out.seconds = static_cast<double>(cell.nanos.load(
+                      std::memory_order_relaxed)) /
+                  1e9;
+  }
+
+  static void clear(Cell& cell) noexcept {
+    cell.calls.store(0, std::memory_order_relaxed);
+    cell.planes.store(0, std::memory_order_relaxed);
+    cell.flops.store(0, std::memory_order_relaxed);
+    cell.bytes_in.store(0, std::memory_order_relaxed);
+    cell.bytes_out.store(0, std::memory_order_relaxed);
+    cell.nanos.store(0, std::memory_order_relaxed);
+  }
+
+  Cell compress_;
+  Cell decompress_;
+};
+
+}  // namespace aic::core

@@ -3,10 +3,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/timer.hpp"
 #include "tensor/matmul.hpp"
 
 namespace aic::core {
 
+using tensor::BandedSpec;
 using tensor::Shape;
 using tensor::Tensor;
 
@@ -24,6 +26,21 @@ DctChopCodec::DctChopCodec(DctChopConfig config) : config_(config) {
   rhs_w_ = make_rhs(c.width, c.cf, c.block, c.transform);
   lhs_w_ = make_lhs(c.width, c.cf, c.block, c.transform);
   rhs_h_ = make_rhs(c.height, c.cf, c.block, c.transform);
+
+  // Chop operators are block-banded by construction (Fig. 4): LHS keeps
+  // CF rows per 8-column block, RHS = LHSᵀ. Verify once at "compile time"
+  // and hand the structure to the sandwich kernel; an operator that ever
+  // stops matching simply runs on the dense path.
+  const BandedSpec lhs_spec{c.cf, c.block};  // (CF·n/8)×n shaped operators
+  const BandedSpec rhs_spec{c.block, c.cf};  // n×(CF·n/8) shaped operators
+  if (tensor::is_block_banded(lhs_h_, lhs_spec) &&
+      tensor::is_block_banded(rhs_w_, rhs_spec)) {
+    compress_bands_ = {.lhs_bands = lhs_spec, .rhs_bands = rhs_spec};
+  }
+  if (tensor::is_block_banded(rhs_h_, rhs_spec) &&
+      tensor::is_block_banded(lhs_w_, lhs_spec)) {
+    decompress_bands_ = {.lhs_bands = rhs_spec, .rhs_bands = lhs_spec};
+  }
 }
 
 std::string DctChopCodec::name() const {
@@ -52,19 +69,37 @@ Shape DctChopCodec::compressed_shape(const Shape& input) const {
 }
 
 Tensor DctChopCodec::compress(const Tensor& input) const {
+  runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
-  tensor::sandwich_planes(lhs_h_, input, rhs_w_, out);
+  tensor::sandwich_planes_into(lhs_h_, input, rhs_w_, out, compress_bands_);
+  const std::size_t planes = input.shape()[0] * input.shape()[1];
+  stats_.record_compress(planes,
+                         planes * flops_compress_hw(config_.height,
+                                                    config_.width, config_.cf,
+                                                    config_.block),
+                         input.size_bytes(), out.size_bytes(),
+                         timer.seconds());
   return out;
 }
 
 Tensor DctChopCodec::decompress(const Tensor& packed,
                                 const Shape& original) const {
+  runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     throw std::invalid_argument("DctChopCodec: packed shape mismatch");
   }
   Tensor out(original);
   // Eq. 6: A' = RHS · Y · LHS — the same operators with roles swapped.
-  tensor::sandwich_planes(rhs_h_, packed, lhs_w_, out);
+  tensor::sandwich_planes_into(rhs_h_, packed, lhs_w_, out,
+                               decompress_bands_);
+  const std::size_t planes = original[0] * original[1];
+  stats_.record_decompress(planes,
+                           planes * flops_decompress_hw(config_.height,
+                                                        config_.width,
+                                                        config_.cf,
+                                                        config_.block),
+                           packed.size_bytes(), out.size_bytes(),
+                           timer.seconds());
   return out;
 }
 
@@ -81,6 +116,24 @@ std::size_t DctChopCodec::flops_decompress(std::size_t n, std::size_t cf,
   // Eq. 7 generalized: (2·CF·n/b − 1) · n · (CF·n/b + n)
   const std::size_t cn = cf * n / block;
   return (2 * cn - 1) * n * (cn + n);
+}
+
+std::size_t DctChopCodec::flops_compress_hw(std::size_t h, std::size_t w,
+                                            std::size_t cf,
+                                            std::size_t block) {
+  // (h×w)·(w×cw) then (ch×h)·(h×cw), (2k−1) ops per dot product.
+  const std::size_t ch = cf * h / block;
+  const std::size_t cw = cf * w / block;
+  return (2 * w - 1) * h * cw + (2 * h - 1) * ch * cw;
+}
+
+std::size_t DctChopCodec::flops_decompress_hw(std::size_t h, std::size_t w,
+                                              std::size_t cf,
+                                              std::size_t block) {
+  // (ch×cw)·(cw×w) then (h×ch)·(ch×w).
+  const std::size_t ch = cf * h / block;
+  const std::size_t cw = cf * w / block;
+  return (2 * cw - 1) * ch * w + (2 * ch - 1) * h * w;
 }
 
 }  // namespace aic::core

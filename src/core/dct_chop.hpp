@@ -5,6 +5,7 @@
 #include "core/chop.hpp"
 #include "core/codec.hpp"
 #include "core/dct.hpp"
+#include "tensor/matmul.hpp"
 
 namespace aic::core {
 
@@ -59,12 +60,25 @@ class DctChopCodec final : public Codec {
   static std::size_t flops_decompress(std::size_t n, std::size_t cf,
                                       std::size_t block = kDefaultBlock);
 
+  /// Eq. 5 generalized to one h×w plane (the two chained matmul costs).
+  static std::size_t flops_compress_hw(std::size_t h, std::size_t w,
+                                       std::size_t cf,
+                                       std::size_t block = kDefaultBlock);
+  /// Eq. 7 generalized to one h×w plane.
+  static std::size_t flops_decompress_hw(std::size_t h, std::size_t w,
+                                         std::size_t cf,
+                                         std::size_t block = kDefaultBlock);
+
  private:
   DctChopConfig config_;
   tensor::Tensor lhs_h_;  // (CF·H/8) × H
   tensor::Tensor rhs_w_;  // W × (CF·W/8)
   tensor::Tensor lhs_w_;  // (CF·W/8) × W  (decompression right operand)
   tensor::Tensor rhs_h_;  // H × (CF·H/8)  (decompression left operand)
+  // Verified chop structure of the operators above, handed to the
+  // structurally-sparse sandwich kernel.
+  tensor::SandwichOptions compress_bands_;
+  tensor::SandwichOptions decompress_bands_;
 };
 
 }  // namespace aic::core

@@ -1,12 +1,45 @@
 #include "core/partial_serializer.hpp"
 
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
+
+#include "runtime/timer.hpp"
 
 namespace aic::core {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+/// Copies an aligned sub-window between two BCHW tensors row by row
+/// (rows are contiguous in W, so each is one memcpy).
+///
+/// For every (batch, channel) plane, the `rows`×`cols` window at
+/// (src_h, src_w) of `src` lands at (dst_h, dst_w) of `dst`.
+void copy_window(const Tensor& src, std::size_t src_h, std::size_t src_w,
+                 Tensor& dst, std::size_t dst_h, std::size_t dst_w,
+                 std::size_t rows, std::size_t cols) {
+  const std::size_t planes = src.shape()[0] * src.shape()[1];
+  const std::size_t src_stride = src.shape()[3];
+  const std::size_t dst_stride = dst.shape()[3];
+  const std::size_t src_plane = src.shape()[2] * src_stride;
+  const std::size_t dst_plane = dst.shape()[2] * dst_stride;
+  const float* from = src.raw() + src_h * src_stride + src_w;
+  float* to = dst.raw() + dst_h * dst_stride + dst_w;
+  for (std::size_t plane = 0; plane < planes; ++plane) {
+    const float* from_row = from + plane * src_plane;
+    float* to_row = to + plane * dst_plane;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::memcpy(to_row, from_row, cols * sizeof(float));
+      from_row += src_stride;
+      to_row += dst_stride;
+    }
+  }
+}
+
+}  // namespace
 
 PartialSerialCodec::PartialSerialCodec(PartialSerialConfig config)
     : config_(config) {
@@ -51,6 +84,7 @@ Shape PartialSerialCodec::compressed_shape(const Shape& input) const {
 }
 
 Tensor PartialSerialCodec::compress(const Tensor& input) const {
+  runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
   const std::size_t batch = input.shape()[0];
   const std::size_t channels = input.shape()[1];
@@ -60,37 +94,29 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
 
   // Chunks are deliberately iterated serially: only one chunk's working
   // set is alive at a time (the whole point of the optimization).
+  Tensor chunk(Shape::bchw(batch, channels, chunk_h_, chunk_w_));
   for (std::size_t si = 0; si < s; ++si) {
     for (std::size_t sj = 0; sj < s; ++sj) {
-      Tensor chunk(Shape::bchw(batch, channels, chunk_h_, chunk_w_));
-      for (std::size_t b = 0; b < batch; ++b) {
-        for (std::size_t c = 0; c < channels; ++c) {
-          for (std::size_t h = 0; h < chunk_h_; ++h) {
-            for (std::size_t w = 0; w < chunk_w_; ++w) {
-              chunk.at(b, c, h, w) =
-                  input.at(b, c, si * chunk_h_ + h, sj * chunk_w_ + w);
-            }
-          }
-        }
-      }
+      copy_window(input, si * chunk_h_, sj * chunk_w_, chunk, 0, 0, chunk_h_,
+                  chunk_w_);
       const Tensor packed = chunk_codec_->compress(chunk);
-      for (std::size_t b = 0; b < batch; ++b) {
-        for (std::size_t c = 0; c < channels; ++c) {
-          for (std::size_t h = 0; h < chunk_ch; ++h) {
-            for (std::size_t w = 0; w < chunk_cw; ++w) {
-              out.at(b, c, si * chunk_ch + h, sj * chunk_cw + w) =
-                  packed.at(b, c, h, w);
-            }
-          }
-        }
-      }
+      copy_window(packed, 0, 0, out, si * chunk_ch, sj * chunk_cw, chunk_ch,
+                  chunk_cw);
     }
   }
+  const std::size_t planes = batch * channels;
+  stats_.record_compress(
+      planes,
+      planes * s * s *
+          DctChopCodec::flops_compress_hw(chunk_h_, chunk_w_, config_.cf,
+                                          config_.block),
+      input.size_bytes(), out.size_bytes(), timer.seconds());
   return out;
 }
 
 Tensor PartialSerialCodec::decompress(const Tensor& packed,
                                       const Shape& original) const {
+  runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     throw std::invalid_argument("PartialSerialCodec: packed shape mismatch");
   }
@@ -100,34 +126,25 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
   const std::size_t s = config_.subdivision;
   const std::size_t chunk_ch = config_.cf * chunk_h_ / config_.block;
   const std::size_t chunk_cw = config_.cf * chunk_w_ / config_.block;
+  const Shape chunk_shape = Shape::bchw(batch, channels, chunk_h_, chunk_w_);
 
+  Tensor chunk_packed(Shape::bchw(batch, channels, chunk_ch, chunk_cw));
   for (std::size_t si = 0; si < s; ++si) {
     for (std::size_t sj = 0; sj < s; ++sj) {
-      Tensor chunk_packed(Shape::bchw(batch, channels, chunk_ch, chunk_cw));
-      for (std::size_t b = 0; b < batch; ++b) {
-        for (std::size_t c = 0; c < channels; ++c) {
-          for (std::size_t h = 0; h < chunk_ch; ++h) {
-            for (std::size_t w = 0; w < chunk_cw; ++w) {
-              chunk_packed.at(b, c, h, w) =
-                  packed.at(b, c, si * chunk_ch + h, sj * chunk_cw + w);
-            }
-          }
-        }
-      }
-      const Tensor chunk = chunk_codec_->decompress(
-          chunk_packed, Shape::bchw(batch, channels, chunk_h_, chunk_w_));
-      for (std::size_t b = 0; b < batch; ++b) {
-        for (std::size_t c = 0; c < channels; ++c) {
-          for (std::size_t h = 0; h < chunk_h_; ++h) {
-            for (std::size_t w = 0; w < chunk_w_; ++w) {
-              out.at(b, c, si * chunk_h_ + h, sj * chunk_w_ + w) =
-                  chunk.at(b, c, h, w);
-            }
-          }
-        }
-      }
+      copy_window(packed, si * chunk_ch, sj * chunk_cw, chunk_packed, 0, 0,
+                  chunk_ch, chunk_cw);
+      const Tensor chunk = chunk_codec_->decompress(chunk_packed, chunk_shape);
+      copy_window(chunk, 0, 0, out, si * chunk_h_, sj * chunk_w_, chunk_h_,
+                  chunk_w_);
     }
   }
+  const std::size_t planes = batch * channels;
+  stats_.record_decompress(
+      planes,
+      planes * s * s *
+          DctChopCodec::flops_decompress_hw(chunk_h_, chunk_w_, config_.cf,
+                                            config_.block),
+      packed.size_bytes(), out.size_bytes(), timer.seconds());
   return out;
 }
 

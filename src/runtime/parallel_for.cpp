@@ -20,7 +20,12 @@ void parallel_for_chunks(
   const std::size_t max_chunks = pool.size() * 4;
   const std::size_t grain = std::max<std::size_t>(options.grain, 1);
 
-  if (total <= grain || pool.size() == 1 || max_chunks <= 1) {
+  // Re-entrant calls (a pool task invoking parallel_for) must not queue
+  // chunks behind themselves: a worker blocking on futures served by its
+  // own pool deadlocks at size 1 and oversubscribes above it. Degrade to
+  // inline execution on the calling worker instead.
+  if (total <= grain || pool.size() == 1 || max_chunks <= 1 ||
+      pool.in_worker_thread()) {
     body(begin, end);
     return;
   }

@@ -7,6 +7,13 @@
 
 namespace aic::runtime {
 
+namespace {
+
+// Identifies the pool (if any) whose worker_loop owns the current thread.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -19,6 +26,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
+bool ThreadPool::in_worker_thread() const noexcept {
+  return tls_worker_pool == this;
+}
+
 void ThreadPool::post(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
@@ -26,6 +37,7 @@ void ThreadPool::post(std::function<void()> task) {
       throw std::runtime_error("ThreadPool::post after shutdown");
     }
     queue_.push_back(std::move(task));
+    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
   }
   task_available_.notify_one();
 }
@@ -48,12 +60,32 @@ void ThreadPool::shutdown() {
   workers_.clear();
 }
 
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats out;
+  {
+    std::lock_guard lock(mutex_);
+    out.tasks_executed = tasks_executed_;
+    out.peak_queue_depth = peak_queue_depth_;
+  }
+  out.tasks_inlined = tasks_inlined_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ThreadPool::reset_stats() {
+  std::lock_guard lock(mutex_);
+  tasks_executed_ = 0;
+  peak_queue_depth_ = 0;
+  tasks_inlined_.store(0, std::memory_order_relaxed);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(env_size_t("AIC_NUM_THREADS", 0));
+  static ThreadPool pool(
+      env_size_t("AIC_NUM_THREADS", env_size_t("AIC_THREADS", 0)));
   return pool;
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -72,6 +104,7 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard lock(mutex_);
       --in_flight_;
+      ++tasks_executed_;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }
   }

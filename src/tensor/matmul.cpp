@@ -1,9 +1,12 @@
 #include "tensor/matmul.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
+#include "runtime/aligned_buffer.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace aic::tensor {
@@ -13,6 +16,32 @@ namespace {
 // B panel stay within L1.
 constexpr std::size_t kRowBlock = 64;
 constexpr std::size_t kDepthBlock = 128;
+
+// Work items per chunk when parallelizing over (plane × band); one band is
+// small (CF·n·8 + CF·8·n MACs), so batch a handful per pool task.
+constexpr std::size_t kBandGrain = 16;
+
+std::atomic<std::uint64_t> g_scratch_reallocs{0};
+
+// Per-thread scratch for the sandwich mid product. Workers of the global
+// pool are long-lived, so after warm-up repeated calls of the same shapes
+// never allocate.
+float* thread_scratch(std::size_t count) {
+  thread_local runtime::AlignedBuffer<float> buffer;
+  if (buffer.size() < count) {
+    buffer = runtime::AlignedBuffer<float>(count);
+    g_scratch_reallocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return buffer.data();
+}
+
+void require_float32(const Tensor& t, const char* kernel, const char* what) {
+  if (t.dtype() != DType::kFloat32) {
+    throw std::invalid_argument(std::string(kernel) + ": " + what +
+                                " must be float32, got " +
+                                dtype_name(t.dtype()));
+  }
+}
 
 void gemm_rows(const float* a, const float* b, float* c, std::size_t row_lo,
                std::size_t row_hi, std::size_t n, std::size_t k) {
@@ -33,6 +62,103 @@ void gemm_rows(const float* a, const float* b, float* c, std::size_t row_lo,
   }
 }
 
+// One plane of the dense sandwich: out_plane = lhs · (plane · rhs), both
+// stages serial on the calling thread (the caller owns the parallelism).
+void sandwich_plane_dense(const float* lhs, const float* plane,
+                          const float* rhs, float* out_plane, std::size_t h,
+                          std::size_t w, std::size_t out_h,
+                          std::size_t out_w) {
+  float* mid = thread_scratch(h * out_w);
+  std::fill_n(mid, h * out_w, 0.0f);
+  gemm_rows(plane, rhs, mid, 0, h, out_w, w);
+  std::fill_n(out_plane, out_h * out_w, 0.0f);
+  gemm_rows(lhs, mid, out_plane, 0, out_h, out_w, h);
+}
+
+struct SandwichDims {
+  std::size_t planes, h, w, out_h, out_w;
+};
+
+void sandwich_dense(const float* lhs, const float* in, const float* rhs,
+                    float* out, const SandwichDims& d) {
+  runtime::parallel_for_chunks(
+      0, d.planes,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t plane = lo; plane < hi; ++plane) {
+          sandwich_plane_dense(lhs, in + plane * d.h * d.w, rhs,
+                               out + plane * d.out_h * d.out_w, d.h, d.w,
+                               d.out_h, d.out_w);
+        }
+      },
+      {.grain = 1});
+}
+
+// Structurally-sparse fast path. Band i of LHS couples output rows
+// [i·lb_r, +lb_r) to input rows [i·lb_c, +lb_c) only, so each (plane,
+// band) item is independent: form the lb_c×out_w mid strip in scratch,
+// then the lb_r output rows, touching only live operator entries.
+void sandwich_banded(const float* lhs, const float* in, const float* rhs,
+                     float* out, const SandwichDims& d, std::size_t lb_r,
+                     std::size_t lb_c, std::size_t rb_r, std::size_t rb_c) {
+  const std::size_t bands = d.h / lb_c;
+  const std::size_t rhs_bands = d.w / rb_r;
+  runtime::parallel_for_chunks(
+      0, d.planes * bands,
+      [&](std::size_t lo, std::size_t hi) {
+        float* mid = thread_scratch(lb_c * d.out_w);
+        for (std::size_t item = lo; item < hi; ++item) {
+          const std::size_t plane = item / bands;
+          const std::size_t band = item % bands;
+          const float* in_rows =
+              in + plane * d.h * d.w + band * lb_c * d.w;
+          // mid = in_rows · rhs, visiting only each RHS row's live band.
+          std::fill_n(mid, lb_c * d.out_w, 0.0f);
+          for (std::size_t x = 0; x < lb_c; ++x) {
+            const float* a_row = in_rows + x * d.w;
+            float* mid_row = mid + x * d.out_w;
+            for (std::size_t jb = 0; jb < rhs_bands; ++jb) {
+              const float* a_band = a_row + jb * rb_r;
+              const float* r_rows = rhs + (jb * rb_r) * d.out_w + jb * rb_c;
+              float* mid_cols = mid_row + jb * rb_c;
+              for (std::size_t p = 0; p < rb_r; ++p) {
+                const float a_val = a_band[p];
+                if (a_val == 0.0f) continue;
+                const float* r_cols = r_rows + p * d.out_w;
+                for (std::size_t q = 0; q < rb_c; ++q) {
+                  mid_cols[q] += a_val * r_cols[q];
+                }
+              }
+            }
+          }
+          // out band = (lb_r × lb_c) LHS block · mid.
+          const float* l_block = lhs + (band * lb_r) * d.h + band * lb_c;
+          float* out_rows = out + plane * d.out_h * d.out_w +
+                            band * lb_r * d.out_w;
+          for (std::size_t r = 0; r < lb_r; ++r) {
+            float* out_row = out_rows + r * d.out_w;
+            std::fill_n(out_row, d.out_w, 0.0f);
+            const float* l_row = l_block + r * d.h;
+            for (std::size_t q = 0; q < lb_c; ++q) {
+              const float l_val = l_row[q];
+              if (l_val == 0.0f) continue;
+              const float* mid_row = mid + q * d.out_w;
+              for (std::size_t j = 0; j < d.out_w; ++j) {
+                out_row[j] += l_val * mid_row[j];
+              }
+            }
+          }
+        }
+      },
+      {.grain = kBandGrain});
+}
+
+// A banded spec fits a rows×cols operator when the band grid tiles it.
+bool spec_fits(const BandedSpec& spec, std::size_t rows, std::size_t cols) {
+  return spec.valid() && rows % spec.row_block == 0 &&
+         cols % spec.col_block == 0 &&
+         rows / spec.row_block == cols / spec.col_block;
+}
+
 }  // namespace
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
@@ -40,6 +166,9 @@ void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
   if (a.shape().rank() != 2 || b.shape().rank() != 2) {
     throw std::invalid_argument("matmul: operands must be rank 2");
   }
+  require_float32(a, "matmul", "LHS");
+  require_float32(b, "matmul", "RHS");
+  require_float32(out, "matmul", "output");
   const std::size_t m = a.shape()[0];
   const std::size_t k = a.shape()[1];
   const std::size_t n = b.shape()[1];
@@ -68,11 +197,38 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-void sandwich_planes(const Tensor& lhs, const Tensor& in, const Tensor& rhs,
-                     Tensor& out) {
+bool is_block_banded(const Tensor& m, const BandedSpec& spec) {
+  if (m.shape().rank() != 2) return false;
+  const std::size_t rows = m.shape()[0];
+  const std::size_t cols = m.shape()[1];
+  if (!spec_fits(spec, rows, cols)) return false;
+  const float* p = m.raw();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t band = i / spec.row_block;
+    const std::size_t live_lo = band * spec.col_block;
+    const std::size_t live_hi = live_lo + spec.col_block;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if ((j < live_lo || j >= live_hi) && p[i * cols + j] != 0.0f) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void sandwich_planes_into(const Tensor& lhs, const Tensor& in,
+                          const Tensor& rhs, Tensor& out,
+                          const SandwichOptions& options) {
   if (in.shape().rank() != 4 || out.shape().rank() != 4) {
     throw std::invalid_argument("sandwich_planes: tensors must be rank 4");
   }
+  if (lhs.shape().rank() != 2 || rhs.shape().rank() != 2) {
+    throw std::invalid_argument("sandwich_planes: operators must be rank 2");
+  }
+  require_float32(lhs, "sandwich_planes", "LHS");
+  require_float32(rhs, "sandwich_planes", "RHS");
+  require_float32(in, "sandwich_planes", "input");
+  require_float32(out, "sandwich_planes", "output");
   const std::size_t batch = in.shape()[0];
   const std::size_t channels = in.shape()[1];
   const std::size_t h = in.shape()[2];
@@ -85,22 +241,34 @@ void sandwich_planes(const Tensor& lhs, const Tensor& in, const Tensor& rhs,
   if (out.shape() != Shape::bchw(batch, channels, out_h, out_w)) {
     throw std::invalid_argument("sandwich_planes: output shape mismatch");
   }
+  const SandwichDims dims{batch * channels, h, w, out_h, out_w};
+  if (dims.planes == 0) return;
 
-  // Each (batch, channel) plane is an independent LHS·plane·RHS product —
-  // exactly the data parallelism §3.2 exploits across samples and channels.
-  runtime::parallel_for(
-      0, batch * channels,
-      [&](std::size_t plane_index) {
-        const std::size_t b = plane_index / channels;
-        const std::size_t c = plane_index % channels;
-        Tensor plane = in.slice_plane(b, c);
-        Tensor mid(Shape::matrix(h, out_w));
-        matmul_into(plane, rhs, mid);
-        Tensor res(Shape::matrix(out_h, out_w));
-        matmul_into(lhs, mid, res);
-        out.set_plane(b, c, res);
-      },
-      {.grain = 1});
+  const bool want_banded =
+      options.lhs_bands.valid() || options.rhs_bands.valid();
+  if (want_banded) {
+    // Half-specified or ill-fitting hints are caller bugs, not a reason to
+    // silently fall back to the dense path.
+    if (!spec_fits(options.lhs_bands, out_h, h) ||
+        !spec_fits(options.rhs_bands, w, out_w)) {
+      throw std::invalid_argument(
+          "sandwich_planes: band structure does not tile the operators");
+    }
+    sandwich_banded(lhs.raw(), in.raw(), rhs.raw(), out.raw(), dims,
+                    options.lhs_bands.row_block, options.lhs_bands.col_block,
+                    options.rhs_bands.row_block, options.rhs_bands.col_block);
+    return;
+  }
+  sandwich_dense(lhs.raw(), in.raw(), rhs.raw(), out.raw(), dims);
+}
+
+void sandwich_planes(const Tensor& lhs, const Tensor& in, const Tensor& rhs,
+                     Tensor& out) {
+  sandwich_planes_into(lhs, in, rhs, out, {});
+}
+
+std::uint64_t sandwich_scratch_reallocs() noexcept {
+  return g_scratch_reallocs.load(std::memory_order_relaxed);
 }
 
 std::size_t matmul_flops(const Tensor& a, const Tensor& b) {

@@ -5,6 +5,15 @@
 
 namespace aic::tensor {
 
+const char* dtype_name(DType dtype) noexcept {
+  switch (dtype) {
+    case DType::kFloat32: return "float32";
+    case DType::kFloat16: return "float16";
+    case DType::kBfloat16: return "bfloat16";
+  }
+  return "unknown";
+}
+
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
 
@@ -78,7 +87,9 @@ Tensor Tensor::reshaped(Shape new_shape) const {
                                 shape_.to_string() + " -> " +
                                 new_shape.to_string());
   }
-  return Tensor(std::move(new_shape), data_);
+  Tensor result(std::move(new_shape), data_);
+  result.set_dtype(dtype_);
+  return result;
 }
 
 Tensor Tensor::transposed() const {
@@ -91,6 +102,7 @@ Tensor Tensor::transposed() const {
       result.at(c, r) = data_[r * cols + c];
     }
   }
+  result.set_dtype(dtype_);
   return result;
 }
 
@@ -101,6 +113,7 @@ Tensor Tensor::slice_plane(std::size_t b, std::size_t c) const {
   Tensor plane(Shape::matrix(h, w));
   const float* src = data_.data() + ((b * shape_[1] + c) * h) * w;
   std::copy(src, src + h * w, plane.raw());
+  plane.set_dtype(dtype_);
   return plane;
 }
 

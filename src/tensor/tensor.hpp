@@ -9,6 +9,15 @@
 
 namespace aic::tensor {
 
+/// Element type tag carried by a Tensor. Storage is always 32-bit floats;
+/// kFloat16/kBfloat16 mark tensors whose floats hold *encoded* half
+/// payloads (e.g. packed accelerator buffers), which arithmetic kernels
+/// must refuse rather than reinterpret.
+enum class DType { kFloat32, kFloat16, kBfloat16 };
+
+/// Human-readable dtype name ("float32", ...).
+const char* dtype_name(DType dtype) noexcept;
+
 /// Dense row-major float32 tensor with value semantics.
 ///
 /// float32 is the only stored dtype, matching the paper's choice of FP32
@@ -39,6 +48,13 @@ class Tensor {
                        float stddev = 1.0f);
 
   const Shape& shape() const noexcept { return shape_; }
+
+  /// Element type tag; kFloat32 unless explicitly retagged.
+  DType dtype() const noexcept { return dtype_; }
+  /// Retags the payload without converting it (used when the float
+  /// storage carries encoded half words). Math kernels reject non-float32.
+  void set_dtype(DType dtype) noexcept { dtype_ = dtype; }
+
   std::size_t numel() const noexcept { return data_.size(); }
   std::size_t size_bytes() const noexcept { return data_.size() * sizeof(float); }
 
@@ -79,6 +95,7 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  DType dtype_ = DType::kFloat32;
 };
 
 }  // namespace aic::tensor

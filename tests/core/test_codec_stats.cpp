@@ -1,0 +1,115 @@
+#include "core/codec_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dct_chop.hpp"
+#include "core/partial_serializer.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(CodecStats, StartsAtZero) {
+  const DctChopCodec codec({.height = 16, .width = 16, .cf = 4, .block = 8});
+  const CodecStatsSnapshot snap = codec.stats().snapshot();
+  EXPECT_EQ(snap.compress.calls, 0u);
+  EXPECT_EQ(snap.decompress.calls, 0u);
+  EXPECT_EQ(snap.planes(), 0u);
+  EXPECT_EQ(snap.flops(), 0u);
+  EXPECT_DOUBLE_EQ(snap.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.compress.gflops_per_second(), 0.0);
+}
+
+TEST(CodecStats, DctChopCompressRecordsCallsPlanesFlopsBytes) {
+  runtime::Rng rng(1);
+  const std::size_t n = 16, cf = 4;
+  const DctChopCodec codec({.height = n, .width = n, .cf = cf, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(3, 2, n, n), rng);
+  const Tensor packed = codec.compress(in);
+  const CodecStatsSnapshot snap = codec.stats().snapshot();
+  EXPECT_EQ(snap.compress.calls, 1u);
+  EXPECT_EQ(snap.compress.planes, 6u);
+  EXPECT_EQ(snap.compress.flops, 6u * DctChopCodec::flops_compress(n, cf));
+  EXPECT_EQ(snap.compress.bytes_in, in.size_bytes());
+  EXPECT_EQ(snap.compress.bytes_out, packed.size_bytes());
+  EXPECT_GE(snap.compress.seconds, 0.0);
+  EXPECT_EQ(snap.decompress.calls, 0u);
+}
+
+TEST(CodecStats, DctChopDecompressRecordsEq7Flops) {
+  runtime::Rng rng(2);
+  const std::size_t n = 16, cf = 3;
+  const DctChopCodec codec({.height = n, .width = n, .cf = cf, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 2, n, n), rng);
+  (void)codec.round_trip(in);
+  const CodecStatsSnapshot snap = codec.stats().snapshot();
+  EXPECT_EQ(snap.compress.calls, 1u);
+  EXPECT_EQ(snap.decompress.calls, 1u);
+  EXPECT_EQ(snap.decompress.planes, 4u);
+  EXPECT_EQ(snap.decompress.flops,
+            4u * DctChopCodec::flops_decompress(n, cf));
+  EXPECT_EQ(snap.planes(), 8u);
+}
+
+TEST(CodecStats, RectangularFlopFormulasReduceToSquareForms) {
+  for (std::size_t n : {16u, 32u, 64u}) {
+    for (std::size_t cf = 1; cf <= 8; ++cf) {
+      EXPECT_EQ(DctChopCodec::flops_compress_hw(n, n, cf),
+                DctChopCodec::flops_compress(n, cf));
+      EXPECT_EQ(DctChopCodec::flops_decompress_hw(n, n, cf),
+                DctChopCodec::flops_decompress(n, cf));
+    }
+  }
+}
+
+TEST(CodecStats, AccumulatesAcrossCallsAndResets) {
+  runtime::Rng rng(3);
+  const DctChopCodec codec({.height = 16, .width = 16, .cf = 4, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  for (int i = 0; i < 3; ++i) (void)codec.compress(in);
+  EXPECT_EQ(codec.stats().snapshot().compress.calls, 3u);
+  EXPECT_EQ(codec.stats().snapshot().compress.planes, 3u);
+  codec.stats().reset();
+  const CodecStatsSnapshot snap = codec.stats().snapshot();
+  EXPECT_EQ(snap.compress.calls, 0u);
+  EXPECT_EQ(snap.flops(), 0u);
+}
+
+TEST(CodecStats, PartialSerialRecordsChunkedFlops) {
+  runtime::Rng rng(4);
+  const std::size_t s = 2;
+  const PartialSerialCodec ps(
+      {.height = 32, .width = 32, .cf = 4, .block = 8, .subdivision = s});
+  const Tensor in = Tensor::uniform(Shape::bchw(2, 1, 32, 32), rng);
+  (void)ps.round_trip(in);
+  const CodecStatsSnapshot snap = ps.stats().snapshot();
+  EXPECT_EQ(snap.compress.calls, 1u);
+  EXPECT_EQ(snap.compress.planes, 2u);
+  // s² chunk launches at the chunk resolution per plane.
+  EXPECT_EQ(snap.compress.flops,
+            2u * s * s * DctChopCodec::flops_compress(16, 4));
+  EXPECT_EQ(snap.decompress.flops,
+            2u * s * s * DctChopCodec::flops_decompress(16, 4));
+  // The inner chunk codec keeps its own counters: s² calls per direction.
+  const CodecStatsSnapshot inner = ps.chunk_codec().stats().snapshot();
+  EXPECT_EQ(inner.compress.calls, s * s);
+  EXPECT_EQ(inner.decompress.calls, s * s);
+  EXPECT_EQ(inner.compress.flops, snap.compress.flops);
+}
+
+TEST(CodecStats, ThroughputHelpersUseRecordedTime) {
+  CodecStats stats;
+  stats.record_compress(/*planes=*/4, /*flops=*/2'000'000'000,
+                        /*bytes_in=*/1'000'000'000, /*bytes_out=*/250'000'000,
+                        /*seconds=*/2.0);
+  const CodecStatsSnapshot snap = stats.snapshot();
+  EXPECT_NEAR(snap.compress.gflops_per_second(), 1.0, 1e-9);
+  EXPECT_NEAR(snap.compress.gigabytes_per_second(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace aic::core

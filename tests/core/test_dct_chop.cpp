@@ -155,6 +155,53 @@ TEST(DctChop, ChannelsAreIndependent) {
                        out_single.slice_plane(0, 0), 1e-5));
 }
 
+TEST(DctChop, FastPathMatchesReferenceMatmulSandwichExactly) {
+  // The codec's structurally-sparse kernel must reproduce the plain
+  // two-matmul sandwich of Eq. 4/6 element-for-element (identical
+  // contributions in identical order — no new rounding).
+  runtime::Rng rng(20);
+  for (std::size_t cf : {1u, 3u, 4u, 8u}) {
+    const DctChopCodec codec(
+        {.height = 32, .width = 64, .cf = cf, .block = 8});
+    const Tensor in = Tensor::uniform(Shape::bchw(2, 2, 32, 64), rng, -1.0f, 1.0f);
+    const Tensor packed = codec.compress(in);
+    for (std::size_t b = 0; b < 2; ++b) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        const Tensor expected = tensor::matmul(
+            codec.lhs(), tensor::matmul(in.slice_plane(b, c), codec.rhs()));
+        const Tensor got = packed.slice_plane(b, c);
+        for (std::size_t i = 0; i < expected.numel(); ++i) {
+          ASSERT_EQ(got.at(i), expected.at(i)) << "cf=" << cf << " plane "
+                                               << b << "," << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(DctChop, NonSquareRoundTripThroughCodec) {
+  runtime::Rng rng(21);
+  const DctChopCodec codec({.height = 32, .width = 64, .cf = 4, .block = 8});
+  const Shape original = Shape::bchw(2, 3, 32, 64);
+  EXPECT_EQ(codec.compressed_shape(original), Shape::bchw(2, 3, 16, 32));
+  EXPECT_DOUBLE_EQ(codec.compression_ratio(), 4.0);
+  const Tensor in = Tensor::uniform(original, rng, -1.0f, 1.0f);
+  const Tensor packed = codec.compress(in);
+  EXPECT_NEAR(static_cast<double>(in.size_bytes()) / packed.size_bytes(),
+              codec.compression_ratio(), 1e-9);
+  const Tensor restored = codec.decompress(packed, original);
+  EXPECT_EQ(restored.shape(), original);
+  // Projection property holds on rectangles too.
+  EXPECT_TRUE(allclose(codec.compress(restored), packed, 1e-4));
+}
+
+TEST(DctChop, NonSquareCfEightIsLossless) {
+  runtime::Rng rng(22);
+  const DctChopCodec codec({.height = 16, .width = 40, .cf = 8, .block = 8});
+  const Tensor in = Tensor::uniform(Shape::bchw(1, 2, 16, 40), rng, -1.0f, 1.0f);
+  EXPECT_TRUE(allclose(codec.round_trip(in), in, 1e-4));
+}
+
 TEST(DctChop, RectangularResolutionSupported) {
   runtime::Rng rng(9);
   const DctChopCodec codec(

@@ -72,6 +72,59 @@ TEST(ParallelForChunks, ChunksPartitionRange) {
   for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
 }
 
+TEST(ParallelForNested, InnerLoopInsideOuterLoopCompletes) {
+  // Regression for the sandwich hot-path bug: an outer parallel_for whose
+  // body issues another parallel_for re-enters the global pool. Before the
+  // inline-degrade guard, every worker could end up blocked on futures
+  // only the same pool could serve (deadlock at AIC_NUM_THREADS=1 without
+  // the size-1 short-circuit, oversubscription above it). The CMake-level
+  // test_runtime_nested_pool{1,4} entries rerun this with pinned pool
+  // sizes and a timeout.
+  constexpr std::size_t kOuter = 64;
+  constexpr std::size_t kInner = 256;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(
+      0, kOuter,
+      [&](std::size_t i) {
+        parallel_for(
+            0, kInner,
+            [&](std::size_t j) { hits[i * kInner + j].fetch_add(1); },
+            {.grain = 16});
+      },
+      {.grain = 1});
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForNested, TripleNestingCompletes) {
+  std::atomic<long long> total{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&](std::size_t) {
+      parallel_for(
+          0, 64, [&](std::size_t k) { total.fetch_add(static_cast<long long>(k)); },
+          {.grain = 4});
+    }, {.grain = 1});
+  }, {.grain = 1});
+  EXPECT_EQ(total.load(), 8 * 8 * (63 * 64 / 2));
+}
+
+TEST(ParallelForNested, ExceptionFromInnerLoopPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          0, 16,
+          [&](std::size_t i) {
+            parallel_for(
+                0, 64,
+                [&](std::size_t j) {
+                  if (i == 7 && j == 13) throw std::runtime_error("inner");
+                },
+                {.grain = 4});
+          },
+          {.grain = 1}),
+      std::runtime_error);
+}
+
 TEST(ParallelForChunks, GrainZeroIsTreatedAsOne) {
   std::atomic<int> count{0};
   parallel_for_chunks(

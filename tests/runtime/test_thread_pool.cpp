@@ -83,5 +83,63 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
+TEST(ThreadPool, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.in_worker_thread());
+  auto inside = pool.submit([&pool] { return pool.in_worker_thread(); });
+  EXPECT_TRUE(inside.get());
+}
+
+TEST(ThreadPool, WorkerOfOtherPoolIsNotDetected) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  auto from_b = b.submit([&a] { return a.in_worker_thread(); });
+  EXPECT_FALSE(from_b.get());
+}
+
+TEST(ThreadPool, ReentrantSubmitRunsInlineOnSizeOnePool) {
+  // Before the re-entry guard this deadlocked: the sole worker blocked on
+  // a future whose task sat behind it in the queue.
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 21; });
+    return 2 * inner.get();
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, ReentrantSubmitNestsDeeply) {
+  ThreadPool pool(1);
+  std::function<int(int)> countdown = [&](int depth) -> int {
+    if (depth == 0) return 0;
+    return 1 + pool.submit([&, depth] { return countdown(depth - 1); }).get();
+  };
+  auto result = pool.submit([&] { return countdown(16); });
+  EXPECT_EQ(result.get(), 16);
+}
+
+TEST(ThreadPool, StatsCountExecutedAndInlinedTasks) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) pool.submit([] {}).wait();
+  auto nested = pool.submit([&pool] { pool.submit([] {}).wait(); });
+  nested.wait();
+  pool.wait_idle();
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_executed, 11u);
+  EXPECT_EQ(stats.tasks_inlined, 1u);
+  EXPECT_GE(stats.peak_queue_depth, 1u);
+}
+
+TEST(ThreadPool, ResetStatsZeroesCounters) {
+  ThreadPool pool(1);
+  pool.submit([] {}).wait();
+  pool.wait_idle();
+  pool.reset_stats();
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_executed, 0u);
+  EXPECT_EQ(stats.tasks_inlined, 0u);
+  EXPECT_EQ(stats.peak_queue_depth, 0u);
+}
+
 }  // namespace
 }  // namespace aic::runtime
