@@ -2,22 +2,57 @@
 // two-matmul codec paths, the underlying GEMM, and the baseline codecs.
 // These measure *real host execution*, complementing the simulated
 // accelerator timings of the figure benches.
+//
+// Every GEMM/sandwich bench exists per kernel backend (scalar vs avx2) so
+// the SIMD speedup is a first-class, machine-readable result. Run with
+// `--json[=path]` to emit google-benchmark's JSON report (default path
+// BENCH_kernels.json in the working directory).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "baseline/jpeg_codec.hpp"
 #include "baseline/zfp_like.hpp"
 #include "core/dct_chop.hpp"
 #include "core/triangle.hpp"
 #include "data/synth.hpp"
+#include "runtime/cpu_features.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/matmul.hpp"
 
 namespace {
 
 using namespace aic;
+using runtime::KernelBackend;
 using tensor::Shape;
 using tensor::Tensor;
+using tensor::Trans;
+
+/// Pins the kernel backend for a bench loop, restoring on scope exit.
+/// Returns false (after flagging the bench as skipped) when the host
+/// cannot run the requested backend.
+class BackendScope {
+ public:
+  BackendScope(benchmark::State& state, KernelBackend backend)
+      : saved_(runtime::kernel_backend()) {
+    if (backend == KernelBackend::kAvx2 &&
+        !(runtime::cpu_features().avx2 && runtime::cpu_features().fma)) {
+      state.SkipWithError("host lacks AVX2+FMA");
+      return;
+    }
+    runtime::set_kernel_backend(backend);
+    ok_ = true;
+  }
+  ~BackendScope() { runtime::set_kernel_backend(saved_); }
+  explicit operator bool() const { return ok_; }
+
+ private:
+  KernelBackend saved_;
+  bool ok_ = false;
+};
 
 Tensor make_batch(std::size_t batch, std::size_t channels, std::size_t n) {
   runtime::Rng rng(1);
@@ -60,6 +95,90 @@ void BM_Matmul(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+// Single-thread GEMM GFLOP/s per backend and transpose mode. Operands are
+// allocated in their *stored* orientation (the packing stage folds the
+// transpose), so NT/TN measure exactly what Linear/Conv2d backward issue.
+// Shapes: square sweep + the two training-path shapes (MLP hidden layer
+// 128×784×256 and conv im2col 32×144×1024).
+void gemm_bench(benchmark::State& state, KernelBackend backend, Trans ta,
+                Trans tb) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = static_cast<std::size_t>(state.range(2));
+  BackendScope scope(state, backend);
+  if (!scope) return;
+  runtime::Rng rng(5);
+  const Tensor a =
+      ta == Trans::kNo ? Tensor::uniform(Shape::matrix(m, k), rng, -1, 1)
+                       : Tensor::uniform(Shape::matrix(k, m), rng, -1, 1);
+  const Tensor b =
+      tb == Trans::kNo ? Tensor::uniform(Shape::matrix(k, n), rng, -1, 1)
+                       : Tensor::uniform(Shape::matrix(n, k), rng, -1, 1);
+  Tensor c(Shape::matrix(m, n));
+  for (auto _ : state) {
+    tensor::matmul_into(a, b, c, ta, tb);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flops));
+}
+BENCHMARK_CAPTURE(gemm_bench, scalar_nn, KernelBackend::kScalar, Trans::kNo,
+                  Trans::kNo)
+    ->Args({128, 128, 128})
+    ->Args({256, 256, 256})
+    ->Args({512, 512, 512})
+    ->Args({128, 784, 256})
+    ->Args({32, 144, 1024});
+BENCHMARK_CAPTURE(gemm_bench, avx2_nn, KernelBackend::kAvx2, Trans::kNo,
+                  Trans::kNo)
+    ->Args({128, 128, 128})
+    ->Args({256, 256, 256})
+    ->Args({512, 512, 512})
+    ->Args({128, 784, 256})
+    ->Args({32, 144, 1024});
+// Linear forward: x [B,F] · Wᵀ with W stored [O,F].
+BENCHMARK_CAPTURE(gemm_bench, scalar_nt, KernelBackend::kScalar, Trans::kNo,
+                  Trans::kYes)
+    ->Args({128, 784, 256});
+BENCHMARK_CAPTURE(gemm_bench, avx2_nt, KernelBackend::kAvx2, Trans::kNo,
+                  Trans::kYes)
+    ->Args({128, 784, 256});
+// Linear backward dW: goᵀ [O,B] · x with go stored [B,O].
+BENCHMARK_CAPTURE(gemm_bench, scalar_tn, KernelBackend::kScalar, Trans::kYes,
+                  Trans::kNo)
+    ->Args({256, 128, 784});
+BENCHMARK_CAPTURE(gemm_bench, avx2_tn, KernelBackend::kAvx2, Trans::kYes,
+                  Trans::kNo)
+    ->Args({256, 128, 784});
+
+// Full codec round trip (compress + decompress) per backend: how much of
+// the microkernel win survives end-to-end through the banded sandwich.
+void sandwich_roundtrip_bench(benchmark::State& state, KernelBackend backend) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t cf = static_cast<std::size_t>(state.range(1));
+  BackendScope scope(state, backend);
+  if (!scope) return;
+  const core::DctChopCodec codec(
+      {.height = n, .width = n, .cf = cf, .block = 8});
+  const Tensor batch = make_batch(4, 3, n);
+  for (auto _ : state) {
+    Tensor packed = codec.compress(batch);
+    Tensor restored = codec.decompress(packed, batch.shape());
+    benchmark::DoNotOptimize(restored.raw());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size_bytes()));
+  report_codec_stats(state, codec);
+}
+BENCHMARK_CAPTURE(sandwich_roundtrip_bench, scalar, KernelBackend::kScalar)
+    ->Args({256, 4});
+BENCHMARK_CAPTURE(sandwich_roundtrip_bench, avx2, KernelBackend::kAvx2)
+    ->Args({256, 4});
 
 void BM_DctChopCompress(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -193,4 +312,36 @@ BENCHMARK(BM_MakeOperators)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom entry point: `--json[=path]` is sugar for google-benchmark's
+// `--benchmark_out=<path> --benchmark_out_format=json` (default path
+// BENCH_kernels.json), so CI can request the machine-readable report
+// without knowing the library's flag spelling.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path;
+  bool want_json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      want_json = true;
+      json_path = "BENCH_kernels.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      want_json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (want_json) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> raw;
+  raw.reserve(args.size());
+  for (std::string& a : args) raw.push_back(a.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

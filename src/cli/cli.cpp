@@ -8,7 +8,9 @@
 #include "core/metrics.hpp"
 #include "data/synth.hpp"
 #include "io/tensor_io.hpp"
+#include "runtime/cpu_features.hpp"
 #include "runtime/rng.hpp"
+#include "tensor/gemm_kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace aic::cli {
@@ -90,6 +92,14 @@ void print_stats(std::ostream& out, const core::Codec& codec) {
   out << "stats[" << codec.name() << "]:\n";
   print_op_stats(out, "compress", snap.compress);
   print_op_stats(out, "decompress", snap.decompress);
+  const tensor::GemmCounters kc = tensor::gemm_counters();
+  out << "kernels[" << runtime::kernel_backend_name()
+      << "]: gemm_calls=" << kc.gemm_calls << " a_panels=" << kc.a_panels_packed
+      << " b_panels=" << kc.b_panels_packed
+      << " microkernel_calls=" << kc.microkernel_calls
+      << " tail_tiles=" << kc.tail_tiles << " axpy_calls=" << kc.axpy_calls
+      << " block_mac_calls=" << kc.block_mac_calls
+      << " gemm_flops=" << kc.flops << "\n";
 }
 
 int cmd_gen(const Options& options, std::ostream& out) {

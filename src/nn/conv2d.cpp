@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/matmul.hpp"
-#include "tensor/ops.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace aic::nn {
 
@@ -146,21 +146,21 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
         go.at(o, s) = grad_output.at(b, o, s / out_w_, s % out_w_);
       }
     }
-    Tensor cols(Shape::matrix(col_rows, col_cols));
-    std::copy(columns_.raw() + b * col_rows * col_cols,
-              columns_.raw() + (b + 1) * col_rows * col_cols, cols.raw());
-
-    // dW += go · colsᵀ ; db += Σ_s go ; dcols = Wᵀ · go.
-    Tensor dw(Shape::matrix(out_channels_, col_rows));
-    tensor::matmul_into(go, cols.transposed(), dw);
-    tensor::axpy(weight_.grad, dw, 1.0f);
+    // dW += go · colsᵀ ; db += Σ_s go ; dcols = Wᵀ · go. The sample's
+    // column matrix is used in place inside the stacked columns_ cache
+    // (no copy), and both transposes are packing flags, not temporaries.
+    const float* cols = columns_.raw() + b * col_rows * col_cols;
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, out_channels_,
+                 col_rows, col_cols, go.raw(), col_cols, cols, col_cols,
+                 weight_.grad.raw(), col_rows, /*accumulate=*/true);
     for (std::size_t o = 0; o < out_channels_; ++o) {
       double acc = 0.0;
       for (std::size_t s = 0; s < col_cols; ++s) acc += go.at(o, s);
       bias_.grad.at(o) += static_cast<float>(acc);
     }
     Tensor dcols(Shape::matrix(col_rows, col_cols));
-    tensor::matmul_into(weight_.value.transposed(), go, dcols);
+    tensor::matmul_into(weight_.value, go, dcols, tensor::Trans::kYes,
+                        tensor::Trans::kNo);
     col2im(dcols, grad_input, b, kernel_, stride_, padding_);
   }
   return grad_input;

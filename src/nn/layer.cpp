@@ -62,10 +62,12 @@ Tensor Linear::forward(const Tensor& input, bool) {
   input_ = input;
   const std::size_t batch = input.shape()[0];
   Tensor out(Shape::bchw(batch, out_features_, 1, 1));
-  // x [B, F] times Wᵀ [F, O].
+  // x [B, F] times Wᵀ [F, O] — transpose folded into the kernel's packing
+  // stage, no materialized Wᵀ copy.
   const Tensor x = input.reshaped(Shape::matrix(batch, in_features_));
   Tensor y(Shape::matrix(batch, out_features_));
-  tensor::matmul_into(x, weight_.value.transposed(), y);
+  tensor::matmul_into(x, weight_.value, y, tensor::Trans::kNo,
+                      tensor::Trans::kYes);
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t o = 0; o < out_features_; ++o) {
       out.at(b, o, 0, 0) = y.at(b, o) + bias_.value.at(o);
@@ -79,10 +81,11 @@ Tensor Linear::backward(const Tensor& grad_output) {
   const Tensor go =
       grad_output.reshaped(Shape::matrix(batch, out_features_));
   const Tensor x = input_.reshaped(Shape::matrix(batch, in_features_));
-  // dW = goᵀ · x ; db = Σ_b go ; dx = go · W.
-  Tensor dw(Shape::matrix(out_features_, in_features_));
-  tensor::matmul_into(go.transposed(), x, dw);
-  tensor::axpy(weight_.grad, dw, 1.0f);
+  // dW += goᵀ · x ; db = Σ_b go ; dx = go · W. The transpose flag avoids
+  // a goᵀ copy, and accumulate=true folds the gradient sum into the
+  // kernel instead of a dw temporary + axpy pass.
+  tensor::matmul_into(go, x, weight_.grad, tensor::Trans::kYes,
+                      tensor::Trans::kNo, /*accumulate=*/true);
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t o = 0; o < out_features_; ++o) {
       bias_.grad.at(o) += go.at(b, o);

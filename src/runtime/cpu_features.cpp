@@ -1,0 +1,70 @@
+#include "runtime/cpu_features.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "runtime/env.hpp"
+
+namespace aic::runtime {
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures features;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports covers cpuid *and* the OS xsave support bits,
+  // so a true result means the instructions are actually executable.
+  __builtin_cpu_init();
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return features;
+}
+
+KernelBackend default_backend() {
+  if (env_flag("AIC_FORCE_SCALAR")) return KernelBackend::kScalar;
+  const CpuFeatures& features = cpu_features();
+  if (features.avx2 && features.fma) return KernelBackend::kAvx2;
+  return KernelBackend::kScalar;
+}
+
+std::atomic<KernelBackend>& active_backend() {
+  static std::atomic<KernelBackend> backend{default_backend()};
+  return backend;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+KernelBackend kernel_backend() noexcept {
+  return active_backend().load(std::memory_order_relaxed);
+}
+
+void set_kernel_backend(KernelBackend backend) {
+  if (backend == KernelBackend::kAvx2 &&
+      !(cpu_features().avx2 && cpu_features().fma)) {
+    throw std::invalid_argument(
+        "set_kernel_backend: host does not support AVX2+FMA");
+  }
+  active_backend().store(backend, std::memory_order_relaxed);
+}
+
+const char* kernel_backend_name(KernelBackend backend) noexcept {
+  switch (backend) {
+    case KernelBackend::kAvx2:
+      return "avx2";
+    case KernelBackend::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+const char* kernel_backend_name() noexcept {
+  return kernel_backend_name(kernel_backend());
+}
+
+}  // namespace aic::runtime

@@ -1,0 +1,35 @@
+#pragma once
+
+namespace aic::runtime {
+
+/// Instruction-set tiers the GEMM kernel layer can dispatch to.
+///
+/// kAvx2 means AVX2 *and* FMA (they ship together on every AVX2 part we
+/// care about, and the microkernel needs both); kScalar is the portable
+/// fallback that must work on any host.
+enum class KernelBackend { kScalar, kAvx2 };
+
+/// Host ISA capabilities, probed once on first use (thread-safe, cached).
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+const CpuFeatures& cpu_features() noexcept;
+
+/// The backend the kernel layer currently dispatches to. Initialized on
+/// first use to the widest tier the host supports, unless the
+/// AIC_FORCE_SCALAR environment variable is truthy (A/B testing knob).
+KernelBackend kernel_backend() noexcept;
+
+/// Overrides the active backend (parity tests, per-backend benchmarks).
+/// Throws std::invalid_argument when the host cannot execute `backend`.
+void set_kernel_backend(KernelBackend backend);
+
+/// Stable lowercase name of a backend ("scalar", "avx2").
+const char* kernel_backend_name(KernelBackend backend) noexcept;
+
+/// Name of the active backend.
+const char* kernel_backend_name() noexcept;
+
+}  // namespace aic::runtime

@@ -8,14 +8,10 @@
 
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/parallel_for.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace aic::tensor {
 namespace {
-
-// Panel sizes chosen so a (kRowBlock x kColBlock) accumulator tile plus the
-// B panel stay within L1.
-constexpr std::size_t kRowBlock = 64;
-constexpr std::size_t kDepthBlock = 128;
 
 // Work items per chunk when parallelizing over (plane × band); one band is
 // small (CF·n·8 + CF·8·n MACs), so batch a handful per pool task.
@@ -43,36 +39,18 @@ void require_float32(const Tensor& t, const char* kernel, const char* what) {
   }
 }
 
-void gemm_rows(const float* a, const float* b, float* c, std::size_t row_lo,
-               std::size_t row_hi, std::size_t n, std::size_t k) {
-  for (std::size_t i = row_lo; i < row_hi; ++i) {
-    float* c_row = c + i * n;
-    const float* a_row = a + i * k;
-    for (std::size_t p0 = 0; p0 < k; p0 += kDepthBlock) {
-      const std::size_t p1 = std::min(k, p0 + kDepthBlock);
-      for (std::size_t p = p0; p < p1; ++p) {
-        const float a_val = a_row[p];
-        if (a_val == 0.0f) continue;  // chop masks produce many zero rows
-        const float* b_row = b + p * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          c_row[j] += a_val * b_row[j];
-        }
-      }
-    }
-  }
-}
-
 // One plane of the dense sandwich: out_plane = lhs · (plane · rhs), both
-// stages serial on the calling thread (the caller owns the parallelism).
+// stages through the shared gemm (which degrades to inline execution on
+// pool workers — the caller owns the plane-level parallelism).
 void sandwich_plane_dense(const float* lhs, const float* plane,
                           const float* rhs, float* out_plane, std::size_t h,
                           std::size_t w, std::size_t out_h,
                           std::size_t out_w) {
   float* mid = thread_scratch(h * out_w);
-  std::fill_n(mid, h * out_w, 0.0f);
-  gemm_rows(plane, rhs, mid, 0, h, out_w, w);
-  std::fill_n(out_plane, out_h * out_w, 0.0f);
-  gemm_rows(lhs, mid, out_plane, 0, out_h, out_w, h);
+  gemm(Trans::kNo, Trans::kNo, h, out_w, w, plane, w, rhs, out_w, mid, out_w,
+       /*accumulate=*/false);
+  gemm(Trans::kNo, Trans::kNo, out_h, out_w, h, lhs, h, mid, out_w, out_plane,
+       out_w, /*accumulate=*/false);
 }
 
 struct SandwichDims {
@@ -96,7 +74,11 @@ void sandwich_dense(const float* lhs, const float* in, const float* rhs,
 // Structurally-sparse fast path. Band i of LHS couples output rows
 // [i·lb_r, +lb_r) to input rows [i·lb_c, +lb_c) only, so each (plane,
 // band) item is independent: form the lb_c×out_w mid strip in scratch,
-// then the lb_r output rows, touching only live operator entries.
+// then the lb_r output rows, touching only live operator entries. The
+// per-element work goes through the dispatched kernel primitives
+// (block_mac for the narrow per-band RHS blocks, axpy_row for the wide
+// output rows), which accumulate in the exact same ascending-k order as
+// the dense gemm — banded and dense stay bit-identical per backend.
 void sandwich_banded(const float* lhs, const float* in, const float* rhs,
                      float* out, const SandwichDims& d, std::size_t lb_r,
                      std::size_t lb_c, std::size_t rb_r, std::size_t rb_c) {
@@ -106,31 +88,24 @@ void sandwich_banded(const float* lhs, const float* in, const float* rhs,
       0, d.planes * bands,
       [&](std::size_t lo, std::size_t hi) {
         float* mid = thread_scratch(lb_c * d.out_w);
+        std::uint64_t mac_local = 0, axpy_local = 0;
         for (std::size_t item = lo; item < hi; ++item) {
           const std::size_t plane = item / bands;
           const std::size_t band = item % bands;
           const float* in_rows =
               in + plane * d.h * d.w + band * lb_c * d.w;
-          // mid = in_rows · rhs, visiting only each RHS row's live band.
+          // mid = in_rows · rhs, visiting only each RHS row's live band:
+          // one lb_c×rb_c block MAC per RHS band.
           std::fill_n(mid, lb_c * d.out_w, 0.0f);
-          for (std::size_t x = 0; x < lb_c; ++x) {
-            const float* a_row = in_rows + x * d.w;
-            float* mid_row = mid + x * d.out_w;
-            for (std::size_t jb = 0; jb < rhs_bands; ++jb) {
-              const float* a_band = a_row + jb * rb_r;
-              const float* r_rows = rhs + (jb * rb_r) * d.out_w + jb * rb_c;
-              float* mid_cols = mid_row + jb * rb_c;
-              for (std::size_t p = 0; p < rb_r; ++p) {
-                const float a_val = a_band[p];
-                if (a_val == 0.0f) continue;
-                const float* r_cols = r_rows + p * d.out_w;
-                for (std::size_t q = 0; q < rb_c; ++q) {
-                  mid_cols[q] += a_val * r_cols[q];
-                }
-              }
-            }
+          for (std::size_t jb = 0; jb < rhs_bands; ++jb) {
+            block_mac(lb_c, rb_c, rb_r, in_rows + jb * rb_r, d.w,
+                      rhs + (jb * rb_r) * d.out_w + jb * rb_c, d.out_w,
+                      mid + jb * rb_c, d.out_w);
           }
-          // out band = (lb_r × lb_c) LHS block · mid.
+          mac_local += rhs_bands;
+          // out band = (lb_r × lb_c) LHS block · mid, one wide fused
+          // row update per live LHS entry. The zero-skip stays here —
+          // zeros in chop operators are structural, not incidental.
           const float* l_block = lhs + (band * lb_r) * d.h + band * lb_c;
           float* out_rows = out + plane * d.out_h * d.out_w +
                             band * lb_r * d.out_w;
@@ -141,13 +116,15 @@ void sandwich_banded(const float* lhs, const float* in, const float* rhs,
             for (std::size_t q = 0; q < lb_c; ++q) {
               const float l_val = l_row[q];
               if (l_val == 0.0f) continue;
-              const float* mid_row = mid + q * d.out_w;
-              for (std::size_t j = 0; j < d.out_w; ++j) {
-                out_row[j] += l_val * mid_row[j];
-              }
+              axpy_row(l_val, mid + q * d.out_w, out_row, d.out_w);
+              ++axpy_local;
             }
           }
         }
+        GemmCounters delta;
+        delta.block_mac_calls = mac_local;
+        delta.axpy_calls = axpy_local;
+        add_gemm_counters(delta);
       },
       {.grain = kBandGrain});
 }
@@ -161,18 +138,23 @@ bool spec_fits(const BandedSpec& spec, std::size_t rows, std::size_t cols) {
 
 }  // namespace
 
-void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
-                 bool accumulate) {
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out, Trans trans_a,
+                 Trans trans_b, bool accumulate) {
   if (a.shape().rank() != 2 || b.shape().rank() != 2) {
     throw std::invalid_argument("matmul: operands must be rank 2");
   }
   require_float32(a, "matmul", "LHS");
   require_float32(b, "matmul", "RHS");
   require_float32(out, "matmul", "output");
-  const std::size_t m = a.shape()[0];
-  const std::size_t k = a.shape()[1];
-  const std::size_t n = b.shape()[1];
-  if (b.shape()[0] != k) {
+  const std::size_t m =
+      trans_a == Trans::kNo ? a.shape()[0] : a.shape()[1];
+  const std::size_t k =
+      trans_a == Trans::kNo ? a.shape()[1] : a.shape()[0];
+  const std::size_t k_b =
+      trans_b == Trans::kNo ? b.shape()[0] : b.shape()[1];
+  const std::size_t n =
+      trans_b == Trans::kNo ? b.shape()[1] : b.shape()[0];
+  if (k_b != k) {
     throw std::invalid_argument("matmul: inner dimensions differ: " +
                                 a.shape().to_string() + " x " +
                                 b.shape().to_string());
@@ -180,15 +162,13 @@ void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
   if (out.shape() != Shape::matrix(m, n)) {
     throw std::invalid_argument("matmul_into: output shape mismatch");
   }
-  if (!accumulate) out.fill(0.0f);
+  gemm(trans_a, trans_b, m, n, k, a.raw(), a.shape()[1], b.raw(),
+       b.shape()[1], out.raw(), n, accumulate);
+}
 
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = out.raw();
-  runtime::parallel_for_chunks(
-      0, m,
-      [&](std::size_t lo, std::size_t hi) { gemm_rows(pa, pb, pc, lo, hi, n, k); },
-      {.grain = kRowBlock});
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                 bool accumulate) {
+  matmul_into(a, b, out, Trans::kNo, Trans::kNo, accumulate);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -2,18 +2,27 @@
 
 #include <cstdint>
 
+#include "tensor/gemm_kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace aic::tensor {
 
-/// C = A · B for rank-2 tensors; cache-blocked, parallel over row panels.
+/// C = A · B for rank-2 tensors; packed, register-blocked, runtime
+/// ISA-dispatched (see gemm_kernels.hpp), parallel over row panels.
 ///
 /// This is the workhorse of the whole repository: DCT+Chop compression and
 /// decompression are each exactly two calls to this kernel (Eq. 4 / Eq. 6
 /// of the paper).
 Tensor matmul(const Tensor& a, const Tensor& b);
 
-/// C += A · B into a preallocated output (no allocation on the hot path).
+/// C (+)= op(A) · op(B) into a preallocated output. The transpose flags
+/// are honored by the kernel's packing stage, so passing Trans::kYes is
+/// free compared to materializing `transposed()` copies — the Linear and
+/// conv2d backward passes rely on this.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out, Trans trans_a,
+                 Trans trans_b, bool accumulate = false);
+
+/// C (+)= A · B (both operands taken as stored).
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
                  bool accumulate = false);
 
@@ -39,7 +48,7 @@ bool is_block_banded(const Tensor& m, const BandedSpec& spec);
 /// Structural hints for sandwich_planes_into. When both specs are valid
 /// the kernel iterates only the live band entries of LHS/RHS — the
 /// BD·C·n²/64 useful work of §3.2 — instead of scanning full rows and
-/// relying on the scalar zero-skip.
+/// relying on a scalar zero-skip.
 struct SandwichOptions {
   BandedSpec lhs_bands;
   BandedSpec rhs_bands;
@@ -52,9 +61,10 @@ struct SandwichOptions {
 /// Zero-allocation batched kernel: parallelized once over (plane ×
 /// row-band) work items, with per-thread aligned scratch reused across
 /// calls — no per-plane tensors, no nested thread-pool submission.
-/// Every element equals `matmul(lhs, matmul(plane, rhs))` exactly — same
-/// contributions in the same order, so no rounding drift (the only
-/// admissible difference is the sign of exact zeros).
+/// Every element equals `matmul(lhs, matmul(plane, rhs))` exactly — both
+/// paths issue the same ascending-k fused-accumulation chains through the
+/// shared kernel layer, so no rounding drift (the only admissible
+/// difference is the sign of exact zeros).
 void sandwich_planes_into(const Tensor& lhs, const Tensor& in,
                           const Tensor& rhs, Tensor& out,
                           const SandwichOptions& options = {});
