@@ -10,12 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "baseline/jpeg_codec.hpp"
 #include "baseline/zfp_like.hpp"
+#include "bench/common.hpp"
 #include "core/dct_chop.hpp"
 #include "core/triangle.hpp"
 #include "data/synth.hpp"
@@ -343,5 +345,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&raw_argc, raw.data());
   if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  if (want_json &&
+      !aic::bench::merge_metrics_into_benchmark_json(json_path)) {
+    std::fprintf(stderr, "warning: could not merge aic_metrics into %s\n",
+                 json_path.c_str());
+  }
   return 0;
 }

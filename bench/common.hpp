@@ -3,8 +3,10 @@
 // Shared helpers for the per-figure bench harness binaries.
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "graph/builders.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace aic::bench {
 
@@ -71,6 +74,29 @@ inline double partial_serialized_time(const accel::Accelerator& device,
 
 inline std::string ms(double seconds) {
   return io::Table::num(seconds * 1e3, 4);
+}
+
+/// Splices the process metrics registry into a google-benchmark JSON
+/// report as a top-level "aic_metrics" object, so BENCH files carry
+/// percentile data (p50/p90/p99 per histogram), not just means. Returns
+/// false when `path` is unreadable or does not end in '}'.
+inline bool merge_metrics_into_benchmark_json(const std::string& path) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text.substr(0, close) << ",\n  \"aic_metrics\": "
+      << obs::Registry::global().json() << "\n"
+      << text.substr(close);
+  return static_cast<bool>(out);
 }
 
 }  // namespace aic::bench

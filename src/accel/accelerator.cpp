@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace aic::accel {
 
 using graph::Graph;
@@ -91,11 +94,35 @@ std::unique_ptr<CompiledModel> Accelerator::compile(Graph g) const {
 
 RunResult Accelerator::run(CompiledModel& model,
                            const std::vector<tensor::Tensor>& inputs) const {
+  AIC_TRACE_SCOPE("accel.run");
   RunResult result;
   result.outputs = model.executor().run(inputs);
   result.trace = model.executor().trace();
   result.time = simulate(cost_, spec_.arch, result.trace);
+  result.host_seconds = model.executor().host_seconds();
+  result.op_timings = model.executor().op_timings();
+  publish_drift(result);
+  // An executed trace must be exactly what the static shapes predicted;
+  // a mismatch means a simulator is costing a different program than the
+  // one the executor ran.
+  if (graph::static_trace(model.executor().graph()) != result.trace) {
+    obs::Registry::global().counter("accel.trace_mismatch").add(1);
+  }
   return result;
+}
+
+void Accelerator::publish_drift(const RunResult& result) const {
+  obs::Registry& reg = obs::Registry::global();
+  const std::string prefix = "accel." + spec_.name + ".";
+  reg.counter(prefix + "runs").add(1);
+  reg.gauge(prefix + "predicted_s").set(result.time.total_s());
+  reg.gauge(prefix + "measured_s").set(result.host_seconds);
+  if (result.time.total_s() > 0.0) {
+    reg.gauge(prefix + "drift_ratio")
+        .set(result.host_seconds / result.time.total_s());
+  }
+  reg.histogram(prefix + "host_ns")
+      .record(static_cast<std::uint64_t>(result.host_seconds * 1e9));
 }
 
 RunResult Accelerator::compile_and_run(

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,13 @@ struct RunResult {
   std::vector<tensor::Tensor> outputs;
   SimTime time;
   graph::ExecutionTrace trace;
+  /// Host wall time actually spent executing the graph numerically —
+  /// the "measured" side of the cost-model drift accounting. Simulated
+  /// `time` is the "predicted" side; their ratio is published to the
+  /// metrics registry per platform on every run.
+  double host_seconds = 0.0;
+  /// Host wall time per operator kind (indexed by OpKind).
+  std::array<graph::OpTiming, graph::kOpKindCount> op_timings{};
 };
 
 /// A graph admitted by a platform compiler, ready to run.
@@ -81,6 +89,10 @@ class Accelerator {
   SimTime estimate(const graph::Graph& g) const;
 
  private:
+  /// Publishes predicted-vs-measured time for one run to the process
+  /// metrics registry under "accel.<spec name>.*".
+  void publish_drift(const RunResult& result) const;
+
   AcceleratorSpec spec_;
   CostParams cost_;
 };

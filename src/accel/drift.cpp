@@ -1,0 +1,46 @@
+#include "accel/drift.hpp"
+
+#include "graph/builders.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace aic::accel {
+
+std::vector<DriftRow> cost_model_drift_probe(
+    const DriftProbeOptions& options,
+    const std::vector<Platform>& platforms) {
+  const core::DctChopConfig config{.height = options.resolution,
+                                   .width = options.resolution,
+                                   .cf = options.cf,
+                                   .block = options.block};
+  graph::Graph g = graph::build_compress_graph(
+      config, {.batch = options.batch, .channels = options.channels});
+
+  runtime::Rng rng(7);
+  const tensor::Tensor input = tensor::Tensor::uniform(
+      tensor::Shape::bchw(options.batch, options.channels, options.resolution,
+                          options.resolution),
+      rng);
+
+  std::vector<DriftRow> rows;
+  rows.reserve(platforms.size());
+  for (Platform platform : platforms) {
+    const Accelerator accel = make_accelerator(platform);
+    DriftRow row;
+    row.platform = accel.spec().name;
+    const CompileResult check = accel.compile_check(g);
+    if (!check.ok) {
+      row.error = check.error;
+      rows.push_back(std::move(row));
+      continue;
+    }
+    const RunResult result = accel.compile_and_run(g, {input});
+    row.compiled = true;
+    row.predicted_s = result.time.total_s();
+    row.measured_s = result.host_seconds;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace aic::accel

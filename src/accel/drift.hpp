@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/registry.hpp"
+
+namespace aic::accel {
+
+/// One platform's predicted-vs-measured row from a drift probe.
+struct DriftRow {
+  std::string platform;
+  bool compiled = false;
+  /// Compiler diagnostic when `compiled` is false.
+  std::string error;
+  /// Simulated invocation time from the calibrated cost model.
+  double predicted_s = 0.0;
+  /// Host wall time the executor actually spent on the graph math.
+  double measured_s = 0.0;
+  /// measured / predicted (0 when either side is unavailable). The
+  /// absolute value is meaningless — the host is not the accelerator —
+  /// but a platform whose ratio moves between commits has a cost-model
+  /// or executor regression.
+  double drift_ratio() const {
+    return (compiled && predicted_s > 0.0) ? measured_s / predicted_s : 0.0;
+  }
+};
+
+/// Options for a drift probe run.
+struct DriftProbeOptions {
+  std::size_t batch = 4;
+  std::size_t channels = 3;
+  std::size_t resolution = 32;
+  std::size_t cf = 4;
+  std::size_t block = 8;
+};
+
+/// Runs one small DCT+Chop compress graph through every platform in
+/// `platforms` (default: the four paper accelerators), returning one row
+/// per platform. Also publishes the per-platform "accel.<name>.*" drift
+/// metrics as a side effect of the runs.
+std::vector<DriftRow> cost_model_drift_probe(
+    const DriftProbeOptions& options = {},
+    const std::vector<Platform>& platforms = paper_accelerators());
+
+}  // namespace aic::accel

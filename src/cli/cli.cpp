@@ -1,14 +1,21 @@
 #include "cli/cli.hpp"
 
+#include <iomanip>
 #include <map>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
+#include "accel/drift.hpp"
 #include "cli/archive.hpp"
+#include "core/dct_chop.hpp"
 #include "core/metrics.hpp"
 #include "data/synth.hpp"
 #include "io/tensor_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/cpu_features.hpp"
+#include "runtime/env.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/gemm_kernels.hpp"
 #include "tensor/ops.hpp"
@@ -25,6 +32,8 @@ struct Options {
   std::map<std::string, std::string> flags;
   bool triangle = false;
   bool stats = false;
+  bool metrics = false;
+  std::string trace_path;
 };
 
 Options parse(const std::vector<std::string>& args, std::size_t start) {
@@ -35,6 +44,13 @@ Options parse(const std::vector<std::string>& args, std::size_t start) {
       options.triangle = true;
     } else if (arg == "--stats") {
       options.stats = true;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg == "--trace") {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing output path for --trace");
+      }
+      options.trace_path = args[++i];
     } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= args.size()) {
         throw std::invalid_argument("missing value for " + arg);
@@ -72,9 +88,15 @@ int usage(std::ostream& err) {
          "  aicomp info <file>\n"
          "  aicomp eval <in.aict> [--cf N --block B --transform ... "
          "--triangle --stats]\n"
+         "  aicomp --metrics   (standalone: probe workload + report)\n"
          "\n"
          "  --stats prints per-codec counters (calls, planes, Eq. 5/7\n"
-         "  FLOPs, bytes, wall time) after the operation.\n";
+         "  FLOPs, bytes, wall time) after the operation.\n"
+         "  --metrics prints latency percentiles (p50/p90/p99) and the\n"
+         "  per-simulator cost-model drift table after the operation.\n"
+         "  --trace <out.json> records spans and writes Chrome trace-event\n"
+         "  JSON (open in Perfetto / chrome://tracing). AIC_TRACE=<path>\n"
+         "  does the same without flags.\n";
   return 2;
 }
 
@@ -100,6 +122,68 @@ void print_stats(std::ostream& out, const core::Codec& codec) {
       << " tail_tiles=" << kc.tail_tiles << " axpy_calls=" << kc.axpy_calls
       << " block_mac_calls=" << kc.block_mac_calls
       << " gemm_flops=" << kc.flops << "\n";
+}
+
+void print_metrics(std::ostream& out) {
+  // Per-simulator drift table: one small compress graph through each
+  // paper platform, predicted (cost model) vs. measured (host) time.
+  out << "cost-model drift (predicted vs. host-measured):\n";
+  out << "  " << std::left << std::setw(18) << "platform" << std::right
+      << std::setw(14) << "predicted_s" << std::setw(14) << "measured_s"
+      << std::setw(10) << "ratio" << "\n";
+  for (const accel::DriftRow& row : accel::cost_model_drift_probe()) {
+    out << "  " << std::left << std::setw(18) << row.platform << std::right;
+    if (!row.compiled) {
+      out << "  rejected: " << row.error << "\n";
+      continue;
+    }
+    out << std::setw(14) << std::scientific << std::setprecision(3)
+        << row.predicted_s << std::setw(14) << row.measured_s
+        << std::setw(10) << std::fixed << std::setprecision(2)
+        << row.drift_ratio() << "\n";
+  }
+  out.unsetf(std::ios::floatfield);
+
+  const obs::Registry& reg = obs::Registry::global();
+  out << "latency histograms (ns):\n";
+  for (const auto& [name, snap] : reg.histograms()) {
+    if (snap.count == 0) continue;
+    out << "  " << std::left << std::setw(28) << name << std::right
+        << " count=" << snap.count << " p50=" << std::setprecision(0)
+        << std::fixed << snap.p50() << " p90=" << snap.p90()
+        << " p99=" << snap.p99() << " max=" << snap.max << "\n";
+  }
+  out.unsetf(std::ios::floatfield);
+  out << "counters:\n";
+  for (const auto& [name, value] : reg.counters()) {
+    out << "  " << std::left << std::setw(28) << name << " " << value << "\n";
+  }
+  out << "gauges:\n";
+  for (const auto& [name, value] : reg.gauges()) {
+    out << "  " << std::left << std::setw(28) << name << " " << value << "\n";
+  }
+}
+
+/// Standalone `aicomp --metrics` / `aicomp --trace <f>`: run a small
+/// representative codec workload so histograms and spans have data even
+/// without an input file. The round trips are split across two explicit
+/// threads (the codec is thread-safe) so traces show cross-thread
+/// structure even on single-core hosts where the pool degrades inline.
+int cmd_probe(std::ostream& out) {
+  runtime::Rng rng(1);
+  const Tensor input =
+      Tensor::uniform(Shape::bchw(4, 3, 32, 32), rng);
+  const core::DctChopCodec codec(
+      {.height = 32, .width = 32, .cf = 4, .block = 8});
+  const auto worker = [&] {
+    for (int rep = 0; rep < 8; ++rep) (void)codec.round_trip(input);
+  };
+  std::thread second(worker);
+  worker();
+  second.join();
+  out << "probe: 16 round trips of " << codec.name() << " on "
+      << input.shape().to_string() << " across 2 threads\n";
+  return 0;
 }
 
 int cmd_gen(const Options& options, std::ostream& out) {
@@ -204,15 +288,48 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   if (args.empty()) return usage(err);
   try {
-    const std::string& command = args[0];
-    const Options options = parse(args, 1);
-    if (command == "gen") return cmd_gen(options, out);
-    if (command == "compress") return cmd_compress(options, out);
-    if (command == "decompress") return cmd_decompress(options, out);
-    if (command == "info") return cmd_info(options, out);
-    if (command == "eval") return cmd_eval(options, out);
-    err << "unknown command: " << command << "\n";
-    return usage(err);
+    // `aicomp --metrics` / `aicomp --trace f.json` with no command run a
+    // built-in probe workload.
+    const bool bare = args[0].rfind("--", 0) == 0;
+    const std::string command = bare ? "" : args[0];
+    const Options options = parse(args, bare ? 0 : 1);
+
+    // AIC_TRACE (via runtime::env) or --trace turn span recording on
+    // before the command executes.
+    if (!options.trace_path.empty() ||
+        !runtime::env_string("AIC_TRACE", "").empty()) {
+      obs::set_tracing_enabled(true);
+    }
+
+    int rc;
+    if (bare) {
+      if (!options.metrics && options.trace_path.empty()) return usage(err);
+      rc = cmd_probe(out);
+    } else if (command == "gen") {
+      rc = cmd_gen(options, out);
+    } else if (command == "compress") {
+      rc = cmd_compress(options, out);
+    } else if (command == "decompress") {
+      rc = cmd_decompress(options, out);
+    } else if (command == "info") {
+      rc = cmd_info(options, out);
+    } else if (command == "eval") {
+      rc = cmd_eval(options, out);
+    } else {
+      err << "unknown command: " << command << "\n";
+      return usage(err);
+    }
+
+    if (!options.trace_path.empty()) {
+      if (!obs::export_chrome_trace_file(options.trace_path)) {
+        err << "error: cannot write trace to " << options.trace_path << "\n";
+        return 1;
+      }
+      out << "wrote trace to " << options.trace_path << " ("
+          << obs::collect_trace().size() << " spans)\n";
+    }
+    if (options.metrics) print_metrics(out);
+    return rc;
   } catch (const std::exception& error) {
     err << "error: " << error.what() << "\n";
     return 1;

@@ -43,14 +43,14 @@ class CodecStats {
  public:
   void record_compress(std::uint64_t planes, std::uint64_t flops,
                        std::uint64_t bytes_in, std::uint64_t bytes_out,
-                       double seconds) noexcept {
-    record(compress_, planes, flops, bytes_in, bytes_out, seconds);
+                       std::uint64_t nanos) noexcept {
+    record(compress_, planes, flops, bytes_in, bytes_out, nanos);
   }
 
   void record_decompress(std::uint64_t planes, std::uint64_t flops,
                          std::uint64_t bytes_in, std::uint64_t bytes_out,
-                         double seconds) noexcept {
-    record(decompress_, planes, flops, bytes_in, bytes_out, seconds);
+                         std::uint64_t nanos) noexcept {
+    record(decompress_, planes, flops, bytes_in, bytes_out, nanos);
   }
 
   CodecStatsSnapshot snapshot() const noexcept {
@@ -78,14 +78,13 @@ class CodecStats {
 
   static void record(Cell& cell, std::uint64_t planes, std::uint64_t flops,
                      std::uint64_t bytes_in, std::uint64_t bytes_out,
-                     double seconds) noexcept {
+                     std::uint64_t nanos) noexcept {
     cell.calls.fetch_add(1, std::memory_order_relaxed);
     cell.planes.fetch_add(planes, std::memory_order_relaxed);
     cell.flops.fetch_add(flops, std::memory_order_relaxed);
     cell.bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
     cell.bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
-    cell.nanos.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
-                         std::memory_order_relaxed);
+    cell.nanos.fetch_add(nanos, std::memory_order_relaxed);
   }
 
   static void load(const Cell& cell, CodecOpStats& out) noexcept {

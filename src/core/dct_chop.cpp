@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/timer.hpp"
 #include "tensor/matmul.hpp"
 
@@ -69,21 +71,26 @@ Shape DctChopCodec::compressed_shape(const Shape& input) const {
 }
 
 Tensor DctChopCodec::compress(const Tensor& input) const {
+  AIC_TRACE_SCOPE("codec.compress");
   runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
   tensor::sandwich_planes_into(lhs_h_, input, rhs_w_, out, compress_bands_);
   const std::size_t planes = input.shape()[0] * input.shape()[1];
+  const std::uint64_t nanos = timer.nanos();
   stats_.record_compress(planes,
                          planes * flops_compress_hw(config_.height,
                                                     config_.width, config_.cf,
                                                     config_.block),
-                         input.size_bytes(), out.size_bytes(),
-                         timer.seconds());
+                         input.size_bytes(), out.size_bytes(), nanos);
+  static obs::Histogram& latency =
+      obs::Registry::global().histogram("codec.compress.ns");
+  latency.record(nanos);
   return out;
 }
 
 Tensor DctChopCodec::decompress(const Tensor& packed,
                                 const Shape& original) const {
+  AIC_TRACE_SCOPE("codec.decompress");
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     throw std::invalid_argument("DctChopCodec: packed shape mismatch");
@@ -93,13 +100,16 @@ Tensor DctChopCodec::decompress(const Tensor& packed,
   tensor::sandwich_planes_into(rhs_h_, packed, lhs_w_, out,
                                decompress_bands_);
   const std::size_t planes = original[0] * original[1];
+  const std::uint64_t nanos = timer.nanos();
   stats_.record_decompress(planes,
                            planes * flops_decompress_hw(config_.height,
                                                         config_.width,
                                                         config_.cf,
                                                         config_.block),
-                           packed.size_bytes(), out.size_bytes(),
-                           timer.seconds());
+                           packed.size_bytes(), out.size_bytes(), nanos);
+  static obs::Histogram& latency =
+      obs::Registry::global().histogram("codec.decompress.ns");
+  latency.record(nanos);
   return out;
 }
 

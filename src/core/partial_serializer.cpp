@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/timer.hpp"
 
 namespace aic::core {
@@ -84,6 +86,7 @@ Shape PartialSerialCodec::compressed_shape(const Shape& input) const {
 }
 
 Tensor PartialSerialCodec::compress(const Tensor& input) const {
+  AIC_TRACE_SCOPE("ps.compress");
   runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
   const std::size_t batch = input.shape()[0];
@@ -97,6 +100,7 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
   Tensor chunk(Shape::bchw(batch, channels, chunk_h_, chunk_w_));
   for (std::size_t si = 0; si < s; ++si) {
     for (std::size_t sj = 0; sj < s; ++sj) {
+      AIC_TRACE_SCOPE("ps.chunk");
       copy_window(input, si * chunk_h_, sj * chunk_w_, chunk, 0, 0, chunk_h_,
                   chunk_w_);
       const Tensor packed = chunk_codec_->compress(chunk);
@@ -105,17 +109,22 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
     }
   }
   const std::size_t planes = batch * channels;
+  const std::uint64_t nanos = timer.nanos();
   stats_.record_compress(
       planes,
       planes * s * s *
           DctChopCodec::flops_compress_hw(chunk_h_, chunk_w_, config_.cf,
                                           config_.block),
-      input.size_bytes(), out.size_bytes(), timer.seconds());
+      input.size_bytes(), out.size_bytes(), nanos);
+  static obs::Histogram& latency =
+      obs::Registry::global().histogram("ps.compress.ns");
+  latency.record(nanos);
   return out;
 }
 
 Tensor PartialSerialCodec::decompress(const Tensor& packed,
                                       const Shape& original) const {
+  AIC_TRACE_SCOPE("ps.decompress");
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     throw std::invalid_argument("PartialSerialCodec: packed shape mismatch");
@@ -131,6 +140,7 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
   Tensor chunk_packed(Shape::bchw(batch, channels, chunk_ch, chunk_cw));
   for (std::size_t si = 0; si < s; ++si) {
     for (std::size_t sj = 0; sj < s; ++sj) {
+      AIC_TRACE_SCOPE("ps.chunk");
       copy_window(packed, si * chunk_ch, sj * chunk_cw, chunk_packed, 0, 0,
                   chunk_ch, chunk_cw);
       const Tensor chunk = chunk_codec_->decompress(chunk_packed, chunk_shape);
@@ -139,12 +149,16 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
     }
   }
   const std::size_t planes = batch * channels;
+  const std::uint64_t nanos = timer.nanos();
   stats_.record_decompress(
       planes,
       planes * s * s *
           DctChopCodec::flops_decompress_hw(chunk_h_, chunk_w_, config_.cf,
                                             config_.block),
-      packed.size_bytes(), out.size_bytes(), timer.seconds());
+      packed.size_bytes(), out.size_bytes(), nanos);
+  static obs::Histogram& latency =
+      obs::Registry::global().histogram("ps.decompress.ns");
+  latency.record(nanos);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+#include "runtime/timer.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -90,7 +92,9 @@ std::size_t matmul_min_plane_bytes(const Shape& a, const Shape& b,
 }  // namespace
 
 std::vector<Tensor> Executor::run(const std::vector<Tensor>& inputs) {
+  AIC_TRACE_SCOPE("graph.run");
   trace_ = ExecutionTrace{};
+  op_timings_.fill(OpTiming{});
   trace_.min_matmul_out_bytes = std::numeric_limits<std::size_t>::max();
   trace_.min_matmul_plane_bytes = std::numeric_limits<std::size_t>::max();
   trace_.resident_bytes = graph_.constant_bytes() + graph_.activation_bytes();
@@ -99,6 +103,8 @@ std::vector<Tensor> Executor::run(const std::vector<Tensor>& inputs) {
   std::size_t next_input = 0;
 
   for (const Node& node : graph_.nodes()) {
+    AIC_TRACE_SCOPE(op_cname(node.kind));
+    runtime::Timer node_timer;
     ++trace_.node_evaluations;
     std::size_t read = 0;
     for (NodeId in : node.inputs) {
@@ -266,6 +272,9 @@ std::vector<Tensor> Executor::run(const std::vector<Tensor>& inputs) {
       }
     }
     trace_.bytes_written += node.shape.numel() * sizeof(float);
+    OpTiming& timing = op_timings_[static_cast<std::size_t>(node.kind)];
+    ++timing.calls;
+    timing.nanos += node_timer.nanos();
   }
 
   if (trace_.min_matmul_out_bytes == std::numeric_limits<std::size_t>::max()) {
@@ -286,6 +295,12 @@ std::vector<Tensor> Executor::run(const std::vector<Tensor>& inputs) {
     }
   }
   return results;
+}
+
+double Executor::host_seconds() const {
+  std::uint64_t nanos = 0;
+  for (const OpTiming& timing : op_timings_) nanos += timing.nanos;
+  return static_cast<double>(nanos) / 1e9;
 }
 
 ExecutionTrace static_trace(const Graph& graph) {

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/op.hpp"
 #include "tensor/tensor.hpp"
 
 namespace aic::graph {
@@ -39,6 +42,18 @@ struct ExecutionTrace {
   /// (tile spilling), which is why direct 512×512 on the IPU is no
   /// faster than s=2 partial serialization (Fig. 15 discussion).
   std::size_t resident_bytes = 0;
+
+  friend bool operator==(const ExecutionTrace&,
+                         const ExecutionTrace&) = default;
+};
+
+/// Host-measured wall time of one operator kind, accumulated over a
+/// run(). Kept outside ExecutionTrace: the trace must stay a pure
+/// function of static shapes (static_trace equality invariant), while
+/// timings are measurement.
+struct OpTiming {
+  std::size_t calls = 0;
+  std::uint64_t nanos = 0;
 };
 
 /// Reference executor: evaluates a Graph on the CPU in topological
@@ -57,12 +72,22 @@ class Executor {
   /// Trace of the most recent run().
   const ExecutionTrace& trace() const { return trace_; }
 
+  /// Host wall time per operator kind for the most recent run(), indexed
+  /// by static_cast<size_t>(OpKind).
+  const std::array<OpTiming, kOpKindCount>& op_timings() const {
+    return op_timings_;
+  }
+
+  /// Total host wall time of the most recent run(), seconds.
+  double host_seconds() const;
+
   /// The owned program.
   const Graph& graph() const { return graph_; }
 
  private:
   Graph graph_;
   ExecutionTrace trace_;
+  std::array<OpTiming, kOpKindCount> op_timings_{};
 };
 
 /// Computes the trace of one evaluation *without executing*: every field

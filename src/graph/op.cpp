@@ -2,7 +2,9 @@
 
 namespace aic::graph {
 
-std::string op_name(OpKind kind) {
+std::string op_name(OpKind kind) { return op_cname(kind); }
+
+const char* op_cname(OpKind kind) {
   switch (kind) {
     case OpKind::kInput: return "input";
     case OpKind::kConstant: return "constant";

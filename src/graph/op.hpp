@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace aic::graph {
@@ -40,6 +41,15 @@ enum class OpCategory {
 
 /// Human-readable name ("matmul", "bit_shift_left", ...).
 std::string op_name(OpKind kind);
+
+/// Same names as op_name but as static storage — usable as a trace span
+/// name (spans keep the pointer, never a copy).
+const char* op_cname(OpKind kind);
+
+/// Number of OpKind enumerators (dense, starting at 0) — sizes per-op
+/// accounting tables.
+inline constexpr std::size_t kOpKindCount =
+    static_cast<std::size_t>(OpKind::kBitNot) + 1;
 
 /// Portability category of the op.
 OpCategory op_category(OpKind kind);

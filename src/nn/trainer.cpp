@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/timer.hpp"
+
 namespace aic::nn {
 
 using tensor::Tensor;
@@ -23,23 +27,40 @@ LossResult Trainer::compute_loss(const Tensor& output, const Batch& batch) {
 }
 
 double Trainer::train_epoch(const std::vector<Batch>& batches) {
+  AIC_TRACE_SCOPE("train.epoch");
+  static obs::Histogram& batch_latency =
+      obs::Registry::global().histogram("train.batch.ns");
   double total = 0.0;
   for (const Batch& batch : batches) {
+    AIC_TRACE_SCOPE("train.batch");
+    runtime::Timer timer;
     // §4.1: "each batch is first compressed and then decompressed, so
     // that increasing levels of loss ... can be studied".
-    const Tensor input =
-        codec_ ? codec_->round_trip(batch.input) : batch.input;
-    const Tensor output = model_.forward(input, /*train=*/true);
+    Tensor input = batch.input;
+    if (codec_) {
+      AIC_TRACE_SCOPE("train.compress");
+      input = codec_->round_trip(batch.input);
+    }
+    Tensor output;
+    {
+      AIC_TRACE_SCOPE("train.forward");
+      output = model_.forward(input, /*train=*/true);
+    }
     const LossResult loss = compute_loss(output, batch);
-    optimizer_.zero_grad();
-    model_.backward(loss.grad);
-    optimizer_.step();
+    {
+      AIC_TRACE_SCOPE("train.backward");
+      optimizer_.zero_grad();
+      model_.backward(loss.grad);
+      optimizer_.step();
+    }
     total += loss.value;
+    batch_latency.record(timer.nanos());
   }
   return batches.empty() ? 0.0 : total / static_cast<double>(batches.size());
 }
 
 Trainer::EvalResult Trainer::evaluate(const std::vector<Batch>& batches) {
+  AIC_TRACE_SCOPE("train.evaluate");
   EvalResult result;
   if (batches.empty()) return result;
   for (const Batch& batch : batches) {

@@ -1,0 +1,253 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace aic::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::size_t kDefaultCapacity = 65536;
+constexpr std::size_t kMinCapacity = 16;
+
+/// One thread's span ring. Only the owner thread writes; `head` counts
+/// total pushes so readers can tell how much of the ring is live (and how
+/// much wrapped). Buffers are shared_ptr-owned by the registry so they
+/// survive thread exit and export stays safe.
+struct ThreadTraceBuffer {
+  explicit ThreadTraceBuffer(std::uint32_t id, std::size_t capacity)
+      : tid(id), ring(std::max(capacity, kMinCapacity)) {}
+
+  void push(const TraceSpan& span) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    ring[h % ring.size()] = span;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  const std::uint32_t tid;
+  std::uint32_t depth = 0;  // owner-thread only
+  std::vector<TraceSpan> ring;
+  std::atomic<std::uint64_t> head{0};
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+// Leaky singletons: metrics/trace recording may run from static
+// destructors of other TUs, so these are never destroyed.
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+std::atomic<std::size_t> g_capacity{0};  // 0 = uninitialized
+
+std::size_t resolve_capacity() {
+  std::size_t cap = g_capacity.load(std::memory_order_relaxed);
+  if (cap != 0) return cap;
+  cap = kDefaultCapacity;
+  if (const char* raw = std::getenv("AIC_TRACE_BUFFER_EVENTS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end != raw && *end == '\0' && v > 0) cap = static_cast<std::size_t>(v);
+  }
+  g_capacity.store(cap, std::memory_order_relaxed);
+  return cap;
+}
+
+clock_type::time_point trace_epoch() {
+  static const clock_type::time_point epoch = clock_type::now();
+  return epoch;
+}
+
+ThreadTraceBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> tls = [] {
+    TraceRegistry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    auto buffer = std::make_shared<ThreadTraceBuffer>(reg.next_tid++,
+                                                      resolve_capacity());
+    reg.buffers.push_back(buffer);
+    return buffer;
+  }();
+  return *tls;
+}
+
+std::uint64_t buffer_dropped(const ThreadTraceBuffer& buffer) {
+  const std::uint64_t h = buffer.head.load(std::memory_order_acquire);
+  return h > buffer.ring.size() ? h - buffer.ring.size() : 0;
+}
+
+void json_escape(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out << hex;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+}
+
+/// AIC_TRACE bootstrap: truthy values enable recording; any other
+/// non-empty value is treated as an output path and additionally
+/// registers an at-exit Chrome-trace export, so every binary honours the
+/// variable without code changes.
+struct EnvBootstrap {
+  EnvBootstrap() {
+    const char* raw = std::getenv("AIC_TRACE");
+    if (raw == nullptr || *raw == '\0' || std::strcmp(raw, "0") == 0) return;
+    set_tracing_enabled(true);
+    const bool flag_only = std::strcmp(raw, "1") == 0 ||
+                           std::strcmp(raw, "true") == 0 ||
+                           std::strcmp(raw, "on") == 0;
+    if (!flag_only) {
+      static std::string path;  // must outlive the atexit callback
+      path = raw;
+      std::atexit([] { export_chrome_trace_file(path); });
+    }
+  }
+};
+EnvBootstrap g_env_bootstrap;
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) noexcept {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void clear_trace() noexcept {
+  TraceRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (auto& buffer : reg.buffers) {
+    buffer->head.store(0, std::memory_order_release);
+  }
+}
+
+void set_trace_buffer_capacity(std::size_t events) noexcept {
+  g_capacity.store(std::max(events, kMinCapacity),
+                   std::memory_order_relaxed);
+}
+
+std::size_t trace_buffer_capacity() noexcept { return resolve_capacity(); }
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock_type::now() -
+                                                           trace_epoch())
+          .count());
+}
+
+std::uint64_t trace_events_dropped() noexcept {
+  TraceRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : reg.buffers) dropped += buffer_dropped(*buffer);
+  return dropped;
+}
+
+std::vector<TraceSpan> collect_trace() {
+  std::vector<TraceSpan> out;
+  TraceRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (const auto& buffer : reg.buffers) {
+    const std::uint64_t h = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t live =
+        std::min<std::uint64_t>(h, buffer->ring.size());
+    for (std::uint64_t i = h - live; i < h; ++i) {
+      out.push_back(buffer->ring[i % buffer->ring.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+void export_chrome_trace(std::ostream& out) {
+  // Freeze recording so the snapshot below cannot race ring overwrites.
+  set_tracing_enabled(false);
+  const std::vector<TraceSpan> spans = collect_trace();
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::uint32_t last_tid = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.tid != last_tid) {
+      last_tid = span.tid;
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << span.tid << ",\"args\":{\"name\":\"aic-thread-" << span.tid
+          << "\"}}";
+    }
+    if (!first) out << ",";
+    first = false;
+    char ts[32], dur[32];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(span.start_ns) / 1e3);
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(span.dur_ns) / 1e3);
+    out << "{\"name\":\"";
+    json_escape(out, span.name != nullptr ? span.name : "?");
+    out << "\",\"cat\":\"aic\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+        << ",\"ts\":" << ts << ",\"dur\":" << dur
+        << ",\"args\":{\"depth\":" << span.depth << "}}";
+  }
+  out << "]}";
+  out.flush();
+}
+
+bool export_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+void TraceScope::begin(const char* name) noexcept {
+  ThreadTraceBuffer& buffer = local_buffer();
+  name_ = name;
+  depth_ = buffer.depth++;
+  start_ns_ = trace_now_ns();
+}
+
+void TraceScope::end() noexcept {
+  ThreadTraceBuffer& buffer = local_buffer();
+  if (buffer.depth > 0) --buffer.depth;
+  // A scope that straddled a disable (export in flight) fixes its depth
+  // but records nothing — the snapshot stays stable.
+  if (!tracing_enabled()) return;
+  const std::uint64_t now = trace_now_ns();
+  buffer.push(TraceSpan{name_, start_ns_, now - start_ns_, buffer.tid,
+                        depth_});
+}
+
+}  // namespace aic::obs

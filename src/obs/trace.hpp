@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aic::obs {
+
+/// One closed span recorded by a thread. `name` is the static string
+/// literal handed to AIC_TRACE_SCOPE — it is never copied, so recording
+/// allocates nothing.
+struct TraceSpan {
+  const char* name = nullptr;
+  /// Monotonic nanoseconds since the process trace epoch (first use of
+  /// the tracing clock).
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  /// Sequential per-thread trace id (1-based, assigned at first record).
+  std::uint32_t tid = 0;
+  /// Nesting depth of the span within its recording thread (0 = root).
+  std::uint32_t depth = 0;
+};
+
+namespace detail {
+/// Global on/off switch. Read with one relaxed load per AIC_TRACE_SCOPE;
+/// extern so the disabled fast path inlines to load+branch.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True when spans are being recorded. The disabled check is the only
+/// cost a compiled-in AIC_TRACE_SCOPE pays (<2% on every measured path).
+inline bool tracing_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips recording globally. `AIC_TRACE=1` (or `AIC_TRACE=<out.json>`,
+/// which also registers an at-exit Chrome-trace export to that path)
+/// enables it at startup.
+void set_tracing_enabled(bool enabled) noexcept;
+
+/// Drops every recorded span; registered thread buffers stay alive.
+void clear_trace() noexcept;
+
+/// Ring capacity (spans) given to buffers of threads that record their
+/// first span *after* this call. Defaults to 65536, or the
+/// `AIC_TRACE_BUFFER_EVENTS` environment variable.
+void set_trace_buffer_capacity(std::size_t events) noexcept;
+std::size_t trace_buffer_capacity() noexcept;
+
+/// Monotonic nanoseconds since the trace epoch (the span timebase).
+std::uint64_t trace_now_ns() noexcept;
+
+/// Spans overwritten by ring wraparound (process-wide, cumulative).
+std::uint64_t trace_events_dropped() noexcept;
+
+/// Snapshot of every thread's retained spans, sorted by (tid, start,
+/// depth). Call with tracing disabled (or quiescent threads) for an
+/// exact snapshot; concurrent recording can drop in-flight spans.
+std::vector<TraceSpan> collect_trace();
+
+/// Writes the Chrome trace-event JSON (the `chrome://tracing` / Perfetto
+/// format): one "X" complete event per span, ts/dur in microseconds,
+/// plus thread_name metadata. Disables tracing first so the snapshot is
+/// stable.
+void export_chrome_trace(std::ostream& out);
+
+/// export_chrome_trace to a file; false when the file cannot be written.
+bool export_chrome_trace_file(const std::string& path);
+
+/// RAII span recorder behind AIC_TRACE_SCOPE. When tracing is disabled
+/// the constructor is one relaxed load and a branch and the destructor
+/// is a null check.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) noexcept {
+    if (tracing_enabled()) begin(name);
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) end();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  void begin(const char* name) noexcept;
+  void end() noexcept;
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace aic::obs
+
+#define AIC_OBS_CONCAT_INNER(a, b) a##b
+#define AIC_OBS_CONCAT(a, b) AIC_OBS_CONCAT_INNER(a, b)
+
+/// Records `name` (a string literal) as a span covering the enclosing
+/// scope. Compiles to a branch-on-disabled no-op when tracing is off.
+#define AIC_TRACE_SCOPE(name) \
+  ::aic::obs::TraceScope AIC_OBS_CONCAT(aic_trace_scope_, __LINE__)(name)

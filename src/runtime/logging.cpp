@@ -1,13 +1,28 @@
 #include "runtime/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+
+#include "runtime/env.hpp"
 
 namespace aic::runtime {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+int initial_level() {
+  // AIC_LOG_LEVEL: debug|info|warn|error (or 0-3). Unset/unknown → info.
+  const std::string raw = env_string("AIC_LOG_LEVEL", "");
+  if (raw == "debug" || raw == "0") return static_cast<int>(LogLevel::kDebug);
+  if (raw == "info" || raw == "1") return static_cast<int>(LogLevel::kInfo);
+  if (raw == "warn" || raw == "2") return static_cast<int>(LogLevel::kWarn);
+  if (raw == "error" || raw == "3") return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
@@ -18,6 +33,14 @@ const char* level_name(LogLevel level) {
     case LogLevel::kError: return "ERROR";
   }
   return "?";
+}
+
+/// Small sequential id so log lines are greppable by thread without the
+/// platform's opaque (and recycled) native handles.
+std::uint32_t this_thread_log_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 }  // namespace
@@ -34,8 +57,24 @@ void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  localtime_s(&tm, &secs);
+#else
+  localtime_r(&secs, &tm);
+#endif
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
   std::lock_guard lock(g_write_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%s t%u %s] %s\n", stamp, this_thread_log_id(),
+               level_name(level), message.c_str());
 }
 
 }  // namespace aic::runtime

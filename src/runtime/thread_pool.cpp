@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/env.hpp"
+#include "runtime/logging.hpp"
 
 namespace aic::runtime {
 
@@ -12,12 +15,19 @@ namespace {
 // Identifies the pool (if any) whose worker_loop owns the current thread.
 thread_local const ThreadPool* tls_worker_pool = nullptr;
 
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("pool.queue_depth");
+  return gauge;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  AIC_LOG_DEBUG << "thread_pool: starting " << num_threads << " workers";
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -38,6 +48,7 @@ void ThreadPool::post(std::function<void()> task) {
     }
     queue_.push_back(std::move(task));
     peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   task_available_.notify_one();
 }
@@ -89,6 +100,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      AIC_TRACE_SCOPE("pool.idle");
       std::unique_lock lock(mutex_);
       task_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
@@ -98,9 +110,13 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
       ++in_flight_;
     }
-    task();
+    {
+      AIC_TRACE_SCOPE("pool.task");
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 namespace aic::runtime {
@@ -18,6 +19,14 @@ class Timer {
   /// Elapsed seconds since construction or last reset().
   double seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed integer nanoseconds — lossless for stats accumulation.
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
   }
 
  private:

@@ -11,6 +11,7 @@
 #define AIC_GEMM_X86 0
 #endif
 
+#include "obs/trace.hpp"
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/parallel_for.hpp"
 
@@ -391,6 +392,7 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
     return;
   }
   const bool avx2 = avx2_active();
+  AIC_TRACE_SCOPE(avx2 ? "gemm.avx2" : "gemm.scalar");
 
   // B is packed once on the calling thread; workers only read it (the
   // caller blocks inside parallel_for, keeping the scratch alive).

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/gemm_kernels.hpp"
@@ -47,10 +48,16 @@ void sandwich_plane_dense(const float* lhs, const float* plane,
                           std::size_t w, std::size_t out_h,
                           std::size_t out_w) {
   float* mid = thread_scratch(h * out_w);
-  gemm(Trans::kNo, Trans::kNo, h, out_w, w, plane, w, rhs, out_w, mid, out_w,
-       /*accumulate=*/false);
-  gemm(Trans::kNo, Trans::kNo, out_h, out_w, h, lhs, h, mid, out_w, out_plane,
-       out_w, /*accumulate=*/false);
+  {
+    AIC_TRACE_SCOPE("sandwich.rhs_mm");
+    gemm(Trans::kNo, Trans::kNo, h, out_w, w, plane, w, rhs, out_w, mid,
+         out_w, /*accumulate=*/false);
+  }
+  {
+    AIC_TRACE_SCOPE("sandwich.lhs_mm");
+    gemm(Trans::kNo, Trans::kNo, out_h, out_w, h, lhs, h, mid, out_w,
+         out_plane, out_w, /*accumulate=*/false);
+  }
 }
 
 struct SandwichDims {
@@ -62,6 +69,7 @@ void sandwich_dense(const float* lhs, const float* in, const float* rhs,
   runtime::parallel_for_chunks(
       0, d.planes,
       [&](std::size_t lo, std::size_t hi) {
+        AIC_TRACE_SCOPE("sandwich.dense_chunk");
         for (std::size_t plane = lo; plane < hi; ++plane) {
           sandwich_plane_dense(lhs, in + plane * d.h * d.w, rhs,
                                out + plane * d.out_h * d.out_w, d.h, d.w,
@@ -87,6 +95,7 @@ void sandwich_banded(const float* lhs, const float* in, const float* rhs,
   runtime::parallel_for_chunks(
       0, d.planes * bands,
       [&](std::size_t lo, std::size_t hi) {
+        AIC_TRACE_SCOPE("sandwich.banded_chunk");
         float* mid = thread_scratch(lb_c * d.out_w);
         std::uint64_t mac_local = 0, axpy_local = 0;
         for (std::size_t item = lo; item < hi; ++item) {

@@ -105,10 +105,26 @@ TEST(CodecStats, ThroughputHelpersUseRecordedTime) {
   CodecStats stats;
   stats.record_compress(/*planes=*/4, /*flops=*/2'000'000'000,
                         /*bytes_in=*/1'000'000'000, /*bytes_out=*/250'000'000,
-                        /*seconds=*/2.0);
+                        /*nanos=*/2'000'000'000);
   const CodecStatsSnapshot snap = stats.snapshot();
   EXPECT_NEAR(snap.compress.gflops_per_second(), 1.0, 1e-9);
   EXPECT_NEAR(snap.compress.gigabytes_per_second(), 0.5, 1e-9);
+}
+
+TEST(CodecStats, SubMicrosecondCallsAccumulateWithoutLoss) {
+  // A million 100 ns calls must sum to exactly 100 µs worth of time; the
+  // old seconds-double API truncated each call to whole nanoseconds only
+  // after a lossy double multiply.
+  CodecStats stats;
+  constexpr std::uint64_t kCalls = 1'000'000;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    stats.record_compress(/*planes=*/1, /*flops=*/1, /*bytes_in=*/1,
+                          /*bytes_out=*/1, /*nanos=*/100);
+  }
+  const CodecStatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.compress.calls, kCalls);
+  EXPECT_DOUBLE_EQ(snap.compress.seconds,
+                   static_cast<double>(kCalls * 100) / 1e9);  // exactly 0.1 s
 }
 
 }  // namespace

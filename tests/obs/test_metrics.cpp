@@ -1,0 +1,150 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace aic::obs {
+namespace {
+
+TEST(Histogram, BucketIndexBoundaries) {
+  // Bucket 0 = [0, 2); bucket i >= 1 = [2^i, 2^(i+1)).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Histogram::bucket_index(2), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 1u);
+  EXPECT_EQ(Histogram::bucket_index(4), 2u);
+  EXPECT_EQ(Histogram::bucket_index(7), 2u);
+  EXPECT_EQ(Histogram::bucket_index(8), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 63u);
+}
+
+TEST(Histogram, BucketBoundsAreConsistentWithIndex) {
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t lower = Histogram::bucket_lower(i);
+    EXPECT_EQ(Histogram::bucket_index(lower), i);
+    EXPECT_LT(static_cast<double>(lower), Histogram::bucket_upper(i));
+  }
+  EXPECT_EQ(Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower(5), 32u);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper(5), 64.0);
+}
+
+TEST(Histogram, SnapshotCountSumMinMax) {
+  Histogram h;
+  h.record(5);
+  h.record(100);
+  h.record(1);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 106u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_NEAR(snap.mean(), 106.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram h;
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinOneBucket) {
+  // 100 samples of 1000 land in bucket 9 = [512, 1024). The rank
+  // interpolation walks the bucket linearly: p50 = 512 + 512·0.5.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50(), 768.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 1024.0);
+  EXPECT_LE(snap.p50(), 1024.0);
+  EXPECT_GE(snap.p50(), 512.0);
+}
+
+TEST(Histogram, PercentileAcrossBuckets) {
+  // 50 samples at 1 (bucket 0) + 50 at 1024 (bucket 10 = [1024, 2048)).
+  // p50 falls at the end of bucket 0: 0 + 2·(50/50) = 2. p90's rank 90
+  // is 40 samples into bucket 10: 1024 + 1024·(40/50) = 1843.2.
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(1);
+  for (int i = 0; i < 50; ++i) h.record(1024);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.p90(), 1024.0 + 1024.0 * (40.0 / 50.0));
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(Histogram, ConcurrentRecordsAreLossless) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(7);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.sum, snap.count * 7);
+}
+
+TEST(Registry, InstrumentsAreStableAndNamed) {
+  Registry& reg = Registry::global();
+  Counter& c = reg.counter("test.registry.counter");
+  c.reset();
+  c.add(3);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("test.registry.counter"), &c);
+  bool found = false;
+  for (const auto& [name, value] : reg.counters()) {
+    if (name == "test.registry.counter") {
+      found = true;
+      EXPECT_EQ(value, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Registry, JsonContainsAllThreeSections) {
+  Registry& reg = Registry::global();
+  reg.counter("test.json.counter").add(1);
+  reg.gauge("test.json.gauge").set(2.5);
+  reg.histogram("test.json.hist").record(100);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Balanced braces — cheap structural sanity without a JSON parser.
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace aic::obs

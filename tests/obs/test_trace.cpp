@@ -1,0 +1,200 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aic::obs {
+namespace {
+
+/// Enables tracing for one test body and restores a clean disabled state
+/// afterwards (the suite shares process-global trace buffers).
+class TracingOn {
+ public:
+  TracingOn() {
+    set_tracing_enabled(false);
+    clear_trace();
+    set_tracing_enabled(true);
+  }
+  ~TracingOn() {
+    set_tracing_enabled(false);
+    clear_trace();
+  }
+};
+
+std::vector<TraceSpan> spans_named(const std::vector<TraceSpan>& spans,
+                                   const std::string& name) {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& span : spans) {
+    if (span.name != nullptr && name == span.name) out.push_back(span);
+  }
+  return out;
+}
+
+TEST(Trace, DisabledScopeRecordsNothing) {
+  set_tracing_enabled(false);
+  clear_trace();
+  { AIC_TRACE_SCOPE("should.not.appear"); }
+  EXPECT_TRUE(collect_trace().empty());
+}
+
+TEST(Trace, NestedScopesRecordDepthAndContainment) {
+  TracingOn guard;
+  {
+    AIC_TRACE_SCOPE("outer");
+    {
+      AIC_TRACE_SCOPE("inner");
+    }
+  }
+  set_tracing_enabled(false);
+  const std::vector<TraceSpan> spans = collect_trace();
+  const auto outer = spans_named(spans, "outer");
+  const auto inner = spans_named(spans, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0].depth, 0u);
+  EXPECT_EQ(inner[0].depth, 1u);
+  EXPECT_EQ(outer[0].tid, inner[0].tid);
+  // The inner span's interval is contained in the outer one's.
+  EXPECT_GE(inner[0].start_ns, outer[0].start_ns);
+  EXPECT_LE(inner[0].start_ns + inner[0].dur_ns,
+            outer[0].start_ns + outer[0].dur_ns);
+}
+
+TEST(Trace, CollectSortsByThreadThenStart) {
+  TracingOn guard;
+  { AIC_TRACE_SCOPE("a"); }
+  { AIC_TRACE_SCOPE("b"); }
+  { AIC_TRACE_SCOPE("c"); }
+  set_tracing_enabled(false);
+  const std::vector<TraceSpan> spans = collect_trace();
+  ASSERT_GE(spans.size(), 3u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i - 1].tid == spans[i].tid) {
+      EXPECT_LE(spans[i - 1].start_ns, spans[i].start_ns);
+    } else {
+      EXPECT_LT(spans[i - 1].tid, spans[i].tid);
+    }
+  }
+}
+
+TEST(Trace, ExportedJsonHasNestedOrderedEvents) {
+  TracingOn guard;
+  {
+    AIC_TRACE_SCOPE("json.outer");
+    { AIC_TRACE_SCOPE("json.inner"); }
+  }
+  std::ostringstream out;
+  export_chrome_trace(out);  // disables tracing itself
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  const std::size_t outer_pos = json.find("\"name\":\"json.outer\"");
+  const std::size_t inner_pos = json.find("\"name\":\"json.inner\"");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  // Same thread, sorted by start time: outer starts first.
+  EXPECT_LT(outer_pos, inner_pos);
+  EXPECT_NE(json.find("\"depth\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
+
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, RingBufferWrapsAndCountsDrops) {
+  // Capacity applies to buffers of threads registering *after* the call,
+  // so the recording runs on a fresh thread.
+  TracingOn guard;
+  const std::size_t saved = trace_buffer_capacity();
+  set_trace_buffer_capacity(32);
+  const std::uint64_t dropped_before = trace_events_dropped();
+  std::thread recorder([] {
+    for (int i = 0; i < 100; ++i) {
+      AIC_TRACE_SCOPE("wrap.span");
+    }
+  });
+  recorder.join();
+  set_tracing_enabled(false);
+  set_trace_buffer_capacity(saved);
+
+  const auto wrapped = spans_named(collect_trace(), "wrap.span");
+  EXPECT_EQ(wrapped.size(), 32u);  // only the newest ring's worth retained
+  EXPECT_EQ(trace_events_dropped() - dropped_before, 100u - 32u);
+  // The retained spans are the most recent pushes: strictly increasing
+  // start times within the thread.
+  for (std::size_t i = 1; i < wrapped.size(); ++i) {
+    EXPECT_GE(wrapped[i].start_ns, wrapped[i - 1].start_ns);
+  }
+}
+
+TEST(Trace, MultiThreadedStress) {
+  TracingOn guard;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 2000;
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&started] {
+      started.fetch_add(1);
+      while (started.load() < kThreads) {
+      }
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        AIC_TRACE_SCOPE("stress.outer");
+        AIC_TRACE_SCOPE("stress.inner");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  set_tracing_enabled(false);
+
+  const std::vector<TraceSpan> spans = collect_trace();
+  const auto outer = spans_named(spans, "stress.outer");
+  const auto inner = spans_named(spans, "stress.inner");
+  // Default capacity (65536) is larger than 2·2000 per thread: lossless.
+  EXPECT_EQ(outer.size(), static_cast<std::size_t>(kThreads) *
+                              kSpansPerThread);
+  EXPECT_EQ(inner.size(), outer.size());
+  std::vector<std::uint32_t> tids;
+  for (const TraceSpan& span : outer) tids.push_back(span.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  for (const TraceSpan& span : inner) EXPECT_EQ(span.depth, 1u);
+  // Export of the full stress trace still yields structurally balanced
+  // JSON.
+  std::ostringstream out;
+  export_chrome_trace(out);
+  const std::string json = out.str();
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, ClearDropsRecordedSpans) {
+  TracingOn guard;
+  { AIC_TRACE_SCOPE("cleared"); }
+  set_tracing_enabled(false);
+  EXPECT_FALSE(spans_named(collect_trace(), "cleared").empty());
+  clear_trace();
+  EXPECT_TRUE(spans_named(collect_trace(), "cleared").empty());
+}
+
+}  // namespace
+}  // namespace aic::obs

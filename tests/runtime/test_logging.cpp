@@ -1,0 +1,66 @@
+#include "runtime/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+namespace aic::runtime {
+namespace {
+
+/// Pins the global log level for one test and restores it after.
+class LevelGuard {
+ public:
+  explicit LevelGuard(LogLevel level) : saved_(log_level()) {
+    set_log_level(level);
+  }
+  ~LevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+std::string captured_log(LogLevel level, const std::string& message) {
+  testing::internal::CaptureStderr();
+  log_message(level, message);
+  return testing::internal::GetCapturedStderr();
+}
+
+TEST(Logging, PrefixesTimestampThreadIdAndLevel) {
+  LevelGuard guard(LogLevel::kDebug);
+  const std::string line = captured_log(LogLevel::kWarn, "disk full");
+  // [HH:MM:SS.mmm tN LEVEL] message
+  const std::regex format(
+      R"(^\[\d{2}:\d{2}:\d{2}\.\d{3} t\d+ WARN\] disk full\n$)");
+  EXPECT_TRUE(std::regex_match(line, format)) << "got: " << line;
+}
+
+TEST(Logging, DropsMessagesBelowLevel) {
+  LevelGuard guard(LogLevel::kError);
+  EXPECT_TRUE(captured_log(LogLevel::kDebug, "x").empty());
+  EXPECT_TRUE(captured_log(LogLevel::kInfo, "x").empty());
+  EXPECT_TRUE(captured_log(LogLevel::kWarn, "x").empty());
+  EXPECT_FALSE(captured_log(LogLevel::kError, "x").empty());
+}
+
+TEST(Logging, StreamMacroEmitsOnDestruction) {
+  LevelGuard guard(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  { AIC_LOG_INFO << "value=" << 42; }
+  const std::string line = testing::internal::GetCapturedStderr();
+  EXPECT_NE(line.find("INFO] value=42"), std::string::npos) << line;
+}
+
+TEST(Logging, ThreadIdIsStablePerThread) {
+  LevelGuard guard(LogLevel::kDebug);
+  const std::string a = captured_log(LogLevel::kInfo, "a");
+  const std::string b = captured_log(LogLevel::kInfo, "b");
+  const std::regex tid(R"( (t\d+) )");
+  std::smatch ma, mb;
+  ASSERT_TRUE(std::regex_search(a, ma, tid));
+  ASSERT_TRUE(std::regex_search(b, mb, tid));
+  EXPECT_EQ(ma[1].str(), mb[1].str());
+}
+
+}  // namespace
+}  // namespace aic::runtime
