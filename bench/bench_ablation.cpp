@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "core/codec_factory.hpp"
 #include "core/dct.hpp"
 #include "core/metrics.hpp"
 #include "core/partial_serializer.hpp"
@@ -23,6 +24,14 @@ namespace {
 using namespace aic;
 using tensor::Shape;
 using tensor::Tensor;
+
+// All codecs below are built from CodecFactory spec strings (the same
+// grammar `aicomp --codec` accepts).
+core::CodecPtr chop(std::size_t cf, std::size_t block = 8,
+                    const std::string& extra = "") {
+  return core::make_codec("dctchop:cf=" + std::to_string(cf) +
+                          ",block=" + std::to_string(block) + extra);
+}
 
 Tensor make_batch(std::size_t batch, std::size_t channels, std::size_t n,
                   std::uint64_t seed) {
@@ -81,13 +90,12 @@ Tensor per_channel_round_trip(const Tensor& input,
   const std::size_t n = input.shape()[2];
   Tensor out(input.shape());
   for (std::size_t c = 0; c < 3; ++c) {
-    const core::DctChopCodec codec(
-        {.height = n, .width = n, .cf = cfs[c], .block = 8});
+    const core::CodecPtr codec = chop(cfs[c]);
     Tensor channel(Shape::bchw(input.shape()[0], 1, n, n));
     for (std::size_t b = 0; b < input.shape()[0]; ++b) {
       channel.set_plane(b, 0, input.slice_plane(b, c));
     }
-    const Tensor restored = codec.round_trip(channel);
+    const Tensor restored = codec->round_trip(channel);
     for (std::size_t b = 0; b < input.shape()[0]; ++b) {
       out.set_plane(b, c, restored.slice_plane(b, 0));
     }
@@ -144,12 +152,11 @@ int main() {
     io::Table table({"CF", "square CR", "square MSE", "triangle CR",
                      "triangle MSE", "MSE penalty"});
     for (const auto& point : bench::chop_sweep()) {
-      const core::DctChopCodec square(
-          {.height = kRes, .width = kRes, .cf = point.cf, .block = 8});
-      const core::TriangleCodec triangle(
-          {.height = kRes, .width = kRes, .cf = point.cf, .block = 8});
-      const auto rd_square = core::evaluate_codec(square, images);
-      const auto rd_triangle = core::evaluate_codec(triangle, images);
+      const core::CodecPtr square = chop(point.cf);
+      const core::CodecPtr triangle =
+          core::make_codec("triangle:cf=" + std::to_string(point.cf));
+      const auto rd_square = core::evaluate_codec(*square, images);
+      const auto rd_triangle = core::evaluate_codec(*triangle, images);
       table.add_row(
           {std::to_string(point.cf),
            io::Table::num(rd_square.compression_ratio, 4),
@@ -171,11 +178,14 @@ int main() {
     io::Table table({"block", "CF", "MSE", "PSNR (dB)", "operator bytes"});
     for (std::size_t block : {4u, 8u, 16u}) {
       const std::size_t cf = block / 2;  // CR = block²/cf² = 4
-      const core::DctChopCodec codec(
-          {.height = kRes, .width = kRes, .cf = cf, .block = block});
-      const auto rd = core::evaluate_codec(codec, images);
+      // Pinned (h=/w=) so the operand tensors are inspectable below.
+      const core::CodecPtr codec =
+          chop(cf, block, ",h=" + std::to_string(kRes) +
+                              ",w=" + std::to_string(kRes));
+      const auto rd = core::evaluate_codec(*codec, images);
+      const auto& dc = dynamic_cast<const core::DctChopCodec&>(*codec);
       const std::size_t operator_bytes =
-          codec.lhs().size_bytes() + codec.rhs().size_bytes();
+          dc.lhs().size_bytes() + dc.rhs().size_bytes();
       table.add_row({std::to_string(block), std::to_string(cf),
                      io::Table::num(rd.mse, 4), io::Table::num(rd.psnr_db, 4),
                      std::to_string(operator_bytes)});
@@ -215,13 +225,12 @@ int main() {
   // --- D. two-matmul formulation vs per-block loop, host wall time ---
   std::cout << "\n=== ablation D: two-matmul vs per-block loop (host) ===\n";
   {
-    const core::DctChopCodec codec(
-        {.height = kRes, .width = kRes, .cf = 4, .block = 8});
+    const core::CodecPtr codec = chop(4);
     constexpr int kReps = 5;
 
     runtime::Timer timer;
     Tensor via_matmul;
-    for (int i = 0; i < kReps; ++i) via_matmul = codec.round_trip(images);
+    for (int i = 0; i < kReps; ++i) via_matmul = codec->round_trip(images);
     const double matmul_time = timer.seconds() / kReps;
 
     timer.reset();
@@ -249,16 +258,11 @@ int main() {
     io::Table table({"CF", "dct MSE", "wht MSE", "dst2 MSE"});
     for (const auto& point : bench::chop_sweep()) {
       std::vector<std::string> row = {std::to_string(point.cf)};
-      for (core::TransformKind kind :
-           {core::TransformKind::kDct2, core::TransformKind::kWalshHadamard,
-            core::TransformKind::kDst2}) {
-        const core::DctChopCodec codec({.height = kRes,
-                                        .width = kRes,
-                                        .cf = point.cf,
-                                        .block = 8,
-                                        .transform = kind});
-        row.push_back(
-            io::Table::num(tensor::mse(images, codec.round_trip(images)), 4));
+      for (const char* kind : {"dct", "wht", "dst2"}) {
+        const core::CodecPtr codec =
+            chop(point.cf, 8, std::string(",transform=") + kind);
+        row.push_back(io::Table::num(
+            tensor::mse(images, codec->round_trip(images)), 4));
       }
       table.add_row(row);
     }

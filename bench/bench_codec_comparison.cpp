@@ -6,18 +6,18 @@
 // the VLE-based codecs (JPEG-style, SZ-style) dominate rate/distortion
 // but compile nowhere; the fixed-rate, matmul-only DCT+Chop family is
 // the portable point on the frontier.
+//
+// Every codec here is built from its CodecFactory spec string — the
+// same grammar `aicomp --codec` accepts.
 
-#include <algorithm>
-#include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "baseline/color_quant.hpp"
-#include "baseline/jpeg_codec.hpp"
-#include "baseline/sz_like.hpp"
-#include "baseline/zfp_like.hpp"
+#include "baseline/comparators.hpp"
 #include "bench/common.hpp"
+#include "core/codec_factory.hpp"
 #include "core/metrics.hpp"
-#include "core/triangle.hpp"
 #include "data/synth.hpp"
 #include "tensor/ops.hpp"
 
@@ -25,6 +25,8 @@ int main() {
   using namespace aic;
   using tensor::Shape;
   using tensor::Tensor;
+
+  baseline::register_comparator_codecs();
 
   constexpr std::size_t kRes = 64;
   runtime::Rng rng(1234);
@@ -35,70 +37,40 @@ int main() {
     images.set_plane(b, 0, plane);
   }
 
-  io::Table table({"codec", "CR", "PSNR (dB)", "max |err|", "runs on"});
-  io::CsvWriter csv({"codec", "cr", "psnr_db", "max_err", "portability"});
-  auto add = [&](const std::string& name, double cr, double psnr,
-                 double max_err, const std::string& where) {
-    table.add_row({name, io::Table::num(cr, 4), io::Table::num(psnr, 4),
-                   io::Table::num(max_err, 3), where});
-    csv.add_row({name, io::Table::num(cr, 6), io::Table::num(psnr, 6),
-                 io::Table::num(max_err, 6), where});
+  struct Entry {
+    std::string spec;
+    std::string runs_on;
+  };
+  const std::vector<Entry> entries = {
+      // Fixed-rate, matmul-only family: portable everywhere.
+      {"dctchop:cf=2", "all 4 accelerators"},
+      {"dctchop:cf=4", "all 4 accelerators"},
+      {"dctchop:cf=6", "all 4 accelerators"},
+      {"triangle:cf=2", "IPU only (scatter/gather)"},
+      {"triangle:cf=4", "IPU only (scatter/gather)"},
+      {"colorquant:bits=4", "all (quantize only)"},
+      {"colorquant:bits=8", "all (quantize only)"},
+      // Fixed-rate bit-plane codec: bit shifts -> CPU/GPU only.
+      {"zfp:rate=2", "CPU/GPU (bit shifts)"},
+      {"zfp:rate=8", "CPU/GPU (bit shifts)"},
+      // Variable-rate codecs (achieved stream bytes, not a fixed shape).
+      {"jpeg:q=30", "CPU/GPU (VLE, variable rate)"},
+      {"jpeg:q=70", "CPU/GPU (VLE, variable rate)"},
+      {"sz:eb=1e-2", "CPU/GPU (VLE, variable rate)"},
+      {"sz:eb=1e-3", "CPU/GPU (VLE, variable rate)"},
   };
 
-  // Fixed-rate, matmul-only family: portable everywhere.
-  for (std::size_t cf : {2u, 4u, 6u}) {
-    const core::DctChopCodec codec(
-        {.height = kRes, .width = kRes, .cf = cf, .block = 8});
-    const auto rd = core::evaluate_codec(codec, images);
-    add(codec.name(), rd.compression_ratio, rd.psnr_db, rd.max_abs_error,
-        "all 4 accelerators");
-  }
-  for (std::size_t cf : {2u, 4u}) {
-    const core::TriangleCodec codec(
-        {.height = kRes, .width = kRes, .cf = cf, .block = 8});
-    const auto rd = core::evaluate_codec(codec, images);
-    add(codec.name(), rd.compression_ratio, rd.psnr_db, rd.max_abs_error,
-        "IPU only (scatter/gather)");
-  }
-  for (std::size_t bits : {4u, 8u}) {
-    const baseline::ColorQuantCodec codec(bits);
-    const auto rd = core::evaluate_codec(codec, images);
-    add(codec.name(), rd.compression_ratio, rd.psnr_db, rd.max_abs_error,
-        "all (quantize only)");
-  }
-  // Fixed-rate bit-plane codec: bit shifts -> CPU/GPU only.
-  for (double rate : {2.0, 8.0}) {
-    const baseline::ZfpLikeCodec codec(rate);
-    const auto rd = core::evaluate_codec(codec, images);
-    add(codec.name(), rd.compression_ratio, rd.psnr_db, rd.max_abs_error,
-        "CPU/GPU (bit shifts)");
-  }
-  // Variable-rate codecs: measured per-plane, averaged.
-  for (int quality : {30, 70}) {
-    const baseline::JpegLikeCodec codec(quality);
-    double ratio = 0.0, mse = 0.0, max_err = 0.0;
-    for (std::size_t b = 0; b < 8; ++b) {
-      const Tensor plane = images.slice_plane(b, 0);
-      const auto stream = codec.compress_plane(plane);
-      ratio += baseline::JpegLikeCodec::achieved_ratio(stream);
-      const Tensor restored = codec.decompress_plane(stream, kRes, kRes);
-      mse += tensor::mse(plane, restored);
-      max_err = std::max(max_err, tensor::max_abs_error(plane, restored));
-    }
-    ratio /= 8.0;
-    mse /= 8.0;
-    add("jpeg-like(q=" + std::to_string(quality) + ")", ratio,
-        10.0 * std::log10(1.0 / mse), max_err,
-        "CPU/GPU (VLE, variable rate)");
-  }
-  for (double bound : {1e-2, 1e-3}) {
-    const baseline::SzLikeCodec codec(bound);
-    double ratio = 0.0;
-    const Tensor restored = codec.round_trip(images, &ratio);
-    add("sz-like(eb=" + io::Table::num(bound, 2) + ")", ratio,
-        tensor::psnr(images, restored, 1.0),
-        tensor::max_abs_error(images, restored),
-        "CPU/GPU (VLE, variable rate)");
+  io::Table table({"codec", "CR", "PSNR (dB)", "max |err|", "runs on"});
+  io::CsvWriter csv({"codec", "cr", "psnr_db", "max_err", "portability"});
+  for (const Entry& entry : entries) {
+    const core::CodecPtr codec = core::make_codec(entry.spec);
+    const auto rd = core::evaluate_codec(*codec, images);
+    table.add_row({codec->name(), io::Table::num(rd.compression_ratio, 4),
+                   io::Table::num(rd.psnr_db, 4),
+                   io::Table::num(rd.max_abs_error, 3), entry.runs_on});
+    csv.add_row({codec->name(), io::Table::num(rd.compression_ratio, 6),
+                 io::Table::num(rd.psnr_db, 6),
+                 io::Table::num(rd.max_abs_error, 6), entry.runs_on});
   }
 
   std::cout << "=== codec survey on 8x 1ch " << kRes << "x" << kRes

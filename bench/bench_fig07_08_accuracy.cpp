@@ -16,6 +16,8 @@
 #include <memory>
 
 #include "bench/common.hpp"
+#include "core/codec_factory.hpp"
+#include "core/dct_chop.hpp"
 #include "data/benchmarks.hpp"
 
 int main() {
@@ -62,11 +64,10 @@ int main() {
 
     train_one("base", 1.0, nullptr);
     for (const auto& point : bench::chop_sweep()) {
-      auto codec = std::make_shared<core::DctChopCodec>(core::DctChopConfig{
-          .height = config.resolution,
-          .width = config.resolution,
-          .cf = point.cf,
-          .block = 8});
+      // Shape-agnostic factory codec: the trainer resolves the plan for
+      // each batch resolution from the process-wide cache.
+      core::CodecPtr codec = core::make_codec(
+          "dctchop:cf=" + std::to_string(point.cf) + ",block=8");
       const double cr = codec->compression_ratio();
       train_one(std::string("CR=") + point.cr_label, cr, std::move(codec));
     }

@@ -9,12 +9,15 @@
 #include <iostream>
 #include <memory>
 
-#include "baseline/zfp_like.hpp"
+#include "baseline/comparators.hpp"
 #include "bench/common.hpp"
+#include "core/codec_factory.hpp"
 #include "data/benchmarks.hpp"
 
 int main() {
   using namespace aic;
+
+  baseline::register_comparator_codecs();
 
   const data::DatasetConfig classify_config{.train_samples = 96,
                                             .test_samples = 32,
@@ -45,18 +48,17 @@ int main() {
     };
     std::vector<Entry> entries;
     entries.push_back({"base", 1.0, nullptr});
-    // Matched CRs: 16 and 4 for both codec families.
+    // Matched CRs: 16 and 4 for both codec families, every codec built
+    // from its factory spec.
     for (std::size_t cf : {2u, 4u}) {
-      auto codec = std::make_shared<core::DctChopCodec>(core::DctChopConfig{
-          .height = config.resolution,
-          .width = config.resolution,
-          .cf = cf,
-          .block = 8});
+      core::CodecPtr codec =
+          core::make_codec("dctchop:cf=" + std::to_string(cf) + ",block=8");
       entries.push_back({"dct CR=" + io::Table::num(codec->compression_ratio(), 3),
                          codec->compression_ratio(), codec});
     }
-    for (double rate : {2.0, 8.0}) {
-      auto codec = std::make_shared<baseline::ZfpLikeCodec>(rate);
+    for (int rate : {2, 8}) {
+      core::CodecPtr codec =
+          core::make_codec("zfp:rate=" + std::to_string(rate));
       entries.push_back({"zfp CR=" + io::Table::num(codec->compression_ratio(), 3),
                          codec->compression_ratio(), codec});
     }

@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "bench/common.hpp"
-#include "core/triangle.hpp"
+#include "core/codec_factory.hpp"
 #include "data/benchmarks.hpp"
 
 int main() {
@@ -55,11 +55,8 @@ int main() {
 
     train_one("base", nullptr);
     for (const auto& point : bench::chop_sweep()) {
-      auto codec = std::make_shared<core::TriangleCodec>(core::DctChopConfig{
-          .height = config.resolution,
-          .width = config.resolution,
-          .cf = point.cf,
-          .block = 8});
+      core::CodecPtr codec = core::make_codec(
+          "triangle:cf=" + std::to_string(point.cf) + ",block=8");
       train_one("SG CR=" + io::Table::num(codec->compression_ratio(), 4),
                 codec);
       for (std::size_t e = 0; e < kEpochs; ++e) {

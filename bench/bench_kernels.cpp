@@ -18,8 +18,8 @@
 #include "baseline/jpeg_codec.hpp"
 #include "baseline/zfp_like.hpp"
 #include "bench/common.hpp"
+#include "core/codec_factory.hpp"
 #include "core/dct_chop.hpp"
-#include "core/triangle.hpp"
 #include "data/synth.hpp"
 #include "runtime/cpu_features.hpp"
 #include "runtime/rng.hpp"
@@ -55,6 +55,14 @@ class BackendScope {
   KernelBackend saved_;
   bool ok_ = false;
 };
+
+// Chop-family codecs are built from CodecFactory specs, pinned to the
+// bench resolution so plan resolution happens outside the timed loop.
+core::CodecPtr make_chop(const char* kind, std::size_t n, std::size_t cf) {
+  return core::make_codec(std::string(kind) + ":cf=" + std::to_string(cf) +
+                          ",block=8,h=" + std::to_string(n) +
+                          ",w=" + std::to_string(n));
+}
 
 Tensor make_batch(std::size_t batch, std::size_t channels, std::size_t n) {
   runtime::Rng rng(1);
@@ -165,17 +173,16 @@ void sandwich_roundtrip_bench(benchmark::State& state, KernelBackend backend) {
   const std::size_t cf = static_cast<std::size_t>(state.range(1));
   BackendScope scope(state, backend);
   if (!scope) return;
-  const core::DctChopCodec codec(
-      {.height = n, .width = n, .cf = cf, .block = 8});
+  const core::CodecPtr codec = make_chop("dctchop", n, cf);
   const Tensor batch = make_batch(4, 3, n);
   for (auto _ : state) {
-    Tensor packed = codec.compress(batch);
-    Tensor restored = codec.decompress(packed, batch.shape());
+    Tensor packed = codec->compress(batch);
+    Tensor restored = codec->decompress(packed, batch.shape());
     benchmark::DoNotOptimize(restored.raw());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size_bytes()));
-  report_codec_stats(state, codec);
+  report_codec_stats(state, *codec);
 }
 BENCHMARK_CAPTURE(sandwich_roundtrip_bench, scalar, KernelBackend::kScalar)
     ->Args({256, 4});
@@ -185,16 +192,15 @@ BENCHMARK_CAPTURE(sandwich_roundtrip_bench, avx2, KernelBackend::kAvx2)
 void BM_DctChopCompress(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t cf = static_cast<std::size_t>(state.range(1));
-  const core::DctChopCodec codec(
-      {.height = n, .width = n, .cf = cf, .block = 8});
+  const core::CodecPtr codec = make_chop("dctchop", n, cf);
   const Tensor batch = make_batch(4, 3, n);
   for (auto _ : state) {
-    Tensor packed = codec.compress(batch);
+    Tensor packed = codec->compress(batch);
     benchmark::DoNotOptimize(packed.raw());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size_bytes()));
-  report_codec_stats(state, codec);
+  report_codec_stats(state, *codec);
 }
 BENCHMARK(BM_DctChopCompress)
     ->Args({32, 2})
@@ -205,17 +211,16 @@ BENCHMARK(BM_DctChopCompress)
 void BM_DctChopDecompress(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t cf = static_cast<std::size_t>(state.range(1));
-  const core::DctChopCodec codec(
-      {.height = n, .width = n, .cf = cf, .block = 8});
+  const core::CodecPtr codec = make_chop("dctchop", n, cf);
   const Tensor batch = make_batch(4, 3, n);
-  const Tensor packed = codec.compress(batch);
+  const Tensor packed = codec->compress(batch);
   for (auto _ : state) {
-    Tensor restored = codec.decompress(packed, batch.shape());
+    Tensor restored = codec->decompress(packed, batch.shape());
     benchmark::DoNotOptimize(restored.raw());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size_bytes()));
-  report_codec_stats(state, codec);
+  report_codec_stats(state, *codec);
 }
 BENCHMARK(BM_DctChopDecompress)->Args({32, 2})->Args({64, 4})->Args({128, 4});
 
@@ -226,17 +231,16 @@ BENCHMARK(BM_DctChopDecompress)->Args({32, 2})->Args({64, 4})->Args({128, 4});
 void BM_DctChopRoundTripLargeBatch(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t cf = static_cast<std::size_t>(state.range(1));
-  const core::DctChopCodec codec(
-      {.height = n, .width = n, .cf = cf, .block = 8});
+  const core::CodecPtr codec = make_chop("dctchop", n, cf);
   const Tensor batch = make_batch(16, 3, n);
   for (auto _ : state) {
-    Tensor packed = codec.compress(batch);
-    Tensor restored = codec.decompress(packed, batch.shape());
+    Tensor packed = codec->compress(batch);
+    Tensor restored = codec->decompress(packed, batch.shape());
     benchmark::DoNotOptimize(restored.raw());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size_bytes()));
-  report_codec_stats(state, codec);
+  report_codec_stats(state, *codec);
 }
 BENCHMARK(BM_DctChopRoundTripLargeBatch)
     ->Args({1024, 4})
@@ -265,11 +269,10 @@ BENCHMARK(BM_SandwichDenseReference)->Args({64, 4})->Args({128, 4});
 
 void BM_TriangleRoundTrip(benchmark::State& state) {
   const std::size_t cf = static_cast<std::size_t>(state.range(0));
-  const core::TriangleCodec codec(
-      {.height = 32, .width = 32, .cf = cf, .block = 8});
+  const core::CodecPtr codec = make_chop("triangle", 32, cf);
   const Tensor batch = make_batch(4, 3, 32);
   for (auto _ : state) {
-    Tensor out = codec.round_trip(batch);
+    Tensor out = codec->round_trip(batch);
     benchmark::DoNotOptimize(out.raw());
   }
 }

@@ -11,7 +11,7 @@
 #include <iostream>
 #include <memory>
 
-#include "core/dct_chop.hpp"
+#include "core/codec_factory.hpp"
 #include "data/benchmarks.hpp"
 #include "io/table.hpp"
 
@@ -34,11 +34,8 @@ int main() {
   };
 
   const auto base = run(nullptr, "base");
-  const auto compressed = run(
-      std::make_shared<core::DctChopCodec>(core::DctChopConfig{
-          .height = config.resolution, .width = config.resolution, .cf = 4,
-          .block = 8}),
-      "dct+chop CR=4");
+  const auto compressed =
+      run(core::make_codec("dctchop:cf=4,block=8"), "dct+chop CR=4");
 
   io::Table table({"epoch", "train loss (base)", "train loss (CR=4)",
                    "test loss (base)", "test loss (CR=4)"});

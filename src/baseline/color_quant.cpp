@@ -26,6 +26,13 @@ std::string ColorQuantCodec::name() const {
   return out.str();
 }
 
+std::string ColorQuantCodec::spec() const {
+  std::ostringstream out;
+  out << "colorquant:bits=" << bits_;
+  if (lo_ != 0.0f || hi_ != 1.0f) out << ",lo=" << lo_ << ",hi=" << hi_;
+  return out.str();
+}
+
 double ColorQuantCodec::compression_ratio() const {
   return 32.0 / static_cast<double>(bits_);
 }

@@ -16,6 +16,7 @@ class ColorQuantCodec final : public core::Codec {
   ColorQuantCodec(std::size_t bits, float lo = 0.0f, float hi = 1.0f);
 
   std::string name() const override;
+  std::string spec() const override;
   double compression_ratio() const override;
   tensor::Shape compressed_shape(const tensor::Shape& input) const override;
   tensor::Tensor compress(const tensor::Tensor& input) const override;
@@ -23,6 +24,9 @@ class ColorQuantCodec final : public core::Codec {
                             const tensor::Shape& original) const override;
 
   std::size_t levels() const { return levels_; }
+  std::size_t bits() const { return bits_; }
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
 
  private:
   std::size_t bits_;

@@ -98,6 +98,12 @@ std::string ZfpLikeCodec::name() const {
   return out.str();
 }
 
+std::string ZfpLikeCodec::spec() const {
+  std::ostringstream out;
+  out << "zfp:rate=" << rate_;
+  return out.str();
+}
+
 double ZfpLikeCodec::compression_ratio() const { return 32.0 / rate_; }
 
 Shape ZfpLikeCodec::compressed_shape(const Shape& input) const {

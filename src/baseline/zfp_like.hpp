@@ -33,6 +33,7 @@ class ZfpLikeCodec final : public core::Codec {
   explicit ZfpLikeCodec(double rate_bits_per_value);
 
   std::string name() const override;
+  std::string spec() const override;
   double compression_ratio() const override;
   tensor::Shape compressed_shape(const tensor::Shape& input) const override;
   tensor::Tensor compress(const tensor::Tensor& input) const override;

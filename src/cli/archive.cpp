@@ -2,8 +2,11 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "core/codec_factory.hpp"
+#include "core/partial_serializer.hpp"
 #include "core/triangle.hpp"
 #include "io/tensor_io.hpp"
 
@@ -15,7 +18,12 @@ using tensor::Tensor;
 namespace {
 
 constexpr char kMagic[4] = {'A', 'I', 'C', 'Z'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+
+// The u8 codec-kind field of the header.
+constexpr std::uint8_t kKindSquare = 0;
+constexpr std::uint8_t kKindTriangle = 1;
+constexpr std::uint8_t kKindPartial = 2;
 
 template <typename T>
 void append(std::string& out, T value) {
@@ -37,44 +45,92 @@ T read(const std::string& bytes, std::size_t& cursor) {
 
 }  // namespace
 
-core::CodecPtr make_archive_codec(const Archive& archive) {
-  if (archive.triangle) {
-    return std::make_shared<core::TriangleCodec>(archive.config);
+std::string archive_codec_spec(const Archive& archive) {
+  const auto& c = archive.config;
+  std::ostringstream spec;
+  if (archive.subdivision > 1) {
+    spec << "partial:cf=" << c.cf << ",block=" << c.block
+         << ",s=" << archive.subdivision;
+  } else if (archive.triangle) {
+    spec << "triangle:cf=" << c.cf << ",block=" << c.block;
+  } else {
+    spec << "dctchop:cf=" << c.cf << ",block=" << c.block;
   }
-  return std::make_shared<core::DctChopCodec>(archive.config);
+  spec << ",transform=" << core::transform_name(c.transform);
+  if (c.height != 0) spec << ",h=" << c.height << ",w=" << c.width;
+  return spec.str();
+}
+
+core::CodecPtr make_archive_codec(const Archive& archive) {
+  return core::make_codec(archive_codec_spec(archive));
+}
+
+Archive compress_to_archive(const Tensor& input, const std::string& codec_spec,
+                            core::CodecPtr* codec_out) {
+  if (input.shape().rank() != 4) {
+    throw std::invalid_argument("archive: input must be BCHW");
+  }
+  const core::CodecPtr codec = core::make_codec(codec_spec);
+
+  Archive archive;
+  archive.original_shape = input.shape();
+  // The archive header only represents the chop family; recover the
+  // parameters from the concrete codec the factory built.
+  if (const auto* dc =
+          dynamic_cast<const core::DctChopCodec*>(codec.get())) {
+    archive.config = dc->config();
+  } else if (const auto* sg =
+                 dynamic_cast<const core::TriangleCodec*>(codec.get())) {
+    archive.triangle = true;
+    archive.config = sg->config();
+  } else if (const auto* ps =
+                 dynamic_cast<const core::PartialSerialCodec*>(codec.get())) {
+    archive.subdivision = ps->config().subdivision;
+    archive.config = {.height = ps->config().height,
+                      .width = ps->config().width,
+                      .cf = ps->config().cf,
+                      .block = ps->config().block,
+                      .transform = ps->config().transform};
+  } else {
+    throw std::invalid_argument("archive: codec \"" + codec_spec +
+                                "\" has no archive representation (use the "
+                                "dctchop / triangle / partial family)");
+  }
+  archive.packed = codec->compress(input);
+  // Shape-agnostic specs leave height/width zero; the header pins them
+  // to the tensor that was actually compressed.
+  archive.config.height = input.shape()[2];
+  archive.config.width = input.shape()[3];
+  if (codec_out != nullptr) *codec_out = codec;
+  return archive;
 }
 
 Archive compress_to_archive(const Tensor& input, std::size_t cf,
                             std::size_t block,
                             core::TransformKind transform, bool triangle,
                             core::CodecPtr* codec_out) {
-  if (input.shape().rank() != 4) {
-    throw std::invalid_argument("archive: input must be BCHW");
-  }
-  Archive archive;
-  archive.triangle = triangle;
-  archive.config = {.height = input.shape()[2],
-                    .width = input.shape()[3],
-                    .cf = cf,
-                    .block = block,
-                    .transform = transform};
-  archive.original_shape = input.shape();
-  const core::CodecPtr codec = make_archive_codec(archive);
-  archive.packed = codec->compress(input);
-  if (codec_out != nullptr) *codec_out = codec;
-  return archive;
+  std::ostringstream spec;
+  spec << (triangle ? "triangle" : "dctchop") << ":cf=" << cf
+       << ",block=" << block
+       << ",transform=" << core::transform_name(transform);
+  return compress_to_archive(input, spec.str(), codec_out);
 }
 
 std::string serialize_archive(const Archive& archive) {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   append<std::uint32_t>(out, kVersion);
-  append<std::uint8_t>(out, archive.triangle ? 1 : 0);
+  const std::uint8_t kind = archive.subdivision > 1 ? kKindPartial
+                            : archive.triangle     ? kKindTriangle
+                                                   : kKindSquare;
+  append<std::uint8_t>(out, kind);
   append<std::uint8_t>(out,
                        static_cast<std::uint8_t>(archive.config.transform));
   append<std::uint16_t>(out, static_cast<std::uint16_t>(archive.config.cf));
   append<std::uint16_t>(out,
                         static_cast<std::uint16_t>(archive.config.block));
+  append<std::uint16_t>(out,
+                        static_cast<std::uint16_t>(archive.subdivision));
   append<std::uint32_t>(
       out, static_cast<std::uint32_t>(archive.original_shape.rank()));
   for (std::size_t axis = 0; axis < archive.original_shape.rank(); ++axis) {
@@ -95,11 +151,18 @@ Archive deserialize_archive(const std::string& bytes) {
     throw std::runtime_error("archive: unsupported version");
   }
   Archive archive;
-  archive.triangle = read<std::uint8_t>(bytes, cursor) != 0;
+  const std::uint8_t kind = read<std::uint8_t>(bytes, cursor);
+  if (kind > kKindPartial) throw std::runtime_error("archive: unknown codec");
+  archive.triangle = kind == kKindTriangle;
   archive.config.transform =
       static_cast<core::TransformKind>(read<std::uint8_t>(bytes, cursor));
   archive.config.cf = read<std::uint16_t>(bytes, cursor);
   archive.config.block = read<std::uint16_t>(bytes, cursor);
+  archive.subdivision = read<std::uint16_t>(bytes, cursor);
+  if (archive.subdivision == 0 ||
+      (kind == kKindPartial) != (archive.subdivision > 1)) {
+    throw std::runtime_error("archive: inconsistent subdivision");
+  }
   const std::uint32_t rank = read<std::uint32_t>(bytes, cursor);
   if (rank != 4) throw std::runtime_error("archive: original must be BCHW");
   std::size_t dims[4];

@@ -9,25 +9,38 @@ namespace aic::cli {
 
 /// On-disk compressed-tensor archive written by the aicomp CLI:
 ///
-///   magic "AICZ" | u32 version | u8 codec (0=square, 1=triangle)
-///   | u8 transform | u16 cf | u16 block | u32 rank | u64 dims[rank]
+///   magic "AICZ" | u32 version | u8 codec (0=square, 1=triangle,
+///   2=partial) | u8 transform | u16 cf | u16 block | u16 subdivision
+///   | u32 rank | u64 dims[rank]
 ///   | serialized packed tensor (io::serialize_tensor format)
 ///
 /// The header carries everything needed to rebuild the codec and the
 /// original shape, so decompression needs no side information.
 struct Archive {
   bool triangle = false;
+  /// Partial-serialization factor; 1 means plain (or triangle) chop.
+  std::size_t subdivision = 1;
   core::DctChopConfig config;     // height/width filled from dims
   tensor::Shape original_shape;   // BCHW
   tensor::Tensor packed;
 };
 
-/// Builds the codec an archive describes.
+/// The canonical factory spec string an archive header describes.
+std::string archive_codec_spec(const Archive& archive);
+
+/// Builds the codec an archive describes, through core::CodecFactory.
 core::CodecPtr make_archive_codec(const Archive& archive);
 
-/// Compresses `input` (BCHW) and assembles the archive in memory. When
-/// `codec_out` is non-null it receives the codec instance that performed
-/// the compression (so its CodecStats can be inspected afterwards).
+/// Compresses `input` (BCHW) through a factory spec string (any of the
+/// dctchop / triangle / partial family — other kinds have no archive
+/// representation and throw std::invalid_argument). When `codec_out` is
+/// non-null it receives the codec instance that performed the
+/// compression (so its CodecStats can be inspected afterwards).
+Archive compress_to_archive(const tensor::Tensor& input,
+                            const std::string& codec_spec,
+                            core::CodecPtr* codec_out = nullptr);
+
+/// Convenience overload assembling the spec from the classic flags.
 Archive compress_to_archive(const tensor::Tensor& input, std::size_t cf,
                             std::size_t block, core::TransformKind transform,
                             bool triangle,

@@ -3,11 +3,14 @@
 #include <iomanip>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "accel/drift.hpp"
+#include "baseline/comparators.hpp"
 #include "cli/archive.hpp"
+#include "core/codec_factory.hpp"
 #include "core/dct_chop.hpp"
 #include "core/metrics.hpp"
 #include "data/synth.hpp"
@@ -70,26 +73,43 @@ std::size_t flag_size(const Options& options, const std::string& name,
   return static_cast<std::size_t>(std::stoull(it->second));
 }
 
-core::TransformKind flag_transform(const Options& options) {
-  const auto it = options.flags.find("transform");
-  if (it == options.flags.end()) return core::TransformKind::kDct2;
-  if (it->second == "dct") return core::TransformKind::kDct2;
-  if (it->second == "wht") return core::TransformKind::kWalshHadamard;
-  if (it->second == "dst2") return core::TransformKind::kDst2;
-  throw std::invalid_argument("unknown transform: " + it->second);
+std::string flag_string(const Options& options, const std::string& name,
+                        const std::string& fallback) {
+  const auto it = options.flags.find(name);
+  return it == options.flags.end() ? fallback : it->second;
+}
+
+/// The codec spec for a command: --codec verbatim when given, else
+/// synthesized from the classic --cf/--block/--transform/--triangle
+/// flags. Either way the codec is built by core::CodecFactory.
+std::string codec_spec(const Options& options) {
+  const auto it = options.flags.find("codec");
+  if (it != options.flags.end()) return it->second;
+  std::ostringstream spec;
+  spec << (options.triangle ? "triangle" : "dctchop")
+       << ":cf=" << flag_size(options, "cf", 4)
+       << ",block=" << flag_size(options, "block", 8)
+       << ",transform=" << flag_string(options, "transform", "dct");
+  return spec.str();
 }
 
 int usage(std::ostream& err) {
   err << "usage:\n"
          "  aicomp gen <out.aict> [--batch B --channels C --res N --seed S]\n"
-         "  aicomp compress <in.aict> <out.aicz> [--cf N --block B "
-         "--transform dct|wht|dst2 --triangle --stats]\n"
+         "  aicomp compress <in.aict> <out.aicz> [--codec <spec> | --cf N "
+         "--block B --transform dct|wht|dst2 --triangle] [--stats]\n"
          "  aicomp decompress <in.aicz> <out.aict> [--stats]\n"
          "  aicomp info <file>\n"
-         "  aicomp eval <in.aict> [--cf N --block B --transform ... "
-         "--triangle --stats]\n"
+         "  aicomp eval <in.aict> [--codec <spec> | --cf N --block B "
+         "--transform ... --triangle] [--stats]\n"
+         "  aicomp codecs      (list registered codec specs)\n"
          "  aicomp --metrics   (standalone: probe workload + report)\n"
          "\n"
+         "  --codec takes a CodecFactory spec: kind[:key=value,...], e.g.\n"
+         "  dctchop:cf=4, partial:cf=4,s=2, triangle:cf=4, zfp:rate=8,\n"
+         "  sz:eb=1e-3, jpeg:q=85. `aicomp codecs` lists every kind.\n"
+         "  (compress accepts only the dctchop/triangle/partial family;\n"
+         "  eval accepts any registered codec.)\n"
          "  --stats prints per-codec counters (calls, planes, Eq. 5/7\n"
          "  FLOPs, bytes, wall time) after the operation.\n"
          "  --metrics prints latency percentiles (p50/p90/p99) and the\n"
@@ -171,18 +191,35 @@ void print_metrics(std::ostream& out) {
 /// structure even on single-core hosts where the pool degrades inline.
 int cmd_probe(std::ostream& out) {
   runtime::Rng rng(1);
-  const Tensor input =
-      Tensor::uniform(Shape::bchw(4, 3, 32, 32), rng);
-  const core::DctChopCodec codec(
-      {.height = 32, .width = 32, .cf = 4, .block = 8});
+  // One shape-agnostic factory codec over two distinct resolutions: the
+  // first round trip per shape builds and caches a plan, every later one
+  // is a pure cache hit — `--metrics` shows plan_cache.build_count == 2
+  // (the 32x32 key is shared with the drift probe's graphs) against
+  // plan_cache.hit >= 1.
+  const Tensor large = Tensor::uniform(Shape::bchw(4, 3, 32, 32), rng);
+  const Tensor small = Tensor::uniform(Shape::bchw(4, 3, 16, 16), rng);
+  const core::CodecPtr codec = core::make_codec("dctchop:cf=4,block=8");
   const auto worker = [&] {
-    for (int rep = 0; rep < 8; ++rep) (void)codec.round_trip(input);
+    for (int rep = 0; rep < 8; ++rep) {
+      (void)codec->round_trip(large);
+      (void)codec->round_trip(small);
+    }
   };
   std::thread second(worker);
   worker();
   second.join();
-  out << "probe: 16 round trips of " << codec.name() << " on "
-      << input.shape().to_string() << " across 2 threads\n";
+  out << "probe: 32 round trips of " << codec->name() << " on "
+      << large.shape().to_string() << " and " << small.shape().to_string()
+      << " across 2 threads\n";
+  return 0;
+}
+
+int cmd_codecs(std::ostream& out) {
+  out << "registered codecs (spec grammar kind[:key=value,...]):\n";
+  for (const auto& [name, summary] : core::CodecFactory::global().list()) {
+    out << "  " << std::left << std::setw(12) << name << " " << summary
+        << "\n";
+  }
   return 0;
 }
 
@@ -215,9 +252,8 @@ int cmd_compress(const Options& options, std::ostream& out) {
   }
   const Tensor input = io::load_tensor(options.positional[0]);
   core::CodecPtr codec;
-  const Archive archive = compress_to_archive(
-      input, flag_size(options, "cf", 4), flag_size(options, "block", 8),
-      flag_transform(options), options.triangle, &codec);
+  const Archive archive =
+      compress_to_archive(input, codec_spec(options), &codec);
   save_archive(archive, options.positional[1]);
   out << codec->name() << ": " << input.size_bytes() << " -> "
       << archive.packed.size_bytes() << " bytes (CR "
@@ -270,10 +306,9 @@ int cmd_eval(const Options& options, std::ostream& out) {
     throw std::invalid_argument("eval: expected one input path");
   }
   const Tensor input = io::load_tensor(options.positional[0]);
-  const Archive archive = compress_to_archive(
-      input, flag_size(options, "cf", 4), flag_size(options, "block", 8),
-      flag_transform(options), options.triangle);
-  const auto codec = make_archive_codec(archive);
+  // eval needs no archive, so any registered codec works here — zfp/sz/
+  // jpeg comparators included.
+  const core::CodecPtr codec = core::make_codec(codec_spec(options));
   const core::RateDistortion rd = core::evaluate_codec(*codec, input);
   out << codec->name() << ": CR=" << rd.compression_ratio
       << " MSE=" << rd.mse << " PSNR=" << rd.psnr_db
@@ -287,6 +322,9 @@ int cmd_eval(const Options& options, std::ostream& out) {
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   if (args.empty()) return usage(err);
+  // Baseline comparators live above core, so their factory entries are
+  // registered explicitly before any spec is parsed.
+  baseline::register_comparator_codecs();
   try {
     // `aicomp --metrics` / `aicomp --trace f.json` with no command run a
     // built-in probe workload.
@@ -315,6 +353,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       rc = cmd_info(options, out);
     } else if (command == "eval") {
       rc = cmd_eval(options, out);
+    } else if (command == "codecs") {
+      rc = cmd_codecs(out);
     } else {
       err << "unknown command: " << command << "\n";
       return usage(err);

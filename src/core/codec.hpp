@@ -24,6 +24,10 @@ class Codec {
   /// Human-readable codec identifier (e.g. "dct+chop(cf=4)").
   virtual std::string name() const = 0;
 
+  /// Canonical factory spec string (e.g. "dctchop:cf=4,block=8"): feeding
+  /// it back through core::CodecFactory reconstructs an equivalent codec.
+  virtual std::string spec() const = 0;
+
   /// Nominal compression ratio (uncompressed bytes / compressed bytes).
   virtual double compression_ratio() const = 0;
 

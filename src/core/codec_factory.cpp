@@ -1,0 +1,258 @@
+#include "core/codec_factory.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/dct_chop.hpp"
+#include "core/partial_serializer.hpp"
+#include "core/triangle.hpp"
+
+namespace aic::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpecParams
+
+SpecParams::SpecParams(std::string kind,
+                       std::map<std::string, std::string> values,
+                       std::string original)
+    : kind_(std::move(kind)),
+      values_(std::move(values)),
+      original_(std::move(original)) {}
+
+const std::string* SpecParams::find(const std::string& key) const {
+  recognized_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+bool SpecParams::has(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+std::size_t SpecParams::get_size(const std::string& key,
+                                 std::size_t fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  try {
+    std::size_t pos = 0;
+    const unsigned long long value = std::stoull(*raw, &pos);
+    if (pos != raw->size() || raw->front() == '-') throw std::exception();
+    return static_cast<std::size_t>(value);
+  } catch (...) {
+    fail("parameter \"" + key + "\" expects a non-negative integer, got \"" +
+         *raw + "\"");
+  }
+}
+
+double SpecParams::get_double(const std::string& key, double fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(*raw, &pos);
+    if (pos != raw->size()) throw std::exception();
+    return value;
+  } catch (...) {
+    fail("parameter \"" + key + "\" expects a number, got \"" + *raw + "\"");
+  }
+}
+
+std::string SpecParams::get_string(const std::string& key,
+                                   const std::string& fallback) const {
+  const std::string* raw = find(key);
+  return raw == nullptr ? fallback : *raw;
+}
+
+bool SpecParams::get_bool(const std::string& key, bool fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  if (*raw == "1" || *raw == "true" || *raw == "on" || *raw == "yes") {
+    return true;
+  }
+  if (*raw == "0" || *raw == "false" || *raw == "off" || *raw == "no") {
+    return false;
+  }
+  fail("parameter \"" + key + "\" expects a boolean, got \"" + *raw + "\"");
+}
+
+TransformKind SpecParams::get_transform(const std::string& key,
+                                        TransformKind fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  if (*raw == "dct") return TransformKind::kDct2;
+  if (*raw == "wht") return TransformKind::kWalshHadamard;
+  if (*raw == "dst2") return TransformKind::kDst2;
+  fail("parameter \"" + key + "\" expects one of dct, wht, dst2; got \"" +
+       *raw + "\"");
+}
+
+void SpecParams::check_all_consumed() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (recognized_.count(key) == 0) unknown.push_back(key);
+  }
+  if (unknown.empty()) return;
+  std::ostringstream out;
+  out << "unknown parameter \"" << unknown.front() << "\" for " << kind_
+      << " (valid:";
+  bool first = true;
+  for (const std::string& key : recognized_) {
+    out << (first ? " " : ", ") << key;
+    first = false;
+  }
+  out << ")";
+  fail(out.str());
+}
+
+void SpecParams::fail(const std::string& message) const {
+  throw std::invalid_argument("codec spec \"" + original_ + "\": " + message);
+}
+
+// ---------------------------------------------------------------------------
+// CodecFactory
+
+CodecFactory& CodecFactory::global() {
+  static CodecFactory factory;
+  return factory;
+}
+
+CodecFactory::CodecFactory() {
+  // The three paper codecs live in this layer and self-register; the
+  // baseline comparators register from baseline::register_comparator_codecs.
+  register_codec(
+      "dctchop", "DCT+Chop two-matmul codec (Eq. 4/6); CR = block^2/cf^2",
+      [](const SpecParams& p) -> CodecPtr {
+        DctChopConfig config;
+        config.cf = p.get_size("cf", config.cf);
+        config.block = p.get_size("block", config.block);
+        config.transform = p.get_transform("transform", config.transform);
+        config.height = p.get_size("h", 0);
+        config.width = p.get_size("w", 0);
+        return std::make_shared<DctChopCodec>(config);
+      },
+      {"dct+chop", "chop"});
+  register_codec(
+      "partial",
+      "partial serialization (s x s serial chunks) over DCT+Chop (sec. 3.5.1)",
+      [](const SpecParams& p) -> CodecPtr {
+        PartialSerialConfig config;
+        config.cf = p.get_size("cf", config.cf);
+        config.block = p.get_size("block", config.block);
+        config.transform = p.get_transform("transform", config.transform);
+        config.subdivision = p.get_size("s", config.subdivision);
+        config.height = p.get_size("h", 0);
+        config.width = p.get_size("w", 0);
+        return std::make_shared<PartialSerialCodec>(config);
+      },
+      {"ps", "dct+chop+ps"});
+  register_codec(
+      "triangle",
+      "scatter/gather triangle packing over DCT+Chop (sec. 3.5.2)",
+      [](const SpecParams& p) -> CodecPtr {
+        DctChopConfig config;
+        config.cf = p.get_size("cf", config.cf);
+        config.block = p.get_size("block", config.block);
+        config.transform = p.get_transform("transform", config.transform);
+        config.height = p.get_size("h", 0);
+        config.width = p.get_size("w", 0);
+        return std::make_shared<TriangleCodec>(config);
+      },
+      {"sg", "dct+chop+sg"});
+}
+
+void CodecFactory::register_codec(const std::string& name,
+                                  const std::string& summary, Builder build,
+                                  std::vector<std::string> aliases) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  codecs_[name] = Registration{summary, build, /*is_alias=*/false};
+  for (const std::string& alias : aliases) {
+    codecs_[alias] = Registration{summary, build, /*is_alias=*/true};
+  }
+}
+
+CodecPtr CodecFactory::make(const std::string& spec) const {
+  const auto bad = [&spec](const std::string& message) -> void {
+    throw std::invalid_argument("codec spec \"" + spec + "\": " + message);
+  };
+
+  const auto colon = spec.find(':');
+  const std::string kind = trim(spec.substr(0, colon));
+  if (kind.empty()) bad("missing codec name");
+
+  std::map<std::string, std::string> values;
+  if (colon != std::string::npos) {
+    std::istringstream rest(spec.substr(colon + 1));
+    std::string item;
+    while (std::getline(rest, item, ',')) {
+      item = trim(item);
+      if (item.empty()) continue;
+      const auto eq = item.find('=');
+      if (eq == std::string::npos) {
+        bad("expected key=value, got \"" + item + "\"");
+      }
+      const std::string key = trim(item.substr(0, eq));
+      const std::string value = trim(item.substr(eq + 1));
+      if (key.empty()) bad("empty key in \"" + item + "\"");
+      if (value.empty()) bad("empty value for \"" + key + "\"");
+      if (values.count(key) != 0) bad("duplicate key \"" + key + "\"");
+      values[key] = value;
+    }
+  }
+
+  Builder build;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = codecs_.find(kind);
+    if (it == codecs_.end()) {
+      std::ostringstream out;
+      out << "unknown codec \"" << kind << "\" (known:";
+      bool first = true;
+      for (const auto& [name, reg] : codecs_) {
+        if (reg.is_alias) continue;
+        out << (first ? " " : ", ") << name;
+        first = false;
+      }
+      out << ")";
+      bad(out.str());
+    }
+    build = it->second.build;
+  }
+
+  const SpecParams params(kind, std::move(values), spec);
+  CodecPtr codec = build(params);
+  if (!codec) bad("builder returned null");
+  params.check_all_consumed();
+  return codec;
+}
+
+bool CodecFactory::known(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return codecs_.count(name) != 0;
+}
+
+std::vector<std::pair<std::string, std::string>> CodecFactory::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, reg] : codecs_) {
+    if (!reg.is_alias) out.emplace_back(name, reg.summary);
+  }
+  return out;
+}
+
+CodecPtr make_codec(const std::string& spec) {
+  return CodecFactory::global().make(spec);
+}
+
+}  // namespace aic::core

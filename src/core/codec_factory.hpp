@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/transforms.hpp"
+
+namespace aic::core {
+
+/// Parsed form of a codec spec string `kind[:key=value[,key=value]*]`
+/// (e.g. "dctchop:cf=4", "partial:cf=4,s=2", "zfp:rate=8").
+///
+/// Builders pull typed parameters out with the `get_*` accessors; every
+/// accessor marks its key as recognized, so after the builder runs the
+/// factory can diagnose unknown keys ("unknown parameter \"foo\" for
+/// dctchop (valid: block, cf, h, transform, w)") instead of silently
+/// ignoring typos.
+class SpecParams {
+ public:
+  SpecParams(std::string kind, std::map<std::string, std::string> values,
+             std::string original);
+
+  const std::string& kind() const { return kind_; }
+  const std::string& spec() const { return original_; }
+
+  bool has(const std::string& key) const;
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  TransformKind get_transform(const std::string& key,
+                              TransformKind fallback) const;
+
+  /// Throws std::invalid_argument naming every provided-but-unrecognized
+  /// key. Called by the factory after the builder returns.
+  void check_all_consumed() const;
+
+  /// Error helper with the offending spec in the message.
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  const std::string* find(const std::string& key) const;
+
+  std::string kind_;
+  std::map<std::string, std::string> values_;
+  std::string original_;
+  mutable std::set<std::string> recognized_;
+};
+
+/// Process-wide registry mapping codec kind names to builders, so every
+/// construction site — CLI, archive, rate control, trainer, benches,
+/// graph builders — selects codecs through one spec-string grammar.
+///
+/// Core kinds (dctchop, partial, triangle) are registered on first use;
+/// the baseline comparators live in a higher layer and register through
+/// baseline::register_comparator_codecs() (static-library registrar
+/// objects get dropped by the linker, so registration is an explicit,
+/// idempotent call).
+class CodecFactory {
+ public:
+  using Builder = std::function<CodecPtr(const SpecParams&)>;
+
+  static CodecFactory& global();
+
+  /// Registers `name` (plus aliases) with a one-line summary for
+  /// diagnostics and --help output. Re-registering a name replaces the
+  /// previous builder (idempotent registration).
+  void register_codec(const std::string& name, const std::string& summary,
+                      Builder build, std::vector<std::string> aliases = {});
+
+  /// Builds a codec from a spec string; throws std::invalid_argument
+  /// with a diagnostic naming the known kinds / valid keys on malformed
+  /// specs.
+  CodecPtr make(const std::string& spec) const;
+
+  bool known(const std::string& name) const;
+  /// Primary names with summaries, sorted (aliases excluded).
+  std::vector<std::pair<std::string, std::string>> list() const;
+
+ private:
+  CodecFactory();
+
+  struct Registration {
+    std::string summary;
+    Builder build;
+    bool is_alias = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Registration> codecs_;
+};
+
+/// Convenience for CodecFactory::global().make(spec).
+CodecPtr make_codec(const std::string& spec);
+
+}  // namespace aic::core

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/plan_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/timer.hpp"
@@ -10,45 +11,69 @@
 
 namespace aic::core {
 
-using tensor::BandedSpec;
 using tensor::Shape;
 using tensor::Tensor;
 
 DctChopCodec::DctChopCodec(DctChopConfig config) : config_(config) {
   const auto& c = config_;
-  if (c.height == 0 || c.width == 0 || c.block == 0 ||
-      c.height % c.block != 0 || c.width % c.block != 0) {
-    throw std::invalid_argument(
-        "DctChopCodec: height/width must be positive multiples of block");
-  }
-  if (c.cf == 0 || c.cf > c.block) {
+  if (c.block == 0 || c.cf == 0 || c.cf > c.block) {
     throw std::invalid_argument("DctChopCodec: cf must be in [1, block]");
   }
-  lhs_h_ = make_lhs(c.height, c.cf, c.block, c.transform);
-  rhs_w_ = make_rhs(c.width, c.cf, c.block, c.transform);
-  lhs_w_ = make_lhs(c.width, c.cf, c.block, c.transform);
-  rhs_h_ = make_rhs(c.height, c.cf, c.block, c.transform);
+  if (c.height != 0 || c.width != 0) {
+    // Pinned mode: compile (or share) the plan now, validating geometry
+    // exactly the way the per-shape constructor always did.
+    pinned_ = resolve_dct_chop_plan(c.height, c.width, c.cf, c.block,
+                                    c.transform);
+  }
+}
 
-  // Chop operators are block-banded by construction (Fig. 4): LHS keeps
-  // CF rows per 8-column block, RHS = LHSᵀ. Verify once at "compile time"
-  // and hand the structure to the sandwich kernel; an operator that ever
-  // stops matching simply runs on the dense path.
-  const BandedSpec lhs_spec{c.cf, c.block};  // (CF·n/8)×n shaped operators
-  const BandedSpec rhs_spec{c.block, c.cf};  // n×(CF·n/8) shaped operators
-  if (tensor::is_block_banded(lhs_h_, lhs_spec) &&
-      tensor::is_block_banded(rhs_w_, rhs_spec)) {
-    compress_bands_ = {.lhs_bands = lhs_spec, .rhs_bands = rhs_spec};
+std::shared_ptr<const DctChopPlan> DctChopCodec::plan_for(
+    std::size_t height, std::size_t width) const {
+  if (pinned_) {
+    if (height != config_.height || width != config_.width) {
+      throw std::invalid_argument(
+          "DctChopCodec: codec compiled for " + std::to_string(config_.height) +
+          "x" + std::to_string(config_.width) + ", got " +
+          std::to_string(height) + "x" + std::to_string(width));
+    }
+    return pinned_;
   }
-  if (tensor::is_block_banded(rhs_h_, rhs_spec) &&
-      tensor::is_block_banded(lhs_w_, lhs_spec)) {
-    decompress_bands_ = {.lhs_bands = rhs_spec, .rhs_bands = lhs_spec};
+  return resolve_dct_chop_plan(height, width, config_.cf, config_.block,
+                               config_.transform);
+}
+
+const Tensor& DctChopCodec::lhs() const {
+  if (!pinned_) {
+    throw std::logic_error(
+        "DctChopCodec::lhs: shape-agnostic codec has no pinned operands");
   }
+  return pinned_->lhs_h();
+}
+
+const Tensor& DctChopCodec::rhs() const {
+  if (!pinned_) {
+    throw std::logic_error(
+        "DctChopCodec::rhs: shape-agnostic codec has no pinned operands");
+  }
+  return pinned_->rhs_w();
 }
 
 std::string DctChopCodec::name() const {
   std::ostringstream out;
   out << transform_name(config_.transform) << "+chop(cf=" << config_.cf
       << ",block=" << config_.block << ")";
+  return out.str();
+}
+
+std::string DctChopCodec::spec() const {
+  std::ostringstream out;
+  out << "dctchop:cf=" << config_.cf << ",block=" << config_.block;
+  if (config_.transform != TransformKind::kDct2) {
+    out << ",transform=" << transform_name(config_.transform);
+  }
+  if (pinned_) {
+    out << ",h=" << config_.height << ",w=" << config_.width;
+  }
   return out.str();
 }
 
@@ -60,13 +85,22 @@ Shape DctChopCodec::compressed_shape(const Shape& input) const {
   if (input.rank() != 4) {
     throw std::invalid_argument("DctChopCodec: input must be BCHW");
   }
-  if (input[2] != config_.height || input[3] != config_.width) {
+  if (pinned_ &&
+      (input[2] != config_.height || input[3] != config_.width)) {
     throw std::invalid_argument(
         "DctChopCodec: codec compiled for " + std::to_string(config_.height) +
         "x" + std::to_string(config_.width) + ", got " + input.to_string());
   }
-  const std::size_t ch = config_.cf * config_.height / config_.block;
-  const std::size_t cw = config_.cf * config_.width / config_.block;
+  const std::size_t h = input[2];
+  const std::size_t w = input[3];
+  if (h == 0 || w == 0 || h % config_.block != 0 || w % config_.block != 0) {
+    throw std::invalid_argument(
+        "DctChopCodec: input height/width must be positive multiples of "
+        "block, got " +
+        input.to_string());
+  }
+  const std::size_t ch = config_.cf * h / config_.block;
+  const std::size_t cw = config_.cf * w / config_.block;
   return Shape::bchw(input[0], input[1], ch, cw);
 }
 
@@ -74,13 +108,15 @@ Tensor DctChopCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("codec.compress");
   runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
-  tensor::sandwich_planes_into(lhs_h_, input, rhs_w_, out, compress_bands_);
+  const std::shared_ptr<const DctChopPlan> plan =
+      plan_for(input.shape()[2], input.shape()[3]);
+  plan->compress_into(input, out);
   const std::size_t planes = input.shape()[0] * input.shape()[1];
   const std::uint64_t nanos = timer.nanos();
   stats_.record_compress(planes,
-                         planes * flops_compress_hw(config_.height,
-                                                    config_.width, config_.cf,
-                                                    config_.block),
+                         planes * flops_compress_hw(input.shape()[2],
+                                                    input.shape()[3],
+                                                    config_.cf, config_.block),
                          input.size_bytes(), out.size_bytes(), nanos);
   static obs::Histogram& latency =
       obs::Registry::global().histogram("codec.compress.ns");
@@ -95,15 +131,15 @@ Tensor DctChopCodec::decompress(const Tensor& packed,
   if (packed.shape() != compressed_shape(original)) {
     throw std::invalid_argument("DctChopCodec: packed shape mismatch");
   }
+  const std::shared_ptr<const DctChopPlan> plan =
+      plan_for(original[2], original[3]);
   Tensor out(original);
-  // Eq. 6: A' = RHS · Y · LHS — the same operators with roles swapped.
-  tensor::sandwich_planes_into(rhs_h_, packed, lhs_w_, out,
-                               decompress_bands_);
+  plan->decompress_into(packed, out);
   const std::size_t planes = original[0] * original[1];
   const std::uint64_t nanos = timer.nanos();
   stats_.record_decompress(planes,
-                           planes * flops_decompress_hw(config_.height,
-                                                        config_.width,
+                           planes * flops_decompress_hw(original[2],
+                                                        original[3],
                                                         config_.cf,
                                                         config_.block),
                            packed.size_bytes(), out.size_bytes(), nanos);

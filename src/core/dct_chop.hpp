@@ -1,19 +1,24 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "core/chop.hpp"
 #include "core/codec.hpp"
 #include "core/dct.hpp"
+#include "core/plan.hpp"
 #include "tensor/matmul.hpp"
 
 namespace aic::core {
 
 /// Configuration of the DCT+Chop compressor.
 struct DctChopConfig {
-  /// Height/width of the samples the codec is compiled for. Compressors
-  /// on the target accelerators are compiled per shape, so the codec is
-  /// bound to one resolution; feeding a different one throws.
+  /// Height/width of the samples the codec is compiled for. Non-zero
+  /// pins the codec to one resolution — the operands are resolved
+  /// eagerly at construction and feeding a different shape throws, the
+  /// paper's per-shape compile contract (§3.1). Zero (the default) makes
+  /// the codec shape-agnostic: the plan for each incoming resolution is
+  /// resolved at compress() time from the process-wide PlanCache.
   std::size_t height = 0;
   std::size_t width = 0;
   /// Chop factor CF ∈ [1, block]: the upper-left CF×CF coefficients of
@@ -32,14 +37,17 @@ struct DctChopConfig {
 ///   compress    Y  = LHS · A · RHS     (Eq. 4)
 ///   decompress  A' = RHS · Y · LHS     (Eq. 6)
 ///
-/// with LHS = M·T_L precomputed at construction ("compile time"). Every
-/// (batch, channel) plane is an independent product, giving the
-/// BD·C·n²/64-way parallelism of §3.2.
+/// with LHS = M·T_L precomputed in a DctChopPlan ("compile time"). The
+/// codec itself is a thin stateful shell — stats and latency metrics —
+/// over the immutable plan; plans are shared through the PlanCache, so
+/// two codecs at the same (shape, cf, block, transform) execute the same
+/// operand storage.
 class DctChopCodec final : public Codec {
  public:
   explicit DctChopCodec(DctChopConfig config);
 
   std::string name() const override;
+  std::string spec() const override;
   double compression_ratio() const override;
   tensor::Shape compressed_shape(const tensor::Shape& input) const override;
   tensor::Tensor compress(const tensor::Tensor& input) const override;
@@ -47,10 +55,19 @@ class DctChopCodec final : public Codec {
                             const tensor::Shape& original) const override;
 
   const DctChopConfig& config() const { return config_; }
-  /// The precomputed LHS operator for the height dimension.
-  const tensor::Tensor& lhs() const { return lhs_h_; }
-  /// The precomputed RHS operator for the width dimension.
-  const tensor::Tensor& rhs() const { return rhs_w_; }
+  /// True when the codec is pinned to one resolution.
+  bool pinned() const { return pinned_ != nullptr; }
+
+  /// The compiled plan serving a h×w input: the pinned plan, or a
+  /// PlanCache resolution for shape-agnostic codecs.
+  std::shared_ptr<const DctChopPlan> plan_for(std::size_t height,
+                                              std::size_t width) const;
+
+  /// The precomputed LHS operator for the height dimension. Requires a
+  /// pinned codec (shape-agnostic codecs have one pair per resolution).
+  const tensor::Tensor& lhs() const;
+  /// The precomputed RHS operator for the width dimension (pinned only).
+  const tensor::Tensor& rhs() const;
 
   /// Closed-form FLOP count of compressing one n×n plane (Eq. 5),
   /// using the (2k−1)-ops-per-dot-product convention of the paper.
@@ -71,14 +88,7 @@ class DctChopCodec final : public Codec {
 
  private:
   DctChopConfig config_;
-  tensor::Tensor lhs_h_;  // (CF·H/8) × H
-  tensor::Tensor rhs_w_;  // W × (CF·W/8)
-  tensor::Tensor lhs_w_;  // (CF·W/8) × W  (decompression right operand)
-  tensor::Tensor rhs_h_;  // H × (CF·H/8)  (decompression left operand)
-  // Verified chop structure of the operators above, handed to the
-  // structurally-sparse sandwich kernel.
-  tensor::SandwichOptions compress_bands_;
-  tensor::SandwichOptions decompress_bands_;
+  std::shared_ptr<const DctChopPlan> pinned_;  // null when shape-agnostic
 };
 
 }  // namespace aic::core

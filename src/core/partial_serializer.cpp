@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/plan_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/timer.hpp"
@@ -49,18 +50,40 @@ PartialSerialCodec::PartialSerialCodec(PartialSerialConfig config)
   if (c.subdivision == 0) {
     throw std::invalid_argument("PartialSerialCodec: subdivision must be >= 1");
   }
-  if (c.height % c.subdivision != 0 || c.width % c.subdivision != 0) {
-    throw std::invalid_argument(
-        "PartialSerialCodec: resolution not divisible by subdivision factor");
+  if (c.block == 0 || c.cf == 0 || c.cf > c.block) {
+    throw std::invalid_argument("PartialSerialCodec: cf must be in [1, block]");
   }
-  chunk_h_ = c.height / c.subdivision;
-  chunk_w_ = c.width / c.subdivision;
-  chunk_codec_ = std::make_unique<DctChopCodec>(
-      DctChopConfig{.height = chunk_h_,
-                    .width = chunk_w_,
-                    .cf = c.cf,
-                    .block = c.block,
-                    .transform = c.transform});
+  if (c.height != 0 || c.width != 0) {
+    pinned_ = resolve_partial_serial_plan(c.height, c.width, c.cf, c.block,
+                                          c.transform, c.subdivision);
+    chunk_codec_ = std::make_unique<DctChopCodec>(
+        DctChopConfig{.height = pinned_->chunk_h(),
+                      .width = pinned_->chunk_w(),
+                      .cf = c.cf,
+                      .block = c.block,
+                      .transform = c.transform});
+  } else {
+    // Shape-agnostic: one chunk codec serves every incoming resolution,
+    // resolving the per-chunk plan from the cache.
+    chunk_codec_ = std::make_unique<DctChopCodec>(DctChopConfig{
+        .cf = c.cf, .block = c.block, .transform = c.transform});
+  }
+}
+
+std::shared_ptr<const PartialSerialPlan> PartialSerialCodec::plan_for(
+    std::size_t height, std::size_t width) const {
+  if (pinned_) {
+    if (height != config_.height || width != config_.width) {
+      throw std::invalid_argument("PartialSerialCodec: codec compiled for " +
+                                  std::to_string(config_.height) + "x" +
+                                  std::to_string(config_.width) + ", got " +
+                                  std::to_string(height) + "x" +
+                                  std::to_string(width));
+    }
+    return pinned_;
+  }
+  return resolve_partial_serial_plan(height, width, config_.cf, config_.block,
+                                     config_.transform, config_.subdivision);
 }
 
 std::string PartialSerialCodec::name() const {
@@ -70,18 +93,35 @@ std::string PartialSerialCodec::name() const {
   return out.str();
 }
 
+std::string PartialSerialCodec::spec() const {
+  std::ostringstream out;
+  out << "partial:cf=" << config_.cf << ",block=" << config_.block
+      << ",s=" << config_.subdivision;
+  if (config_.transform != TransformKind::kDct2) {
+    out << ",transform=" << transform_name(config_.transform);
+  }
+  if (pinned_) {
+    out << ",h=" << config_.height << ",w=" << config_.width;
+  }
+  return out.str();
+}
+
 double PartialSerialCodec::compression_ratio() const {
-  return chunk_codec_->compression_ratio();
+  return chop_ratio(config_.cf, config_.block);
 }
 
 Shape PartialSerialCodec::compressed_shape(const Shape& input) const {
-  if (input.rank() != 4 || input[2] != config_.height ||
-      input[3] != config_.width) {
+  if (input.rank() != 4 ||
+      (pinned_ &&
+       (input[2] != config_.height || input[3] != config_.width))) {
     throw std::invalid_argument("PartialSerialCodec: bad input shape " +
                                 input.to_string());
   }
-  const std::size_t ch = config_.cf * config_.height / config_.block;
-  const std::size_t cw = config_.cf * config_.width / config_.block;
+  // Validates chunk geometry (divisibility by s, chunk multiple of block).
+  (void)partial_serial_plan_key(input[2], input[3], config_.cf, config_.block,
+                                config_.transform, config_.subdivision);
+  const std::size_t ch = config_.cf * input[2] / config_.block;
+  const std::size_t cw = config_.cf * input[3] / config_.block;
   return Shape::bchw(input[0], input[1], ch, cw);
 }
 
@@ -92,17 +132,19 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
   const std::size_t batch = input.shape()[0];
   const std::size_t channels = input.shape()[1];
   const std::size_t s = config_.subdivision;
-  const std::size_t chunk_ch = config_.cf * chunk_h_ / config_.block;
-  const std::size_t chunk_cw = config_.cf * chunk_w_ / config_.block;
+  const std::size_t chunk_h = input.shape()[2] / s;
+  const std::size_t chunk_w = input.shape()[3] / s;
+  const std::size_t chunk_ch = config_.cf * chunk_h / config_.block;
+  const std::size_t chunk_cw = config_.cf * chunk_w / config_.block;
 
   // Chunks are deliberately iterated serially: only one chunk's working
   // set is alive at a time (the whole point of the optimization).
-  Tensor chunk(Shape::bchw(batch, channels, chunk_h_, chunk_w_));
+  Tensor chunk(Shape::bchw(batch, channels, chunk_h, chunk_w));
   for (std::size_t si = 0; si < s; ++si) {
     for (std::size_t sj = 0; sj < s; ++sj) {
       AIC_TRACE_SCOPE("ps.chunk");
-      copy_window(input, si * chunk_h_, sj * chunk_w_, chunk, 0, 0, chunk_h_,
-                  chunk_w_);
+      copy_window(input, si * chunk_h, sj * chunk_w, chunk, 0, 0, chunk_h,
+                  chunk_w);
       const Tensor packed = chunk_codec_->compress(chunk);
       copy_window(packed, 0, 0, out, si * chunk_ch, sj * chunk_cw, chunk_ch,
                   chunk_cw);
@@ -113,7 +155,7 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
   stats_.record_compress(
       planes,
       planes * s * s *
-          DctChopCodec::flops_compress_hw(chunk_h_, chunk_w_, config_.cf,
+          DctChopCodec::flops_compress_hw(chunk_h, chunk_w, config_.cf,
                                           config_.block),
       input.size_bytes(), out.size_bytes(), nanos);
   static obs::Histogram& latency =
@@ -133,9 +175,11 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
   const std::size_t batch = original[0];
   const std::size_t channels = original[1];
   const std::size_t s = config_.subdivision;
-  const std::size_t chunk_ch = config_.cf * chunk_h_ / config_.block;
-  const std::size_t chunk_cw = config_.cf * chunk_w_ / config_.block;
-  const Shape chunk_shape = Shape::bchw(batch, channels, chunk_h_, chunk_w_);
+  const std::size_t chunk_h = original[2] / s;
+  const std::size_t chunk_w = original[3] / s;
+  const std::size_t chunk_ch = config_.cf * chunk_h / config_.block;
+  const std::size_t chunk_cw = config_.cf * chunk_w / config_.block;
+  const Shape chunk_shape = Shape::bchw(batch, channels, chunk_h, chunk_w);
 
   Tensor chunk_packed(Shape::bchw(batch, channels, chunk_ch, chunk_cw));
   for (std::size_t si = 0; si < s; ++si) {
@@ -144,8 +188,8 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
       copy_window(packed, si * chunk_ch, sj * chunk_cw, chunk_packed, 0, 0,
                   chunk_ch, chunk_cw);
       const Tensor chunk = chunk_codec_->decompress(chunk_packed, chunk_shape);
-      copy_window(chunk, 0, 0, out, si * chunk_h_, sj * chunk_w_, chunk_h_,
-                  chunk_w_);
+      copy_window(chunk, 0, 0, out, si * chunk_h, sj * chunk_w, chunk_h,
+                  chunk_w);
     }
   }
   const std::size_t planes = batch * channels;
@@ -153,7 +197,7 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
   stats_.record_decompress(
       planes,
       planes * s * s *
-          DctChopCodec::flops_decompress_hw(chunk_h_, chunk_w_, config_.cf,
+          DctChopCodec::flops_decompress_hw(chunk_h, chunk_w, config_.cf,
                                             config_.block),
       packed.size_bytes(), out.size_bytes(), nanos);
   static obs::Histogram& latency =
@@ -163,7 +207,20 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
 }
 
 std::size_t PartialSerialCodec::operator_bytes() const {
+  if (!pinned_) {
+    throw std::logic_error(
+        "PartialSerialCodec::operator_bytes: requires a pinned codec");
+  }
   return chunk_codec_->lhs().size_bytes() + chunk_codec_->rhs().size_bytes();
+}
+
+std::size_t PartialSerialCodec::workspace_bytes(std::size_t batch,
+                                                std::size_t channels) const {
+  if (!pinned_) {
+    throw std::logic_error(
+        "PartialSerialCodec::workspace_bytes: requires a pinned codec");
+  }
+  return pinned_->workspace_bytes(batch, channels);
 }
 
 std::size_t PartialSerialCodec::unserialized_operator_bytes(std::size_t n,

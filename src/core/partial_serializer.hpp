@@ -5,6 +5,7 @@
 
 #include "core/codec.hpp"
 #include "core/dct_chop.hpp"
+#include "core/plan.hpp"
 
 namespace aic::core {
 
@@ -17,6 +18,8 @@ namespace aic::core {
 /// a codec compiled for the chunk resolution, shrinking the working set
 /// by s² at the cost of s² sequential launches.
 struct PartialSerialConfig {
+  /// Zero height/width makes the codec shape-agnostic (plans resolved
+  /// per incoming resolution from the PlanCache); non-zero pins it.
   std::size_t height = 0;
   std::size_t width = 0;
   std::size_t cf = 4;
@@ -31,6 +34,7 @@ class PartialSerialCodec final : public Codec {
   explicit PartialSerialCodec(PartialSerialConfig config);
 
   std::string name() const override;
+  std::string spec() const override;
   double compression_ratio() const override;
   tensor::Shape compressed_shape(const tensor::Shape& input) const override;
   tensor::Tensor compress(const tensor::Tensor& input) const override;
@@ -38,21 +42,36 @@ class PartialSerialCodec final : public Codec {
                             const tensor::Shape& original) const override;
 
   const PartialSerialConfig& config() const { return config_; }
+  bool pinned() const { return pinned_ != nullptr; }
+  /// The shared chunk-resolution codec driving every chunk launch. Its
+  /// stats accumulate the s² launches per call.
   const DctChopCodec& chunk_codec() const { return *chunk_codec_; }
 
+  /// The compiled plan serving a h×w input (pinned plan or PlanCache
+  /// resolution).
+  std::shared_ptr<const PartialSerialPlan> plan_for(std::size_t height,
+                                                    std::size_t width) const;
+
   /// Bytes of operator state (LHS + RHS) resident while one chunk is in
-  /// flight — the quantity the optimization exists to shrink.
+  /// flight — the quantity the optimization exists to shrink. Pinned
+  /// codecs only.
   std::size_t operator_bytes() const;
 
-  /// Same quantity for an unserialized codec at the full resolution.
+  /// The *full* working set of one in-flight chunk beyond input+output:
+  /// chunk input/packed staging (batch×channels deep) plus the chunk
+  /// executor's sandwich scratch. operator_bytes() deliberately excludes
+  /// these, which made accel memory-capacity checks optimistic — use this
+  /// for capacity accounting. Pinned codecs only.
+  std::size_t workspace_bytes(std::size_t batch, std::size_t channels) const;
+
+  /// Operator bytes for an unserialized codec at the full resolution.
   static std::size_t unserialized_operator_bytes(std::size_t n, std::size_t cf,
                                                  std::size_t block = kDefaultBlock);
 
  private:
   PartialSerialConfig config_;
+  std::shared_ptr<const PartialSerialPlan> pinned_;  // null when agnostic
   std::unique_ptr<DctChopCodec> chunk_codec_;
-  std::size_t chunk_h_ = 0;
-  std::size_t chunk_w_ = 0;
 };
 
 }  // namespace aic::core

@@ -1,0 +1,186 @@
+#include "core/plan_cache.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "runtime/env.hpp"
+#include "runtime/timer.hpp"
+
+namespace aic::core {
+
+namespace {
+
+constexpr std::size_t kDefaultBudgetBytes = 256ull << 20;  // 256 MiB
+
+struct CacheMetrics {
+  obs::Counter& hit;
+  obs::Counter& miss;
+  obs::Counter& build_count;
+  obs::Counter& eviction;
+  obs::Histogram& build_ns;
+  obs::Gauge& resident_bytes;
+
+  static CacheMetrics& global() {
+    static CacheMetrics metrics{
+        obs::Registry::global().counter("plan_cache.hit"),
+        obs::Registry::global().counter("plan_cache.miss"),
+        obs::Registry::global().counter("plan_cache.build_count"),
+        obs::Registry::global().counter("plan_cache.eviction"),
+        obs::Registry::global().histogram("plan_cache.build_ns"),
+        obs::Registry::global().gauge("plan_cache.resident_bytes")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache(
+      runtime::env_size_t("AIC_PLAN_CACHE_BYTES", kDefaultBudgetBytes),
+      /*publish_metrics=*/true);
+  return cache;
+}
+
+PlanCache::PlanCache(std::size_t byte_budget, bool publish_metrics)
+    : byte_budget_(byte_budget), publish_metrics_(publish_metrics) {}
+
+std::shared_ptr<const CodecPlan> PlanCache::resolve(const PlanKey& key,
+                                                    const BuildFn& build) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    if (publish_metrics_) CacheMetrics::global().hit.add();
+    touch(it->second);
+    return it->second.plan;
+  }
+
+  ++stats_.misses;
+  if (publish_metrics_) CacheMetrics::global().miss.add();
+
+  // Built under the lock: a key is compiled exactly once process-wide,
+  // which keeps plan_cache.build_count deterministic (it equals the
+  // number of distinct keys ever requested) and spares concurrent
+  // resolvers of the same key from duplicating the operand matmuls.
+  // Nested resolves (partial → chunk) re-enter through the recursive
+  // mutex.
+  runtime::Timer timer;
+  std::shared_ptr<const CodecPlan> plan =
+      build ? build() : build_core_plan(key);
+  const std::uint64_t nanos = timer.nanos();
+  if (!plan) {
+    throw std::runtime_error("PlanCache: builder returned null for key " +
+                             key.to_string());
+  }
+  ++stats_.builds;
+  if (publish_metrics_) {
+    CacheMetrics::global().build_count.add();
+    CacheMetrics::global().build_ns.record(nanos);
+  }
+
+  // A nested build may have inserted this key already (a composite plan
+  // whose builder resolves its own key would); keep the first insert.
+  auto [pos, inserted] = entries_.try_emplace(key);
+  if (!inserted) {
+    touch(pos->second);
+    return pos->second.plan;
+  }
+  lru_.push_front(key);
+  pos->second = Entry{plan, plan->resident_bytes(), lru_.begin()};
+  resident_bytes_ += pos->second.bytes;
+  evict_to_budget();
+  publish_resident_locked();
+  return plan;
+}
+
+void PlanCache::touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  entry.lru_it = lru_.begin();
+}
+
+void PlanCache::evict_to_budget() {
+  if (byte_budget_ == 0) return;
+  // Never evict the most recently used entry — the caller is about to
+  // execute it; an over-budget single plan simply lives alone.
+  while (resident_bytes_ > byte_budget_ && entries_.size() > 1) {
+    const PlanKey victim = lru_.back();
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (publish_metrics_) CacheMetrics::global().eviction.add();
+  }
+}
+
+void PlanCache::publish_resident_locked() {
+  if (publish_metrics_) {
+    CacheMetrics::global().resident_bytes.set(
+        static_cast<double>(resident_bytes_));
+  }
+}
+
+void PlanCache::set_byte_budget(std::size_t bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  byte_budget_ = bytes;
+  evict_to_budget();
+  publish_resident_locked();
+}
+
+std::size_t PlanCache::byte_budget() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return byte_budget_;
+}
+
+std::size_t PlanCache::resident_bytes() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+  publish_resident_locked();
+}
+
+PlanCache::Snapshot PlanCache::snapshot() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  Snapshot snap = stats_;
+  snap.resident_bytes = resident_bytes_;
+  snap.entries = entries_.size();
+  return snap;
+}
+
+std::shared_ptr<const DctChopPlan> resolve_dct_chop_plan(
+    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
+    TransformKind transform) {
+  const PlanKey key = dct_chop_plan_key(height, width, cf, block, transform);
+  return std::static_pointer_cast<const DctChopPlan>(
+      PlanCache::global().resolve(key));
+}
+
+std::shared_ptr<const PartialSerialPlan> resolve_partial_serial_plan(
+    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
+    TransformKind transform, std::size_t subdivision) {
+  const PlanKey key = partial_serial_plan_key(height, width, cf, block,
+                                              transform, subdivision);
+  return std::static_pointer_cast<const PartialSerialPlan>(
+      PlanCache::global().resolve(key));
+}
+
+std::shared_ptr<const TrianglePlan> resolve_triangle_plan(
+    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
+    TransformKind transform) {
+  const PlanKey key = triangle_plan_key(height, width, cf, block, transform);
+  return std::static_pointer_cast<const TrianglePlan>(
+      PlanCache::global().resolve(key));
+}
+
+}  // namespace aic::core

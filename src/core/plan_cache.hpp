@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/plan.hpp"
+
+namespace aic::core {
+
+/// Process-wide cache of compiled codec plans, keyed by PlanKey, with
+/// LRU eviction against a byte budget (`AIC_PLAN_CACHE_BYTES`, default
+/// 256 MiB, 0 = unbounded).
+///
+/// This is the repo's answer to the paper's compile-once/run-per-batch
+/// split at production scale: the first request for a (codec, shape)
+/// pair pays the operand build, every later request — from any thread,
+/// any codec instance, any graph builder — is a shared_ptr copy.
+///
+/// Thread safety: resolve() is fully synchronized; builds happen under
+/// the lock so a key is built exactly once (deterministic
+/// `plan_cache.build_count`) and concurrent resolvers of the same key
+/// block rather than duplicating work. The mutex is recursive because
+/// composite plans (partial serialization, triangle) resolve their
+/// chunk/inner plan through the cache from inside their own build.
+///
+/// Evicted plans stay alive as long as any codec still holds the
+/// shared_ptr; eviction only drops the cache's reference.
+class PlanCache {
+ public:
+  using BuildFn = std::function<std::shared_ptr<const CodecPlan>()>;
+
+  /// The process-wide instance used by all codecs. Its metrics are
+  /// published to obs::Registry::global() under `plan_cache.*`.
+  static PlanCache& global();
+
+  /// A standalone cache (tests); does not publish obs metrics.
+  explicit PlanCache(std::size_t byte_budget, bool publish_metrics = false);
+
+  /// Returns the cached plan for `key`, building it with `build` on a
+  /// miss. When `build` is empty, `build_core_plan(key)` is used (valid
+  /// for the core codec kinds only).
+  std::shared_ptr<const CodecPlan> resolve(const PlanKey& key,
+                                           const BuildFn& build = {});
+
+  /// Changes the byte budget and evicts immediately if over. 0 disables
+  /// eviction.
+  void set_byte_budget(std::size_t bytes);
+  std::size_t byte_budget() const;
+
+  std::size_t resident_bytes() const;
+  std::size_t size() const;
+  void clear();
+
+  struct Snapshot {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t builds = 0;
+    std::uint64_t evictions = 0;
+    std::size_t resident_bytes = 0;
+    std::size_t entries = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CodecPlan> plan;
+    std::size_t bytes = 0;
+    std::list<PlanKey>::iterator lru_it;
+  };
+
+  void touch(Entry& entry);
+  void evict_to_budget();
+  void publish_resident_locked();
+
+  mutable std::recursive_mutex mutex_;
+  std::list<PlanKey> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> entries_;
+  std::size_t byte_budget_ = 0;
+  std::size_t resident_bytes_ = 0;
+  bool publish_metrics_ = false;
+  Snapshot stats_;
+};
+
+/// Typed conveniences over PlanCache::global() for the core kinds.
+std::shared_ptr<const DctChopPlan> resolve_dct_chop_plan(
+    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
+    TransformKind transform);
+std::shared_ptr<const PartialSerialPlan> resolve_partial_serial_plan(
+    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
+    TransformKind transform, std::size_t subdivision);
+std::shared_ptr<const TrianglePlan> resolve_triangle_plan(
+    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
+    TransformKind transform);
+
+}  // namespace aic::core

@@ -1,7 +1,9 @@
 #include "core/rate_control.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "core/codec_factory.hpp"
 #include "tensor/ops.hpp"
 
 namespace aic::core {
@@ -10,17 +12,26 @@ using tensor::Tensor;
 
 namespace {
 
+std::string chop_spec(std::size_t cf, std::size_t block,
+                      TransformKind transform, std::size_t height = 0,
+                      std::size_t width = 0) {
+  std::ostringstream spec;
+  spec << "dctchop:cf=" << cf << ",block=" << block
+       << ",transform=" << transform_name(transform);
+  if (height != 0) spec << ",h=" << height << ",w=" << width;
+  return spec.str();
+}
+
 RateChoice measure(const Tensor& calibration, std::size_t cf,
                    std::size_t block, TransformKind transform) {
-  const DctChopCodec codec({.height = calibration.shape()[2],
-                            .width = calibration.shape()[3],
-                            .cf = cf,
-                            .block = block,
-                            .transform = transform});
-  const Tensor restored = codec.round_trip(calibration);
+  // Shape-agnostic codec through the factory: the CF sweep re-measures
+  // the same calibration shape eight times, so every iteration after the
+  // first executes a cache-hit plan with zero operand rebuilds.
+  const CodecPtr codec = make_codec(chop_spec(cf, block, transform));
+  const Tensor restored = codec->round_trip(calibration);
   RateChoice choice;
   choice.cf = cf;
-  choice.compression_ratio = codec.compression_ratio();
+  choice.compression_ratio = codec->compression_ratio();
   choice.measured_mse = tensor::mse(calibration, restored);
   choice.measured_psnr_db = tensor::psnr(calibration, restored, 1.0);
   return choice;
@@ -63,16 +74,10 @@ std::optional<RateChoice> choose_chop_factor_psnr(const Tensor& calibration,
   return std::nullopt;
 }
 
-std::shared_ptr<DctChopCodec> make_codec_for_choice(const RateChoice& choice,
-                                                    std::size_t height,
-                                                    std::size_t width,
-                                                    std::size_t block,
-                                                    TransformKind transform) {
-  return std::make_shared<DctChopCodec>(DctChopConfig{.height = height,
-                                                      .width = width,
-                                                      .cf = choice.cf,
-                                                      .block = block,
-                                                      .transform = transform});
+CodecPtr make_codec_for_choice(const RateChoice& choice, std::size_t height,
+                               std::size_t width, std::size_t block,
+                               TransformKind transform) {
+  return make_codec(chop_spec(choice.cf, block, transform, height, width));
 }
 
 std::vector<RateChoice> rate_distortion_curve(const Tensor& calibration,

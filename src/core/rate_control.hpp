@@ -38,8 +38,9 @@ std::optional<RateChoice> choose_chop_factor_psnr(
     std::size_t block = kDefaultBlock,
     TransformKind transform = TransformKind::kDct2);
 
-/// Builds the codec for a choice made by the functions above.
-std::shared_ptr<DctChopCodec> make_codec_for_choice(
+/// Builds the codec for a choice made by the functions above, through
+/// core::CodecFactory (pinned to height×width).
+CodecPtr make_codec_for_choice(
     const RateChoice& choice, std::size_t height, std::size_t width,
     std::size_t block = kDefaultBlock,
     TransformKind transform = TransformKind::kDct2);

@@ -3,7 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/zigzag.hpp"
+#include "core/plan_cache.hpp"
+#include "obs/trace.hpp"
+#include "runtime/timer.hpp"
 
 namespace aic::core {
 
@@ -11,89 +13,104 @@ using tensor::Shape;
 using tensor::Tensor;
 
 TriangleCodec::TriangleCodec(DctChopConfig config)
-    : inner_(std::make_unique<DctChopCodec>(config)) {
-  const auto& c = inner_->config();
-  per_block_ = c.cf * (c.cf + 1) / 2;
-  const std::size_t blocks_h = c.height / c.block;
-  const std::size_t blocks_w = c.width / c.block;
-  blocks_ = blocks_h * blocks_w;
-  chopped_h_ = c.cf * blocks_h;
-  chopped_w_ = c.cf * blocks_w;
-
-  // Compile-time index computation (§3.5.2): per-block triangle offsets,
-  // replicated at each block's base position in the chopped plane.
-  const std::vector<std::size_t> block_offsets =
-      triangle_indices(c.cf, chopped_w_);
-  indices_.reserve(blocks_ * per_block_);
-  for (std::size_t bi = 0; bi < blocks_h; ++bi) {
-    for (std::size_t bj = 0; bj < blocks_w; ++bj) {
-      const std::size_t base = bi * c.cf * chopped_w_ + bj * c.cf;
-      for (std::size_t offset : block_offsets) {
-        indices_.push_back(base + offset);
-      }
-    }
+    : config_(config), inner_(std::make_unique<DctChopCodec>(config)) {
+  per_block_ = config_.cf * (config_.cf + 1) / 2;
+  if (config_.height != 0 || config_.width != 0) {
+    pinned_ = resolve_triangle_plan(config_.height, config_.width, config_.cf,
+                                    config_.block, config_.transform);
   }
+}
+
+std::shared_ptr<const TrianglePlan> TriangleCodec::plan_for(
+    std::size_t height, std::size_t width) const {
+  if (pinned_) {
+    if (height != config_.height || width != config_.width) {
+      throw std::invalid_argument(
+          "TriangleCodec: codec compiled for " +
+          std::to_string(config_.height) + "x" +
+          std::to_string(config_.width) + ", got " + std::to_string(height) +
+          "x" + std::to_string(width));
+    }
+    return pinned_;
+  }
+  return resolve_triangle_plan(height, width, config_.cf, config_.block,
+                               config_.transform);
+}
+
+const std::vector<std::size_t>& TriangleCodec::plane_indices() const {
+  if (!pinned_) {
+    throw std::logic_error(
+        "TriangleCodec::plane_indices: shape-agnostic codec has one index "
+        "table per resolution");
+  }
+  return pinned_->plane_indices();
 }
 
 std::string TriangleCodec::name() const {
   std::ostringstream out;
-  out << "dct+chop+sg(cf=" << inner_->config().cf << ")";
+  out << "dct+chop+sg(cf=" << config_.cf << ")";
+  return out.str();
+}
+
+std::string TriangleCodec::spec() const {
+  std::ostringstream out;
+  out << "triangle:cf=" << config_.cf << ",block=" << config_.block;
+  if (config_.transform != TransformKind::kDct2) {
+    out << ",transform=" << transform_name(config_.transform);
+  }
+  if (pinned_) {
+    out << ",h=" << config_.height << ",w=" << config_.width;
+  }
   return out.str();
 }
 
 double TriangleCodec::compression_ratio() const {
-  return triangle_ratio(inner_->config().cf, inner_->config().block);
+  return triangle_ratio(config_.cf, config_.block);
 }
 
 Shape TriangleCodec::compressed_shape(const Shape& input) const {
-  // Validates resolution via the inner codec.
+  // Validates rank, resolution and block-divisibility via the inner codec.
   (void)inner_->compressed_shape(input);
-  return Shape::bchw(input[0], input[1], blocks_, per_block_);
+  const std::size_t blocks =
+      (input[2] / config_.block) * (input[3] / config_.block);
+  return Shape::bchw(input[0], input[1], blocks, per_block_);
 }
 
 Tensor TriangleCodec::compress(const Tensor& input) const {
-  const Tensor chopped = inner_->compress(input);
+  AIC_TRACE_SCOPE("sg.compress");
+  runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
-  const std::size_t batch = input.shape()[0];
-  const std::size_t channels = input.shape()[1];
-  const std::size_t plane = chopped_h_ * chopped_w_;
-  const float* src = chopped.raw();
-  float* dst = out.raw();
-  const std::size_t packed_plane = blocks_ * per_block_;
-  for (std::size_t p = 0; p < batch * channels; ++p) {
-    const float* plane_src = src + p * plane;
-    float* plane_dst = dst + p * packed_plane;
-    // torch.gather: packed[k] = chopped[index[k]]
-    for (std::size_t k = 0; k < indices_.size(); ++k) {
-      plane_dst[k] = plane_src[indices_[k]];
-    }
-  }
+  const std::shared_ptr<const TrianglePlan> plan =
+      plan_for(input.shape()[2], input.shape()[3]);
+  plan->compress_into(input, out);
+  const std::size_t planes = input.shape()[0] * input.shape()[1];
+  stats_.record_compress(planes,
+                         planes * DctChopCodec::flops_compress_hw(
+                                      input.shape()[2], input.shape()[3],
+                                      config_.cf, config_.block),
+                         input.size_bytes(), out.size_bytes(), timer.nanos());
   return out;
 }
 
 Tensor TriangleCodec::decompress(const Tensor& packed,
                                  const Shape& original) const {
+  AIC_TRACE_SCOPE("sg.decompress");
+  runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     throw std::invalid_argument("TriangleCodec: packed shape mismatch");
   }
-  const std::size_t batch = original[0];
-  const std::size_t channels = original[1];
-  Tensor chopped(
-      Shape::bchw(batch, channels, chopped_h_, chopped_w_));
-  const std::size_t plane = chopped_h_ * chopped_w_;
-  const std::size_t packed_plane = blocks_ * per_block_;
-  const float* src = packed.raw();
-  float* dst = chopped.raw();
-  for (std::size_t p = 0; p < batch * channels; ++p) {
-    const float* plane_src = src + p * packed_plane;
-    float* plane_dst = dst + p * plane;
-    // torch.scatter: chopped[index[k]] = packed[k]; untouched positions
-    // stay zero (they were chopped away).
-    for (std::size_t k = 0; k < indices_.size(); ++k) {
-      plane_dst[indices_[k]] = plane_src[k];
-    }
-  }
-  return inner_->decompress(chopped, original);
+  const std::shared_ptr<const TrianglePlan> plan =
+      plan_for(original[2], original[3]);
+  Tensor out(original);
+  plan->decompress_into(packed, out);
+  const std::size_t planes = original[0] * original[1];
+  stats_.record_decompress(planes,
+                           planes * DctChopCodec::flops_decompress_hw(
+                                        original[2], original[3], config_.cf,
+                                        config_.block),
+                           packed.size_bytes(), out.size_bytes(),
+                           timer.nanos());
+  return out;
 }
 
 }  // namespace aic::core

@@ -6,6 +6,7 @@
 
 #include "core/codec.hpp"
 #include "core/dct_chop.hpp"
+#include "core/plan.hpp"
 
 namespace aic::core {
 
@@ -18,30 +19,42 @@ namespace aic::core {
 /// indices packs the triangles densely; `torch.scatter` restores them
 /// before the DCT+Chop decompression. CR improves from 64/CF² to
 /// 64/(CF(CF+1)/2), a factor 2CF/(CF+1).
+///
+/// The gather index tables and the inner chop operands live in a
+/// TrianglePlan shared through the PlanCache; the codec is the stateful
+/// shell over it.
 class TriangleCodec final : public Codec {
  public:
   explicit TriangleCodec(DctChopConfig config);
 
   std::string name() const override;
+  std::string spec() const override;
   double compression_ratio() const override;
   tensor::Shape compressed_shape(const tensor::Shape& input) const override;
   tensor::Tensor compress(const tensor::Tensor& input) const override;
   tensor::Tensor decompress(const tensor::Tensor& packed,
                             const tensor::Shape& original) const override;
 
+  const DctChopConfig& config() const { return config_; }
+  bool pinned() const { return pinned_ != nullptr; }
+  /// The shared inner DCT+Chop codec configuration (same shape mode).
   const DctChopCodec& inner() const { return *inner_; }
+
+  /// The compiled plan serving a h×w input.
+  std::shared_ptr<const TrianglePlan> plan_for(std::size_t height,
+                                               std::size_t width) const;
+
   /// Retained coefficients per block: CF(CF+1)/2.
   std::size_t values_per_block() const { return per_block_; }
-  /// The compile-time gather index table for one chopped plane.
-  const std::vector<std::size_t>& plane_indices() const { return indices_; }
+  /// The compile-time gather index table for one chopped plane (pinned
+  /// codecs only — agnostic codecs hold one table per resolution).
+  const std::vector<std::size_t>& plane_indices() const;
 
  private:
+  DctChopConfig config_;
+  std::shared_ptr<const TrianglePlan> pinned_;  // null when shape-agnostic
   std::unique_ptr<DctChopCodec> inner_;
   std::size_t per_block_ = 0;
-  std::size_t blocks_ = 0;          // blocks per plane
-  std::size_t chopped_h_ = 0;       // CF·H/8
-  std::size_t chopped_w_ = 0;       // CF·W/8
-  std::vector<std::size_t> indices_;  // gather indices within a plane
 };
 
 }  // namespace aic::core

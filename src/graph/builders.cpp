@@ -1,7 +1,8 @@
 #include "graph/builders.hpp"
 
-#include "core/chop.hpp"
-#include "core/zigzag.hpp"
+#include <memory>
+
+#include "core/plan_cache.hpp"
 #include "tensor/shape.hpp"
 
 namespace aic::graph {
@@ -10,21 +11,22 @@ using tensor::Shape;
 
 namespace {
 
-struct ChopOperators {
-  tensor::Tensor lhs;  // (CF·H/b) × H
-  tensor::Tensor rhs;  // W × (CF·W/b)
-};
-
-ChopOperators make_operators(const core::DctChopConfig& c) {
-  return {core::make_lhs(c.height, c.cf, c.block),
-          core::make_rhs(c.width, c.cf, c.block)};
+std::shared_ptr<const core::DctChopPlan> resolve_plan(
+    const core::DctChopConfig& c) {
+  // Same PlanCache the codecs execute from: the graph constants are
+  // emitted from the identical operand storage, and building a graph for
+  // a shape the codec path already compiled costs no operand matmuls.
+  // (This also honors config.transform, which the old direct
+  // make_lhs/make_rhs calls silently ignored.)
+  return core::resolve_dct_chop_plan(c.height, c.width, c.cf, c.block,
+                                     c.transform);
 }
 
 }  // namespace
 
 Graph build_compress_graph(const core::DctChopConfig& config,
                            const BatchSpec& spec) {
-  const ChopOperators ops = make_operators(config);
+  const auto plan = resolve_plan(config);
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;
   const std::size_t cw = config.cf * config.width / config.block;
@@ -34,8 +36,8 @@ Graph build_compress_graph(const core::DctChopConfig& config,
       Shape::bchw(spec.batch, spec.channels, config.height, config.width));
   const NodeId flat =
       g.reshape(in, Shape({planes, config.height, config.width}));
-  const NodeId lhs = g.constant(ops.lhs);
-  const NodeId rhs = g.constant(ops.rhs);
+  const NodeId lhs = g.constant(plan->lhs_h());
+  const NodeId rhs = g.constant(plan->rhs_w());
   // Y = LHS · (A · RHS)  — torch.matmul(LHS, torch.matmul(A, RHS)).
   const NodeId mid = g.matmul(flat, rhs);
   const NodeId packed = g.matmul(lhs, mid);
@@ -47,6 +49,7 @@ Graph build_compress_graph(const core::DctChopConfig& config,
 
 Graph build_decompress_graph(const core::DctChopConfig& config,
                              const BatchSpec& spec) {
+  const auto plan = resolve_plan(config);
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;
   const std::size_t cw = config.cf * config.width / config.block;
@@ -55,10 +58,8 @@ Graph build_decompress_graph(const core::DctChopConfig& config,
   const NodeId in = g.input(Shape::bchw(spec.batch, spec.channels, ch, cw));
   const NodeId flat = g.reshape(in, Shape({planes, ch, cw}));
   // A' = RHS · (Y · LHS)  — torch.matmul(RHS, torch.matmul(Y, LHS)).
-  const NodeId lhs = g.constant(core::make_lhs(config.width, config.cf,
-                                               config.block));
-  const NodeId rhs = g.constant(core::make_rhs(config.height, config.cf,
-                                               config.block));
+  const NodeId lhs = g.constant(plan->lhs_w());
+  const NodeId rhs = g.constant(plan->rhs_h());
   const NodeId mid = g.matmul(flat, lhs);
   const NodeId restored = g.matmul(rhs, mid);
   const NodeId out = g.reshape(
@@ -70,29 +71,18 @@ Graph build_decompress_graph(const core::DctChopConfig& config,
 
 namespace {
 
-// Gather/scatter index table over a chopped plane, flattened row-major.
-std::vector<std::size_t> plane_triangle_indices(
+std::shared_ptr<const core::TrianglePlan> resolve_triangle(
     const core::DctChopConfig& c) {
-  const std::size_t blocks_h = c.height / c.block;
-  const std::size_t blocks_w = c.width / c.block;
-  const std::size_t cw = c.cf * blocks_w;
-  const std::vector<std::size_t> offsets = core::triangle_indices(c.cf, cw);
-  std::vector<std::size_t> indices;
-  indices.reserve(blocks_h * blocks_w * offsets.size());
-  for (std::size_t bi = 0; bi < blocks_h; ++bi) {
-    for (std::size_t bj = 0; bj < blocks_w; ++bj) {
-      const std::size_t base = bi * c.cf * cw + bj * c.cf;
-      for (std::size_t off : offsets) indices.push_back(base + off);
-    }
-  }
-  return indices;
+  return core::resolve_triangle_plan(c.height, c.width, c.cf, c.block,
+                                     c.transform);
 }
 
 }  // namespace
 
 Graph build_triangle_compress_graph(const core::DctChopConfig& config,
                                     const BatchSpec& spec) {
-  const ChopOperators ops = make_operators(config);
+  const auto plan = resolve_triangle(config);
+  const core::DctChopPlan& chop = plan->inner_plan();
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;
   const std::size_t cw = config.cf * config.width / config.block;
@@ -102,31 +92,32 @@ Graph build_triangle_compress_graph(const core::DctChopConfig& config,
       Shape::bchw(spec.batch, spec.channels, config.height, config.width));
   const NodeId flat =
       g.reshape(in, Shape({planes, config.height, config.width}));
-  const NodeId mid = g.matmul(flat, g.constant(ops.rhs));
-  const NodeId packed = g.matmul(g.constant(ops.lhs), mid);
-  // torch.gather with compile-time triangle indices (§3.5.2).
+  const NodeId mid = g.matmul(flat, g.constant(chop.rhs_w()));
+  const NodeId packed = g.matmul(g.constant(chop.lhs_h()), mid);
+  // torch.gather with compile-time triangle indices (§3.5.2), shared
+  // with the codec executors through the TrianglePlan.
   const NodeId rows = g.reshape(packed, Shape({planes, 1, ch * cw}));
-  const NodeId gathered = g.gather(rows, plane_triangle_indices(config));
+  const NodeId gathered = g.gather(rows, plan->plane_indices());
   g.mark_output(gathered);
   return g;
 }
 
 Graph build_triangle_decompress_graph(const core::DctChopConfig& config,
                                       const BatchSpec& spec) {
+  const auto plan = resolve_triangle(config);
+  const core::DctChopPlan& chop = plan->inner_plan();
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;
   const std::size_t cw = config.cf * config.width / config.block;
-  const std::vector<std::size_t> indices = plane_triangle_indices(config);
+  const std::vector<std::size_t>& indices = plan->plane_indices();
 
   Graph g;
   const NodeId in = g.input(Shape({planes, 1, indices.size()}));
   // torch.scatter back into the chopped layout, then Eq. 6.
   const NodeId scattered = g.scatter(in, indices, ch * cw);
   const NodeId planes3 = g.reshape(scattered, Shape({planes, ch, cw}));
-  const NodeId lhs = g.constant(core::make_lhs(config.width, config.cf,
-                                               config.block));
-  const NodeId rhs = g.constant(core::make_rhs(config.height, config.cf,
-                                               config.block));
+  const NodeId lhs = g.constant(chop.lhs_w());
+  const NodeId rhs = g.constant(chop.rhs_h());
   const NodeId mid = g.matmul(planes3, lhs);
   const NodeId restored = g.matmul(rhs, mid);
   const NodeId out = g.reshape(

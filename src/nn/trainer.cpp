@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/codec_factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/timer.hpp"
@@ -13,6 +14,10 @@ using tensor::Tensor;
 Trainer::Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
                  core::CodecPtr codec)
     : model_(model), optimizer_(optimizer), task_(task), codec_(std::move(codec)) {}
+
+Trainer::Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
+                 const std::string& codec_spec)
+    : Trainer(model, optimizer, task, core::make_codec(codec_spec)) {}
 
 LossResult Trainer::compute_loss(const Tensor& output, const Batch& batch) {
   switch (task_) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/codec.hpp"
@@ -41,6 +42,13 @@ class Trainer {
   /// `codec == nullptr` is the paper's "base" (no compression) series.
   Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
           core::CodecPtr codec = nullptr);
+
+  /// Builds the codec through core::CodecFactory. Shape-agnostic specs
+  /// (no h=/w= keys) let one trainer consume batches of different
+  /// resolutions in a single run — plans are resolved per batch shape
+  /// from the process-wide PlanCache, so no operands are rebuilt.
+  Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
+          const std::string& codec_spec);
 
   /// One pass over the training batches; returns the mean batch loss.
   double train_epoch(const std::vector<Batch>& batches);

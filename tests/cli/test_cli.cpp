@@ -140,7 +140,44 @@ TEST(Cli, BadTransformRejected) {
   ASSERT_EQ(run({"gen", raw, "--res", "16"}), 0);
   std::string err;
   EXPECT_EQ(run({"eval", raw, "--transform", "fft"}, nullptr, &err), 1);
-  EXPECT_NE(err.find("unknown transform"), std::string::npos);
+  // The flag synthesizes a factory spec, so the diagnostic is the
+  // factory's: parameter "transform" expects one of dct, wht, dst2.
+  EXPECT_NE(err.find("expects one of dct, wht, dst2"), std::string::npos);
+}
+
+TEST(Cli, CodecSpecFlagSelectsAnyRegisteredCodec) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  ASSERT_EQ(run({"gen", raw, "--res", "16"}), 0);
+  std::string out;
+  ASSERT_EQ(run({"eval", raw, "--codec", "zfp:rate=8"}, &out), 0);
+  EXPECT_NE(out.find("CR=4"), std::string::npos);
+  // Bad specs surface the factory diagnostic verbatim.
+  std::string err;
+  EXPECT_EQ(run({"eval", raw, "--codec", "nope:cf=4"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown codec \"nope\""), std::string::npos);
+}
+
+TEST(Cli, CompressRejectsNonArchivableCodec) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  const std::string packed = dir.file("packed.aicz");
+  ASSERT_EQ(run({"gen", raw, "--res", "16"}), 0);
+  std::string err;
+  EXPECT_EQ(run({"compress", raw, packed, "--codec", "zfp:rate=8"}, nullptr,
+                &err),
+            1);
+  EXPECT_NE(err.find("no archive representation"), std::string::npos);
+}
+
+TEST(Cli, CodecsCommandListsRegisteredKinds) {
+  std::string out;
+  ASSERT_EQ(run({"codecs"}), 0);
+  ASSERT_EQ(run({"codecs"}, &out), 0);
+  EXPECT_NE(out.find("dctchop"), std::string::npos);
+  EXPECT_NE(out.find("partial"), std::string::npos);
+  EXPECT_NE(out.find("triangle"), std::string::npos);
+  EXPECT_NE(out.find("zfp"), std::string::npos);
 }
 
 TEST(Cli, MissingFileIsGracefulError) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dct_chop.hpp"
 #include "data/synth.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/ops.hpp"
@@ -82,7 +83,8 @@ TEST(RateControl, MakeCodecForChoiceHonorsCf) {
   const auto choice = choose_chop_factor(calibration, 1e-4);
   ASSERT_TRUE(choice.has_value());
   const auto codec = make_codec_for_choice(*choice, 32, 32);
-  EXPECT_EQ(codec->config().cf, choice->cf);
+  EXPECT_EQ(dynamic_cast<const DctChopCodec&>(*codec).config().cf,
+            choice->cf);
   // The compiled codec reproduces the calibration error.
   const double err =
       tensor::mse(calibration, codec->round_trip(calibration));

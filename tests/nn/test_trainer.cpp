@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/dct_chop.hpp"
 #include "data/datasets.hpp"
 #include "nn/models.hpp"
@@ -139,6 +141,29 @@ TEST(Trainer, EvaluationReadsThroughCodecPipeline) {
   const double with_codec = eval_loss(std::make_shared<core::DctChopCodec>(
       core::DctChopConfig{.height = 16, .width = 16, .cf = 2, .block = 8}));
   EXPECT_NE(no_codec, with_codec);
+}
+
+TEST(Trainer, SpecStringCodecTrainsAcrossMixedResolutions) {
+  // A shape-agnostic factory codec lets one trainer consume batches of
+  // different resolutions in a single run: operand plans are resolved
+  // per-shape from the process-wide cache, never rebuilt per batch.
+  DatasetConfig small = tiny_config();
+  DatasetConfig large = tiny_config();
+  large.resolution = 24;
+  const auto small_set = data::make_denoise_dataset(small);
+  const auto large_set = data::make_denoise_dataset(large);
+
+  runtime::Rng rng(10);
+  auto model = make_encoder_decoder(1, rng, 4);
+  Adam adam(model->params(), 0.002f);
+  Trainer trainer(*model, adam, TaskKind::kRegression, "dctchop:cf=8,block=8");
+
+  const double loss_small = trainer.train_epoch(small_set.train);
+  const double loss_large = trainer.train_epoch(large_set.train);
+  EXPECT_TRUE(std::isfinite(loss_small));
+  EXPECT_TRUE(std::isfinite(loss_large));
+  // And back to the first resolution: the cached 16x16 plan still fits.
+  EXPECT_TRUE(std::isfinite(trainer.train_epoch(small_set.train)));
 }
 
 TEST(Trainer, CompressionHelpsDenoising) {
