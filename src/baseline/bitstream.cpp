@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "io/error.hpp"
+
 namespace aic::baseline {
 
 void BitWriter::write_bits(std::uint32_t value, std::size_t count) {
@@ -37,10 +39,15 @@ std::uint32_t BitReader::read_bits(std::size_t count) {
 }
 
 bool BitReader::read_bit() {
-  if (position_ >= bytes_.size() * 8) {
-    throw std::out_of_range("BitReader: past end of stream");
-  }
+  // Division form: `position_ >= size * 8` can wrap for buffers near
+  // SIZE_MAX/8 bytes; `position_ / 8 >= size` cannot.
   const std::size_t byte = position_ / 8;
+  if (byte >= bytes_.size()) {
+    io::raise_corrupt(io::CorruptKind::kTruncated,
+                      "BitReader: read past end of stream (bit " +
+                          std::to_string(position_) + " of " +
+                          std::to_string(bytes_.size() * 8) + ")");
+  }
   const std::size_t offset = 7 - position_ % 8;
   ++position_;
   return (bytes_[byte] >> offset) & 1u;

@@ -37,14 +37,16 @@ class BitReader {
   explicit BitReader(const std::vector<std::uint8_t>& bytes)
       : bytes_(bytes) {}
 
-  /// Reads `count` bits (<= 32). Throws std::out_of_range past the end.
+  /// Reads `count` bits (<= 32). Throws aic::io::CorruptStream
+  /// (kTruncated) past the end of the stream.
   std::uint32_t read_bits(std::size_t count);
 
   /// Reads a single bit.
   bool read_bit();
 
   std::size_t bits_remaining() const {
-    return bytes_.size() * 8 - position_;
+    const std::size_t whole = bytes_.size() - position_ / 8;
+    return whole == 0 ? 0 : whole * 8 - position_ % 8;
   }
 
  private:

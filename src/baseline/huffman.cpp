@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "io/error.hpp"
 
 namespace aic::baseline {
 namespace {
@@ -13,34 +17,42 @@ struct TreeNode {
   int left = -1, right = -1;
 };
 
-// Depth-first walk assigning code lengths.
-void assign_lengths(const std::vector<TreeNode>& nodes, int index,
-                    std::uint8_t depth,
-                    std::map<std::uint16_t, std::uint8_t>& lengths) {
-  const TreeNode& node = nodes[static_cast<std::size_t>(index)];
-  if (node.symbol >= 0) {
-    // A single-symbol alphabet still needs one bit.
-    lengths[static_cast<std::uint16_t>(node.symbol)] =
-        std::max<std::uint8_t>(depth, 1);
-    return;
+/// Iterative depth-first walk assigning code lengths (explicit stack: a
+/// pathological histogram can produce a tree as deep as the alphabet,
+/// which would overflow the call stack recursively). Returns the
+/// maximum depth encountered.
+std::size_t assign_lengths(const std::vector<TreeNode>& nodes, int root,
+                           std::map<std::uint16_t, std::uint8_t>& lengths) {
+  std::size_t max_depth = 0;
+  std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes[static_cast<std::size_t>(index)];
+    if (node.symbol >= 0) {
+      // A single-symbol alphabet still needs one bit.
+      const std::size_t length = std::max<std::size_t>(depth, 1);
+      max_depth = std::max(max_depth, length);
+      if (length <= HuffmanCoder::kMaxCodeLength) {
+        lengths[static_cast<std::uint16_t>(node.symbol)] =
+            static_cast<std::uint8_t>(length);
+      }
+      continue;
+    }
+    stack.emplace_back(node.left, depth + 1);
+    stack.emplace_back(node.right, depth + 1);
   }
-  assign_lengths(nodes, node.left, depth + 1, lengths);
-  assign_lengths(nodes, node.right, depth + 1, lengths);
+  return max_depth;
 }
 
-}  // namespace
-
-HuffmanCoder::HuffmanCoder(const std::vector<std::uint16_t>& symbols) {
-  if (symbols.empty()) {
-    throw std::invalid_argument("HuffmanCoder: empty symbol stream");
-  }
-  std::map<std::uint16_t, std::uint64_t> histogram;
-  for (std::uint16_t s : symbols) ++histogram[s];
-
+/// Builds code lengths for the given weights; true when every length
+/// fits kMaxCodeLength (lengths is only valid then).
+bool build_lengths(const std::map<std::uint16_t, std::uint64_t>& weights,
+                   std::map<std::uint16_t, std::uint8_t>& lengths) {
   std::vector<TreeNode> nodes;
   using Entry = std::pair<std::uint64_t, int>;  // (weight, node index)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  for (const auto& [symbol, weight] : histogram) {
+  for (const auto& [symbol, weight] : weights) {
     nodes.push_back({weight, static_cast<int>(symbol)});
     heap.emplace(weight, static_cast<int>(nodes.size()) - 1);
   }
@@ -52,15 +64,58 @@ HuffmanCoder::HuffmanCoder(const std::vector<std::uint16_t>& symbols) {
     nodes.push_back({w1 + w2, -1, i1, i2});
     heap.emplace(w1 + w2, static_cast<int>(nodes.size()) - 1);
   }
-  assign_lengths(nodes, heap.top().second, 0, lengths_);
+  lengths.clear();
+  return assign_lengths(nodes, heap.top().second, lengths) <=
+         HuffmanCoder::kMaxCodeLength;
+}
+
+}  // namespace
+
+HuffmanCoder::HuffmanCoder(const std::vector<std::uint16_t>& symbols) {
+  if (symbols.empty()) {
+    throw std::invalid_argument("HuffmanCoder: empty symbol stream");
+  }
+  std::map<std::uint16_t, std::uint64_t> histogram;
+  for (std::uint16_t s : symbols) ++histogram[s];
+
+  // A sufficiently skewed histogram (Fibonacci-like weights) produces
+  // code lengths beyond kMaxCodeLength, which would overflow the u32
+  // canonical codes. Rebalance by halving the weights (flooring at 1)
+  // until the tree fits: each pass compresses the weight ratio, and
+  // all-equal weights bound the depth at ceil(log2(alphabet)) <= 16.
+  while (!build_lengths(histogram, lengths_)) {
+    for (auto& [symbol, weight] : histogram) {
+      weight = weight / 2 + 1;
+    }
+  }
   build_canonical_codes();
 }
 
 HuffmanCoder::HuffmanCoder(
     const std::map<std::uint16_t, std::uint8_t>& lengths)
     : lengths_(lengths) {
+  // This constructor consumes length tables shipped inside compressed
+  // streams — untrusted input, validated before any code is derived.
   if (lengths_.empty()) {
     throw std::invalid_argument("HuffmanCoder: empty length table");
+  }
+  std::uint64_t kraft = 0;
+  for (const auto& [symbol, length] : lengths_) {
+    if (length == 0 || length > kMaxCodeLength) {
+      io::raise_corrupt(io::CorruptKind::kBadCodeTable,
+                        "HuffmanCoder: code length " +
+                            std::to_string(length) + " for symbol " +
+                            std::to_string(symbol) + " outside [1, " +
+                            std::to_string(kMaxCodeLength) + "]");
+    }
+    kraft += std::uint64_t{1} << (kMaxCodeLength - length);
+  }
+  // Kraft inequality: an over-subscribed table has no prefix-free code
+  // assignment and would overflow the canonical code enumeration.
+  if (kraft > (std::uint64_t{1} << kMaxCodeLength)) {
+    io::raise_corrupt(io::CorruptKind::kBadCodeTable,
+                      "HuffmanCoder: length table violates the Kraft "
+                      "inequality (over-subscribed)");
   }
   build_canonical_codes();
 }
@@ -74,13 +129,20 @@ void HuffmanCoder::build_canonical_codes() {
   }
   std::sort(order.begin(), order.end());
 
-  std::uint32_t code = 0;
+  // 64-bit accumulator: with validated lengths the code always fits its
+  // length, but the shift itself must not be UB while we check that.
+  std::uint64_t code = 0;
   std::uint8_t previous_length = order.front().first;
   for (const auto& [length, symbol] : order) {
     code <<= (length - previous_length);
     previous_length = length;
-    codes_[symbol] = code;
-    decode_[{length, code}] = symbol;
+    if (code >> length != 0) {
+      io::raise_corrupt(io::CorruptKind::kBadCodeTable,
+                        "HuffmanCoder: canonical code overflows " +
+                            std::to_string(length) + " bits");
+    }
+    codes_[symbol] = static_cast<std::uint32_t>(code);
+    decode_[{length, static_cast<std::uint32_t>(code)}] = symbol;
     ++code;
   }
 }
@@ -98,6 +160,15 @@ void HuffmanCoder::encode(const std::vector<std::uint16_t>& symbols,
 
 std::vector<std::uint16_t> HuffmanCoder::decode(BitReader& reader,
                                                 std::size_t count) const {
+  // Every symbol consumes at least one bit, so a count beyond the
+  // remaining bits can never be satisfied — reject before reserving.
+  if (count > reader.bits_remaining()) {
+    io::raise_corrupt(io::CorruptKind::kTruncated,
+                      "HuffmanCoder: " + std::to_string(count) +
+                          " symbols requested but only " +
+                          std::to_string(reader.bits_remaining()) +
+                          " bits remain");
+  }
   std::vector<std::uint16_t> symbols;
   symbols.reserve(count);
   while (symbols.size() < count) {
@@ -111,8 +182,10 @@ std::vector<std::uint16_t> HuffmanCoder::decode(BitReader& reader,
         symbols.push_back(it->second);
         break;
       }
-      if (length > 32) {
-        throw std::invalid_argument("HuffmanCoder: invalid bitstream");
+      if (length >= kMaxCodeLength) {
+        io::raise_corrupt(io::CorruptKind::kBadSymbol,
+                          "HuffmanCoder: bitstream walks past the longest "
+                          "code without matching a symbol");
       }
     }
   }

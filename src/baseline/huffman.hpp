@@ -16,18 +16,29 @@ namespace aic::baseline {
 /// non-portable to the accelerators (§3.1).
 class HuffmanCoder {
  public:
+  /// Longest admissible code: canonical codes are stored in uint32, so a
+  /// longer code would silently overflow during enumeration. The
+  /// histogram constructor rebalances skewed weights to stay within it;
+  /// the table constructor rejects longer lengths as corrupt.
+  static constexpr std::uint8_t kMaxCodeLength = 32;
+
   /// Builds a code from the symbol histogram of `symbols`.
   /// Requires at least one symbol.
   explicit HuffmanCoder(const std::vector<std::uint16_t>& symbols);
 
-  /// Rebuilds a coder from a canonical (symbol -> code length) table.
+  /// Rebuilds a coder from a canonical (symbol -> code length) table,
+  /// e.g. one shipped in a compressed stream's header. The table is
+  /// untrusted: lengths outside [1, kMaxCodeLength] or a table violating
+  /// the Kraft inequality raise aic::io::CorruptStream.
   explicit HuffmanCoder(const std::map<std::uint16_t, std::uint8_t>& lengths);
 
   /// Encodes symbols into `writer`. Throws on symbols absent from the code.
   void encode(const std::vector<std::uint16_t>& symbols,
               BitWriter& writer) const;
 
-  /// Decodes exactly `count` symbols from `reader`.
+  /// Decodes exactly `count` symbols from `reader`. Raises
+  /// aic::io::CorruptStream when the stream is exhausted, `count`
+  /// exceeds the remaining bits, or the bits match no code.
   std::vector<std::uint16_t> decode(BitReader& reader,
                                     std::size_t count) const;
 

@@ -1,6 +1,9 @@
 #include "baseline/rle.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "io/error.hpp"
 
 namespace aic::baseline {
 
@@ -31,13 +34,21 @@ std::vector<std::int32_t> rle_decode(const std::vector<RleSymbol>& symbols,
       while (values.size() < length) values.push_back(0);
       break;
     }
+    // Subtraction-form bound: reject a symbol whose run would spill past
+    // `length` BEFORE emitting anything, so adversarial symbol streams
+    // can neither grow the vector past the block nor rely on a
+    // post-hoc size check.
+    if (static_cast<std::size_t>(s.zero_run) + 1 > length - values.size()) {
+      io::raise_corrupt(
+          io::CorruptKind::kBadSymbol,
+          "rle_decode: run of " + std::to_string(s.zero_run + 1) +
+              " values overflows the block (" +
+              std::to_string(length - values.size()) + " slots left)");
+    }
     for (std::uint16_t i = 0; i < s.zero_run; ++i) values.push_back(0);
     values.push_back(s.value);
   }
   while (values.size() < length) values.push_back(0);
-  if (values.size() != length) {
-    throw std::invalid_argument("rle_decode: symbols exceed expected length");
-  }
   return values;
 }
 

@@ -18,7 +18,8 @@ struct RleSymbol {
 /// {0, 0} mirroring JPEG's EOB.
 std::vector<RleSymbol> rle_encode(const std::vector<std::int32_t>& values);
 
-/// Inverse of rle_encode; `length` is the expected output size.
+/// Inverse of rle_encode; `length` is the expected output size. Raises
+/// aic::io::CorruptStream when a symbol's run would overflow the block.
 std::vector<std::int32_t> rle_decode(const std::vector<RleSymbol>& symbols,
                                      std::size_t length);
 

@@ -2,28 +2,37 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/codec_factory.hpp"
 #include "core/partial_serializer.hpp"
 #include "core/triangle.hpp"
+#include "io/byte_reader.hpp"
+#include "io/checksum.hpp"
+#include "io/error.hpp"
 #include "io/tensor_io.hpp"
 
 namespace aic::cli {
 
+using io::CorruptKind;
+using io::raise_corrupt;
 using tensor::Shape;
 using tensor::Tensor;
 
 namespace {
 
 constexpr char kMagic[4] = {'A', 'I', 'C', 'Z'};
-constexpr std::uint32_t kVersion = 2;
 
 // The u8 codec-kind field of the header.
 constexpr std::uint8_t kKindSquare = 0;
 constexpr std::uint8_t kKindTriangle = 1;
 constexpr std::uint8_t kKindPartial = 2;
+
+// Any header dim above this is treated as hostile before the codec's
+// shape math (which multiplies dims) ever sees it.
+constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 32;
 
 template <typename T>
 void append(std::string& out, T value) {
@@ -32,20 +41,84 @@ void append(std::string& out, T value) {
   out.append(raw, sizeof(T));
 }
 
-template <typename T>
-T read(const std::string& bytes, std::size_t& cursor) {
-  if (cursor + sizeof(T) > bytes.size()) {
-    throw std::runtime_error("archive: truncated");
+/// The header fields shared by v2 and v3 (everything between the
+/// version/CRC block and the payload), as one byte string so v3 can
+/// checksum it as a unit.
+std::string serialize_header_fields(const Archive& archive) {
+  std::string out;
+  const std::uint8_t kind = archive.subdivision > 1 ? kKindPartial
+                            : archive.triangle     ? kKindTriangle
+                                                   : kKindSquare;
+  append<std::uint8_t>(out, kind);
+  append<std::uint8_t>(out,
+                       static_cast<std::uint8_t>(archive.config.transform));
+  append<std::uint16_t>(out, static_cast<std::uint16_t>(archive.config.cf));
+  append<std::uint16_t>(out,
+                        static_cast<std::uint16_t>(archive.config.block));
+  append<std::uint16_t>(out,
+                        static_cast<std::uint16_t>(archive.subdivision));
+  append<std::uint32_t>(
+      out, static_cast<std::uint32_t>(archive.original_shape.rank()));
+  for (std::size_t axis = 0; axis < archive.original_shape.rank(); ++axis) {
+    append<std::uint64_t>(out, archive.original_shape[axis]);
   }
-  T value;
-  std::memcpy(&value, bytes.data() + cursor, sizeof(T));
-  cursor += sizeof(T);
-  return value;
+  return out;
 }
 
-}  // namespace
+/// Parses the shared v2/v3 header fields into `archive`, validating
+/// every field with a typed diagnostic.
+void parse_header_fields(io::ByteReader& reader, Archive& archive) {
+  const std::uint8_t kind = reader.read<std::uint8_t>("codec kind");
+  if (kind > kKindPartial) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "archive: unknown codec kind " + std::to_string(kind) +
+                      " (supported: 0=square, 1=triangle, 2=partial)");
+  }
+  archive.triangle = kind == kKindTriangle;
+  const std::uint8_t transform = reader.read<std::uint8_t>("transform");
+  if (transform > static_cast<std::uint8_t>(core::TransformKind::kDst2)) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "archive: unknown transform " + std::to_string(transform));
+  }
+  archive.config.transform = static_cast<core::TransformKind>(transform);
+  archive.config.cf = reader.read<std::uint16_t>("cf");
+  archive.config.block = reader.read<std::uint16_t>("block");
+  archive.subdivision = reader.read<std::uint16_t>("subdivision");
+  if (archive.subdivision == 0 ||
+      (kind == kKindPartial) != (archive.subdivision > 1)) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "archive: subdivision " +
+                      std::to_string(archive.subdivision) +
+                      " is inconsistent with codec kind " +
+                      std::to_string(kind));
+  }
+  const std::uint32_t rank = reader.read<std::uint32_t>("rank");
+  if (rank != 4) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "archive: original rank " + std::to_string(rank) +
+                      " (must be 4, BCHW)");
+  }
+  std::size_t dims[4];
+  std::size_t numel = 1;
+  for (auto& d : dims) {
+    const std::uint64_t dim = reader.read<std::uint64_t>("dims");
+    if (dim > kMaxDim) {
+      raise_corrupt(CorruptKind::kBadHeaderField,
+                    "archive: dim " + std::to_string(dim) +
+                        " is implausibly large");
+    }
+    d = static_cast<std::size_t>(dim);
+    numel = io::checked_mul(numel, d, "archive dims");
+  }
+  // The original tensor must be representable in bytes before any codec
+  // shape math multiplies these dims further.
+  (void)io::checked_mul(numel, sizeof(float), "archive original bytes");
+  archive.original_shape = Shape::bchw(dims[0], dims[1], dims[2], dims[3]);
+  archive.config.height = dims[2];
+  archive.config.width = dims[3];
+}
 
-std::string archive_codec_spec(const Archive& archive) {
+std::string codec_spec_impl(const Archive& archive, bool pin_shape) {
   const auto& c = archive.config;
   std::ostringstream spec;
   if (archive.subdivision > 1) {
@@ -57,8 +130,46 @@ std::string archive_codec_spec(const Archive& archive) {
     spec << "dctchop:cf=" << c.cf << ",block=" << c.block;
   }
   spec << ",transform=" << core::transform_name(c.transform);
-  if (c.height != 0) spec << ",h=" << c.height << ",w=" << c.width;
+  if (pin_shape && c.height != 0) {
+    spec << ",h=" << c.height << ",w=" << c.width;
+  }
   return spec.str();
+}
+
+/// Finishes a parsed archive: check the payload tensor has exactly the
+/// shape the header's codec promises. The probe codec is deliberately
+/// built WITHOUT pinning height/width: a pinned constructor eagerly
+/// compiles the plan (operator matrices sized by the header dims), which
+/// would let a mutated-but-plausible dim force a multi-gigabyte
+/// allocation before this check can reject it. The shape-agnostic
+/// constructor validates the same geometry arithmetically; the real
+/// pinned codec is only ever built after the payload has vouched for the
+/// dims. Factory/shape errors here are data errors (the header is
+/// attacker controlled), so they surface as CorruptStream, not
+/// invalid_argument.
+void validate_payload_against_header(const Archive& archive) {
+  Shape expected;
+  try {
+    expected = core::make_codec(codec_spec_impl(archive, false))
+                   ->compressed_shape(archive.original_shape);
+  } catch (const std::exception& error) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  std::string("archive: header describes an invalid codec: ") +
+                      error.what());
+  }
+  if (archive.packed.shape() != expected) {
+    raise_corrupt(CorruptKind::kPayloadMismatch,
+                  "archive: payload shape " +
+                      archive.packed.shape().to_string() +
+                      " does not match the header codec's expected shape " +
+                      expected.to_string());
+  }
+}
+
+}  // namespace
+
+std::string archive_codec_spec(const Archive& archive) {
+  return codec_spec_impl(archive, true);
 }
 
 core::CodecPtr make_archive_codec(const Archive& archive) {
@@ -116,68 +227,86 @@ Archive compress_to_archive(const Tensor& input, std::size_t cf,
   return compress_to_archive(input, spec.str(), codec_out);
 }
 
-std::string serialize_archive(const Archive& archive) {
-  std::string out;
-  out.append(kMagic, sizeof(kMagic));
-  append<std::uint32_t>(out, kVersion);
-  const std::uint8_t kind = archive.subdivision > 1 ? kKindPartial
-                            : archive.triangle     ? kKindTriangle
-                                                   : kKindSquare;
-  append<std::uint8_t>(out, kind);
-  append<std::uint8_t>(out,
-                       static_cast<std::uint8_t>(archive.config.transform));
-  append<std::uint16_t>(out, static_cast<std::uint16_t>(archive.config.cf));
-  append<std::uint16_t>(out,
-                        static_cast<std::uint16_t>(archive.config.block));
-  append<std::uint16_t>(out,
-                        static_cast<std::uint16_t>(archive.subdivision));
-  append<std::uint32_t>(
-      out, static_cast<std::uint32_t>(archive.original_shape.rank()));
-  for (std::size_t axis = 0; axis < archive.original_shape.rank(); ++axis) {
-    append<std::uint64_t>(out, archive.original_shape[axis]);
+std::string serialize_archive(const Archive& archive,
+                              std::uint32_t version) {
+  if (version != 2 && version != kArchiveVersion) {
+    throw std::invalid_argument("archive: cannot write version " +
+                                std::to_string(version));
   }
-  out += io::serialize_tensor(archive.packed);
+  const std::string header = serialize_header_fields(archive);
+  const std::string payload = io::serialize_tensor(archive.packed);
+
+  std::string out;
+  out.reserve(sizeof(kMagic) + 16 + header.size() + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  append<std::uint32_t>(out, version);
+  if (version >= 3) {
+    // v3 integrity block: header length + independent CRC32C over the
+    // header fields and the payload, so any flipped bit anywhere in the
+    // stream is caught before (or instead of) deeper parsing.
+    append<std::uint32_t>(out, static_cast<std::uint32_t>(header.size()));
+    append<std::uint32_t>(out, io::crc32c(header.data(), header.size()));
+    append<std::uint32_t>(out, io::crc32c(payload.data(), payload.size()));
+  }
+  out += header;
+  out += payload;
   return out;
 }
 
 Archive deserialize_archive(const std::string& bytes) {
-  std::size_t cursor = 0;
-  if (bytes.size() < sizeof(kMagic) ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("archive: bad magic");
+  io::ByteReader reader(bytes, "archive");
+  reader.require(sizeof(kMagic), "magic");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    raise_corrupt(CorruptKind::kBadMagic, "archive: bad magic");
   }
-  cursor += sizeof(kMagic);
-  if (read<std::uint32_t>(bytes, cursor) != kVersion) {
-    throw std::runtime_error("archive: unsupported version");
+  (void)reader.read_bytes(sizeof(kMagic), "magic");
+  const std::uint32_t version = reader.read<std::uint32_t>("version");
+  if (version < 2 || version > kArchiveVersion) {
+    raise_corrupt(CorruptKind::kBadVersion,
+                  "archive: found version " + std::to_string(version) +
+                      ", supported versions 2.." +
+                      std::to_string(kArchiveVersion));
   }
+
   Archive archive;
-  const std::uint8_t kind = read<std::uint8_t>(bytes, cursor);
-  if (kind > kKindPartial) throw std::runtime_error("archive: unknown codec");
-  archive.triangle = kind == kKindTriangle;
-  archive.config.transform =
-      static_cast<core::TransformKind>(read<std::uint8_t>(bytes, cursor));
-  archive.config.cf = read<std::uint16_t>(bytes, cursor);
-  archive.config.block = read<std::uint16_t>(bytes, cursor);
-  archive.subdivision = read<std::uint16_t>(bytes, cursor);
-  if (archive.subdivision == 0 ||
-      (kind == kKindPartial) != (archive.subdivision > 1)) {
-    throw std::runtime_error("archive: inconsistent subdivision");
+  if (version >= 3) {
+    const std::uint32_t header_len = reader.read<std::uint32_t>("header size");
+    const std::uint32_t header_crc = reader.read<std::uint32_t>("header CRC");
+    const std::uint32_t payload_crc =
+        reader.read<std::uint32_t>("payload CRC");
+    const std::string_view header =
+        reader.read_bytes(header_len, "header fields");
+    const std::uint32_t computed_header =
+        io::crc32c(header.data(), header.size());
+    if (computed_header != header_crc) {
+      raise_corrupt(CorruptKind::kChecksumMismatch,
+                    "archive: header CRC mismatch (stored " +
+                        std::to_string(header_crc) + ", computed " +
+                        std::to_string(computed_header) + ")");
+    }
+    io::ByteReader header_reader(header, "archive header");
+    parse_header_fields(header_reader, archive);
+    if (header_reader.remaining() != 0) {
+      raise_corrupt(CorruptKind::kBadHeaderField,
+                    "archive: " + std::to_string(header_reader.remaining()) +
+                        " trailing bytes after header fields");
+    }
+    const std::string_view payload = reader.rest();
+    const std::uint32_t computed_payload =
+        io::crc32c(payload.data(), payload.size());
+    if (computed_payload != payload_crc) {
+      raise_corrupt(CorruptKind::kChecksumMismatch,
+                    "archive: payload CRC mismatch (stored " +
+                        std::to_string(payload_crc) + ", computed " +
+                        std::to_string(computed_payload) + ")");
+    }
+  } else {
+    // v2 (pre-checksum) archives written before the integrity block
+    // stay readable; their payloads are validated structurally only.
+    parse_header_fields(reader, archive);
   }
-  const std::uint32_t rank = read<std::uint32_t>(bytes, cursor);
-  if (rank != 4) throw std::runtime_error("archive: original must be BCHW");
-  std::size_t dims[4];
-  for (auto& d : dims) {
-    d = static_cast<std::size_t>(read<std::uint64_t>(bytes, cursor));
-  }
-  archive.original_shape = Shape::bchw(dims[0], dims[1], dims[2], dims[3]);
-  archive.config.height = dims[2];
-  archive.config.width = dims[3];
-  archive.packed = io::deserialize_tensor(bytes.substr(cursor));
-  // Sanity: the packed payload matches what the codec expects.
-  if (archive.packed.shape() !=
-      make_archive_codec(archive)->compressed_shape(archive.original_shape)) {
-    throw std::runtime_error("archive: payload/header mismatch");
-  }
+  archive.packed = io::deserialize_tensor(std::string(reader.rest()));
+  validate_payload_against_header(archive);
   return archive;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/codec.hpp"
@@ -7,12 +8,24 @@
 
 namespace aic::cli {
 
-/// On-disk compressed-tensor archive written by the aicomp CLI:
+/// Current on-disk archive container version (v3: checksummed).
+inline constexpr std::uint32_t kArchiveVersion = 3;
+
+/// On-disk compressed-tensor archive written by the aicomp CLI (v3):
 ///
-///   magic "AICZ" | u32 version | u8 codec (0=square, 1=triangle,
-///   2=partial) | u8 transform | u16 cf | u16 block | u16 subdivision
-///   | u32 rank | u64 dims[rank]
-///   | serialized packed tensor (io::serialize_tensor format)
+///   magic "AICZ" | u32 version | u32 header_len
+///   | u32 header_crc32c | u32 payload_crc32c
+///   | header fields (header_len bytes):
+///       u8 codec (0=square, 1=triangle, 2=partial) | u8 transform
+///       | u16 cf | u16 block | u16 subdivision | u32 rank
+///       | u64 dims[rank]
+///   | payload: serialized packed tensor (io::serialize_tensor format)
+///
+/// v2 archives (no header_len/CRC block, header fields directly after
+/// the version word) remain readable. Decode rejects corrupt or
+/// truncated input with a typed aic::io::CorruptStream — any flipped bit
+/// in a v3 stream fails one of the CRC32C checks before a wrong tensor
+/// can be reconstructed.
 ///
 /// The header carries everything needed to rebuild the codec and the
 /// original shape, so decompression needs no side information.
@@ -46,7 +59,14 @@ Archive compress_to_archive(const tensor::Tensor& input, std::size_t cf,
                             bool triangle,
                             core::CodecPtr* codec_out = nullptr);
 
-std::string serialize_archive(const Archive& archive);
+/// Serializes to the given container version (3 = checksummed, the
+/// default; 2 = the legacy pre-CRC layout, kept for compatibility
+/// testing). Other versions throw std::invalid_argument.
+std::string serialize_archive(const Archive& archive,
+                              std::uint32_t version = kArchiveVersion);
+/// Parses and fully validates an archive stream (magic, version range,
+/// v3 CRCs, field ranges, overflow-checked dims, payload/header shape
+/// agreement). Throws aic::io::CorruptStream on any violation.
 Archive deserialize_archive(const std::string& bytes);
 
 void save_archive(const Archive& archive, const std::string& path);

@@ -70,7 +70,21 @@ std::size_t flag_size(const Options& options, const std::string& name,
                       std::size_t fallback) {
   const auto it = options.flags.find(name);
   if (it == options.flags.end()) return fallback;
-  return static_cast<std::size_t>(std::stoull(it->second));
+  // stoull throws bare std::invalid_argument / std::out_of_range on junk
+  // or huge values (and silently wraps negatives); re-raise with a
+  // diagnostic that names the offending flag.
+  try {
+    std::size_t pos = 0;
+    const unsigned long long value = std::stoull(it->second, &pos);
+    if (pos != it->second.size() || it->second.front() == '-') {
+      throw std::exception();
+    }
+    return static_cast<std::size_t>(value);
+  } catch (...) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects a non-negative integer, got \"" +
+                                it->second + "\"");
+  }
 }
 
 std::string flag_string(const Options& options, const std::string& name,
@@ -99,6 +113,7 @@ int usage(std::ostream& err) {
          "  aicomp compress <in.aict> <out.aicz> [--codec <spec> | --cf N "
          "--block B --transform dct|wht|dst2 --triangle] [--stats]\n"
          "  aicomp decompress <in.aicz> <out.aict> [--stats]\n"
+         "  aicomp verify <in.aicz>   (check CRCs + full decode)\n"
          "  aicomp info <file>\n"
          "  aicomp eval <in.aict> [--codec <spec> | --cf N --block B "
          "--transform ... --triangle] [--stats]\n"
@@ -277,6 +292,26 @@ int cmd_decompress(const Options& options, std::ostream& out) {
   return 0;
 }
 
+///// `aicomp verify <archive>`: full integrity pass over an archive —
+/// container parse (v3 CRC32C checks included), codec rebuild, and a
+/// complete decompress — without writing anything. A corrupt file exits
+/// 1 with the typed CorruptStream diagnostic on stderr.
+int cmd_verify(const Options& options, std::ostream& out) {
+  if (options.positional.size() != 1) {
+    throw std::invalid_argument("verify: expected one archive path");
+  }
+  const Archive archive = load_archive(options.positional[0]);
+  const core::CodecPtr codec = make_archive_codec(archive);
+  const Tensor restored =
+      codec->decompress(archive.packed, archive.original_shape);
+  out << "ok: codec=" << codec->name()
+      << " original=" << archive.original_shape.to_string()
+      << " packed=" << archive.packed.shape().to_string() << " ("
+      << archive.packed.size_bytes() << " bytes)\n";
+  if (options.stats) print_stats(out, *codec);
+  return 0;
+}
+
 int cmd_info(const Options& options, std::ostream& out) {
   if (options.positional.size() != 1) {
     throw std::invalid_argument("info: expected one path");
@@ -349,6 +384,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       rc = cmd_compress(options, out);
     } else if (command == "decompress") {
       rc = cmd_decompress(options, out);
+    } else if (command == "verify") {
+      rc = cmd_verify(options, out);
     } else if (command == "info") {
       rc = cmd_info(options, out);
     } else if (command == "eval") {

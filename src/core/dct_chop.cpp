@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/plan_cache.hpp"
+#include "io/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/timer.hpp"
@@ -129,7 +130,13 @@ Tensor DctChopCodec::decompress(const Tensor& packed,
   AIC_TRACE_SCOPE("codec.decompress");
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
-    throw std::invalid_argument("DctChopCodec: packed shape mismatch");
+    // The packed tensor is decode-side input (it may come straight from
+    // an archive), so a mismatch is a data error, not a caller bug.
+    io::raise_corrupt(io::CorruptKind::kPayloadMismatch,
+                      "DctChopCodec: packed shape " +
+                          packed.shape().to_string() + " does not match " +
+                          compressed_shape(original).to_string() + " for " +
+                          original.to_string());
   }
   const std::shared_ptr<const DctChopPlan> plan =
       plan_for(original[2], original[3]);

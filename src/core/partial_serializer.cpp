@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/plan_cache.hpp"
+#include "io/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/timer.hpp"
@@ -169,7 +170,11 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
   AIC_TRACE_SCOPE("ps.decompress");
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
-    throw std::invalid_argument("PartialSerialCodec: packed shape mismatch");
+    io::raise_corrupt(io::CorruptKind::kPayloadMismatch,
+                      "PartialSerialCodec: packed shape " +
+                          packed.shape().to_string() + " does not match " +
+                          compressed_shape(original).to_string() + " for " +
+                          original.to_string());
   }
   Tensor out(original);
   const std::size_t batch = original[0];

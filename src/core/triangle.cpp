@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/plan_cache.hpp"
+#include "io/error.hpp"
 #include "obs/trace.hpp"
 #include "runtime/timer.hpp"
 
@@ -97,7 +98,11 @@ Tensor TriangleCodec::decompress(const Tensor& packed,
   AIC_TRACE_SCOPE("sg.decompress");
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
-    throw std::invalid_argument("TriangleCodec: packed shape mismatch");
+    io::raise_corrupt(io::CorruptKind::kPayloadMismatch,
+                      "TriangleCodec: packed shape " +
+                          packed.shape().to_string() + " does not match " +
+                          compressed_shape(original).to_string() + " for " +
+                          original.to_string());
   }
   const std::shared_ptr<const TrianglePlan> plan =
       plan_for(original[2], original[3]);

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "io/error.hpp"
+
+namespace aic::io {
+
+/// Multiplies two sizes, raising CorruptStream(kOverflow) on wrap. Used
+/// wherever untrusted dims are folded into an element count or byte size
+/// before any allocation happens.
+inline std::size_t checked_mul(std::size_t a, std::size_t b,
+                               const char* what) {
+  std::size_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    raise_corrupt(CorruptKind::kOverflow,
+                  std::string(what) + ": size product overflows");
+  }
+  return out;
+}
+
+/// Bounds-safe cursor over an untrusted byte buffer. All checks are in
+/// subtraction form (`need > size - cursor`) so adversarial cursors or
+/// field sizes can never wrap the comparison the way `cursor + need >
+/// size` can. Every violation raises a typed CorruptStream.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes, const char* context = "stream")
+      : bytes_(bytes), context_(context) {}
+
+  std::size_t cursor() const noexcept { return cursor_; }
+  std::size_t remaining() const noexcept { return bytes_.size() - cursor_; }
+
+  /// Raises kTruncated unless `count` more bytes are available.
+  void require(std::size_t count, const char* what) const {
+    if (count > remaining()) {
+      raise_corrupt(CorruptKind::kTruncated,
+                    std::string(context_) + ": truncated reading " + what +
+                        " (need " + std::to_string(count) + " bytes, have " +
+                        std::to_string(remaining()) + ")");
+    }
+  }
+
+  /// Reads one little-endian trivially-copyable value.
+  template <typename T>
+  T read(const char* what) {
+    require(sizeof(T), what);
+    T value;
+    std::memcpy(&value, bytes_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  /// Consumes `count` bytes and returns a view of them.
+  std::string_view read_bytes(std::size_t count, const char* what) {
+    require(count, what);
+    const std::string_view out = bytes_.substr(cursor_, count);
+    cursor_ += count;
+    return out;
+  }
+
+  /// The unconsumed tail of the buffer (does not advance).
+  std::string_view rest() const { return bytes_.substr(cursor_); }
+
+ private:
+  std::string_view bytes_;
+  const char* context_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace aic::io

@@ -1,0 +1,58 @@
+#include "io/checksum.hpp"
+
+#include <array>
+
+namespace aic::io {
+
+namespace {
+
+// 8 derived tables: table[0] is the classic byte-at-a-time CRC32C table,
+// table[k][b] extends table[k-1][b] by one zero byte, letting the hot
+// loop fold 8 input bytes per iteration.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t byte = 0; byte < 256; ++byte) {
+      std::uint32_t crc = byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][byte] = crc;
+    }
+    for (std::size_t k = 1; k < 8; ++k) {
+      for (std::uint32_t byte = 0; byte < 256; ++byte) {
+        const std::uint32_t prev = t[k - 1][byte];
+        t[k][byte] = (prev >> 8) ^ t[0][prev & 0xFFu];
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kTables;
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (size >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(bytes[0]) |
+                                    static_cast<std::uint32_t>(bytes[1]) << 8 |
+                                    static_cast<std::uint32_t>(bytes[2]) << 16 |
+                                    static_cast<std::uint32_t>(bytes[3]) << 24);
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][bytes[4]] ^ kTables.t[2][bytes[5]] ^
+          kTables.t[1][bytes[6]] ^ kTables.t[0][bytes[7]];
+    bytes += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *bytes++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace aic::io

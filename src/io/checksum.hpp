@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aic::io {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over a
+/// byte range. This is the checksum the archive v3 container stores for
+/// its header and payload; the software slice-by-8 table implementation
+/// runs at several GB/s, far above archive decode throughput.
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+}  // namespace aic::io

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace aic::io {
+
+/// Why a decode path rejected its input. Every category maps 1:1 onto an
+/// `io.decode_error.<name>` counter in obs::Registry, so corrupt-input
+/// rates are observable per failure mode (`aicomp --metrics`).
+enum class CorruptKind {
+  kTruncated,         // stream ends before a field / payload completes
+  kBadMagic,          // leading magic bytes are not ours
+  kBadVersion,        // container version outside the supported range
+  kChecksumMismatch,  // stored CRC32C disagrees with the bytes
+  kBadHeaderField,    // a header field fails validation (kind, dims, ...)
+  kOverflow,          // size arithmetic would overflow (dims product, ...)
+  kPayloadMismatch,   // payload disagrees with what the header promises
+  kBadCodeTable,      // entropy-code table is invalid (lengths, Kraft)
+  kBadSymbol,         // bitstream decodes to an impossible symbol/run
+};
+
+inline const char* corrupt_kind_name(CorruptKind kind) noexcept {
+  switch (kind) {
+    case CorruptKind::kTruncated: return "truncated";
+    case CorruptKind::kBadMagic: return "bad_magic";
+    case CorruptKind::kBadVersion: return "bad_version";
+    case CorruptKind::kChecksumMismatch: return "checksum_mismatch";
+    case CorruptKind::kBadHeaderField: return "bad_header_field";
+    case CorruptKind::kOverflow: return "overflow";
+    case CorruptKind::kPayloadMismatch: return "payload_mismatch";
+    case CorruptKind::kBadCodeTable: return "bad_code_table";
+    case CorruptKind::kBadSymbol: return "bad_symbol";
+  }
+  return "unknown";
+}
+
+/// Typed rejection of untrusted decode input (archives, bitstreams,
+/// entropy-code tables). Every decode path in the repository promises to
+/// either succeed bitwise-exactly or throw this — never crash, hang, or
+/// return silently wrong tensors. Derives std::runtime_error so legacy
+/// call sites catching that keep working.
+///
+/// This header is a dependency-free leaf (obs + <stdexcept> only) so the
+/// lower layers (baseline, core) can throw the io taxonomy without
+/// linking against aic_io.
+class CorruptStream : public std::runtime_error {
+ public:
+  CorruptStream(CorruptKind kind, const std::string& message)
+      : std::runtime_error(std::string("corrupt stream [") +
+                           corrupt_kind_name(kind) + "]: " + message),
+        kind_(kind) {}
+
+  CorruptKind kind() const noexcept { return kind_; }
+
+ private:
+  CorruptKind kind_;
+};
+
+/// Throws CorruptStream after bumping the `io.decode_error` counters.
+/// All internal throw sites funnel through here (not the constructor) so
+/// exception copies never double count.
+[[noreturn]] inline void raise_corrupt(CorruptKind kind,
+                                       const std::string& message) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("io.decode_error").add();
+  registry.counter(std::string("io.decode_error.") + corrupt_kind_name(kind))
+      .add();
+  throw CorruptStream(kind, message);
+}
+
+}  // namespace aic::io

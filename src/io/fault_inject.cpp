@@ -1,0 +1,121 @@
+#include "io/fault_inject.hpp"
+
+#include <exception>
+#include <sstream>
+#include <typeinfo>
+
+#include "io/error.hpp"
+#include "runtime/rng.hpp"
+
+namespace aic::io {
+
+namespace {
+
+/// Decodes one mutant and files the outcome into `report`. `baseline` is
+/// the canonical decode of the untouched stream.
+void classify(const std::string& label, const std::string& mutant,
+              const DecodeFn& decode, const std::string& baseline,
+              bool allow_divergence, FaultReport& report) {
+  ++report.mutants;
+  try {
+    const std::string decoded = decode(mutant);
+    if (decoded == baseline) {
+      ++report.exact;
+      return;
+    }
+    ++report.divergent;
+    if (!allow_divergence) {
+      report.failures.push_back(label + ": decoded without error but the "
+                                        "result differs (silent corruption)");
+    }
+  } catch (const CorruptStream&) {
+    ++report.rejected;
+  } catch (const std::exception& error) {
+    report.failures.push_back(label + ": untyped " +
+                              std::string(typeid(error).name()) + ": " +
+                              error.what());
+  } catch (...) {
+    report.failures.push_back(label + ": non-std exception escaped");
+  }
+}
+
+}  // namespace
+
+std::string FaultReport::summary() const {
+  std::ostringstream out;
+  out << mutants << " mutants: " << exact << " exact, " << rejected
+      << " rejected (CorruptStream), " << divergent << " divergent, "
+      << failures.size() << " failures";
+  return out.str();
+}
+
+void FaultReport::merge(const FaultReport& other) {
+  mutants += other.mutants;
+  exact += other.exact;
+  rejected += other.rejected;
+  divergent += other.divergent;
+  failures.insert(failures.end(), other.failures.begin(),
+                  other.failures.end());
+}
+
+FaultReport run_fault_matrix(const std::string& bytes, const DecodeFn& decode,
+                             const FaultMatrixOptions& options) {
+  FaultReport report;
+
+  // The untouched stream is the contract's baseline; it must decode.
+  std::string baseline;
+  try {
+    baseline = decode(bytes);
+  } catch (const std::exception& error) {
+    report.failures.push_back(std::string("baseline: valid stream failed to "
+                                          "decode: ") +
+                              error.what());
+    return report;
+  }
+
+  const auto flip_bit = [&](std::size_t bit) {
+    std::string mutant = bytes;
+    mutant[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(mutant[bit / 8]) ^ (1u << (bit % 8)));
+    return mutant;
+  };
+
+  // 1. Exhaustive bit flips over the header region.
+  const std::size_t header_bytes =
+      std::min(options.header_bytes, bytes.size());
+  for (std::size_t bit = 0; bit < header_bytes * 8; ++bit) {
+    classify("header bit " + std::to_string(bit), flip_bit(bit), decode,
+             baseline, options.allow_divergence, report);
+  }
+
+  // 2. Truncation at every byte boundary (always strictly shorter, so no
+  // mutant aliases the baseline).
+  if (options.truncate_stride > 0) {
+    for (std::size_t cut = 0; cut < bytes.size();
+         cut += options.truncate_stride) {
+      classify("truncate at " + std::to_string(cut), bytes.substr(0, cut),
+               decode, baseline, options.allow_divergence, report);
+    }
+  }
+
+  // 3. Seeded single-bit flips across the whole stream.
+  runtime::Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.random_flips && !bytes.empty(); ++i) {
+    const std::size_t bit =
+        static_cast<std::size_t>(rng.uniform_index(bytes.size() * 8));
+    classify("random flip #" + std::to_string(i) + " (bit " +
+                 std::to_string(bit) + ")",
+             flip_bit(bit), decode, baseline, options.allow_divergence,
+             report);
+  }
+
+  // 4. Caller-supplied mutants (field sweeps with fixed-up CRCs, ...).
+  for (const auto& [label, mutant] : options.extra) {
+    classify(label, mutant, decode, baseline, options.allow_divergence,
+             report);
+  }
+
+  return report;
+}
+
+}  // namespace aic::io

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace aic::io {
+
+/// Shape of the deterministic mutation matrix run_fault_matrix applies
+/// to one valid byte stream. All mutation families are reproducible
+/// (bit positions and seeds are fixed), so a failure names an exact
+/// mutant that can be replayed.
+struct FaultMatrixOptions {
+  /// Flip every bit of the first `header_bytes` bytes, one mutant per
+  /// bit. 0 disables the sweep.
+  std::size_t header_bytes = 0;
+  /// Truncate the stream at every byte boundary in [0, size) stepping by
+  /// `truncate_stride`. 0 disables truncation mutants.
+  std::size_t truncate_stride = 1;
+  /// Seeded single-bit flips spread over the whole stream (payload
+  /// included), `random_flips` mutants drawn from xoshiro(seed).
+  std::size_t random_flips = 64;
+  std::uint64_t seed = 1;
+  /// When true a successful decode that differs from the baseline is
+  /// tolerated (pre-checksum v2 containers cannot detect payload flips);
+  /// when false it is reported as silent corruption.
+  bool allow_divergence = false;
+  /// Caller-supplied mutants appended verbatim to the matrix (header
+  /// field sweeps with recomputed CRCs, version sweeps, ...). Paired
+  /// with a label for failure messages.
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// Outcome tally of one matrix run. The hardening contract is
+/// `failures.empty()`: every mutant either decoded bitwise-exactly or
+/// raised aic::io::CorruptStream.
+struct FaultReport {
+  std::size_t mutants = 0;
+  std::size_t exact = 0;      // decoded and matched the baseline bytes
+  std::size_t rejected = 0;   // raised CorruptStream (the typed error)
+  std::size_t divergent = 0;  // decoded but differed (allow_divergence)
+  /// One line per contract violation: untyped exception or silent
+  /// corruption, prefixed with the mutant's label.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+  /// Folds another report (e.g. a second mutation family) into this one.
+  void merge(const FaultReport& other);
+};
+
+/// Decode callback: parse + fully decode `bytes`, returning a canonical
+/// byte serialization of the result for bitwise comparison. Expected to
+/// throw aic::io::CorruptStream (and nothing else) on bad input.
+using DecodeFn = std::function<std::string(const std::string&)>;
+
+/// Runs the deterministic mutation matrix over `bytes`, classifying
+/// every `decode` outcome. The unmutated stream must decode; its result
+/// is the bitwise baseline.
+FaultReport run_fault_matrix(const std::string& bytes, const DecodeFn& decode,
+                             const FaultMatrixOptions& options);
+
+}  // namespace aic::io

@@ -2,7 +2,11 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
+
+#include "io/byte_reader.hpp"
+#include "io/error.hpp"
 
 namespace aic::io {
 
@@ -19,17 +23,6 @@ void append(std::string& out, T value) {
   char raw[sizeof(T)];
   std::memcpy(raw, &value, sizeof(T));
   out.append(raw, sizeof(T));
-}
-
-template <typename T>
-T read(const std::string& bytes, std::size_t& cursor) {
-  if (cursor + sizeof(T) > bytes.size()) {
-    throw std::runtime_error("tensor_io: truncated stream");
-  }
-  T value;
-  std::memcpy(&value, bytes.data() + cursor, sizeof(T));
-  cursor += sizeof(T);
-  return value;
 }
 
 }  // namespace
@@ -49,26 +42,46 @@ std::string serialize_tensor(const Tensor& tensor) {
 }
 
 Tensor deserialize_tensor(const std::string& bytes) {
-  std::size_t cursor = 0;
-  if (bytes.size() < sizeof(kMagic) ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("tensor_io: bad magic");
+  ByteReader reader(bytes, "tensor_io");
+  reader.require(sizeof(kMagic), "magic");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    raise_corrupt(CorruptKind::kBadMagic, "tensor_io: bad magic");
   }
-  cursor += sizeof(kMagic);
-  const auto version = read<std::uint32_t>(bytes, cursor);
+  (void)reader.read_bytes(sizeof(kMagic), "magic");
+  const auto version = reader.read<std::uint32_t>("version");
   if (version != kVersion) {
-    throw std::runtime_error("tensor_io: unsupported version " +
-                             std::to_string(version));
+    raise_corrupt(CorruptKind::kBadVersion,
+                  "tensor_io: found version " + std::to_string(version) +
+                      ", supported version " + std::to_string(kVersion));
   }
-  const auto rank = read<std::uint32_t>(bytes, cursor);
+  const auto rank = reader.read<std::uint32_t>("rank");
   if (rank > Shape::kMaxRank) {
-    throw std::runtime_error("tensor_io: rank too large");
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "tensor_io: rank " + std::to_string(rank) +
+                      " exceeds max rank " + std::to_string(Shape::kMaxRank));
   }
+  // The dims product is overflow-checked and validated against the
+  // remaining payload before the Tensor is allocated, so adversarial
+  // dims can neither wrap the element count nor trigger a huge alloc.
   std::size_t dims[Shape::kMaxRank] = {};
   std::size_t numel = 1;
   for (std::uint32_t axis = 0; axis < rank; ++axis) {
-    dims[axis] = static_cast<std::size_t>(read<std::uint64_t>(bytes, cursor));
-    numel *= dims[axis];
+    const auto dim = reader.read<std::uint64_t>("dims");
+    if (dim > std::numeric_limits<std::uint32_t>::max()) {
+      raise_corrupt(CorruptKind::kBadHeaderField,
+                    "tensor_io: dim " + std::to_string(dim) +
+                        " is implausibly large");
+    }
+    dims[axis] = static_cast<std::size_t>(dim);
+    numel = checked_mul(numel, dims[axis], "tensor_io dims");
+  }
+  const std::size_t payload_bytes =
+      checked_mul(numel, sizeof(float), "tensor_io payload");
+  if (payload_bytes != reader.remaining()) {
+    raise_corrupt(CorruptKind::kPayloadMismatch,
+                  "tensor_io: dims promise " + std::to_string(payload_bytes) +
+                      " payload bytes, stream has " +
+                      std::to_string(reader.remaining()));
   }
   Shape shape;
   switch (rank) {
@@ -78,11 +91,8 @@ Tensor deserialize_tensor(const std::string& bytes) {
     case 3: shape = Shape({dims[0], dims[1], dims[2]}); break;
     default: shape = Shape::bchw(dims[0], dims[1], dims[2], dims[3]); break;
   }
-  if (cursor + numel * sizeof(float) != bytes.size()) {
-    throw std::runtime_error("tensor_io: payload size mismatch");
-  }
   Tensor tensor(shape);
-  std::memcpy(tensor.raw(), bytes.data() + cursor, numel * sizeof(float));
+  std::memcpy(tensor.raw(), reader.rest().data(), payload_bytes);
   return tensor;
 }
 

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "io/error.hpp"
 #include "runtime/rng.hpp"
 
 namespace aic::baseline {
@@ -71,7 +72,7 @@ TEST(BitStream, ReadPastEndThrows) {
   const auto bytes = writer.finish();
   BitReader reader(bytes);
   reader.read_bits(8);  // padded byte is readable
-  EXPECT_THROW(reader.read_bit(), std::out_of_range);
+  EXPECT_THROW(reader.read_bit(), io::CorruptStream);
 }
 
 TEST(BitStream, WriteMoreThan32Throws) {

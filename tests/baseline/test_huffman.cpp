@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "io/error.hpp"
 #include "runtime/rng.hpp"
 
 namespace aic::baseline {
@@ -103,6 +104,66 @@ TEST(Huffman, UnknownSymbolThrows) {
   const HuffmanCoder coder(std::vector<std::uint16_t>{1, 2, 3});
   BitWriter writer;
   EXPECT_THROW(coder.encode({99}, writer), std::invalid_argument);
+}
+
+TEST(Huffman, PathologicalHistogramStaysWithinMaxCodeLength) {
+  // Fibonacci-weighted histogram: the worst case for Huffman, producing a
+  // fully skewed tree whose depth equals the alphabet size. 34 symbols
+  // need a 33-bit code for the lightest one — past kMaxCodeLength — so
+  // the constructor must rebalance the weights instead of silently
+  // overflowing the u32 canonical codes (the old behaviour).
+  std::vector<std::uint16_t> symbols;
+  std::uint64_t fib_a = 1, fib_b = 1;
+  for (std::uint16_t s = 0; s < 34; ++s) {
+    for (std::uint64_t i = 0; i < fib_a; ++i) symbols.push_back(s);
+    const std::uint64_t next = fib_a + fib_b;
+    fib_a = fib_b;
+    fib_b = next;
+  }
+  const HuffmanCoder coder(symbols);
+  ASSERT_EQ(coder.lengths().size(), 34u);
+  for (const auto& [symbol, length] : coder.lengths()) {
+    EXPECT_GE(length, 1) << symbol;
+    EXPECT_LE(length, HuffmanCoder::kMaxCodeLength) << symbol;
+  }
+  // The rebalanced code still round-trips every symbol.
+  std::vector<std::uint16_t> sample;
+  for (std::uint16_t s = 0; s < 34; ++s) sample.push_back(s);
+  BitWriter writer;
+  coder.encode(sample, writer);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(coder.decode(reader, sample.size()), sample);
+}
+
+TEST(Huffman, RejectsCorruptLengthTables) {
+  using Table = std::map<std::uint16_t, std::uint8_t>;
+  // Zero-length code.
+  EXPECT_THROW(HuffmanCoder(Table{{1, 0}, {2, 2}}), io::CorruptStream);
+  // Length past kMaxCodeLength.
+  EXPECT_THROW(HuffmanCoder(Table{{1, 40}, {2, 1}}), io::CorruptStream);
+  // Over-subscribed table (violates the Kraft inequality).
+  EXPECT_THROW(HuffmanCoder(Table{{1, 1}, {2, 1}, {3, 2}}),
+               io::CorruptStream);
+  // Empty tables stay a caller error, not a data error.
+  EXPECT_THROW(HuffmanCoder(Table{}), std::invalid_argument);
+}
+
+TEST(Huffman, DecodeRejectsCountBeyondStream) {
+  const HuffmanCoder coder(std::vector<std::uint16_t>{1, 2, 2, 3, 3, 3, 3});
+  const std::vector<std::uint8_t> one_byte = {0xFF};
+  BitReader reader(one_byte);
+  EXPECT_THROW(coder.decode(reader, 1000), io::CorruptStream);
+}
+
+TEST(Huffman, DecodeRejectsBitsMatchingNoCode) {
+  // Incomplete code (Kraft < 1): symbol 5 is the 2-bit code 00, so a
+  // stream of ones never matches and must be rejected as a bad symbol
+  // instead of walking forever.
+  const HuffmanCoder coder(std::map<std::uint16_t, std::uint8_t>{{5, 2}});
+  const std::vector<std::uint8_t> ones(8, 0xFF);
+  BitReader reader(ones);
+  EXPECT_THROW(coder.decode(reader, 1), io::CorruptStream);
 }
 
 }  // namespace

@@ -4,9 +4,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cli/archive.hpp"
+#include "io/error.hpp"
 #include "io/tensor_io.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/ops.hpp"
@@ -192,6 +194,57 @@ TEST(Cli, MissingFlagValueIsGracefulError) {
   EXPECT_NE(err.find("missing value"), std::string::npos);
 }
 
+TEST(Cli, NonNumericFlagValueNamesTheFlag) {
+  // std::stoull used to pass garbage through (or die on out-of-range);
+  // the diagnostic must name the offending key and value.
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  ASSERT_EQ(run({"gen", raw, "--res", "16"}), 0);
+  for (const std::string bad : {"abc", "4x", "-3", "99999999999999999999"}) {
+    std::string err;
+    EXPECT_EQ(run({"eval", raw, "--cf", bad}, nullptr, &err), 1) << bad;
+    EXPECT_NE(err.find("flag --cf expects a non-negative integer"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find(bad), std::string::npos) << err;
+  }
+}
+
+TEST(Cli, VerifyAcceptsIntactArchive) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  const std::string packed = dir.file("packed.aicz");
+  ASSERT_EQ(run({"gen", raw, "--res", "16", "--channels", "1"}), 0);
+  ASSERT_EQ(run({"compress", raw, packed, "--cf", "4"}), 0);
+  std::string out;
+  ASSERT_EQ(run({"verify", packed}, &out), 0);
+  EXPECT_NE(out.find("ok: codec="), std::string::npos);
+}
+
+TEST(Cli, VerifyRejectsFlippedBit) {
+  TempDir dir;
+  const std::string raw = dir.file("raw.aict");
+  const std::string packed = dir.file("packed.aicz");
+  ASSERT_EQ(run({"gen", raw, "--res", "16", "--channels", "1"}), 0);
+  ASSERT_EQ(run({"compress", raw, packed, "--cf", "4"}), 0);
+  // Flip one payload bit on disk; the v3 CRC must catch it.
+  std::fstream file(packed,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  file.seekp(size - 5);
+  char byte;
+  file.seekg(size - 5);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(size - 5);
+  file.write(&byte, 1);
+  file.close();
+  std::string err;
+  EXPECT_EQ(run({"verify", packed}, nullptr, &err), 1);
+  EXPECT_NE(err.find("corrupt stream"), std::string::npos) << err;
+}
+
 TEST(Archive, SerializeDeserializeRoundTrip) {
   runtime::Rng rng(1);
   const Tensor input = Tensor::uniform(Shape::bchw(2, 1, 16, 16), rng);
@@ -221,6 +274,66 @@ TEST(Archive, PayloadHeaderMismatchRejected) {
   archive.config.cf = 2;  // header now disagrees with the payload shape
   EXPECT_THROW(deserialize_archive(serialize_archive(archive)),
                std::runtime_error);
+}
+
+TEST(Archive, LegacyV2StreamStillRoundTrips) {
+  runtime::Rng rng(4);
+  const Tensor input = Tensor::uniform(Shape::bchw(2, 1, 16, 16), rng);
+  const Archive archive = compress_to_archive(
+      input, 4, 8, core::TransformKind::kDct2, false);
+  const std::string v2 = serialize_archive(archive, 2);
+  const std::string v3 = serialize_archive(archive, 3);
+  // v2 is the pre-CRC layout: 12 bytes shorter, different version word.
+  EXPECT_EQ(v2.size() + 12, v3.size());
+  const Archive back = deserialize_archive(v2);
+  EXPECT_EQ(back.original_shape, archive.original_shape);
+  EXPECT_EQ(back.config.cf, archive.config.cf);
+  EXPECT_TRUE(tensor::allclose(back.packed, archive.packed, 0.0));
+}
+
+TEST(Archive, TriangleAndPartialKindsRoundTrip) {
+  runtime::Rng rng(5);
+  const Tensor input = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  for (const std::string spec :
+       {"triangle:cf=4,block=8", "partial:cf=4,block=8,s=2"}) {
+    const Archive archive = compress_to_archive(input, spec);
+    const Archive back = deserialize_archive(serialize_archive(archive));
+    EXPECT_EQ(back.triangle, archive.triangle) << spec;
+    EXPECT_EQ(back.subdivision, archive.subdivision) << spec;
+    EXPECT_TRUE(tensor::allclose(back.packed, archive.packed, 0.0)) << spec;
+  }
+}
+
+TEST(Archive, UnsupportedVersionNamesFoundAndSupported) {
+  runtime::Rng rng(6);
+  const Tensor input = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  std::string bytes = serialize_archive(compress_to_archive(
+      input, 4, 8, core::TransformKind::kDct2, false));
+  bytes[4] = 7;  // version word
+  try {
+    deserialize_archive(bytes);
+    FAIL() << "version 7 accepted";
+  } catch (const io::CorruptStream& error) {
+    EXPECT_EQ(error.kind(), io::CorruptKind::kBadVersion);
+    EXPECT_NE(std::string(error.what()).find("found version 7"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("supported versions 2..3"),
+              std::string::npos);
+  }
+}
+
+TEST(Archive, FlippedPayloadBitFailsChecksum) {
+  runtime::Rng rng(7);
+  const Tensor input = Tensor::uniform(Shape::bchw(1, 1, 16, 16), rng);
+  std::string bytes = serialize_archive(compress_to_archive(
+      input, 4, 8, core::TransformKind::kDct2, false));
+  bytes[bytes.size() - 3] ^= 0x04;
+  try {
+    deserialize_archive(bytes);
+    FAIL() << "corrupted payload accepted";
+  } catch (const io::CorruptStream& error) {
+    EXPECT_EQ(error.kind(), io::CorruptKind::kChecksumMismatch);
+  }
 }
 
 }  // namespace

@@ -201,6 +201,12 @@ TEST(CodecFactory, RejectsBadParameterValues) {
                   "\"abc\"");
   expect_contains(diagnostic("dctchop:cf=-2"),
                   "parameter \"cf\" expects a non-negative integer");
+  // std::stoull out-of-range must surface the same diagnostic, not an
+  // unhandled std::out_of_range.
+  expect_contains(diagnostic("dctchop:cf=99999999999999999999"),
+                  "parameter \"cf\" expects a non-negative integer");
+  expect_contains(diagnostic("dctchop:cf=4x"),
+                  "parameter \"cf\" expects a non-negative integer");
   expect_contains(diagnostic("dctchop:transform=fft"),
                   "parameter \"transform\" expects one of dct, wht, dst2; "
                   "got \"fft\"");

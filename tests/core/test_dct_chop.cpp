@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/dct.hpp"
+#include "io/error.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
@@ -223,7 +224,7 @@ TEST(DctChop, WrongPackedShapeThrows) {
   const DctChopCodec codec = make_codec(16, 4);
   const Tensor packed(Shape::bchw(1, 1, 9, 8));
   EXPECT_THROW(codec.decompress(packed, Shape::bchw(1, 1, 16, 16)),
-               std::invalid_argument);
+               io::CorruptStream);
 }
 
 TEST(DctChop, InvalidConfigThrows) {

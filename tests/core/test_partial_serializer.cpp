@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/dct_chop.hpp"
+#include "io/error.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/ops.hpp"
 
@@ -115,7 +116,7 @@ TEST(PartialSerial, DecompressRejectsWrongShape) {
       {.height = 32, .width = 32, .cf = 4, .block = 8, .subdivision = 2});
   const Tensor bad(Shape::bchw(1, 1, 15, 16));
   EXPECT_THROW(ps.decompress(bad, Shape::bchw(1, 1, 32, 32)),
-               std::invalid_argument);
+               io::CorruptStream);
 }
 
 TEST(PartialSerial, InvalidConfigThrows) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/dct_chop.hpp"
+#include "io/error.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/ops.hpp"
 
@@ -111,7 +112,7 @@ TEST(Triangle, PackedShapeMismatchThrows) {
   const TriangleCodec codec = make_codec(16, 4);
   const Tensor bad(Shape::bchw(1, 1, 4, 9));
   EXPECT_THROW(codec.decompress(bad, Shape::bchw(1, 1, 16, 16)),
-               std::invalid_argument);
+               io::CorruptStream);
 }
 
 TEST(Triangle, NameEncodesCf) {

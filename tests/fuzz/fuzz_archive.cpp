@@ -1,0 +1,21 @@
+// libFuzzer entry point over archive deserialization + full decompress.
+// Any input must either decode or raise aic::io::CorruptStream; every
+// other exception (or a crash/hang) is a finding.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cli/robustness_suite.hpp"
+#include "io/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    (void)aic::cli::decode_archive_bytes(
+        std::string(reinterpret_cast<const char*>(data), size));
+  } catch (const aic::io::CorruptStream&) {
+    // Typed rejection is the contract for bad input.
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Standalone driver used when libFuzzer is unavailable (non-Clang
+// toolchains): replays every corpus file through LLVMFuzzerTestOneInput
+// exactly once, so the checked-in corpus still executes — under
+// sanitizers when AIC_SANITIZE is on — even where -fsanitize=fuzzer
+// cannot be linked. libFuzzer-style flags (-runs=..., -max_total_time=...)
+// are accepted and ignored so both drivers share a command line.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg.front() == '-') continue;  // libFuzzer flag
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::exists(path)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "fuzz replay: no such input: " << arg << "\n";
+      return 2;
+    }
+  }
+  for (const auto& path : files) {
+    std::ifstream file(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::cout << "replayed " << files.size() << " corpus inputs\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+// libFuzzer entry point over RLE decode: untrusted symbol list + block
+// length (the unsealed frame the robustness suite defines).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cli/robustness_suite.hpp"
+#include "io/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    (void)aic::cli::decode_rle_body(
+        std::string(reinterpret_cast<const char*>(data), size));
+  } catch (const aic::io::CorruptStream&) {
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fault-injection harness over every hardened decode path.
+//
+// Modes:
+//   fault_inject --matrix              run the built-in mutation matrix
+//                                      over all targets (default)
+//   fault_inject --write-corpus <dir>  write fuzz corpus seeds and exit
+//   fault_inject <file>...             replay raw mutant files through the
+//                                      archive decoder (crash triage)
+//
+// Exit status is 0 only when every mutant either decoded bitwise-exactly
+// or raised aic::io::CorruptStream.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/robustness_suite.hpp"
+#include "io/error.hpp"
+
+namespace {
+
+int run_matrix() {
+  bool ok = true;
+  for (const auto& [name, report] : aic::cli::run_robustness_suite()) {
+    std::cout << name << ": " << report.summary() << "\n";
+    for (const std::string& failure : report.failures) {
+      std::cout << "  FAILURE " << failure << "\n";
+    }
+    ok = ok && report.ok();
+  }
+  std::cout << (ok ? "fault matrix clean" : "fault matrix FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
+int write_corpus(const std::string& dir) {
+  const std::vector<std::string> written = aic::cli::write_fuzz_corpus(dir);
+  for (const std::string& path : written) std::cout << path << "\n";
+  std::cout << written.size() << " corpus seeds written\n";
+  return 0;
+}
+
+int replay(const std::vector<std::string>& paths) {
+  int status = 0;
+  for (const std::string& path : paths) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::cerr << path << ": cannot open\n";
+      status = 1;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    try {
+      const std::string decoded =
+          aic::cli::decode_archive_bytes(buffer.str());
+      std::cout << path << ": decoded (" << decoded.size() << " bytes)\n";
+    } catch (const aic::io::CorruptStream& error) {
+      std::cout << path << ": rejected: " << error.what() << "\n";
+    } catch (const std::exception& error) {
+      std::cout << path << ": UNTYPED " << error.what() << "\n";
+      status = 1;
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty() || args[0] == "--matrix") return run_matrix();
+    if (args[0] == "--write-corpus") {
+      if (args.size() != 2) {
+        std::cerr << "usage: fault_inject --write-corpus <dir>\n";
+        return 2;
+      }
+      return write_corpus(args[1]);
+    }
+    return replay(args);
+  } catch (const std::exception& error) {
+    std::cerr << "fault_inject: " << error.what() << "\n";
+    return 1;
+  }
+}
