@@ -1,0 +1,173 @@
+// Measured (wall-clock) throughput of the chunked v4 archive pipeline:
+// encode/decode GB/s against the thread count, the chunk-size sweep, and
+// the v3-vs-v4 single-thread encode comparison that guards the "raw
+// chunking costs nothing" claim. Writes BENCH_pipeline.json (override
+// with --json=PATH) for the CI artifact.
+//
+// The acceptance target — >= 3x faster 8-thread round trip on the
+// single-plane 1024x1024 CF=4 payload — is only observable on a host
+// with >= 8 cores; the JSON records hardware_threads so a 1-core CI
+// runner's numbers are not misread as a scaling regression.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/chunk_entropy.hpp"
+#include "cli/archive.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using aic::cli::Archive;
+using aic::cli::ArchiveWriteOptions;
+using aic::tensor::Shape;
+using aic::tensor::Tensor;
+
+constexpr const char* kSpec = "dctchop:cf=4,block=8";
+
+/// Best-of-N wall seconds of `fn` (first call warm-up is included in the
+/// reps: the plan cache hides behind the min).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    aic::runtime::Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+double gbps(std::size_t bytes, double seconds) {
+  return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  std::size_t chunk_bytes = 0;
+  double encode_gbps = 0.0;
+  double decode_gbps = 0.0;
+  double roundtrip_s = 0.0;
+};
+
+void append_point(std::string& json, const SweepPoint& p, bool thread_axis) {
+  json += "    {";
+  json += thread_axis ? "\"threads\": " + std::to_string(p.threads)
+                      : "\"chunk_bytes\": " + std::to_string(p.chunk_bytes);
+  json += ", \"encode_gbps\": " + std::to_string(p.encode_gbps);
+  json += ", \"decode_gbps\": " + std::to_string(p.decode_gbps);
+  json += ", \"roundtrip_s\": " + std::to_string(p.roundtrip_s);
+  json += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_pipeline.json";
+  std::size_t res = 1024;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    if (arg.rfind("--res=", 0) == 0) res = std::stoul(arg.substr(6));
+    if (arg.rfind("--reps=", 0) == 0) reps = std::stoi(arg.substr(7));
+  }
+
+  // The acceptance payload: single-plane 1024x1024, CF=4 (CR 4.0).
+  aic::runtime::Rng rng(42);
+  const Tensor input = Tensor::uniform(Shape::bchw(1, 1, res, res), rng);
+  const std::size_t input_bytes = input.size_bytes();
+
+  std::string json = "{\n  \"bench\": \"pipeline\",\n";
+  json += "  \"resolution\": " + std::to_string(res) + ",\n";
+  json += "  \"input_bytes\": " + std::to_string(input_bytes) + ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+
+  // ---- Thread sweep: fused encode and chunk-parallel decode ----------
+  std::cout << "== thread sweep (" << res << "x" << res << ", CF=4, raw chunks)\n";
+  double roundtrip_1t = 0.0, roundtrip_8t = 0.0;
+  json += "  \"thread_sweep\": [\n";
+  bool first = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    aic::runtime::ThreadPool::resize_global(threads);
+    const ArchiveWriteOptions options{};  // v4, 64 KiB chunks, raw
+    std::string bytes;
+    const double encode_s = best_seconds(
+        reps, [&] { bytes = compress_to_archive_bytes(input, kSpec, options); });
+    const double decode_s =
+        best_seconds(reps, [&] { (void)aic::cli::deserialize_archive(bytes); });
+    const SweepPoint p{.threads = threads,
+                       .encode_gbps = gbps(input_bytes, encode_s),
+                       .decode_gbps = gbps(input_bytes, decode_s),
+                       .roundtrip_s = encode_s + decode_s};
+    if (threads == 1) roundtrip_1t = p.roundtrip_s;
+    if (threads == 8) roundtrip_8t = p.roundtrip_s;
+    if (!first) json += ",\n";
+    first = false;
+    append_point(json, p, /*thread_axis=*/true);
+    std::cout << "  threads=" << threads << "  encode " << p.encode_gbps
+              << " GB/s  decode " << p.decode_gbps << " GB/s  roundtrip "
+              << p.roundtrip_s * 1e3 << " ms\n";
+  }
+  json += "\n  ],\n";
+
+  // ---- Chunk-size sweep at 8 threads ---------------------------------
+  std::cout << "== chunk-size sweep (8 threads)\n";
+  json += "  \"chunk_sweep\": [\n";
+  first = true;
+  aic::runtime::ThreadPool::resize_global(8);
+  for (const std::size_t chunk_bytes :
+       {std::size_t{4} << 10, std::size_t{16} << 10, std::size_t{64} << 10,
+        std::size_t{256} << 10, std::size_t{1} << 20}) {
+    const ArchiveWriteOptions options{.chunk_bytes = chunk_bytes};
+    std::string bytes;
+    const double encode_s = best_seconds(
+        reps, [&] { bytes = compress_to_archive_bytes(input, kSpec, options); });
+    const double decode_s =
+        best_seconds(reps, [&] { (void)aic::cli::deserialize_archive(bytes); });
+    const SweepPoint p{.chunk_bytes = chunk_bytes,
+                       .encode_gbps = gbps(input_bytes, encode_s),
+                       .decode_gbps = gbps(input_bytes, decode_s),
+                       .roundtrip_s = encode_s + decode_s};
+    if (!first) json += ",\n";
+    first = false;
+    append_point(json, p, /*thread_axis=*/false);
+    std::cout << "  chunk=" << (chunk_bytes >> 10) << "KiB  encode "
+              << p.encode_gbps << " GB/s  decode " << p.decode_gbps
+              << " GB/s\n";
+  }
+  json += "\n  ],\n";
+
+  // ---- v3 vs v4 single-thread encode (container overhead guard) ------
+  aic::runtime::ThreadPool::resize_global(1);
+  const Archive archive = aic::cli::compress_to_archive(input, kSpec);
+  const double v3_s = best_seconds(
+      reps, [&] { (void)aic::cli::serialize_archive(archive, 3u); });
+  const double v4_s = best_seconds(reps, [&] {
+    (void)aic::cli::serialize_archive(archive, ArchiveWriteOptions{});
+  });
+  aic::runtime::ThreadPool::resize_global(0);
+  std::cout << "== 1-thread container serialize: v3 "
+            << gbps(input_bytes, v3_s) << " GB/s, v4 "
+            << gbps(input_bytes, v4_s) << " GB/s\n";
+  json += "  \"serialize_1t_v3_gbps\": " +
+          std::to_string(gbps(input_bytes, v3_s)) + ",\n";
+  json += "  \"serialize_1t_v4_gbps\": " +
+          std::to_string(gbps(input_bytes, v4_s)) + ",\n";
+  const double speedup = roundtrip_8t > 0.0 ? roundtrip_1t / roundtrip_8t : 0.0;
+  json += "  \"roundtrip_speedup_8t_vs_1t\": " + std::to_string(speedup) + "\n}\n";
+  std::cout << "== roundtrip speedup 8t vs 1t: " << speedup << "x\n";
+
+  std::ofstream out(json_path);
+  out << json;
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

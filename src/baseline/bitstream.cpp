@@ -1,40 +1,83 @@
 #include "baseline/bitstream.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define AIC_BITSTREAM_X86 1
+#else
+#define AIC_BITSTREAM_X86 0
+#endif
 
 #include "io/error.hpp"
+#include "runtime/cpu_features.hpp"
 
 namespace aic::baseline {
 
 void BitWriter::write_bits(std::uint32_t value, std::size_t count) {
   if (count > 32) throw std::invalid_argument("write_bits: count > 32");
-  for (std::size_t i = count; i-- > 0;) {
-    const std::uint8_t bit = static_cast<std::uint8_t>((value >> i) & 1u);
-    current_ = static_cast<std::uint8_t>((current_ << 1) | bit);
-    if (++used_ == 8) {
-      bytes_.push_back(current_);
-      current_ = 0;
-      used_ = 0;
-    }
-  }
+  if (count < 32) value &= (std::uint32_t{1} << count) - 1;
+  // acc_bits_ < 8 on entry, so the shifted accumulator holds at most 39
+  // live bits. Bits above acc_bits_ are stale (never cleared); every
+  // extraction below masks to the byte it wants, so they are harmless.
+  acc_ = (acc_ << count) | value;
+  acc_bits_ += count;
   bit_count_ += count;
+  while (acc_bits_ >= 8) {
+    append_byte(static_cast<std::uint8_t>(acc_ >> (acc_bits_ - 8)));
+    acc_bits_ -= 8;
+  }
 }
 
 std::vector<std::uint8_t> BitWriter::finish() {
-  if (used_ > 0) {
-    bytes_.push_back(static_cast<std::uint8_t>(current_ << (8 - used_)));
-    current_ = 0;
-    used_ = 0;
+  if (acc_bits_ > 0) {
+    append_byte(static_cast<std::uint8_t>(acc_ << (8 - acc_bits_)));
+    acc_ = 0;
+    acc_bits_ = 0;
   }
   return std::move(bytes_);
 }
 
+std::uint32_t BitReader::peek_bits(std::size_t count) const {
+  if (count > 32) throw std::invalid_argument("peek_bits: count > 32");
+  if (count == 0) return 0;
+  const std::size_t byte0 = position_ / 8;
+  const std::size_t offset = position_ % 8;
+  const std::size_t need = (offset + count + 7) / 8;  // <= 5
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < need; ++i) {
+    const std::uint8_t byte =
+        byte0 + i < bytes_.size() ? bytes_[byte0 + i] : 0;
+    acc = (acc << 8) | byte;
+  }
+  const std::size_t shift = need * 8 - offset - count;
+  return static_cast<std::uint32_t>((acc >> shift) &
+                                    ((std::uint64_t{1} << count) - 1));
+}
+
+void BitReader::skip_bits(std::size_t count) {
+  if (count > bits_remaining()) {
+    io::raise_corrupt(io::CorruptKind::kTruncated,
+                      "BitReader: skip past end of stream (bit " +
+                          std::to_string(position_) + " + " +
+                          std::to_string(count) + " of " +
+                          std::to_string(bytes_.size() * 8) + ")");
+  }
+  position_ += count;
+}
+
 std::uint32_t BitReader::read_bits(std::size_t count) {
   if (count > 32) throw std::invalid_argument("read_bits: count > 32");
-  std::uint32_t value = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    value = (value << 1) | static_cast<std::uint32_t>(read_bit());
+  if (count > bits_remaining()) {
+    io::raise_corrupt(io::CorruptKind::kTruncated,
+                      "BitReader: read past end of stream (bit " +
+                          std::to_string(position_) + " of " +
+                          std::to_string(bytes_.size() * 8) + ")");
   }
+  const std::uint32_t value = peek_bits(count);
+  position_ += count;
   return value;
 }
 
@@ -51,6 +94,190 @@ bool BitReader::read_bit() {
   const std::size_t offset = 7 - position_ % 8;
   ++position_;
   return (bytes_[byte] >> offset) & 1u;
+}
+
+namespace {
+
+void require_width(std::size_t width) {
+  if (width == 0 || width > 8) {
+    throw std::invalid_argument("fixed-width pack: width must be in [1, 8]");
+  }
+}
+
+/// Scalar pack: 8 values accumulate into one 8*width-bit word, emitted
+/// big-endian — byte-identical to write_bits(values[i], width) in order.
+std::size_t pack_scalar(const std::uint8_t* values, std::size_t count,
+                        std::size_t width, std::uint8_t* out) {
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>((std::uint32_t{1} << width) - 1);
+  std::size_t o = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    std::uint64_t acc = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      acc = (acc << width) | (values[i + j] & mask);
+    }
+    for (std::size_t b = width; b-- > 0;) {
+      out[o++] = static_cast<std::uint8_t>(acc >> (b * 8));
+    }
+  }
+  std::uint64_t acc = 0;
+  std::size_t bits = 0;
+  for (; i < count; ++i) {
+    acc = (acc << width) | (values[i] & mask);
+    bits += width;
+    while (bits >= 8) {
+      out[o++] = static_cast<std::uint8_t>(acc >> (bits - 8));
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out[o++] = static_cast<std::uint8_t>(acc << (8 - bits));
+  return o;
+}
+
+void unpack_scalar(const std::uint8_t* in, std::size_t in_bytes,
+                   std::size_t width, std::uint8_t* out, std::size_t count) {
+  const std::uint32_t mask = (std::uint32_t{1} << width) - 1;
+  std::size_t bit = 0;
+  for (std::size_t i = 0; i < count; ++i, bit += width) {
+    const std::size_t byte = bit >> 3;
+    const std::size_t r = bit & 7;
+    // r + width <= 15, so a 16-bit window always covers the value.
+    const std::uint32_t window =
+        (static_cast<std::uint32_t>(in[byte]) << 8) |
+        (byte + 1 < in_bytes ? in[byte + 1] : 0);
+    out[i] = static_cast<std::uint8_t>((window >> (16 - r - width)) & mask);
+  }
+}
+
+#if AIC_BITSTREAM_X86
+
+/// AVX2 unpack: eight values per iteration. Each lane gathers the 32-bit
+/// big-endian window containing its value (bit offset i*width), so one
+/// gather + byte-reverse shuffle + variable shift extracts eight
+/// arbitrarily aligned fields at once — the bit-extraction pattern no
+/// scalar loop pipeline can match for sub-byte widths.
+__attribute__((target("avx2"))) void unpack_avx2(const std::uint8_t* in,
+                                                 std::size_t in_bytes,
+                                                 std::size_t width,
+                                                 std::uint8_t* out,
+                                                 std::size_t count) {
+  // A lane loads 4 bytes at (bit/8); lanes past in_bytes-4 would read out
+  // of bounds, so the vector loop stops at the last fully-covered value.
+  std::size_t safe = 0;
+  if (in_bytes >= 4) {
+    safe = std::min(count, ((in_bytes - 4) * 8 + 7) / width + 1);
+  }
+  const __m256i lane_bits = _mm256_setr_epi32(
+      0, static_cast<int>(width), static_cast<int>(2 * width),
+      static_cast<int>(3 * width), static_cast<int>(4 * width),
+      static_cast<int>(5 * width), static_cast<int>(6 * width),
+      static_cast<int>(7 * width));
+  const __m256i seven = _mm256_set1_epi32(7);
+  const __m256i top = _mm256_set1_epi32(32 - static_cast<int>(width));
+  const __m256i mask =
+      _mm256_set1_epi32(static_cast<int>((std::uint32_t{1} << width) - 1));
+  // Per-32-bit-lane byte reverse (little-endian load -> big-endian word).
+  const __m256i bswap = _mm256_setr_epi8(
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,  //
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+
+  std::size_t i = 0;
+  alignas(32) std::uint32_t tmp[8];
+  for (; i + 8 <= safe; i += 8) {
+    const __m256i base = _mm256_set1_epi32(static_cast<int>(i * width));
+    const __m256i bit = _mm256_add_epi32(base, lane_bits);
+    const __m256i byte = _mm256_srli_epi32(bit, 3);
+    const __m256i r = _mm256_and_si256(bit, seven);
+    const __m256i window = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(in), byte, 1);
+    const __m256i be = _mm256_shuffle_epi8(window, bswap);
+    const __m256i shift = _mm256_sub_epi32(top, r);
+    const __m256i value =
+        _mm256_and_si256(_mm256_srlv_epi32(be, shift), mask);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), value);
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      out[i + lane] = static_cast<std::uint8_t>(tmp[lane]);
+    }
+  }
+  if (i < count) {
+    // i is a multiple of 8, so i*width bits is a whole number of bytes
+    // and the scalar tail starts byte-aligned at the adjusted base.
+    unpack_scalar(in + (i * width) / 8, in_bytes - (i * width) / 8, width,
+                  out + i, count - i);
+  }
+}
+
+/// AVX2 nibble pack (width 4): 32 values fold into 16 bytes with one
+/// multiply-add (hi*16 + lo) and one saturating pack per vector.
+__attribute__((target("avx2"))) std::size_t pack4_avx2(
+    const std::uint8_t* values, std::size_t count, std::uint8_t* out) {
+  const __m256i weights = _mm256_set1_epi16(0x0110);  // bytes {16, 1}
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  std::size_t o = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= count; i += 32) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i)),
+        low_mask);
+    // Each i16 lane becomes values[2j]*16 + values[2j+1] <= 255.
+    const __m256i packed16 = _mm256_maddubs_epi16(v, weights);
+    const __m256i packed8 = _mm256_packus_epi16(packed16, packed16);
+    // packus interleaves 128-bit halves; collect the two valid qwords.
+    const __m128i lo = _mm256_castsi256_si128(packed8);
+    const __m128i hi = _mm256_extracti128_si256(packed8, 1);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + o), lo);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + o + 8), hi);
+    o += 16;
+  }
+  return o + pack_scalar(values + i, count - i, 4, out + o);
+}
+
+#endif  // AIC_BITSTREAM_X86
+
+}  // namespace
+
+std::size_t pack_fixed_width(const std::uint8_t* values, std::size_t count,
+                             std::size_t width, std::uint8_t* out) {
+  require_width(width);
+  if (count == 0) return 0;
+  if (width == 8) {  // degenerate: packing is the identity
+    std::copy(values, values + count, out);
+    return count;
+  }
+#if AIC_BITSTREAM_X86
+  if (runtime::kernel_backend() == runtime::KernelBackend::kAvx2 &&
+      width == 4) {
+    return pack4_avx2(values, count, out);
+  }
+#endif
+  return pack_scalar(values, count, width, out);
+}
+
+void unpack_fixed_width(const std::uint8_t* in, std::size_t in_bytes,
+                        std::size_t width, std::uint8_t* out,
+                        std::size_t count) {
+  require_width(width);
+  if (count == 0) return;
+  if (packed_bytes(count, width) > in_bytes) {
+    io::raise_corrupt(io::CorruptKind::kTruncated,
+                      "unpack_fixed_width: " + std::to_string(count) +
+                          " values of " + std::to_string(width) +
+                          " bits need " +
+                          std::to_string(packed_bytes(count, width)) +
+                          " bytes, have " + std::to_string(in_bytes));
+  }
+  if (width == 8) {
+    std::copy(in, in + count, out);
+    return;
+  }
+#if AIC_BITSTREAM_X86
+  if (runtime::kernel_backend() == runtime::KernelBackend::kAvx2) {
+    unpack_avx2(in, in_bytes, width, out, count);
+    return;
+  }
+#endif
+  unpack_scalar(in, in_bytes, width, out, count);
 }
 
 }  // namespace aic::baseline

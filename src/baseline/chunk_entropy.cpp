@@ -1,0 +1,253 @@
+#include "baseline/chunk_entropy.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/bitstream.hpp"
+#include "baseline/huffman.hpp"
+#include "io/error.hpp"
+#include "obs/pipeline.hpp"
+
+namespace aic::baseline {
+
+using io::CorruptKind;
+using io::raise_corrupt;
+
+namespace {
+
+/// Per-thread staging reused across chunks (the pipeline encodes many
+/// chunks per thread; reallocating these per call dominated profiles).
+std::vector<std::uint16_t>& symbol_scratch() {
+  thread_local std::vector<std::uint16_t> scratch;
+  return scratch;
+}
+
+std::vector<std::uint8_t>& byte_scratch() {
+  thread_local std::vector<std::uint8_t> scratch;
+  return scratch;
+}
+
+std::size_t packed_width_for(std::string_view plain) {
+  std::uint8_t max_value = 0;
+  for (char c : plain) {
+    max_value = std::max(max_value, static_cast<std::uint8_t>(c));
+  }
+  std::size_t width = 1;
+  while ((std::size_t{1} << width) <= max_value) ++width;
+  return width;  // in [1, 8]
+}
+
+std::string encode_raw(std::string_view plain) {
+  std::string out;
+  out.reserve(1 + plain.size());
+  out.push_back(static_cast<char>(ChunkEntropy::kRaw));
+  out.append(plain.data(), plain.size());
+  return out;
+}
+
+std::string encode_packed(std::string_view plain) {
+  const std::size_t width = packed_width_for(plain);
+  std::string out;
+  out.resize(2 + packed_bytes(plain.size(), width));
+  out[0] = static_cast<char>(ChunkEntropy::kPacked);
+  out[1] = static_cast<char>(width);
+  const std::size_t written = pack_fixed_width(
+      reinterpret_cast<const std::uint8_t*>(plain.data()), plain.size(),
+      width, reinterpret_cast<std::uint8_t*>(out.data() + 2));
+  out.resize(2 + written);
+  return out;
+}
+
+/// Builds the per-chunk byte histogram coder. Separated so the auto mode
+/// can cost the table + payload without encoding twice.
+HuffmanCoder make_huffman(std::string_view plain) {
+  std::vector<std::uint16_t>& symbols = symbol_scratch();
+  symbols.resize(plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    symbols[i] = static_cast<std::uint8_t>(plain[i]);
+  }
+  return HuffmanCoder(symbols);
+}
+
+std::size_t huffman_encoded_size(const HuffmanCoder& coder,
+                                 std::size_t payload_bits) {
+  return 1 + 2 + 2 * coder.lengths().size() + (payload_bits + 7) / 8;
+}
+
+/// Encodes the symbols staged in symbol_scratch() by make_huffman.
+std::string encode_huffman(const HuffmanCoder& coder,
+                           std::size_t payload_bits) {
+  std::string out;
+  out.reserve(huffman_encoded_size(coder, payload_bits));
+  out.push_back(static_cast<char>(ChunkEntropy::kHuffman));
+  const std::size_t table_count = coder.lengths().size();
+  out.push_back(static_cast<char>(table_count & 0xff));
+  out.push_back(static_cast<char>((table_count >> 8) & 0xff));
+  for (const auto& [symbol, length] : coder.lengths()) {
+    out.push_back(static_cast<char>(symbol));
+    out.push_back(static_cast<char>(length));
+  }
+  BitWriter writer;
+  writer.reserve((payload_bits + 7) / 8);
+  coder.encode(symbol_scratch(), writer);
+  obs::PipelineMetrics::global().record_encode_reallocs(
+      writer.realloc_count());
+  const std::vector<std::uint8_t> payload = writer.finish();
+  out.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  return out;
+}
+
+void decode_raw(std::string_view body, std::size_t plain_len, char* out) {
+  if (body.size() != plain_len) {
+    raise_corrupt(CorruptKind::kPayloadMismatch,
+                  "chunk: raw body holds " + std::to_string(body.size()) +
+                      " bytes, expected " + std::to_string(plain_len));
+  }
+  std::memcpy(out, body.data(), body.size());
+}
+
+void decode_packed(std::string_view body, std::size_t plain_len, char* out) {
+  if (body.empty()) {
+    raise_corrupt(CorruptKind::kTruncated, "chunk: packed body missing width");
+  }
+  const std::size_t width = static_cast<std::uint8_t>(body[0]);
+  if (width == 0 || width > 8) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "chunk: packed width " + std::to_string(width) +
+                      " outside [1, 8]");
+  }
+  const std::string_view packed = body.substr(1);
+  if (packed.size() != packed_bytes(plain_len, width)) {
+    raise_corrupt(CorruptKind::kPayloadMismatch,
+                  "chunk: packed body holds " + std::to_string(packed.size()) +
+                      " bytes, expected " +
+                      std::to_string(packed_bytes(plain_len, width)));
+  }
+  unpack_fixed_width(reinterpret_cast<const std::uint8_t*>(packed.data()),
+                     packed.size(), width,
+                     reinterpret_cast<std::uint8_t*>(out), plain_len);
+}
+
+void decode_huffman(std::string_view body, std::size_t plain_len, char* out) {
+  if (body.size() < 2) {
+    raise_corrupt(CorruptKind::kTruncated, "chunk: huffman body missing table");
+  }
+  const std::size_t table_count = static_cast<std::uint8_t>(body[0]) |
+                                  (static_cast<std::uint8_t>(body[1]) << 8);
+  if (table_count == 0 || table_count > 256) {
+    raise_corrupt(CorruptKind::kBadCodeTable,
+                  "chunk: huffman table count " + std::to_string(table_count) +
+                      " outside [1, 256]");
+  }
+  if (body.size() < 2 + 2 * table_count) {
+    raise_corrupt(CorruptKind::kTruncated,
+                  "chunk: huffman table truncated (" +
+                      std::to_string(body.size()) + " bytes for " +
+                      std::to_string(table_count) + " entries)");
+  }
+  std::map<std::uint16_t, std::uint8_t> lengths;
+  for (std::size_t i = 0; i < table_count; ++i) {
+    const std::uint8_t symbol = static_cast<std::uint8_t>(body[2 + 2 * i]);
+    const std::uint8_t length = static_cast<std::uint8_t>(body[3 + 2 * i]);
+    if (!lengths.emplace(symbol, length).second) {
+      raise_corrupt(CorruptKind::kBadCodeTable,
+                    "chunk: duplicate huffman symbol " +
+                        std::to_string(symbol));
+    }
+  }
+  const HuffmanCoder coder(lengths);  // validates lengths + Kraft
+
+  const std::string_view payload = body.substr(2 + 2 * table_count);
+  std::vector<std::uint8_t>& bits = byte_scratch();
+  bits.assign(payload.begin(), payload.end());
+  BitReader reader(bits);
+  const std::vector<std::uint16_t> symbols = coder.decode(reader, plain_len);
+  if (reader.bits_remaining() >= 8) {
+    raise_corrupt(CorruptKind::kPayloadMismatch,
+                  "chunk: " + std::to_string(reader.bits_remaining()) +
+                      " unconsumed bits after huffman payload");
+  }
+  for (std::size_t i = 0; i < plain_len; ++i) {
+    out[i] = static_cast<char>(symbols[i]);
+  }
+}
+
+}  // namespace
+
+ChunkEntropy parse_chunk_entropy(const std::string& name) {
+  if (name == "raw") return ChunkEntropy::kRaw;
+  if (name == "packed") return ChunkEntropy::kPacked;
+  if (name == "huffman") return ChunkEntropy::kHuffman;
+  if (name == "auto") return ChunkEntropy::kAuto;
+  throw std::invalid_argument(
+      "chunk entropy mode \"" + name +
+      "\" unknown (expected raw, packed, huffman, or auto)");
+}
+
+const char* chunk_entropy_name(ChunkEntropy mode) {
+  switch (mode) {
+    case ChunkEntropy::kRaw: return "raw";
+    case ChunkEntropy::kPacked: return "packed";
+    case ChunkEntropy::kHuffman: return "huffman";
+    case ChunkEntropy::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+std::string encode_chunk(std::string_view plain, ChunkEntropy mode) {
+  if (plain.empty() || mode == ChunkEntropy::kRaw) {
+    return encode_raw(plain);
+  }
+  if (mode == ChunkEntropy::kPacked) {
+    return encode_packed(plain);
+  }
+  if (mode == ChunkEntropy::kHuffman) {
+    const HuffmanCoder coder = make_huffman(plain);
+    return encode_huffman(coder, coder.encoded_bits(symbol_scratch()));
+  }
+  // Auto: cost all three, keep the smallest. Ties break toward the
+  // cheaper decoder (raw < packed < huffman) — deterministically, so the
+  // archive stays bitwise-identical across runs and thread counts.
+  const std::size_t raw_size = 1 + plain.size();
+  const std::size_t packed_size =
+      2 + packed_bytes(plain.size(), packed_width_for(plain));
+  const HuffmanCoder coder = make_huffman(plain);
+  const std::size_t payload_bits = coder.encoded_bits(symbol_scratch());
+  const std::size_t huffman_size = huffman_encoded_size(coder, payload_bits);
+
+  const std::size_t best = std::min({raw_size, packed_size, huffman_size});
+  if (best == raw_size) return encode_raw(plain);
+  if (best == packed_size) return encode_packed(plain);
+  return encode_huffman(coder, payload_bits);
+}
+
+void decode_chunk(std::string_view encoded, std::size_t plain_len,
+                  char* out) {
+  if (encoded.empty()) {
+    raise_corrupt(CorruptKind::kTruncated, "chunk: empty encoded chunk");
+  }
+  if (!chunk_expansion_ok(encoded.size() - 1, plain_len)) {
+    raise_corrupt(CorruptKind::kPayloadMismatch,
+                  "chunk: " + std::to_string(encoded.size()) +
+                      " encoded bytes cannot expand to " +
+                      std::to_string(plain_len) + " plain bytes");
+  }
+  const auto mode = static_cast<std::uint8_t>(encoded[0]);
+  const std::string_view body = encoded.substr(1);
+  switch (static_cast<ChunkEntropy>(mode)) {
+    case ChunkEntropy::kRaw:
+      return decode_raw(body, plain_len, out);
+    case ChunkEntropy::kPacked:
+      return decode_packed(body, plain_len, out);
+    case ChunkEntropy::kHuffman:
+      return decode_huffman(body, plain_len, out);
+    default:
+      raise_corrupt(CorruptKind::kBadHeaderField,
+                    "chunk: unknown entropy mode " + std::to_string(mode));
+  }
+}
+
+}  // namespace aic::baseline

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aic::baseline {
+
+/// Per-chunk entropy mode of the v4 archive container. The mode byte
+/// leads every encoded chunk, so each chunk picks its cheapest coding
+/// independently and decodes with no cross-chunk state — the property
+/// that lets the archive pipeline fan chunks across the thread pool.
+enum class ChunkEntropy : std::uint8_t {
+  /// Chunk bytes stored verbatim: [0][plain bytes]. The default write
+  /// mode — zero coding cost keeps 1-thread encode at v3 parity.
+  kRaw = 0,
+  /// Fixed-width bit packing: [1][u8 width][packed bits], width in
+  /// [1, 8] covering the largest byte value (SIMD pack/unpack path).
+  kPacked = 1,
+  /// Canonical Huffman over bytes: [2][u16 table_count]
+  /// [(u8 symbol, u8 length) * table_count][bit payload].
+  kHuffman = 2,
+  /// Encode-side only: evaluate raw/packed/huffman per chunk and keep
+  /// the smallest (deterministic tie-break raw < packed < huffman).
+  kAuto = 255,
+};
+
+/// Parses a CLI/profile spelling ("raw", "packed", "huffman", "auto").
+/// Throws std::invalid_argument on anything else.
+ChunkEntropy parse_chunk_entropy(const std::string& name);
+const char* chunk_entropy_name(ChunkEntropy mode);
+
+/// Encodes one chunk of plain bytes under `mode`. The result is a pure
+/// function of (plain, mode) — no global state — which is what makes the
+/// chunked archive bitwise-identical for every thread count.
+std::string encode_chunk(std::string_view plain, ChunkEntropy mode);
+
+/// Decodes one encoded chunk, whose plain size the caller knows from the
+/// archive geometry, appending into `out` (resized by the caller).
+/// Raises aic::io::CorruptStream on any malformed input. `plain_len`
+/// must satisfy the expansion bound checked by
+/// chunk_expansion_ok(encoded.size(), plain_len) — callers enforce it
+/// before allocating.
+void decode_chunk(std::string_view encoded, std::size_t plain_len,
+                  char* out);
+
+/// Decode-side DoS guard: every mode emits at least one bit per plain
+/// byte (packed width >= 1, Huffman codes >= 1 bit), so a chunk can
+/// expand at most 8x plus bounded framing. Rejecting encoded_len values
+/// under this floor bounds the allocation a hostile chunk table can
+/// request.
+inline bool chunk_expansion_ok(std::size_t encoded_len,
+                               std::size_t plain_len) {
+  return plain_len <= 8 * encoded_len + 64;
+}
+
+}  // namespace aic::baseline

@@ -1,5 +1,6 @@
 #include "baseline/comparators.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "core/codec_factory.hpp"
 #include "core/plan_cache.hpp"
 #include "obs/trace.hpp"
+#include "runtime/parallel_for.hpp"
 #include "runtime/timer.hpp"
 
 namespace aic::baseline {
@@ -110,21 +112,28 @@ Tensor SzComparatorCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("sz.compress");
   runtime::Timer timer;
   (void)compressed_shape(input.shape());
-  std::size_t stream_bytes = 0;
-  Tensor out(input.shape());
-  for (std::size_t b = 0; b < input.shape()[0]; ++b) {
-    for (std::size_t c = 0; c < input.shape()[1]; ++c) {
-      const SzLikeCodec::Stream stream =
-          inner_.compress_plane(input.slice_plane(b, c));
-      stream_bytes += stream.bytes.size();
-      out.set_plane(b, c,
-                    inner_.decompress_plane(stream, input.shape()[2],
-                                            input.shape()[3]));
-    }
-  }
   const std::size_t planes = input.shape()[0] * input.shape()[1];
-  stats_.record_compress(planes, 0, input.size_bytes(), stream_bytes,
-                         timer.nanos());
+  // Planes are independent streams; fan them over the pool. The byte
+  // total is a commutative sum, so the relaxed atomic keeps stats
+  // deterministic regardless of completion order.
+  std::atomic<std::size_t> stream_bytes{0};
+  Tensor out(input.shape());
+  runtime::parallel_for(
+      0, planes,
+      [&](std::size_t p) {
+        const std::size_t b = p / input.shape()[1];
+        const std::size_t c = p % input.shape()[1];
+        const SzLikeCodec::Stream stream =
+            inner_.compress_plane(input.slice_plane(b, c));
+        stream_bytes.fetch_add(stream.bytes.size(),
+                               std::memory_order_relaxed);
+        out.set_plane(b, c,
+                      inner_.decompress_plane(stream, input.shape()[2],
+                                              input.shape()[3]));
+      },
+      {.grain = 1});
+  stats_.record_compress(planes, 0, input.size_bytes(),
+                         stream_bytes.load(), timer.nanos());
   return out;
 }
 
@@ -182,21 +191,25 @@ Tensor JpegComparatorCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("jpeg.compress");
   runtime::Timer timer;
   (void)compressed_shape(input.shape());
-  std::size_t stream_bytes = 0;
-  Tensor out(input.shape());
-  for (std::size_t b = 0; b < input.shape()[0]; ++b) {
-    for (std::size_t c = 0; c < input.shape()[1]; ++c) {
-      const JpegLikeCodec::Stream stream =
-          inner_->compress_plane(input.slice_plane(b, c));
-      stream_bytes += stream.bytes.size();
-      out.set_plane(b, c,
-                    inner_->decompress_plane(stream, input.shape()[2],
-                                             input.shape()[3]));
-    }
-  }
   const std::size_t planes = input.shape()[0] * input.shape()[1];
-  stats_.record_compress(planes, 0, input.size_bytes(), stream_bytes,
-                         timer.nanos());
+  std::atomic<std::size_t> stream_bytes{0};
+  Tensor out(input.shape());
+  runtime::parallel_for(
+      0, planes,
+      [&](std::size_t p) {
+        const std::size_t b = p / input.shape()[1];
+        const std::size_t c = p % input.shape()[1];
+        const JpegLikeCodec::Stream stream =
+            inner_->compress_plane(input.slice_plane(b, c));
+        stream_bytes.fetch_add(stream.bytes.size(),
+                               std::memory_order_relaxed);
+        out.set_plane(b, c,
+                      inner_->decompress_plane(stream, input.shape()[2],
+                                               input.shape()[3]));
+      },
+      {.grain = 1});
+  stats_.record_compress(planes, 0, input.size_bytes(),
+                         stream_bytes.load(), timer.nanos());
   return out;
 }
 

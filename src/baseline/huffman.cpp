@@ -145,16 +145,63 @@ void HuffmanCoder::build_canonical_codes() {
     decode_[{length, static_cast<std::uint32_t>(code)}] = symbol;
     ++code;
   }
+
+  const std::uint16_t max_symbol = lengths_.rbegin()->first;
+  encode_code_.assign(std::size_t{max_symbol} + 1, 0);
+  encode_len_.assign(std::size_t{max_symbol} + 1, 0);
+  for (const auto& [symbol, length] : lengths_) {
+    encode_code_[symbol] = codes_[symbol];
+    encode_len_[symbol] = length;
+  }
+  build_decode_lut();
+}
+
+void HuffmanCoder::build_decode_lut() {
+  // Pass 1: every window whose top bits spell a whole code of length
+  // <= kLutBits resolves its first symbol. Canonical codes of length L
+  // own the contiguous window range [code << (W-L), (code+1) << (W-L)).
+  decode_lut_.assign(std::size_t{1} << kLutBits, LutEntry{});
+  for (const auto& [key, symbol] : decode_) {
+    const auto& [length, code] = key;
+    if (length > kLutBits) continue;
+    const std::size_t shift = kLutBits - length;
+    const std::size_t first = std::size_t{code} << shift;
+    const std::size_t last = first + (std::size_t{1} << shift);
+    for (std::size_t window = first; window < last; ++window) {
+      decode_lut_[window].symbols[0] = symbol;
+      decode_lut_[window].count = 1;
+      decode_lut_[window].bits = length;
+    }
+  }
+  // Pass 2: when the remaining window bits start another whole code, the
+  // same lookup yields a second symbol. The sub-window zero-pads the bits
+  // beyond the window, which is safe exactly when the second code fits in
+  // the leftover width (its LUT entry then depends only on known bits).
+  // The lookup goes against a snapshot of pass 1: resolving through the
+  // table being mutated could hit an already-upgraded two-symbol entry
+  // and record its combined bit length against a single symbol.
+  const std::vector<LutEntry> single = decode_lut_;
+  const std::size_t mask = (std::size_t{1} << kLutBits) - 1;
+  for (std::size_t window = 0; window < decode_lut_.size(); ++window) {
+    LutEntry& entry = decode_lut_[window];
+    if (entry.count != 1) continue;
+    const std::size_t first_bits = entry.bits;
+    const LutEntry& next = single[(window << first_bits) & mask];
+    if (next.count == 1 && first_bits + next.bits <= kLutBits) {
+      entry.symbols[1] = next.symbols[0];
+      entry.count = 2;
+      entry.bits = static_cast<std::uint8_t>(first_bits + next.bits);
+    }
+  }
 }
 
 void HuffmanCoder::encode(const std::vector<std::uint16_t>& symbols,
                           BitWriter& writer) const {
   for (std::uint16_t s : symbols) {
-    const auto it = codes_.find(s);
-    if (it == codes_.end()) {
+    if (s >= encode_len_.size() || encode_len_[s] == 0) {
       throw std::invalid_argument("HuffmanCoder: symbol not in code");
     }
-    writer.write_bits(it->second, lengths_.at(s));
+    writer.write_bits(encode_code_[s], encode_len_[s]);
   }
 }
 
@@ -172,6 +219,21 @@ std::vector<std::uint16_t> HuffmanCoder::decode(BitReader& reader,
   std::vector<std::uint16_t> symbols;
   symbols.reserve(count);
   while (symbols.size() < count) {
+    // Fast path: one peek of the LUT window resolves up to two symbols.
+    // Only taken when the stream really holds kLutBits more bits (the
+    // peek zero-pads past the end, which must never decode as data) and
+    // when every resolved symbol is still wanted.
+    if (reader.bits_remaining() >= kLutBits) {
+      const LutEntry& entry = decode_lut_[reader.peek_bits(kLutBits)];
+      if (entry.count != 0 && symbols.size() + entry.count <= count) {
+        reader.skip_bits(entry.bits);
+        symbols.push_back(entry.symbols[0]);
+        if (entry.count == 2) symbols.push_back(entry.symbols[1]);
+        continue;
+      }
+    }
+    // Exact bit-walk: codes longer than the window, the stream tail, and
+    // the final symbol when the LUT entry would overshoot `count`.
     std::uint32_t code = 0;
     std::uint8_t length = 0;
     for (;;) {
@@ -195,7 +257,12 @@ std::vector<std::uint16_t> HuffmanCoder::decode(BitReader& reader,
 std::size_t HuffmanCoder::encoded_bits(
     const std::vector<std::uint16_t>& symbols) const {
   std::size_t bits = 0;
-  for (std::uint16_t s : symbols) bits += lengths_.at(s);
+  for (std::uint16_t s : symbols) {
+    if (s >= encode_len_.size() || encode_len_[s] == 0) {
+      throw std::out_of_range("HuffmanCoder: symbol not in code");
+    }
+    bits += encode_len_[s];
+  }
   return bits;
 }
 

@@ -50,13 +50,33 @@ class HuffmanCoder {
   /// Total bits needed to encode `symbols` with this code (no header).
   std::size_t encoded_bits(const std::vector<std::uint16_t>& symbols) const;
 
+  /// Window width of the table-driven decode LUT: one peek of this many
+  /// bits resolves up to two whole symbols per lookup. Codes longer than
+  /// the window fall back to the exact bit-walk.
+  static constexpr std::size_t kLutBits = 11;
+
  private:
   void build_canonical_codes();
+  void build_decode_lut();
+
+  /// One decode-LUT entry: the next kLutBits bits of the stream resolve
+  /// `count` symbols (0 = code longer than the window, bit-walk instead)
+  /// consuming `bits` bits total.
+  struct LutEntry {
+    std::uint16_t symbols[2] = {0, 0};
+    std::uint8_t count = 0;
+    std::uint8_t bits = 0;
+  };
 
   std::map<std::uint16_t, std::uint8_t> lengths_;
   std::map<std::uint16_t, std::uint32_t> codes_;
   // Decode table: (length, code) -> symbol.
   std::map<std::pair<std::uint8_t, std::uint32_t>, std::uint16_t> decode_;
+  // Dense encode tables indexed by symbol (0 length = absent): the map
+  // lookups were the entire encode inner loop.
+  std::vector<std::uint32_t> encode_code_;
+  std::vector<std::uint8_t> encode_len_;
+  std::vector<LutEntry> decode_lut_;  // 1 << kLutBits entries
 };
 
 }  // namespace aic::baseline

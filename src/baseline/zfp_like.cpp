@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "baseline/bitstream.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace aic::baseline {
 namespace {
@@ -259,18 +260,20 @@ Tensor ZfpLikeCodec::compress(const Tensor& input) const {
   const Shape out_shape = compressed_shape(input.shape());
   Tensor out(out_shape);
   const std::size_t words_per_plane = out_shape[3];
-  float* dst = out.raw();
-  for (std::size_t b = 0; b < input.shape()[0]; ++b) {
-    for (std::size_t c = 0; c < input.shape()[1]; ++c) {
-      const std::vector<std::uint32_t> words =
-          compress_plane(input.slice_plane(b, c));
-      for (std::size_t i = 0; i < words.size(); ++i) {
-        // Bit patterns ride in floats; only copied, never operated on.
-        dst[i] = std::bit_cast<float>(words[i]);
-      }
-      dst += words_per_plane;
-    }
-  }
+  // Plane streams are fixed rate, so every plane's output offset is
+  // known up front and the per-plane encodes fan out over the pool.
+  runtime::parallel_for(
+      0, input.shape()[0] * input.shape()[1],
+      [&](std::size_t p) {
+        const std::vector<std::uint32_t> words = compress_plane(
+            input.slice_plane(p / input.shape()[1], p % input.shape()[1]));
+        float* dst = out.raw() + p * words_per_plane;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+          // Bit patterns ride in floats; only copied, never operated on.
+          dst[i] = std::bit_cast<float>(words[i]);
+        }
+      },
+      {.grain = 1});
   return out;
 }
 
@@ -281,18 +284,18 @@ Tensor ZfpLikeCodec::decompress(const Tensor& packed,
   }
   Tensor out(original);
   const std::size_t words_per_plane = packed.shape()[3];
-  const float* src = packed.raw();
-  for (std::size_t b = 0; b < original[0]; ++b) {
-    for (std::size_t c = 0; c < original[1]; ++c) {
-      std::vector<std::uint32_t> words(words_per_plane);
-      for (std::size_t i = 0; i < words.size(); ++i) {
-        words[i] = std::bit_cast<std::uint32_t>(src[i]);
-      }
-      src += words_per_plane;
-      out.set_plane(b, c,
-                    decompress_plane(words, original[2], original[3]));
-    }
-  }
+  runtime::parallel_for(
+      0, original[0] * original[1],
+      [&](std::size_t p) {
+        const float* src = packed.raw() + p * words_per_plane;
+        std::vector<std::uint32_t> words(words_per_plane);
+        for (std::size_t i = 0; i < words.size(); ++i) {
+          words[i] = std::bit_cast<std::uint32_t>(src[i]);
+        }
+        out.set_plane(p / original[1], p % original[1],
+                      decompress_plane(words, original[2], original[3]));
+      },
+      {.grain = 1});
   return out;
 }
 

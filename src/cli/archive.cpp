@@ -1,11 +1,17 @@
 #include "cli/archive.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <vector>
 
+#include "baseline/chunk_entropy.hpp"
 #include "core/codec_factory.hpp"
 #include "core/partial_serializer.hpp"
 #include "core/triangle.hpp"
@@ -13,6 +19,11 @@
 #include "io/checksum.hpp"
 #include "io/error.hpp"
 #include "io/tensor_io.hpp"
+#include "obs/pipeline.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
 
 namespace aic::cli {
 
@@ -136,27 +147,33 @@ std::string codec_spec_impl(const Archive& archive, bool pin_shape) {
   return spec.str();
 }
 
-/// Finishes a parsed archive: check the payload tensor has exactly the
-/// shape the header's codec promises. The probe codec is deliberately
-/// built WITHOUT pinning height/width: a pinned constructor eagerly
-/// compiles the plan (operator matrices sized by the header dims), which
-/// would let a mutated-but-plausible dim force a multi-gigabyte
-/// allocation before this check can reject it. The shape-agnostic
-/// constructor validates the same geometry arithmetically; the real
-/// pinned codec is only ever built after the payload has vouched for the
-/// dims. Factory/shape errors here are data errors (the header is
-/// attacker controlled), so they surface as CorruptStream, not
-/// invalid_argument.
-void validate_payload_against_header(const Archive& archive) {
-  Shape expected;
+/// The compressed shape the header's codec promises, computed
+/// allocation-free. The probe codec is deliberately built WITHOUT
+/// pinning height/width: a pinned constructor eagerly compiles the plan
+/// (operator matrices sized by the header dims), which would let a
+/// mutated-but-plausible dim force a multi-gigabyte allocation before
+/// any check can reject it. The shape-agnostic constructor validates the
+/// same geometry arithmetically; the real pinned codec is only ever
+/// built after the payload has vouched for the dims. Factory/shape
+/// errors here are data errors (the header is attacker controlled), so
+/// they surface as CorruptStream, not invalid_argument.
+Shape expected_compressed_shape(const Archive& archive) {
   try {
-    expected = core::make_codec(codec_spec_impl(archive, false))
-                   ->compressed_shape(archive.original_shape);
+    return core::make_codec(codec_spec_impl(archive, false))
+        ->compressed_shape(archive.original_shape);
+  } catch (const io::CorruptStream&) {
+    throw;
   } catch (const std::exception& error) {
     raise_corrupt(CorruptKind::kBadHeaderField,
                   std::string("archive: header describes an invalid codec: ") +
                       error.what());
   }
+}
+
+/// Finishes a parsed archive: check the payload tensor has exactly the
+/// shape the header's codec promises.
+void validate_payload_against_header(const Archive& archive) {
+  const Shape expected = expected_compressed_shape(archive);
   if (archive.packed.shape() != expected) {
     raise_corrupt(CorruptKind::kPayloadMismatch,
                   "archive: payload shape " +
@@ -164,6 +181,263 @@ void validate_payload_against_header(const Archive& archive) {
                       " does not match the header codec's expected shape " +
                       expected.to_string());
   }
+}
+
+// --- v4 chunked container -------------------------------------------------
+
+/// Any chunk budget above this is treated as hostile (the chunk table
+/// and per-chunk staging are sized from it).
+constexpr std::uint64_t kMaxChunkBytes = std::uint64_t{1} << 30;
+
+struct EncodedChunk {
+  std::string bytes;
+  std::uint32_t crc = 0;
+};
+
+EncodedChunk encode_one_chunk(std::string_view plain,
+                              baseline::ChunkEntropy entropy) {
+  AIC_TRACE_SCOPE("pipeline.chunk_encode");
+  runtime::Timer timer;
+  EncodedChunk chunk;
+  chunk.bytes = baseline::encode_chunk(plain, entropy);
+  chunk.crc = io::crc32c(chunk.bytes.data(), chunk.bytes.size());
+  obs::PipelineMetrics::global().record_chunk_encoded(timer.nanos());
+  return chunk;
+}
+
+void require_writable_chunk_bytes(std::size_t chunk_bytes) {
+  if (chunk_bytes == 0 || chunk_bytes > kMaxChunkBytes) {
+    throw std::invalid_argument(
+        "archive: chunk_bytes must be in [1, " +
+        std::to_string(kMaxChunkBytes) + "], got " +
+        std::to_string(chunk_bytes));
+  }
+}
+
+/// Assembles the final v4 byte stream from the shared header fields, the
+/// chunk geometry, and the already-encoded chunks (in payload order).
+std::string assemble_v4(const std::string& header_fields,
+                        std::uint64_t payload_len, std::uint64_t chunk_bytes,
+                        const std::vector<EncodedChunk>& chunks) {
+  std::string header = header_fields;
+  append<std::uint64_t>(header, payload_len);
+  append<std::uint64_t>(header, chunk_bytes);
+  append<std::uint32_t>(header, static_cast<std::uint32_t>(chunks.size()));
+  std::size_t encoded_total = 0;
+  for (const EncodedChunk& chunk : chunks) {
+    append<std::uint64_t>(header, chunk.bytes.size());
+    append<std::uint32_t>(header, chunk.crc);
+    encoded_total += chunk.bytes.size();
+  }
+
+  std::string out;
+  out.reserve(sizeof(kMagic) + 12 + header.size() + encoded_total);
+  out.append(kMagic, sizeof(kMagic));
+  append<std::uint32_t>(out, 4);
+  append<std::uint32_t>(out, static_cast<std::uint32_t>(header.size()));
+  append<std::uint32_t>(out, io::crc32c(header.data(), header.size()));
+  out += header;
+  for (const EncodedChunk& chunk : chunks) out += chunk.bytes;
+  return out;
+}
+
+/// Unfused v4 write: chunk the serialized payload and fan the entropy
+/// encode + CRC over the pool. grain=1 because each iteration is a whole
+/// chunk (tens of KiB) — the parallel_for heuristics handle small chunk
+/// counts without oversubscribing.
+std::string serialize_archive_v4(const Archive& archive,
+                                 const ArchiveWriteOptions& options) {
+  AIC_TRACE_SCOPE("pipeline.serialize_v4");
+  require_writable_chunk_bytes(options.chunk_bytes);
+  const std::string header_fields = serialize_header_fields(archive);
+  const std::string payload = io::serialize_tensor(archive.packed);
+  const std::size_t chunk_bytes = options.chunk_bytes;
+  const std::size_t chunk_count =
+      (payload.size() + chunk_bytes - 1) / chunk_bytes;
+
+  std::vector<EncodedChunk> chunks(chunk_count);
+  runtime::parallel_for(
+      0, chunk_count,
+      [&](std::size_t i) {
+        const std::size_t lo = i * chunk_bytes;
+        const std::size_t hi = std::min(payload.size(), lo + chunk_bytes);
+        chunks[i] = encode_one_chunk(
+            std::string_view(payload.data() + lo, hi - lo), options.entropy);
+      },
+      {.grain = 1});
+  obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
+                                                       chunk_count);
+  return assemble_v4(header_fields, payload.size(), chunk_bytes, chunks);
+}
+
+/// Parses everything after the version field of a v4 stream. Every
+/// header-derived quantity is validated BEFORE the payload buffer is
+/// allocated: the header CRC gates parsing, the payload length must
+/// match the byte count the header's codec promises, the chunk geometry
+/// must be internally consistent, and each table entry must satisfy the
+/// entropy expansion bound — so hostile headers cannot force a large
+/// allocation or a quadratic scan. Chunk CRC checks and entropy decode
+/// then fan out across the pool into disjoint payload slices.
+Archive deserialize_archive_v4(io::ByteReader& reader) {
+  const std::uint32_t header_len = reader.read<std::uint32_t>("header size");
+  const std::uint32_t header_crc = reader.read<std::uint32_t>("header CRC");
+  const std::string_view header =
+      reader.read_bytes(header_len, "header fields");
+  const std::uint32_t computed_header =
+      io::crc32c(header.data(), header.size());
+  if (computed_header != header_crc) {
+    raise_corrupt(CorruptKind::kChecksumMismatch,
+                  "archive: header CRC mismatch (stored " +
+                      std::to_string(header_crc) + ", computed " +
+                      std::to_string(computed_header) + ")");
+  }
+
+  Archive archive;
+  io::ByteReader header_reader(header, "archive header");
+  parse_header_fields(header_reader, archive);
+  const std::uint64_t payload_len =
+      header_reader.read<std::uint64_t>("payload length");
+  const std::uint64_t chunk_bytes =
+      header_reader.read<std::uint64_t>("chunk size");
+  const std::uint32_t chunk_count =
+      header_reader.read<std::uint32_t>("chunk count");
+
+  // The payload length is fully determined by the (CRC-gated) codec
+  // fields, so it is checked against them rather than trusted.
+  const std::size_t expected_payload =
+      io::serialized_tensor_bytes(expected_compressed_shape(archive));
+  if (payload_len != expected_payload) {
+    raise_corrupt(CorruptKind::kPayloadMismatch,
+                  "archive: header claims " + std::to_string(payload_len) +
+                      " payload bytes, codec promises " +
+                      std::to_string(expected_payload));
+  }
+  if (chunk_bytes == 0 || chunk_bytes > kMaxChunkBytes) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "archive: chunk size " + std::to_string(chunk_bytes) +
+                      " outside [1, " + std::to_string(kMaxChunkBytes) + "]");
+  }
+  const std::uint64_t expected_chunks =
+      (payload_len + chunk_bytes - 1) / chunk_bytes;
+  if (chunk_count != expected_chunks) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "archive: chunk count " + std::to_string(chunk_count) +
+                      " does not cover the payload (expected " +
+                      std::to_string(expected_chunks) + ")");
+  }
+
+  struct ChunkEntry {
+    std::uint64_t offset = 0;  // into the encoded region
+    std::uint64_t encoded_len = 0;
+    std::uint32_t crc = 0;
+  };
+  std::vector<ChunkEntry> table(chunk_count);
+  std::uint64_t encoded_total = 0;
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    ChunkEntry& entry = table[i];
+    entry.offset = encoded_total;
+    entry.encoded_len = header_reader.read<std::uint64_t>("chunk length");
+    entry.crc = header_reader.read<std::uint32_t>("chunk CRC");
+    const std::uint64_t plain_len =
+        std::min<std::uint64_t>(chunk_bytes, payload_len - i * chunk_bytes);
+    // encoded_len includes the 1-byte mode tag; the expansion bound caps
+    // how much plain data an encoded chunk may legitimately claim.
+    if (entry.encoded_len == 0 ||
+        !baseline::chunk_expansion_ok(entry.encoded_len - 1, plain_len)) {
+      raise_corrupt(CorruptKind::kPayloadMismatch,
+                    "archive: chunk " + std::to_string(i) +
+                        " encoded length " + std::to_string(entry.encoded_len) +
+                        " cannot decode to " + std::to_string(plain_len) +
+                        " bytes");
+    }
+    if (entry.encoded_len >
+        std::numeric_limits<std::uint64_t>::max() - encoded_total) {
+      raise_corrupt(CorruptKind::kOverflow,
+                    "archive: chunk table lengths overflow");
+    }
+    encoded_total += entry.encoded_len;
+  }
+  if (header_reader.remaining() != 0) {
+    raise_corrupt(CorruptKind::kBadHeaderField,
+                  "archive: " + std::to_string(header_reader.remaining()) +
+                      " trailing bytes after the chunk table");
+  }
+  const std::string_view encoded = reader.rest();
+  if (encoded.size() != encoded_total) {
+    raise_corrupt(CorruptKind::kTruncated,
+                  "archive: chunk table promises " +
+                      std::to_string(encoded_total) +
+                      " encoded bytes, stream has " +
+                      std::to_string(encoded.size()));
+  }
+
+  // Every header field has now been vouched for; reassemble the payload
+  // in parallel. Chunks write disjoint slices, so no synchronization is
+  // needed beyond parallel_for's own join.
+  AIC_TRACE_SCOPE("pipeline.deserialize_v4");
+  std::string payload(payload_len, '\0');
+  runtime::parallel_for(
+      0, chunk_count,
+      [&](std::size_t i) {
+        AIC_TRACE_SCOPE("pipeline.chunk_decode");
+        runtime::Timer timer;
+        const ChunkEntry& entry = table[i];
+        const std::string_view chunk =
+            encoded.substr(entry.offset, entry.encoded_len);
+        const std::uint32_t computed = io::crc32c(chunk.data(), chunk.size());
+        if (computed != entry.crc) {
+          raise_corrupt(CorruptKind::kChecksumMismatch,
+                        "archive: chunk " + std::to_string(i) +
+                            " CRC mismatch (stored " +
+                            std::to_string(entry.crc) + ", computed " +
+                            std::to_string(computed) + ")");
+        }
+        const std::size_t lo = i * chunk_bytes;
+        const std::size_t plain_len =
+            std::min<std::size_t>(chunk_bytes, payload_len - lo);
+        baseline::decode_chunk(chunk, plain_len, payload.data() + lo);
+        obs::PipelineMetrics::global().record_chunk_decoded(timer.nanos());
+      },
+      {.grain = 1});
+  obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
+                                                       chunk_count);
+
+  archive.packed = io::deserialize_tensor(payload);
+  validate_payload_against_header(archive);
+  return archive;
+}
+
+/// Fills every Archive field except `packed` from the codec the factory
+/// built for `codec_spec`. The archive header only represents the chop
+/// family; recover the parameters from the concrete codec instance.
+Archive classify_codec(const core::Codec& codec, const std::string& codec_spec,
+                       const Shape& input_shape) {
+  Archive archive;
+  archive.original_shape = input_shape;
+  if (const auto* dc = dynamic_cast<const core::DctChopCodec*>(&codec)) {
+    archive.config = dc->config();
+  } else if (const auto* sg =
+                 dynamic_cast<const core::TriangleCodec*>(&codec)) {
+    archive.triangle = true;
+    archive.config = sg->config();
+  } else if (const auto* ps =
+                 dynamic_cast<const core::PartialSerialCodec*>(&codec)) {
+    archive.subdivision = ps->config().subdivision;
+    archive.config = {.height = ps->config().height,
+                      .width = ps->config().width,
+                      .cf = ps->config().cf,
+                      .block = ps->config().block,
+                      .transform = ps->config().transform};
+  } else {
+    throw std::invalid_argument("archive: codec \"" + codec_spec +
+                                "\" has no archive representation (use the "
+                                "dctchop / triangle / partial family)");
+  }
+  // Shape-agnostic specs leave height/width zero; the header pins them
+  // to the tensor that is actually being compressed.
+  archive.config.height = input_shape[2];
+  archive.config.width = input_shape[3];
+  return archive;
 }
 
 }  // namespace
@@ -182,36 +456,8 @@ Archive compress_to_archive(const Tensor& input, const std::string& codec_spec,
     throw std::invalid_argument("archive: input must be BCHW");
   }
   const core::CodecPtr codec = core::make_codec(codec_spec);
-
-  Archive archive;
-  archive.original_shape = input.shape();
-  // The archive header only represents the chop family; recover the
-  // parameters from the concrete codec the factory built.
-  if (const auto* dc =
-          dynamic_cast<const core::DctChopCodec*>(codec.get())) {
-    archive.config = dc->config();
-  } else if (const auto* sg =
-                 dynamic_cast<const core::TriangleCodec*>(codec.get())) {
-    archive.triangle = true;
-    archive.config = sg->config();
-  } else if (const auto* ps =
-                 dynamic_cast<const core::PartialSerialCodec*>(codec.get())) {
-    archive.subdivision = ps->config().subdivision;
-    archive.config = {.height = ps->config().height,
-                      .width = ps->config().width,
-                      .cf = ps->config().cf,
-                      .block = ps->config().block,
-                      .transform = ps->config().transform};
-  } else {
-    throw std::invalid_argument("archive: codec \"" + codec_spec +
-                                "\" has no archive representation (use the "
-                                "dctchop / triangle / partial family)");
-  }
+  Archive archive = classify_codec(*codec, codec_spec, input.shape());
   archive.packed = codec->compress(input);
-  // Shape-agnostic specs leave height/width zero; the header pins them
-  // to the tensor that was actually compressed.
-  archive.config.height = input.shape()[2];
-  archive.config.width = input.shape()[3];
   if (codec_out != nullptr) *codec_out = codec;
   return archive;
 }
@@ -229,10 +475,19 @@ Archive compress_to_archive(const Tensor& input, std::size_t cf,
 
 std::string serialize_archive(const Archive& archive,
                               std::uint32_t version) {
-  if (version != 2 && version != kArchiveVersion) {
+  ArchiveWriteOptions options;
+  options.version = version;
+  return serialize_archive(archive, options);
+}
+
+std::string serialize_archive(const Archive& archive,
+                              const ArchiveWriteOptions& options) {
+  const std::uint32_t version = options.version;
+  if (version < 2 || version > kArchiveVersion) {
     throw std::invalid_argument("archive: cannot write version " +
                                 std::to_string(version));
   }
+  if (version == 4) return serialize_archive_v4(archive, options);
   const std::string header = serialize_header_fields(archive);
   const std::string payload = io::serialize_tensor(archive.packed);
 
@@ -253,6 +508,170 @@ std::string serialize_archive(const Archive& archive,
   return out;
 }
 
+std::string compress_to_archive_bytes(const Tensor& input,
+                                      const std::string& codec_spec,
+                                      const ArchiveWriteOptions& options,
+                                      core::CodecPtr* codec_out) {
+  if (input.shape().rank() != 4) {
+    throw std::invalid_argument("archive: input must be BCHW");
+  }
+  if (options.version != 4) {
+    Archive archive = compress_to_archive(input, codec_spec, codec_out);
+    return serialize_archive(archive, options);
+  }
+  require_writable_chunk_bytes(options.chunk_bytes);
+
+  AIC_TRACE_SCOPE("pipeline.fused_compress");
+  runtime::Timer wall_timer;
+  const core::CodecPtr codec = core::make_codec(codec_spec);
+  Archive archive = classify_codec(*codec, codec_spec, input.shape());
+  if (codec_out != nullptr) *codec_out = codec;
+
+  const Shape packed_shape = codec->compressed_shape(input.shape());
+  const std::size_t planes = input.shape()[0] * input.shape()[1];
+  // The fused pipeline moves planes through in groups, splicing each
+  // group's packed bytes into the payload at the offset the full-tensor
+  // compress would have used. That is only sound when the codec treats
+  // planes independently; the chop family does, and this check guards
+  // the assumption against future codec kinds.
+  const bool plane_separable =
+      planes > 1 && packed_shape.rank() == 4 &&
+      packed_shape[0] == input.shape()[0] &&
+      packed_shape[1] == input.shape()[1] &&
+      codec->compressed_shape(
+          Shape::bchw(1, 1, input.shape()[2], input.shape()[3])) ==
+          Shape::bchw(1, 1, packed_shape[2], packed_shape[3]);
+
+  const std::string header = io::serialize_tensor_header(packed_shape);
+  const std::size_t payload_len = io::serialized_tensor_bytes(packed_shape);
+  const std::size_t chunk_bytes = options.chunk_bytes;
+  const std::size_t chunk_count = (payload_len + chunk_bytes - 1) / chunk_bytes;
+
+  std::string payload(payload_len, '\0');
+  std::memcpy(payload.data(), header.data(), header.size());
+
+  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  std::vector<std::future<EncodedChunk>> futures(chunk_count);
+  std::size_t next_chunk = 0;
+  std::atomic<std::uint64_t> encode_ns{0};
+  // Submits every chunk fully covered by the first `high_water` payload
+  // bytes. Encode tasks enter the FIFO queue ahead of the next group's
+  // transform tasks, so both kinds of work stay in flight with no phase
+  // barrier; collecting the futures in index order keeps the output
+  // byte-identical for every pool size.
+  const auto submit_ready = [&](std::size_t high_water) {
+    while (next_chunk < chunk_count) {
+      const std::size_t lo = next_chunk * chunk_bytes;
+      const std::size_t hi = std::min(payload_len, lo + chunk_bytes);
+      if (hi > high_water) break;
+      futures[next_chunk] = pool.submit([&, lo, hi] {
+        runtime::Timer timer;
+        EncodedChunk chunk = encode_one_chunk(
+            std::string_view(payload.data() + lo, hi - lo), options.entropy);
+        encode_ns.fetch_add(timer.nanos(), std::memory_order_relaxed);
+        return chunk;
+      });
+      ++next_chunk;
+    }
+  };
+
+  std::uint64_t transform_ns = 0;
+  if (plane_separable) {
+    const std::size_t in_plane_bytes =
+        input.shape()[2] * input.shape()[3] * sizeof(float);
+    const std::size_t packed_plane_bytes =
+        packed_shape[2] * packed_shape[3] * sizeof(float);
+    const std::size_t group_count = std::min<std::size_t>(planes, 4);
+    const std::size_t group_planes = (planes + group_count - 1) / group_count;
+    for (std::size_t p0 = 0; p0 < planes; p0 += group_planes) {
+      const std::size_t g = std::min(group_planes, planes - p0);
+      runtime::Timer timer;
+      Tensor group(Shape::bchw(1, g, input.shape()[2], input.shape()[3]));
+      std::memcpy(group.raw(),
+                  reinterpret_cast<const char*>(input.raw()) +
+                      p0 * in_plane_bytes,
+                  g * in_plane_bytes);
+      const Tensor packed_group = codec->compress(group);
+      std::memcpy(payload.data() + header.size() + p0 * packed_plane_bytes,
+                  packed_group.raw(), g * packed_plane_bytes);
+      transform_ns += timer.nanos();
+      submit_ready(header.size() + (p0 + g) * packed_plane_bytes);
+    }
+  } else {
+    // Single plane (or a non-separable codec): the transform itself is
+    // already parallel via sandwich_banded, and the chunk encode fans
+    // out right after — the two stages just don't interleave.
+    runtime::Timer timer;
+    archive.packed = codec->compress(input);
+    std::memcpy(payload.data() + header.size(),
+                archive.packed.raw(), archive.packed.size_bytes());
+    transform_ns = timer.nanos();
+  }
+  submit_ready(payload_len);
+
+  std::vector<EncodedChunk> chunks(chunk_count);
+  for (std::size_t i = 0; i < chunk_count; ++i) chunks[i] = futures[i].get();
+
+  obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
+                                                       chunk_count);
+  obs::PipelineMetrics::global().record_overlap(
+      transform_ns, encode_ns.load(std::memory_order_relaxed),
+      wall_timer.nanos());
+  return assemble_v4(serialize_header_fields(archive), payload_len,
+                     chunk_bytes, chunks);
+}
+
+ArchiveProbe probe_archive(const std::string& bytes) {
+  io::ByteReader reader(bytes, "archive");
+  reader.require(sizeof(kMagic), "magic");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    raise_corrupt(CorruptKind::kBadMagic, "archive: bad magic");
+  }
+  (void)reader.read_bytes(sizeof(kMagic), "magic");
+  ArchiveProbe probe;
+  probe.version = reader.read<std::uint32_t>("version");
+  if (probe.version < 2 || probe.version > kArchiveVersion) {
+    raise_corrupt(CorruptKind::kBadVersion,
+                  "archive: found version " + std::to_string(probe.version) +
+                      ", supported versions 2.." +
+                      std::to_string(kArchiveVersion));
+  }
+  if (probe.version == 2) {
+    // v2 has no length fields: the payload is whatever follows the
+    // fixed-size header (1+1+2+2+2+4 + 4*8 = 44 bytes).
+    reader.require(44, "header fields");
+    probe.payload_len = reader.remaining() - 44;
+    return probe;
+  }
+  const std::uint32_t header_len = reader.read<std::uint32_t>("header size");
+  const std::uint32_t header_crc = reader.read<std::uint32_t>("header CRC");
+  if (probe.version == 3) {
+    (void)reader.read<std::uint32_t>("payload CRC");
+  }
+  const std::string_view header =
+      reader.read_bytes(header_len, "header fields");
+  const std::uint32_t computed = io::crc32c(header.data(), header.size());
+  if (computed != header_crc) {
+    raise_corrupt(CorruptKind::kChecksumMismatch,
+                  "archive: header CRC mismatch (stored " +
+                      std::to_string(header_crc) + ", computed " +
+                      std::to_string(computed) + ")");
+  }
+  if (probe.version == 3) {
+    probe.payload_len = reader.remaining();
+    return probe;
+  }
+  Archive scratch;
+  io::ByteReader header_reader(header, "archive header");
+  parse_header_fields(header_reader, scratch);
+  probe.payload_len = static_cast<std::size_t>(
+      header_reader.read<std::uint64_t>("payload length"));
+  probe.chunk_bytes = static_cast<std::size_t>(
+      header_reader.read<std::uint64_t>("chunk size"));
+  probe.chunk_count = header_reader.read<std::uint32_t>("chunk count");
+  return probe;
+}
+
 Archive deserialize_archive(const std::string& bytes) {
   io::ByteReader reader(bytes, "archive");
   reader.require(sizeof(kMagic), "magic");
@@ -267,6 +686,8 @@ Archive deserialize_archive(const std::string& bytes) {
                       ", supported versions 2.." +
                       std::to_string(kArchiveVersion));
   }
+
+  if (version == 4) return deserialize_archive_v4(reader);
 
   Archive archive;
   if (version >= 3) {

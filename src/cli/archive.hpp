@@ -3,29 +3,50 @@
 #include <cstdint>
 #include <string>
 
+#include "baseline/chunk_entropy.hpp"
 #include "core/codec.hpp"
 #include "core/dct_chop.hpp"
 
 namespace aic::cli {
 
-/// Current on-disk archive container version (v3: checksummed).
-inline constexpr std::uint32_t kArchiveVersion = 3;
+/// Current on-disk archive container version (v4: chunked + checksummed).
+inline constexpr std::uint32_t kArchiveVersion = 4;
 
-/// On-disk compressed-tensor archive written by the aicomp CLI (v3):
+/// Default fixed chunk budget of the v4 container: 64 KiB splits the
+/// 1 MiB single-plane acceptance payload into 16 chunks — enough
+/// parallelism for 8 workers with 2x load-balancing slack, while the
+/// per-chunk table stays 12 bytes/chunk.
+inline constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+/// On-disk compressed-tensor archive written by the aicomp CLI.
 ///
-///   magic "AICZ" | u32 version | u32 header_len
-///   | u32 header_crc32c | u32 payload_crc32c
-///   | header fields (header_len bytes):
+/// v4 (chunked, the default):
+///
+///   magic "AICZ" | u32 version | u32 header_len | u32 header_crc32c
+///   | header fields (header_len bytes, covered by header_crc32c):
 ///       u8 codec (0=square, 1=triangle, 2=partial) | u8 transform
 ///       | u16 cf | u16 block | u16 subdivision | u32 rank
 ///       | u64 dims[rank]
-///   | payload: serialized packed tensor (io::serialize_tensor format)
+///       | u64 payload_len | u64 chunk_bytes | u32 chunk_count
+///       | chunk table: (u64 encoded_len, u32 chunk_crc32c) * chunk_count
+///   | encoded chunks, concatenated in order
 ///
-/// v2 archives (no header_len/CRC block, header fields directly after
-/// the version word) remain readable. Decode rejects corrupt or
-/// truncated input with a typed aic::io::CorruptStream — any flipped bit
-/// in a v3 stream fails one of the CRC32C checks before a wrong tensor
-/// can be reconstructed.
+/// The payload (io::serialize_tensor format) is split into fixed
+/// `chunk_bytes` slices (ragged tail allowed); each chunk is entropy
+/// coded independently (baseline::ChunkEntropy) and CRC'd over its
+/// encoded bytes, so chunks encode AND decode in parallel across the
+/// thread pool with no cross-chunk state. Chunk boundaries depend only
+/// on (payload_len, chunk_bytes) and each chunk's encoding is a pure
+/// function of its bytes, so the container is bitwise-identical for
+/// every thread count. There is no separate payload CRC: the chunk CRCs
+/// jointly cover the payload, and the table itself is covered by the
+/// header CRC.
+///
+/// v3 (unchunked; magic | version | header_len | header_crc32c
+/// | payload_crc32c | header | payload) and v2 (no CRC block at all)
+/// remain readable and writable for compatibility. Decode rejects
+/// corrupt or truncated input of any version with a typed
+/// aic::io::CorruptStream before a wrong tensor can be reconstructed.
 ///
 /// The header carries everything needed to rebuild the codec and the
 /// original shape, so decompression needs no side information.
@@ -59,15 +80,58 @@ Archive compress_to_archive(const tensor::Tensor& input, std::size_t cf,
                             bool triangle,
                             core::CodecPtr* codec_out = nullptr);
 
-/// Serializes to the given container version (3 = checksummed, the
-/// default; 2 = the legacy pre-CRC layout, kept for compatibility
-/// testing). Other versions throw std::invalid_argument.
+/// Container-write knobs for serialize_archive /
+/// compress_to_archive_bytes.
+struct ArchiveWriteOptions {
+  /// 4 = chunked (default), 3 = unchunked CRC'd, 2 = legacy pre-CRC.
+  std::uint32_t version = kArchiveVersion;
+  /// v4 fixed chunk budget (plain payload bytes per chunk).
+  std::size_t chunk_bytes = kDefaultChunkBytes;
+  /// v4 per-chunk entropy coding. kRaw (default) keeps 1-thread encode
+  /// at v3 parity; kAuto picks the smallest of raw/packed/huffman per
+  /// chunk (opt-in: it trades encode time for size).
+  baseline::ChunkEntropy entropy = baseline::ChunkEntropy::kRaw;
+};
+
+/// Serializes to the given container version. v4 fans per-chunk entropy
+/// coding and CRC computation across runtime::ThreadPool::global() with
+/// ordered reassembly (bitwise-identical output for every pool size).
+/// Unsupported versions throw std::invalid_argument.
 std::string serialize_archive(const Archive& archive,
                               std::uint32_t version = kArchiveVersion);
+std::string serialize_archive(const Archive& archive,
+                              const ArchiveWriteOptions& options);
+
+/// Fused compress + serialize (v4 only; other versions degrade to
+/// compress_to_archive + serialize_archive): planes move through in
+/// groups so the GEMM sandwich transform of group i+1 overlaps the
+/// chunk entropy encode of group i on the shared pool. The returned
+/// bytes are bitwise-identical to the unfused
+/// serialize_archive(compress_to_archive(...)) path — the pipeline
+/// tests assert it.
+std::string compress_to_archive_bytes(const tensor::Tensor& input,
+                                      const std::string& codec_spec,
+                                      const ArchiveWriteOptions& options = {},
+                                      core::CodecPtr* codec_out = nullptr);
+
 /// Parses and fully validates an archive stream (magic, version range,
-/// v3 CRCs, field ranges, overflow-checked dims, payload/header shape
-/// agreement). Throws aic::io::CorruptStream on any violation.
+/// CRCs, field ranges, overflow-checked dims, chunk-table consistency
+/// and expansion bounds — all before any payload allocation — plus
+/// payload/header shape agreement). v4 chunk CRC checks and entropy
+/// decode fan out across the global pool. Throws aic::io::CorruptStream
+/// on any violation.
 Archive deserialize_archive(const std::string& bytes);
+
+/// Cheap header-only introspection (no payload decode; CRC on the
+/// header is still enforced for v3/v4). chunk_count == 0 means an
+/// unchunked (v2/v3) container.
+struct ArchiveProbe {
+  std::uint32_t version = 0;
+  std::size_t payload_len = 0;
+  std::size_t chunk_bytes = 0;
+  std::size_t chunk_count = 0;
+};
+ArchiveProbe probe_archive(const std::string& bytes);
 
 void save_archive(const Archive& archive, const std::string& path);
 Archive load_archive(const std::string& path);

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <fstream>
 #include <iomanip>
 #include <map>
 #include <optional>
@@ -19,7 +20,9 @@
 #include "obs/trace.hpp"
 #include "runtime/cpu_features.hpp"
 #include "runtime/env.hpp"
+#include "runtime/parallel_for.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tensor/gemm_kernels.hpp"
 #include "tensor/ops.hpp"
 
@@ -111,7 +114,9 @@ int usage(std::ostream& err) {
   err << "usage:\n"
          "  aicomp gen <out.aict> [--batch B --channels C --res N --seed S]\n"
          "  aicomp compress <in.aict> <out.aicz> [--codec <spec> | --cf N "
-         "--block B --transform dct|wht|dst2 --triangle] [--stats]\n"
+         "--block B --transform dct|wht|dst2 --triangle]\n"
+         "                  [--chunk-bytes N --entropy "
+         "raw|packed|huffman|auto --archive-version 2|3|4] [--stats]\n"
          "  aicomp decompress <in.aicz> <out.aict> [--stats]\n"
          "  aicomp verify <in.aicz>   (check CRCs + full decode)\n"
          "  aicomp info <file>\n"
@@ -126,7 +131,12 @@ int usage(std::ostream& err) {
          "  (compress accepts only the dctchop/triangle/partial family;\n"
          "  eval accepts any registered codec.)\n"
          "  --stats prints per-codec counters (calls, planes, Eq. 5/7\n"
-         "  FLOPs, bytes, wall time) after the operation.\n"
+         "  FLOPs, bytes, wall time) after the operation, plus chunked-\n"
+         "  pipeline and thread-pool counters when a v4 archive moved.\n"
+         "  --chunk-bytes sets the v4 chunk budget (default 65536);\n"
+         "  --entropy picks the per-chunk coding (default raw; auto\n"
+         "  chooses the smallest of raw/packed/huffman per chunk).\n"
+         "  AIC_NUM_THREADS sizes the worker pool.\n"
          "  --metrics prints latency percentiles (p50/p90/p99) and the\n"
          "  per-simulator cost-model drift table after the operation.\n"
          "  --trace <out.json> records spans and writes Chrome trace-event\n"
@@ -157,6 +167,44 @@ void print_stats(std::ostream& out, const core::Codec& codec) {
       << " tail_tiles=" << kc.tail_tiles << " axpy_calls=" << kc.axpy_calls
       << " block_mac_calls=" << kc.block_mac_calls
       << " gemm_flops=" << kc.flops << "\n";
+  // Chunked-archive pipeline counters (see obs/pipeline.hpp); only shown
+  // once a v4 archive moved through this process.
+  const obs::Registry& reg = obs::Registry::global();
+  const auto counters = reg.counters();
+  const auto gauges = reg.gauges();
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [key, value] : counters) {
+      if (key == name) return value;
+    }
+    return 0;
+  };
+  const auto gauge = [&](const std::string& name) -> double {
+    for (const auto& [key, value] : gauges) {
+      if (key == name) return value;
+    }
+    return 0.0;
+  };
+  if (counter("pipeline.chunks_encoded") != 0 ||
+      counter("pipeline.chunks_decoded") != 0) {
+    const runtime::ThreadPoolStats pool =
+        runtime::ThreadPool::global().stats();
+    const runtime::ParallelForStats pfor = runtime::parallel_for_stats();
+    out << "pipeline: chunks_encoded=" << counter("pipeline.chunks_encoded")
+        << " chunks_decoded=" << counter("pipeline.chunks_decoded")
+        << " encode_reallocs=" << counter("pipeline.encode_reallocs")
+        << " chunk_bytes=" << gauge("pipeline.last_chunk_bytes")
+        << " chunks=" << gauge("pipeline.last_chunks")
+        << " overlap_efficiency=" << gauge("pipeline.overlap_efficiency")
+        << "\n";
+    out << "pool[" << runtime::ThreadPool::global().size()
+        << " threads]: tasks_executed=" << pool.tasks_executed
+        << " tasks_inlined=" << pool.tasks_inlined
+        << " peak_queue_depth=" << pool.peak_queue_depth
+        << " pfor_parallel=" << pfor.parallel_runs
+        << " pfor_inline=" << pfor.inline_runs
+        << " pfor_last_tasks=" << pfor.last_tasks
+        << " pfor_last_chunk=" << pfor.last_chunk << "\n";
+  }
 }
 
 void print_metrics(std::ostream& out) {
@@ -261,18 +309,42 @@ int cmd_gen(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// Container knobs shared by compress: --archive-version,
+/// --chunk-bytes (v4 chunk budget) and --entropy raw|packed|huffman|auto.
+ArchiveWriteOptions archive_write_options(const Options& options) {
+  ArchiveWriteOptions write;
+  write.version = static_cast<std::uint32_t>(
+      flag_size(options, "archive-version", kArchiveVersion));
+  write.chunk_bytes = flag_size(options, "chunk-bytes", kDefaultChunkBytes);
+  const auto it = options.flags.find("entropy");
+  if (it != options.flags.end()) {
+    write.entropy = baseline::parse_chunk_entropy(it->second);
+  }
+  return write;
+}
+
 int cmd_compress(const Options& options, std::ostream& out) {
   if (options.positional.size() != 2) {
     throw std::invalid_argument("compress: expected <in.aict> <out.aicz>");
   }
   const Tensor input = io::load_tensor(options.positional[0]);
   core::CodecPtr codec;
-  const Archive archive =
-      compress_to_archive(input, codec_spec(options), &codec);
-  save_archive(archive, options.positional[1]);
-  out << codec->name() << ": " << input.size_bytes() << " -> "
-      << archive.packed.size_bytes() << " bytes (CR "
-      << codec->compression_ratio() << ")\n";
+  // The fused pipeline overlaps the transform of one plane group with
+  // the chunk entropy encode of the previous one (v4; older versions
+  // degrade to the two-phase path inside).
+  const std::string bytes = compress_to_archive_bytes(
+      input, codec_spec(options), archive_write_options(options), &codec);
+  std::ofstream file(options.positional[1], std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("compress: cannot open " + options.positional[1]);
+  }
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) {
+    throw std::runtime_error("compress: write failed: " +
+                             options.positional[1]);
+  }
+  out << codec->name() << ": " << input.size_bytes() << " -> " << bytes.size()
+      << " archive bytes (CR " << codec->compression_ratio() << ")\n";
   if (options.stats) print_stats(out, *codec);
   return 0;
 }
@@ -325,6 +397,18 @@ int cmd_info(const Options& options, std::ostream& out) {
         << " packed=" << archive.packed.shape().to_string() << " ("
         << archive.packed.size_bytes() << " bytes, CR "
         << codec->compression_ratio() << ")\n";
+    std::ifstream file(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+    const ArchiveProbe probe = probe_archive(bytes);
+    out << "container: v" << probe.version;
+    if (probe.chunk_count != 0) {
+      out << " chunked: " << probe.chunk_count << " x " << probe.chunk_bytes
+          << " bytes covering " << probe.payload_len << " payload bytes";
+    } else {
+      out << " unchunked: " << probe.payload_len << " payload bytes";
+    }
+    out << "\n";
     return 0;
   } catch (const std::exception&) {
     // Fall through to plain tensor.

@@ -55,6 +55,15 @@ std::string archive_bytes(const std::string& spec, std::uint32_t version,
                            version);
 }
 
+std::string archive_bytes_v4(const std::string& spec, std::uint64_t seed,
+                             std::size_t chunk_bytes,
+                             baseline::ChunkEntropy entropy) {
+  const ArchiveWriteOptions options{
+      .version = 4, .chunk_bytes = chunk_bytes, .entropy = entropy};
+  return serialize_archive(compress_to_archive(seed_tensor(seed), spec),
+                           options);
+}
+
 std::string huffman_body() {
   // Skewed-but-valid histogram over a small alphabet.
   std::vector<std::uint16_t> symbols;
@@ -115,37 +124,48 @@ std::string bitstream_body() {
 // ---------------------------------------------------------------------------
 // Field-sweep mutants
 
-/// v3 stream layout offsets (see cli/archive.hpp).
+/// Stream layout offsets (see cli/archive.hpp). The preamble is
+/// magic|version|header_len|header_crc for both CRC'd versions; v3
+/// additionally carries a payload CRC word before the header, v4 does
+/// not (its chunk CRCs live in the header's table).
 constexpr std::size_t kVersionOffset = 4;
 constexpr std::size_t kHeaderCrcOffset = 12;
-constexpr std::size_t kHeaderOffset = 20;
+constexpr std::size_t kHeaderOffset = 20;    // v3
+constexpr std::size_t kHeaderOffsetV4 = 16;  // v4
 
-/// Patches `width` bytes of the v3 header region at `field_offset` and
+std::size_t header_offset_for(std::uint32_t version) {
+  return version >= 4 ? kHeaderOffsetV4 : kHeaderOffset;
+}
+
+/// Patches `width` bytes of the header region at `field_offset` and
 /// recomputes the header CRC, so the mutant exercises the deep field
 /// validation instead of the checksum.
-std::string patch_v3_header_field(const std::string& bytes,
-                                  std::size_t field_offset,
-                                  const void* value, std::size_t width) {
+std::string patch_header_field(const std::string& bytes,
+                               std::uint32_t version,
+                               std::size_t field_offset, const void* value,
+                               std::size_t width) {
+  const std::size_t header_offset = header_offset_for(version);
   std::string out = bytes;
-  std::memcpy(out.data() + kHeaderOffset + field_offset, value, width);
+  std::memcpy(out.data() + header_offset + field_offset, value, width);
   std::uint32_t header_len;
   std::memcpy(&header_len, out.data() + 8, sizeof(header_len));
   const std::uint32_t crc =
-      io::crc32c(out.data() + kHeaderOffset, header_len);
+      io::crc32c(out.data() + header_offset, header_len);
   std::memcpy(out.data() + kHeaderCrcOffset, &crc, sizeof(crc));
   return out;
 }
 
-/// Deep-validation sweeps over every v3 header field (CRC fixed up each
-/// time) plus a version sweep (the version word sits outside the CRCs).
+/// Deep-validation sweeps over every header field shared by v3/v4 (CRC
+/// fixed up each time) plus a version sweep (the version word sits
+/// outside the CRCs).
 std::vector<std::pair<std::string, std::string>> archive_field_sweeps(
-    const std::string& bytes) {
+    const std::string& bytes, std::uint32_t version) {
   std::vector<std::pair<std::string, std::string>> out;
   const auto add = [&](const std::string& label, std::size_t offset,
                        auto value) {
     out.emplace_back("field sweep " + label,
-                     patch_v3_header_field(bytes, offset, &value,
-                                           sizeof(value)));
+                     patch_header_field(bytes, version, offset, &value,
+                                        sizeof(value)));
   };
   for (std::uint8_t kind : {std::uint8_t{3}, std::uint8_t{255}}) {
     add("kind=" + std::to_string(kind), 0, kind);
@@ -179,13 +199,86 @@ std::vector<std::pair<std::string, std::string>> archive_field_sweeps(
           12 + 8 * axis, dim);
     }
   }
-  // The version word is outside both CRCs; sweep it raw.
-  for (std::uint32_t version : {std::uint32_t{0}, std::uint32_t{1},
-                                std::uint32_t{4}, std::uint32_t{255},
-                                std::uint32_t{0xFFFFFFFF}}) {
+  // The version word is outside both CRCs; sweep it raw. Unknown
+  // versions are rejected by range; reinterpreting a v3 stream as v4 (or
+  // vice versa) shifts the header window, which the header CRC catches.
+  for (std::uint32_t v : {std::uint32_t{0}, std::uint32_t{1},
+                          std::uint32_t{5}, std::uint32_t{255},
+                          std::uint32_t{0xFFFFFFFF},
+                          version == 4 ? std::uint32_t{3}
+                                       : std::uint32_t{4}}) {
     std::string mutant = bytes;
-    std::memcpy(mutant.data() + kVersionOffset, &version, sizeof(version));
-    out.emplace_back("version sweep " + std::to_string(version), mutant);
+    std::memcpy(mutant.data() + kVersionOffset, &v, sizeof(v));
+    out.emplace_back("version sweep " + std::to_string(v), mutant);
+  }
+  return out;
+}
+
+/// v4-only deep mutants: chunk-geometry and chunk-table corruption with
+/// the header CRC recomputed, so the structural checks (not the
+/// checksum) must reject, plus per-chunk CRC and encoded-region flips
+/// that the chunk CRCs must catch.
+std::vector<std::pair<std::string, std::string>> v4_table_mutants(
+    const std::string& bytes) {
+  // Header layout after the 44 shared bytes: u64 payload_len @44,
+  // u64 chunk_bytes @52, u32 chunk_count @60, then 12-byte table rows.
+  constexpr std::size_t kPayloadLenOff = 44;
+  constexpr std::size_t kChunkBytesOff = 52;
+  constexpr std::size_t kChunkCountOff = 60;
+  constexpr std::size_t kTableOff = 64;
+
+  std::uint64_t payload_len, chunk_bytes;
+  std::uint32_t chunk_count;
+  std::memcpy(&payload_len, bytes.data() + kHeaderOffsetV4 + kPayloadLenOff,
+              8);
+  std::memcpy(&chunk_bytes, bytes.data() + kHeaderOffsetV4 + kChunkBytesOff,
+              8);
+  std::memcpy(&chunk_count, bytes.data() + kHeaderOffsetV4 + kChunkCountOff,
+              4);
+
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto add = [&](const std::string& label, std::size_t offset,
+                       auto value) {
+    out.emplace_back("v4 table " + label,
+                     patch_header_field(bytes, 4, offset, &value,
+                                        sizeof(value)));
+  };
+  add("payload_len+1", kPayloadLenOff, payload_len + 1);
+  add("payload_len=0", kPayloadLenOff, std::uint64_t{0});
+  add("chunk_bytes=0", kChunkBytesOff, std::uint64_t{0});
+  add("chunk_bytes=1<<40", kChunkBytesOff, std::uint64_t{1} << 40);
+  add("chunk_bytes*2", kChunkBytesOff, chunk_bytes * 2);
+  add("chunk_count+1", kChunkCountOff, chunk_count + 1);
+  add("chunk_count-1", kChunkCountOff, chunk_count - 1);
+  add("chunk_count=0", kChunkCountOff, std::uint32_t{0});
+  // Per-chunk table rows: length lies (structural / truncation checks)
+  // and a CRC lie (the re-encoded chunk no longer matches its stored
+  // checksum).
+  add("chunk0 len=0", kTableOff, std::uint64_t{0});
+  add("chunk0 len+=1", kTableOff, [&] {
+        std::uint64_t len;
+        std::memcpy(&len, bytes.data() + kHeaderOffsetV4 + kTableOff, 8);
+        return len + 1;
+      }());
+  add("chunk0 len=1<<30", kTableOff, std::uint64_t{1} << 30);
+  add("chunk0 crc^=1", kTableOff + 8, [&] {
+        std::uint32_t crc;
+        std::memcpy(&crc, bytes.data() + kHeaderOffsetV4 + kTableOff + 8, 4);
+        return crc ^ 1u;
+      }());
+  // A flip inside the encoded chunk region (outside the header CRC's
+  // span): only the per-chunk CRC stands between it and a wrong tensor.
+  {
+    std::string mutant = bytes;
+    mutant[mutant.size() - 1] ^= 0x10;
+    out.emplace_back("v4 encoded-region flip (last byte)",
+                     std::move(mutant));
+    std::string first = bytes;
+    std::uint32_t header_len;
+    std::memcpy(&header_len, first.data() + 8, sizeof(header_len));
+    first[kHeaderOffsetV4 + header_len] ^= 0x01;  // first encoded byte
+    out.emplace_back("v4 encoded-region flip (first byte)",
+                     std::move(first));
   }
   return out;
 }
@@ -377,19 +470,53 @@ std::vector<RobustnessTarget> robustness_targets() {
     t.bytes = archive_bytes(spec, version, seed);
     t.decode = decode_archive_bytes;
     // Sweep the whole fixed-size preamble + header fields bit by bit.
-    t.options.header_bytes = version >= 3 ? kHeaderOffset + 44 : 8 + 44;
+    t.options.header_bytes =
+        version >= 3 ? header_offset_for(version) + 44 : 8 + 44;
     t.options.random_flips = 96;
     t.options.seed = seed;
     // v2 has no checksum: a payload flip silently shifts float values,
     // which the legacy format cannot detect.
     t.options.allow_divergence = version < 3;
-    if (version >= 3) t.options.extra = archive_field_sweeps(t.bytes);
+    if (version >= 3) t.options.extra = archive_field_sweeps(t.bytes, version);
     targets.push_back(std::move(t));
   };
   archive_target("archive:dctchop:v3", "dctchop:cf=4,block=8", 3, 11);
   archive_target("archive:partial:v3", "partial:cf=4,block=8,s=2", 3, 12);
   archive_target("archive:triangle:v3", "triangle:cf=4,block=8", 3, 13);
   archive_target("archive:dctchop:v2", "dctchop:cf=4,block=8", 2, 14);
+
+  // v4 chunked targets: small chunk budgets force multi-chunk tables;
+  // one target per entropy family so every chunk decoder faces the
+  // matrix. Bit sweeps additionally cover the whole chunk table (it
+  // lives inside the CRC'd header).
+  const auto archive_v4_target = [&](const std::string& name,
+                                     const std::string& spec,
+                                     std::uint64_t seed,
+                                     std::size_t chunk_bytes,
+                                     baseline::ChunkEntropy entropy) {
+    RobustnessTarget t;
+    t.name = name;
+    t.corpus_family = "archive";
+    t.bytes = archive_bytes_v4(spec, seed, chunk_bytes, entropy);
+    t.decode = decode_archive_bytes;
+    std::uint32_t header_len;
+    std::memcpy(&header_len, t.bytes.data() + 8, sizeof(header_len));
+    t.options.header_bytes = kHeaderOffsetV4 + header_len;
+    t.options.random_flips = 96;
+    t.options.seed = seed;
+    t.options.extra = archive_field_sweeps(t.bytes, 4);
+    const auto table = v4_table_mutants(t.bytes);
+    t.options.extra.insert(t.options.extra.end(), table.begin(), table.end());
+    targets.push_back(std::move(t));
+  };
+  archive_v4_target("archive:dctchop:v4:raw", "dctchop:cf=4,block=8", 15, 96,
+                    baseline::ChunkEntropy::kRaw);
+  archive_v4_target("archive:partial:v4:auto", "partial:cf=4,block=8,s=2", 16,
+                    128, baseline::ChunkEntropy::kAuto);
+  archive_v4_target("archive:triangle:v4:huffman", "triangle:cf=4,block=8",
+                    17, 80, baseline::ChunkEntropy::kHuffman);
+  archive_v4_target("archive:dctchop:v4:packed", "dctchop:cf=4,block=8", 18,
+                    64, baseline::ChunkEntropy::kPacked);
 
   const auto frame_target =
       [&](const std::string& name, const std::string& family,

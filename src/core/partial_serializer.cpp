@@ -1,10 +1,12 @@
 #include "core/partial_serializer.hpp"
 
 #include <cstring>
+#include <future>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/plan_cache.hpp"
+#include "runtime/thread_pool.hpp"
 #include "io/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -138,18 +140,41 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
   const std::size_t chunk_ch = config_.cf * chunk_h / config_.block;
   const std::size_t chunk_cw = config_.cf * chunk_w / config_.block;
 
-  // Chunks are deliberately iterated serially: only one chunk's working
-  // set is alive at a time (the whole point of the optimization).
-  Tensor chunk(Shape::bchw(batch, channels, chunk_h, chunk_w));
-  for (std::size_t si = 0; si < s; ++si) {
-    for (std::size_t sj = 0; sj < s; ++sj) {
+  // Chunks are still transformed serially — only one chunk's transform
+  // working set is alive at a time, the point of the optimization — but
+  // the NEXT chunk's input window is gathered on the pool while the
+  // current chunk runs its GEMM sandwich. Double buffering costs one
+  // extra input staging tensor (still O(plane / s^2)) and hides the
+  // strided copy_window latency behind the transform.
+  Tensor staging[2] = {
+      Tensor(Shape::bchw(batch, channels, chunk_h, chunk_w)),
+      Tensor(Shape::bchw(batch, channels, chunk_h, chunk_w))};
+  const std::size_t total = s * s;
+  const auto stage = [&](std::size_t index, Tensor& dst) {
+    copy_window(input, (index / s) * chunk_h, (index % s) * chunk_w, dst, 0,
+                0, chunk_h, chunk_w);
+  };
+  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  std::future<void> pending;
+  stage(0, staging[0]);
+  try {
+    for (std::size_t index = 0; index < total; ++index) {
       AIC_TRACE_SCOPE("ps.chunk");
-      copy_window(input, si * chunk_h, sj * chunk_w, chunk, 0, 0, chunk_h,
-                  chunk_w);
+      if (pending.valid()) pending.get();  // chunk `index` fully staged
+      const Tensor& chunk = staging[index & 1];
+      if (index + 1 < total) {
+        Tensor* next = &staging[(index + 1) & 1];
+        pending =
+            pool.submit([&stage, next, index] { stage(index + 1, *next); });
+      }
       const Tensor packed = chunk_codec_->compress(chunk);
-      copy_window(packed, 0, 0, out, si * chunk_ch, sj * chunk_cw, chunk_ch,
-                  chunk_cw);
+      copy_window(packed, 0, 0, out, (index / s) * chunk_ch,
+                  (index % s) * chunk_cw, chunk_ch, chunk_cw);
     }
+  } catch (...) {
+    // A queued prefetch must not outlive the tensors it writes into.
+    if (pending.valid()) pending.wait();
+    throw;
   }
   const std::size_t planes = batch * channels;
   const std::uint64_t nanos = timer.nanos();

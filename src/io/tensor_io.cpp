@@ -27,15 +27,31 @@ void append(std::string& out, T value) {
 
 }  // namespace
 
-std::string serialize_tensor(const Tensor& tensor) {
+std::string serialize_tensor_header(const Shape& shape) {
   std::string out;
-  out.reserve(24 + tensor.size_bytes());
+  out.reserve(12 + 8 * shape.rank());
   out.append(kMagic, sizeof(kMagic));
   append<std::uint32_t>(out, kVersion);
-  append<std::uint32_t>(out, static_cast<std::uint32_t>(tensor.shape().rank()));
-  for (std::size_t axis = 0; axis < tensor.shape().rank(); ++axis) {
-    append<std::uint64_t>(out, tensor.shape()[axis]);
+  append<std::uint32_t>(out, static_cast<std::uint32_t>(shape.rank()));
+  for (std::size_t axis = 0; axis < shape.rank(); ++axis) {
+    append<std::uint64_t>(out, shape[axis]);
   }
+  return out;
+}
+
+std::size_t serialized_tensor_bytes(const Shape& shape) {
+  std::size_t numel = 1;
+  for (std::size_t axis = 0; axis < shape.rank(); ++axis) {
+    numel = checked_mul(numel, shape[axis], "tensor_io dims");
+  }
+  return 12 + 8 * shape.rank() +
+         checked_mul(numel, sizeof(float), "tensor_io payload");
+}
+
+std::string serialize_tensor(const Tensor& tensor) {
+  std::string out;
+  out.reserve(serialized_tensor_bytes(tensor.shape()));
+  out += serialize_tensor_header(tensor.shape());
   out.append(reinterpret_cast<const char*>(tensor.raw()),
              tensor.size_bytes());
   return out;

@@ -22,4 +22,15 @@ tensor::Tensor load_tensor(const std::string& path);
 std::string serialize_tensor(const tensor::Tensor& tensor);
 tensor::Tensor deserialize_tensor(const std::string& bytes);
 
+/// The header bytes serialize_tensor would emit for `shape` (everything
+/// before the f32 data). The chunked-archive pipeline writes this once
+/// and streams plane data in behind it instead of materializing the
+/// whole serialized string up front.
+std::string serialize_tensor_header(const tensor::Shape& shape);
+
+/// Exact size of serialize_tensor's output for `shape`, overflow-checked
+/// (raises CorruptStream(kOverflow)). Lets archive readers validate an
+/// untrusted payload length before allocating anything.
+std::size_t serialized_tensor_bytes(const tensor::Shape& shape);
+
 }  // namespace aic::io

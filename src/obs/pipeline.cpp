@@ -1,0 +1,64 @@
+#include "obs/pipeline.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace aic::obs {
+
+namespace {
+
+struct Handles {
+  Counter& chunks_encoded = Registry::global().counter("pipeline.chunks_encoded");
+  Counter& chunks_decoded = Registry::global().counter("pipeline.chunks_decoded");
+  Counter& encode_reallocs = Registry::global().counter("pipeline.encode_reallocs");
+  Histogram& encode_ns = Registry::global().histogram("pipeline.chunk_encode.ns");
+  Histogram& decode_ns = Registry::global().histogram("pipeline.chunk_decode.ns");
+  Gauge& last_chunk_bytes = Registry::global().gauge("pipeline.last_chunk_bytes");
+  Gauge& last_chunks = Registry::global().gauge("pipeline.last_chunks");
+  Gauge& overlap_efficiency = Registry::global().gauge("pipeline.overlap_efficiency");
+};
+
+Handles& handles() {
+  static Handles h;
+  return h;
+}
+
+}  // namespace
+
+void PipelineMetrics::record_chunk_encoded(std::uint64_t nanos) {
+  Handles& h = handles();
+  h.chunks_encoded.add(1);
+  h.encode_ns.record(nanos);
+}
+
+void PipelineMetrics::record_encode_reallocs(std::size_t reallocs) {
+  if (reallocs > 0) handles().encode_reallocs.add(reallocs);
+}
+
+void PipelineMetrics::record_chunk_decoded(std::uint64_t nanos) {
+  Handles& h = handles();
+  h.chunks_decoded.add(1);
+  h.decode_ns.record(nanos);
+}
+
+void PipelineMetrics::record_archive_layout(std::size_t chunk_bytes,
+                                            std::size_t chunks) {
+  Handles& h = handles();
+  h.last_chunk_bytes.set(static_cast<double>(chunk_bytes));
+  h.last_chunks.set(static_cast<double>(chunks));
+}
+
+void PipelineMetrics::record_overlap(std::uint64_t transform_ns,
+                                     std::uint64_t encode_ns,
+                                     std::uint64_t wall_ns) {
+  if (wall_ns == 0) return;
+  handles().overlap_efficiency.set(
+      static_cast<double>(transform_ns + encode_ns) /
+      static_cast<double>(wall_ns));
+}
+
+PipelineMetrics& PipelineMetrics::global() {
+  static PipelineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace aic::obs

@@ -10,6 +10,43 @@
 
 namespace aic::runtime {
 
+namespace {
+
+struct AtomicParallelForStats {
+  std::atomic<std::uint64_t> inline_runs{0};
+  std::atomic<std::uint64_t> parallel_runs{0};
+  std::atomic<std::uint64_t> last_total{0};
+  std::atomic<std::uint64_t> last_chunk{0};
+  std::atomic<std::uint64_t> last_tasks{0};
+};
+
+AtomicParallelForStats& stats_slot() {
+  static AtomicParallelForStats stats;
+  return stats;
+}
+
+}  // namespace
+
+ParallelForStats parallel_for_stats() {
+  const AtomicParallelForStats& s = stats_slot();
+  ParallelForStats out;
+  out.inline_runs = s.inline_runs.load(std::memory_order_relaxed);
+  out.parallel_runs = s.parallel_runs.load(std::memory_order_relaxed);
+  out.last_total = s.last_total.load(std::memory_order_relaxed);
+  out.last_chunk = s.last_chunk.load(std::memory_order_relaxed);
+  out.last_tasks = s.last_tasks.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_parallel_for_stats() {
+  AtomicParallelForStats& s = stats_slot();
+  s.inline_runs.store(0, std::memory_order_relaxed);
+  s.parallel_runs.store(0, std::memory_order_relaxed);
+  s.last_total.store(0, std::memory_order_relaxed);
+  s.last_chunk.store(0, std::memory_order_relaxed);
+  s.last_tasks.store(0, std::memory_order_relaxed);
+}
+
 void parallel_for_chunks(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body,
@@ -17,21 +54,44 @@ void parallel_for_chunks(
   if (begin >= end) return;
   const std::size_t total = end - begin;
   ThreadPool& pool = ThreadPool::global();
-  const std::size_t max_chunks = pool.size() * 4;
   const std::size_t grain = std::max<std::size_t>(options.grain, 1);
 
   // Re-entrant calls (a pool task invoking parallel_for) must not queue
   // chunks behind themselves: a worker blocking on futures served by its
   // own pool deadlocks at size 1 and oversubscribes above it. Degrade to
   // inline execution on the calling worker instead.
-  if (total <= grain || pool.size() == 1 || max_chunks <= 1 ||
-      pool.in_worker_thread()) {
+  if (total <= grain || pool.size() == 1 || pool.in_worker_thread()) {
+    stats_slot().inline_runs.fetch_add(1, std::memory_order_relaxed);
     body(begin, end);
     return;
   }
 
-  const std::size_t chunk =
-      std::max(grain, (total + max_chunks - 1) / max_chunks);
+  // Task-count policy. `grain_tasks` is the most tasks the grain allows.
+  // Small ranges (fewer grain-units than workers) get exactly that many
+  // equal chunks — spawning pool-size tasks for 2 chunks of work only
+  // adds queue traffic. Mid-size ranges get one task per worker. Only
+  // ranges with ample work (>= 4 grain-units per worker) use the 4x
+  // oversubscription that load-balances unevenly priced iterations.
+  const std::size_t grain_tasks = (total + grain - 1) / grain;
+  std::size_t tasks;
+  if (grain_tasks <= pool.size()) {
+    tasks = grain_tasks;
+  } else if (grain_tasks < pool.size() * 4) {
+    tasks = pool.size();
+  } else {
+    tasks = pool.size() * 4;
+  }
+  const std::size_t chunk = std::max(grain, (total + tasks - 1) / tasks);
+
+  {
+    AtomicParallelForStats& s = stats_slot();
+    s.parallel_runs.fetch_add(1, std::memory_order_relaxed);
+    s.last_total.store(total, std::memory_order_relaxed);
+    s.last_chunk.store(chunk, std::memory_order_relaxed);
+    s.last_tasks.store((total + chunk - 1) / chunk,
+                       std::memory_order_relaxed);
+  }
+
   std::vector<std::future<void>> futures;
   futures.reserve((total + chunk - 1) / chunk);
   for (std::size_t lo = begin; lo < end; lo += chunk) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace aic::runtime {
@@ -11,6 +12,29 @@ struct ParallelOptions {
   /// inline on the calling thread.
   std::size_t grain = 1024;
 };
+
+/// Process-wide counters describing how `parallel_for` partitioned its
+/// most recent ranges (see parallel_for_stats()). Split decisions are
+/// otherwise invisible, which made grain regressions (N tasks for 2
+/// chunks of work) impossible to assert on.
+struct ParallelForStats {
+  /// Ranges executed inline on the caller (small range, size-1 pool, or
+  /// re-entrant call from a worker).
+  std::uint64_t inline_runs = 0;
+  /// Ranges fanned out over the pool.
+  std::uint64_t parallel_runs = 0;
+  /// Iterations, chosen chunk size, and task count of the most recent
+  /// fanned-out range.
+  std::uint64_t last_total = 0;
+  std::uint64_t last_chunk = 0;
+  std::uint64_t last_tasks = 0;
+};
+
+/// Snapshot of the partitioning counters (thread-safe, relaxed reads).
+ParallelForStats parallel_for_stats();
+
+/// Zeroes the partitioning counters.
+void reset_parallel_for_stats();
 
 /// Runs `body(i)` for every i in [begin, end) across the global thread
 /// pool, splitting the range into contiguous chunks.

@@ -91,6 +91,12 @@ class ThreadPool {
   /// set.
   static ThreadPool& global();
 
+  /// Replaces the global pool with a fresh one of `num_threads` workers
+  /// (0 = hardware concurrency). Benchmark/test hook for in-process
+  /// thread-scaling sweeps; the caller must ensure no tasks are in
+  /// flight and no other thread holds a reference across the call.
+  static void resize_global(std::size_t num_threads);
+
  private:
   void worker_loop();
 

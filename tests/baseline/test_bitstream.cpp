@@ -104,5 +104,78 @@ TEST(BitStream, BitsRemainingCountsDown) {
   EXPECT_EQ(reader.bits_remaining(), 5u);
 }
 
+TEST(BitStream, PeekDoesNotConsumeAndZeroPadsPastEnd) {
+  BitWriter writer;
+  writer.write_bits(0b1011, 4);
+  const auto bytes = writer.finish();  // one byte: 1011 0000
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.peek_bits(4), 0b1011u);
+  EXPECT_EQ(reader.peek_bits(4), 0b1011u);  // still unconsumed
+  // Peeking past the end zero-pads instead of throwing; bits_remaining
+  // bounds how much of the window is trustworthy.
+  EXPECT_EQ(reader.peek_bits(16), 0b1011'0000u << 8);
+  reader.skip_bits(2);
+  EXPECT_EQ(reader.peek_bits(2), 0b11u);
+  EXPECT_EQ(reader.bits_remaining(), 6u);
+  reader.skip_bits(6);
+  EXPECT_EQ(reader.bits_remaining(), 0u);
+  EXPECT_THROW(reader.skip_bits(1), io::CorruptStream);
+}
+
+TEST(BitStream, ReserveFromExactAccountingNeverReallocates) {
+  runtime::Rng rng(21);
+  BitWriter writer;
+  constexpr std::size_t kValues = 4096;
+  writer.reserve((kValues * 7 + 7) / 8);
+  for (std::size_t i = 0; i < kValues; ++i) {
+    writer.write_bits(static_cast<std::uint32_t>(rng.next_u64()) & 0x7f, 7);
+  }
+  EXPECT_EQ(writer.realloc_count(), 0u);
+  EXPECT_EQ(writer.finish().size(), (kValues * 7 + 7) / 8);
+}
+
+TEST(BitStream, UnreservedWriterCountsReallocations) {
+  BitWriter writer;
+  for (std::size_t i = 0; i < 4096; ++i) writer.write_bits(0x55, 8);
+  EXPECT_GT(writer.realloc_count(), 0u);
+}
+
+TEST(FixedWidthPack, RoundTripsAllWidthsAgainstBitWriter) {
+  runtime::Rng rng(22);
+  for (std::size_t width = 1; width <= 8; ++width) {
+    // Ragged counts exercise the SIMD kernel's scalar tail.
+    for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000}}) {
+      std::vector<std::uint8_t> values(count);
+      const std::uint32_t mask = (1u << width) - 1;
+      for (auto& v : values) {
+        v = static_cast<std::uint8_t>(static_cast<std::uint32_t>(rng.next_u64()) & mask);
+      }
+      // Reference stream: one write_bits call per value.
+      BitWriter writer;
+      for (const std::uint8_t v : values) writer.write_bits(v, width);
+      const std::vector<std::uint8_t> reference = writer.finish();
+
+      std::vector<std::uint8_t> packed(packed_bytes(count, width));
+      const std::size_t written =
+          pack_fixed_width(values.data(), count, width, packed.data());
+      EXPECT_EQ(written, packed.size()) << "width " << width;
+      EXPECT_EQ(packed, reference) << "width " << width << " count " << count;
+
+      std::vector<std::uint8_t> restored(count);
+      unpack_fixed_width(packed.data(), packed.size(), width, restored.data(),
+                         count);
+      EXPECT_EQ(restored, values) << "width " << width << " count " << count;
+    }
+  }
+}
+
+TEST(FixedWidthPack, UnpackRejectsShortInput) {
+  std::uint8_t out[16];
+  const std::uint8_t in[2] = {0xff, 0xff};
+  // 16 values of 3 bits need 6 bytes; 2 bytes is a truncated stream.
+  EXPECT_THROW(unpack_fixed_width(in, 2, 3, out, 16), io::CorruptStream);
+}
+
 }  // namespace
 }  // namespace aic::baseline

@@ -149,6 +149,31 @@ TEST(Huffman, RejectsCorruptLengthTables) {
   EXPECT_THROW(HuffmanCoder(Table{}), std::invalid_argument);
 }
 
+TEST(Huffman, CodesBeyondLutWindowDecodeViaBitWalk) {
+  // A canonical table mixing codes shorter and longer than the kLutBits
+  // decode window: the LUT resolves the short ones, the >11-bit codes
+  // take the exact bit-walk fallback, and the two paths must agree on
+  // one stream. Lengths {1, 2, ..., 13, 14, 14} satisfy Kraft exactly.
+  std::map<std::uint16_t, std::uint8_t> lengths;
+  for (std::uint8_t len = 1; len <= 14; ++len) {
+    lengths[len] = len;
+  }
+  lengths[15] = 14;
+  const HuffmanCoder coder(lengths);
+  std::vector<std::uint16_t> sample;
+  runtime::Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    sample.push_back(static_cast<std::uint16_t>(1 + rng.uniform_index(15)));
+  }
+  BitWriter writer;
+  writer.reserve((coder.encoded_bits(sample) + 7) / 8);
+  coder.encode(sample, writer);
+  EXPECT_EQ(writer.realloc_count(), 0u);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(coder.decode(reader, sample.size()), sample);
+}
+
 TEST(Huffman, DecodeRejectsCountBeyondStream) {
   const HuffmanCoder coder(std::vector<std::uint16_t>{1, 2, 2, 3, 3, 3, 3});
   const std::vector<std::uint8_t> one_byte = {0xFF};

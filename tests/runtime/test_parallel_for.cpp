@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/env.hpp"
+#include "runtime/thread_pool.hpp"
+
 namespace aic::runtime {
 namespace {
 
@@ -123,6 +126,79 @@ TEST(ParallelForNested, ExceptionFromInnerLoopPropagates) {
           },
           {.grain = 1}),
       std::runtime_error);
+}
+
+/// Pins the global pool to a known size for stats assertions and
+/// restores the environment-configured size on scope exit, so the
+/// env-pinned nested_pool{1,4} reruns keep their configuration.
+struct PinnedPool {
+  explicit PinnedPool(std::size_t size) { ThreadPool::resize_global(size); }
+  ~PinnedPool() {
+    ThreadPool::resize_global(
+        env_size_t("AIC_NUM_THREADS", env_size_t("AIC_THREADS", 0)));
+  }
+};
+
+TEST(ParallelForStatsCounters, SmallRangeCountsAsInlineRun) {
+  PinnedPool pin(4);
+  reset_parallel_for_stats();
+  parallel_for(0, 4, [](std::size_t) {}, {.grain = 1024});
+  const ParallelForStats stats = parallel_for_stats();
+  EXPECT_EQ(stats.inline_runs, 1u);
+  EXPECT_EQ(stats.parallel_runs, 0u);
+}
+
+TEST(ParallelForStatsCounters, GrainHeuristicExposedInStats) {
+  PinnedPool pin(4);
+
+  // 2 grain-units of work on a 4-worker pool: exactly 2 equal tasks, not
+  // one idle task per worker.
+  reset_parallel_for_stats();
+  std::atomic<int> count{0};
+  const auto body = [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); };
+  parallel_for(0, 64, body, {.grain = 32});
+  ParallelForStats stats = parallel_for_stats();
+  EXPECT_EQ(stats.parallel_runs, 1u);
+  EXPECT_EQ(stats.last_total, 64u);
+  EXPECT_EQ(stats.last_tasks, 2u);
+  EXPECT_EQ(stats.last_chunk, 32u);
+
+  // Mid-size range (8 grain-units, under 4x the pool): one task per
+  // worker, chunks grown to cover the range.
+  parallel_for(0, 256, body, {.grain = 32});
+  stats = parallel_for_stats();
+  EXPECT_EQ(stats.last_tasks, 4u);
+  EXPECT_EQ(stats.last_chunk, 64u);
+
+  // Ample work (64 grain-units): 4x oversubscription kicks in.
+  parallel_for(0, 2048, body, {.grain = 32});
+  stats = parallel_for_stats();
+  EXPECT_EQ(stats.last_tasks, 16u);
+  EXPECT_EQ(stats.last_chunk, 128u);
+  EXPECT_EQ(stats.parallel_runs, 3u);
+  EXPECT_EQ(count.load(), 64 + 256 + 2048);
+}
+
+TEST(ParallelForNested, ReentrantCallFromWorkerInlinesAndIsCounted) {
+  // A pool task that itself calls parallel_for must degrade to inline
+  // execution on its worker — queueing sub-chunks behind itself is the
+  // configuration that deadlocked at pool size 1. The stats counters make
+  // the degrade observable instead of inferred from "it didn't hang".
+  PinnedPool pin(4);
+  reset_parallel_for_stats();
+  std::atomic<int> count{0};
+  ThreadPool::global()
+      .submit([&] {
+        parallel_for(
+            0, 4096,
+            [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); },
+            {.grain = 1});
+      })
+      .get();
+  EXPECT_EQ(count.load(), 4096);
+  const ParallelForStats stats = parallel_for_stats();
+  EXPECT_GE(stats.inline_runs, 1u);
+  EXPECT_EQ(stats.parallel_runs, 0u);
 }
 
 TEST(ParallelForChunks, GrainZeroIsTreatedAsOne) {
