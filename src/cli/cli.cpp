@@ -8,6 +8,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
+
 #include "accel/drift.hpp"
 #include "baseline/comparators.hpp"
 #include "cli/archive.hpp"
@@ -16,6 +20,9 @@
 #include "core/metrics.hpp"
 #include "data/synth.hpp"
 #include "io/tensor_io.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/cpu_features.hpp"
@@ -40,6 +47,7 @@ struct Options {
   bool stats = false;
   bool metrics = false;
   std::string trace_path;
+  std::string metrics_out;
 };
 
 Options parse(const std::vector<std::string>& args, std::size_t start) {
@@ -57,6 +65,11 @@ Options parse(const std::vector<std::string>& args, std::size_t start) {
         throw std::invalid_argument("missing output path for --trace");
       }
       options.trace_path = args[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing output path for --metrics-out");
+      }
+      options.metrics_out = args[++i];
     } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= args.size()) {
         throw std::invalid_argument("missing value for " + arg);
@@ -123,8 +136,18 @@ int usage(std::ostream& err) {
          "  aicomp eval <in.aict> [--codec <spec> | --cf N --block B "
          "--transform ... --triangle] [--stats]\n"
          "  aicomp codecs      (list registered codec specs)\n"
+         "  aicomp serve [in.aicz] [--obs-port P --duration-ms D "
+         "--interval-ms I]\n"
          "  aicomp --metrics   (standalone: probe workload + report)\n"
          "\n"
+         "  serve runs a continuous workload (decode of in.aicz, or the\n"
+         "  synthetic probe) with the telemetry endpoint up: GET /metrics\n"
+         "  (OpenMetrics), /healthz, /tracez on --obs-port (default\n"
+         "  AIC_OBS_PORT or 9464; 0 picks a free port). --duration-ms 0\n"
+         "  serves until SIGINT/SIGTERM. --interval-ms sets the snapshot\n"
+         "  exporter cadence (default AIC_METRICS_EXPORT_MS or 1000).\n"
+         "  --metrics-out <path> writes the JSON metrics snapshot to a\n"
+         "  file after any command (machine-readable --metrics).\n"
          "  --codec takes a CodecFactory spec: kind[:key=value,...], e.g.\n"
          "  dctchop:cf=4, partial:cf=4,s=2, triangle:cf=4, zfp:rate=8,\n"
          "  sz:eb=1e-3, jpeg:q=85. `aicomp codecs` lists every kind.\n"
@@ -274,6 +297,103 @@ int cmd_probe(std::ostream& out) {
   out << "probe: 32 round trips of " << codec->name() << " on "
       << large.shape().to_string() << " and " << small.shape().to_string()
       << " across 2 threads\n";
+  return 0;
+}
+
+std::atomic<bool> g_serve_stop{false};
+
+void serve_stop_handler(int) { g_serve_stop.store(true); }
+
+/// `aicomp serve [in.aicz]`: keeps a workload running with the whole
+/// telemetry stack up — interval snapshot exporter, OpenMetrics HTTP
+/// endpoint, spans — so a Prometheus scrape (or curl) can watch
+/// plan_cache.*, pipeline.*, and accel.* evolve on a live process.
+int cmd_serve(const Options& options, std::ostream& out) {
+  const std::size_t env_port = runtime::env_size_t("AIC_OBS_PORT", 9464);
+  const std::size_t port = flag_size(options, "obs-port", env_port);
+  const std::size_t duration_ms = flag_size(options, "duration-ms", 0);
+  const std::size_t interval_ms = flag_size(
+      options, "interval-ms", runtime::env_size_t("AIC_METRICS_EXPORT_MS", 1000));
+
+  obs::Exporter::Options exporter_options;
+  exporter_options.interval_ms = interval_ms;
+  exporter_options.jsonl_path = runtime::env_string("AIC_METRICS_JSONL", "");
+  obs::Exporter::global().start(exporter_options);
+
+  obs::HttpServer& server = obs::HttpServer::global();
+  if (!server.running()) {
+    obs::HttpServer::Options server_options;
+    server_options.port = static_cast<std::uint16_t>(port);
+    if (!server.start(server_options)) {
+      throw std::runtime_error("serve: cannot bind obs port " +
+                               std::to_string(port));
+    }
+  }
+
+  // Optional decode workload: a real archive is re-deserialized from its
+  // raw bytes every iteration (container CRCs, chunk-parallel entropy
+  // decode, codec decompress) so the pipeline.* and io.* families keep
+  // moving; without one the synthetic probe codec keeps plan_cache.*
+  // alive. Spans are recorded so /tracez shows live structure.
+  std::string archive_bytes;
+  if (options.positional.size() > 1) {
+    throw std::invalid_argument("serve: expected at most one archive path");
+  }
+  if (options.positional.size() == 1) {
+    std::ifstream file(options.positional[0], std::ios::binary);
+    if (!file) {
+      throw std::runtime_error("serve: cannot open " + options.positional[0]);
+    }
+    archive_bytes.assign((std::istreambuf_iterator<char>(file)),
+                         std::istreambuf_iterator<char>());
+    // Validate up front so a corrupt archive fails loudly at startup
+    // instead of raising once per iteration.
+    (void)deserialize_archive(archive_bytes);
+  }
+  runtime::Rng rng(7);
+  const Tensor probe_input = Tensor::uniform(Shape::bchw(2, 3, 32, 32), rng);
+  const core::CodecPtr probe_codec = core::make_codec("dctchop:cf=4,block=8");
+  obs::set_tracing_enabled(true);
+
+  out << "serving obs on port " << server.port()
+      << ": /metrics /healthz /tracez (exporter interval " << interval_ms
+      << " ms)\n";
+  out.flush();
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, serve_stop_handler);
+  std::signal(SIGTERM, serve_stop_handler);
+
+  obs::Counter& iterations =
+      obs::Registry::global().counter("serve.iterations");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(duration_ms);
+  std::uint64_t iters = 0;
+  while (!g_serve_stop.load()) {
+    {
+      AIC_TRACE_SCOPE("serve.iteration");
+      if (!archive_bytes.empty()) {
+        const Archive archive = deserialize_archive(archive_bytes);
+        const core::CodecPtr codec = make_archive_codec(archive);
+        (void)codec->decompress(archive.packed, archive.original_shape);
+      } else {
+        (void)probe_codec->round_trip(probe_input);
+      }
+    }
+    iterations.add();
+    ++iters;
+    if (duration_ms != 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  out << "serve: " << iters << " workload iterations, "
+      << obs::Exporter::global().samples_taken() << " metric samples, "
+      << obs::Registry::global().counter("obs.http.scrapes").value()
+      << " scrapes\n";
   return 0;
 }
 
@@ -444,6 +564,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   // Baseline comparators live above core, so their factory entries are
   // registered explicitly before any spec is parsed.
   baseline::register_comparator_codecs();
+  // AIC_OBS_PORT / AIC_METRICS_EXPORT_MS / AIC_METRICS_JSONL / AIC_FLIGHT
+  // light up the continuous-telemetry stack for any command.
+  obs::flight::set_provenance("cpu_backend", runtime::kernel_backend_name());
+  obs::flight::set_provenance(
+      "cpu_features", runtime::cpu_features().avx2 ? "avx2+fma" : "scalar");
+  obs::observability_bootstrap_from_env();
   try {
     // `aicomp --metrics` / `aicomp --trace f.json` with no command run a
     // built-in probe workload.
@@ -460,7 +586,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
 
     int rc;
     if (bare) {
-      if (!options.metrics && options.trace_path.empty()) return usage(err);
+      if (!options.metrics && options.trace_path.empty() &&
+          options.metrics_out.empty()) {
+        return usage(err);
+      }
       rc = cmd_probe(out);
     } else if (command == "gen") {
       rc = cmd_gen(options, out);
@@ -476,6 +605,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       rc = cmd_eval(options, out);
     } else if (command == "codecs") {
       rc = cmd_codecs(out);
+    } else if (command == "serve") {
+      rc = cmd_serve(options, out);
     } else {
       err << "unknown command: " << command << "\n";
       return usage(err);
@@ -490,6 +621,19 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << obs::collect_trace().size() << " spans)\n";
     }
     if (options.metrics) print_metrics(out);
+    if (!options.metrics_out.empty()) {
+      // Machine-readable --metrics: the full registry snapshot as JSON
+      // (the same document the JSONL exporter appends per interval).
+      std::ofstream file(options.metrics_out);
+      if (!file) {
+        err << "error: cannot write metrics to " << options.metrics_out
+            << "\n";
+        return 1;
+      }
+      obs::Registry::global().write_json(file);
+      file << "\n";
+      out << "wrote metrics to " << options.metrics_out << "\n";
+    }
     return rc;
   } catch (const std::exception& error) {
     err << "error: " << error.what() << "\n";

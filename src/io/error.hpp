@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace aic::io {
@@ -59,7 +60,9 @@ class CorruptStream : public std::runtime_error {
   CorruptKind kind_;
 };
 
-/// Throws CorruptStream after bumping the `io.decode_error` counters.
+/// Throws CorruptStream after bumping the `io.decode_error` counters and
+/// handing the rejection to the flight recorder (one record per typed
+/// rejection while armed — the robustness suite asserts the 1:1 pairing).
 /// All internal throw sites funnel through here (not the constructor) so
 /// exception copies never double count.
 [[noreturn]] inline void raise_corrupt(CorruptKind kind,
@@ -68,6 +71,7 @@ class CorruptStream : public std::runtime_error {
   registry.counter("io.decode_error").add();
   registry.counter(std::string("io.decode_error.") + corrupt_kind_name(kind))
       .add();
+  obs::flight::record_corrupt(corrupt_kind_name(kind), message.c_str());
   throw CorruptStream(kind, message);
 }
 

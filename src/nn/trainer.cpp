@@ -3,8 +3,11 @@
 #include <stdexcept>
 
 #include "core/codec_factory.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/cpu_features.hpp"
 #include "runtime/timer.hpp"
 
 namespace aic::nn {
@@ -13,7 +16,15 @@ using tensor::Tensor;
 
 Trainer::Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
                  core::CodecPtr codec)
-    : model_(model), optimizer_(optimizer), task_(task), codec_(std::move(codec)) {}
+    : model_(model), optimizer_(optimizer), task_(task), codec_(std::move(codec)) {
+  // A long-lived training run is exactly what the continuous-telemetry
+  // stack exists for: AIC_OBS_PORT / AIC_METRICS_EXPORT_MS /
+  // AIC_METRICS_JSONL / AIC_FLIGHT light it up here so a Prometheus
+  // scrape works against a live fit() without any CLI involvement.
+  // Idempotent — each leg starts at most once per process.
+  obs::flight::set_provenance("cpu_backend", runtime::kernel_backend_name());
+  obs::observability_bootstrap_from_env();
+}
 
 Trainer::Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
                  const std::string& codec_spec)

@@ -1,0 +1,294 @@
+#include "obs/export.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/http_server.hpp"
+#include "obs/trace.hpp"
+
+namespace aic::obs {
+
+MetricsSnapshot snapshot_registry() {
+  MetricsSnapshot snapshot;
+  snapshot.mono_ns = trace_now_ns();
+  snapshot.wall_ms = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  const Registry& registry = Registry::global();
+  snapshot.counters = registry.counters();
+  snapshot.gauges = registry.gauges();
+  snapshot.histograms = registry.histograms();
+  return snapshot;
+}
+
+void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << "{\"t_ms\":" << snapshot.wall_ms
+      << ",\"mono_ns\":" << snapshot.mono_ns
+      << ",\"sequence\":" << snapshot.sequence << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ",";
+    first = false;
+    detail::write_json_string(out, name);
+    out << ":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ",";
+    first = false;
+    detail::write_json_string(out, name);
+    out << ":";
+    detail::write_json_number(out, value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : snapshot.histograms) {
+    if (!first) out << ",";
+    first = false;
+    detail::write_json_string(out, name);
+    out << ":{\"count\":" << snap.count << ",\"sum\":" << snap.sum
+        << ",\"min\":" << snap.min << ",\"max\":" << snap.max << ",\"p50\":";
+    detail::write_json_number(out, snap.p50());
+    out << ",\"p90\":";
+    detail::write_json_number(out, snap.p90());
+    out << ",\"p99\":";
+    detail::write_json_number(out, snap.p99());
+    out << "}";
+  }
+  out << "}}";
+}
+
+std::string snapshot_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  write_snapshot_json(out, snapshot);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotRing
+
+struct SnapshotRing::Impl {
+  mutable std::mutex mutex;
+  std::vector<MetricsSnapshot> ring;
+  std::uint64_t pushed = 0;
+};
+
+SnapshotRing::SnapshotRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      impl_(std::make_shared<Impl>()) {}
+
+void SnapshotRing::push(MetricsSnapshot snapshot) {
+  std::lock_guard lock(impl_->mutex);
+  snapshot.sequence = ++impl_->pushed;
+  if (impl_->ring.size() < capacity_) {
+    impl_->ring.push_back(std::move(snapshot));
+  } else {
+    impl_->ring[(impl_->pushed - 1) % capacity_] = std::move(snapshot);
+  }
+}
+
+std::vector<MetricsSnapshot> SnapshotRing::snapshots() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<MetricsSnapshot> out;
+  out.reserve(impl_->ring.size());
+  // The ring fills in push order until wrap; afterwards the oldest entry
+  // sits right after the newest write position.
+  const std::size_t size = impl_->ring.size();
+  const std::size_t start =
+      size < capacity_ ? 0 : static_cast<std::size_t>(impl_->pushed % capacity_);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(impl_->ring[(start + i) % size]);
+  }
+  return out;
+}
+
+MetricsSnapshot SnapshotRing::latest() const {
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->ring.empty()) return MetricsSnapshot{};
+  return impl_->ring[(impl_->pushed - 1) % capacity_];
+}
+
+std::size_t SnapshotRing::size() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->ring.size();
+}
+
+std::uint64_t SnapshotRing::total_pushed() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->pushed;
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+
+struct Exporter::Impl {
+  mutable std::mutex mutex;            // guards start/stop transitions
+  std::condition_variable wake;        // wakes the sampler for stop()
+  std::mutex wake_mutex;
+  std::thread sampler;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<std::uint64_t> samples{0};
+  Options options;
+  SnapshotRing ring{128};
+
+  Counter* sample_counter = nullptr;
+  Histogram* sample_ns = nullptr;
+
+  MetricsSnapshot take_sample() {
+    const std::uint64_t begin = trace_now_ns();
+    MetricsSnapshot snapshot = snapshot_registry();
+    ring.push(snapshot);
+    samples.fetch_add(1, std::memory_order_relaxed);
+    if (sample_counter != nullptr) sample_counter->add();
+    if (!options.jsonl_path.empty()) {
+      std::ofstream out(options.jsonl_path, std::ios::app);
+      if (out) {
+        write_snapshot_json(out, snapshot);
+        out << "\n";
+      }
+    }
+    // Keep the flight recorder's pre-rendered metrics buffer fresh so a
+    // fatal signal dumps telemetry at most one interval old.
+    flight::note_metrics(snapshot);
+    if (sample_ns != nullptr) sample_ns->record(trace_now_ns() - begin);
+    return snapshot;
+  }
+};
+
+Exporter::Exporter() : impl_(new Impl()) {
+  impl_->sample_counter = &Registry::global().counter("obs.export.samples");
+  impl_->sample_ns = &Registry::global().histogram("obs.export.sample_ns");
+}
+
+Exporter& Exporter::global() {
+  // Leaky singleton, same lifetime policy as Registry.
+  static Exporter* exporter = new Exporter();
+  return *exporter;
+}
+
+bool Exporter::start(const Options& options) {
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->running.load(std::memory_order_acquire)) return false;
+  impl_->options = options;
+  if (impl_->options.interval_ms == 0) impl_->options.interval_ms = 1000;
+  if (impl_->ring.capacity() != options.ring_capacity &&
+      options.ring_capacity > 0) {
+    impl_->ring = SnapshotRing(options.ring_capacity);
+  }
+  impl_->stop_requested.store(false, std::memory_order_release);
+  impl_->take_sample();
+  impl_->running.store(true, std::memory_order_release);
+  Impl* impl = impl_;
+  impl_->sampler = std::thread([impl] {
+    while (!impl->stop_requested.load(std::memory_order_acquire)) {
+      std::unique_lock lock(impl->wake_mutex);
+      impl->wake.wait_for(
+          lock, std::chrono::milliseconds(impl->options.interval_ms), [impl] {
+            return impl->stop_requested.load(std::memory_order_acquire);
+          });
+      if (impl->stop_requested.load(std::memory_order_acquire)) break;
+      impl->take_sample();
+    }
+  });
+  return true;
+}
+
+void Exporter::stop() {
+  std::lock_guard lock(impl_->mutex);
+  if (!impl_->running.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard wake_lock(impl_->wake_mutex);
+    impl_->stop_requested.store(true, std::memory_order_release);
+  }
+  impl_->wake.notify_all();
+  if (impl_->sampler.joinable()) impl_->sampler.join();
+  impl_->running.store(false, std::memory_order_release);
+}
+
+bool Exporter::running() const noexcept {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+const Exporter::Options& Exporter::options() const noexcept {
+  return impl_->options;
+}
+
+MetricsSnapshot Exporter::sample_now() { return impl_->take_sample(); }
+
+MetricsSnapshot Exporter::latest() const {
+  if (impl_->ring.total_pushed() == 0) return snapshot_registry();
+  return impl_->ring.latest();
+}
+
+const SnapshotRing& Exporter::ring() const { return impl_->ring; }
+
+std::uint64_t Exporter::samples_taken() const noexcept {
+  return impl_->samples.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Environment bootstrap
+
+namespace {
+
+bool env_truthy(const char* value) {
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+bool observability_bootstrap_from_env() {
+  bool active = false;
+
+  const char* jsonl = std::getenv("AIC_METRICS_JSONL");
+  const std::uint64_t interval = env_u64("AIC_METRICS_EXPORT_MS", 0);
+  if (interval > 0 || (jsonl != nullptr && *jsonl != '\0')) {
+    Exporter::Options options;
+    options.interval_ms = interval > 0 ? interval : 1000;
+    if (jsonl != nullptr) options.jsonl_path = jsonl;
+    Exporter::global().start(options);  // false when already running: fine
+    active = true;
+  }
+
+  const std::uint64_t port = env_u64("AIC_OBS_PORT", 0);
+  if (std::getenv("AIC_OBS_PORT") != nullptr) {
+    HttpServer::Options options;
+    options.port = static_cast<std::uint16_t>(port);
+    HttpServer::global().start(options);
+    active = true;
+  }
+
+  const char* flight_path = std::getenv("AIC_FLIGHT");
+  if (env_truthy(flight_path)) {
+    flight::Options options;
+    // AIC_FLIGHT=1 arms with the default path; anything else is a path.
+    if (std::strcmp(flight_path, "1") != 0) options.path = flight_path;
+    options.dump_on_corrupt = env_truthy(std::getenv("AIC_FLIGHT_ON_CORRUPT"));
+    flight::arm(options);
+    active = true;
+  }
+
+  return active;
+}
+
+}  // namespace aic::obs

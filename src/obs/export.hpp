@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace aic::obs {
+
+/// Point-in-time copy of the whole metrics registry, timestamped on both
+/// the monotonic trace timebase (correlates with spans) and the wall
+/// clock (what a scrape / JSONL consumer wants).
+struct MetricsSnapshot {
+  std::uint64_t mono_ns = 0;  ///< trace_now_ns() at capture.
+  std::int64_t wall_ms = 0;   ///< Unix epoch milliseconds at capture.
+  /// Monotonically increasing capture index (assigned by SnapshotRing;
+  /// 0 for ad-hoc snapshots that never entered a ring).
+  std::uint64_t sequence = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Captures every instrument of Registry::global() right now.
+MetricsSnapshot snapshot_registry();
+
+/// One JSON object (single line, no trailing newline) with the snapshot's
+/// timestamps and the full counter/gauge/histogram state — the JSONL
+/// time-series record format of the interval exporter.
+void write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot);
+std::string snapshot_json(const MetricsSnapshot& snapshot);
+
+/// Bounded ring of timestamped snapshots: push overwrites the oldest
+/// entry once `capacity` is reached. Thread-safe.
+class SnapshotRing {
+ public:
+  explicit SnapshotRing(std::size_t capacity);
+
+  /// Stamps `snapshot.sequence` (1-based push index) and stores it.
+  void push(MetricsSnapshot snapshot);
+  /// Retained snapshots, oldest first.
+  std::vector<MetricsSnapshot> snapshots() const;
+  /// Most recent snapshot; nullopt-like empty snapshot when none pushed.
+  MetricsSnapshot latest() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+  /// Total pushes over the ring's lifetime (>= size once wrapped).
+  std::uint64_t total_pushed() const;
+
+ private:
+  struct Impl;
+  std::size_t capacity_;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Background sampler: snapshots the registry every `interval_ms` into a
+/// bounded in-memory ring, and (optionally) appends one JSONL record per
+/// sample to `jsonl_path`. One process-wide instance behind global();
+/// start/stop are idempotent.
+class Exporter {
+ public:
+  struct Options {
+    std::uint64_t interval_ms = 1000;
+    std::size_t ring_capacity = 128;
+    /// Append-only JSONL time series ("" disables the file leg).
+    std::string jsonl_path;
+  };
+
+  static Exporter& global();
+
+  /// Spawns the sampler thread. Returns false (and changes nothing) when
+  /// already running. Takes one sample synchronously before returning so
+  /// `latest()` is never empty after a successful start.
+  bool start(const Options& options);
+  /// Joins the sampler thread; safe to call when not running. The ring
+  /// keeps its samples so post-mortem reads still work after stop().
+  void stop();
+  bool running() const noexcept;
+  const Options& options() const noexcept;
+
+  /// Takes one sample immediately (works with or without the thread).
+  MetricsSnapshot sample_now();
+  /// Most recent sample (empty snapshot when none was ever taken).
+  MetricsSnapshot latest() const;
+  /// The snapshot ring (valid for the process lifetime).
+  const SnapshotRing& ring() const;
+  /// Samples taken over the exporter's lifetime (across restarts).
+  std::uint64_t samples_taken() const noexcept;
+
+ private:
+  Exporter();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Environment bootstrap for the whole continuous-telemetry stack; safe
+/// to call from several entry points (CLI, Trainer) — each leg starts at
+/// most once:
+///   AIC_METRICS_EXPORT_MS=<ms>  start the interval exporter
+///   AIC_METRICS_JSONL=<path>    JSONL leg (implies exporter, 1000 ms
+///                               default interval when _MS is unset)
+///   AIC_OBS_PORT=<port>         start the HTTP endpoint
+///   AIC_FLIGHT=<path>           arm the flight recorder
+///   AIC_FLIGHT_ON_CORRUPT=1     also dump a file per typed rejection
+/// Returns true when any leg is active afterwards.
+bool observability_bootstrap_from_env();
+
+}  // namespace aic::obs

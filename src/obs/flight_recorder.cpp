@@ -1,0 +1,441 @@
+#include "obs/flight_recorder.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace aic::obs::flight {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixed storage. Everything the fatal-signal path reads or writes lives
+// here — no allocation happens after arm().
+
+constexpr std::size_t kMaxPath = 512;
+constexpr std::size_t kMaxRecords = 64;
+constexpr std::size_t kMaxProvenance = 16;
+constexpr std::size_t kMaxDumpSpans = 2048;
+constexpr std::size_t kMetricsBufBytes = 128 * 1024;
+constexpr std::size_t kOutBufBytes = 512 * 1024;
+
+struct CorruptRecord {
+  char kind[32];
+  char message[192];
+  std::uint64_t mono_ns;
+};
+
+struct ProvenanceSlot {
+  char key[48];
+  char value[192];
+};
+
+char g_path[kMaxPath] = "aic.aicflight";
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_dump_on_corrupt{false};
+std::size_t g_spans_per_thread = 64;
+
+CorruptRecord g_records[kMaxRecords]{};
+std::atomic<std::uint64_t> g_record_head{0};
+
+ProvenanceSlot g_provenance[kMaxProvenance]{};
+std::atomic<std::size_t> g_provenance_count{0};
+
+/// Double-buffered pre-rendered metrics JSON: the writer fills the
+/// inactive buffer then flips `g_metrics_active`; the signal handler
+/// copies whichever buffer is active (a racing flip means it reads the
+/// previous complete rendering — never a torn one).
+char g_metrics_buf[2][kMetricsBufBytes];
+std::size_t g_metrics_len[2] = {0, 0};
+std::atomic<int> g_metrics_active{-1};
+std::mutex g_metrics_writer_mutex;
+
+TraceSpan g_span_scratch[kMaxDumpSpans];
+char g_out_buf[kOutBufBytes];
+std::atomic<bool> g_in_fatal_dump{false};
+
+std::atomic<std::uint64_t> g_dump_count{0};
+Counter* g_dump_counter = nullptr;   // obs.flight_dumps
+Counter* g_file_counter = nullptr;   // obs.flight_files
+
+#if !defined(_WIN32)
+struct sigaction g_previous_actions[NSIG]{};
+#endif
+std::terminate_handler g_previous_terminate = nullptr;
+bool g_signals_installed = false;
+bool g_terminate_installed = false;
+
+// ---------------------------------------------------------------------------
+// Signal-cautious formatting into a fixed buffer: no snprintf for the
+// hot pieces, just byte appends and manual integer rendering.
+
+struct BufWriter {
+  char* buf;
+  std::size_t cap;
+  std::size_t len = 0;
+
+  void put(char c) {
+    if (len < cap) buf[len++] = c;
+  }
+  void puts(const char* s) {
+    for (; *s != '\0'; ++s) put(*s);
+  }
+  void put_u64(std::uint64_t v) {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+  void put_i64(std::int64_t v) {
+    if (v < 0) {
+      put('-');
+      put_u64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      put_u64(static_cast<std::uint64_t>(v));
+    }
+  }
+  /// JSON string literal with quote/backslash/control escaping.
+  void put_json(const char* s) {
+    put('"');
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      if (c == '"' || c == '\\') {
+        put('\\');
+        put(static_cast<char>(c));
+      } else if (c < 0x20) {
+        puts("\\u00");
+        const char* hex = "0123456789abcdef";
+        put(hex[c >> 4]);
+        put(hex[c & 0xf]);
+      } else {
+        put(static_cast<char>(c));
+      }
+    }
+    put('"');
+  }
+  void put_raw(const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) put(data[i]);
+  }
+};
+
+void copy_str(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  for (; src != nullptr && src[i] != '\0' && i + 1 < cap; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Dump body (shared by the signal path and dump_now): renders the whole
+// .aicflight JSON into `writer` from fixed storage only.
+
+void render_dump(BufWriter& writer, const char* reason, const char* detail,
+                 int signal_number, const TraceSpan* spans,
+                 std::size_t span_count) {
+  writer.puts("{\"format\":\"aicflight\",\"version\":1,\"reason\":");
+  writer.put_json(reason);
+  writer.puts(",\"detail\":");
+  writer.put_json(detail != nullptr ? detail : "");
+  writer.puts(",\"signal\":");
+  writer.put_i64(signal_number);
+  writer.puts(",\"mono_ns\":");
+  writer.put_u64(trace_now_ns());
+  writer.puts(",\"flight_dumps\":");
+  writer.put_u64(g_dump_count.load(std::memory_order_relaxed));
+
+  writer.puts(",\"provenance\":{");
+  const std::size_t prov =
+      g_provenance_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < prov && i < kMaxProvenance; ++i) {
+    if (i != 0) writer.put(',');
+    writer.put_json(g_provenance[i].key);
+    writer.put(':');
+    writer.put_json(g_provenance[i].value);
+  }
+  writer.puts("}");
+
+  writer.puts(",\"corrupt_records\":[");
+  const std::uint64_t head = g_record_head.load(std::memory_order_acquire);
+  const std::uint64_t live = head < kMaxRecords ? head : kMaxRecords;
+  for (std::uint64_t i = head - live; i < head; ++i) {
+    const CorruptRecord& record = g_records[i % kMaxRecords];
+    if (i != head - live) writer.put(',');
+    writer.puts("{\"kind\":");
+    writer.put_json(record.kind);
+    writer.puts(",\"message\":");
+    writer.put_json(record.message);
+    writer.puts(",\"mono_ns\":");
+    writer.put_u64(record.mono_ns);
+    writer.put('}');
+  }
+  writer.puts("]");
+
+  writer.puts(",\"metrics\":");
+  const int active = g_metrics_active.load(std::memory_order_acquire);
+  if (active >= 0 && g_metrics_len[active] > 0) {
+    writer.put_raw(g_metrics_buf[active], g_metrics_len[active]);
+  } else {
+    writer.puts("null");
+  }
+
+  writer.puts(",\"spans\":[");
+  for (std::size_t i = 0; i < span_count; ++i) {
+    const TraceSpan& span = spans[i];
+    if (i != 0) writer.put(',');
+    writer.puts("{\"name\":");
+    writer.put_json(span.name != nullptr ? span.name : "?");
+    writer.puts(",\"tid\":");
+    writer.put_u64(span.tid);
+    writer.puts(",\"start_ns\":");
+    writer.put_u64(span.start_ns);
+    writer.puts(",\"dur_ns\":");
+    writer.put_u64(span.dur_ns);
+    writer.puts(",\"depth\":");
+    writer.put_u64(span.depth);
+    writer.put('}');
+  }
+  writer.puts("]}\n");
+}
+
+/// open/write/fsync/close with plain POSIX calls (async-signal-safe).
+bool write_file_raw(const char* path, const char* data, std::size_t len) {
+#if defined(_WIN32)
+  FILE* file = std::fopen(path, "wb");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(data, 1, len, file) == len;
+  std::fclose(file);
+  return ok;
+#else
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return written == len;
+#endif
+}
+
+/// The fatal path: fixed buffers only. Reentrancy-guarded so a crash
+/// inside the dump itself cannot recurse.
+void fatal_dump(const char* reason, const char* detail, int signal_number) {
+  if (g_in_fatal_dump.exchange(true, std::memory_order_acq_rel)) return;
+  const std::size_t span_count = collect_trace_unsynchronized(
+      g_span_scratch, kMaxDumpSpans, g_spans_per_thread);
+  BufWriter writer{g_out_buf, kOutBufBytes};
+  render_dump(writer, reason, detail, signal_number, g_span_scratch,
+              span_count);
+  write_file_raw(g_path, g_out_buf, writer.len);
+  g_in_fatal_dump.store(false, std::memory_order_release);
+}
+
+void signal_handler(int signal_number) {
+  char name[16];
+  copy_str(name, sizeof(name), "signal");
+  fatal_dump("signal", name, signal_number);
+  // Restore the default disposition and re-raise so the process still
+  // dies with the original signal (exit codes, core dumps intact).
+  std::signal(signal_number, SIG_DFL);
+  std::raise(signal_number);
+}
+
+void terminate_handler() {
+  const char* what = "std::terminate";
+  // Best effort: name the active exception if there is one.
+  if (std::current_exception() != nullptr) what = "uncaught exception";
+  fatal_dump("terminate", what, 0);
+  if (g_previous_terminate != nullptr) g_previous_terminate();
+  std::abort();
+}
+
+constexpr int kFatalSignals[] = {
+#if defined(_WIN32)
+    SIGSEGV, SIGABRT, SIGILL, SIGFPE,
+#else
+    SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE,
+#endif
+};
+
+void install_signal_handlers() {
+#if defined(_WIN32)
+  for (const int sig : kFatalSignals) std::signal(sig, signal_handler);
+#else
+  struct sigaction action {};
+  action.sa_handler = signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_NODEFER;
+  for (const int sig : kFatalSignals) {
+    sigaction(sig, &action, &g_previous_actions[sig]);
+  }
+#endif
+  g_signals_installed = true;
+}
+
+void uninstall_signal_handlers() {
+  if (!g_signals_installed) return;
+#if defined(_WIN32)
+  for (const int sig : kFatalSignals) std::signal(sig, SIG_DFL);
+#else
+  for (const int sig : kFatalSignals) {
+    sigaction(sig, &g_previous_actions[sig], nullptr);
+  }
+#endif
+  g_signals_installed = false;
+}
+
+std::mutex& arm_mutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+}  // namespace
+
+bool arm(const Options& options) {
+  std::lock_guard lock(arm_mutex());
+  if (g_armed.load(std::memory_order_acquire)) return false;
+  copy_str(g_path, kMaxPath, options.path.c_str());
+  g_spans_per_thread = options.spans_per_thread;
+  g_dump_on_corrupt.store(options.dump_on_corrupt,
+                          std::memory_order_release);
+  g_dump_counter = &Registry::global().counter("obs.flight_dumps");
+  g_file_counter = &Registry::global().counter("obs.flight_files");
+
+  // Build provenance baked in at compile time; callers layer runtime
+  // facts (cpu_features, backend) on top via set_provenance().
+#if defined(__clang__)
+  set_provenance("compiler", "clang " __clang_version__);
+#elif defined(__GNUC__)
+  set_provenance("compiler", "gcc " __VERSION__);
+#else
+  set_provenance("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  set_provenance("build", "release");
+#else
+  set_provenance("build", "debug");
+#endif
+
+  // Seed the metrics buffer so even a crash before the first exporter
+  // sample dumps something.
+  note_metrics(snapshot_registry());
+
+  if (options.signals) install_signal_handlers();
+  if (options.terminate) {
+    g_previous_terminate = std::set_terminate(terminate_handler);
+    g_terminate_installed = true;
+  }
+  g_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+void disarm() {
+  std::lock_guard lock(arm_mutex());
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  g_armed.store(false, std::memory_order_release);
+  uninstall_signal_handlers();
+  if (g_terminate_installed) {
+    std::set_terminate(g_previous_terminate != nullptr ? g_previous_terminate
+                                                       : std::abort);
+    g_terminate_installed = false;
+  }
+}
+
+bool is_armed() noexcept { return g_armed.load(std::memory_order_acquire); }
+
+std::string dump_path() { return g_path; }
+
+void set_provenance(const char* key, const char* value) noexcept {
+  if (key == nullptr) return;
+  const std::size_t count =
+      g_provenance_count.load(std::memory_order_acquire);
+  // Same key overwrites its slot; new keys append while slots remain.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::strncmp(g_provenance[i].key, key,
+                     sizeof(g_provenance[i].key)) == 0) {
+      copy_str(g_provenance[i].value, sizeof(g_provenance[i].value), value);
+      return;
+    }
+  }
+  if (count >= kMaxProvenance) return;
+  copy_str(g_provenance[count].key, sizeof(g_provenance[count].key), key);
+  copy_str(g_provenance[count].value, sizeof(g_provenance[count].value),
+           value);
+  g_provenance_count.store(count + 1, std::memory_order_release);
+}
+
+void record_corrupt(const char* kind, const char* message) noexcept {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  const std::uint64_t slot =
+      g_record_head.fetch_add(1, std::memory_order_acq_rel);
+  CorruptRecord& record = g_records[slot % kMaxRecords];
+  copy_str(record.kind, sizeof(record.kind), kind);
+  copy_str(record.message, sizeof(record.message), message);
+  record.mono_ns = trace_now_ns();
+  g_dump_count.fetch_add(1, std::memory_order_relaxed);
+  if (g_dump_counter != nullptr) g_dump_counter->add();
+  if (g_dump_on_corrupt.load(std::memory_order_acquire)) {
+    dump_now("corrupt", kind);
+  }
+}
+
+std::uint64_t dumps() noexcept {
+  return g_dump_count.load(std::memory_order_relaxed);
+}
+
+void note_metrics_json(const std::string& metrics_json) noexcept {
+  // Serialized writers; the flip keeps signal readers on complete data.
+  std::lock_guard lock(g_metrics_writer_mutex);
+  const int active = g_metrics_active.load(std::memory_order_relaxed);
+  const int target = active == 0 ? 1 : 0;
+  const std::size_t len =
+      metrics_json.size() < kMetricsBufBytes ? metrics_json.size() : 0;
+  if (len == 0 && !metrics_json.empty()) return;  // oversized: keep old
+  std::memcpy(g_metrics_buf[target], metrics_json.data(), len);
+  g_metrics_len[target] = len;
+  g_metrics_active.store(target, std::memory_order_release);
+}
+
+bool dump_now(const char* reason, const char* detail) {
+  // Full-fidelity path: refresh the metrics buffer first, then reuse the
+  // fixed-storage renderer so both paths produce identical documents.
+  // Serialized against concurrent dump_now callers (the scratch buffers
+  // are shared fixed storage); the signal path stays lock-free.
+  static std::mutex* dump_mutex = new std::mutex();
+  note_metrics(snapshot_registry());
+  std::lock_guard lock(*dump_mutex);
+  const std::size_t span_count = collect_trace_unsynchronized(
+      g_span_scratch, kMaxDumpSpans, g_spans_per_thread);
+  BufWriter writer{g_out_buf, kOutBufBytes};
+  render_dump(writer, reason, detail, 0, g_span_scratch, span_count);
+  const bool ok = write_file_raw(g_path, g_out_buf, writer.len);
+  if (ok && g_file_counter != nullptr) g_file_counter->add();
+  return ok;
+}
+
+void note_metrics(const MetricsSnapshot& snapshot) {
+  note_metrics_json(snapshot_json(snapshot));
+}
+
+}  // namespace aic::obs::flight

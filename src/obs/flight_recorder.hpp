@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aic::obs::flight {
+
+/// Crash / corruption flight recorder. Once armed it:
+///   - installs fatal-signal handlers (SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+///     SIGABRT) and a std::terminate handler that dump a self-contained
+///     `.aicflight` JSON — last-N trace spans per thread, the most
+///     recent metrics snapshot, any typed-corruption records, and
+///     cpu_features/build provenance — before re-raising;
+///   - captures one in-memory corruption record (and bumps the
+///     `obs.flight_dumps` counter) every time `io::raise_corrupt()`
+///     rejects untrusted input, optionally also writing the dump file
+///     per rejection (`dump_on_corrupt`).
+///
+/// The fatal-signal path touches only pre-allocated buffers: span
+/// copies, the metrics JSON (pre-rendered by the exporter / at arm
+/// time), provenance, and the output formatting buffer are all fixed
+/// storage, and the dump is written with plain open/write/fsync —
+/// async-signal-cautious by construction (no malloc, no locks, no
+/// iostreams on that path).
+struct Options {
+  /// Dump file path. Written whole on each dump (not appended).
+  std::string path = "aic.aicflight";
+  /// Most-recent spans copied per thread into a dump.
+  std::size_t spans_per_thread = 64;
+  /// Write a dump file for every raise_corrupt() rejection too (the
+  /// in-memory record + counter are unconditional while armed).
+  bool dump_on_corrupt = false;
+  /// Install the fatal-signal handlers.
+  bool signals = true;
+  /// Install the std::terminate handler.
+  bool terminate = true;
+};
+
+/// Arms the recorder. Idempotent: returns false (no re-configuration)
+/// when already armed.
+bool arm(const Options& options);
+
+/// Uninstalls the handlers installed by arm() (best effort) and stops
+/// recording corruption events. Counters and the path survive.
+void disarm();
+
+bool is_armed() noexcept;
+
+/// The configured dump path ("" when never armed).
+std::string dump_path();
+
+/// Attaches a provenance key/value (cpu features, build flavor, ...)
+/// embedded in every dump. Fixed slots; extra entries beyond the slot
+/// budget are dropped. Values are copied.
+void set_provenance(const char* key, const char* value) noexcept;
+
+/// Called by io::raise_corrupt() on every typed rejection. No-op when
+/// disarmed; otherwise appends an in-memory record, bumps
+/// `obs.flight_dumps`, and (with dump_on_corrupt) writes the dump file.
+void record_corrupt(const char* kind, const char* message) noexcept;
+
+/// Total corruption records captured while armed (== the
+/// `obs.flight_dumps` counter).
+std::uint64_t dumps() noexcept;
+
+/// Pre-renders `metrics_json` into the recorder's fixed buffer so fatal
+/// dumps embed telemetry without touching the registry mid-signal. The
+/// interval exporter calls this on every sample.
+void note_metrics_json(const std::string& metrics_json) noexcept;
+
+/// Full-fidelity dump (locks and allocation allowed — NOT for signal
+/// handlers): fresh metrics snapshot, sorted spans, records, provenance.
+/// Returns false when the file cannot be written.
+bool dump_now(const char* reason, const char* detail);
+
+}  // namespace aic::obs::flight
+
+namespace aic::obs {
+struct MetricsSnapshot;
+namespace flight {
+/// note_metrics_json(snapshot serialized) — exporter convenience.
+void note_metrics(const MetricsSnapshot& snapshot);
+}  // namespace flight
+}  // namespace aic::obs

@@ -1,0 +1,251 @@
+#include "obs/http_server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/trace.hpp"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace aic::obs {
+
+// ---------------------------------------------------------------------------
+// Routing (transport-independent, unit-testable)
+
+int HttpServer::route(const std::string& path, std::string& body,
+                      std::string& content_type, std::size_t tracez_spans) {
+  Registry::global().counter("obs.http.requests").add();
+  if (path == "/metrics" || path.rfind("/metrics?", 0) == 0) {
+    Registry::global().counter("obs.http.scrapes").add();
+    // A scrape always reflects the registry *now* (and lands in the
+    // snapshot ring so /metrics and the interval exporter share one
+    // timeline).
+    const MetricsSnapshot snapshot = Exporter::global().sample_now();
+    body = openmetrics_text(snapshot);
+    content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    return 200;
+  }
+  if (path == "/healthz" || path.rfind("/healthz?", 0) == 0) {
+    body = "ok\n";
+    content_type = "text/plain; charset=utf-8";
+    return 200;
+  }
+  if (path == "/tracez" || path.rfind("/tracez?", 0) == 0) {
+    std::vector<TraceSpan> spans = collect_trace();
+    if (spans.size() > tracez_spans) {
+      // Keep the most recent spans; collect_trace sorts by (tid, start)
+      // so drop from the front per global start order instead.
+      std::sort(spans.begin(), spans.end(),
+                [](const TraceSpan& a, const TraceSpan& b) {
+                  return a.start_ns < b.start_ns;
+                });
+      spans.erase(spans.begin(),
+                  spans.end() - static_cast<std::ptrdiff_t>(tracez_spans));
+      std::sort(spans.begin(), spans.end(),
+                [](const TraceSpan& a, const TraceSpan& b) {
+                  if (a.tid != b.tid) return a.tid < b.tid;
+                  return a.start_ns < b.start_ns;
+                });
+    }
+    std::ostringstream out;
+    write_chrome_trace(out, spans);
+    body = out.str();
+    content_type = "application/json; charset=utf-8";
+    return 200;
+  }
+  body = "not found\n";
+  content_type = "text/plain; charset=utf-8";
+  return 404;
+}
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+std::string build_response(int status, const std::string& content_type,
+                           const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << status << " " << status_text(status) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+// Windows lacks the POSIX socket surface this endpoint uses; the server
+// degrades to a stub so the rest of the obs stack keeps building.
+struct HttpServer::Impl {};
+HttpServer::HttpServer() : impl_(new Impl()) {}
+HttpServer& HttpServer::global() {
+  static HttpServer* server = new HttpServer();
+  return *server;
+}
+bool HttpServer::start(const Options&) {
+  std::fprintf(stderr, "aic-obs: HTTP endpoint unavailable on this platform\n");
+  return false;
+}
+void HttpServer::stop() {}
+bool HttpServer::running() const noexcept { return false; }
+std::uint16_t HttpServer::port() const noexcept { return 0; }
+
+#else
+
+struct HttpServer::Impl {
+  std::mutex mutex;  // start/stop transitions
+  std::thread server;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<std::uint16_t> port{0};
+  int listen_fd = -1;
+  Options options;
+
+  void serve_connection(int fd) {
+    // Read until the end of the request headers (or 8 KiB, whichever
+    // comes first); only the request line matters to the router.
+    std::string request;
+    char buffer[2048];
+    while (request.size() < 8192 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) break;
+      request.append(buffer, static_cast<std::size_t>(n));
+    }
+    std::string body, content_type;
+    int status;
+    const std::size_t line_end = request.find("\r\n");
+    std::istringstream line(request.substr(0, line_end));
+    std::string method, path;
+    line >> method >> path;
+    if (method.empty() || path.empty()) {
+      status = 400;
+      body = "bad request\n";
+      content_type = "text/plain; charset=utf-8";
+    } else if (method != "GET" && method != "HEAD") {
+      status = 405;
+      body = "method not allowed\n";
+      content_type = "text/plain; charset=utf-8";
+    } else {
+      status = route(path, body, content_type, options.tracez_spans);
+    }
+    if (method == "HEAD") body.clear();
+    const std::string response = build_response(status, content_type, body);
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::send(fd, response.data() + sent, response.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void loop() {
+    while (!stop_requested.load(std::memory_order_acquire)) {
+      struct pollfd pfd {};
+      pfd.fd = listen_fd;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, /*timeout_ms=*/250);
+      if (ready <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      struct timeval timeout {};
+      timeout.tv_sec = 2;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+      serve_connection(fd);
+      ::close(fd);
+    }
+  }
+};
+
+HttpServer::HttpServer() : impl_(new Impl()) {}
+
+HttpServer& HttpServer::global() {
+  // Leaky singleton, same lifetime policy as Registry.
+  static HttpServer* server = new HttpServer();
+  return *server;
+}
+
+bool HttpServer::start(const Options& options) {
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->running.load(std::memory_order_acquire)) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("aic-obs: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in address {};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_ANY);
+  address.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&address),
+             sizeof(address)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    std::perror("aic-obs: bind/listen");
+    ::close(fd);
+    return false;
+  }
+  socklen_t address_len = sizeof(address);
+  ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&address),
+                &address_len);
+  impl_->listen_fd = fd;
+  impl_->options = options;
+  impl_->port.store(ntohs(address.sin_port), std::memory_order_release);
+  impl_->stop_requested.store(false, std::memory_order_release);
+  impl_->running.store(true, std::memory_order_release);
+  Impl* impl = impl_;
+  impl_->server = std::thread([impl] { impl->loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  std::lock_guard lock(impl_->mutex);
+  if (!impl_->running.load(std::memory_order_acquire)) return;
+  impl_->stop_requested.store(true, std::memory_order_release);
+  if (impl_->server.joinable()) impl_->server.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  impl_->port.store(0, std::memory_order_release);
+  impl_->running.store(false, std::memory_order_release);
+}
+
+bool HttpServer::running() const noexcept {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+std::uint16_t HttpServer::port() const noexcept {
+  return impl_->port.load(std::memory_order_acquire);
+}
+
+#endif  // !_WIN32
+
+}  // namespace aic::obs

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aic::obs {
+
+/// Minimal portable blocking-socket HTTP/1.0 endpoint on its own thread,
+/// serving the continuous-telemetry surface:
+///   GET /metrics  OpenMetrics text exposition of a fresh registry
+///                 snapshot (Content-Type application/openmetrics-text)
+///   GET /healthz  200 "ok" liveness probe
+///   GET /tracez   last-N retained spans as Chrome trace-event JSON
+///                 (open in Perfetto), without disturbing recording
+///
+/// One connection is handled at a time (a Prometheus scrape every few
+/// seconds is the design load); the accept loop polls with a short
+/// timeout so stop() never blocks on a quiet socket. Scrapes bump
+/// `obs.http.requests` / `obs.http.scrapes`.
+class HttpServer {
+ public:
+  struct Options {
+    /// TCP port; 0 binds an ephemeral port (read it back via port()).
+    std::uint16_t port = 0;
+    /// Spans served by /tracez (most recent first in collection order).
+    std::size_t tracez_spans = 4096;
+  };
+
+  static HttpServer& global();
+
+  /// Binds and spawns the server thread. Returns false when already
+  /// running or when the socket cannot be bound (logged to stderr).
+  bool start(const Options& options);
+  /// Stops the thread and closes the socket; idempotent.
+  void stop();
+  bool running() const noexcept;
+  /// The bound port (resolves port 0); 0 when not running.
+  std::uint16_t port() const noexcept;
+
+  /// Request router, exposed for direct testing without a socket:
+  /// fills `body`/`content_type` and returns the HTTP status code.
+  static int route(const std::string& path, std::string& body,
+                   std::string& content_type, std::size_t tracez_spans);
+
+ private:
+  HttpServer();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace aic::obs

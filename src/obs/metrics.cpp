@@ -44,25 +44,39 @@ void Histogram::record(std::uint64_t value) noexcept {
 }
 
 HistogramSnapshot Histogram::snapshot() const noexcept {
+  // Seqlock read: retry while a reset is in flight (odd generation) or
+  // completed between our two fences, so the copy never mixes pre-reset
+  // totals with post-reset buckets. Bounded so a pathological reset loop
+  // cannot livelock the reader; after the bound the last read wins.
   HistogramSnapshot out;
-  out.count = count_.load(std::memory_order_relaxed);
-  out.sum = sum_.load(std::memory_order_relaxed);
-  out.max = max_.load(std::memory_order_relaxed);
-  const std::uint64_t min = min_.load(std::memory_order_relaxed);
-  out.min = out.count > 0 ? min : 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const std::uint64_t before = generation_.load(std::memory_order_acquire);
+    if (before & 1) continue;  // reset rewriting the fields right now
+    out.count = count_.load(std::memory_order_relaxed);
+    out.sum = sum_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+    const std::uint64_t min = min_.load(std::memory_order_relaxed);
+    out.min = out.count > 0 ? min : 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (generation_.load(std::memory_order_relaxed) == before) break;
   }
   return out;
 }
 
 void Histogram::reset() noexcept {
+  // Seqlock write: generation goes odd, the fields are zeroed, then it
+  // goes even again — snapshot() retries across the whole window.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<std::uint64_t>::max(),
              std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 double HistogramSnapshot::percentile(double p) const {
@@ -173,9 +187,9 @@ std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms()
   return out;
 }
 
-namespace {
+namespace detail {
 
-void json_string(std::ostream& out, const std::string& s) {
+void write_json_string(std::ostream& out, const std::string& s) {
   out << '"';
   for (const char raw : s) {
     const unsigned char c = static_cast<unsigned char>(raw);
@@ -197,7 +211,7 @@ void json_string(std::ostream& out, const std::string& s) {
   out << '"';
 }
 
-void json_number(std::ostream& out, double value) {
+void write_json_number(std::ostream& out, double value) {
   if (!std::isfinite(value)) {
     out << "null";
     return;
@@ -207,6 +221,11 @@ void json_number(std::ostream& out, double value) {
   out << buffer;
 }
 
+}  // namespace detail
+
+namespace {
+using detail::write_json_number;
+using detail::write_json_string;
 }  // namespace
 
 void Registry::write_json(std::ostream& out) const {
@@ -215,7 +234,7 @@ void Registry::write_json(std::ostream& out) const {
   for (const auto& [name, value] : counters()) {
     if (!first) out << ",";
     first = false;
-    json_string(out, name);
+    write_json_string(out, name);
     out << ":" << value;
   }
   out << "},\"gauges\":{";
@@ -223,25 +242,25 @@ void Registry::write_json(std::ostream& out) const {
   for (const auto& [name, value] : gauges()) {
     if (!first) out << ",";
     first = false;
-    json_string(out, name);
+    write_json_string(out, name);
     out << ":";
-    json_number(out, value);
+    write_json_number(out, value);
   }
   out << "},\"histograms\":{";
   first = true;
   for (const auto& [name, snap] : histograms()) {
     if (!first) out << ",";
     first = false;
-    json_string(out, name);
+    write_json_string(out, name);
     out << ":{\"count\":" << snap.count << ",\"sum\":" << snap.sum
         << ",\"min\":" << snap.min << ",\"max\":" << snap.max << ",\"mean\":";
-    json_number(out, snap.mean());
+    write_json_number(out, snap.mean());
     out << ",\"p50\":";
-    json_number(out, snap.p50());
+    write_json_number(out, snap.p50());
     out << ",\"p90\":";
-    json_number(out, snap.p90());
+    write_json_number(out, snap.p90());
     out << ",\"p99\":";
-    json_number(out, snap.p99());
+    write_json_number(out, snap.p99());
     out << "}";
   }
   out << "}}";

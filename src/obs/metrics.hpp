@@ -66,6 +66,17 @@ struct HistogramSnapshot {
 /// Log2-bucketed latency/value histogram: bucket 0 holds [0, 2), bucket
 /// i ≥ 1 holds [2^i, 2^(i+1)). Recording is three relaxed atomic adds
 /// plus two CAS extrema updates — cheap enough to stay always-on.
+///
+/// Coherence guarantee: reset() and snapshot() are serialized through a
+/// generation seqlock, so a snapshot never mixes pre-reset totals with
+/// post-reset buckets (each snapshot observes one reset epoch; it
+/// retries while a reset is in flight). record() stays lock-free and is
+/// NOT serialized against either: a snapshot concurrent with recording
+/// can see an individual record half-applied (bucket bumped before
+/// count/sum — record order is bucket, count, sum), and records that
+/// overlap a reset may be partially erased. Within one reset epoch the
+/// invariant `sum(buckets) >= count` always holds for snapshots taken
+/// by this method.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
@@ -86,6 +97,8 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
   std::atomic<std::uint64_t> max_{0};
+  /// Seqlock epoch: odd while a reset is rewriting the fields.
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 /// Process-wide named-instrument registry. Lookup takes a mutex (cache
@@ -117,5 +130,14 @@ class Registry {
   struct Impl;
   Impl& impl() const;
 };
+
+namespace detail {
+/// Writes `s` as a JSON string literal (quotes included), escaping
+/// quotes, backslashes, and control characters. Shared by the registry,
+/// the snapshot exporter, and the flight recorder.
+void write_json_string(std::ostream& out, const std::string& s);
+/// Writes a finite double with %.6g, or `null` for NaN/inf.
+void write_json_number(std::ostream& out, double value);
+}  // namespace detail
 
 }  // namespace aic::obs

@@ -1,0 +1,126 @@
+#include "obs/openmetrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace aic::obs {
+
+namespace {
+
+bool legal_name_char(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+void write_double(std::ostream& out, double value) {
+  if (std::isnan(value)) {
+    out << "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  // Integral values print without an exponent or trailing zeros so the
+  // common case (counts, byte totals) stays exact and grep-friendly.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    out << buffer;
+    return;
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  out << buffer;
+}
+
+/// `le` label value of a log2 bucket's exclusive upper bound. Exact
+/// integers below 2^53; the top buckets fall back to %.17g (still a
+/// strictly increasing sequence, which is all the grammar needs).
+void write_le(std::ostream& out, std::size_t bucket) {
+  const double upper = Histogram::bucket_upper(bucket);
+  if (upper < 9007199254740992.0) {  // 2^53: exact in double
+    out << static_cast<std::uint64_t>(upper);
+  } else {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", upper);
+    out << buffer;
+  }
+}
+
+template <typename T>
+std::vector<std::pair<std::string, T>> sorted(
+    std::vector<std::pair<std::string, T>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+}  // namespace
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    out.push_back(legal_name_char(c, /*first=*/false) ? c : '_');
+  }
+  if (out.empty() || !legal_name_char(out.front(), /*first=*/true)) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_openmetrics(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : sorted(snapshot.counters)) {
+    const std::string metric = openmetrics_name(name);
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : sorted(snapshot.gauges)) {
+    const std::string metric = openmetrics_name(name);
+    out << "# TYPE " << metric << " gauge\n";
+    out << metric << " ";
+    write_double(out, value);
+    out << "\n";
+  }
+  for (const auto& [name, snap] : sorted(snapshot.histograms)) {
+    const std::string metric = openmetrics_name(name);
+    out << "# TYPE " << metric << " histogram\n";
+    // The registry's log2 buckets hold per-bucket counts; exposition
+    // buckets are cumulative. Emit up to the highest occupied bucket,
+    // then the mandatory le="+Inf" row which must equal _count.
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] != 0) top = i;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= top; ++i) {
+      cumulative += snap.buckets[i];
+      out << metric << "_bucket{le=\"";
+      write_le(out, i);
+      out << "\"} " << cumulative << "\n";
+    }
+    // A record() racing the snapshot bumps its bucket before count, so
+    // the bucket total can momentarily exceed count; the +Inf row (and
+    // _count, which must equal it) takes the max to stay cumulative.
+    const std::uint64_t total = std::max(cumulative, snap.count);
+    out << metric << "_bucket{le=\"+Inf\"} " << total << "\n";
+    out << metric << "_count " << total << "\n";
+    out << metric << "_sum " << snap.sum << "\n";
+  }
+  out << "# EOF\n";
+}
+
+std::string openmetrics_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  write_openmetrics(out, snapshot);
+  return out.str();
+}
+
+}  // namespace aic::obs

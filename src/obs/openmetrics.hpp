@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace aic::obs {
+
+/// Maps a registry instrument name onto the OpenMetrics name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots and other illegal characters become
+/// underscores, and a leading digit gains an underscore prefix
+/// ("plan_cache.hit" -> "plan_cache_hit").
+std::string openmetrics_name(const std::string& name);
+
+/// OpenMetrics 1.0 text exposition of one snapshot
+/// (application/openmetrics-text). Families are emitted sorted by name:
+///   counters    -> `# TYPE x counter` + `x_total <v>`
+///   gauges      -> `# TYPE x gauge` + `x <v>`
+///   histograms  -> `# TYPE x histogram` + cumulative
+///                  `x_bucket{le="<2^(i+1)>"}` rows derived from the
+///                  log2 buckets, a closing `le="+Inf"` row equal to
+///                  `x_count`, plus `x_sum` and `x_count`
+/// and the exposition ends with the mandatory `# EOF`.
+void write_openmetrics(std::ostream& out, const MetricsSnapshot& snapshot);
+std::string openmetrics_text(const MetricsSnapshot& snapshot);
+
+}  // namespace aic::obs

@@ -49,6 +49,15 @@ struct TraceRegistry {
   std::uint32_t next_tid = 1;
 };
 
+/// Lock-free mirror of the registered buffers for the fatal-signal path:
+/// raw pointers stay valid forever (the registry is leaky and its buffer
+/// vector never shrinks), so a signal handler can walk them without the
+/// mutex. Threads beyond the mirror capacity are simply not visible to
+/// collect_trace_unsynchronized.
+constexpr std::size_t kMaxMirroredBuffers = 256;
+std::atomic<ThreadTraceBuffer*> g_buffer_mirror[kMaxMirroredBuffers]{};
+std::atomic<std::size_t> g_buffer_mirror_count{0};
+
 // Leaky singletons: metrics/trace recording may run from static
 // destructors of other TUs, so these are never destroyed.
 TraceRegistry& registry() {
@@ -83,6 +92,12 @@ ThreadTraceBuffer& local_buffer() {
     auto buffer = std::make_shared<ThreadTraceBuffer>(reg.next_tid++,
                                                       resolve_capacity());
     reg.buffers.push_back(buffer);
+    const std::size_t slot =
+        g_buffer_mirror_count.load(std::memory_order_relaxed);
+    if (slot < kMaxMirroredBuffers) {
+      g_buffer_mirror[slot].store(buffer.get(), std::memory_order_release);
+      g_buffer_mirror_count.store(slot + 1, std::memory_order_release);
+    }
     return buffer;
   }();
   return *tls;
@@ -191,11 +206,30 @@ std::vector<TraceSpan> collect_trace() {
   return out;
 }
 
-void export_chrome_trace(std::ostream& out) {
-  // Freeze recording so the snapshot below cannot race ring overwrites.
-  set_tracing_enabled(false);
-  const std::vector<TraceSpan> spans = collect_trace();
+std::size_t collect_trace_unsynchronized(TraceSpan* out,
+                                         std::size_t max_total,
+                                         std::size_t per_thread) noexcept {
+  if (out == nullptr || max_total == 0) return 0;
+  std::size_t written = 0;
+  const std::size_t buffers =
+      std::min(g_buffer_mirror_count.load(std::memory_order_acquire),
+               kMaxMirroredBuffers);
+  for (std::size_t b = 0; b < buffers && written < max_total; ++b) {
+    const ThreadTraceBuffer* buffer =
+        g_buffer_mirror[b].load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    const std::uint64_t h = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t live = std::min<std::uint64_t>(
+        {h, buffer->ring.size(), per_thread});
+    for (std::uint64_t i = h - live; i < h && written < max_total; ++i) {
+      out[written++] = buffer->ring[i % buffer->ring.size()];
+    }
+  }
+  return written;
+}
 
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceSpan>& spans) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   std::uint32_t last_tid = 0;
@@ -223,6 +257,12 @@ void export_chrome_trace(std::ostream& out) {
   }
   out << "]}";
   out.flush();
+}
+
+void export_chrome_trace(std::ostream& out) {
+  // Freeze recording so the snapshot below cannot race ring overwrites.
+  set_tracing_enabled(false);
+  write_chrome_trace(out, collect_trace());
 }
 
 bool export_chrome_trace_file(const std::string& path) {

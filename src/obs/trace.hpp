@@ -61,6 +61,21 @@ std::uint64_t trace_events_dropped() noexcept;
 /// exact snapshot; concurrent recording can drop in-flight spans.
 std::vector<TraceSpan> collect_trace();
 
+/// Async-signal-cautious span collector for the flight recorder: copies
+/// up to `per_thread` most-recent spans from each live thread ring into
+/// `out` (capacity `max_total`) without taking locks or allocating.
+/// Rings may be written concurrently, so individual spans can tear —
+/// callers treat the result as best-effort. Returns the spans written.
+std::size_t collect_trace_unsynchronized(TraceSpan* out,
+                                         std::size_t max_total,
+                                         std::size_t per_thread) noexcept;
+
+/// Serializes `spans` as Chrome trace-event JSON without touching the
+/// global tracing state (the live `/tracez` endpoint uses this against a
+/// collect_trace() snapshot while recording continues).
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceSpan>& spans);
+
 /// Writes the Chrome trace-event JSON (the `chrome://tracing` / Perfetto
 /// format): one "X" complete event per span, ts/dur in microseconds,
 /// plus thread_name metadata. Disables tracing first so the snapshot is

@@ -6,6 +6,7 @@
 
 #include "cli/archive.hpp"
 #include "io/error.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/rng.hpp"
 #include "tensor/ops.hpp"
@@ -66,6 +67,36 @@ TEST(DecodeRobustness, CorruptDecodeBumpsObsCounters) {
 
   EXPECT_EQ(total.value(), total_before + 1);
   EXPECT_EQ(by_kind.value(), kind_before + 1);
+}
+
+// Every typed rejection must hand exactly one record to the flight
+// recorder while it is armed: obs.flight_dumps delta == sum of the
+// matrix's `rejected` counts. A mismatch means some decode path throws
+// CorruptStream without funnelling through io::raise_corrupt(), so that
+// rejection would be invisible to crash-dump triage.
+TEST(DecodeRobustness, EveryRejectionProducesOneFlightRecord) {
+  obs::flight::Options options;
+  options.dump_on_corrupt = false;  // memory-only: no files per mutant
+  options.signals = false;
+  options.terminate = false;
+  const bool armed_here = obs::flight::arm(options);
+  const std::uint64_t dumps_before = obs::flight::dumps();
+  const std::uint64_t counter_before =
+      obs::Registry::global().counter("obs.flight_dumps").value();
+
+  std::uint64_t total_rejected = 0;
+  for (const auto& [name, report] : run_robustness_suite()) {
+    (void)name;
+    total_rejected += report.rejected;
+  }
+
+  EXPECT_GT(total_rejected, 0u);
+  EXPECT_EQ(obs::flight::dumps() - dumps_before, total_rejected);
+  EXPECT_EQ(
+      obs::Registry::global().counter("obs.flight_dumps").value() -
+          counter_before,
+      total_rejected);
+  if (armed_here) obs::flight::disarm();
 }
 
 }  // namespace

@@ -18,18 +18,45 @@
 
 #include "cli/robustness_suite.hpp"
 #include "io/error.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace {
 
 int run_matrix() {
+  // Arm the flight recorder (memory-only: no per-mutant dump files) so the
+  // matrix doubles as a check that io::raise_corrupt() hands every typed
+  // rejection to the recorder. A drift between `rejected` and the
+  // obs.flight_dumps delta means some decode path throws CorruptStream
+  // without going through raise_corrupt — a silent-drop regression.
+  aic::obs::flight::Options flight_options;
+  flight_options.dump_on_corrupt = false;
+  flight_options.signals = false;
+  flight_options.terminate = false;
+  const bool armed_here = aic::obs::flight::arm(flight_options);
+  const std::uint64_t dumps_before = aic::obs::flight::dumps();
+
   bool ok = true;
+  std::size_t total_rejected = 0;
   for (const auto& [name, report] : aic::cli::run_robustness_suite()) {
     std::cout << name << ": " << report.summary() << "\n";
     for (const std::string& failure : report.failures) {
       std::cout << "  FAILURE " << failure << "\n";
     }
+    total_rejected += report.rejected;
     ok = ok && report.ok();
   }
+
+  const std::uint64_t flight_records =
+      aic::obs::flight::dumps() - dumps_before;
+  if (armed_here) aic::obs::flight::disarm();
+  std::cout << "flight records: " << flight_records << " for "
+            << total_rejected << " typed rejections\n";
+  if (flight_records != total_rejected) {
+    std::cout << "  FAILURE flight-recorder record count != typed rejections "
+              << "(a CorruptStream was thrown without raise_corrupt)\n";
+    ok = false;
+  }
+
   std::cout << (ok ? "fault matrix clean" : "fault matrix FAILED") << "\n";
   return ok ? 0 : 1;
 }
