@@ -11,7 +11,7 @@
 #include "bench/common.hpp"
 #include "core/codec_factory.hpp"
 #include "core/dct.hpp"
-#include "core/metrics.hpp"
+#include "core/fidelity.hpp"
 #include "core/partial_serializer.hpp"
 #include "core/triangle.hpp"
 #include "data/synth.hpp"

@@ -17,7 +17,7 @@
 #include "baseline/comparators.hpp"
 #include "bench/common.hpp"
 #include "core/codec_factory.hpp"
-#include "core/metrics.hpp"
+#include "core/fidelity.hpp"
 #include "data/synth.hpp"
 #include "tensor/ops.hpp"
 

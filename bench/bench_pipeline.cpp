@@ -18,6 +18,7 @@
 
 #include "baseline/chunk_entropy.hpp"
 #include "cli/archive.hpp"
+#include "runtime/context.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
@@ -31,6 +32,15 @@ using aic::tensor::Shape;
 using aic::tensor::Tensor;
 
 constexpr const char* kSpec = "dctchop:cf=4,block=8";
+
+/// A session with a private pool of exactly `threads` workers — sweep
+/// points no longer resize a process-wide pool out from under each other.
+aic::Context session(std::size_t threads) {
+  aic::Context::Options options;
+  options.threads = threads;
+  options.own_pool = true;
+  return aic::Context(options);
+}
 
 /// Best-of-N wall seconds of `fn` (first call warm-up is included in the
 /// reps: the plan cache hides behind the min).
@@ -97,13 +107,14 @@ int main(int argc, char** argv) {
   json += "  \"thread_sweep\": [\n";
   bool first = true;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    aic::runtime::ThreadPool::resize_global(threads);
+    const aic::Context ctx = session(threads);
     const ArchiveWriteOptions options{};  // v4, 64 KiB chunks, raw
     std::string bytes;
-    const double encode_s = best_seconds(
-        reps, [&] { bytes = compress_to_archive_bytes(input, kSpec, options); });
-    const double decode_s =
-        best_seconds(reps, [&] { (void)aic::cli::deserialize_archive(bytes); });
+    const double encode_s = best_seconds(reps, [&] {
+      bytes = compress_to_archive_bytes(input, kSpec, options, nullptr, ctx);
+    });
+    const double decode_s = best_seconds(
+        reps, [&] { (void)aic::cli::deserialize_archive(bytes, ctx); });
     const SweepPoint p{.threads = threads,
                        .encode_gbps = gbps(input_bytes, encode_s),
                        .decode_gbps = gbps(input_bytes, decode_s),
@@ -123,16 +134,17 @@ int main(int argc, char** argv) {
   std::cout << "== chunk-size sweep (8 threads)\n";
   json += "  \"chunk_sweep\": [\n";
   first = true;
-  aic::runtime::ThreadPool::resize_global(8);
+  const aic::Context ctx8 = session(8);
   for (const std::size_t chunk_bytes :
        {std::size_t{4} << 10, std::size_t{16} << 10, std::size_t{64} << 10,
         std::size_t{256} << 10, std::size_t{1} << 20}) {
     const ArchiveWriteOptions options{.chunk_bytes = chunk_bytes};
     std::string bytes;
-    const double encode_s = best_seconds(
-        reps, [&] { bytes = compress_to_archive_bytes(input, kSpec, options); });
-    const double decode_s =
-        best_seconds(reps, [&] { (void)aic::cli::deserialize_archive(bytes); });
+    const double encode_s = best_seconds(reps, [&] {
+      bytes = compress_to_archive_bytes(input, kSpec, options, nullptr, ctx8);
+    });
+    const double decode_s = best_seconds(
+        reps, [&] { (void)aic::cli::deserialize_archive(bytes, ctx8); });
     const SweepPoint p{.chunk_bytes = chunk_bytes,
                        .encode_gbps = gbps(input_bytes, encode_s),
                        .decode_gbps = gbps(input_bytes, decode_s),
@@ -147,14 +159,14 @@ int main(int argc, char** argv) {
   json += "\n  ],\n";
 
   // ---- v3 vs v4 single-thread encode (container overhead guard) ------
-  aic::runtime::ThreadPool::resize_global(1);
-  const Archive archive = aic::cli::compress_to_archive(input, kSpec);
+  const aic::Context ctx1 = session(1);
+  const Archive archive =
+      aic::cli::compress_to_archive(input, kSpec, nullptr, ctx1);
   const double v3_s = best_seconds(
-      reps, [&] { (void)aic::cli::serialize_archive(archive, 3u); });
+      reps, [&] { (void)aic::cli::serialize_archive(archive, 3u, ctx1); });
   const double v4_s = best_seconds(reps, [&] {
-    (void)aic::cli::serialize_archive(archive, ArchiveWriteOptions{});
+    (void)aic::cli::serialize_archive(archive, ArchiveWriteOptions{}, ctx1);
   });
-  aic::runtime::ThreadPool::resize_global(0);
   std::cout << "== 1-thread container serialize: v3 "
             << gbps(input_bytes, v3_s) << " GB/s, v4 "
             << gbps(input_bytes, v4_s) << " GB/s\n";

@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "core/codec_factory.hpp"
-#include "core/metrics.hpp"
+#include "core/fidelity.hpp"
 #include "data/synth.hpp"
 #include "io/table.hpp"
 #include "runtime/rng.hpp"

@@ -10,8 +10,13 @@ namespace aic::baseline {
 using tensor::Shape;
 using tensor::Tensor;
 
-ColorQuantCodec::ColorQuantCodec(std::size_t bits, float lo, float hi)
-    : bits_(bits), levels_(std::size_t{1} << bits), lo_(lo), hi_(hi) {
+ColorQuantCodec::ColorQuantCodec(std::size_t bits, float lo, float hi,
+                                 Context ctx)
+    : Codec(std::move(ctx)),
+      bits_(bits),
+      levels_(std::size_t{1} << bits),
+      lo_(lo),
+      hi_(hi) {
   if (bits_ == 0 || bits_ > 16) {
     throw std::invalid_argument("ColorQuantCodec: bits must be in [1, 16]");
   }

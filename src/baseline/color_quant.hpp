@@ -13,7 +13,8 @@ namespace aic::baseline {
 class ColorQuantCodec final : public core::Codec {
  public:
   /// `bits` in [1, 16]; `lo`/`hi` is the representable range.
-  ColorQuantCodec(std::size_t bits, float lo = 0.0f, float hi = 1.0f);
+  ColorQuantCodec(std::size_t bits, float lo = 0.0f, float hi = 1.0f,
+                  Context ctx = Context::process_default());
 
   std::string name() const override;
   std::string spec() const override;

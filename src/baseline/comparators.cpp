@@ -71,11 +71,11 @@ double stats_ratio(const core::CodecStats& stats) {
 // ---------------------------------------------------------------------------
 // SzComparatorCodec
 
-SzComparatorCodec::SzComparatorCodec(double error_bound)
-    : inner_(error_bound) {
+SzComparatorCodec::SzComparatorCodec(double error_bound, Context ctx)
+    : Codec(std::move(ctx)), inner_(error_bound) {
   // Parameter-only plan: keeps baseline resolutions visible in
   // plan_cache.* metrics alongside the core kinds.
-  (void)core::PlanCache::global().resolve(
+  (void)core::PlanCache::of(ctx_).resolve(
       baseline_key(core::CodecKind::kSz, param_milli(error_bound)),
       [error_bound] {
         return std::make_shared<ParamPlan>(
@@ -110,6 +110,7 @@ Shape SzComparatorCodec::compressed_shape(const Shape& input) const {
 
 Tensor SzComparatorCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("sz.compress");
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   (void)compressed_shape(input.shape());
   const std::size_t planes = input.shape()[0] * input.shape()[1];
@@ -148,12 +149,12 @@ Tensor SzComparatorCodec::decompress(const Tensor& packed,
 // ---------------------------------------------------------------------------
 // JpegComparatorCodec
 
-JpegComparatorCodec::JpegComparatorCodec(int quality, bool chroma)
-    : quality_(quality), chroma_(chroma) {
+JpegComparatorCodec::JpegComparatorCodec(int quality, bool chroma, Context ctx)
+    : Codec(std::move(ctx)), quality_(quality), chroma_(chroma) {
   const core::PlanKey key = baseline_key(
       core::CodecKind::kJpeg,
       param_milli(static_cast<double>(quality)) + (chroma ? 1 : 0));
-  plan_ = core::PlanCache::global().resolve(key, [&key, quality, chroma] {
+  plan_ = core::PlanCache::of(ctx_).resolve(key, [&key, quality, chroma] {
     return std::make_shared<JpegPlan>(key, quality, chroma);
   });
   inner_ = &static_cast<const JpegPlan*>(plan_.get())->codec();
@@ -189,6 +190,7 @@ Shape JpegComparatorCodec::compressed_shape(const Shape& input) const {
 
 Tensor JpegComparatorCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("jpeg.compress");
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   (void)compressed_shape(input.shape());
   const std::size_t planes = input.shape()[0] * input.shape()[1];
@@ -227,35 +229,36 @@ void register_comparator_codecs() {
   core::CodecFactory& factory = core::CodecFactory::global();
   factory.register_codec(
       "zfp", "ZFP-style fixed-rate block codec (CPU comparator, Fig. 9)",
-      [](const core::SpecParams& p) -> core::CodecPtr {
+      [](const core::SpecParams& p, const Context& ctx) -> core::CodecPtr {
         const double rate = p.get_double("rate", 8.0);
         // Parameter-only plan resolution, for uniform cache accounting.
         const core::PlanKey key =
             baseline_key(core::CodecKind::kZfp, param_milli(rate));
-        (void)core::PlanCache::global().resolve(key, [&key] {
+        (void)core::PlanCache::of(ctx).resolve(key, [&key] {
           return std::make_shared<ParamPlan>(key);
         });
-        return std::make_shared<ZfpLikeCodec>(rate);
+        return std::make_shared<ZfpLikeCodec>(rate, ctx);
       });
   factory.register_codec(
       "sz", "SZ-style error-bounded codec (round-trip comparator)",
-      [](const core::SpecParams& p) -> core::CodecPtr {
-        return std::make_shared<SzComparatorCodec>(p.get_double("eb", 1e-3));
+      [](const core::SpecParams& p, const Context& ctx) -> core::CodecPtr {
+        return std::make_shared<SzComparatorCodec>(p.get_double("eb", 1e-3),
+                                                   ctx);
       });
   factory.register_codec(
       "jpeg", "JPEG-style codec (round-trip comparator, Fig. 3)",
-      [](const core::SpecParams& p) -> core::CodecPtr {
+      [](const core::SpecParams& p, const Context& ctx) -> core::CodecPtr {
         return std::make_shared<JpegComparatorCodec>(
             static_cast<int>(p.get_size("q", 75)),
-            p.get_bool("chroma", false));
+            p.get_bool("chroma", false), ctx);
       });
   factory.register_codec(
       "colorquant", "uniform color quantization baseline (CR = 32/bits)",
-      [](const core::SpecParams& p) -> core::CodecPtr {
+      [](const core::SpecParams& p, const Context& ctx) -> core::CodecPtr {
         return std::make_shared<ColorQuantCodec>(
             p.get_size("bits", 8),
             static_cast<float>(p.get_double("lo", 0.0)),
-            static_cast<float>(p.get_double("hi", 1.0)));
+            static_cast<float>(p.get_double("hi", 1.0)), ctx);
       },
       {"cq"});
 }

@@ -21,7 +21,8 @@ namespace aic::baseline {
 /// compression_ratio().
 class SzComparatorCodec final : public core::Codec {
  public:
-  explicit SzComparatorCodec(double error_bound);
+  explicit SzComparatorCodec(double error_bound,
+                             Context ctx = Context::process_default());
 
   std::string name() const override;
   std::string spec() const override;
@@ -46,7 +47,8 @@ class SzComparatorCodec final : public core::Codec {
 /// through the PlanCache.
 class JpegComparatorCodec final : public core::Codec {
  public:
-  explicit JpegComparatorCodec(int quality, bool chroma = false);
+  explicit JpegComparatorCodec(int quality, bool chroma = false,
+                               Context ctx = Context::process_default());
 
   std::string name() const override;
   std::string spec() const override;

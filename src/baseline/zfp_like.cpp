@@ -84,7 +84,8 @@ void ZfpLikeCodec::inv_lift(std::int32_t* p, std::size_t stride) {
   p[3 * stride] = w;
 }
 
-ZfpLikeCodec::ZfpLikeCodec(double rate_bits_per_value) : rate_(rate_bits_per_value) {
+ZfpLikeCodec::ZfpLikeCodec(double rate_bits_per_value, Context ctx)
+    : Codec(std::move(ctx)), rate_(rate_bits_per_value) {
   if (rate_ <= 0.0 || rate_ > 32.0) {
     throw std::invalid_argument("ZfpLikeCodec: rate must be in (0, 32]");
   }
@@ -257,6 +258,7 @@ Tensor ZfpLikeCodec::decompress_plane(const std::vector<std::uint32_t>& words,
 }
 
 Tensor ZfpLikeCodec::compress(const Tensor& input) const {
+  Context::PoolScope pool_scope(ctx_);
   const Shape out_shape = compressed_shape(input.shape());
   Tensor out(out_shape);
   const std::size_t words_per_plane = out_shape[3];
@@ -279,6 +281,7 @@ Tensor ZfpLikeCodec::compress(const Tensor& input) const {
 
 Tensor ZfpLikeCodec::decompress(const Tensor& packed,
                                 const Shape& original) const {
+  Context::PoolScope pool_scope(ctx_);
   if (packed.shape() != compressed_shape(original)) {
     throw std::invalid_argument("ZfpLikeCodec: packed shape mismatch");
   }

@@ -30,7 +30,8 @@ class ZfpLikeCodec final : public core::Codec {
  public:
   /// `rate_bits_per_value`: compressed bits per scalar (fp32 is 32, so
   /// CR = 32 / rate). Valid range (0, 32].
-  explicit ZfpLikeCodec(double rate_bits_per_value);
+  explicit ZfpLikeCodec(double rate_bits_per_value,
+                        Context ctx = Context::process_default());
 
   std::string name() const override;
   std::string spec() const override;

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <future>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -21,6 +22,7 @@
 #include "io/tensor_io.hpp"
 #include "obs/pipeline.hpp"
 #include "obs/trace.hpp"
+#include "runtime/context.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
@@ -157,9 +159,9 @@ std::string codec_spec_impl(const Archive& archive, bool pin_shape) {
 /// built after the payload has vouched for the dims. Factory/shape
 /// errors here are data errors (the header is attacker controlled), so
 /// they surface as CorruptStream, not invalid_argument.
-Shape expected_compressed_shape(const Archive& archive) {
+Shape expected_compressed_shape(const Archive& archive, const Context& ctx) {
   try {
-    return core::make_codec(codec_spec_impl(archive, false))
+    return core::make_codec(codec_spec_impl(archive, false), ctx)
         ->compressed_shape(archive.original_shape);
   } catch (const io::CorruptStream&) {
     throw;
@@ -172,8 +174,9 @@ Shape expected_compressed_shape(const Archive& archive) {
 
 /// Finishes a parsed archive: check the payload tensor has exactly the
 /// shape the header's codec promises.
-void validate_payload_against_header(const Archive& archive) {
-  const Shape expected = expected_compressed_shape(archive);
+void validate_payload_against_header(const Archive& archive,
+                                     const Context& ctx) {
+  const Shape expected = expected_compressed_shape(archive, ctx);
   if (archive.packed.shape() != expected) {
     raise_corrupt(CorruptKind::kPayloadMismatch,
                   "archive: payload shape " +
@@ -246,7 +249,8 @@ std::string assemble_v4(const std::string& header_fields,
 /// chunk (tens of KiB) — the parallel_for heuristics handle small chunk
 /// counts without oversubscribing.
 std::string serialize_archive_v4(const Archive& archive,
-                                 const ArchiveWriteOptions& options) {
+                                 const ArchiveWriteOptions& options,
+                                 const Context& ctx) {
   AIC_TRACE_SCOPE("pipeline.serialize_v4");
   require_writable_chunk_bytes(options.chunk_bytes);
   const std::string header_fields = serialize_header_fields(archive);
@@ -255,6 +259,8 @@ std::string serialize_archive_v4(const Archive& archive,
   const std::size_t chunk_count =
       (payload.size() + chunk_bytes - 1) / chunk_bytes;
 
+  // Route the fan-out onto this session's pool.
+  Context::PoolScope pool_scope(ctx);
   std::vector<EncodedChunk> chunks(chunk_count);
   runtime::parallel_for(
       0, chunk_count,
@@ -278,7 +284,7 @@ std::string serialize_archive_v4(const Archive& archive,
 /// entropy expansion bound — so hostile headers cannot force a large
 /// allocation or a quadratic scan. Chunk CRC checks and entropy decode
 /// then fan out across the pool into disjoint payload slices.
-Archive deserialize_archive_v4(io::ByteReader& reader) {
+Archive deserialize_archive_v4(io::ByteReader& reader, const Context& ctx) {
   const std::uint32_t header_len = reader.read<std::uint32_t>("header size");
   const std::uint32_t header_crc = reader.read<std::uint32_t>("header CRC");
   const std::string_view header =
@@ -305,7 +311,7 @@ Archive deserialize_archive_v4(io::ByteReader& reader) {
   // The payload length is fully determined by the (CRC-gated) codec
   // fields, so it is checked against them rather than trusted.
   const std::size_t expected_payload =
-      io::serialized_tensor_bytes(expected_compressed_shape(archive));
+      io::serialized_tensor_bytes(expected_compressed_shape(archive, ctx));
   if (payload_len != expected_payload) {
     raise_corrupt(CorruptKind::kPayloadMismatch,
                   "archive: header claims " + std::to_string(payload_len) +
@@ -375,6 +381,7 @@ Archive deserialize_archive_v4(io::ByteReader& reader) {
   // in parallel. Chunks write disjoint slices, so no synchronization is
   // needed beyond parallel_for's own join.
   AIC_TRACE_SCOPE("pipeline.deserialize_v4");
+  Context::PoolScope pool_scope(ctx);
   std::string payload(payload_len, '\0');
   runtime::parallel_for(
       0, chunk_count,
@@ -403,7 +410,7 @@ Archive deserialize_archive_v4(io::ByteReader& reader) {
                                                        chunk_count);
 
   archive.packed = io::deserialize_tensor(payload);
-  validate_payload_against_header(archive);
+  validate_payload_against_header(archive, ctx);
   return archive;
 }
 
@@ -446,16 +453,25 @@ std::string archive_codec_spec(const Archive& archive) {
   return codec_spec_impl(archive, true);
 }
 
-core::CodecPtr make_archive_codec(const Archive& archive) {
-  return core::make_codec(archive_codec_spec(archive));
+core::CodecPtr make_archive_codec(const Archive& archive,
+                                  const Context& ctx) {
+  return core::make_codec(archive_codec_spec(archive), ctx);
+}
+
+ArchiveWriteOptions ArchiveWriteOptions::from_context(const Context& ctx) {
+  ArchiveWriteOptions options;
+  options.version = ctx.archive_version();
+  if (ctx.chunk_bytes() != 0) options.chunk_bytes = ctx.chunk_bytes();
+  options.entropy = static_cast<baseline::ChunkEntropy>(ctx.entropy_mode());
+  return options;
 }
 
 Archive compress_to_archive(const Tensor& input, const std::string& codec_spec,
-                            core::CodecPtr* codec_out) {
+                            core::CodecPtr* codec_out, const Context& ctx) {
   if (input.shape().rank() != 4) {
     throw std::invalid_argument("archive: input must be BCHW");
   }
-  const core::CodecPtr codec = core::make_codec(codec_spec);
+  const core::CodecPtr codec = core::make_codec(codec_spec, ctx);
   Archive archive = classify_codec(*codec, codec_spec, input.shape());
   archive.packed = codec->compress(input);
   if (codec_out != nullptr) *codec_out = codec;
@@ -465,29 +481,30 @@ Archive compress_to_archive(const Tensor& input, const std::string& codec_spec,
 Archive compress_to_archive(const Tensor& input, std::size_t cf,
                             std::size_t block,
                             core::TransformKind transform, bool triangle,
-                            core::CodecPtr* codec_out) {
+                            core::CodecPtr* codec_out, const Context& ctx) {
   std::ostringstream spec;
   spec << (triangle ? "triangle" : "dctchop") << ":cf=" << cf
        << ",block=" << block
        << ",transform=" << core::transform_name(transform);
-  return compress_to_archive(input, spec.str(), codec_out);
+  return compress_to_archive(input, spec.str(), codec_out, ctx);
 }
 
 std::string serialize_archive(const Archive& archive,
-                              std::uint32_t version) {
+                              std::uint32_t version, const Context& ctx) {
   ArchiveWriteOptions options;
   options.version = version;
-  return serialize_archive(archive, options);
+  return serialize_archive(archive, options, ctx);
 }
 
 std::string serialize_archive(const Archive& archive,
-                              const ArchiveWriteOptions& options) {
+                              const ArchiveWriteOptions& options,
+                              const Context& ctx) {
   const std::uint32_t version = options.version;
   if (version < 2 || version > kArchiveVersion) {
     throw std::invalid_argument("archive: cannot write version " +
                                 std::to_string(version));
   }
-  if (version == 4) return serialize_archive_v4(archive, options);
+  if (version == 4) return serialize_archive_v4(archive, options, ctx);
   const std::string header = serialize_header_fields(archive);
   const std::string payload = io::serialize_tensor(archive.packed);
 
@@ -511,19 +528,20 @@ std::string serialize_archive(const Archive& archive,
 std::string compress_to_archive_bytes(const Tensor& input,
                                       const std::string& codec_spec,
                                       const ArchiveWriteOptions& options,
-                                      core::CodecPtr* codec_out) {
+                                      core::CodecPtr* codec_out,
+                                      const Context& ctx) {
   if (input.shape().rank() != 4) {
     throw std::invalid_argument("archive: input must be BCHW");
   }
   if (options.version != 4) {
-    Archive archive = compress_to_archive(input, codec_spec, codec_out);
-    return serialize_archive(archive, options);
+    Archive archive = compress_to_archive(input, codec_spec, codec_out, ctx);
+    return serialize_archive(archive, options, ctx);
   }
   require_writable_chunk_bytes(options.chunk_bytes);
 
   AIC_TRACE_SCOPE("pipeline.fused_compress");
   runtime::Timer wall_timer;
-  const core::CodecPtr codec = core::make_codec(codec_spec);
+  const core::CodecPtr codec = core::make_codec(codec_spec, ctx);
   Archive archive = classify_codec(*codec, codec_spec, input.shape());
   if (codec_out != nullptr) *codec_out = codec;
 
@@ -550,7 +568,12 @@ std::string compress_to_archive_bytes(const Tensor& input,
   std::string payload(payload_len, '\0');
   std::memcpy(payload.data(), header.data(), header.size());
 
-  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  // Durable handle for the submit loop (pins the pool against a
+  // concurrent Context::set_process_threads); the PoolScope routes the
+  // codec's internal parallel_for fan-out onto the same session pool.
+  const std::shared_ptr<runtime::ThreadPool> pool_handle = ctx.pool_handle();
+  runtime::ThreadPool& pool = *pool_handle;
+  Context::PoolScope pool_scope(ctx);
   std::vector<std::future<EncodedChunk>> futures(chunk_count);
   std::size_t next_chunk = 0;
   std::atomic<std::uint64_t> encode_ns{0};
@@ -672,7 +695,7 @@ ArchiveProbe probe_archive(const std::string& bytes) {
   return probe;
 }
 
-Archive deserialize_archive(const std::string& bytes) {
+Archive deserialize_archive(const std::string& bytes, const Context& ctx) {
   io::ByteReader reader(bytes, "archive");
   reader.require(sizeof(kMagic), "magic");
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -687,7 +710,7 @@ Archive deserialize_archive(const std::string& bytes) {
                       std::to_string(kArchiveVersion));
   }
 
-  if (version == 4) return deserialize_archive_v4(reader);
+  if (version == 4) return deserialize_archive_v4(reader, ctx);
 
   Archive archive;
   if (version >= 3) {
@@ -727,7 +750,7 @@ Archive deserialize_archive(const std::string& bytes) {
     parse_header_fields(reader, archive);
   }
   archive.packed = io::deserialize_tensor(std::string(reader.rest()));
-  validate_payload_against_header(archive);
+  validate_payload_against_header(archive, ctx);
   return archive;
 }
 

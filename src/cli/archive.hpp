@@ -62,8 +62,11 @@ struct Archive {
 /// The canonical factory spec string an archive header describes.
 std::string archive_codec_spec(const Archive& archive);
 
-/// Builds the codec an archive describes, through core::CodecFactory.
-core::CodecPtr make_archive_codec(const Archive& archive);
+/// Builds the codec an archive describes into `ctx`, through
+/// core::CodecFactory (plans resolve from ctx's PlanCache; compress /
+/// decompress fan out on ctx's pool).
+core::CodecPtr make_archive_codec(
+    const Archive& archive, const Context& ctx = Context::process_default());
 
 /// Compresses `input` (BCHW) through a factory spec string (any of the
 /// dctchop / triangle / partial family — other kinds have no archive
@@ -72,13 +75,15 @@ core::CodecPtr make_archive_codec(const Archive& archive);
 /// compression (so its CodecStats can be inspected afterwards).
 Archive compress_to_archive(const tensor::Tensor& input,
                             const std::string& codec_spec,
-                            core::CodecPtr* codec_out = nullptr);
+                            core::CodecPtr* codec_out = nullptr,
+                            const Context& ctx = Context::process_default());
 
 /// Convenience overload assembling the spec from the classic flags.
 Archive compress_to_archive(const tensor::Tensor& input, std::size_t cf,
                             std::size_t block, core::TransformKind transform,
                             bool triangle,
-                            core::CodecPtr* codec_out = nullptr);
+                            core::CodecPtr* codec_out = nullptr,
+                            const Context& ctx = Context::process_default());
 
 /// Container-write knobs for serialize_archive /
 /// compress_to_archive_bytes.
@@ -91,36 +96,47 @@ struct ArchiveWriteOptions {
   /// at v3 parity; kAuto picks the smallest of raw/packed/huffman per
   /// chunk (opt-in: it trades encode time for size).
   baseline::ChunkEntropy entropy = baseline::ChunkEntropy::kRaw;
+
+  /// Write knobs seeded from a session's configuration: version from
+  /// ctx.archive_version(), chunk_bytes from ctx.chunk_bytes() (0 keeps
+  /// kDefaultChunkBytes), entropy from ctx.entropy_mode().
+  static ArchiveWriteOptions from_context(const Context& ctx);
 };
 
 /// Serializes to the given container version. v4 fans per-chunk entropy
-/// coding and CRC computation across runtime::ThreadPool::global() with
-/// ordered reassembly (bitwise-identical output for every pool size).
+/// coding and CRC computation across `ctx`'s thread pool with ordered
+/// reassembly (bitwise-identical output for every pool size).
 /// Unsupported versions throw std::invalid_argument.
 std::string serialize_archive(const Archive& archive,
-                              std::uint32_t version = kArchiveVersion);
+                              std::uint32_t version = kArchiveVersion,
+                              const Context& ctx = Context::process_default());
 std::string serialize_archive(const Archive& archive,
-                              const ArchiveWriteOptions& options);
+                              const ArchiveWriteOptions& options,
+                              const Context& ctx = Context::process_default());
 
 /// Fused compress + serialize (v4 only; other versions degrade to
 /// compress_to_archive + serialize_archive): planes move through in
 /// groups so the GEMM sandwich transform of group i+1 overlaps the
-/// chunk entropy encode of group i on the shared pool. The returned
+/// chunk entropy encode of group i on `ctx`'s pool. The returned
 /// bytes are bitwise-identical to the unfused
 /// serialize_archive(compress_to_archive(...)) path — the pipeline
-/// tests assert it.
+/// tests assert it — and independent of what other sessions run on a
+/// shared pool.
 std::string compress_to_archive_bytes(const tensor::Tensor& input,
                                       const std::string& codec_spec,
                                       const ArchiveWriteOptions& options = {},
-                                      core::CodecPtr* codec_out = nullptr);
+                                      core::CodecPtr* codec_out = nullptr,
+                                      const Context& ctx =
+                                          Context::process_default());
 
 /// Parses and fully validates an archive stream (magic, version range,
 /// CRCs, field ranges, overflow-checked dims, chunk-table consistency
 /// and expansion bounds — all before any payload allocation — plus
 /// payload/header shape agreement). v4 chunk CRC checks and entropy
-/// decode fan out across the global pool. Throws aic::io::CorruptStream
+/// decode fan out across `ctx`'s pool. Throws aic::io::CorruptStream
 /// on any violation.
-Archive deserialize_archive(const std::string& bytes);
+Archive deserialize_archive(const std::string& bytes,
+                            const Context& ctx = Context::process_default());
 
 /// Cheap header-only introspection (no payload decode; CRC on the
 /// header is still enforced for v3/v4). chunk_count == 0 means an

@@ -17,7 +17,7 @@
 #include "cli/archive.hpp"
 #include "core/codec_factory.hpp"
 #include "core/dct_chop.hpp"
-#include "core/metrics.hpp"
+#include "core/fidelity.hpp"
 #include "data/synth.hpp"
 #include "io/tensor_io.hpp"
 #include "obs/export.hpp"
@@ -25,6 +25,7 @@
 #include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/context.hpp"
 #include "runtime/cpu_features.hpp"
 #include "runtime/env.hpp"
 #include "runtime/parallel_for.hpp"
@@ -137,7 +138,7 @@ int usage(std::ostream& err) {
          "--transform ... --triangle] [--stats]\n"
          "  aicomp codecs      (list registered codec specs)\n"
          "  aicomp serve [in.aicz] [--obs-port P --duration-ms D "
-         "--interval-ms I]\n"
+         "--interval-ms I --sessions N]\n"
          "  aicomp --metrics   (standalone: probe workload + report)\n"
          "\n"
          "  serve runs a continuous workload (decode of in.aicz, or the\n"
@@ -146,6 +147,11 @@ int usage(std::ostream& err) {
          "  AIC_OBS_PORT or 9464; 0 picks a free port). --duration-ms 0\n"
          "  serves until SIGINT/SIGTERM. --interval-ms sets the snapshot\n"
          "  exporter cadence (default AIC_METRICS_EXPORT_MS or 1000).\n"
+         "  --sessions N runs N isolated compression sessions concurrently\n"
+         "  over the shared worker pool; each gets its own plan cache and\n"
+         "  session<i>.* metric scope, and every iteration asserts the\n"
+         "  session's archive bytes are bitwise-identical to a reference\n"
+         "  computed before any neighbor load existed (exit 1 on drift).\n"
          "  --metrics-out <path> writes the JSON metrics snapshot to a\n"
          "  file after any command (machine-readable --metrics).\n"
          "  --codec takes a CodecFactory spec: kind[:key=value,...], e.g.\n"
@@ -159,7 +165,9 @@ int usage(std::ostream& err) {
          "  --chunk-bytes sets the v4 chunk budget (default 65536);\n"
          "  --entropy picks the per-chunk coding (default raw; auto\n"
          "  chooses the smallest of raw/packed/huffman per chunk).\n"
-         "  AIC_NUM_THREADS sizes the worker pool.\n"
+         "  --threads N sizes the shared worker pool; precedence is the\n"
+         "  flag, then AIC_THREADS, then AIC_NUM_THREADS (legacy alias),\n"
+         "  then the hardware concurrency.\n"
          "  --metrics prints latency percentiles (p50/p90/p99) and the\n"
          "  per-simulator cost-model drift table after the operation.\n"
          "  --trace <out.json> records spans and writes Chrome trace-event\n"
@@ -177,7 +185,8 @@ void print_op_stats(std::ostream& out, const char* label,
       << op.gflops_per_second() << " GFLOP/s)\n";
 }
 
-void print_stats(std::ostream& out, const core::Codec& codec) {
+void print_stats(std::ostream& out, const core::Codec& codec,
+                 const Context& ctx) {
   const core::CodecStatsSnapshot snap = codec.stats().snapshot();
   out << "stats[" << codec.name() << "]:\n";
   print_op_stats(out, "compress", snap.compress);
@@ -209,8 +218,7 @@ void print_stats(std::ostream& out, const core::Codec& codec) {
   };
   if (counter("pipeline.chunks_encoded") != 0 ||
       counter("pipeline.chunks_decoded") != 0) {
-    const runtime::ThreadPoolStats pool =
-        runtime::ThreadPool::global().stats();
+    const runtime::ThreadPoolStats pool = ctx.pool().stats();
     const runtime::ParallelForStats pfor = runtime::parallel_for_stats();
     out << "pipeline: chunks_encoded=" << counter("pipeline.chunks_encoded")
         << " chunks_decoded=" << counter("pipeline.chunks_decoded")
@@ -219,7 +227,7 @@ void print_stats(std::ostream& out, const core::Codec& codec) {
         << " chunks=" << gauge("pipeline.last_chunks")
         << " overlap_efficiency=" << gauge("pipeline.overlap_efficiency")
         << "\n";
-    out << "pool[" << runtime::ThreadPool::global().size()
+    out << "pool[" << ctx.pool().size()
         << " threads]: tasks_executed=" << pool.tasks_executed
         << " tasks_inlined=" << pool.tasks_inlined
         << " peak_queue_depth=" << pool.peak_queue_depth
@@ -308,12 +316,21 @@ void serve_stop_handler(int) { g_serve_stop.store(true); }
 /// telemetry stack up — interval snapshot exporter, OpenMetrics HTTP
 /// endpoint, spans — so a Prometheus scrape (or curl) can watch
 /// plan_cache.*, pipeline.*, and accel.* evolve on a live process.
-int cmd_serve(const Options& options, std::ostream& out) {
+/// `--sessions N` runs the workload in N isolated contexts over the one
+/// shared pool: each session owns a plan cache and a session<i>.* metric
+/// scope, and every iteration asserts its archive bytes stay
+/// bitwise-identical to a reference computed before any neighbor load
+/// existed.
+int cmd_serve(const Options& options, std::ostream& out, const Context& ctx) {
   const std::size_t env_port = runtime::env_size_t("AIC_OBS_PORT", 9464);
   const std::size_t port = flag_size(options, "obs-port", env_port);
   const std::size_t duration_ms = flag_size(options, "duration-ms", 0);
   const std::size_t interval_ms = flag_size(
       options, "interval-ms", runtime::env_size_t("AIC_METRICS_EXPORT_MS", 1000));
+  const std::size_t sessions = flag_size(options, "sessions", 1);
+  if (sessions == 0 || sessions > 64) {
+    throw std::invalid_argument("serve: --sessions must be in [1, 64]");
+  }
 
   obs::Exporter::Options exporter_options;
   exporter_options.interval_ms = interval_ms;
@@ -348,16 +365,22 @@ int cmd_serve(const Options& options, std::ostream& out) {
                          std::istreambuf_iterator<char>());
     // Validate up front so a corrupt archive fails loudly at startup
     // instead of raising once per iteration.
-    (void)deserialize_archive(archive_bytes);
+    (void)deserialize_archive(archive_bytes, ctx);
   }
   runtime::Rng rng(7);
   const Tensor probe_input = Tensor::uniform(Shape::bchw(2, 3, 32, 32), rng);
-  const core::CodecPtr probe_codec = core::make_codec("dctchop:cf=4,block=8");
+  const char* const kProbeSpec = "dctchop:cf=4,block=8";
+  const ArchiveWriteOptions write_options =
+      ArchiveWriteOptions::from_context(ctx);
+  // The parity reference every session must reproduce, computed before
+  // any concurrent neighbor load exists.
+  const std::string reference_bytes = compress_to_archive_bytes(
+      probe_input, kProbeSpec, write_options, nullptr, ctx);
   obs::set_tracing_enabled(true);
 
   out << "serving obs on port " << server.port()
       << ": /metrics /healthz /tracez (exporter interval " << interval_ms
-      << " ms)\n";
+      << " ms, " << sessions << " session(s))\n";
   out.flush();
 
   g_serve_stop.store(false);
@@ -368,32 +391,70 @@ int cmd_serve(const Options& options, std::ostream& out) {
       obs::Registry::global().counter("serve.iterations");
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(duration_ms);
-  std::uint64_t iters = 0;
-  while (!g_serve_stop.load()) {
-    {
-      AIC_TRACE_SCOPE("serve.iteration");
-      if (!archive_bytes.empty()) {
-        const Archive archive = deserialize_archive(archive_bytes);
-        const core::CodecPtr codec = make_archive_codec(archive);
-        (void)codec->decompress(archive.packed, archive.original_shape);
-      } else {
-        (void)probe_codec->round_trip(probe_input);
+  std::atomic<bool> parity_failed{false};
+  std::vector<std::uint64_t> session_iters(sessions, 0);
+
+  const auto session_main = [&](std::size_t index) {
+    // One isolated session: its own plan cache and session<i>.* metric
+    // scope over the shared process pool.
+    Context::Options session_options;
+    session_options.obs_prefix = "session" + std::to_string(index) + ".";
+    const Context session_ctx{session_options};
+    obs::Counter& session_iterations = session_ctx.counter("iterations");
+    while (!g_serve_stop.load()) {
+      {
+        AIC_TRACE_SCOPE("serve.iteration");
+        if (!archive_bytes.empty()) {
+          const Archive archive =
+              deserialize_archive(archive_bytes, session_ctx);
+          const core::CodecPtr codec = make_archive_codec(archive, session_ctx);
+          (void)codec->decompress(archive.packed, archive.original_shape);
+        }
+        // The isolation proof: the same tensor through this session's
+        // context must reproduce the reference bytes no matter what the
+        // neighbor sessions are running on the shared pool.
+        const std::string bytes = compress_to_archive_bytes(
+            probe_input, kProbeSpec, write_options, nullptr, session_ctx);
+        if (bytes != reference_bytes) {
+          parity_failed.store(true);
+          g_serve_stop.store(true);
+        }
       }
+      session_iterations.add();
+      iterations.add();
+      ++session_iters[index];
+      if (duration_ms != 0 && std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
     }
-    iterations.add();
-    ++iters;
-    if (duration_ms != 0 && std::chrono::steady_clock::now() >= deadline) {
-      break;
+  };
+
+  if (sessions == 1) {
+    session_main(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(sessions);
+    for (std::size_t i = 0; i < sessions; ++i) {
+      workers.emplace_back(session_main, i);
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    for (std::thread& worker : workers) worker.join();
   }
 
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
-  out << "serve: " << iters << " workload iterations, "
-      << obs::Exporter::global().samples_taken() << " metric samples, "
+  std::uint64_t iters = 0;
+  for (const std::uint64_t n : session_iters) iters += n;
+  out << "serve: " << iters << " workload iterations across " << sessions
+      << " session(s), " << obs::Exporter::global().samples_taken()
+      << " metric samples, "
       << obs::Registry::global().counter("obs.http.scrapes").value()
       << " scrapes\n";
+  if (parity_failed.load()) {
+    out << "serve: PARITY FAILURE: a session produced archive bytes "
+           "differing from the unloaded reference\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -443,7 +504,8 @@ ArchiveWriteOptions archive_write_options(const Options& options) {
   return write;
 }
 
-int cmd_compress(const Options& options, std::ostream& out) {
+int cmd_compress(const Options& options, std::ostream& out,
+                 const Context& ctx) {
   if (options.positional.size() != 2) {
     throw std::invalid_argument("compress: expected <in.aict> <out.aicz>");
   }
@@ -453,7 +515,8 @@ int cmd_compress(const Options& options, std::ostream& out) {
   // the chunk entropy encode of the previous one (v4; older versions
   // degrade to the two-phase path inside).
   const std::string bytes = compress_to_archive_bytes(
-      input, codec_spec(options), archive_write_options(options), &codec);
+      input, codec_spec(options), archive_write_options(options), &codec,
+      ctx);
   std::ofstream file(options.positional[1], std::ios::binary);
   if (!file) {
     throw std::runtime_error("compress: cannot open " + options.positional[1]);
@@ -465,22 +528,23 @@ int cmd_compress(const Options& options, std::ostream& out) {
   }
   out << codec->name() << ": " << input.size_bytes() << " -> " << bytes.size()
       << " archive bytes (CR " << codec->compression_ratio() << ")\n";
-  if (options.stats) print_stats(out, *codec);
+  if (options.stats) print_stats(out, *codec, ctx);
   return 0;
 }
 
-int cmd_decompress(const Options& options, std::ostream& out) {
+int cmd_decompress(const Options& options, std::ostream& out,
+                   const Context& ctx) {
   if (options.positional.size() != 2) {
     throw std::invalid_argument("decompress: expected <in.aicz> <out.aict>");
   }
   const Archive archive = load_archive(options.positional[0]);
-  const core::CodecPtr codec = make_archive_codec(archive);
+  const core::CodecPtr codec = make_archive_codec(archive, ctx);
   const Tensor restored =
       codec->decompress(archive.packed, archive.original_shape);
   io::save_tensor(restored, options.positional[1]);
   out << "restored " << restored.shape().to_string() << " to "
       << options.positional[1] << "\n";
-  if (options.stats) print_stats(out, *codec);
+  if (options.stats) print_stats(out, *codec, ctx);
   return 0;
 }
 
@@ -488,30 +552,31 @@ int cmd_decompress(const Options& options, std::ostream& out) {
 /// container parse (v3 CRC32C checks included), codec rebuild, and a
 /// complete decompress — without writing anything. A corrupt file exits
 /// 1 with the typed CorruptStream diagnostic on stderr.
-int cmd_verify(const Options& options, std::ostream& out) {
+int cmd_verify(const Options& options, std::ostream& out,
+               const Context& ctx) {
   if (options.positional.size() != 1) {
     throw std::invalid_argument("verify: expected one archive path");
   }
   const Archive archive = load_archive(options.positional[0]);
-  const core::CodecPtr codec = make_archive_codec(archive);
+  const core::CodecPtr codec = make_archive_codec(archive, ctx);
   const Tensor restored =
       codec->decompress(archive.packed, archive.original_shape);
   out << "ok: codec=" << codec->name()
       << " original=" << archive.original_shape.to_string()
       << " packed=" << archive.packed.shape().to_string() << " ("
       << archive.packed.size_bytes() << " bytes)\n";
-  if (options.stats) print_stats(out, *codec);
+  if (options.stats) print_stats(out, *codec, ctx);
   return 0;
 }
 
-int cmd_info(const Options& options, std::ostream& out) {
+int cmd_info(const Options& options, std::ostream& out, const Context& ctx) {
   if (options.positional.size() != 1) {
     throw std::invalid_argument("info: expected one path");
   }
   const std::string& path = options.positional[0];
   try {
     const Archive archive = load_archive(path);
-    const auto codec = make_archive_codec(archive);
+    const auto codec = make_archive_codec(archive, ctx);
     out << "archive: codec=" << codec->name()
         << " original=" << archive.original_shape.to_string()
         << " packed=" << archive.packed.shape().to_string() << " ("
@@ -540,19 +605,19 @@ int cmd_info(const Options& options, std::ostream& out) {
   return 0;
 }
 
-int cmd_eval(const Options& options, std::ostream& out) {
+int cmd_eval(const Options& options, std::ostream& out, const Context& ctx) {
   if (options.positional.size() != 1) {
     throw std::invalid_argument("eval: expected one input path");
   }
   const Tensor input = io::load_tensor(options.positional[0]);
   // eval needs no archive, so any registered codec works here — zfp/sz/
   // jpeg comparators included.
-  const core::CodecPtr codec = core::make_codec(codec_spec(options));
+  const core::CodecPtr codec = core::make_codec(codec_spec(options), ctx);
   const core::RateDistortion rd = core::evaluate_codec(*codec, input);
   out << codec->name() << ": CR=" << rd.compression_ratio
       << " MSE=" << rd.mse << " PSNR=" << rd.psnr_db
       << " dB max|err|=" << rd.max_abs_error << "\n";
-  if (options.stats) print_stats(out, *codec);
+  if (options.stats) print_stats(out, *codec, ctx);
   return 0;
 }
 
@@ -577,6 +642,15 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     const std::string command = bare ? "" : args[0];
     const Options options = parse(args, bare ? 0 : 1);
 
+    // Pool sizing precedence: --threads, then AIC_THREADS, then the
+    // legacy AIC_NUM_THREADS alias, then hardware concurrency. The env
+    // legs apply lazily when the process pool is first created, so only
+    // an explicit flag needs an up-front resize (the pool does not exist
+    // yet, so no session can be holding it).
+    const std::size_t threads_flag = flag_size(options, "threads", 0);
+    if (threads_flag != 0) Context::set_process_threads(threads_flag);
+    const Context ctx = Context::process_default();
+
     // AIC_TRACE (via runtime::env) or --trace turn span recording on
     // before the command executes.
     if (!options.trace_path.empty() ||
@@ -594,19 +668,19 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     } else if (command == "gen") {
       rc = cmd_gen(options, out);
     } else if (command == "compress") {
-      rc = cmd_compress(options, out);
+      rc = cmd_compress(options, out, ctx);
     } else if (command == "decompress") {
-      rc = cmd_decompress(options, out);
+      rc = cmd_decompress(options, out, ctx);
     } else if (command == "verify") {
-      rc = cmd_verify(options, out);
+      rc = cmd_verify(options, out, ctx);
     } else if (command == "info") {
-      rc = cmd_info(options, out);
+      rc = cmd_info(options, out, ctx);
     } else if (command == "eval") {
-      rc = cmd_eval(options, out);
+      rc = cmd_eval(options, out, ctx);
     } else if (command == "codecs") {
       rc = cmd_codecs(out);
     } else if (command == "serve") {
-      rc = cmd_serve(options, out);
+      rc = cmd_serve(options, out, ctx);
     } else {
       err << "unknown command: " << command << "\n";
       return usage(err);

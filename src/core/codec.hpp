@@ -3,8 +3,10 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/codec_stats.hpp"
+#include "runtime/context.hpp"
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
 
@@ -55,7 +57,15 @@ class Codec {
   /// between measurement windows.
   CodecStats& stats() const noexcept { return stats_; }
 
+  /// The session this codec resolves plans in, executes on, and reports
+  /// metrics under. Copies of a codec's context refer to the same session.
+  const Context& context() const noexcept { return ctx_; }
+
  protected:
+  Codec() = default;
+  explicit Codec(Context ctx) : ctx_(std::move(ctx)) {}
+
+  Context ctx_;
   mutable CodecStats stats_;
 };
 

@@ -133,20 +133,20 @@ CodecFactory::CodecFactory() {
   // baseline comparators register from baseline::register_comparator_codecs.
   register_codec(
       "dctchop", "DCT+Chop two-matmul codec (Eq. 4/6); CR = block^2/cf^2",
-      [](const SpecParams& p) -> CodecPtr {
+      [](const SpecParams& p, const Context& ctx) -> CodecPtr {
         DctChopConfig config;
         config.cf = p.get_size("cf", config.cf);
         config.block = p.get_size("block", config.block);
         config.transform = p.get_transform("transform", config.transform);
         config.height = p.get_size("h", 0);
         config.width = p.get_size("w", 0);
-        return std::make_shared<DctChopCodec>(config);
+        return std::make_shared<DctChopCodec>(config, ctx);
       },
       {"dct+chop", "chop"});
   register_codec(
       "partial",
       "partial serialization (s x s serial chunks) over DCT+Chop (sec. 3.5.1)",
-      [](const SpecParams& p) -> CodecPtr {
+      [](const SpecParams& p, const Context& ctx) -> CodecPtr {
         PartialSerialConfig config;
         config.cf = p.get_size("cf", config.cf);
         config.block = p.get_size("block", config.block);
@@ -154,20 +154,20 @@ CodecFactory::CodecFactory() {
         config.subdivision = p.get_size("s", config.subdivision);
         config.height = p.get_size("h", 0);
         config.width = p.get_size("w", 0);
-        return std::make_shared<PartialSerialCodec>(config);
+        return std::make_shared<PartialSerialCodec>(config, ctx);
       },
       {"ps", "dct+chop+ps"});
   register_codec(
       "triangle",
       "scatter/gather triangle packing over DCT+Chop (sec. 3.5.2)",
-      [](const SpecParams& p) -> CodecPtr {
+      [](const SpecParams& p, const Context& ctx) -> CodecPtr {
         DctChopConfig config;
         config.cf = p.get_size("cf", config.cf);
         config.block = p.get_size("block", config.block);
         config.transform = p.get_transform("transform", config.transform);
         config.height = p.get_size("h", 0);
         config.width = p.get_size("w", 0);
-        return std::make_shared<TriangleCodec>(config);
+        return std::make_shared<TriangleCodec>(config, ctx);
       },
       {"sg", "dct+chop+sg"});
 }
@@ -182,7 +182,8 @@ void CodecFactory::register_codec(const std::string& name,
   }
 }
 
-CodecPtr CodecFactory::make(const std::string& spec) const {
+CodecPtr CodecFactory::make(const std::string& spec,
+                            const Context& ctx) const {
   const auto bad = [&spec](const std::string& message) -> void {
     throw std::invalid_argument("codec spec \"" + spec + "\": " + message);
   };
@@ -231,7 +232,7 @@ CodecPtr CodecFactory::make(const std::string& spec) const {
   }
 
   const SpecParams params(kind, std::move(values), spec);
-  CodecPtr codec = build(params);
+  CodecPtr codec = build(params, ctx);
   if (!codec) bad("builder returned null");
   params.check_all_consumed();
   return codec;
@@ -251,8 +252,8 @@ std::vector<std::pair<std::string, std::string>> CodecFactory::list() const {
   return out;
 }
 
-CodecPtr make_codec(const std::string& spec) {
-  return CodecFactory::global().make(spec);
+CodecPtr make_codec(const std::string& spec, const Context& ctx) {
+  return CodecFactory::global().make(spec, ctx);
 }
 
 }  // namespace aic::core

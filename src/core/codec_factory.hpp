@@ -66,7 +66,10 @@ class SpecParams {
 /// idempotent call).
 class CodecFactory {
  public:
-  using Builder = std::function<CodecPtr(const SpecParams&)>;
+  /// Builders receive the context the codec should live in — the factory
+  /// registry itself is process-global (builders are stateless), but every
+  /// codec instance is constructed into an explicit session.
+  using Builder = std::function<CodecPtr(const SpecParams&, const Context&)>;
 
   static CodecFactory& global();
 
@@ -76,10 +79,11 @@ class CodecFactory {
   void register_codec(const std::string& name, const std::string& summary,
                       Builder build, std::vector<std::string> aliases = {});
 
-  /// Builds a codec from a spec string; throws std::invalid_argument
-  /// with a diagnostic naming the known kinds / valid keys on malformed
-  /// specs.
-  CodecPtr make(const std::string& spec) const;
+  /// Builds a codec from a spec string into `ctx`; throws
+  /// std::invalid_argument with a diagnostic naming the known kinds /
+  /// valid keys on malformed specs.
+  CodecPtr make(const std::string& spec,
+                const Context& ctx = Context::process_default()) const;
 
   bool known(const std::string& name) const;
   /// Primary names with summaries, sorted (aliases excluded).
@@ -98,7 +102,8 @@ class CodecFactory {
   std::map<std::string, Registration> codecs_;
 };
 
-/// Convenience for CodecFactory::global().make(spec).
-CodecPtr make_codec(const std::string& spec);
+/// Convenience for CodecFactory::global().make(spec, ctx).
+CodecPtr make_codec(const std::string& spec,
+                    const Context& ctx = Context::process_default());
 
 }  // namespace aic::core

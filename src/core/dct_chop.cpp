@@ -15,7 +15,11 @@ namespace aic::core {
 using tensor::Shape;
 using tensor::Tensor;
 
-DctChopCodec::DctChopCodec(DctChopConfig config) : config_(config) {
+DctChopCodec::DctChopCodec(DctChopConfig config, Context ctx)
+    : Codec(std::move(ctx)),
+      config_(config),
+      compress_latency_(ctx_.histogram("codec.compress.ns")),
+      decompress_latency_(ctx_.histogram("codec.decompress.ns")) {
   const auto& c = config_;
   if (c.block == 0 || c.cf == 0 || c.cf > c.block) {
     throw std::invalid_argument("DctChopCodec: cf must be in [1, block]");
@@ -23,7 +27,7 @@ DctChopCodec::DctChopCodec(DctChopConfig config) : config_(config) {
   if (c.height != 0 || c.width != 0) {
     // Pinned mode: compile (or share) the plan now, validating geometry
     // exactly the way the per-shape constructor always did.
-    pinned_ = resolve_dct_chop_plan(c.height, c.width, c.cf, c.block,
+    pinned_ = resolve_dct_chop_plan(ctx_, c.height, c.width, c.cf, c.block,
                                     c.transform);
   }
 }
@@ -39,7 +43,7 @@ std::shared_ptr<const DctChopPlan> DctChopCodec::plan_for(
     }
     return pinned_;
   }
-  return resolve_dct_chop_plan(height, width, config_.cf, config_.block,
+  return resolve_dct_chop_plan(ctx_, height, width, config_.cf, config_.block,
                                config_.transform);
 }
 
@@ -107,6 +111,9 @@ Shape DctChopCodec::compressed_shape(const Shape& input) const {
 
 Tensor DctChopCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("codec.compress");
+  // Route the plan executor's parallel_for (and nested gemms) onto this
+  // codec's session pool.
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
   const std::shared_ptr<const DctChopPlan> plan =
@@ -119,15 +126,14 @@ Tensor DctChopCodec::compress(const Tensor& input) const {
                                                     input.shape()[3],
                                                     config_.cf, config_.block),
                          input.size_bytes(), out.size_bytes(), nanos);
-  static obs::Histogram& latency =
-      obs::Registry::global().histogram("codec.compress.ns");
-  latency.record(nanos);
+  compress_latency_.record(nanos);
   return out;
 }
 
 Tensor DctChopCodec::decompress(const Tensor& packed,
                                 const Shape& original) const {
   AIC_TRACE_SCOPE("codec.decompress");
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     // The packed tensor is decode-side input (it may come straight from
@@ -150,9 +156,7 @@ Tensor DctChopCodec::decompress(const Tensor& packed,
                                                         config_.cf,
                                                         config_.block),
                            packed.size_bytes(), out.size_bytes(), nanos);
-  static obs::Histogram& latency =
-      obs::Registry::global().histogram("codec.decompress.ns");
-  latency.record(nanos);
+  decompress_latency_.record(nanos);
   return out;
 }
 

@@ -9,6 +9,10 @@
 #include "core/plan.hpp"
 #include "tensor/matmul.hpp"
 
+namespace aic::obs {
+class Histogram;
+}  // namespace aic::obs
+
 namespace aic::core {
 
 /// Configuration of the DCT+Chop compressor.
@@ -18,7 +22,7 @@ struct DctChopConfig {
   /// eagerly at construction and feeding a different shape throws, the
   /// paper's per-shape compile contract (§3.1). Zero (the default) makes
   /// the codec shape-agnostic: the plan for each incoming resolution is
-  /// resolved at compress() time from the process-wide PlanCache.
+  /// resolved at compress() time from the codec's context's PlanCache.
   std::size_t height = 0;
   std::size_t width = 0;
   /// Chop factor CF ∈ [1, block]: the upper-left CF×CF coefficients of
@@ -44,7 +48,8 @@ struct DctChopConfig {
 /// operand storage.
 class DctChopCodec final : public Codec {
  public:
-  explicit DctChopCodec(DctChopConfig config);
+  explicit DctChopCodec(DctChopConfig config,
+                        Context ctx = Context::process_default());
 
   std::string name() const override;
   std::string spec() const override;
@@ -88,6 +93,10 @@ class DctChopCodec final : public Codec {
 
  private:
   DctChopConfig config_;
+  // Context-scoped latency series, resolved once at construction (registry
+  // lookups take a mutex; instruments outlive the process).
+  obs::Histogram& compress_latency_;
+  obs::Histogram& decompress_latency_;
   std::shared_ptr<const DctChopPlan> pinned_;  // null when shape-agnostic
 };
 

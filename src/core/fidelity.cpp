@@ -1,4 +1,4 @@
-#include "core/metrics.hpp"
+#include "core/fidelity.hpp"
 
 #include "tensor/ops.hpp"
 

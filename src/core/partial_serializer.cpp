@@ -47,8 +47,11 @@ void copy_window(const Tensor& src, std::size_t src_h, std::size_t src_w,
 
 }  // namespace
 
-PartialSerialCodec::PartialSerialCodec(PartialSerialConfig config)
-    : config_(config) {
+PartialSerialCodec::PartialSerialCodec(PartialSerialConfig config, Context ctx)
+    : Codec(std::move(ctx)),
+      config_(config),
+      compress_latency_(ctx_.histogram("ps.compress.ns")),
+      decompress_latency_(ctx_.histogram("ps.decompress.ns")) {
   const auto& c = config_;
   if (c.subdivision == 0) {
     throw std::invalid_argument("PartialSerialCodec: subdivision must be >= 1");
@@ -57,19 +60,21 @@ PartialSerialCodec::PartialSerialCodec(PartialSerialConfig config)
     throw std::invalid_argument("PartialSerialCodec: cf must be in [1, block]");
   }
   if (c.height != 0 || c.width != 0) {
-    pinned_ = resolve_partial_serial_plan(c.height, c.width, c.cf, c.block,
-                                          c.transform, c.subdivision);
+    pinned_ = resolve_partial_serial_plan(ctx_, c.height, c.width, c.cf,
+                                          c.block, c.transform, c.subdivision);
     chunk_codec_ = std::make_unique<DctChopCodec>(
         DctChopConfig{.height = pinned_->chunk_h(),
                       .width = pinned_->chunk_w(),
                       .cf = c.cf,
                       .block = c.block,
-                      .transform = c.transform});
+                      .transform = c.transform},
+        ctx_);
   } else {
     // Shape-agnostic: one chunk codec serves every incoming resolution,
     // resolving the per-chunk plan from the cache.
-    chunk_codec_ = std::make_unique<DctChopCodec>(DctChopConfig{
-        .cf = c.cf, .block = c.block, .transform = c.transform});
+    chunk_codec_ = std::make_unique<DctChopCodec>(
+        DctChopConfig{.cf = c.cf, .block = c.block, .transform = c.transform},
+        ctx_);
   }
 }
 
@@ -85,8 +90,9 @@ std::shared_ptr<const PartialSerialPlan> PartialSerialCodec::plan_for(
     }
     return pinned_;
   }
-  return resolve_partial_serial_plan(height, width, config_.cf, config_.block,
-                                     config_.transform, config_.subdivision);
+  return resolve_partial_serial_plan(ctx_, height, width, config_.cf,
+                                     config_.block, config_.transform,
+                                     config_.subdivision);
 }
 
 std::string PartialSerialCodec::name() const {
@@ -130,6 +136,7 @@ Shape PartialSerialCodec::compressed_shape(const Shape& input) const {
 
 Tensor PartialSerialCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("ps.compress");
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
   const std::size_t batch = input.shape()[0];
@@ -154,7 +161,7 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
     copy_window(input, (index / s) * chunk_h, (index % s) * chunk_w, dst, 0,
                 0, chunk_h, chunk_w);
   };
-  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  runtime::ThreadPool& pool = ctx_.pool();
   std::future<void> pending;
   stage(0, staging[0]);
   try {
@@ -184,15 +191,14 @@ Tensor PartialSerialCodec::compress(const Tensor& input) const {
           DctChopCodec::flops_compress_hw(chunk_h, chunk_w, config_.cf,
                                           config_.block),
       input.size_bytes(), out.size_bytes(), nanos);
-  static obs::Histogram& latency =
-      obs::Registry::global().histogram("ps.compress.ns");
-  latency.record(nanos);
+  compress_latency_.record(nanos);
   return out;
 }
 
 Tensor PartialSerialCodec::decompress(const Tensor& packed,
                                       const Shape& original) const {
   AIC_TRACE_SCOPE("ps.decompress");
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     io::raise_corrupt(io::CorruptKind::kPayloadMismatch,
@@ -230,9 +236,7 @@ Tensor PartialSerialCodec::decompress(const Tensor& packed,
           DctChopCodec::flops_decompress_hw(chunk_h, chunk_w, config_.cf,
                                             config_.block),
       packed.size_bytes(), out.size_bytes(), nanos);
-  static obs::Histogram& latency =
-      obs::Registry::global().histogram("ps.decompress.ns");
-  latency.record(nanos);
+  decompress_latency_.record(nanos);
   return out;
 }
 

@@ -31,7 +31,8 @@ struct PartialSerialConfig {
 
 class PartialSerialCodec final : public Codec {
  public:
-  explicit PartialSerialCodec(PartialSerialConfig config);
+  explicit PartialSerialCodec(PartialSerialConfig config,
+                              Context ctx = Context::process_default());
 
   std::string name() const override;
   std::string spec() const override;
@@ -70,6 +71,8 @@ class PartialSerialCodec final : public Codec {
 
  private:
   PartialSerialConfig config_;
+  obs::Histogram& compress_latency_;
+  obs::Histogram& decompress_latency_;
   std::shared_ptr<const PartialSerialPlan> pinned_;  // null when agnostic
   std::unique_ptr<DctChopCodec> chunk_codec_;
 };

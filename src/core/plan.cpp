@@ -334,19 +334,22 @@ std::size_t TrianglePlan::workspace_bytes(std::size_t batch,
 
 // ---------------------------------------------------------------------------
 
-std::shared_ptr<const CodecPlan> build_core_plan(const PlanKey& key) {
+std::shared_ptr<const CodecPlan> build_core_plan(const PlanKey& key,
+                                                 PlanCache& cache) {
   switch (key.kind) {
     case CodecKind::kDctChop:
       return std::make_shared<DctChopPlan>(key);
     case CodecKind::kPartialSerial: {
-      auto chunk = resolve_dct_chop_plan(key.height / key.subdivision,
-                                         key.width / key.subdivision, key.cf,
-                                         key.block, key.transform);
+      auto chunk = std::static_pointer_cast<const DctChopPlan>(cache.resolve(
+          dct_chop_plan_key(key.height / key.subdivision,
+                            key.width / key.subdivision, key.cf, key.block,
+                            key.transform)));
       return std::make_shared<PartialSerialPlan>(key, std::move(chunk));
     }
     case CodecKind::kTriangle: {
-      auto inner = resolve_dct_chop_plan(key.height, key.width, key.cf,
-                                         key.block, key.transform);
+      auto inner = std::static_pointer_cast<const DctChopPlan>(cache.resolve(
+          dct_chop_plan_key(key.height, key.width, key.cf, key.block,
+                            key.transform)));
       return std::make_shared<TrianglePlan>(key, std::move(inner));
     }
     default:

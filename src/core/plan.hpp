@@ -206,9 +206,13 @@ PlanKey triangle_plan_key(std::size_t height, std::size_t width,
                           std::size_t cf, std::size_t block,
                           TransformKind transform);
 
+class PlanCache;
+
 /// Builds the plan for a core codec key (kDctChop / kPartialSerial /
-/// kTriangle), resolving nested chunk/inner plans through the global
-/// PlanCache. Baseline kinds must supply their own builder to the cache.
-std::shared_ptr<const CodecPlan> build_core_plan(const PlanKey& key);
+/// kTriangle), resolving nested chunk/inner plans through `cache` — the
+/// cache that requested the build, so composites stay within one
+/// context's budget. Baseline kinds must supply their own builder.
+std::shared_ptr<const CodecPlan> build_core_plan(const PlanKey& key,
+                                                 PlanCache& cache);
 
 }  // namespace aic::core

@@ -12,37 +12,45 @@ namespace {
 
 constexpr std::size_t kDefaultBudgetBytes = 256ull << 20;  // 256 MiB
 
-struct CacheMetrics {
-  obs::Counter& hit;
-  obs::Counter& miss;
-  obs::Counter& build_count;
-  obs::Counter& eviction;
-  obs::Histogram& build_ns;
-  obs::Gauge& resident_bytes;
-
-  static CacheMetrics& global() {
-    static CacheMetrics metrics{
-        obs::Registry::global().counter("plan_cache.hit"),
-        obs::Registry::global().counter("plan_cache.miss"),
-        obs::Registry::global().counter("plan_cache.build_count"),
-        obs::Registry::global().counter("plan_cache.eviction"),
-        obs::Registry::global().histogram("plan_cache.build_ns"),
-        obs::Registry::global().gauge("plan_cache.resident_bytes")};
-    return metrics;
-  }
-};
+std::size_t resolve_budget(const Context& ctx) {
+  const std::size_t requested = ctx.plan_cache_bytes();
+  if (requested != Context::kPlanCacheBytesFromEnv) return requested;
+  return runtime::env_size_t("AIC_PLAN_CACHE_BYTES", kDefaultBudgetBytes);
+}
 
 }  // namespace
 
-PlanCache& PlanCache::global() {
-  static PlanCache cache(
-      runtime::env_size_t("AIC_PLAN_CACHE_BYTES", kDefaultBudgetBytes),
-      /*publish_metrics=*/true);
-  return cache;
+PlanCache& PlanCache::of(const Context& ctx) {
+  const std::shared_ptr<void> cell = ctx.slot(
+      Context::Slot::kPlanCache, [&ctx]() -> std::shared_ptr<void> {
+        // Metrics rule: the process default keeps the historical
+        // unprefixed series; sessions publish only when labeled, so
+        // anonymous scratch contexts don't pollute the registry.
+        const bool publish =
+            ctx.is_process_default() || !ctx.obs_prefix().empty();
+        return std::make_shared<PlanCache>(resolve_budget(ctx), publish,
+                                           ctx.obs_prefix());
+      });
+  return *static_cast<PlanCache*>(cell.get());
 }
 
-PlanCache::PlanCache(std::size_t byte_budget, bool publish_metrics)
-    : byte_budget_(byte_budget), publish_metrics_(publish_metrics) {}
+PlanCache::PlanCache(std::size_t byte_budget, bool publish_metrics,
+                     const std::string& metric_prefix)
+    : byte_budget_(byte_budget), publish_metrics_(publish_metrics) {
+  if (publish_metrics_) {
+    obs::Registry& registry = obs::Registry::global();
+    instruments_.hit = &registry.counter(metric_prefix + "plan_cache.hit");
+    instruments_.miss = &registry.counter(metric_prefix + "plan_cache.miss");
+    instruments_.build_count =
+        &registry.counter(metric_prefix + "plan_cache.build_count");
+    instruments_.eviction =
+        &registry.counter(metric_prefix + "plan_cache.eviction");
+    instruments_.build_ns =
+        &registry.histogram(metric_prefix + "plan_cache.build_ns");
+    instruments_.resident_bytes =
+        &registry.gauge(metric_prefix + "plan_cache.resident_bytes");
+  }
+}
 
 std::shared_ptr<const CodecPlan> PlanCache::resolve(const PlanKey& key,
                                                     const BuildFn& build) {
@@ -50,15 +58,15 @@ std::shared_ptr<const CodecPlan> PlanCache::resolve(const PlanKey& key,
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++stats_.hits;
-    if (publish_metrics_) CacheMetrics::global().hit.add();
+    if (publish_metrics_) instruments_.hit->add();
     touch(it->second);
     return it->second.plan;
   }
 
   ++stats_.misses;
-  if (publish_metrics_) CacheMetrics::global().miss.add();
+  if (publish_metrics_) instruments_.miss->add();
 
-  // Built under the lock: a key is compiled exactly once process-wide,
+  // Built under the lock: a key is compiled exactly once per cache,
   // which keeps plan_cache.build_count deterministic (it equals the
   // number of distinct keys ever requested) and spares concurrent
   // resolvers of the same key from duplicating the operand matmuls.
@@ -66,7 +74,7 @@ std::shared_ptr<const CodecPlan> PlanCache::resolve(const PlanKey& key,
   // mutex.
   runtime::Timer timer;
   std::shared_ptr<const CodecPlan> plan =
-      build ? build() : build_core_plan(key);
+      build ? build() : build_core_plan(key, *this);
   const std::uint64_t nanos = timer.nanos();
   if (!plan) {
     throw std::runtime_error("PlanCache: builder returned null for key " +
@@ -74,8 +82,8 @@ std::shared_ptr<const CodecPlan> PlanCache::resolve(const PlanKey& key,
   }
   ++stats_.builds;
   if (publish_metrics_) {
-    CacheMetrics::global().build_count.add();
-    CacheMetrics::global().build_ns.record(nanos);
+    instruments_.build_count->add();
+    instruments_.build_ns->record(nanos);
   }
 
   // A nested build may have inserted this key already (a composite plan
@@ -109,14 +117,13 @@ void PlanCache::evict_to_budget() {
     entries_.erase(it);
     lru_.pop_back();
     ++stats_.evictions;
-    if (publish_metrics_) CacheMetrics::global().eviction.add();
+    if (publish_metrics_) instruments_.eviction->add();
   }
 }
 
 void PlanCache::publish_resident_locked() {
   if (publish_metrics_) {
-    CacheMetrics::global().resident_bytes.set(
-        static_cast<double>(resident_bytes_));
+    instruments_.resident_bytes->set(static_cast<double>(resident_bytes_));
   }
 }
 
@@ -159,28 +166,28 @@ PlanCache::Snapshot PlanCache::snapshot() const {
 }
 
 std::shared_ptr<const DctChopPlan> resolve_dct_chop_plan(
-    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
-    TransformKind transform) {
+    const Context& ctx, std::size_t height, std::size_t width, std::size_t cf,
+    std::size_t block, TransformKind transform) {
   const PlanKey key = dct_chop_plan_key(height, width, cf, block, transform);
   return std::static_pointer_cast<const DctChopPlan>(
-      PlanCache::global().resolve(key));
+      PlanCache::of(ctx).resolve(key));
 }
 
 std::shared_ptr<const PartialSerialPlan> resolve_partial_serial_plan(
-    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
-    TransformKind transform, std::size_t subdivision) {
+    const Context& ctx, std::size_t height, std::size_t width, std::size_t cf,
+    std::size_t block, TransformKind transform, std::size_t subdivision) {
   const PlanKey key = partial_serial_plan_key(height, width, cf, block,
                                               transform, subdivision);
   return std::static_pointer_cast<const PartialSerialPlan>(
-      PlanCache::global().resolve(key));
+      PlanCache::of(ctx).resolve(key));
 }
 
 std::shared_ptr<const TrianglePlan> resolve_triangle_plan(
-    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
-    TransformKind transform) {
+    const Context& ctx, std::size_t height, std::size_t width, std::size_t cf,
+    std::size_t block, TransformKind transform) {
   const PlanKey key = triangle_plan_key(height, width, cf, block, transform);
   return std::static_pointer_cast<const TrianglePlan>(
-      PlanCache::global().resolve(key));
+      PlanCache::of(ctx).resolve(key));
 }
 
 }  // namespace aic::core

@@ -8,13 +8,22 @@
 #include <mutex>
 #include <unordered_map>
 
+#include <string>
+
 #include "core/plan.hpp"
+#include "runtime/context.hpp"
+
+namespace aic::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace aic::obs
 
 namespace aic::core {
 
-/// Process-wide cache of compiled codec plans, keyed by PlanKey, with
-/// LRU eviction against a byte budget (`AIC_PLAN_CACHE_BYTES`, default
-/// 256 MiB, 0 = unbounded).
+/// Per-context cache of compiled codec plans, keyed by PlanKey, with
+/// LRU eviction against a byte budget (the process-default context reads
+/// `AIC_PLAN_CACHE_BYTES`, default 256 MiB, 0 = unbounded).
 ///
 /// This is the repo's answer to the paper's compile-once/run-per-batch
 /// split at production scale: the first request for a (codec, shape)
@@ -34,15 +43,21 @@ class PlanCache {
  public:
   using BuildFn = std::function<std::shared_ptr<const CodecPlan>()>;
 
-  /// The process-wide instance used by all codecs. Its metrics are
-  /// published to obs::Registry::global() under `plan_cache.*`.
-  static PlanCache& global();
+  /// The cache belonging to `ctx`, created on first use with the
+  /// context's byte budget. The process-default context publishes metrics
+  /// unprefixed (`plan_cache.*`, as the old singleton did); other contexts
+  /// publish under `<obs_prefix>plan_cache.*` when they carry a prefix and
+  /// stay silent otherwise. Lives as long as the context.
+  static PlanCache& of(const Context& ctx);
 
-  /// A standalone cache (tests); does not publish obs metrics.
-  explicit PlanCache(std::size_t byte_budget, bool publish_metrics = false);
+  /// A standalone cache (tests); publishes obs metrics under
+  /// `<metric_prefix>plan_cache.*` only when `publish_metrics` is set.
+  explicit PlanCache(std::size_t byte_budget, bool publish_metrics = false,
+                     const std::string& metric_prefix = {});
 
   /// Returns the cached plan for `key`, building it with `build` on a
-  /// miss. When `build` is empty, `build_core_plan(key)` is used (valid
+  /// miss. When `build` is empty, `build_core_plan(key, *this)` is used
+  /// (valid
   /// for the core codec kinds only).
   std::shared_ptr<const CodecPlan> resolve(const PlanKey& key,
                                            const BuildFn& build = {});
@@ -73,6 +88,17 @@ class PlanCache {
     std::list<PlanKey>::iterator lru_it;
   };
 
+  /// Pointers into the global registry for this cache's metric series
+  /// (instruments are never deleted, so the references stay valid).
+  struct Instruments {
+    obs::Counter* hit = nullptr;
+    obs::Counter* miss = nullptr;
+    obs::Counter* build_count = nullptr;
+    obs::Counter* eviction = nullptr;
+    obs::Histogram* build_ns = nullptr;
+    obs::Gauge* resident_bytes = nullptr;
+  };
+
   void touch(Entry& entry);
   void evict_to_budget();
   void publish_resident_locked();
@@ -83,18 +109,19 @@ class PlanCache {
   std::size_t byte_budget_ = 0;
   std::size_t resident_bytes_ = 0;
   bool publish_metrics_ = false;
+  Instruments instruments_;
   Snapshot stats_;
 };
 
-/// Typed conveniences over PlanCache::global() for the core kinds.
+/// Typed conveniences over PlanCache::of(ctx) for the core kinds.
 std::shared_ptr<const DctChopPlan> resolve_dct_chop_plan(
-    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
-    TransformKind transform);
+    const Context& ctx, std::size_t height, std::size_t width, std::size_t cf,
+    std::size_t block, TransformKind transform);
 std::shared_ptr<const PartialSerialPlan> resolve_partial_serial_plan(
-    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
-    TransformKind transform, std::size_t subdivision);
+    const Context& ctx, std::size_t height, std::size_t width, std::size_t cf,
+    std::size_t block, TransformKind transform, std::size_t subdivision);
 std::shared_ptr<const TrianglePlan> resolve_triangle_plan(
-    std::size_t height, std::size_t width, std::size_t cf, std::size_t block,
-    TransformKind transform);
+    const Context& ctx, std::size_t height, std::size_t width, std::size_t cf,
+    std::size_t block, TransformKind transform);
 
 }  // namespace aic::core

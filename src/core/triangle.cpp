@@ -13,12 +13,15 @@ namespace aic::core {
 using tensor::Shape;
 using tensor::Tensor;
 
-TriangleCodec::TriangleCodec(DctChopConfig config)
-    : config_(config), inner_(std::make_unique<DctChopCodec>(config)) {
+TriangleCodec::TriangleCodec(DctChopConfig config, Context ctx)
+    : Codec(std::move(ctx)),
+      config_(config),
+      inner_(std::make_unique<DctChopCodec>(config, ctx_)) {
   per_block_ = config_.cf * (config_.cf + 1) / 2;
   if (config_.height != 0 || config_.width != 0) {
-    pinned_ = resolve_triangle_plan(config_.height, config_.width, config_.cf,
-                                    config_.block, config_.transform);
+    pinned_ = resolve_triangle_plan(ctx_, config_.height, config_.width,
+                                    config_.cf, config_.block,
+                                    config_.transform);
   }
 }
 
@@ -34,7 +37,7 @@ std::shared_ptr<const TrianglePlan> TriangleCodec::plan_for(
     }
     return pinned_;
   }
-  return resolve_triangle_plan(height, width, config_.cf, config_.block,
+  return resolve_triangle_plan(ctx_, height, width, config_.cf, config_.block,
                                config_.transform);
 }
 
@@ -79,6 +82,7 @@ Shape TriangleCodec::compressed_shape(const Shape& input) const {
 
 Tensor TriangleCodec::compress(const Tensor& input) const {
   AIC_TRACE_SCOPE("sg.compress");
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   Tensor out(compressed_shape(input.shape()));
   const std::shared_ptr<const TrianglePlan> plan =
@@ -96,6 +100,7 @@ Tensor TriangleCodec::compress(const Tensor& input) const {
 Tensor TriangleCodec::decompress(const Tensor& packed,
                                  const Shape& original) const {
   AIC_TRACE_SCOPE("sg.decompress");
+  Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
   if (packed.shape() != compressed_shape(original)) {
     io::raise_corrupt(io::CorruptKind::kPayloadMismatch,

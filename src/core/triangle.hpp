@@ -25,7 +25,8 @@ namespace aic::core {
 /// shell over it.
 class TriangleCodec final : public Codec {
  public:
-  explicit TriangleCodec(DctChopConfig config);
+  explicit TriangleCodec(DctChopConfig config,
+                         Context ctx = Context::process_default());
 
   std::string name() const override;
   std::string spec() const override;

@@ -12,21 +12,21 @@ using tensor::Shape;
 namespace {
 
 std::shared_ptr<const core::DctChopPlan> resolve_plan(
-    const core::DctChopConfig& c) {
-  // Same PlanCache the codecs execute from: the graph constants are
-  // emitted from the identical operand storage, and building a graph for
-  // a shape the codec path already compiled costs no operand matmuls.
+    const core::DctChopConfig& c, const Context& ctx) {
+  // Same PlanCache the session's codecs execute from: the graph constants
+  // are emitted from the identical operand storage, and building a graph
+  // for a shape the codec path already compiled costs no operand matmuls.
   // (This also honors config.transform, which the old direct
   // make_lhs/make_rhs calls silently ignored.)
-  return core::resolve_dct_chop_plan(c.height, c.width, c.cf, c.block,
+  return core::resolve_dct_chop_plan(ctx, c.height, c.width, c.cf, c.block,
                                      c.transform);
 }
 
 }  // namespace
 
 Graph build_compress_graph(const core::DctChopConfig& config,
-                           const BatchSpec& spec) {
-  const auto plan = resolve_plan(config);
+                           const BatchSpec& spec, const Context& ctx) {
+  const auto plan = resolve_plan(config, ctx);
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;
   const std::size_t cw = config.cf * config.width / config.block;
@@ -48,8 +48,8 @@ Graph build_compress_graph(const core::DctChopConfig& config,
 }
 
 Graph build_decompress_graph(const core::DctChopConfig& config,
-                             const BatchSpec& spec) {
-  const auto plan = resolve_plan(config);
+                             const BatchSpec& spec, const Context& ctx) {
+  const auto plan = resolve_plan(config, ctx);
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;
   const std::size_t cw = config.cf * config.width / config.block;
@@ -72,16 +72,17 @@ Graph build_decompress_graph(const core::DctChopConfig& config,
 namespace {
 
 std::shared_ptr<const core::TrianglePlan> resolve_triangle(
-    const core::DctChopConfig& c) {
-  return core::resolve_triangle_plan(c.height, c.width, c.cf, c.block,
+    const core::DctChopConfig& c, const Context& ctx) {
+  return core::resolve_triangle_plan(ctx, c.height, c.width, c.cf, c.block,
                                      c.transform);
 }
 
 }  // namespace
 
 Graph build_triangle_compress_graph(const core::DctChopConfig& config,
-                                    const BatchSpec& spec) {
-  const auto plan = resolve_triangle(config);
+                                    const BatchSpec& spec,
+                                    const Context& ctx) {
+  const auto plan = resolve_triangle(config, ctx);
   const core::DctChopPlan& chop = plan->inner_plan();
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;
@@ -103,8 +104,9 @@ Graph build_triangle_compress_graph(const core::DctChopConfig& config,
 }
 
 Graph build_triangle_decompress_graph(const core::DctChopConfig& config,
-                                      const BatchSpec& spec) {
-  const auto plan = resolve_triangle(config);
+                                      const BatchSpec& spec,
+                                      const Context& ctx) {
+  const auto plan = resolve_triangle(config, ctx);
   const core::DctChopPlan& chop = plan->inner_plan();
   const std::size_t planes = spec.batch * spec.channels;
   const std::size_t ch = config.cf * config.height / config.block;

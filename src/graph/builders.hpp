@@ -18,20 +18,26 @@ struct BatchSpec {
 ///   input [B, C, H, W] -> reshape [B·C, H, W]
 ///   -> matmul(·, RHS) -> matmul(LHS, ·) -> reshape [B, C, H', W'].
 /// Exactly two matmul nodes, as in the paper's PyTorch one-liner (§3.3).
+/// The operand constants are resolved through `ctx`'s PlanCache, so graph
+/// building shares compiled operands with that session's codec path.
 Graph build_compress_graph(const core::DctChopConfig& config,
-                           const BatchSpec& spec);
+                           const BatchSpec& spec,
+                           const Context& ctx = Context::process_default());
 
 /// Lowers decompression (Eq. 6): the same operators with roles swapped.
 Graph build_decompress_graph(const core::DctChopConfig& config,
-                             const BatchSpec& spec);
+                             const BatchSpec& spec,
+                             const Context& ctx = Context::process_default());
 
 /// Compression followed by the §3.5.2 triangle gather (IPU variant).
-Graph build_triangle_compress_graph(const core::DctChopConfig& config,
-                                    const BatchSpec& spec);
+Graph build_triangle_compress_graph(
+    const core::DctChopConfig& config, const BatchSpec& spec,
+    const Context& ctx = Context::process_default());
 
 /// Triangle scatter followed by decompression (IPU variant).
-Graph build_triangle_decompress_graph(const core::DctChopConfig& config,
-                                      const BatchSpec& spec);
+Graph build_triangle_decompress_graph(
+    const core::DctChopConfig& config, const BatchSpec& spec,
+    const Context& ctx = Context::process_default());
 
 /// A representative variable-length-encoding fragment (quantize, bit
 /// shifts, masks — the guts of RLE/Huffman stages). Exists to be *fed to

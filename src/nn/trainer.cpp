@@ -15,8 +15,12 @@ namespace aic::nn {
 using tensor::Tensor;
 
 Trainer::Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
-                 core::CodecPtr codec)
-    : model_(model), optimizer_(optimizer), task_(task), codec_(std::move(codec)) {
+                 core::CodecPtr codec, Context ctx)
+    : model_(model),
+      optimizer_(optimizer),
+      task_(task),
+      codec_(std::move(codec)),
+      ctx_(std::move(ctx)) {
   // A long-lived training run is exactly what the continuous-telemetry
   // stack exists for: AIC_OBS_PORT / AIC_METRICS_EXPORT_MS /
   // AIC_METRICS_JSONL / AIC_FLIGHT light it up here so a Prometheus
@@ -27,8 +31,9 @@ Trainer::Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
 }
 
 Trainer::Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
-                 const std::string& codec_spec)
-    : Trainer(model, optimizer, task, core::make_codec(codec_spec)) {}
+                 const std::string& codec_spec, Context ctx)
+    : Trainer(model, optimizer, task, core::make_codec(codec_spec, ctx),
+              ctx) {}
 
 LossResult Trainer::compute_loss(const Tensor& output, const Batch& batch) {
   switch (task_) {
@@ -44,8 +49,10 @@ LossResult Trainer::compute_loss(const Tensor& output, const Batch& batch) {
 
 double Trainer::train_epoch(const std::vector<Batch>& batches) {
   AIC_TRACE_SCOPE("train.epoch");
-  static obs::Histogram& batch_latency =
-      obs::Registry::global().histogram("train.batch.ns");
+  // Forward/backward kernels (and any codec with a different context)
+  // fan out on this trainer's session pool.
+  Context::PoolScope pool_scope(ctx_);
+  obs::Histogram& batch_latency = ctx_.histogram("train.batch.ns");
   double total = 0.0;
   for (const Batch& batch : batches) {
     AIC_TRACE_SCOPE("train.batch");
@@ -77,6 +84,7 @@ double Trainer::train_epoch(const std::vector<Batch>& batches) {
 
 Trainer::EvalResult Trainer::evaluate(const std::vector<Batch>& batches) {
   AIC_TRACE_SCOPE("train.evaluate");
+  Context::PoolScope pool_scope(ctx_);
   EvalResult result;
   if (batches.empty()) return result;
   for (const Batch& batch : batches) {

@@ -40,15 +40,19 @@ struct EpochMetrics {
 class Trainer {
  public:
   /// `codec == nullptr` is the paper's "base" (no compression) series.
+  /// `ctx` is the session the run executes in (pool binding for the
+  /// forward/backward kernels and the train.* metric scope).
   Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
-          core::CodecPtr codec = nullptr);
+          core::CodecPtr codec = nullptr,
+          Context ctx = Context::process_default());
 
-  /// Builds the codec through core::CodecFactory. Shape-agnostic specs
-  /// (no h=/w= keys) let one trainer consume batches of different
-  /// resolutions in a single run — plans are resolved per batch shape
-  /// from the process-wide PlanCache, so no operands are rebuilt.
+  /// Builds the codec through core::CodecFactory into `ctx`.
+  /// Shape-agnostic specs (no h=/w= keys) let one trainer consume batches
+  /// of different resolutions in a single run — plans are resolved per
+  /// batch shape from the context's PlanCache, so no operands are rebuilt.
   Trainer(Layer& model, Optimizer& optimizer, TaskKind task,
-          const std::string& codec_spec);
+          const std::string& codec_spec,
+          Context ctx = Context::process_default());
 
   /// One pass over the training batches; returns the mean batch loss.
   double train_epoch(const std::vector<Batch>& batches);
@@ -74,6 +78,7 @@ class Trainer {
   Optimizer& optimizer_;
   TaskKind task_;
   core::CodecPtr codec_;
+  Context ctx_;
 };
 
 }  // namespace aic::nn

@@ -6,6 +6,7 @@
 #include <future>
 #include <vector>
 
+#include "runtime/context.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace aic::runtime {
@@ -53,7 +54,11 @@ void parallel_for_chunks(
     ParallelOptions options) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  ThreadPool& pool = ThreadPool::global();
+  // The transient shared_ptr also pins the pool across the fan-out, so a
+  // concurrent Context::set_process_threads rejects instead of tearing
+  // down a pool with our chunks in its queue.
+  const std::shared_ptr<ThreadPool> pool_handle = current_pool();
+  ThreadPool& pool = *pool_handle;
   const std::size_t grain = std::max<std::size_t>(options.grain, 1);
 
   // Re-entrant calls (a pool task invoking parallel_for) must not queue

@@ -6,7 +6,6 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "runtime/env.hpp"
 #include "runtime/logging.hpp"
 
 namespace aic::runtime {
@@ -88,41 +87,6 @@ void ThreadPool::reset_stats() {
   tasks_executed_ = 0;
   peak_queue_depth_ = 0;
   tasks_inlined_.store(0, std::memory_order_relaxed);
-}
-
-namespace {
-
-// The global pool lives behind a swappable owner so resize_global can
-// rebuild it for thread-scaling sweeps. The atomic fast path keeps
-// steady-state global() at one acquire load; the owner joins workers at
-// process exit exactly like the previous function-local static did.
-std::mutex g_global_pool_mutex;
-std::unique_ptr<ThreadPool> g_global_pool;
-std::atomic<ThreadPool*> g_global_pool_ptr{nullptr};
-
-}  // namespace
-
-ThreadPool& ThreadPool::global() {
-  ThreadPool* pool = g_global_pool_ptr.load(std::memory_order_acquire);
-  if (pool != nullptr) return *pool;
-  std::lock_guard lock(g_global_pool_mutex);
-  if (!g_global_pool) {
-    g_global_pool = std::make_unique<ThreadPool>(
-        env_size_t("AIC_NUM_THREADS", env_size_t("AIC_THREADS", 0)));
-    g_global_pool_ptr.store(g_global_pool.get(), std::memory_order_release);
-  }
-  return *g_global_pool;
-}
-
-void ThreadPool::resize_global(std::size_t num_threads) {
-  std::lock_guard lock(g_global_pool_mutex);
-  if (g_global_pool && g_global_pool->size() == num_threads) return;
-  // Publish "no pool" first so a racing global() rebuilds under the lock
-  // instead of touching the pool being torn down.
-  g_global_pool_ptr.store(nullptr, std::memory_order_release);
-  g_global_pool.reset();  // joins the old workers
-  g_global_pool = std::make_unique<ThreadPool>(num_threads);
-  g_global_pool_ptr.store(g_global_pool.get(), std::memory_order_release);
 }
 
 void ThreadPool::worker_loop() {

@@ -87,15 +87,12 @@ class ThreadPool {
   /// Zeroes the counters returned by stats().
   void reset_stats();
 
-  /// Process-wide pool, sized from AIC_NUM_THREADS (or AIC_THREADS) when
-  /// set.
-  static ThreadPool& global();
-
-  /// Replaces the global pool with a fresh one of `num_threads` workers
-  /// (0 = hardware concurrency). Benchmark/test hook for in-process
-  /// thread-scaling sweeps; the caller must ensure no tasks are in
-  /// flight and no other thread holds a reference across the call.
-  static void resize_global(std::size_t num_threads);
+  // There are intentionally no process-wide accessors or resizers here.
+  // The process-default pool is owned by aic::Context (runtime/context.cpp):
+  // reach it via Context::process_default().pool(), bind a session pool
+  // with Context::PoolScope, and resize with Context::set_process_threads
+  // — which rejects the resize while anyone holds the pool instead of
+  // racing in-flight submitters.
 
  private:
   void worker_loop();

@@ -11,6 +11,7 @@
 #include "io/checksum.hpp"
 #include "io/error.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/context.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
@@ -70,26 +71,33 @@ TEST(ParallelPipeline, ArchiveBytesIdenticalAcrossPoolSizes) {
   const ArchiveWriteOptions options{.chunk_bytes = 1024,
                                     .entropy = baseline::ChunkEntropy::kAuto};
 
-  runtime::ThreadPool::resize_global(1);
-  const std::string reference = serialize_archive(archive, options);
+  // Sessions with private pools of different sizes, instead of resizing
+  // the process pool under everyone's feet.
+  const auto session = [](std::size_t threads) {
+    Context::Options ctx_options;
+    ctx_options.threads = threads;
+    ctx_options.own_pool = true;
+    return Context(ctx_options);
+  };
+  const Context single = session(1);
+  const std::string reference = serialize_archive(archive, options, single);
   const std::string fused_reference = compress_to_archive_bytes(
-      input, "dctchop:cf=4,block=8", options);
+      input, "dctchop:cf=4,block=8", options, nullptr, single);
 
   const std::size_t hw = std::thread::hardware_concurrency();
   for (std::size_t pool_size : {std::size_t{1}, std::size_t{4}, hw}) {
-    runtime::ThreadPool::resize_global(pool_size);
-    EXPECT_EQ(serialize_archive(archive, options), reference)
+    const Context ctx = session(pool_size);
+    EXPECT_EQ(serialize_archive(archive, options, ctx), reference)
         << "unfused, pool=" << pool_size;
     EXPECT_EQ(compress_to_archive_bytes(input, "dctchop:cf=4,block=8",
-                                        options),
+                                        options, nullptr, ctx),
               fused_reference)
         << "fused, pool=" << pool_size;
     // Decode is chunk-parallel too; the restored tensor must be exact.
-    const Archive back = deserialize_archive(reference);
+    const Archive back = deserialize_archive(reference, ctx);
     EXPECT_TRUE(tensor::allclose(back.packed, archive.packed, 0.0))
         << "decode, pool=" << pool_size;
   }
-  runtime::ThreadPool::resize_global(0);
 }
 
 TEST(ParallelPipeline, FusedMatchesUnfusedBitwise) {

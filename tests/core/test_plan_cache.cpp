@@ -32,7 +32,8 @@ void expect_bitwise_equal(const Tensor& a, const Tensor& b,
 // --- operand dedup (RHS = LHSᵀ, square axes share storage) ---
 
 TEST(PlanOperands, RhsIsBitwiseTransposeOfLhs) {
-  const auto plan = resolve_dct_chop_plan(32, 64, 4, 8, TransformKind::kDct2);
+  const auto plan = resolve_dct_chop_plan(Context::process_default(), 32, 64, 4, 8,
+                                     TransformKind::kDct2);
   expect_bitwise_equal(plan->rhs_h(), plan->lhs_h().transposed(), "rhs_h");
   expect_bitwise_equal(plan->rhs_w(), plan->lhs_w().transposed(), "rhs_w");
   // Parity with the legacy independent construction path: make_rhs() was
@@ -44,7 +45,8 @@ TEST(PlanOperands, RhsIsBitwiseTransposeOfLhs) {
 }
 
 TEST(PlanOperands, SquarePlanSharesOneOperandPair) {
-  const auto square = resolve_dct_chop_plan(32, 32, 4, 8, TransformKind::kDct2);
+  const auto square = resolve_dct_chop_plan(Context::process_default(), 32, 32, 4, 8,
+                                    TransformKind::kDct2);
   EXPECT_TRUE(square->shares_square_operands());
   EXPECT_EQ(&square->lhs_h(), &square->lhs_w());
   EXPECT_EQ(&square->rhs_h(), &square->rhs_w());
@@ -52,7 +54,8 @@ TEST(PlanOperands, SquarePlanSharesOneOperandPair) {
   EXPECT_EQ(square->resident_bytes(),
             square->lhs_h().size_bytes() + square->rhs_h().size_bytes());
 
-  const auto rect = resolve_dct_chop_plan(32, 64, 4, 8, TransformKind::kDct2);
+  const auto rect = resolve_dct_chop_plan(Context::process_default(), 32, 64, 4, 8,
+                                     TransformKind::kDct2);
   EXPECT_FALSE(rect->shares_square_operands());
   EXPECT_NE(&rect->lhs_h(), &rect->lhs_w());
   EXPECT_EQ(rect->resident_bytes(),
@@ -75,10 +78,11 @@ TEST_P(PlanParity, FreshVsCacheHitDctChopSquareAndRect) {
         dct_chop_plan_key(d.h, d.w, cf, 8, TransformKind::kDct2);
     // Fresh: built directly, never cached. Cached: through the global
     // cache (a hit on every run after the first resolve).
-    const auto fresh =
-        std::static_pointer_cast<const DctChopPlan>(build_core_plan(key));
-    const auto cached = resolve_dct_chop_plan(d.h, d.w, cf, 8,
-                                              TransformKind::kDct2);
+    PlanCache scratch(/*byte_budget=*/0);
+    const auto fresh = std::static_pointer_cast<const DctChopPlan>(
+        build_core_plan(key, scratch));
+    const auto cached = resolve_dct_chop_plan(Context::process_default(), d.h,
+                                              d.w, cf, 8, TransformKind::kDct2);
     const Tensor in = Tensor::uniform(Shape::bchw(2, 3, d.h, d.w), rng,
                                       -1.0f, 1.0f);
     Tensor packed_fresh(fresh->packed_shape(in.shape()));
@@ -248,7 +252,7 @@ TEST(PlanCacheLocal, ConcurrentResolveBuildsEachKeyExactlyOnce) {
 
 // --- zero rebuilds / zero reallocations on the cache-hit path ---
 
-TEST(PlanCacheGlobal, MixedShapeSteadyStateBuildsAndReallocsStayFlat) {
+TEST(PlanCacheProcessDefault, MixedShapeSteadyStateBuildsAndReallocsStayFlat) {
   runtime::Rng rng(55);
   const CodecPtr codec = make_codec("dctchop:cf=4,block=8");
   const Tensor large = Tensor::uniform(Shape::bchw(2, 3, 32, 32), rng);
@@ -258,13 +262,13 @@ TEST(PlanCacheGlobal, MixedShapeSteadyStateBuildsAndReallocsStayFlat) {
   (void)codec->round_trip(large);
   (void)codec->round_trip(small);
 
-  const std::uint64_t builds = PlanCache::global().snapshot().builds;
+  const std::uint64_t builds = PlanCache::of(Context::process_default()).snapshot().builds;
   const std::size_t reallocs = tensor::sandwich_scratch_reallocs();
   for (int rep = 0; rep < 5; ++rep) {
     (void)codec->round_trip(large);
     (void)codec->round_trip(small);
   }
-  const PlanCache::Snapshot after = PlanCache::global().snapshot();
+  const PlanCache::Snapshot after = PlanCache::of(Context::process_default()).snapshot();
   EXPECT_EQ(after.builds, builds)
       << "cache-hit compress must construct zero operands";
   EXPECT_EQ(tensor::sandwich_scratch_reallocs(), reallocs)
@@ -275,8 +279,8 @@ TEST(PlanCacheGlobal, MixedShapeSteadyStateBuildsAndReallocsStayFlat) {
 // --- workspace accounting (partial serializer satellite) ---
 
 TEST(PlanWorkspace, PartialSerialReportsFullWorkingSet) {
-  const auto plan = resolve_partial_serial_plan(32, 32, 4, 8,
-                                                TransformKind::kDct2, 2);
+  const auto plan = resolve_partial_serial_plan(
+      Context::process_default(), 32, 32, 4, 8, TransformKind::kDct2, 2);
   const std::size_t batch = 3, channels = 2;
   const std::size_t planes = batch * channels;
   // s=2 on 32×32 -> 16×16 chunks, chopped to 8×8 at cf=4/block=8.

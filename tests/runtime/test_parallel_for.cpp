@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/context.hpp"
 #include "runtime/env.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -128,14 +129,15 @@ TEST(ParallelForNested, ExceptionFromInnerLoopPropagates) {
       std::runtime_error);
 }
 
-/// Pins the global pool to a known size for stats assertions and
+/// Pins the process pool to a known size for stats assertions and
 /// restores the environment-configured size on scope exit, so the
 /// env-pinned nested_pool{1,4} reruns keep their configuration.
 struct PinnedPool {
-  explicit PinnedPool(std::size_t size) { ThreadPool::resize_global(size); }
+  explicit PinnedPool(std::size_t size) {
+    Context::set_process_threads(size);
+  }
   ~PinnedPool() {
-    ThreadPool::resize_global(
-        env_size_t("AIC_NUM_THREADS", env_size_t("AIC_THREADS", 0)));
+    Context::set_process_threads(Context::resolve_thread_count(0));
   }
 };
 
@@ -187,7 +189,8 @@ TEST(ParallelForNested, ReentrantCallFromWorkerInlinesAndIsCounted) {
   PinnedPool pin(4);
   reset_parallel_for_stats();
   std::atomic<int> count{0};
-  ThreadPool::global()
+  Context::process_default()
+      .pool()
       .submit([&] {
         parallel_for(
             0, 4096,

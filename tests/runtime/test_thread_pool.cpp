@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/context.hpp"
+
 namespace aic::runtime {
 namespace {
 
@@ -78,9 +80,12 @@ TEST(ThreadPool, ManyConcurrentSubmitters) {
   EXPECT_EQ(total, 199 * 200 / 2);
 }
 
-TEST(ThreadPool, GlobalPoolIsSingleton) {
-  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
-  EXPECT_GE(ThreadPool::global().size(), 1u);
+TEST(ThreadPool, ProcessPoolIsStableAcrossDefaultContexts) {
+  // The process-wide pool is reached through Context now; every
+  // process-default context observes the same instance.
+  EXPECT_EQ(&Context::process_default().pool(),
+            &Context::process_default().pool());
+  EXPECT_GE(Context::process_default().pool().size(), 1u);
 }
 
 TEST(ThreadPool, InWorkerThreadDetection) {
