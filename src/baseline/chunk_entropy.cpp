@@ -1,6 +1,7 @@
 #include "baseline/chunk_entropy.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <map>
 #include <stdexcept>
@@ -61,15 +62,34 @@ std::string encode_packed(std::string_view plain) {
   return out;
 }
 
-/// Builds the per-chunk byte histogram coder. Separated so the auto mode
-/// can cost the table + payload without encoding twice.
-HuffmanCoder make_huffman(std::string_view plain) {
+/// Builds the per-chunk byte histogram coder while tallying the byte
+/// frequencies into `freq`. Separated so the auto mode can cost the
+/// table + payload without encoding twice.
+HuffmanCoder make_huffman(std::string_view plain,
+                          std::array<std::size_t, 256>& freq) {
+  freq.fill(0);
   std::vector<std::uint16_t>& symbols = symbol_scratch();
   symbols.resize(plain.size());
   for (std::size_t i = 0; i < plain.size(); ++i) {
-    symbols[i] = static_cast<std::uint8_t>(plain[i]);
+    const std::uint8_t byte = static_cast<std::uint8_t>(plain[i]);
+    symbols[i] = byte;
+    freq[byte] += 1;
   }
   return HuffmanCoder(symbols);
+}
+
+/// Exact encoded payload bits from the byte histogram: sum of
+/// freq[s] * len[s] over the (≤ 256-entry) code table. This is the exact
+/// worst case the BitWriter must hold, computed in O(table) instead of
+/// the historical O(chunk) per-symbol accounting pass — high-entropy
+/// chunks no longer pay a second full scan just to size the buffer.
+std::size_t exact_payload_bits(const HuffmanCoder& coder,
+                               const std::array<std::size_t, 256>& freq) {
+  std::size_t bits = 0;
+  for (const auto& [symbol, length] : coder.lengths()) {
+    bits += freq[symbol] * length;
+  }
+  return bits;
 }
 
 std::size_t huffman_encoded_size(const HuffmanCoder& coder,
@@ -205,8 +225,9 @@ std::string encode_chunk(std::string_view plain, ChunkEntropy mode) {
     return encode_packed(plain);
   }
   if (mode == ChunkEntropy::kHuffman) {
-    const HuffmanCoder coder = make_huffman(plain);
-    return encode_huffman(coder, coder.encoded_bits(symbol_scratch()));
+    std::array<std::size_t, 256> freq;
+    const HuffmanCoder coder = make_huffman(plain, freq);
+    return encode_huffman(coder, exact_payload_bits(coder, freq));
   }
   // Auto: cost all three, keep the smallest. Ties break toward the
   // cheaper decoder (raw < packed < huffman) — deterministically, so the
@@ -214,8 +235,9 @@ std::string encode_chunk(std::string_view plain, ChunkEntropy mode) {
   const std::size_t raw_size = 1 + plain.size();
   const std::size_t packed_size =
       2 + packed_bytes(plain.size(), packed_width_for(plain));
-  const HuffmanCoder coder = make_huffman(plain);
-  const std::size_t payload_bits = coder.encoded_bits(symbol_scratch());
+  std::array<std::size_t, 256> freq;
+  const HuffmanCoder coder = make_huffman(plain, freq);
+  const std::size_t payload_bits = exact_payload_bits(coder, freq);
   const std::size_t huffman_size = huffman_encoded_size(coder, payload_bits);
 
   const std::size_t best = std::min({raw_size, packed_size, huffman_size});

@@ -5,8 +5,11 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <istream>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -19,9 +22,11 @@
 #include "io/byte_reader.hpp"
 #include "io/checksum.hpp"
 #include "io/error.hpp"
+#include "io/mapped_file.hpp"
 #include "io/tensor_io.hpp"
 #include "obs/pipeline.hpp"
 #include "obs/trace.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/context.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
@@ -172,15 +177,12 @@ Shape expected_compressed_shape(const Archive& archive, const Context& ctx) {
   }
 }
 
-/// Finishes a parsed archive: check the payload tensor has exactly the
-/// shape the header's codec promises.
-void validate_payload_against_header(const Archive& archive,
-                                     const Context& ctx) {
-  const Shape expected = expected_compressed_shape(archive, ctx);
-  if (archive.packed.shape() != expected) {
+/// Rejects a payload tensor whose shape disagrees with what the header's
+/// codec promises.
+void validate_payload_shape(const Shape& got, const Shape& expected) {
+  if (got != expected) {
     raise_corrupt(CorruptKind::kPayloadMismatch,
-                  "archive: payload shape " +
-                      archive.packed.shape().to_string() +
+                  "archive: payload shape " + got.to_string() +
                       " does not match the header codec's expected shape " +
                       expected.to_string());
   }
@@ -191,6 +193,12 @@ void validate_payload_against_header(const Archive& archive,
 /// Any chunk budget above this is treated as hostile (the chunk table
 /// and per-chunk staging are sized from it).
 constexpr std::uint64_t kMaxChunkBytes = std::uint64_t{1} << 30;
+
+/// Encoded-chunk batch budget of the streaming reader: chunks are
+/// staged and decoded in runs of roughly this many encoded bytes, which
+/// bounds resident memory while keeping enough chunks per batch to feed
+/// the pool.
+constexpr std::size_t kStreamBatchBytes = std::size_t{4} << 20;
 
 struct EncodedChunk {
   std::string bytes;
@@ -217,11 +225,13 @@ void require_writable_chunk_bytes(std::size_t chunk_bytes) {
   }
 }
 
-/// Assembles the final v4 byte stream from the shared header fields, the
-/// chunk geometry, and the already-encoded chunks (in payload order).
-std::string assemble_v4(const std::string& header_fields,
-                        std::uint64_t payload_len, std::uint64_t chunk_bytes,
-                        const std::vector<EncodedChunk>& chunks) {
+/// Assembles the final v4 byte stream into `out` (cleared first) from
+/// the shared header fields, the chunk geometry, and the already-encoded
+/// chunks (in payload order). Reuses `out`'s capacity across calls.
+void assemble_v4_into(const std::string& header_fields,
+                      std::uint64_t payload_len, std::uint64_t chunk_bytes,
+                      const std::vector<EncodedChunk>& chunks,
+                      std::string& out) {
   std::string header = header_fields;
   append<std::uint64_t>(header, payload_len);
   append<std::uint64_t>(header, chunk_bytes);
@@ -233,7 +243,7 @@ std::string assemble_v4(const std::string& header_fields,
     encoded_total += chunk.bytes.size();
   }
 
-  std::string out;
+  out.clear();
   out.reserve(sizeof(kMagic) + 12 + header.size() + encoded_total);
   out.append(kMagic, sizeof(kMagic));
   append<std::uint32_t>(out, 4);
@@ -241,54 +251,74 @@ std::string assemble_v4(const std::string& header_fields,
   append<std::uint32_t>(out, io::crc32c(header.data(), header.size()));
   out += header;
   for (const EncodedChunk& chunk : chunks) out += chunk.bytes;
-  return out;
 }
 
-/// Unfused v4 write: chunk the serialized payload and fan the entropy
-/// encode + CRC over the pool. grain=1 because each iteration is a whole
-/// chunk (tens of KiB) — the parallel_for heuristics handle small chunk
-/// counts without oversubscribing.
-std::string serialize_archive_v4(const Archive& archive,
-                                 const ArchiveWriteOptions& options,
-                                 const Context& ctx) {
-  AIC_TRACE_SCOPE("pipeline.serialize_v4");
-  require_writable_chunk_bytes(options.chunk_bytes);
-  const std::string header_fields = serialize_header_fields(archive);
-  const std::string payload = io::serialize_tensor(archive.packed);
-  const std::size_t chunk_bytes = options.chunk_bytes;
-  const std::size_t chunk_count =
-      (payload.size() + chunk_bytes - 1) / chunk_bytes;
+/// Per-context recycler for the whole-Tensor staging the fused and
+/// streaming writers churn through (plane groups and their packed
+/// outputs). Tensor owns its storage as a plain vector<float>, so
+/// recycling works at whole-tensor granularity: acquire() returns a
+/// cached tensor of exactly the requested shape when one exists (the
+/// caller reshapes otherwise) and release() caches up to kMaxEntries
+/// tensors. Lives in Context::Slot::kArchiveScratch so steady-state
+/// compress calls on one session stop allocating plane staging.
+class ArchiveScratch {
+ public:
+  static constexpr std::size_t kMaxEntries = 8;
 
-  // Route the fan-out onto this session's pool.
-  Context::PoolScope pool_scope(ctx);
-  std::vector<EncodedChunk> chunks(chunk_count);
-  runtime::parallel_for(
-      0, chunk_count,
-      [&](std::size_t i) {
-        const std::size_t lo = i * chunk_bytes;
-        const std::size_t hi = std::min(payload.size(), lo + chunk_bytes);
-        chunks[i] = encode_one_chunk(
-            std::string_view(payload.data() + lo, hi - lo), options.entropy);
-      },
-      {.grain = 1});
-  obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
-                                                       chunk_count);
-  return assemble_v4(header_fields, payload.size(), chunk_bytes, chunks);
+  Tensor acquire(const Shape& shape) {
+    std::lock_guard lock(mutex_);
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->shape() == shape) {
+        Tensor out = std::move(*it);
+        cache_.erase(it);
+        return out;
+      }
+    }
+    return Tensor();
+  }
+
+  void release(Tensor&& tensor) {
+    if (tensor.size_bytes() == 0) return;
+    std::lock_guard lock(mutex_);
+    if (cache_.size() < kMaxEntries) cache_.push_back(std::move(tensor));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<Tensor> cache_;
+};
+
+std::shared_ptr<ArchiveScratch> archive_scratch(const Context& ctx) {
+  return std::static_pointer_cast<ArchiveScratch>(
+      ctx.slot(Context::Slot::kArchiveScratch,
+               [] { return std::make_shared<ArchiveScratch>(); }));
 }
 
-/// Parses everything after the version field of a v4 stream. Every
-/// header-derived quantity is validated BEFORE the payload buffer is
-/// allocated: the header CRC gates parsing, the payload length must
-/// match the byte count the header's codec promises, the chunk geometry
-/// must be internally consistent, and each table entry must satisfy the
-/// entropy expansion bound — so hostile headers cannot force a large
-/// allocation or a quadratic scan. Chunk CRC checks and entropy decode
-/// then fan out across the pool into disjoint payload slices.
-Archive deserialize_archive_v4(io::ByteReader& reader, const Context& ctx) {
-  const std::uint32_t header_len = reader.read<std::uint32_t>("header size");
-  const std::uint32_t header_crc = reader.read<std::uint32_t>("header CRC");
-  const std::string_view header =
-      reader.read_bytes(header_len, "header fields");
+/// Parsed + fully validated v4 geometry: everything deserialize needs
+/// before any payload byte is touched. Shared by the in-memory and
+/// streaming readers so both enforce the identical validation order.
+struct ChunkEntry {
+  std::uint64_t offset = 0;  // into the encoded region
+  std::uint64_t encoded_len = 0;
+  std::uint32_t crc = 0;
+};
+
+struct V4Layout {
+  Archive archive;  // packed left empty until the payload decodes
+  Shape expected_shape;
+  std::uint64_t payload_len = 0;
+  std::uint64_t chunk_bytes = 0;
+  std::uint32_t chunk_count = 0;
+  std::vector<ChunkEntry> table;
+  std::uint64_t encoded_total = 0;
+};
+
+/// Validates a v4 header (CRC gate, field ranges, payload/codec
+/// agreement, chunk-table consistency and expansion bounds) BEFORE the
+/// payload buffer is allocated, so hostile headers cannot force a large
+/// allocation or a quadratic scan.
+V4Layout parse_v4_layout(std::string_view header, std::uint32_t header_crc,
+                         const Context& ctx) {
   const std::uint32_t computed_header =
       io::crc32c(header.data(), header.size());
   if (computed_header != header_crc) {
@@ -298,54 +328,47 @@ Archive deserialize_archive_v4(io::ByteReader& reader, const Context& ctx) {
                       std::to_string(computed_header) + ")");
   }
 
-  Archive archive;
+  V4Layout layout;
   io::ByteReader header_reader(header, "archive header");
-  parse_header_fields(header_reader, archive);
-  const std::uint64_t payload_len =
-      header_reader.read<std::uint64_t>("payload length");
-  const std::uint64_t chunk_bytes =
-      header_reader.read<std::uint64_t>("chunk size");
-  const std::uint32_t chunk_count =
-      header_reader.read<std::uint32_t>("chunk count");
+  parse_header_fields(header_reader, layout.archive);
+  layout.payload_len = header_reader.read<std::uint64_t>("payload length");
+  layout.chunk_bytes = header_reader.read<std::uint64_t>("chunk size");
+  layout.chunk_count = header_reader.read<std::uint32_t>("chunk count");
 
   // The payload length is fully determined by the (CRC-gated) codec
   // fields, so it is checked against them rather than trusted.
+  layout.expected_shape = expected_compressed_shape(layout.archive, ctx);
   const std::size_t expected_payload =
-      io::serialized_tensor_bytes(expected_compressed_shape(archive, ctx));
-  if (payload_len != expected_payload) {
+      io::serialized_tensor_bytes(layout.expected_shape);
+  if (layout.payload_len != expected_payload) {
     raise_corrupt(CorruptKind::kPayloadMismatch,
-                  "archive: header claims " + std::to_string(payload_len) +
+                  "archive: header claims " +
+                      std::to_string(layout.payload_len) +
                       " payload bytes, codec promises " +
                       std::to_string(expected_payload));
   }
-  if (chunk_bytes == 0 || chunk_bytes > kMaxChunkBytes) {
+  if (layout.chunk_bytes == 0 || layout.chunk_bytes > kMaxChunkBytes) {
     raise_corrupt(CorruptKind::kBadHeaderField,
-                  "archive: chunk size " + std::to_string(chunk_bytes) +
+                  "archive: chunk size " + std::to_string(layout.chunk_bytes) +
                       " outside [1, " + std::to_string(kMaxChunkBytes) + "]");
   }
   const std::uint64_t expected_chunks =
-      (payload_len + chunk_bytes - 1) / chunk_bytes;
-  if (chunk_count != expected_chunks) {
+      (layout.payload_len + layout.chunk_bytes - 1) / layout.chunk_bytes;
+  if (layout.chunk_count != expected_chunks) {
     raise_corrupt(CorruptKind::kBadHeaderField,
-                  "archive: chunk count " + std::to_string(chunk_count) +
+                  "archive: chunk count " + std::to_string(layout.chunk_count) +
                       " does not cover the payload (expected " +
                       std::to_string(expected_chunks) + ")");
   }
 
-  struct ChunkEntry {
-    std::uint64_t offset = 0;  // into the encoded region
-    std::uint64_t encoded_len = 0;
-    std::uint32_t crc = 0;
-  };
-  std::vector<ChunkEntry> table(chunk_count);
-  std::uint64_t encoded_total = 0;
-  for (std::uint32_t i = 0; i < chunk_count; ++i) {
-    ChunkEntry& entry = table[i];
-    entry.offset = encoded_total;
+  layout.table.resize(layout.chunk_count);
+  for (std::uint32_t i = 0; i < layout.chunk_count; ++i) {
+    ChunkEntry& entry = layout.table[i];
+    entry.offset = layout.encoded_total;
     entry.encoded_len = header_reader.read<std::uint64_t>("chunk length");
     entry.crc = header_reader.read<std::uint32_t>("chunk CRC");
-    const std::uint64_t plain_len =
-        std::min<std::uint64_t>(chunk_bytes, payload_len - i * chunk_bytes);
+    const std::uint64_t plain_len = std::min<std::uint64_t>(
+        layout.chunk_bytes, layout.payload_len - i * layout.chunk_bytes);
     // encoded_len includes the 1-byte mode tag; the expansion bound caps
     // how much plain data an encoded chunk may legitimately claim.
     if (entry.encoded_len == 0 ||
@@ -357,61 +380,171 @@ Archive deserialize_archive_v4(io::ByteReader& reader, const Context& ctx) {
                         " bytes");
     }
     if (entry.encoded_len >
-        std::numeric_limits<std::uint64_t>::max() - encoded_total) {
+        std::numeric_limits<std::uint64_t>::max() - layout.encoded_total) {
       raise_corrupt(CorruptKind::kOverflow,
                     "archive: chunk table lengths overflow");
     }
-    encoded_total += entry.encoded_len;
+    layout.encoded_total += entry.encoded_len;
   }
   if (header_reader.remaining() != 0) {
     raise_corrupt(CorruptKind::kBadHeaderField,
                   "archive: " + std::to_string(header_reader.remaining()) +
                       " trailing bytes after the chunk table");
   }
+  return layout;
+}
+
+/// CRC-checks and entropy-decodes chunk `i` into `dest` (which must hold
+/// the chunk's plain_len bytes).
+void decode_one_chunk(const V4Layout& layout, std::size_t i,
+                      std::string_view chunk, char* dest) {
+  AIC_TRACE_SCOPE("pipeline.chunk_decode");
+  runtime::Timer timer;
+  const std::uint32_t computed = io::crc32c(chunk.data(), chunk.size());
+  if (computed != layout.table[i].crc) {
+    raise_corrupt(CorruptKind::kChecksumMismatch,
+                  "archive: chunk " + std::to_string(i) +
+                      " CRC mismatch (stored " +
+                      std::to_string(layout.table[i].crc) + ", computed " +
+                      std::to_string(computed) + ")");
+  }
+  const std::size_t lo = i * layout.chunk_bytes;
+  const std::size_t plain_len =
+      std::min<std::size_t>(layout.chunk_bytes, layout.payload_len - lo);
+  baseline::decode_chunk(chunk, plain_len, dest);
+  obs::PipelineMetrics::global().record_chunk_decoded(timer.nanos());
+}
+
+/// Number of leading chunks that jointly cover the serialized tensor
+/// header — the prefix a reader must decode before the result tensor
+/// can be shaped and the remaining chunks can land in its storage.
+std::size_t prefix_chunk_count(const V4Layout& layout) {
+  const std::size_t prefix_len = std::min<std::size_t>(
+      layout.payload_len, io::max_tensor_header_bytes());
+  return (prefix_len + layout.chunk_bytes - 1) / layout.chunk_bytes;
+}
+
+/// Parses + validates the tensor header at the front of the decoded
+/// payload prefix, then returns the result tensor with the prefix's
+/// float bytes already copied in. Preserves the rejection order of the
+/// historical payload-string path: tensor_io's typed errors first, then
+/// the archive-level shape agreement check.
+Tensor tensor_from_prefix(const V4Layout& layout, std::string_view prefix,
+                          std::size_t* header_bytes_out) {
+  const io::TensorHeaderInfo info =
+      io::parse_tensor_header(prefix, layout.payload_len);
+  validate_payload_shape(info.shape, layout.expected_shape);
+  Tensor packed(info.shape);
+  std::memcpy(packed.raw(), prefix.data() + info.header_bytes,
+              prefix.size() - info.header_bytes);
+  *header_bytes_out = info.header_bytes;
+  return packed;
+}
+
+/// Decodes a validated chunk stream straight into the result tensor's
+/// storage. The leading chunks covering the serialized tensor header go
+/// serially through a small pooled bounce buffer (the header must be
+/// parsed before the tensor exists); every remaining chunk then
+/// CRC-checks and entropy-decodes in parallel directly into the float
+/// storage — the payload never materializes as a separate heap string.
+Archive decode_v4_payload(V4Layout&& layout, std::string_view encoded,
+                          const Context& ctx) {
+  AIC_TRACE_SCOPE("pipeline.deserialize_v4");
+  Context::PoolScope pool_scope(ctx);
+  const std::size_t chunk_bytes = layout.chunk_bytes;
+  const std::size_t prefix_chunks = prefix_chunk_count(layout);
+  const std::size_t bounce_len = std::min<std::size_t>(
+      layout.payload_len, prefix_chunks * chunk_bytes);
+
+  runtime::BufferPool::Buffer bounce = ctx.buffer_pool().acquire(bounce_len);
+  for (std::size_t i = 0; i < prefix_chunks; ++i) {
+    const ChunkEntry& entry = layout.table[i];
+    decode_one_chunk(layout, i,
+                     encoded.substr(entry.offset, entry.encoded_len),
+                     bounce.data() + i * chunk_bytes);
+  }
+  std::size_t header_bytes = 0;
+  Tensor packed = tensor_from_prefix(
+      layout, std::string_view(bounce.data(), bounce_len), &header_bytes);
+  bounce.reset();
+
+  char* tensor_bytes = reinterpret_cast<char*>(packed.raw());
+  runtime::parallel_for(
+      prefix_chunks, layout.chunk_count,
+      [&](std::size_t i) {
+        const ChunkEntry& entry = layout.table[i];
+        decode_one_chunk(layout, i,
+                         encoded.substr(entry.offset, entry.encoded_len),
+                         tensor_bytes + (i * chunk_bytes - header_bytes));
+      },
+      {.grain = 1});
+  obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
+                                                       layout.chunk_count);
+  layout.archive.packed = std::move(packed);
+  return std::move(layout.archive);
+}
+
+/// Parses everything after the version field of a v4 stream. Every
+/// header-derived quantity is validated BEFORE any payload-sized
+/// allocation (parse_v4_layout); chunk CRC checks and entropy decode
+/// then fan out across the pool into disjoint slices of the result
+/// tensor (decode_v4_payload).
+Archive deserialize_archive_v4(io::ByteReader& reader, const Context& ctx) {
+  const std::uint32_t header_len = reader.read<std::uint32_t>("header size");
+  const std::uint32_t header_crc = reader.read<std::uint32_t>("header CRC");
+  const std::string_view header =
+      reader.read_bytes(header_len, "header fields");
+  V4Layout layout = parse_v4_layout(header, header_crc, ctx);
   const std::string_view encoded = reader.rest();
-  if (encoded.size() != encoded_total) {
+  if (encoded.size() != layout.encoded_total) {
     raise_corrupt(CorruptKind::kTruncated,
                   "archive: chunk table promises " +
-                      std::to_string(encoded_total) +
+                      std::to_string(layout.encoded_total) +
                       " encoded bytes, stream has " +
                       std::to_string(encoded.size()));
   }
+  return decode_v4_payload(std::move(layout), encoded, ctx);
+}
 
-  // Every header field has now been vouched for; reassemble the payload
-  // in parallel. Chunks write disjoint slices, so no synchronization is
-  // needed beyond parallel_for's own join.
-  AIC_TRACE_SCOPE("pipeline.deserialize_v4");
+/// Unfused v4 write: chunk the serialized payload and fan the entropy
+/// encode + CRC over the pool. grain=1 because each iteration is a whole
+/// chunk (tens of KiB) — the parallel_for heuristics handle small chunk
+/// counts without oversubscribing. The payload stages in a pooled
+/// buffer, so steady-state calls on one session reuse the same slab.
+std::string serialize_archive_v4(const Archive& archive,
+                                 const ArchiveWriteOptions& options,
+                                 const Context& ctx) {
+  AIC_TRACE_SCOPE("pipeline.serialize_v4");
+  require_writable_chunk_bytes(options.chunk_bytes);
+  const std::string header_fields = serialize_header_fields(archive);
+  const std::string tensor_header =
+      io::serialize_tensor_header(archive.packed.shape());
+  const std::size_t payload_len =
+      tensor_header.size() + archive.packed.size_bytes();
+  runtime::BufferPool::Buffer payload = ctx.buffer_pool().acquire(payload_len);
+  std::memcpy(payload.data(), tensor_header.data(), tensor_header.size());
+  std::memcpy(payload.data() + tensor_header.size(), archive.packed.raw(),
+              archive.packed.size_bytes());
+  const std::size_t chunk_bytes = options.chunk_bytes;
+  const std::size_t chunk_count = (payload_len + chunk_bytes - 1) / chunk_bytes;
+
+  // Route the fan-out onto this session's pool.
   Context::PoolScope pool_scope(ctx);
-  std::string payload(payload_len, '\0');
+  std::vector<EncodedChunk> chunks(chunk_count);
   runtime::parallel_for(
       0, chunk_count,
       [&](std::size_t i) {
-        AIC_TRACE_SCOPE("pipeline.chunk_decode");
-        runtime::Timer timer;
-        const ChunkEntry& entry = table[i];
-        const std::string_view chunk =
-            encoded.substr(entry.offset, entry.encoded_len);
-        const std::uint32_t computed = io::crc32c(chunk.data(), chunk.size());
-        if (computed != entry.crc) {
-          raise_corrupt(CorruptKind::kChecksumMismatch,
-                        "archive: chunk " + std::to_string(i) +
-                            " CRC mismatch (stored " +
-                            std::to_string(entry.crc) + ", computed " +
-                            std::to_string(computed) + ")");
-        }
         const std::size_t lo = i * chunk_bytes;
-        const std::size_t plain_len =
-            std::min<std::size_t>(chunk_bytes, payload_len - lo);
-        baseline::decode_chunk(chunk, plain_len, payload.data() + lo);
-        obs::PipelineMetrics::global().record_chunk_decoded(timer.nanos());
+        const std::size_t hi = std::min(payload_len, lo + chunk_bytes);
+        chunks[i] = encode_one_chunk(
+            std::string_view(payload.data() + lo, hi - lo), options.entropy);
       },
       {.grain = 1});
   obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
                                                        chunk_count);
-
-  archive.packed = io::deserialize_tensor(payload);
-  validate_payload_against_header(archive, ctx);
-  return archive;
+  std::string out;
+  assemble_v4_into(header_fields, payload_len, chunk_bytes, chunks, out);
+  return out;
 }
 
 /// Fills every Archive field except `packed` from the codec the factory
@@ -445,6 +578,27 @@ Archive classify_codec(const core::Codec& codec, const std::string& codec_spec,
   archive.config.height = input_shape[2];
   archive.config.width = input_shape[3];
   return archive;
+}
+
+/// The fused/streaming writers splice per-plane(-group) packed bytes
+/// into the payload at the offsets a full-tensor compress would use.
+/// That is only sound when the codec treats planes independently; the
+/// chop family does, and this predicate guards the assumption against
+/// future codec kinds.
+bool plane_separable_codec(const core::Codec& codec, const Shape& input_shape,
+                           const Shape& packed_shape) {
+  const std::size_t planes = input_shape[0] * input_shape[1];
+  return planes > 1 && packed_shape.rank() == 4 &&
+         packed_shape[0] == input_shape[0] &&
+         packed_shape[1] == input_shape[1] &&
+         codec.compressed_shape(
+             Shape::bchw(1, 1, input_shape[2], input_shape[3])) ==
+             Shape::bchw(1, 1, packed_shape[2], packed_shape[3]);
+}
+
+void write_or_throw(std::ostream& out, const char* data, std::size_t len) {
+  out.write(data, static_cast<std::streamsize>(len));
+  if (!out) throw std::runtime_error("archive: stream write failed");
 }
 
 }  // namespace
@@ -525,17 +679,18 @@ std::string serialize_archive(const Archive& archive,
   return out;
 }
 
-std::string compress_to_archive_bytes(const Tensor& input,
-                                      const std::string& codec_spec,
-                                      const ArchiveWriteOptions& options,
-                                      core::CodecPtr* codec_out,
-                                      const Context& ctx) {
+void compress_to_archive_bytes(const Tensor& input,
+                               const std::string& codec_spec,
+                               const ArchiveWriteOptions& options,
+                               core::CodecPtr* codec_out, const Context& ctx,
+                               std::string& out) {
   if (input.shape().rank() != 4) {
     throw std::invalid_argument("archive: input must be BCHW");
   }
   if (options.version != 4) {
     Archive archive = compress_to_archive(input, codec_spec, codec_out, ctx);
-    return serialize_archive(archive, options, ctx);
+    out = serialize_archive(archive, options, ctx);
+    return;
   }
   require_writable_chunk_bytes(options.chunk_bytes);
 
@@ -547,26 +702,16 @@ std::string compress_to_archive_bytes(const Tensor& input,
 
   const Shape packed_shape = codec->compressed_shape(input.shape());
   const std::size_t planes = input.shape()[0] * input.shape()[1];
-  // The fused pipeline moves planes through in groups, splicing each
-  // group's packed bytes into the payload at the offset the full-tensor
-  // compress would have used. That is only sound when the codec treats
-  // planes independently; the chop family does, and this check guards
-  // the assumption against future codec kinds.
   const bool plane_separable =
-      planes > 1 && packed_shape.rank() == 4 &&
-      packed_shape[0] == input.shape()[0] &&
-      packed_shape[1] == input.shape()[1] &&
-      codec->compressed_shape(
-          Shape::bchw(1, 1, input.shape()[2], input.shape()[3])) ==
-          Shape::bchw(1, 1, packed_shape[2], packed_shape[3]);
+      plane_separable_codec(*codec, input.shape(), packed_shape);
 
-  const std::string header = io::serialize_tensor_header(packed_shape);
+  const std::string tensor_header = io::serialize_tensor_header(packed_shape);
   const std::size_t payload_len = io::serialized_tensor_bytes(packed_shape);
   const std::size_t chunk_bytes = options.chunk_bytes;
   const std::size_t chunk_count = (payload_len + chunk_bytes - 1) / chunk_bytes;
 
-  std::string payload(payload_len, '\0');
-  std::memcpy(payload.data(), header.data(), header.size());
+  runtime::BufferPool::Buffer payload = ctx.buffer_pool().acquire(payload_len);
+  std::memcpy(payload.data(), tensor_header.data(), tensor_header.size());
 
   // Durable handle for the submit loop (pins the pool against a
   // concurrent Context::set_process_threads); the PoolScope routes the
@@ -574,6 +719,7 @@ std::string compress_to_archive_bytes(const Tensor& input,
   const std::shared_ptr<runtime::ThreadPool> pool_handle = ctx.pool_handle();
   runtime::ThreadPool& pool = *pool_handle;
   Context::PoolScope pool_scope(ctx);
+  const std::shared_ptr<ArchiveScratch> scratch = archive_scratch(ctx);
   std::vector<std::future<EncodedChunk>> futures(chunk_count);
   std::size_t next_chunk = 0;
   std::atomic<std::uint64_t> encode_ns{0};
@@ -606,28 +752,43 @@ std::string compress_to_archive_bytes(const Tensor& input,
         packed_shape[2] * packed_shape[3] * sizeof(float);
     const std::size_t group_count = std::min<std::size_t>(planes, 4);
     const std::size_t group_planes = (planes + group_count - 1) / group_count;
+    const Shape full_group_shape =
+        Shape::bchw(1, group_planes, input.shape()[2], input.shape()[3]);
+    Tensor group = scratch->acquire(full_group_shape);
+    Tensor packed_group =
+        scratch->acquire(codec->compressed_shape(full_group_shape));
     for (std::size_t p0 = 0; p0 < planes; p0 += group_planes) {
       const std::size_t g = std::min(group_planes, planes - p0);
+      const Shape group_shape =
+          Shape::bchw(1, g, input.shape()[2], input.shape()[3]);
       runtime::Timer timer;
-      Tensor group(Shape::bchw(1, g, input.shape()[2], input.shape()[3]));
+      if (group.shape() != group_shape) {
+        scratch->release(std::move(group));
+        group = Tensor(group_shape);
+      }
       std::memcpy(group.raw(),
                   reinterpret_cast<const char*>(input.raw()) +
                       p0 * in_plane_bytes,
                   g * in_plane_bytes);
-      const Tensor packed_group = codec->compress(group);
-      std::memcpy(payload.data() + header.size() + p0 * packed_plane_bytes,
+      codec->compress_into(group, packed_group);
+      std::memcpy(payload.data() + tensor_header.size() +
+                      p0 * packed_plane_bytes,
                   packed_group.raw(), g * packed_plane_bytes);
       transform_ns += timer.nanos();
-      submit_ready(header.size() + (p0 + g) * packed_plane_bytes);
+      submit_ready(tensor_header.size() + (p0 + g) * packed_plane_bytes);
     }
+    scratch->release(std::move(group));
+    scratch->release(std::move(packed_group));
   } else {
     // Single plane (or a non-separable codec): the transform itself is
     // already parallel via sandwich_banded, and the chunk encode fans
     // out right after — the two stages just don't interleave.
     runtime::Timer timer;
-    archive.packed = codec->compress(input);
-    std::memcpy(payload.data() + header.size(),
-                archive.packed.raw(), archive.packed.size_bytes());
+    Tensor packed = scratch->acquire(packed_shape);
+    codec->compress_into(input, packed);
+    std::memcpy(payload.data() + tensor_header.size(), packed.raw(),
+                packed.size_bytes());
+    scratch->release(std::move(packed));
     transform_ns = timer.nanos();
   }
   submit_ready(payload_len);
@@ -640,11 +801,358 @@ std::string compress_to_archive_bytes(const Tensor& input,
   obs::PipelineMetrics::global().record_overlap(
       transform_ns, encode_ns.load(std::memory_order_relaxed),
       wall_timer.nanos());
-  return assemble_v4(serialize_header_fields(archive), payload_len,
-                     chunk_bytes, chunks);
+  assemble_v4_into(serialize_header_fields(archive), payload_len, chunk_bytes,
+                   chunks, out);
 }
 
-ArchiveProbe probe_archive(const std::string& bytes) {
+std::string compress_to_archive_bytes(const Tensor& input,
+                                      const std::string& codec_spec,
+                                      const ArchiveWriteOptions& options,
+                                      core::CodecPtr* codec_out,
+                                      const Context& ctx) {
+  std::string out;
+  compress_to_archive_bytes(input, codec_spec, options, codec_out, ctx, out);
+  return out;
+}
+
+std::size_t compress_to_stream(const Tensor& input,
+                               const std::string& codec_spec,
+                               std::ostream& out,
+                               const ArchiveWriteOptions& options,
+                               core::CodecPtr* codec_out, const Context& ctx) {
+  if (input.shape().rank() != 4) {
+    throw std::invalid_argument("archive: input must be BCHW");
+  }
+  const std::ostream::pos_type start = out.tellp();
+  if (options.version != 4 || start == std::ostream::pos_type(-1)) {
+    // v2/v3 have no chunk table to patch, and a non-seekable sink cannot
+    // be back-patched at all: buffer in memory and write once.
+    const std::string bytes =
+        compress_to_archive_bytes(input, codec_spec, options, codec_out, ctx);
+    write_or_throw(out, bytes.data(), bytes.size());
+    out.flush();
+    if (!out) throw std::runtime_error("archive: stream write failed");
+    return bytes.size();
+  }
+  require_writable_chunk_bytes(options.chunk_bytes);
+
+  AIC_TRACE_SCOPE("pipeline.stream_compress");
+  const core::CodecPtr codec = core::make_codec(codec_spec, ctx);
+  Archive archive = classify_codec(*codec, codec_spec, input.shape());
+  if (codec_out != nullptr) *codec_out = codec;
+
+  const Shape packed_shape = codec->compressed_shape(input.shape());
+  const std::size_t planes = input.shape()[0] * input.shape()[1];
+  const bool plane_separable =
+      plane_separable_codec(*codec, input.shape(), packed_shape);
+  const std::string tensor_header = io::serialize_tensor_header(packed_shape);
+  const std::size_t payload_len = io::serialized_tensor_bytes(packed_shape);
+  const std::size_t chunk_bytes = options.chunk_bytes;
+  const std::size_t chunk_count = (payload_len + chunk_bytes - 1) / chunk_bytes;
+  const std::string header_fields = serialize_header_fields(archive);
+  const std::size_t header_len = header_fields.size() + 20 + 12 * chunk_count;
+
+  {
+    // Prologue with a zero header CRC and a zeroed chunk table, both
+    // back-patched once every chunk's (length, CRC) is known.
+    std::string prologue;
+    prologue.reserve(16 + header_len);
+    prologue.append(kMagic, sizeof(kMagic));
+    append<std::uint32_t>(prologue, 4);
+    append<std::uint32_t>(prologue, static_cast<std::uint32_t>(header_len));
+    append<std::uint32_t>(prologue, 0);
+    prologue += header_fields;
+    append<std::uint64_t>(prologue, payload_len);
+    append<std::uint64_t>(prologue, chunk_bytes);
+    append<std::uint32_t>(prologue, static_cast<std::uint32_t>(chunk_count));
+    prologue.append(12 * chunk_count, '\0');
+    write_or_throw(out, prologue.data(), prologue.size());
+  }
+
+  const std::shared_ptr<runtime::ThreadPool> pool_handle = ctx.pool_handle();
+  runtime::ThreadPool& pool = *pool_handle;
+  Context::PoolScope pool_scope(ctx);
+  const std::shared_ptr<ArchiveScratch> scratch = archive_scratch(ctx);
+
+  std::vector<ChunkEntry> table(chunk_count);
+  std::uint64_t encoded_total = 0;
+  std::size_t next_chunk = 0;
+
+  // Encodes every chunk fully covered by payload bytes [0, high_water)
+  // across the pool, then writes them to the sink in index order. All
+  // futures drain before return, so the caller may slide its window.
+  const auto drain_ready = [&](const char* window, std::size_t window_base,
+                               std::size_t high_water) {
+    std::vector<std::future<EncodedChunk>> batch;
+    const std::size_t first = next_chunk;
+    while (next_chunk < chunk_count) {
+      const std::size_t lo = next_chunk * chunk_bytes;
+      const std::size_t hi = std::min(payload_len, lo + chunk_bytes);
+      if (hi > high_water) break;
+      batch.push_back(pool.submit([window, window_base, lo, hi, &options] {
+        return encode_one_chunk(
+            std::string_view(window + (lo - window_base), hi - lo),
+            options.entropy);
+      }));
+      ++next_chunk;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const EncodedChunk chunk = batch[i].get();
+      table[first + i].encoded_len = chunk.bytes.size();
+      table[first + i].crc = chunk.crc;
+      encoded_total += chunk.bytes.size();
+      write_or_throw(out, chunk.bytes.data(), chunk.bytes.size());
+    }
+  };
+
+  if (plane_separable) {
+    const std::size_t in_plane_bytes =
+        input.shape()[2] * input.shape()[3] * sizeof(float);
+    const std::size_t packed_plane_bytes =
+        packed_shape[2] * packed_shape[3] * sizeof(float);
+    const Shape plane_shape =
+        Shape::bchw(1, 1, input.shape()[2], input.shape()[3]);
+    // Worst-case window: a carry of less than one chunk, plus one
+    // plane's packed bytes, plus the tensor header ahead of plane 0.
+    runtime::BufferPool::Buffer window = ctx.buffer_pool().acquire(
+        chunk_bytes + packed_plane_bytes + tensor_header.size());
+    Tensor plane = scratch->acquire(plane_shape);
+    if (plane.shape() != plane_shape) plane = Tensor(plane_shape);
+    Tensor packed_plane =
+        scratch->acquire(codec->compressed_shape(plane_shape));
+    std::size_t window_base = 0;
+    std::size_t produced = tensor_header.size();
+    std::memcpy(window.data(), tensor_header.data(), tensor_header.size());
+    for (std::size_t p = 0; p < planes; ++p) {
+      std::memcpy(plane.raw(),
+                  reinterpret_cast<const char*>(input.raw()) +
+                      p * in_plane_bytes,
+                  in_plane_bytes);
+      codec->compress_into(plane, packed_plane);
+      std::memcpy(window.data() + (produced - window_base),
+                  packed_plane.raw(), packed_plane_bytes);
+      produced += packed_plane_bytes;
+      drain_ready(window.data(), window_base, produced);
+      const std::size_t drained_end =
+          std::min(next_chunk * chunk_bytes, produced);
+      if (drained_end > window_base) {
+        std::memmove(window.data(),
+                     window.data() + (drained_end - window_base),
+                     produced - drained_end);
+        window_base = drained_end;
+      }
+    }
+    drain_ready(window.data(), window_base, produced);  // ragged tail
+    scratch->release(std::move(plane));
+    scratch->release(std::move(packed_plane));
+  } else {
+    // Single plane or a non-separable codec: the transform needs the
+    // whole tensor anyway, so stage the payload once (pooled) and stream
+    // the encoded chunks — the archive string never materializes.
+    runtime::BufferPool::Buffer payload =
+        ctx.buffer_pool().acquire(payload_len);
+    std::memcpy(payload.data(), tensor_header.data(), tensor_header.size());
+    Tensor packed = scratch->acquire(packed_shape);
+    codec->compress_into(input, packed);
+    std::memcpy(payload.data() + tensor_header.size(), packed.raw(),
+                packed.size_bytes());
+    scratch->release(std::move(packed));
+    drain_ready(payload.data(), 0, payload_len);
+  }
+
+  // Back-patch the real header CRC and chunk table.
+  std::string header = header_fields;
+  append<std::uint64_t>(header, payload_len);
+  append<std::uint64_t>(header, chunk_bytes);
+  append<std::uint32_t>(header, static_cast<std::uint32_t>(chunk_count));
+  for (const ChunkEntry& entry : table) {
+    append<std::uint64_t>(header, entry.encoded_len);
+    append<std::uint32_t>(header, entry.crc);
+  }
+  const std::uint32_t header_crc = io::crc32c(header.data(), header.size());
+  const std::ostream::pos_type end = out.tellp();
+  out.seekp(start + std::ostream::off_type(12));
+  char crc_raw[sizeof(header_crc)];
+  std::memcpy(crc_raw, &header_crc, sizeof(header_crc));
+  write_or_throw(out, crc_raw, sizeof(crc_raw));
+  out.seekp(start +
+            static_cast<std::ostream::off_type>(16 + header_fields.size() +
+                                                20));
+  write_or_throw(out, header.data() + header_fields.size() + 20,
+                 12 * chunk_count);
+  out.seekp(end);
+  out.flush();
+  if (!out) throw std::runtime_error("archive: stream write failed");
+  obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
+                                                       chunk_count);
+  return 16 + header_len + static_cast<std::size_t>(encoded_total);
+}
+
+Archive decompress_from_stream(std::istream& in, const Context& ctx) {
+  // Mirror deserialize_archive's validation order (and its typed
+  // rejections) while holding only O(header + batch + tensor) memory.
+  char prologue[16];
+  in.read(prologue, sizeof(prologue));
+  const std::size_t got = static_cast<std::size_t>(in.gcount());
+  std::uint32_t version = 0;
+  std::uint32_t header_len = 0;
+  std::uint32_t header_crc = 0;
+  {
+    io::ByteReader reader(std::string_view(prologue, got), "archive");
+    reader.require(sizeof(kMagic), "magic");
+    if (std::memcmp(prologue, kMagic, sizeof(kMagic)) != 0) {
+      raise_corrupt(CorruptKind::kBadMagic, "archive: bad magic");
+    }
+    (void)reader.read_bytes(sizeof(kMagic), "magic");
+    version = reader.read<std::uint32_t>("version");
+    if (version < 2 || version > kArchiveVersion) {
+      raise_corrupt(CorruptKind::kBadVersion,
+                    "archive: found version " + std::to_string(version) +
+                        ", supported versions 2.." +
+                        std::to_string(kArchiveVersion));
+    }
+    if (version == 4) {
+      header_len = reader.read<std::uint32_t>("header size");
+      header_crc = reader.read<std::uint32_t>("header CRC");
+    }
+  }
+  if (version != 4) {
+    // v2/v3 are unchunked — there is no streamable structure. Reassemble
+    // the full byte string and delegate to the in-memory reader.
+    std::string bytes(prologue, got);
+    bytes.append(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    return deserialize_archive(bytes, ctx);
+  }
+
+  // Incremental header read: memory stays proportional to the bytes the
+  // stream actually holds, so a hostile length cannot force a giant
+  // allocation.
+  std::string header;
+  header.reserve(std::min<std::size_t>(header_len, kStreamBatchBytes));
+  {
+    runtime::BufferPool::Buffer stage = ctx.buffer_pool().acquire(
+        std::min<std::size_t>(header_len, kStreamBatchBytes));
+    std::size_t remaining = header_len;
+    while (remaining > 0) {
+      const std::size_t step = std::min(remaining, stage.capacity());
+      in.read(stage.data(), static_cast<std::streamsize>(step));
+      const std::size_t n = static_cast<std::size_t>(in.gcount());
+      if (n == 0) break;
+      header.append(stage.data(), n);
+      remaining -= n;
+    }
+  }
+  if (header.size() != header_len) {
+    raise_corrupt(CorruptKind::kTruncated,
+                  "archive: truncated reading header fields (need " +
+                      std::to_string(header_len) + " bytes, have " +
+                      std::to_string(header.size()) + ")");
+  }
+  V4Layout layout = parse_v4_layout(header, header_crc, ctx);
+
+  AIC_TRACE_SCOPE("pipeline.stream_decompress");
+  Context::PoolScope pool_scope(ctx);
+  const std::size_t chunk_bytes = layout.chunk_bytes;
+  const std::size_t chunk_count = layout.chunk_count;
+  const std::size_t prefix_chunks = prefix_chunk_count(layout);
+  const std::size_t bounce_len = std::min<std::size_t>(
+      layout.payload_len, prefix_chunks * chunk_bytes);
+
+  std::uint64_t consumed = 0;
+  const auto read_encoded = [&](char* dest, std::size_t len) {
+    in.read(dest, static_cast<std::streamsize>(len));
+    const std::size_t n = static_cast<std::size_t>(in.gcount());
+    consumed += n;
+    if (n != len) {
+      raise_corrupt(CorruptKind::kTruncated,
+                    "archive: chunk table promises " +
+                        std::to_string(layout.encoded_total) +
+                        " encoded bytes, stream has " +
+                        std::to_string(consumed));
+    }
+  };
+
+  // Stage + decode the header-covering prefix serially (the tensor
+  // cannot exist until its serialized header has been decoded).
+  std::size_t header_bytes = 0;
+  Tensor packed;
+  {
+    std::uint64_t prefix_encoded = 0;
+    for (std::size_t i = 0; i < prefix_chunks; ++i) {
+      prefix_encoded += layout.table[i].encoded_len;
+    }
+    runtime::BufferPool::Buffer stage =
+        ctx.buffer_pool().acquire(prefix_encoded);
+    read_encoded(stage.data(), static_cast<std::size_t>(prefix_encoded));
+    runtime::BufferPool::Buffer bounce = ctx.buffer_pool().acquire(bounce_len);
+    for (std::size_t i = 0; i < prefix_chunks; ++i) {
+      const ChunkEntry& entry = layout.table[i];
+      decode_one_chunk(
+          layout, i,
+          std::string_view(stage.data() + entry.offset, entry.encoded_len),
+          bounce.data() + i * chunk_bytes);
+    }
+    packed = tensor_from_prefix(
+        layout, std::string_view(bounce.data(), bounce_len), &header_bytes);
+  }
+  char* tensor_bytes = reinterpret_cast<char*>(packed.raw());
+
+  // Remaining chunks in bounded batches: read a run of encoded chunks
+  // into one pooled stage, then CRC + decode the run in parallel
+  // straight into the tensor's storage.
+  std::size_t next = prefix_chunks;
+  while (next < chunk_count) {
+    std::size_t batch_end = next;
+    std::uint64_t batch_bytes = 0;
+    while (batch_end < chunk_count) {
+      const std::uint64_t len = layout.table[batch_end].encoded_len;
+      if (batch_end > next && batch_bytes + len > kStreamBatchBytes) break;
+      batch_bytes += len;
+      ++batch_end;
+    }
+    runtime::BufferPool::Buffer stage =
+        ctx.buffer_pool().acquire(static_cast<std::size_t>(batch_bytes));
+    read_encoded(stage.data(), static_cast<std::size_t>(batch_bytes));
+    const std::uint64_t base = layout.table[next].offset;
+    runtime::parallel_for(
+        next, batch_end,
+        [&](std::size_t i) {
+          const ChunkEntry& entry = layout.table[i];
+          decode_one_chunk(
+              layout, i,
+              std::string_view(stage.data() + (entry.offset - base),
+                               entry.encoded_len),
+              tensor_bytes + (i * chunk_bytes - header_bytes));
+        },
+        {.grain = 1});
+    next = batch_end;
+  }
+
+  // Reject trailing bytes the way the in-memory reader does.
+  {
+    char probe = 0;
+    in.read(&probe, 1);
+    if (in.gcount() == 1) {
+      std::uint64_t extra = 1;
+      char sink[4096];
+      while (in.read(sink, sizeof(sink)), in.gcount() > 0) {
+        extra += static_cast<std::uint64_t>(in.gcount());
+      }
+      raise_corrupt(CorruptKind::kTruncated,
+                    "archive: chunk table promises " +
+                        std::to_string(layout.encoded_total) +
+                        " encoded bytes, stream has " +
+                        std::to_string(layout.encoded_total + extra));
+    }
+  }
+  obs::PipelineMetrics::global().record_archive_layout(chunk_bytes,
+                                                       chunk_count);
+  layout.archive.packed = std::move(packed);
+  return std::move(layout.archive);
+}
+
+ArchiveProbe probe_archive(std::string_view bytes) {
   io::ByteReader reader(bytes, "archive");
   reader.require(sizeof(kMagic), "magic");
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -695,7 +1203,7 @@ ArchiveProbe probe_archive(const std::string& bytes) {
   return probe;
 }
 
-Archive deserialize_archive(const std::string& bytes, const Context& ctx) {
+Archive deserialize_archive(std::string_view bytes, const Context& ctx) {
   io::ByteReader reader(bytes, "archive");
   reader.require(sizeof(kMagic), "magic");
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -749,8 +1257,9 @@ Archive deserialize_archive(const std::string& bytes, const Context& ctx) {
     // stay readable; their payloads are validated structurally only.
     parse_header_fields(reader, archive);
   }
-  archive.packed = io::deserialize_tensor(std::string(reader.rest()));
-  validate_payload_against_header(archive, ctx);
+  archive.packed = io::deserialize_tensor(reader.rest());
+  validate_payload_shape(archive.packed.shape(),
+                         expected_compressed_shape(archive, ctx));
   return archive;
 }
 
@@ -763,11 +1272,10 @@ void save_archive(const Archive& archive, const std::string& path) {
 }
 
 Archive load_archive(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) throw std::runtime_error("archive: cannot open " + path);
-  std::string bytes((std::istreambuf_iterator<char>(file)),
-                    std::istreambuf_iterator<char>());
-  return deserialize_archive(bytes);
+  // Zero-copy read: decode straight out of the mapping (MappedFile
+  // falls back to a heap read for pipes, AIC_NO_MMAP, or mmap failure).
+  const io::MappedFile file(path);
+  return deserialize_archive(file.view());
 }
 
 }  // namespace aic::cli

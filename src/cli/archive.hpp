@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "baseline/chunk_entropy.hpp"
 #include "core/codec.hpp"
@@ -129,13 +131,58 @@ std::string compress_to_archive_bytes(const tensor::Tensor& input,
                                       const Context& ctx =
                                           Context::process_default());
 
+/// Allocation-reusing variant: builds the archive into `out` (cleared
+/// first), reusing its capacity across calls. A serving loop that holds
+/// one output string compresses with no per-call output allocation once
+/// the string has grown to the archive size.
+void compress_to_archive_bytes(const tensor::Tensor& input,
+                               const std::string& codec_spec,
+                               const ArchiveWriteOptions& options,
+                               core::CodecPtr* codec_out, const Context& ctx,
+                               std::string& out);
+
+/// Bounded-memory streaming write: compresses `input` and emits the
+/// archive to `out` without ever materializing the full byte string.
+/// For v4 + a seekable sink + a plane-separable codec, planes move
+/// through a pooled sliding window — chunks are entropy coded and
+/// written as soon as their payload bytes exist, and the chunk table +
+/// header CRC are back-patched at the end — so the resident footprint is
+/// O(one plane + one chunk) instead of O(archive). Non-separable codecs
+/// hold the payload (the transform needs it whole) but still never
+/// materialize the encoded stream; v2/v3 and non-seekable sinks degrade
+/// to the in-memory writer followed by one write. The emitted bytes are
+/// bitwise-identical to compress_to_archive_bytes for every pool size,
+/// chunk size, and memory budget. Returns the total bytes written.
+std::size_t compress_to_stream(const tensor::Tensor& input,
+                               const std::string& codec_spec,
+                               std::ostream& out,
+                               const ArchiveWriteOptions& options = {},
+                               core::CodecPtr* codec_out = nullptr,
+                               const Context& ctx = Context::process_default());
+
+/// Bounded-memory streaming read: validates and decodes an archive from
+/// `in` with the same typed CorruptStream rejections as
+/// deserialize_archive. For v4, chunks are read in bounded pooled
+/// batches and entropy-decoded straight into the result tensor's
+/// storage, so the resident footprint is O(header + batch + tensor) —
+/// the encoded stream is never held whole. v2/v3 (unchunked) containers
+/// are slurped and delegated to the in-memory reader.
+Archive decompress_from_stream(std::istream& in,
+                               const Context& ctx = Context::process_default());
+
 /// Parses and fully validates an archive stream (magic, version range,
 /// CRCs, field ranges, overflow-checked dims, chunk-table consistency
 /// and expansion bounds — all before any payload allocation — plus
 /// payload/header shape agreement). v4 chunk CRC checks and entropy
 /// decode fan out across `ctx`'s pool. Throws aic::io::CorruptStream
 /// on any violation.
-Archive deserialize_archive(const std::string& bytes,
+///
+/// Takes a non-owning view: the bytes may live in an owned string, a
+/// pooled buffer, or an io::MappedFile — v4 chunks entropy-decode
+/// straight out of the view into the result tensor's storage, so the
+/// mapped-file path copies the payload exactly once (decode), never into
+/// an intermediate heap string.
+Archive deserialize_archive(std::string_view bytes,
                             const Context& ctx = Context::process_default());
 
 /// Cheap header-only introspection (no payload decode; CRC on the
@@ -147,9 +194,11 @@ struct ArchiveProbe {
   std::size_t chunk_bytes = 0;
   std::size_t chunk_count = 0;
 };
-ArchiveProbe probe_archive(const std::string& bytes);
+ArchiveProbe probe_archive(std::string_view bytes);
 
 void save_archive(const Archive& archive, const std::string& path);
+/// Reads `path` through io::MappedFile (mmap with heap fallback) and
+/// decodes in place — no whole-file heap copy on the mmap path.
 Archive load_archive(const std::string& path);
 
 }  // namespace aic::cli

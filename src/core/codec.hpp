@@ -45,6 +45,22 @@ class Codec {
   virtual tensor::Tensor decompress(const tensor::Tensor& packed,
                                     const tensor::Shape& original) const = 0;
 
+  /// Allocation-reusing variants: write the result into `out`, reusing
+  /// its storage when it already has the right shape. The base
+  /// implementations fall back to the allocating calls; codecs on the
+  /// steady-state serving path (DCT+Chop) override them to execute their
+  /// plan directly into `out`, so a caller that holds its output tensors
+  /// across iterations performs no per-call payload allocation.
+  virtual void compress_into(const tensor::Tensor& input,
+                             tensor::Tensor& out) const {
+    out = compress(input);
+  }
+  virtual void decompress_into(const tensor::Tensor& packed,
+                               const tensor::Shape& original,
+                               tensor::Tensor& out) const {
+    out = decompress(packed, original);
+  }
+
   /// Convenience: compress immediately followed by decompress, the
   /// transformation the paper applies to every training batch (§4.1).
   tensor::Tensor round_trip(const tensor::Tensor& input) const {

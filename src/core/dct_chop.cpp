@@ -110,12 +110,19 @@ Shape DctChopCodec::compressed_shape(const Shape& input) const {
 }
 
 Tensor DctChopCodec::compress(const Tensor& input) const {
+  Tensor out;
+  compress_into(input, out);
+  return out;
+}
+
+void DctChopCodec::compress_into(const Tensor& input, Tensor& out) const {
   AIC_TRACE_SCOPE("codec.compress");
   // Route the plan executor's parallel_for (and nested gemms) onto this
   // codec's session pool.
   Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
-  Tensor out(compressed_shape(input.shape()));
+  const Shape packed_shape = compressed_shape(input.shape());
+  if (out.shape() != packed_shape) out = Tensor(packed_shape);
   const std::shared_ptr<const DctChopPlan> plan =
       plan_for(input.shape()[2], input.shape()[3]);
   plan->compress_into(input, out);
@@ -127,11 +134,17 @@ Tensor DctChopCodec::compress(const Tensor& input) const {
                                                     config_.cf, config_.block),
                          input.size_bytes(), out.size_bytes(), nanos);
   compress_latency_.record(nanos);
-  return out;
 }
 
 Tensor DctChopCodec::decompress(const Tensor& packed,
                                 const Shape& original) const {
+  Tensor out;
+  decompress_into(packed, original, out);
+  return out;
+}
+
+void DctChopCodec::decompress_into(const Tensor& packed,
+                                   const Shape& original, Tensor& out) const {
   AIC_TRACE_SCOPE("codec.decompress");
   Context::PoolScope pool_scope(ctx_);
   runtime::Timer timer;
@@ -146,7 +159,7 @@ Tensor DctChopCodec::decompress(const Tensor& packed,
   }
   const std::shared_ptr<const DctChopPlan> plan =
       plan_for(original[2], original[3]);
-  Tensor out(original);
+  if (out.shape() != original) out = Tensor(original);
   plan->decompress_into(packed, out);
   const std::size_t planes = original[0] * original[1];
   const std::uint64_t nanos = timer.nanos();
@@ -157,7 +170,6 @@ Tensor DctChopCodec::decompress(const Tensor& packed,
                                                         config_.block),
                            packed.size_bytes(), out.size_bytes(), nanos);
   decompress_latency_.record(nanos);
-  return out;
 }
 
 std::size_t DctChopCodec::flops_compress(std::size_t n, std::size_t cf,

@@ -58,6 +58,13 @@ class DctChopCodec final : public Codec {
   tensor::Tensor compress(const tensor::Tensor& input) const override;
   tensor::Tensor decompress(const tensor::Tensor& packed,
                             const tensor::Shape& original) const override;
+  /// Zero-allocation variants when `out` already has the right shape:
+  /// the plan executes straight into its storage.
+  void compress_into(const tensor::Tensor& input,
+                     tensor::Tensor& out) const override;
+  void decompress_into(const tensor::Tensor& packed,
+                       const tensor::Shape& original,
+                       tensor::Tensor& out) const override;
 
   const DctChopConfig& config() const { return config_; }
   /// True when the codec is pinned to one resolution.

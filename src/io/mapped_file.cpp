@@ -1,0 +1,91 @@
+#include "io/mapped_file.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+#include "runtime/env.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace aic::io {
+
+namespace {
+
+/// Heap fallback shared by every non-mmap path; the view() contract is
+/// identical either way.
+std::string read_whole_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("mapped_file: cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    throw std::runtime_error("mapped_file: read failed: " + path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+#ifdef _WIN32
+
+// Windows stub: no mmap attempt, always the heap read.
+MappedFile::MappedFile(const std::string& path)
+    : fallback_(read_whole_file(path)) {}
+
+void MappedFile::unmap() noexcept { fallback_.clear(); }
+
+#else
+
+MappedFile::MappedFile(const std::string& path) {
+  if (runtime::env_size_t("AIC_NO_MMAP", 0) != 0) {
+    fallback_ = read_whole_file(path);
+    return;
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("mapped_file: cannot open " + path);
+  }
+  struct stat info {};
+  if (::fstat(fd, &info) != 0 || !S_ISREG(info.st_mode) ||
+      info.st_size == 0) {
+    // Pipes, devices, and empty files take the read path (mmap of length
+    // 0 is EINVAL; mmap of a pipe is ENODEV).
+    ::close(fd);
+    fallback_ = read_whole_file(path);
+    return;
+  }
+  const std::size_t size = static_cast<std::size_t>(info.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    fallback_ = read_whole_file(path);
+    return;
+  }
+  addr_ = addr;
+  size_ = size;
+  mapped_ = true;
+}
+
+void MappedFile::unmap() noexcept {
+  if (mapped_ && addr_ != nullptr) {
+    ::munmap(addr_, size_);
+  }
+  addr_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+#endif  // _WIN32
+
+MappedFile::~MappedFile() { unmap(); }
+
+}  // namespace aic::io

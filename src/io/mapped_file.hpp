@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace aic::io {
+
+/// Read-only view of a whole file, memory-mapped when the platform
+/// allows it so archive decode consumes the on-disk bytes with zero
+/// copies. Falls back to a heap read (identical `view()` semantics) when
+/// mmap is unavailable (AIC_NO_MMAP=1, an empty file, a non-regular
+/// file such as a pipe, or a Windows build — the _WIN32 stub always
+/// reads).
+///
+/// The length reported by `view()` is captured once at open (fstat), and
+/// every consumer bounds-checks against it (io::ByteReader), so a header
+/// that claims more bytes than the file holds is rejected as
+/// CorruptKind::kTruncated *before* any byte past the mapping is
+/// dereferenced — the classic mid-file SIGBUS is a validation error
+/// here, not a crash. (A file truncated by another process *after* the
+/// map is taken remains outside the trust model, exactly as it is for a
+/// heap read racing the same truncation.)
+class MappedFile {
+ public:
+  MappedFile() = default;
+  /// Opens and maps (or reads) `path`. Throws std::runtime_error when
+  /// the file cannot be opened or read.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      swap(other);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The file's bytes; valid until this object is destroyed or moved
+  /// from. Empty for a default-constructed (or empty-file) instance.
+  std::string_view view() const noexcept {
+    return mapped_ ? std::string_view(static_cast<const char*>(addr_), size_)
+                   : std::string_view(fallback_);
+  }
+  std::size_t size() const noexcept { return view().size(); }
+
+  /// True when the bytes come from an actual mmap (false: heap
+  /// fallback). Exposed so tests can force and verify both paths.
+  bool mapped() const noexcept { return mapped_; }
+
+ private:
+  void unmap() noexcept;
+  void swap(MappedFile& other) noexcept {
+    std::swap(addr_, other.addr_);
+    std::swap(size_, other.size_);
+    std::swap(mapped_, other.mapped_);
+    fallback_.swap(other.fallback_);
+  }
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;
+};
+
+}  // namespace aic::io

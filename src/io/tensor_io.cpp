@@ -57,10 +57,13 @@ std::string serialize_tensor(const Tensor& tensor) {
   return out;
 }
 
-Tensor deserialize_tensor(const std::string& bytes) {
-  ByteReader reader(bytes, "tensor_io");
+std::size_t max_tensor_header_bytes() { return 12 + 8 * Shape::kMaxRank; }
+
+TensorHeaderInfo parse_tensor_header(std::string_view prefix,
+                                     std::size_t total_bytes) {
+  ByteReader reader(prefix, "tensor_io");
   reader.require(sizeof(kMagic), "magic");
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(prefix.data(), kMagic, sizeof(kMagic)) != 0) {
     raise_corrupt(CorruptKind::kBadMagic, "tensor_io: bad magic");
   }
   (void)reader.read_bytes(sizeof(kMagic), "magic");
@@ -91,24 +94,33 @@ Tensor deserialize_tensor(const std::string& bytes) {
     dims[axis] = static_cast<std::size_t>(dim);
     numel = checked_mul(numel, dims[axis], "tensor_io dims");
   }
-  const std::size_t payload_bytes =
-      checked_mul(numel, sizeof(float), "tensor_io payload");
-  if (payload_bytes != reader.remaining()) {
+  TensorHeaderInfo info;
+  info.header_bytes = 12 + 8 * rank;
+  info.payload_bytes = checked_mul(numel, sizeof(float), "tensor_io payload");
+  if (info.payload_bytes != total_bytes - info.header_bytes) {
     raise_corrupt(CorruptKind::kPayloadMismatch,
-                  "tensor_io: dims promise " + std::to_string(payload_bytes) +
+                  "tensor_io: dims promise " +
+                      std::to_string(info.payload_bytes) +
                       " payload bytes, stream has " +
-                      std::to_string(reader.remaining()));
+                      std::to_string(total_bytes - info.header_bytes));
   }
-  Shape shape;
   switch (rank) {
-    case 0: shape = Shape::scalar(); break;
-    case 1: shape = Shape::vector(dims[0]); break;
-    case 2: shape = Shape::matrix(dims[0], dims[1]); break;
-    case 3: shape = Shape({dims[0], dims[1], dims[2]}); break;
-    default: shape = Shape::bchw(dims[0], dims[1], dims[2], dims[3]); break;
+    case 0: info.shape = Shape::scalar(); break;
+    case 1: info.shape = Shape::vector(dims[0]); break;
+    case 2: info.shape = Shape::matrix(dims[0], dims[1]); break;
+    case 3: info.shape = Shape({dims[0], dims[1], dims[2]}); break;
+    default:
+      info.shape = Shape::bchw(dims[0], dims[1], dims[2], dims[3]);
+      break;
   }
-  Tensor tensor(shape);
-  std::memcpy(tensor.raw(), reader.rest().data(), payload_bytes);
+  return info;
+}
+
+Tensor deserialize_tensor(std::string_view bytes) {
+  const TensorHeaderInfo info = parse_tensor_header(bytes, bytes.size());
+  Tensor tensor(info.shape);
+  std::memcpy(tensor.raw(), bytes.data() + info.header_bytes,
+              info.payload_bytes);
   return tensor;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "tensor/tensor.hpp"
 
@@ -18,9 +19,36 @@ void save_tensor(const tensor::Tensor& tensor, const std::string& path);
 /// malformed files.
 tensor::Tensor load_tensor(const std::string& path);
 
-/// In-memory variants (the file functions are thin wrappers).
+/// In-memory variants (the file functions are thin wrappers). The
+/// string_view overload is the primary implementation: it parses
+/// non-owning bytes (e.g. a mapped file or a pooled staging buffer)
+/// without the historical copy into an owned string.
 std::string serialize_tensor(const tensor::Tensor& tensor);
-tensor::Tensor deserialize_tensor(const std::string& bytes);
+tensor::Tensor deserialize_tensor(std::string_view bytes);
+
+/// Parsed + validated serialize_tensor header (everything before the f32
+/// data).
+struct TensorHeaderInfo {
+  tensor::Shape shape;
+  std::size_t header_bytes = 0;   // 12 + 8 * rank
+  std::size_t payload_bytes = 0;  // numel * sizeof(float)
+};
+
+/// Largest possible serialize_tensor header (rank == Shape::kMaxRank) —
+/// the prefix a streaming reader must stage before this header can be
+/// parsed.
+std::size_t max_tensor_header_bytes();
+
+/// Validates the tensor header at the front of `prefix` with exactly the
+/// typed CorruptStream rejections deserialize_tensor raises (bad magic /
+/// version / rank / dims / overflow), then checks the dims' payload
+/// accounts for precisely `total_bytes - header_bytes` — so callers that
+/// stream the f32 data separately (the chunked archive's
+/// decode-into-tensor path) share one validation order with the
+/// all-in-memory reader. `prefix` needs to hold only
+/// min(total_bytes, max_tensor_header_bytes()) bytes.
+TensorHeaderInfo parse_tensor_header(std::string_view prefix,
+                                     std::size_t total_bytes);
 
 /// The header bytes serialize_tensor would emit for `shape` (everything
 /// before the f32 data). The chunked-archive pipeline writes this once

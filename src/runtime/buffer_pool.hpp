@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace aic::runtime {
+
+/// Size-class slab recycler for the aligned scratch the hot paths used to
+/// re-malloc on every call: archive payload staging, streaming windows,
+/// chunk bounce buffers, and any other transient byte span that repeats
+/// its size across calls.
+///
+/// Blocks are 64-byte aligned and bucketed by power-of-two capacity
+/// (minimum 64 bytes). `acquire(n)` pops a cached block of the matching
+/// class (a *hit*) or allocates a fresh one (a *miss*); the returned
+/// Buffer is a move-only RAII handle that returns the block to the pool
+/// on destruction. Handles share ownership of the pool's internal state,
+/// so a Buffer may safely outlive the BufferPool (and the Context) that
+/// produced it.
+///
+/// Cached (free) bytes are capped by a budget (AIC_MEMPOOL_BYTES, default
+/// 256 MiB): releases that push the cache over the budget evict the
+/// least-recently-released blocks first. Leased bytes are never counted
+/// against the budget — the pool cannot reclaim memory a caller still
+/// holds.
+///
+/// Thread-safe: acquire/release/trim may race freely across threads.
+/// Observability: `attach_metrics(prefix)` registers
+/// `<prefix>mempool.hits` / `.misses` / `.recycled_bytes` counters and a
+/// `<prefix>mempool.resident_bytes` gauge in the global registry, so a
+/// Context's pool publishes under its session scope with no extra
+/// plumbing.
+class BufferPool {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kMinClassBytes = 64;
+
+  /// Resolved AIC_MEMPOOL_BYTES budget (library default when unset).
+  static std::size_t budget_from_env();
+
+  struct State;
+
+  /// Move-only handle over one pooled block. `size()` is the requested
+  /// byte count; `capacity()` is the size-class the block actually holds.
+  /// Destruction (or `reset()`) returns the block to its pool.
+  class Buffer {
+   public:
+    Buffer() = default;
+    Buffer(Buffer&& other) noexcept { swap(other); }
+    Buffer& operator=(Buffer&& other) noexcept {
+      if (this != &other) {
+        reset();
+        swap(other);
+      }
+      return *this;
+    }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { reset(); }
+
+    char* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::string_view view() const noexcept { return {data_, size_}; }
+    explicit operator bool() const noexcept { return data_ != nullptr; }
+
+    /// Returns the block to the pool early (no-op on an empty handle).
+    void reset() noexcept;
+
+   private:
+    friend class BufferPool;
+    Buffer(std::shared_ptr<State> state, char* data, std::size_t size,
+           std::size_t capacity) noexcept
+        : state_(std::move(state)),
+          data_(data),
+          size_(size),
+          capacity_(capacity) {}
+    void swap(Buffer& other) noexcept {
+      state_.swap(other.state_);
+      std::swap(data_, other.data_);
+      std::swap(size_, other.size_);
+      std::swap(capacity_, other.capacity_);
+    }
+
+    std::shared_ptr<State> state_;
+    char* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+  };
+
+  /// Counter snapshot (see attach_metrics for the exported names).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t recycled_bytes = 0;
+    std::uint64_t trimmed_bytes = 0;
+    std::size_t cached_bytes = 0;    // free, budget-capped
+    std::size_t leased_bytes = 0;    // held by live Buffers
+    std::size_t resident_bytes = 0;  // cached + leased
+  };
+
+  /// Budget resolved from AIC_MEMPOOL_BYTES.
+  BufferPool();
+  /// Explicit cached-byte budget (0 = cache nothing: every release frees).
+  explicit BufferPool(std::size_t budget_bytes);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A 64-byte-aligned block of at least `bytes` bytes (contents
+  /// unspecified — recycled blocks are NOT zeroed).
+  Buffer acquire(std::size_t bytes);
+
+  /// Evicts least-recently-released blocks until at most `keep_bytes`
+  /// stay cached.
+  void trim(std::size_t keep_bytes = 0);
+
+  Stats stats() const;
+  std::size_t budget_bytes() const;
+
+  /// Registers `<prefix>mempool.*` instruments in the global registry and
+  /// mirrors every subsequent pool event into them.
+  void attach_metrics(const std::string& prefix);
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace aic::runtime

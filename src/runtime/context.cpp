@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/env.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -60,6 +61,8 @@ struct Context::Impl {
   /// process-default context, which fetches the live process pool per call
   /// so it observes set_process_threads.
   std::shared_ptr<runtime::ThreadPool> pool;
+  /// Per-session scratch recycler, created on first use under slot_mutex.
+  std::shared_ptr<runtime::BufferPool> buffer_pool;
   /// Lazily initialized higher-layer state (core's PlanCache, ...).
   std::mutex slot_mutex;
   std::array<std::shared_ptr<void>, static_cast<std::size_t>(Slot::kCount)>
@@ -96,6 +99,19 @@ runtime::ThreadPool& Context::pool() const { return *pool_handle(); }
 std::shared_ptr<runtime::ThreadPool> Context::pool_handle() const {
   if (impl_->pool) return impl_->pool;
   return process_pool();
+}
+
+runtime::BufferPool& Context::buffer_pool() const {
+  return *buffer_pool_handle();
+}
+
+std::shared_ptr<runtime::BufferPool> Context::buffer_pool_handle() const {
+  std::lock_guard lock(impl_->slot_mutex);
+  if (!impl_->buffer_pool) {
+    impl_->buffer_pool = std::make_shared<runtime::BufferPool>();
+    impl_->buffer_pool->attach_metrics(impl_->options.obs_prefix);
+  }
+  return impl_->buffer_pool;
 }
 
 bool Context::is_process_default() const noexcept {

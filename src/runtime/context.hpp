@@ -14,6 +14,7 @@ class Histogram;
 
 namespace aic::runtime {
 
+class BufferPool;
 class ThreadPool;
 
 /// The pool `parallel_for` fans out on: the innermost `Context::PoolScope`
@@ -97,6 +98,13 @@ class Context {
   /// Shared ownership of the same pool (keeps it alive across resizes).
   std::shared_ptr<runtime::ThreadPool> pool_handle() const;
 
+  /// This session's scratch recycler (created lazily; budget from
+  /// AIC_MEMPOOL_BYTES). Its mempool.* instruments are registered under
+  /// this context's obs_prefix. Distinct sessions never share buffers.
+  runtime::BufferPool& buffer_pool() const;
+  /// Shared ownership (keeps the pool's slabs alive past the context).
+  std::shared_ptr<runtime::BufferPool> buffer_pool_handle() const;
+
   bool is_process_default() const noexcept;
   /// Raw option value; kPlanCacheBytesFromEnv means "resolve from env".
   std::size_t plan_cache_bytes() const noexcept;
@@ -154,7 +162,7 @@ class Context {
   /// Type-erased per-context lazily initialized state for higher layers
   /// (the core layer's PlanCache lives in kPlanCache). The factory runs at
   /// most once per context per slot, under the context's slot mutex.
-  enum class Slot : std::size_t { kPlanCache = 0, kCount };
+  enum class Slot : std::size_t { kPlanCache = 0, kArchiveScratch = 1, kCount };
   std::shared_ptr<void> slot(
       Slot which,
       const std::function<std::shared_ptr<void>()>& factory) const;

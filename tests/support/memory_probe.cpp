@@ -1,0 +1,173 @@
+#include "support/memory_probe.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#ifndef _WIN32
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
+
+namespace {
+
+// Relaxed atomics: the counters are read only at measurement boundaries,
+// and the counting itself must never allocate or lock.
+std::atomic<std::uint64_t> g_total_allocs{0};
+std::atomic<std::uint64_t> g_large_allocs{0};
+std::atomic<std::uint64_t> g_large_bytes{0};
+std::atomic<std::size_t> g_large_threshold{std::size_t{1} << 20};
+
+void count(std::size_t size) noexcept {
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size >= g_large_threshold.load(std::memory_order_relaxed)) {
+    g_large_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_large_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+void* counted_malloc(std::size_t size) noexcept {
+  count(size);
+  // malloc(0) may return nullptr legally; operator new must not.
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned(std::size_t size, std::size_t alignment) noexcept {
+  count(size);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t padded = (size + alignment - 1) / alignment * alignment;
+#ifndef _WIN32
+  return std::aligned_alloc(alignment, padded != 0 ? padded : alignment);
+#else
+  return _aligned_malloc(padded != 0 ? padded : alignment, alignment);
+#endif
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Global operator new/delete replacement (C++17 aligned forms included).
+// glibc's free() handles malloc and aligned_alloc pointers uniformly, so
+// one delete implementation serves all new forms.
+
+void* operator new(std::size_t size) {
+  void* ptr = counted_malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* ptr = counted_aligned(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+
+namespace aic::testsupport {
+
+void set_large_alloc_threshold(std::size_t bytes) {
+  g_large_threshold.store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t large_alloc_threshold() {
+  return g_large_threshold.load(std::memory_order_relaxed);
+}
+
+AllocStats alloc_stats() {
+  AllocStats stats;
+  stats.total_allocs = g_total_allocs.load(std::memory_order_relaxed);
+  stats.large_allocs = g_large_allocs.load(std::memory_order_relaxed);
+  stats.large_bytes = g_large_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t peak_rss_bytes() {
+#ifndef _WIN32
+  if (std::FILE* file = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::size_t kb = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof(line), file) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(file);
+    if (found) return kb * 1024;
+  }
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // Linux: kB
+  }
+#endif
+  return 0;
+}
+
+bool reset_peak_rss() {
+#ifndef _WIN32
+  if (std::FILE* file = std::fopen("/proc/self/clear_refs", "w")) {
+    const bool ok = std::fputs("5", file) >= 0;
+    return std::fclose(file) == 0 && ok;
+  }
+#endif
+  return false;
+}
+
+void release_freed_heap() {
+#ifdef __GLIBC__
+  malloc_trim(0);
+#endif
+}
+
+}  // namespace aic::testsupport

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// Heap / RSS instrumentation for benchmarks and tests that pin the
+/// memory layer's behavior. Linking this library replaces the GLOBAL
+/// operator new/delete of the binary with counting versions — link it
+/// ONLY into binaries that opt in (bench_pipeline, allocation-gate
+/// tests), never into the product libraries.
+namespace aic::testsupport {
+
+struct AllocStats {
+  /// Every operator new / new[] call since process start.
+  std::uint64_t total_allocs = 0;
+  /// The subset at or above the large threshold.
+  std::uint64_t large_allocs = 0;
+  std::uint64_t large_bytes = 0;
+};
+
+/// Allocations >= `bytes` count as "large" from now on (default 1 MiB).
+/// The steady-state gates track large allocations: per-chunk encode
+/// strings and other sub-threshold churn are allowed, re-allocating a
+/// payload-sized staging buffer per call is not.
+void set_large_alloc_threshold(std::size_t bytes);
+std::size_t large_alloc_threshold();
+
+AllocStats alloc_stats();
+
+/// Current peak resident set size in bytes (VmHWM from
+/// /proc/self/status, getrusage fallback). 0 when unavailable.
+std::size_t peak_rss_bytes();
+
+/// Resets the kernel's peak-RSS water mark ("5" into
+/// /proc/self/clear_refs) so per-phase peaks can be measured. Returns
+/// false when the platform cannot reset — peak_rss_bytes() then reports
+/// the process-lifetime high-water mark, and phase comparisons are only
+/// meaningful in ascending-footprint order.
+bool reset_peak_rss();
+
+/// Returns heap pages the allocator caches back to the OS where
+/// supported (glibc malloc_trim), so a phase that freed its buffers
+/// stops inflating the next phase's RSS baseline. No-op elsewhere.
+void release_freed_heap();
+
+}  // namespace aic::testsupport

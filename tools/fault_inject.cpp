@@ -2,7 +2,10 @@
 //
 // Modes:
 //   fault_inject --matrix              run the built-in mutation matrix
-//                                      over all targets (default)
+//                                      over all targets (default), then
+//                                      replay the v4 targets through the
+//                                      mmap (io::MappedFile) decode path
+//   fault_inject --mmap-matrix         only the mmap replay pass
 //   fault_inject --write-corpus <dir>  write fuzz corpus seeds and exit
 //   fault_inject <file>...             replay raw mutant files through the
 //                                      archive decoder (crash triage)
@@ -10,31 +13,124 @@
 // Exit status is 0 only when every mutant either decoded bitwise-exactly
 // or raised aic::io::CorruptStream.
 
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cli/archive.hpp"
 #include "cli/robustness_suite.hpp"
 #include "io/error.hpp"
+#include "io/mapped_file.hpp"
+#include "io/tensor_io.hpp"
 #include "obs/flight_recorder.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace {
 
-int run_matrix() {
-  // Arm the flight recorder (memory-only: no per-mutant dump files) so the
-  // matrix doubles as a check that io::raise_corrupt() hands every typed
-  // rejection to the recorder. A drift between `rejected` and the
-  // obs.flight_dumps delta means some decode path throws CorruptStream
-  // without going through raise_corrupt — a silent-drop regression.
-  aic::obs::flight::Options flight_options;
-  flight_options.dump_on_corrupt = false;
-  flight_options.signals = false;
-  flight_options.terminate = false;
-  const bool armed_here = aic::obs::flight::arm(flight_options);
-  const std::uint64_t dumps_before = aic::obs::flight::dumps();
+/// Arms the flight recorder (memory-only: no per-mutant dump files) so a
+/// matrix run doubles as a check that io::raise_corrupt() hands every
+/// typed rejection to the recorder. A drift between `rejected` and the
+/// obs.flight_dumps delta means some decode path throws CorruptStream
+/// without going through raise_corrupt — a silent-drop regression.
+struct FlightAudit {
+  bool armed_here = false;
+  std::uint64_t dumps_before = 0;
 
+  FlightAudit() {
+    aic::obs::flight::Options flight_options;
+    flight_options.dump_on_corrupt = false;
+    flight_options.signals = false;
+    flight_options.terminate = false;
+    armed_here = aic::obs::flight::arm(flight_options);
+    dumps_before = aic::obs::flight::dumps();
+  }
+
+  /// Returns true when every typed rejection produced exactly one flight
+  /// record.
+  bool check(std::size_t total_rejected) {
+    const std::uint64_t flight_records =
+        aic::obs::flight::dumps() - dumps_before;
+    if (armed_here) aic::obs::flight::disarm();
+    std::cout << "flight records: " << flight_records << " for "
+              << total_rejected << " typed rejections\n";
+    if (flight_records != total_rejected) {
+      std::cout << "  FAILURE flight-recorder record count != typed "
+                << "rejections (a CorruptStream was thrown without "
+                << "raise_corrupt)\n";
+      return false;
+    }
+    return true;
+  }
+};
+
+/// The mmap replay temp file, reused across every mutant so the sweep
+/// costs one inode, not thousands.
+std::filesystem::path mmap_replay_path() {
+#ifndef _WIN32
+  const std::string pid = std::to_string(static_cast<long long>(::getpid()));
+#else
+  const std::string pid = "win";
+#endif
+  return std::filesystem::temp_directory_path() /
+         ("aic_fault_inject_mmap_" + pid + ".aicz");
+}
+
+/// Replays the v4 archive targets' full mutation matrices through the
+/// zero-copy file path: each mutant is written to a reused temp file,
+/// mapped with io::MappedFile, and decoded straight out of the mapping —
+/// the exact bytes-never-touch-a-heap-string route `aicomp decompress`
+/// takes. The contract is identical to the in-memory matrix: bitwise-
+/// exact decode or a typed CorruptStream, with flight-recorder
+/// accounting intact (mmap must not change where rejections surface).
+int run_mmap_matrix() {
+  FlightAudit audit;
+  const std::filesystem::path path = mmap_replay_path();
+  const aic::io::DecodeFn mmap_decode = [&path](const std::string& bytes) {
+    {
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    const aic::io::MappedFile file(path.string());
+    const aic::cli::Archive archive =
+        aic::cli::deserialize_archive(file.view());
+    const aic::tensor::Tensor restored =
+        aic::cli::make_archive_codec(archive)->decompress(
+            archive.packed, archive.original_shape);
+    return aic::io::serialize_tensor(restored);
+  };
+
+  bool ok = true;
+  std::size_t total_rejected = 0;
+  for (const aic::cli::RobustnessTarget& target :
+       aic::cli::robustness_targets()) {
+    if (target.name.find(":v4") == std::string::npos) continue;
+    const aic::io::FaultReport report =
+        aic::io::run_fault_matrix(target.bytes, mmap_decode, target.options);
+    std::cout << target.name << " [mmap]: " << report.summary() << "\n";
+    for (const std::string& failure : report.failures) {
+      std::cout << "  FAILURE " << failure << "\n";
+    }
+    total_rejected += report.rejected;
+    ok = ok && report.ok();
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+
+  ok = audit.check(total_rejected) && ok;
+  std::cout << (ok ? "mmap fault matrix clean" : "mmap fault matrix FAILED")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
+int run_matrix() {
+  FlightAudit audit;
   bool ok = true;
   std::size_t total_rejected = 0;
   for (const auto& [name, report] : aic::cli::run_robustness_suite()) {
@@ -45,20 +141,11 @@ int run_matrix() {
     total_rejected += report.rejected;
     ok = ok && report.ok();
   }
-
-  const std::uint64_t flight_records =
-      aic::obs::flight::dumps() - dumps_before;
-  if (armed_here) aic::obs::flight::disarm();
-  std::cout << "flight records: " << flight_records << " for "
-            << total_rejected << " typed rejections\n";
-  if (flight_records != total_rejected) {
-    std::cout << "  FAILURE flight-recorder record count != typed rejections "
-              << "(a CorruptStream was thrown without raise_corrupt)\n";
-    ok = false;
-  }
-
+  ok = audit.check(total_rejected) && ok;
   std::cout << (ok ? "fault matrix clean" : "fault matrix FAILED") << "\n";
-  return ok ? 0 : 1;
+  // The v4 targets go through a second time via mmap so both decode
+  // front ends face the identical mutant set.
+  return run_mmap_matrix() == 0 && ok ? 0 : 1;
 }
 
 int write_corpus(const std::string& dir) {
@@ -99,6 +186,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     if (args.empty() || args[0] == "--matrix") return run_matrix();
+    if (args[0] == "--mmap-matrix") return run_mmap_matrix();
     if (args[0] == "--write-corpus") {
       if (args.size() != 2) {
         std::cerr << "usage: fault_inject --write-corpus <dir>\n";
